@@ -1,0 +1,42 @@
+//! Bench for Table IV: deriving fixed-terminal benchmark instances from a
+//! placed circuit (generation + block/cutline extraction).
+//!
+//! Regenerate the table with `cargo run -p vlsi-experiments --bin table4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vlsi_netgen::blocks::{extract_block, standard_instances};
+use vlsi_netgen::instances::ibm01_like_scaled;
+use vlsi_netgen::Cutline;
+
+fn bench_block_extract(c: &mut Criterion) {
+    let circuit = ibm01_like_scaled(0.10, 1999);
+
+    c.bench_function("table4/extract_half_block", |b| {
+        let (left, _) = circuit.die.split_vertical();
+        b.iter(|| {
+            black_box(extract_block(
+                &circuit,
+                None,
+                left,
+                Cutline::Vertical,
+                "bench",
+            ))
+        })
+    });
+
+    let mut group = c.benchmark_group("table4/standard_instances");
+    group.sample_size(10);
+    group.bench_function("all_eight", |b| {
+        b.iter(|| black_box(standard_instances(&circuit, None)))
+    });
+    group.finish();
+
+    c.bench_function("table4/generate_circuit", |b| {
+        b.iter(|| black_box(ibm01_like_scaled(0.05, 7)))
+    });
+}
+
+criterion_group!(benches, bench_block_extract);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the substrate data structures: gain buckets,
+//! incremental cut maintenance, and one coarsening level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+use vlsi_hypergraph::{CutState, FixedVertices, PartId, VertexId};
+use vlsi_netgen::instances::ibm01_like_scaled;
+use vlsi_partition::multilevel::{coarsen_once, CoarsenParams};
+use vlsi_partition::GainBuckets;
+
+fn bench_gain_buckets(c: &mut Criterion) {
+    c.bench_function("micro/gain_buckets_churn", |b| {
+        let n = 10_000usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| {
+            let mut gb = GainBuckets::new(n, 64);
+            for i in 0..n as u32 {
+                gb.insert(VertexId(i), rng.gen_range(-64..=64));
+            }
+            for _ in 0..n {
+                let Some((v, _)) = gb.select(|_| true) else {
+                    break;
+                };
+                gb.remove(v);
+                gb.decay_max();
+            }
+            black_box(gb.len())
+        })
+    });
+}
+
+fn bench_cut_state(c: &mut Criterion) {
+    let circuit = ibm01_like_scaled(0.25, 7);
+    let hg = &circuit.hypergraph;
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let parts: Vec<PartId> = hg.vertices().map(|_| PartId(rng.gen_range(0..2))).collect();
+
+    c.bench_function("micro/cut_state_build", |b| {
+        b.iter(|| black_box(CutState::new(hg, 2, &parts)))
+    });
+
+    c.bench_function("micro/cut_state_move", |b| {
+        let mut cs = CutState::new(hg, 2, &parts);
+        let mut cur = parts.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            let v = VertexId(rng.gen_range(0..hg.num_vertices() as u32));
+            let from = cur[v.index()];
+            let to = PartId(1 - from.0);
+            cs.move_vertex(hg, v, from, to);
+            cur[v.index()] = to;
+            black_box(cs.cut())
+        })
+    });
+}
+
+fn bench_coarsen(c: &mut Criterion) {
+    let circuit = ibm01_like_scaled(0.25, 7);
+    let hg = &circuit.hypergraph;
+    let fixed = FixedVertices::all_free(hg.num_vertices());
+    let params = CoarsenParams {
+        max_cluster_weight: hg.total_weight() / 20,
+        max_net_size_for_matching: 64,
+        max_fixed_part_weight: Vec::new(),
+        allow_free_fixed_merge: false,
+    };
+    let mut group = c.benchmark_group("micro/coarsen_once");
+    group.sample_size(20);
+    group.bench_function("free_3k", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| black_box(coarsen_once(hg, &fixed, &params, 0.99, None, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gain_buckets, bench_cut_state, bench_coarsen);
+criterion_main!(benches);

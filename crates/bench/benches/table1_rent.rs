@@ -1,0 +1,22 @@
+//! Bench for Table I: computing the Rent's-rule block-size thresholds.
+//!
+//! Regenerate the table itself with `cargo run -p vlsi-experiments --bin table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vlsi_experiments::table1;
+use vlsi_netgen::rent::RentModel;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/full_table", |b| {
+        b.iter(|| black_box(table1::compute()))
+    });
+    c.bench_function("table1/single_threshold", |b| {
+        let m = RentModel::new(3.5, 0.68);
+        b.iter(|| black_box(m.block_size_threshold(black_box(0.10))))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmark crate — see `benches/` for the per-table/figure
+//! benchmark targets. This library is intentionally empty.

@@ -1,0 +1,778 @@
+//! The FM bipartitioning engine proper.
+
+use rand::Rng;
+
+use vlsi_hypergraph::{
+    BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
+};
+
+use crate::config::{FmConfig, SelectionPolicy};
+use crate::fm::{PassStats, RunStats};
+use crate::gain::GainBuckets;
+use crate::initial::random_initial;
+use crate::PartitionError;
+
+/// Result of an FM run: the final assignment, its cut, and the per-pass
+/// statistics used by the paper's Tables II and III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FmResult {
+    /// Final partition of every vertex.
+    pub parts: Vec<PartId>,
+    /// Final (best) cut value.
+    pub cut: u64,
+    /// Statistics of every executed pass.
+    pub stats: RunStats,
+}
+
+/// Flat FM bipartitioner with fixed-vertex support.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
+/// use vlsi_partition::{BipartFm, FmConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two 4-cliques joined by a single net bisect with cut 1.
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..8).map(|_| b.add_vertex(1)).collect();
+/// for side in [&v[0..4], &v[4..8]] {
+///     for i in 0..4 {
+///         for j in (i + 1)..4 {
+///             b.add_net(1, [side[i], side[j]])?;
+///         }
+///     }
+/// }
+/// b.add_net(1, [v[0], v[4]])?;
+/// let hg = b.build()?;
+///
+/// let fm = BipartFm::new(FmConfig::default());
+/// let balance = BalanceConstraint::bisection(8, Tolerance::Relative(0.0));
+/// let fixed = FixedVertices::all_free(8);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let result = fm.run_random(&hg, &fixed, &balance, &mut rng)?;
+/// assert_eq!(result.cut, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BipartFm {
+    config: FmConfig,
+}
+
+impl BipartFm {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: FmConfig) -> Self {
+        BipartFm { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &FmConfig {
+        &self.config
+    }
+
+    /// Runs FM from a random legal initial solution drawn with `rng`.
+    ///
+    /// # Errors
+    /// Propagates [`crate::random_initial`] failures and the errors of
+    /// [`BipartFm::run`].
+    pub fn run_random<R: Rng + ?Sized>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+    ) -> Result<FmResult, PartitionError> {
+        let initial = random_initial(hg, fixed, balance, 2, rng)?;
+        self.run(hg, fixed, balance, initial)
+    }
+
+    /// Runs FM passes from the given initial assignment until a pass fails
+    /// to improve the cut (or `max_passes` is reached).
+    ///
+    /// # Errors
+    /// * [`PartitionError::UnsupportedPartCount`] if `balance` describes
+    ///   more than two partitions.
+    /// * [`PartitionError::Input`] if `initial` is inconsistent with the
+    ///   hypergraph or violates a fixity.
+    pub fn run(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        initial: Vec<PartId>,
+    ) -> Result<FmResult, PartitionError> {
+        Ok(self.run_impl(hg, fixed, balance, initial, false)?.0)
+    }
+
+    /// Like [`BipartFm::run`] but additionally records, for every pass, the
+    /// cut value after each move — the raw data behind the paper's Section
+    /// III analysis that "the improvements within a pass occur near the
+    /// beginning of the pass".
+    ///
+    /// # Errors
+    /// Same as [`BipartFm::run`].
+    pub fn run_traced(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        initial: Vec<PartId>,
+    ) -> Result<(FmResult, Vec<PassTrace>), PartitionError> {
+        self.run_impl(hg, fixed, balance, initial, true)
+    }
+
+    fn run_impl(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        initial: Vec<PartId>,
+        record: bool,
+    ) -> Result<(FmResult, Vec<PassTrace>), PartitionError> {
+        if balance.num_parts() != 2 {
+            return Err(PartitionError::UnsupportedPartCount {
+                requested: balance.num_parts(),
+                supported: 2,
+            });
+        }
+        let mut partitioning = Partitioning::from_parts_fixed(hg, 2, initial, fixed)?;
+
+        let movable: Vec<bool> = hg
+            .vertices()
+            .map(|v| {
+                let fixity = if v.index() < fixed.len() {
+                    fixed.fixity(v)
+                } else {
+                    Fixity::Free
+                };
+                // A vertex can participate if it may sit on both sides.
+                fixity.allows(PartId(0)) && fixity.allows(PartId(1))
+            })
+            .collect();
+        let num_movable = movable.iter().filter(|&&m| m).count();
+
+        // Maximum possible |gain| = largest total incident net weight over
+        // the *movable* vertices (immovable ones never enter the buckets;
+        // a clustered mega-terminal would otherwise blow the array up).
+        let gain_bound: i64 = hg
+            .vertices()
+            .filter(|v| movable[v.index()])
+            .map(|v| {
+                hg.vertex_nets(v)
+                    .iter()
+                    .map(|&n| hg.net_weight(n) as i64)
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        // CLIP keys are (gain - initial gain), so they span twice the range.
+        let key_bound = match self.config.policy {
+            SelectionPolicy::Lifo => gain_bound,
+            SelectionPolicy::Clip => 2 * gain_bound,
+        };
+
+        // Moves may transiently overshoot the balance window by the weight
+        // of the largest movable vertex (the classic FM relaxation); only
+        // strictly balanced prefixes are accepted.
+        let mut relax = vec![0u64; hg.num_resources()];
+        for v in hg.vertices() {
+            if movable[v.index()] {
+                for (r, &w) in hg.vertex_weights(v).iter().enumerate() {
+                    relax[r] = relax[r].max(w);
+                }
+            }
+        }
+
+        let mut state = PassState {
+            hg,
+            balance,
+            movable: &movable,
+            partitioning: &mut partitioning,
+            buckets: [
+                GainBuckets::new(hg.num_vertices(), key_bound),
+                GainBuckets::new(hg.num_vertices(), key_bound),
+            ],
+            gain: vec![0i64; hg.num_vertices()],
+            locked: vec![false; hg.num_vertices()],
+            policy: self.config.policy,
+            relax,
+        };
+
+        let mut stats = RunStats::default();
+        let mut traces = Vec::new();
+        let mut scratch = Vec::new();
+        for pass_idx in 0..self.config.max_passes {
+            let cutoff_active = pass_idx > 0 || self.config.cutoff_first_pass;
+            let limit = if cutoff_active {
+                self.config.cutoff.limit(num_movable)
+            } else {
+                num_movable
+            };
+            let cut_before = state.partitioning.cut_value(Objective::Cut);
+            scratch.clear();
+            let pass_stats = state.run_pass(pass_idx, num_movable, limit, &mut scratch);
+            let improved = pass_stats.improved();
+            stats.passes.push(pass_stats);
+            if record {
+                traces.push(PassTrace {
+                    pass: pass_idx,
+                    cut_before,
+                    cuts: std::mem::take(&mut scratch),
+                });
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        let cut = partitioning.cut_value(Objective::Cut);
+        Ok((
+            FmResult {
+                parts: partitioning.into_parts(),
+                cut,
+                stats,
+            },
+            traces,
+        ))
+    }
+}
+
+/// The cut trajectory of one FM pass: `cuts[i]` is the cut value after the
+/// `(i+1)`-th move (before any rollback).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassTrace {
+    /// 0-based pass index.
+    pub pass: usize,
+    /// Cut at the start of the pass.
+    pub cut_before: u64,
+    /// Cut after each move, in move order.
+    pub cuts: Vec<u64>,
+}
+
+impl PassTrace {
+    /// The move index (1-based) at which the minimum cut of the pass was
+    /// first reached, as a fraction of the moves made; `None` for an empty
+    /// pass. Small values = improvements concentrate near the beginning.
+    pub fn best_position_fraction(&self) -> Option<f64> {
+        if self.cuts.is_empty() {
+            return None;
+        }
+        let best = *self.cuts.iter().min().expect("non-empty");
+        if best >= self.cut_before {
+            return Some(0.0);
+        }
+        let pos = self
+            .cuts
+            .iter()
+            .position(|&c| c == best)
+            .expect("min exists");
+        Some((pos + 1) as f64 / self.cuts.len() as f64)
+    }
+}
+
+/// Mutable working state shared by the passes of one run.
+struct PassState<'a> {
+    hg: &'a Hypergraph,
+    balance: &'a BalanceConstraint,
+    movable: &'a [bool],
+    partitioning: &'a mut Partitioning,
+    buckets: [GainBuckets; 2],
+    gain: Vec<i64>,
+    locked: Vec<bool>,
+    policy: SelectionPolicy,
+    /// Per-resource transient balance slack (largest movable vertex weight).
+    relax: Vec<u64>,
+}
+
+impl PassState<'_> {
+    /// Executes one FM pass and restores the best prefix. Returns its stats;
+    /// pushes the post-move cut values onto `trace`.
+    fn run_pass(
+        &mut self,
+        pass: usize,
+        num_movable: usize,
+        move_limit: usize,
+        trace: &mut Vec<u64>,
+    ) -> PassStats {
+        let cut_before = self.partitioning.cut_value(Objective::Cut);
+        self.prepare_buckets();
+
+        let mut move_log: Vec<(VertexId, PartId)> = Vec::with_capacity(move_limit);
+        let mut best_cut = cut_before;
+        let mut best_len = 0usize;
+        let mut best_imbalance = self.imbalance();
+
+        while move_log.len() < move_limit {
+            let Some((vertex, from)) = self.select_move() else {
+                break;
+            };
+            let to = from.other_side();
+            self.buckets[from.index()].remove(vertex);
+            self.buckets[from.index()].decay_max();
+            self.locked[vertex.index()] = true;
+            self.apply_move_with_gain_updates(vertex, from, to);
+            move_log.push((vertex, from));
+            trace.push(self.partitioning.cut_value(Objective::Cut));
+
+            // Only strictly balanced states may become the accepted prefix.
+            if !self.balance.is_satisfied(self.partitioning.loads()) {
+                continue;
+            }
+            let cut = self.partitioning.cut_value(Objective::Cut);
+            let imbalance = self.imbalance();
+            if cut < best_cut || (cut == best_cut && imbalance < best_imbalance) {
+                best_cut = cut;
+                best_len = move_log.len();
+                best_imbalance = imbalance;
+            }
+        }
+
+        // Roll back everything after the best prefix.
+        for &(vertex, from) in move_log[best_len..].iter().rev() {
+            self.partitioning.move_vertex(self.hg, vertex, from);
+        }
+        debug_assert_eq!(self.partitioning.cut_value(Objective::Cut), best_cut);
+
+        // Unlock for the next pass.
+        self.locked.fill(false);
+        self.buckets[0].clear();
+        self.buckets[1].clear();
+
+        PassStats {
+            pass,
+            movable: num_movable,
+            moves_made: move_log.len(),
+            moves_kept: best_len,
+            cut_before,
+            cut_after: best_cut,
+            move_limit,
+        }
+    }
+
+    /// Primary-resource imbalance |load(0) − load(1)| used for tie-breaking.
+    fn imbalance(&self) -> u64 {
+        let a = self.partitioning.load(PartId(0), 0);
+        let b = self.partitioning.load(PartId(1), 0);
+        a.abs_diff(b)
+    }
+
+    /// Computes all initial gains and fills the buckets.
+    fn prepare_buckets(&mut self) {
+        self.buckets[0].clear();
+        self.buckets[1].clear();
+        match self.policy {
+            SelectionPolicy::Lifo => {
+                for v in self.hg.vertices() {
+                    if !self.movable[v.index()] {
+                        continue;
+                    }
+                    let g = self.initial_gain(v);
+                    self.gain[v.index()] = g;
+                    let side = self.partitioning.part_of(v);
+                    self.buckets[side.index()].insert(v, g);
+                }
+            }
+            SelectionPolicy::Clip => {
+                // CLIP (Dutt & Deng): every vertex starts at key 0, but the
+                // bucket-0 list is ordered by *decreasing initial gain*, so
+                // before any delta accumulates the selection degenerates to
+                // plain gain order; once moves start, the deltas cluster
+                // selection around recently moved vertices. Insertion is at
+                // the list head, so we insert in increasing-gain order.
+                let mut by_gain: Vec<(i64, VertexId)> = self
+                    .hg
+                    .vertices()
+                    .filter(|v| self.movable[v.index()])
+                    .map(|v| (self.initial_gain(v), v))
+                    .collect();
+                by_gain.sort_unstable();
+                for &(g, v) in &by_gain {
+                    self.gain[v.index()] = g;
+                    let side = self.partitioning.part_of(v);
+                    self.buckets[side.index()].insert(v, 0);
+                }
+            }
+        }
+    }
+
+    /// Gain of moving `v` to the other side under the cut objective.
+    fn initial_gain(&self, v: VertexId) -> i64 {
+        let from = self.partitioning.part_of(v);
+        let to = from.other_side();
+        let cs = self.partitioning.cut_state();
+        let mut g = 0i64;
+        for &n in self.hg.vertex_nets(v) {
+            let w = self.hg.net_weight(n) as i64;
+            if cs.pins_in(n, from) == 1 {
+                g += w;
+            }
+            if cs.pins_in(n, to) == 0 {
+                g -= w;
+            }
+        }
+        g
+    }
+
+    /// Picks the highest-key feasible move over both sides. Ties between
+    /// sides are broken toward the heavier side (improves balance).
+    fn select_move(&mut self) -> Option<(VertexId, PartId)> {
+        let mut candidates: [Option<(VertexId, i64)>; 2] = [None, None];
+        for (side, slot) in candidates.iter_mut().enumerate() {
+            let from = PartId(side as u32);
+            let to = from.other_side();
+            let hg = self.hg;
+            let balance = self.balance;
+            let relax = &self.relax;
+            let loads = self.partitioning.loads();
+            let nr = hg.num_resources();
+            *slot = self.buckets[side].select(|v| {
+                // Relaxed feasibility: the destination may overshoot its
+                // maximum by the largest movable vertex weight.
+                hg.vertex_weights(v)
+                    .iter()
+                    .enumerate()
+                    .all(|(r, &w)| loads[to.index() * nr + r] + w <= balance.max(to, r) + relax[r])
+            });
+        }
+        match (candidates[0], candidates[1]) {
+            (None, None) => None,
+            (Some((v, _)), None) => Some((v, PartId(0))),
+            (None, Some((v, _))) => Some((v, PartId(1))),
+            (Some((v0, k0)), Some((v1, k1))) => {
+                if k0 > k1 {
+                    Some((v0, PartId(0)))
+                } else if k1 > k0 {
+                    Some((v1, PartId(1)))
+                } else {
+                    // Equal keys: move from the heavier side.
+                    let l0 = self.partitioning.load(PartId(0), 0);
+                    let l1 = self.partitioning.load(PartId(1), 0);
+                    if l0 >= l1 {
+                        Some((v0, PartId(0)))
+                    } else {
+                        Some((v1, PartId(1)))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the standard FM delta-gain updates around the move of
+    /// `vertex` from `from` to `to`, then performs the move itself.
+    fn apply_move_with_gain_updates(&mut self, vertex: VertexId, from: PartId, to: PartId) {
+        let expected_cut = self
+            .partitioning
+            .cut_value(Objective::Cut)
+            .wrapping_sub(self.gain[vertex.index()] as u64);
+        for &n in self.hg.vertex_nets(vertex) {
+            let w = self.hg.net_weight(n) as i64;
+            let to_count = self.partitioning.cut_state().pins_in(n, to);
+            if to_count == 0 {
+                // Net becomes critical from the `to` side: every other pin
+                // gains from following the move.
+                for &u in self.hg.net_pins(n) {
+                    if u != vertex {
+                        self.bump_gain(u, w);
+                    }
+                }
+            } else if to_count == 1 {
+                // The lone `to`-side pin loses its incentive to leave.
+                if let Some(u) = self.lone_pin(n, to) {
+                    self.bump_gain(u, -w);
+                }
+            }
+        }
+        self.partitioning.move_vertex(self.hg, vertex, to);
+        for &n in self.hg.vertex_nets(vertex) {
+            let w = self.hg.net_weight(n) as i64;
+            let from_count = self.partitioning.cut_state().pins_in(n, from);
+            if from_count == 0 {
+                // Net no longer touches `from`: following moves stop paying.
+                for &u in self.hg.net_pins(n) {
+                    if u != vertex {
+                        self.bump_gain(u, -w);
+                    }
+                }
+            } else if from_count == 1 {
+                // The lone `from`-side pin can now uncut the net by moving.
+                if let Some(u) = self.lone_pin(n, from) {
+                    self.bump_gain(u, w);
+                }
+            }
+        }
+        debug_assert_eq!(
+            self.partitioning.cut_value(Objective::Cut),
+            expected_cut,
+            "gain of {vertex} disagreed with actual cut delta"
+        );
+    }
+
+    /// Finds the single pin of `n` on `side` (caller guarantees exactly one).
+    fn lone_pin(&self, n: vlsi_hypergraph::NetId, side: PartId) -> Option<VertexId> {
+        self.hg
+            .net_pins(n)
+            .iter()
+            .copied()
+            .find(|&u| self.partitioning.part_of(u) == side)
+    }
+
+    /// Adds `delta` to `u`'s gain, updating its bucket key if unlocked.
+    #[inline]
+    fn bump_gain(&mut self, u: VertexId, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.gain[u.index()] += delta;
+        if !self.locked[u.index()] && self.movable[u.index()] {
+            let side = self.partitioning.part_of(u);
+            self.buckets[side.index()].adjust(u, delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vlsi_hypergraph::{validate_partitioning, HypergraphBuilder, PartSet, Tolerance};
+
+    /// Two cliques of size `s` joined by `bridges` two-pin nets.
+    fn two_cliques(s: usize, bridges: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..2 * s).map(|_| b.add_vertex(1)).collect();
+        for base in [0, s] {
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    b.add_net(1, [v[base + i], v[base + j]]).unwrap();
+                }
+            }
+        }
+        for k in 0..bridges {
+            b.add_net(1, [v[k % s], v[s + (k % s)]]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn run_default(hg: &Hypergraph, fixed: &FixedVertices, tol: f64, seed: u64) -> FmResult {
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(tol));
+        let fm = BipartFm::new(FmConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        fm.run_random(hg, fixed, &balance, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn finds_the_obvious_bisection() {
+        let hg = two_cliques(6, 1);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        for seed in 0..5 {
+            let result = run_default(&hg, &fixed, 0.0, seed);
+            assert_eq!(result.cut, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn solution_is_always_valid() {
+        let hg = two_cliques(5, 3);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.0));
+        let fm = BipartFm::new(FmConfig::default());
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let result = fm.run_random(&hg, &fixed, &balance, &mut rng).unwrap();
+            let p = Partitioning::from_parts(&hg, 2, result.parts.clone()).unwrap();
+            let report = validate_partitioning(&hg, &p, &balance, &fixed);
+            assert!(report.is_valid(), "seed {seed}: {report}");
+            assert_eq!(report.recomputed_cut, result.cut);
+        }
+    }
+
+    #[test]
+    fn fixed_vertices_never_move() {
+        let hg = two_cliques(5, 2);
+        let mut fixed = FixedVertices::all_free(hg.num_vertices());
+        // Pin one vertex of each clique: the best solution flips the whole
+        // cliques to match (cut = the 2 bridges), and the pins stay put.
+        fixed.fix(VertexId(0), PartId(1));
+        fixed.fix(VertexId(5), PartId(0));
+        let result = run_default(&hg, &fixed, 0.0, 7);
+        assert_eq!(result.parts[0], PartId(1));
+        assert_eq!(result.parts[5], PartId(0));
+        assert!(result.cut >= 2);
+    }
+
+    #[test]
+    fn fixed_any_moves_within_allowed_set() {
+        let hg = two_cliques(4, 1);
+        let mut fixed = FixedVertices::all_free(hg.num_vertices());
+        // FixedAny over both sides is equivalent to free in a bisection.
+        fixed.fix_any(VertexId(0), PartSet::all(2));
+        let result = run_default(&hg, &fixed, 0.0, 9);
+        assert_eq!(result.cut, 1);
+    }
+
+    #[test]
+    fn good_fixed_vertices_make_the_instance_trivial() {
+        let hg = two_cliques(6, 1);
+        let mut fixed = FixedVertices::all_free(hg.num_vertices());
+        for i in 0..6 {
+            fixed.fix(VertexId(i), PartId(0));
+            fixed.fix(VertexId(6 + i), PartId(1));
+        }
+        // Everything fixed consistently: FM has nothing to do, cut is 1.
+        let result = run_default(&hg, &fixed, 0.0, 1);
+        assert_eq!(result.cut, 1);
+        assert_eq!(result.stats.total_moves(), 0);
+    }
+
+    #[test]
+    fn clip_policy_reaches_same_quality_here() {
+        let hg = two_cliques(6, 1);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.0));
+        let fm = BipartFm::new(FmConfig {
+            policy: SelectionPolicy::Clip,
+            ..FmConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let result = fm.run_random(&hg, &fixed, &balance, &mut rng).unwrap();
+        assert_eq!(result.cut, 1);
+    }
+
+    #[test]
+    fn pass_cutoff_limits_moves_after_first_pass() {
+        let hg = two_cliques(8, 4);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.0));
+        let fm = BipartFm::new(FmConfig {
+            cutoff: crate::PassCutoff::Fraction(0.25),
+            ..FmConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let result = fm.run_random(&hg, &fixed, &balance, &mut rng).unwrap();
+        for p in &result.stats.passes {
+            if p.pass == 0 {
+                assert_eq!(p.move_limit, p.movable);
+            } else {
+                assert_eq!(p.move_limit, 4); // 25% of 16
+                assert!(p.moves_made <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_record_full_first_pass() {
+        let hg = two_cliques(6, 2);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let result = run_default(&hg, &fixed, 0.0, 3);
+        let first = &result.stats.passes[0];
+        assert_eq!(first.movable, 12);
+        // Without terminals the first pass flips essentially every vertex.
+        assert!(first.moves_made >= 10);
+    }
+
+    #[test]
+    fn weighted_vertices_respect_balance() {
+        let mut b = HypergraphBuilder::new();
+        let heavy = b.add_vertex(6);
+        let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+        for &u in &v {
+            b.add_net(1, [heavy, u]).unwrap();
+        }
+        let hg = b.build().unwrap();
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(12, Tolerance::Relative(0.0));
+        let fm = BipartFm::new(FmConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let result = fm.run_random(&hg, &fixed, &balance, &mut rng).unwrap();
+        let p = Partitioning::from_parts(&hg, 2, result.parts).unwrap();
+        assert_eq!(p.load(PartId(0), 0), 6);
+        assert_eq!(p.load(PartId(1), 0), 6);
+    }
+
+    #[test]
+    fn rejects_multiway_balance() {
+        let hg = two_cliques(3, 1);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::even(3, &[hg.total_weight()], Tolerance::Relative(0.5));
+        let fm = BipartFm::new(FmConfig::default());
+        let err = fm
+            .run(&hg, &fixed, &balance, vec![PartId(0); hg.num_vertices()])
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::UnsupportedPartCount { .. }));
+    }
+
+    #[test]
+    fn traces_cover_every_move_of_every_pass() {
+        let hg = two_cliques(6, 2);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.0));
+        let fm = BipartFm::new(FmConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let initial = crate::random_initial(&hg, &fixed, &balance, 2, &mut rng).unwrap();
+        let (result, traces) = fm.run_traced(&hg, &fixed, &balance, initial).unwrap();
+        assert_eq!(traces.len(), result.stats.passes.len());
+        for (trace, stats) in traces.iter().zip(&result.stats.passes) {
+            assert_eq!(trace.cuts.len(), stats.moves_made);
+            assert_eq!(trace.cut_before, stats.cut_before);
+            // The minimum of the trajectory is the accepted cut (or the
+            // pass start if nothing improved).
+            if let Some(&min) = trace.cuts.iter().min() {
+                assert_eq!(stats.cut_after, min.min(stats.cut_before));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_best_position_fraction() {
+        let t = crate::PassTrace {
+            pass: 1,
+            cut_before: 10,
+            cuts: vec![12, 8, 9, 8],
+        };
+        // First minimum at index 1 of 4 moves.
+        assert_eq!(t.best_position_fraction(), Some(0.5));
+        let none_better = crate::PassTrace {
+            pass: 1,
+            cut_before: 5,
+            cuts: vec![7, 6],
+        };
+        assert_eq!(none_better.best_position_fraction(), Some(0.0));
+        let empty = crate::PassTrace {
+            pass: 0,
+            cut_before: 5,
+            cuts: vec![],
+        };
+        assert_eq!(empty.best_position_fraction(), None);
+    }
+
+    #[test]
+    fn weighted_nets_drive_gains() {
+        // v1 attached to v0 by weight-5 net and to v2 by weight-1 net;
+        // optimum puts v1 with v0.
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let v1 = b.add_vertex(1);
+        let v2 = b.add_vertex(1);
+        let v3 = b.add_vertex(1);
+        b.add_net(5, [v0, v1]).unwrap();
+        b.add_net(1, [v1, v2]).unwrap();
+        b.add_net(1, [v2, v3]).unwrap();
+        let hg = b.build().unwrap();
+        let fixed = FixedVertices::all_free(4);
+        let balance = BalanceConstraint::bisection(4, Tolerance::Relative(0.0));
+        let fm = BipartFm::new(FmConfig::default());
+        let result = fm
+            .run(
+                &hg,
+                &fixed,
+                &balance,
+                vec![PartId(0), PartId(1), PartId(0), PartId(1)],
+            )
+            .unwrap();
+        assert_eq!(result.cut, 1);
+        assert_eq!(result.parts[0], result.parts[1]);
+    }
+}

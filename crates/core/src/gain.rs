@@ -1,0 +1,297 @@
+//! The classic FM gain-bucket structure.
+//!
+//! An array of doubly-linked lists indexed by gain. Insertion is at the
+//! list head, so equal-gain ties are broken by most-recent insertion —
+//! exactly the LIFO discipline of LIFO-FM. The CLIP policy reuses the same
+//! structure with shifted keys.
+
+use vlsi_hypergraph::VertexId;
+
+const NONE: u32 = u32::MAX;
+
+/// A bucket array mapping gain keys to LIFO lists of vertices.
+///
+/// Keys may range over `[-key_bound, key_bound]`. All operations are O(1)
+/// except [`GainBuckets::select`], which scans downward from the current
+/// maximum (amortized O(1) across a pass in the classic FM analysis).
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::VertexId;
+/// use vlsi_partition::GainBuckets;
+///
+/// let mut gb = GainBuckets::new(4, 10);
+/// gb.insert(VertexId(0), 3);
+/// gb.insert(VertexId(1), 5);
+/// gb.insert(VertexId(2), 5); // same gain, inserted later => selected first
+/// let (v, key) = gb.select(|_| true).unwrap();
+/// assert_eq!((v, key), (VertexId(2), 5));
+/// gb.remove(VertexId(2));
+/// assert_eq!(gb.select(|_| true).unwrap().0, VertexId(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GainBuckets {
+    key_bound: i64,
+    heads: Vec<u32>,
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    key_of: Vec<i64>,
+    present: Vec<bool>,
+    max_key: i64,
+    len: usize,
+}
+
+impl GainBuckets {
+    /// Creates buckets for `num_vertices` vertices with keys in
+    /// `[-key_bound, key_bound]`.
+    pub fn new(num_vertices: usize, key_bound: i64) -> Self {
+        let span = (2 * key_bound + 1) as usize;
+        GainBuckets {
+            key_bound,
+            heads: vec![NONE; span],
+            next: vec![NONE; num_vertices],
+            prev: vec![NONE; num_vertices],
+            key_of: vec![0; num_vertices],
+            present: vec![false; num_vertices],
+            max_key: -key_bound,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(&self, key: i64) -> usize {
+        debug_assert!(
+            key.abs() <= self.key_bound,
+            "key {key} outside ±{}",
+            self.key_bound
+        );
+        (key + self.key_bound) as usize
+    }
+
+    /// Number of vertices currently in the buckets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no vertices are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `vertex` is currently in the buckets.
+    #[inline]
+    pub fn contains(&self, vertex: VertexId) -> bool {
+        self.present[vertex.index()]
+    }
+
+    /// Current key of `vertex` (meaningful only while present).
+    #[inline]
+    pub fn key(&self, vertex: VertexId) -> i64 {
+        self.key_of[vertex.index()]
+    }
+
+    /// Inserts `vertex` with the given key at the head of its bucket.
+    ///
+    /// # Panics
+    /// Panics (debug) if the vertex is already present or the key is out of
+    /// bounds.
+    pub fn insert(&mut self, vertex: VertexId, key: i64) {
+        debug_assert!(!self.present[vertex.index()], "vertex already present");
+        let b = self.bucket_index(key);
+        let old_head = self.heads[b];
+        self.next[vertex.index()] = old_head;
+        self.prev[vertex.index()] = NONE;
+        if old_head != NONE {
+            self.prev[old_head as usize] = vertex.0;
+        }
+        self.heads[b] = vertex.0;
+        self.key_of[vertex.index()] = key;
+        self.present[vertex.index()] = true;
+        self.len += 1;
+        if key > self.max_key {
+            self.max_key = key;
+        }
+    }
+
+    /// Removes `vertex` from the buckets. A no-op if absent.
+    pub fn remove(&mut self, vertex: VertexId) {
+        if !self.present[vertex.index()] {
+            return;
+        }
+        let (p, n) = (self.prev[vertex.index()], self.next[vertex.index()]);
+        if p != NONE {
+            self.next[p as usize] = n;
+        } else {
+            let b = self.bucket_index(self.key_of[vertex.index()]);
+            self.heads[b] = n;
+        }
+        if n != NONE {
+            self.prev[n as usize] = p;
+        }
+        self.present[vertex.index()] = false;
+        self.len -= 1;
+    }
+
+    /// Changes `vertex`'s key, re-inserting it at the head of the new bucket
+    /// (the classic FM update discipline). A no-op if the vertex is absent.
+    pub fn update(&mut self, vertex: VertexId, new_key: i64) {
+        if !self.present[vertex.index()] {
+            return;
+        }
+        if self.key_of[vertex.index()] == new_key {
+            return;
+        }
+        self.remove(vertex);
+        self.insert(vertex, new_key);
+    }
+
+    /// Adds `delta` to `vertex`'s key. A no-op if the vertex is absent.
+    pub fn adjust(&mut self, vertex: VertexId, delta: i64) {
+        if !self.present[vertex.index()] || delta == 0 {
+            return;
+        }
+        let k = self.key_of[vertex.index()];
+        self.update(vertex, k + delta);
+    }
+
+    /// Finds the highest-key vertex satisfying `feasible`, scanning buckets
+    /// from the current maximum downward and each bucket in LIFO order.
+    ///
+    /// Returns `None` if no present vertex is feasible.
+    pub fn select<F: FnMut(VertexId) -> bool>(&self, mut feasible: F) -> Option<(VertexId, i64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut key = self.max_key;
+        while key >= -self.key_bound {
+            let mut cur = self.heads[self.bucket_index(key)];
+            while cur != NONE {
+                let v = VertexId(cur);
+                if feasible(v) {
+                    return Some((v, key));
+                }
+                cur = self.next[cur as usize];
+            }
+            key -= 1;
+        }
+        None
+    }
+
+    /// Tightens the internal maximum-key hint (called by the FM engine after
+    /// removals to keep future selects fast).
+    pub fn decay_max(&mut self) {
+        while self.max_key > -self.key_bound && self.heads[self.bucket_index(self.max_key)] == NONE
+        {
+            self.max_key -= 1;
+        }
+    }
+
+    /// Removes all vertices (O(capacity)).
+    pub fn clear(&mut self) {
+        self.heads.fill(NONE);
+        self.present.fill(false);
+        self.max_key = -self.key_bound;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_within_bucket() {
+        let mut gb = GainBuckets::new(3, 5);
+        gb.insert(VertexId(0), 2);
+        gb.insert(VertexId(1), 2);
+        assert_eq!(gb.select(|_| true), Some((VertexId(1), 2)));
+    }
+
+    #[test]
+    fn select_skips_infeasible() {
+        let mut gb = GainBuckets::new(3, 5);
+        gb.insert(VertexId(0), 5);
+        gb.insert(VertexId(1), 3);
+        let got = gb.select(|v| v != VertexId(0));
+        assert_eq!(got, Some((VertexId(1), 3)));
+    }
+
+    #[test]
+    fn select_none_when_all_infeasible() {
+        let mut gb = GainBuckets::new(2, 5);
+        gb.insert(VertexId(0), 1);
+        assert_eq!(gb.select(|_| false), None);
+    }
+
+    #[test]
+    fn remove_middle_of_list() {
+        let mut gb = GainBuckets::new(3, 2);
+        gb.insert(VertexId(0), 0);
+        gb.insert(VertexId(1), 0);
+        gb.insert(VertexId(2), 0);
+        gb.remove(VertexId(1)); // list is 2 -> [1] -> 0
+        assert_eq!(gb.len(), 2);
+        assert_eq!(gb.select(|_| true), Some((VertexId(2), 0)));
+        gb.remove(VertexId(2));
+        assert_eq!(gb.select(|_| true), Some((VertexId(0), 0)));
+    }
+
+    #[test]
+    fn update_moves_to_new_bucket_head() {
+        let mut gb = GainBuckets::new(3, 5);
+        gb.insert(VertexId(0), 1);
+        gb.insert(VertexId(1), 4);
+        gb.update(VertexId(0), 4);
+        // v0 re-inserted at head of bucket 4
+        assert_eq!(gb.select(|_| true), Some((VertexId(0), 4)));
+    }
+
+    #[test]
+    fn adjust_applies_delta() {
+        let mut gb = GainBuckets::new(2, 10);
+        gb.insert(VertexId(0), -2);
+        gb.adjust(VertexId(0), 5);
+        assert_eq!(gb.key(VertexId(0)), 3);
+        gb.adjust(VertexId(1), 5); // absent: no-op
+        assert_eq!(gb.len(), 1);
+    }
+
+    #[test]
+    fn negative_keys_work() {
+        let mut gb = GainBuckets::new(2, 4);
+        gb.insert(VertexId(0), -4);
+        gb.insert(VertexId(1), -1);
+        assert_eq!(gb.select(|_| true), Some((VertexId(1), -1)));
+    }
+
+    #[test]
+    fn decay_and_reinsert() {
+        let mut gb = GainBuckets::new(2, 4);
+        gb.insert(VertexId(0), 4);
+        gb.remove(VertexId(0));
+        gb.decay_max();
+        gb.insert(VertexId(1), -3);
+        assert_eq!(gb.select(|_| true), Some((VertexId(1), -3)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut gb = GainBuckets::new(2, 4);
+        gb.insert(VertexId(0), 1);
+        gb.clear();
+        assert!(gb.is_empty());
+        assert!(!gb.contains(VertexId(0)));
+        assert_eq!(gb.select(|_| true), None);
+    }
+
+    #[test]
+    fn double_remove_is_noop() {
+        let mut gb = GainBuckets::new(2, 4);
+        gb.insert(VertexId(0), 1);
+        gb.remove(VertexId(0));
+        gb.remove(VertexId(0));
+        assert!(gb.is_empty());
+    }
+}

@@ -1,0 +1,710 @@
+//! Multiway (k-way) partitioning: recursive bisection plus direct k-way
+//! FM-style refinement.
+//!
+//! The paper's conclusions list "determining whether multiway partitioning
+//! is as affected by fixed terminals" as an open question; this module
+//! provides the machinery the experiment harness uses to ask it.
+
+use rand::Rng;
+
+use vlsi_hypergraph::{
+    induced_subgraph, BalanceConstraint, CutState, FixedVertices, Fixity, Hypergraph, Objective,
+    PartId, PartSet, Partitioning, VertexId,
+};
+
+use crate::config::MultilevelConfig;
+use crate::multilevel::MultilevelPartitioner;
+use crate::{PartitionError, PartitionResult};
+
+/// Partitions `hg` into `k` blocks by recursive bisection with the
+/// multilevel engine, honouring fixed vertices whose target partitions are
+/// interpreted as final k-way block indices.
+///
+/// Block index ranges are split evenly (`⌈k/2⌉` to the left); at each level
+/// the relevant vertices are extracted as an induced subgraph, fixities are
+/// projected onto the two sides, and the bisection balance targets are
+/// scaled by the number of blocks on each side.
+///
+/// # Errors
+/// * [`PartitionError::UnsupportedPartCount`] if `k` is 0 or exceeds 64.
+/// * [`PartitionError::InfeasibleInstance`] if a fixity names a partition
+///   `≥ k` or a sub-bisection cannot be balanced.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use vlsi_hypergraph::{FixedVertices, HypergraphBuilder};
+/// use vlsi_partition::kway::recursive_bisection;
+/// use vlsi_partition::MultilevelConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..16).map(|_| b.add_vertex(1)).collect();
+/// for w in v.windows(2) {
+///     b.add_net(1, [w[0], w[1]])?;
+/// }
+/// let hg = b.build()?;
+/// let fixed = FixedVertices::all_free(16);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let r = recursive_bisection(&hg, &fixed, 4, 0.1, &MultilevelConfig::default(), &mut rng)?;
+/// assert_eq!(r.parts.len(), 16);
+/// assert!(r.parts.iter().all(|p| p.0 < 4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn recursive_bisection<R: Rng + ?Sized>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    k: usize,
+    tolerance: f64,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+) -> Result<PartitionResult, PartitionError> {
+    if k == 0 || k > PartSet::MAX_PARTS {
+        return Err(PartitionError::UnsupportedPartCount {
+            requested: k,
+            supported: PartSet::MAX_PARTS,
+        });
+    }
+    for v in hg.vertices() {
+        let bad = match fixed.fixity(v) {
+            Fixity::Free => false,
+            Fixity::Fixed(p) => p.index() >= k,
+            Fixity::FixedAny(s) => s.iter().all(|p| p.index() >= k),
+        };
+        if bad {
+            return Err(PartitionError::InfeasibleInstance {
+                vertex: Some(v),
+                detail: format!("fixity names a partition outside 0..{k}"),
+            });
+        }
+    }
+
+    let mut parts = vec![PartId(0); hg.num_vertices()];
+    let active: Vec<VertexId> = hg.vertices().collect();
+    rb_recurse(
+        hg, fixed, &active, 0, k, tolerance, ml_config, rng, &mut parts,
+    )?;
+    let cut = CutState::new(hg, k.max(1), &parts).cut();
+    Ok(PartitionResult::new(parts, cut))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rb_recurse<R: Rng + ?Sized>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    active: &[VertexId],
+    lo: usize,
+    hi: usize,
+    tolerance: f64,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+    parts: &mut [PartId],
+) -> Result<(), PartitionError> {
+    debug_assert!(lo < hi);
+    if hi - lo == 1 {
+        for &v in active {
+            parts[v.index()] = PartId::from_index(lo);
+        }
+        return Ok(());
+    }
+    let mid = lo + (hi - lo).div_ceil(2);
+
+    // Extract the sub-instance over the active vertices.
+    let mut in_active = vec![false; hg.num_vertices()];
+    for &v in active {
+        in_active[v.index()] = true;
+    }
+    let sub = induced_subgraph(hg, 2, |v| in_active[v.index()]);
+
+    // Project fixities onto the two sides of this bisection.
+    let side_of = |p: PartId| -> Option<PartId> {
+        let i = p.index();
+        if i >= lo && i < mid {
+            Some(PartId(0))
+        } else if i >= mid && i < hi {
+            Some(PartId(1))
+        } else {
+            None
+        }
+    };
+    let mut sub_fixities = Vec::with_capacity(sub.hg.num_vertices());
+    for &pv in &sub.to_parent {
+        let f = match fixed.fixity(pv) {
+            Fixity::Free => Fixity::Free,
+            Fixity::Fixed(p) => match side_of(p) {
+                Some(s) => Fixity::Fixed(s),
+                None => {
+                    return Err(PartitionError::InfeasibleInstance {
+                        vertex: Some(pv),
+                        detail: format!("fixed partition {p} outside active range {lo}..{hi}"),
+                    })
+                }
+            },
+            Fixity::FixedAny(set) => {
+                let mut sides = PartSet::new();
+                for p in set.iter() {
+                    if let Some(s) = side_of(p) {
+                        sides.insert(s);
+                    }
+                }
+                match sides.len() {
+                    0 => {
+                        return Err(PartitionError::InfeasibleInstance {
+                            vertex: Some(pv),
+                            detail: "no allowed partition inside the active range".to_string(),
+                        })
+                    }
+                    1 => Fixity::Fixed(sides.iter().next().expect("len 1")),
+                    _ => Fixity::FixedAny(sides),
+                }
+            }
+        };
+        sub_fixities.push(f);
+    }
+    let sub_fixed = FixedVertices::from_fixities(sub_fixities);
+
+    // Balance: side capacities proportional to the number of blocks. The
+    // slack must admit the heaviest cell (macro cells would otherwise make
+    // deep sub-bisections infeasible).
+    let nr = sub.hg.num_resources();
+    let blocks = (hi - lo) as f64;
+    let frac_left = (mid - lo) as f64 / blocks;
+    let wmax: Vec<u64> = (0..nr)
+        .map(|r| {
+            sub.hg
+                .vertices()
+                .map(|v| sub.hg.vertex_weights(v)[r])
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut min = Vec::with_capacity(2 * nr);
+    let mut max = Vec::with_capacity(2 * nr);
+    for side in 0..2 {
+        let frac = if side == 0 {
+            frac_left
+        } else {
+            1.0 - frac_left
+        };
+        for (r, &wm) in wmax.iter().enumerate() {
+            let target = sub.hg.total_weights()[r] as f64 * frac;
+            let slack = (target * tolerance).max(wm as f64);
+            min.push((target - slack).ceil().max(0.0) as u64);
+            max.push((target + slack).floor() as u64);
+        }
+    }
+    // Guarantee feasibility of the pair of maxima.
+    for r in 0..nr {
+        let total = sub.hg.total_weights()[r];
+        while max[r] + max[nr + r] < total {
+            max[r] += 1;
+            max[nr + r] += 1;
+        }
+    }
+    let balance = BalanceConstraint::explicit(2, nr, min, max)?;
+
+    let ml = MultilevelPartitioner::new(*ml_config);
+    let result = ml.run(&sub.hg, &sub_fixed, &balance, rng)?;
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (sv, &pv) in sub.to_parent.iter().enumerate() {
+        if result.parts[sv] == PartId(0) {
+            left.push(pv);
+        } else {
+            right.push(pv);
+        }
+    }
+    rb_recurse(hg, fixed, &left, lo, mid, tolerance, ml_config, rng, parts)?;
+    rb_recurse(hg, fixed, &right, mid, hi, tolerance, ml_config, rng, parts)?;
+    Ok(())
+}
+
+/// Exact objective delta of moving `v` from its current part to `to`
+/// (positive = improvement).
+fn move_gain(
+    hg: &Hypergraph,
+    p: &Partitioning,
+    v: VertexId,
+    to: PartId,
+    objective: Objective,
+) -> i64 {
+    let from = p.part_of(v);
+    if from == to {
+        return 0;
+    }
+    let cs = p.cut_state();
+    let mut gain = 0i64;
+    for &n in hg.vertex_nets(v) {
+        let w = hg.net_weight(n) as i64;
+        let size = hg.net_size(n) as u32;
+        let in_from = cs.pins_in(n, from);
+        let in_to = cs.pins_in(n, to);
+        match objective {
+            Objective::Cut => {
+                // Net becomes uncut iff all pins except v are already in `to`.
+                if in_to == size - 1 && cs.span(n) >= 2 {
+                    gain += w;
+                }
+                // Net becomes cut iff it was entirely in `from` and |n| > 1.
+                if in_from == size && size > 1 {
+                    gain -= w;
+                }
+            }
+            Objective::KMinus1 | Objective::Soed => {
+                if in_from == 1 {
+                    gain += w;
+                }
+                if in_to == 0 {
+                    gain -= w;
+                }
+                if objective == Objective::Soed {
+                    // SOED additionally pays the cut term.
+                    if in_to == size - 1 && cs.span(n) >= 2 {
+                        gain += w;
+                    }
+                    if in_from == size && size > 1 {
+                        gain -= w;
+                    }
+                }
+            }
+        }
+    }
+    gain
+}
+
+/// One greedy k-way refinement pass over all movable vertices: repeatedly
+/// applies the best feasible single-vertex move, each vertex at most once,
+/// then restores the best balanced prefix. Returns the refined assignment
+/// and its objective value.
+///
+/// The selection uses a max-heap with lazy invalidation: a popped
+/// candidate is re-evaluated against the current state and pushed back if
+/// its gain dropped, so each move costs O(neighbourhood · k · log n)
+/// instead of a full O(n·k) rescan.
+///
+/// # Errors
+/// Returns [`PartitionError::Input`] if `initial` is inconsistent with `hg`
+/// or violates a fixity.
+pub fn refine_pass(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    objective: Objective,
+) -> Result<PartitionResult, PartitionError> {
+    use std::collections::BinaryHeap;
+
+    let k = balance.num_parts();
+    let mut p = Partitioning::from_parts_fixed(hg, k, initial, fixed)?;
+    let nr = hg.num_resources();
+
+    let mut relax = vec![0u64; nr];
+    for v in hg.vertices() {
+        if !fixed.fixity(v).is_immovable() {
+            for (r, &w) in hg.vertex_weights(v).iter().enumerate() {
+                relax[r] = relax[r].max(w);
+            }
+        }
+    }
+
+    // Best feasible move of a single vertex under the current state.
+    let best_move_of = |p: &Partitioning, v: VertexId| -> Option<(i64, PartId)> {
+        let from = p.part_of(v);
+        let ws = hg.vertex_weights(v);
+        let mut best: Option<(i64, PartId)> = None;
+        for t in 0..k {
+            let to = PartId::from_index(t);
+            if to == from || !fixed.fixity(v).allows(to) {
+                continue;
+            }
+            let feasible =
+                (0..nr).all(|r| p.loads()[t * nr + r] + ws[r] <= balance.max(to, r) + relax[r]);
+            if !feasible {
+                continue;
+            }
+            let g = move_gain(hg, p, v, to, objective);
+            if best.map(|(bg, _)| g > bg).unwrap_or(true) {
+                best = Some((g, to));
+            }
+        }
+        best
+    };
+
+    let mut locked = vec![false; hg.num_vertices()];
+    let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
+    for v in hg.vertices() {
+        if fixed.fixity(v).is_immovable() {
+            continue;
+        }
+        if let Some((g, _)) = best_move_of(&p, v) {
+            heap.push((g, v.0));
+        }
+    }
+
+    let mut log: Vec<(VertexId, PartId)> = Vec::new();
+    let mut best_val = p.cut_value(objective);
+    let mut best_len = 0usize;
+
+    while let Some((stale_gain, raw)) = heap.pop() {
+        let v = VertexId(raw);
+        if locked[v.index()] {
+            continue;
+        }
+        // Lazy re-validation: the stored gain may be stale.
+        let Some((gain, to)) = best_move_of(&p, v) else {
+            continue; // no feasible move right now; drop the candidate
+        };
+        if gain < stale_gain {
+            // Gain dropped since the push; re-queue at its true priority.
+            heap.push((gain, raw));
+            continue;
+        }
+        let before = p.cut_value(objective) as i64;
+        let from = p.move_vertex(hg, v, to);
+        locked[v.index()] = true;
+        log.push((v, from));
+        let val = p.cut_value(objective);
+        debug_assert_eq!(before - gain, val as i64, "gain mispredicted for {v}");
+        if balance.is_satisfied(p.loads()) && val < best_val {
+            best_val = val;
+            best_len = log.len();
+        }
+        // Refresh the neighbourhood whose gains the move may have changed.
+        for &n in hg.vertex_nets(v) {
+            for &u in hg.net_pins(n) {
+                if u != v && !locked[u.index()] && !fixed.fixity(u).is_immovable() {
+                    if let Some((g, _)) = best_move_of(&p, u) {
+                        heap.push((g, u.0));
+                    }
+                }
+            }
+        }
+    }
+    for &(v, from) in log[best_len..].iter().rev() {
+        p.move_vertex(hg, v, from);
+    }
+    let cut = p.cut_value(objective);
+    Ok(PartitionResult::new(p.into_parts(), cut))
+}
+
+/// Direct k-way multilevel partitioning: coarsen with the fixity-aware
+/// heavy-edge matcher, solve the coarsest instance by recursive bisection,
+/// then project and refine with [`refine`] at every level.
+///
+/// Compared to plain [`recursive_bisection`], the k-way refinement at the
+/// finer levels can move vertices between *any* pair of blocks, repairing
+/// decisions the bisection hierarchy locked in.
+///
+/// # Errors
+/// Propagates the component engines' failures.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use vlsi_hypergraph::{FixedVertices, HypergraphBuilder};
+/// use vlsi_partition::kway::multilevel_kway;
+/// use vlsi_partition::MultilevelConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..32).map(|_| b.add_vertex(1)).collect();
+/// for w in v.windows(2) {
+///     b.add_net(1, [w[0], w[1]])?;
+/// }
+/// let hg = b.build()?;
+/// let fixed = FixedVertices::all_free(32);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+/// let cfg = MultilevelConfig { coarsest_size: 8, ..MultilevelConfig::default() };
+/// let r = multilevel_kway(&hg, &fixed, 4, 0.1, &cfg, &mut rng)?;
+/// assert_eq!(r.cut, 3); // a chain 4-sects with three cut nets
+/// # Ok(())
+/// # }
+/// ```
+pub fn multilevel_kway<R: Rng + ?Sized>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    k: usize,
+    tolerance: f64,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+) -> Result<PartitionResult, PartitionError> {
+    use crate::multilevel::{coarsen_once, CoarsenParams, Level};
+
+    if k == 0 || k > PartSet::MAX_PARTS {
+        return Err(PartitionError::UnsupportedPartCount {
+            requested: k,
+            supported: PartSet::MAX_PARTS,
+        });
+    }
+    let balance = BalanceConstraint::even(
+        k,
+        hg.total_weights(),
+        vlsi_hypergraph::Tolerance::Relative(tolerance),
+    );
+    let params = CoarsenParams {
+        max_cluster_weight: ((hg.total_weight() as f64) * ml_config.max_cluster_fraction
+            / (k as f64 / 2.0))
+            .ceil()
+            .max(1.0) as u64,
+        max_net_size_for_matching: 64,
+        max_fixed_part_weight: (0..k)
+            .map(|p| balance.max(PartId::from_index(p), 0))
+            .collect(),
+        allow_free_fixed_merge: false,
+    };
+
+    let mut levels: Vec<Level> = Vec::new();
+    loop {
+        let (cur_hg, cur_fixed) = match levels.last() {
+            Some(l) => (&l.hg, &l.fixed),
+            None => (hg, fixed),
+        };
+        if cur_hg.num_vertices() <= ml_config.coarsest_size.max(4 * k) {
+            break;
+        }
+        match coarsen_once(cur_hg, cur_fixed, &params, ml_config.min_shrink, None, rng) {
+            Some(level) => levels.push(level),
+            None => break,
+        }
+    }
+
+    let (coarsest_hg, coarsest_fixed) = match levels.last() {
+        Some(l) => (&l.hg, &l.fixed),
+        None => (hg, fixed),
+    };
+    let initial = recursive_bisection(coarsest_hg, coarsest_fixed, k, tolerance, ml_config, rng)?;
+    let coarse_balance = BalanceConstraint::even(
+        k,
+        coarsest_hg.total_weights(),
+        vlsi_hypergraph::Tolerance::Relative(tolerance),
+    );
+    let r = refine(
+        coarsest_hg,
+        coarsest_fixed,
+        &coarse_balance,
+        initial.parts,
+        Objective::Cut,
+        4,
+    )?;
+    let mut parts = r.parts;
+    for i in (0..levels.len()).rev() {
+        let fine_parts = levels[i].project(&parts);
+        let (fine_hg, fine_fixed) = if i == 0 {
+            (hg, fixed)
+        } else {
+            (&levels[i - 1].hg, &levels[i - 1].fixed)
+        };
+        let fine_balance = BalanceConstraint::even(
+            k,
+            fine_hg.total_weights(),
+            vlsi_hypergraph::Tolerance::Relative(tolerance),
+        );
+        let r = refine(
+            fine_hg,
+            fine_fixed,
+            &fine_balance,
+            fine_parts,
+            Objective::Cut,
+            4,
+        )?;
+        parts = r.parts;
+    }
+    let cut = CutState::new(hg, k, &parts).cut();
+    Ok(PartitionResult::new(parts, cut))
+}
+
+/// Runs [`refine_pass`] repeatedly until a pass stops improving (at most
+/// `max_passes`).
+///
+/// # Errors
+/// Propagates [`refine_pass`] errors.
+pub fn refine(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    mut parts: Vec<PartId>,
+    objective: Objective,
+    max_passes: usize,
+) -> Result<PartitionResult, PartitionError> {
+    let mut best = CutState::new(hg, balance.num_parts(), &parts).value(objective);
+    for _ in 0..max_passes {
+        let r = refine_pass(hg, fixed, balance, parts.clone(), objective)?;
+        if r.cut < best {
+            best = r.cut;
+            parts = r.parts;
+        } else {
+            break;
+        }
+    }
+    Ok(PartitionResult::new(parts, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vlsi_hypergraph::{HypergraphBuilder, Tolerance};
+
+    /// `c` cliques of size `s`, chained by single bridge nets.
+    fn cliques(c: usize, s: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..c * s).map(|_| b.add_vertex(1)).collect();
+        for g in 0..c {
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    b.add_net(1, [v[g * s + i], v[g * s + j]]).unwrap();
+                }
+            }
+        }
+        for g in 1..c {
+            b.add_net(1, [v[(g - 1) * s], v[g * s]]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn four_way_rb_on_four_cliques() {
+        let hg = cliques(4, 5);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let cfg = MultilevelConfig {
+            coarsest_size: 10,
+            ..MultilevelConfig::default()
+        };
+        let r = recursive_bisection(&hg, &fixed, 4, 0.1, &cfg, &mut rng).unwrap();
+        assert_eq!(r.cut, 3, "only the three bridges should be cut");
+        // Each clique lands in exactly one block.
+        for g in 0..4 {
+            let p0 = r.parts[g * 5];
+            for i in 1..5 {
+                assert_eq!(r.parts[g * 5 + i], p0);
+            }
+        }
+    }
+
+    #[test]
+    fn rb_respects_kway_fixities() {
+        let hg = cliques(4, 4);
+        let mut fixed = FixedVertices::all_free(hg.num_vertices());
+        fixed.fix(VertexId(0), PartId(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let cfg = MultilevelConfig {
+            coarsest_size: 8,
+            ..MultilevelConfig::default()
+        };
+        let r = recursive_bisection(&hg, &fixed, 4, 0.2, &cfg, &mut rng).unwrap();
+        assert_eq!(r.parts[0], PartId(3));
+    }
+
+    #[test]
+    fn rb_k1_puts_everything_in_part0() {
+        let hg = cliques(2, 3);
+        let fixed = FixedVertices::all_free(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let r = recursive_bisection(&hg, &fixed, 1, 0.1, &MultilevelConfig::default(), &mut rng)
+            .unwrap();
+        assert!(r.parts.iter().all(|&p| p == PartId(0)));
+        assert_eq!(r.cut, 0);
+    }
+
+    #[test]
+    fn rb_rejects_bad_k() {
+        let hg = cliques(1, 3);
+        let fixed = FixedVertices::all_free(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(matches!(
+            recursive_bisection(&hg, &fixed, 0, 0.1, &MultilevelConfig::default(), &mut rng),
+            Err(PartitionError::UnsupportedPartCount { .. })
+        ));
+        let mut fixed = FixedVertices::all_free(3);
+        fixed.fix(VertexId(0), PartId(7));
+        assert!(matches!(
+            recursive_bisection(&hg, &fixed, 2, 0.1, &MultilevelConfig::default(), &mut rng),
+            Err(PartitionError::InfeasibleInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn move_gain_matches_actual_delta() {
+        let hg = cliques(2, 4);
+        let parts: Vec<PartId> = (0..8).map(|i| PartId(i / 4)).collect();
+        let p = Partitioning::from_parts(&hg, 2, parts.clone()).unwrap();
+        for v in hg.vertices() {
+            for t in 0..2 {
+                let to = PartId(t);
+                if to == p.part_of(v) {
+                    continue;
+                }
+                for obj in [Objective::Cut, Objective::KMinus1, Objective::Soed] {
+                    let g = move_gain(&hg, &p, v, to, obj);
+                    let mut q = p.clone();
+                    let before = q.cut_value(obj) as i64;
+                    q.move_vertex(&hg, v, to);
+                    let after = q.cut_value(obj) as i64;
+                    assert_eq!(before - after, g, "{v} -> {to} under {obj}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_improves_a_bad_assignment() {
+        let hg = cliques(2, 5);
+        let fixed = FixedVertices::all_free(10);
+        let balance = BalanceConstraint::bisection(10, Tolerance::Relative(0.0));
+        // Interleave cliques: terrible initial cut.
+        let initial: Vec<PartId> = (0..10).map(|i| PartId(i % 2)).collect();
+        let r = refine(&hg, &fixed, &balance, initial, Objective::Cut, 10).unwrap();
+        assert_eq!(r.cut, 1);
+    }
+
+    #[test]
+    fn multilevel_kway_finds_clique_structure() {
+        let hg = cliques(4, 6);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let cfg = MultilevelConfig {
+            coarsest_size: 8,
+            ..MultilevelConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let r = multilevel_kway(&hg, &fixed, 4, 0.05, &cfg, &mut rng).unwrap();
+        assert_eq!(r.cut, 3, "only the three bridges should be cut");
+        for t in 0..4 {
+            assert_eq!(r.parts.iter().filter(|p| p.0 == t).count(), 6);
+        }
+    }
+
+    #[test]
+    fn multilevel_kway_honours_fixities() {
+        let hg = cliques(4, 5);
+        let mut fixed = FixedVertices::all_free(hg.num_vertices());
+        fixed.fix(VertexId(0), PartId(2));
+        let cfg = MultilevelConfig {
+            coarsest_size: 8,
+            ..MultilevelConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let r = multilevel_kway(&hg, &fixed, 4, 0.2, &cfg, &mut rng).unwrap();
+        assert_eq!(r.parts[0], PartId(2));
+    }
+
+    #[test]
+    fn refine_multiway_with_fixed() {
+        let hg = cliques(3, 4);
+        let mut fixed = FixedVertices::all_free(12);
+        fixed.fix(VertexId(0), PartId(2));
+        let balance = BalanceConstraint::even(3, &[12], Tolerance::Relative(0.0));
+        let initial: Vec<PartId> = (0..12)
+            .map(|i| if i == 0 { PartId(2) } else { PartId(i % 3) })
+            .collect();
+        let r = refine(&hg, &fixed, &balance, initial, Objective::KMinus1, 10).unwrap();
+        assert_eq!(r.parts[0], PartId(2));
+        // Every part must hold exactly 4 vertices under zero tolerance.
+        for t in 0..3 {
+            assert_eq!(r.parts.iter().filter(|p| p.0 == t).count(), 4);
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Heavy-edge-matching coarsening with fixity-aware cluster merging.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use vlsi_hypergraph::{FixedVertices, Fixity, Hypergraph, HypergraphBuilder, PartId, VertexId};
+
+/// One coarsening level: the coarse hypergraph, its fixities, and the map
+/// from fine vertex to coarse vertex.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The coarse hypergraph.
+    pub hg: Hypergraph,
+    /// Fixities of the coarse vertices (merged from the fine fixities).
+    pub fixed: FixedVertices,
+    /// `map[fine_vertex] = coarse_vertex`.
+    pub map: Vec<VertexId>,
+}
+
+impl Level {
+    /// Projects a coarse partition assignment back to the fine vertex set.
+    pub fn project(&self, coarse_parts: &[PartId]) -> Vec<PartId> {
+        self.map.iter().map(|m| coarse_parts[m.index()]).collect()
+    }
+}
+
+/// Tuning knobs for one coarsening step.
+#[derive(Debug, Clone)]
+pub struct CoarsenParams {
+    /// Maximum primary weight of a cluster.
+    pub max_cluster_weight: u64,
+    /// Nets larger than this are ignored when scoring matches (they carry
+    /// almost no signal and make matching quadratic).
+    pub max_net_size_for_matching: usize,
+    /// Per-partition cap on the total primary weight of vertices whose
+    /// cluster ends up `Fixed` in that partition. Without this cap, free
+    /// vertices merging into fixed clusters could make a partition's fixed
+    /// weight alone exceed its balance capacity, rendering the coarse
+    /// instance infeasible. Empty = unlimited.
+    pub max_fixed_part_weight: Vec<u64>,
+    /// When `false` (the default used by the multilevel engine), a free
+    /// vertex never merges with a fixed one: gluing free cells onto
+    /// terminals at coarse levels pre-decides their side before refinement
+    /// can judge, which measurably degrades cut quality in the
+    /// fixed-terminals regime. Fixed–fixed merges within one partition are
+    /// always allowed (the terminal-clustering equivalence).
+    pub allow_free_fixed_merge: bool,
+}
+
+/// Merges two fixities; `None` when the vertices may not share a cluster.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::{Fixity, PartId, PartSet};
+/// use vlsi_partition::multilevel::merge_fixity;
+///
+/// assert_eq!(
+///     merge_fixity(Fixity::Free, Fixity::Fixed(PartId(1))),
+///     Some(Fixity::Fixed(PartId(1)))
+/// );
+/// assert_eq!(
+///     merge_fixity(Fixity::Fixed(PartId(0)), Fixity::Fixed(PartId(1))),
+///     None
+/// );
+/// let s01 = PartSet::all(2);
+/// assert_eq!(
+///     merge_fixity(Fixity::FixedAny(s01), Fixity::Fixed(PartId(1))),
+///     Some(Fixity::Fixed(PartId(1)))
+/// );
+/// ```
+pub fn merge_fixity(a: Fixity, b: Fixity) -> Option<Fixity> {
+    use Fixity::*;
+    match (a, b) {
+        (Free, x) | (x, Free) => Some(x),
+        (Fixed(p), Fixed(q)) => (p == q).then_some(Fixed(p)),
+        (Fixed(p), FixedAny(s)) | (FixedAny(s), Fixed(p)) => s.contains(p).then_some(Fixed(p)),
+        (FixedAny(s), FixedAny(t)) => {
+            let i = s.intersection(t);
+            match i.len() {
+                0 => None,
+                1 => Some(Fixed(i.iter().next().expect("len 1"))),
+                _ => Some(FixedAny(i)),
+            }
+        }
+    }
+}
+
+/// Performs one heavy-edge-matching coarsening step.
+///
+/// Vertices are visited in random order; each unmatched vertex is paired
+/// with the unmatched neighbour maximising the standard hypergraph
+/// heavy-edge score `Σ w(n) / (|n| − 1)` over shared nets, subject to the
+/// cluster-weight cap and fixity compatibility. When `same_part` is given
+/// (V-cycling), only vertices currently in the same partition may merge.
+///
+/// Returns `None` if matching failed to shrink the graph below
+/// `min_shrink × |V|` (a stall).
+pub fn coarsen_once<R: Rng + ?Sized>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    params: &CoarsenParams,
+    min_shrink: f64,
+    same_part: Option<&[PartId]>,
+    rng: &mut R,
+) -> Option<Level> {
+    let n = hg.num_vertices();
+    let mut order: Vec<VertexId> = hg.vertices().collect();
+    order.shuffle(rng);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut partner = vec![UNMATCHED; n];
+    let mut num_clusters = 0usize;
+    let mut cluster_of = vec![UNMATCHED; n];
+
+    // Running total of weight fixed into each partition (seeded by the
+    // vertices that are already Fixed).
+    let budget = &params.max_fixed_part_weight;
+    let mut fixed_weight: Vec<u64> = vec![0; budget.len()];
+    if !budget.is_empty() {
+        for v in hg.vertices() {
+            if let Fixity::Fixed(p) = fixed.fixity(v) {
+                if p.index() < fixed_weight.len() {
+                    fixed_weight[p.index()] += hg.vertex_weight(v);
+                }
+            }
+        }
+    }
+
+    // Pre-pass: vertices fixed in the same partition are interchangeable to
+    // every downstream engine (they can never move), so group them into
+    // clusters up to the weight cap — the paper's terminal-clustering
+    // equivalence, applied per level. This keeps coarsening shrinking even
+    // when half the graph is terminals. (Skipped in the free-fixed-merge
+    // ablation mode, where fixed vertices stay available for matching.)
+    if !params.allow_free_fixed_merge {
+        let mut bin_cluster: HashMap<u32, (u32, u64)> = HashMap::new(); // part -> (cluster, weight)
+        for &v in &order {
+            let Fixity::Fixed(p) = fixed.fixity(v) else {
+                continue;
+            };
+            let w = hg.vertex_weight(v);
+            match bin_cluster.get_mut(&p.0) {
+                Some((cluster, bw)) if *bw + w <= params.max_cluster_weight => {
+                    cluster_of[v.index()] = *cluster;
+                    partner[v.index()] = v.0;
+                    *bw += w;
+                }
+                _ => {
+                    let cluster = num_clusters as u32;
+                    num_clusters += 1;
+                    cluster_of[v.index()] = cluster;
+                    partner[v.index()] = v.0;
+                    bin_cluster.insert(p.0, (cluster, w));
+                }
+            }
+        }
+    }
+
+    let mut scores: HashMap<u32, f64> = HashMap::new();
+    for &v in &order {
+        if partner[v.index()] != UNMATCHED {
+            continue;
+        }
+        scores.clear();
+        for &net in hg.vertex_nets(v) {
+            let size = hg.net_size(net);
+            if size < 2 || size > params.max_net_size_for_matching {
+                continue;
+            }
+            let s = hg.net_weight(net) as f64 / (size as f64 - 1.0);
+            for &u in hg.net_pins(net) {
+                if u != v && partner[u.index()] == UNMATCHED {
+                    *scores.entry(u.0).or_insert(0.0) += s;
+                }
+            }
+        }
+        let vw = hg.vertex_weight(v);
+        let vfix = fixed.fixity(v);
+        let mut best: Option<(f64, VertexId)> = None;
+        for (&u_raw, &score) in &scores {
+            let u = VertexId(u_raw);
+            if vw + hg.vertex_weight(u) > params.max_cluster_weight {
+                continue;
+            }
+            let ufix = fixed.fixity(u);
+            if !params.allow_free_fixed_merge && vfix.is_fixed() != ufix.is_fixed() {
+                continue;
+            }
+            let Some(merged) = merge_fixity(vfix, ufix) else {
+                continue;
+            };
+            if let Fixity::Fixed(p) = merged {
+                if p.index() < fixed_weight.len() {
+                    let added = fixed_delta(vfix, p, vw)
+                        + fixed_delta(fixed.fixity(u), p, hg.vertex_weight(u));
+                    if fixed_weight[p.index()] + added > budget[p.index()] {
+                        continue;
+                    }
+                }
+            }
+            if let Some(parts) = same_part {
+                if parts[v.index()] != parts[u.index()] {
+                    continue;
+                }
+            }
+            match best {
+                Some((bs, bu)) if (bs, bu.0) >= (score, u.0) => {}
+                _ => best = Some((score, u)),
+            }
+        }
+        if let Some((_, u)) = best {
+            if let Some(Fixity::Fixed(p)) = merge_fixity(vfix, fixed.fixity(u)) {
+                if p.index() < fixed_weight.len() {
+                    fixed_weight[p.index()] += fixed_delta(vfix, p, vw)
+                        + fixed_delta(fixed.fixity(u), p, hg.vertex_weight(u));
+                }
+            }
+            partner[v.index()] = u.0;
+            partner[u.index()] = v.0;
+            cluster_of[v.index()] = num_clusters as u32;
+            cluster_of[u.index()] = num_clusters as u32;
+            num_clusters += 1;
+        } else {
+            partner[v.index()] = v.0; // matched with itself
+            cluster_of[v.index()] = num_clusters as u32;
+            num_clusters += 1;
+        }
+    }
+
+    if (num_clusters as f64) > min_shrink * n as f64 {
+        return None;
+    }
+
+    // Build the coarse hypergraph.
+    let nr = hg.num_resources();
+    let mut weights = vec![0u64; num_clusters * nr];
+    let mut fixities = vec![Fixity::Free; num_clusters];
+    for v in hg.vertices() {
+        let c = cluster_of[v.index()] as usize;
+        for (r, &w) in hg.vertex_weights(v).iter().enumerate() {
+            weights[c * nr + r] += w;
+        }
+        fixities[c] = merge_fixity(fixities[c], fixed.fixity(v))
+            .expect("matching produced incompatible fixities");
+    }
+
+    let mut builder = HypergraphBuilder::with_resources(nr);
+    for c in 0..num_clusters {
+        builder
+            .add_vertex_multi(&weights[c * nr..(c + 1) * nr])
+            .expect("arity matches");
+    }
+
+    // Map, dedup and merge nets: identical coarse pin sets sum weights.
+    let mut net_index: HashMap<Vec<u32>, u64> = HashMap::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    for net in hg.nets() {
+        scratch.clear();
+        scratch.extend(hg.net_pins(net).iter().map(|&p| cluster_of[p.index()]));
+        scratch.sort_unstable();
+        scratch.dedup();
+        if scratch.len() < 2 {
+            continue; // internal to one cluster: can never be cut
+        }
+        *net_index.entry(scratch.clone()).or_insert(0) += hg.net_weight(net);
+    }
+    let mut merged: Vec<(Vec<u32>, u64)> = net_index.into_iter().collect();
+    merged.sort_unstable(); // deterministic net order regardless of hash state
+    for (pins, w) in merged {
+        builder
+            .add_net(w, pins.into_iter().map(VertexId))
+            .expect("valid coarse net");
+    }
+
+    Some(Level {
+        hg: builder.build().expect("valid coarse hypergraph"),
+        fixed: FixedVertices::from_fixities(fixities),
+        map: cluster_of.into_iter().map(VertexId).collect(),
+    })
+}
+
+/// Weight newly counted toward partition `p`'s fixed pool when a vertex
+/// with fixity `f` and weight `w` joins a `Fixed(p)` cluster.
+fn fixed_delta(f: Fixity, p: PartId, w: u64) -> u64 {
+    if f == Fixity::Fixed(p) {
+        0 // already counted in the seed total
+    } else {
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vlsi_hypergraph::PartSet;
+
+    fn params() -> CoarsenParams {
+        CoarsenParams {
+            max_cluster_weight: u64::MAX,
+            max_net_size_for_matching: 64,
+            max_fixed_part_weight: Vec::new(),
+            allow_free_fixed_merge: false,
+        }
+    }
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..n).map(|_| b.add_vertex(1)).collect();
+        for w in v.windows(2) {
+            b.add_net(1, [w[0], w[1]]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn halves_a_chain() {
+        let hg = chain(16);
+        let fx = FixedVertices::all_free(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let level = coarsen_once(&hg, &fx, &params(), 0.95, None, &mut rng).unwrap();
+        assert!(level.hg.num_vertices() <= 12);
+        assert_eq!(level.hg.total_weight(), 16);
+        assert_eq!(level.map.len(), 16);
+    }
+
+    #[test]
+    fn fully_fixed_graph_collapses_to_terminal_clusters() {
+        let hg = chain(8);
+        let mut fx = FixedVertices::all_free(8);
+        for i in 0..8 {
+            fx.fix(VertexId(i), PartId(i % 2));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // No adjacent pair shares a part, but same-part fixed vertices are
+        // interchangeable, so the pre-pass groups them: two clusters.
+        let level = coarsen_once(&hg, &fx, &params(), 0.95, None, &mut rng).unwrap();
+        assert_eq!(level.hg.num_vertices(), 2);
+        for v in level.hg.vertices() {
+            assert!(level.fixed.fixity(v).is_fixed());
+        }
+        // The cross nets between the two clusters merge into one weighted net.
+        assert_eq!(level.hg.num_nets(), 1);
+        assert_eq!(level.hg.net_weight(vlsi_hypergraph::NetId(0)), 7);
+    }
+
+    #[test]
+    fn incompatible_fixities_never_merge_in_ablation_mode() {
+        let hg = chain(8);
+        let mut fx = FixedVertices::all_free(8);
+        for i in 0..8 {
+            fx.fix(VertexId(i), PartId(i % 2));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // With the pre-pass disabled, adjacent vertices alternate parts and
+        // no pair can merge => stall.
+        let p = CoarsenParams {
+            allow_free_fixed_merge: true,
+            ..params()
+        };
+        let level = coarsen_once(&hg, &fx, &p, 0.95, None, &mut rng);
+        assert!(level.is_none());
+    }
+
+    #[test]
+    fn fixity_carried_into_cluster() {
+        let hg = chain(4);
+        let mut fx = FixedVertices::all_free(4);
+        fx.fix(VertexId(0), PartId(1));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let level = coarsen_once(&hg, &fx, &params(), 1.0, None, &mut rng).unwrap();
+        let c = level.map[0];
+        assert_eq!(level.fixed.fixity(c), Fixity::Fixed(PartId(1)));
+    }
+
+    #[test]
+    fn cluster_weight_cap_respected() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(3)).collect();
+        for w in v.windows(2) {
+            b.add_net(1, [w[0], w[1]]).unwrap();
+        }
+        let hg = b.build().unwrap();
+        let fx = FixedVertices::all_free(4);
+        let p = CoarsenParams {
+            max_cluster_weight: 5, // no pair fits (3 + 3 = 6)
+            max_net_size_for_matching: 64,
+            max_fixed_part_weight: Vec::new(),
+            allow_free_fixed_merge: false,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(coarsen_once(&hg, &fx, &p, 0.95, None, &mut rng).is_none());
+    }
+
+    #[test]
+    fn same_part_restriction() {
+        let hg = chain(8);
+        let fx = FixedVertices::all_free(8);
+        let parts: Vec<PartId> = (0..8).map(|i| PartId(i % 2)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Alternating parts on a chain: no adjacent pair shares a part.
+        assert!(coarsen_once(&hg, &fx, &params(), 0.95, Some(&parts), &mut rng).is_none());
+    }
+
+    #[test]
+    fn parallel_nets_merge_weights() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+        // Two clusters will form along these heavy pairs...
+        b.add_net(10, [v[0], v[1]]).unwrap();
+        b.add_net(10, [v[2], v[3]]).unwrap();
+        // ...and these two parallel nets between the pairs must merge.
+        b.add_net(1, [v[0], v[2]]).unwrap();
+        b.add_net(2, [v[1], v[3]]).unwrap();
+        let hg = b.build().unwrap();
+        let fx = FixedVertices::all_free(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let level = coarsen_once(&hg, &fx, &params(), 1.0, None, &mut rng).unwrap();
+        if level.hg.num_vertices() == 2 {
+            assert_eq!(level.hg.num_nets(), 1);
+            assert_eq!(level.hg.net_weight(vlsi_hypergraph::NetId(0)), 3);
+        }
+    }
+
+    #[test]
+    fn merge_fixity_table() {
+        use Fixity::*;
+        let s01 = PartSet::all(2);
+        let s12: PartSet = [PartId(1), PartId(2)].into_iter().collect();
+        assert_eq!(merge_fixity(Free, Free), Some(Free));
+        assert_eq!(
+            merge_fixity(FixedAny(s01), FixedAny(s12)),
+            Some(Fixed(PartId(1)))
+        );
+        let s0 = PartSet::single(PartId(0));
+        let s2 = PartSet::single(PartId(2));
+        assert_eq!(merge_fixity(FixedAny(s0), FixedAny(s2)), None);
+        assert_eq!(
+            merge_fixity(Fixed(PartId(2)), FixedAny(s12)),
+            Some(Fixed(PartId(2)))
+        );
+        assert_eq!(merge_fixity(Fixed(PartId(0)), FixedAny(s12)), None);
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let hg = chain(10);
+        let fx = FixedVertices::all_free(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let level = coarsen_once(&hg, &fx, &params(), 0.95, None, &mut rng).unwrap();
+        let coarse_parts: Vec<PartId> = level.hg.vertices().map(|v| PartId(v.0 % 2)).collect();
+        let fine = level.project(&coarse_parts);
+        for v in hg.vertices() {
+            assert_eq!(fine[v.index()], coarse_parts[level.map[v.index()].index()]);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The multilevel CLIP-FM partitioner — the paper's experimental engine.
+//!
+//! Coarsen with heavy-edge matching (respecting fixities), solve the
+//! coarsest instance with multi-start FM, then uncoarsen and refine with
+//! CLIP FM at every level. Optional V-cycling re-coarsens under the current
+//! partition; the paper found it "a net loss in terms of overall
+//! cost-runtime profile", so the default is zero V-cycles, but it is kept
+//! for the ablation benchmarks.
+
+mod coarsen;
+
+pub use coarsen::{coarsen_once, merge_fixity, CoarsenParams, Level};
+
+use rand::Rng;
+
+use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, PartId};
+
+use crate::config::MultilevelConfig;
+use crate::fm::BipartFm;
+use crate::{PartitionError, PartitionResult};
+
+/// Result of a multilevel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultilevelResult {
+    /// Final partition of every original vertex.
+    pub parts: Vec<PartId>,
+    /// Final cut value.
+    pub cut: u64,
+    /// Vertex counts of each level, from the original down to the coarsest.
+    pub level_sizes: Vec<usize>,
+    /// Cut of the coarsest-level solution before refinement.
+    pub coarse_cut: u64,
+}
+
+impl From<MultilevelResult> for PartitionResult {
+    fn from(r: MultilevelResult) -> Self {
+        PartitionResult::new(r.parts, r.cut)
+    }
+}
+
+/// The multilevel bipartitioner.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
+/// use vlsi_partition::{MultilevelConfig, MultilevelPartitioner};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..64).map(|_| b.add_vertex(1)).collect();
+/// for w in v.windows(2) {
+///     b.add_net(1, [w[0], w[1]])?;
+/// }
+/// let hg = b.build()?;
+/// let balance = BalanceConstraint::bisection(64, Tolerance::Relative(0.02));
+/// let fixed = FixedVertices::all_free(64);
+/// let ml = MultilevelPartitioner::new(MultilevelConfig::default());
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let r = ml.run(&hg, &fixed, &balance, &mut rng)?;
+/// assert_eq!(r.cut, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultilevelPartitioner {
+    config: MultilevelConfig,
+}
+
+impl MultilevelPartitioner {
+    /// Creates a partitioner with the given configuration.
+    pub fn new(config: MultilevelConfig) -> Self {
+        MultilevelPartitioner { config }
+    }
+
+    /// The partitioner's configuration.
+    pub fn config(&self) -> &MultilevelConfig {
+        &self.config
+    }
+
+    /// Partitions `hg` into two blocks under `balance`, honouring `fixed`.
+    ///
+    /// # Errors
+    /// * [`PartitionError::UnsupportedPartCount`] unless `balance` is 2-way.
+    /// * [`PartitionError::InfeasibleInstance`] / [`PartitionError::Balance`]
+    ///   when no legal solution can be constructed.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+    ) -> Result<MultilevelResult, PartitionError> {
+        if balance.num_parts() != 2 {
+            return Err(PartitionError::UnsupportedPartCount {
+                requested: balance.num_parts(),
+                supported: 2,
+            });
+        }
+        let cfg = &self.config;
+        let params = CoarsenParams {
+            max_cluster_weight: ((hg.total_weight() as f64) * cfg.max_cluster_fraction)
+                .ceil()
+                .max(1.0) as u64,
+            max_net_size_for_matching: 64,
+            // Never let a partition's fixed weight outgrow its capacity.
+            max_fixed_part_weight: (0..2).map(|p| balance.max(PartId(p), 0)).collect(),
+            allow_free_fixed_merge: false,
+        };
+
+        // Build the coarsening stack: levels[i] is the coarse graph produced
+        // from levels[i-1] (levels[0] from the original).
+        let mut levels: Vec<Level> = Vec::new();
+        loop {
+            let (cur_hg, cur_fixed) = match levels.last() {
+                Some(l) => (&l.hg, &l.fixed),
+                None => (hg, fixed),
+            };
+            if cur_hg.num_vertices() <= cfg.coarsest_size {
+                break;
+            }
+            match coarsen_once(cur_hg, cur_fixed, &params, cfg.min_shrink, None, rng) {
+                Some(level) => levels.push(level),
+                None => break,
+            }
+        }
+
+        // Solve the coarsest level with multi-start FM.
+        let (coarsest_hg, coarsest_fixed) = match levels.last() {
+            Some(l) => (&l.hg, &l.fixed),
+            None => (hg, fixed),
+        };
+        let coarse_fm = BipartFm::new(cfg.coarse_fm);
+        let mut best: Option<(u64, Vec<PartId>)> = None;
+        for _ in 0..cfg.coarse_starts.max(1) {
+            let r = coarse_fm.run_random(coarsest_hg, coarsest_fixed, balance, rng)?;
+            if best.as_ref().is_none_or(|(c, _)| r.cut < *c) {
+                best = Some((r.cut, r.parts));
+            }
+        }
+        let (coarse_cut, mut parts) = best.expect("at least one start");
+
+        // Uncoarsen and refine (one or two FM stages per level).
+        let refine_fm = BipartFm::new(cfg.refine_fm);
+        let refine_fm2 = cfg.refine_fm2.map(BipartFm::new);
+        let mut cut = coarse_cut;
+        for i in (0..levels.len()).rev() {
+            let fine_parts = levels[i].project(&parts);
+            let (fine_hg, fine_fixed) = if i == 0 {
+                (hg, fixed)
+            } else {
+                (&levels[i - 1].hg, &levels[i - 1].fixed)
+            };
+            let r = refine_fm.run(fine_hg, fine_fixed, balance, fine_parts)?;
+            let r = match &refine_fm2 {
+                Some(fm2) => fm2.run(fine_hg, fine_fixed, balance, r.parts)?,
+                None => r,
+            };
+            parts = r.parts;
+            cut = r.cut;
+        }
+        if levels.is_empty() {
+            // No coarsening happened: the coarse solve was the real solve.
+        }
+
+        // Optional V-cycles: re-coarsen under the current partition and
+        // refine again.
+        for _ in 0..cfg.vcycles {
+            let (vparts, vcut) = self.vcycle(hg, fixed, balance, &params, parts.clone(), rng)?;
+            if vcut <= cut {
+                parts = vparts;
+                cut = vcut;
+            }
+        }
+
+        let mut level_sizes = vec![hg.num_vertices()];
+        level_sizes.extend(levels.iter().map(|l| l.hg.num_vertices()));
+
+        Ok(MultilevelResult {
+            parts,
+            cut,
+            level_sizes,
+            coarse_cut,
+        })
+    }
+
+    /// One V-cycle: coarsen restricted to same-part merges, then refine the
+    /// projected solution back down.
+    fn vcycle<R: Rng + ?Sized>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        params: &CoarsenParams,
+        parts: Vec<PartId>,
+        rng: &mut R,
+    ) -> Result<(Vec<PartId>, u64), PartitionError> {
+        let cfg = &self.config;
+        let mut levels: Vec<Level> = Vec::new();
+        let mut cur_parts = parts.clone();
+        loop {
+            let (cur_hg, cur_fixed) = match levels.last() {
+                Some(l) => (&l.hg, &l.fixed),
+                None => (hg, fixed),
+            };
+            if cur_hg.num_vertices() <= cfg.coarsest_size {
+                break;
+            }
+            match coarsen_once(
+                cur_hg,
+                cur_fixed,
+                params,
+                cfg.min_shrink,
+                Some(&cur_parts),
+                rng,
+            ) {
+                Some(level) => {
+                    // Partition of a cluster = partition of any member (all
+                    // members share it by construction).
+                    let mut coarse_parts = vec![PartId(0); level.hg.num_vertices()];
+                    for v in 0..level.map.len() {
+                        coarse_parts[level.map[v].index()] = cur_parts[v];
+                    }
+                    cur_parts = coarse_parts;
+                    levels.push(level);
+                }
+                None => break,
+            }
+        }
+        let refine_fm = BipartFm::new(cfg.refine_fm);
+        let refine_fm2 = cfg.refine_fm2.map(BipartFm::new);
+        let two_stage = |hg: &Hypergraph,
+                         fixed: &FixedVertices,
+                         parts: Vec<PartId>|
+         -> Result<crate::fm::FmResult, PartitionError> {
+            let r = refine_fm.run(hg, fixed, balance, parts)?;
+            match &refine_fm2 {
+                Some(fm2) => fm2.run(hg, fixed, balance, r.parts),
+                None => Ok(r),
+            }
+        };
+        // Refine at the coarsest level from the projected partition.
+        let (coarsest_hg, coarsest_fixed) = match levels.last() {
+            Some(l) => (&l.hg, &l.fixed),
+            None => (hg, fixed),
+        };
+        let r = two_stage(coarsest_hg, coarsest_fixed, cur_parts)?;
+        let mut parts = r.parts;
+        let mut cut = r.cut;
+        for i in (0..levels.len()).rev() {
+            let fine_parts = levels[i].project(&parts);
+            let (fine_hg, fine_fixed) = if i == 0 {
+                (hg, fixed)
+            } else {
+                (&levels[i - 1].hg, &levels[i - 1].fixed)
+            };
+            let r = two_stage(fine_hg, fine_fixed, fine_parts)?;
+            parts = r.parts;
+            cut = r.cut;
+        }
+        Ok((parts, cut))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vlsi_hypergraph::{
+        validate_partitioning, HypergraphBuilder, Partitioning, Tolerance, VertexId,
+    };
+
+    /// A 2D grid graph: gridsize² vertices, 2-pin nets along rows/columns.
+    fn grid(side: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..side * side).map(|_| b.add_vertex(1)).collect();
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    b.add_net(1, [v[r * side + c], v[r * side + c + 1]])
+                        .unwrap();
+                }
+                if r + 1 < side {
+                    b.add_net(1, [v[r * side + c], v[(r + 1) * side + c]])
+                        .unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn small_config() -> MultilevelConfig {
+        MultilevelConfig {
+            coarsest_size: 16,
+            ..MultilevelConfig::default()
+        }
+    }
+
+    #[test]
+    fn grid_bisection_near_optimal() {
+        let hg = grid(12); // 144 vertices; optimal bisection cut = 12
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.02));
+        let ml = MultilevelPartitioner::new(small_config());
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let r = ml.run(&hg, &fixed, &balance, &mut rng).unwrap();
+        assert!(r.cut <= 16, "cut {} too far from optimal 12", r.cut);
+        assert!(r.level_sizes.len() >= 2, "expected actual coarsening");
+        let p = Partitioning::from_parts(&hg, 2, r.parts).unwrap();
+        assert!(validate_partitioning(&hg, &p, &balance, &fixed).is_valid());
+    }
+
+    #[test]
+    fn fixed_vertices_respected_through_levels() {
+        let hg = grid(10);
+        let mut fixed = FixedVertices::all_free(hg.num_vertices());
+        // Fix the left column to part 0, the right column to part 1.
+        for r in 0..10 {
+            fixed.fix(VertexId((r * 10) as u32), PartId(0));
+            fixed.fix(VertexId((r * 10 + 9) as u32), PartId(1));
+        }
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.05));
+        let ml = MultilevelPartitioner::new(small_config());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let r = ml.run(&hg, &fixed, &balance, &mut rng).unwrap();
+        for row in 0..10 {
+            assert_eq!(r.parts[row * 10], PartId(0));
+            assert_eq!(r.parts[row * 10 + 9], PartId(1));
+        }
+        let p = Partitioning::from_parts(&hg, 2, r.parts).unwrap();
+        assert!(validate_partitioning(&hg, &p, &balance, &fixed).is_valid());
+    }
+
+    #[test]
+    fn refinement_never_worse_than_coarse() {
+        let hg = grid(10);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.02));
+        let ml = MultilevelPartitioner::new(small_config());
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let r = ml.run(&hg, &fixed, &balance, &mut rng).unwrap();
+            assert!(r.cut <= r.coarse_cut, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tiny_graph_skips_coarsening() {
+        let hg = grid(3);
+        let fixed = FixedVertices::all_free(9);
+        let balance = BalanceConstraint::bisection(9, Tolerance::Relative(0.2));
+        let ml = MultilevelPartitioner::new(MultilevelConfig {
+            coarsest_size: 100,
+            ..MultilevelConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let r = ml.run(&hg, &fixed, &balance, &mut rng).unwrap();
+        assert_eq!(r.level_sizes, vec![9]);
+        assert!(r.cut <= 5);
+    }
+
+    #[test]
+    fn vcycling_does_not_hurt() {
+        let hg = grid(10);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.02));
+        let base = MultilevelPartitioner::new(small_config());
+        let vc = MultilevelPartitioner::new(MultilevelConfig {
+            vcycles: 2,
+            ..small_config()
+        });
+        let mut rng_a = ChaCha8Rng::seed_from_u64(9);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(9);
+        let a = base.run(&hg, &fixed, &balance, &mut rng_a).unwrap();
+        let b = vc.run(&hg, &fixed, &balance, &mut rng_b).unwrap();
+        assert!(b.cut <= a.cut);
+    }
+
+    #[test]
+    fn multiway_rejected() {
+        let hg = grid(4);
+        let fixed = FixedVertices::all_free(16);
+        let balance = BalanceConstraint::even(4, &[16], Tolerance::Relative(0.1));
+        let ml = MultilevelPartitioner::new(small_config());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let err = ml.run(&hg, &fixed, &balance, &mut rng).unwrap_err();
+        assert!(matches!(err, PartitionError::UnsupportedPartCount { .. }));
+    }
+}

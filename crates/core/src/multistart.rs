@@ -1,0 +1,362 @@
+//! Multistart driver reproducing the paper's 1/2/4/8-start protocol.
+
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+
+use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph};
+
+use crate::{PartitionError, PartitionResult};
+
+/// One independent start: its cut and wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartRecord {
+    /// Cut achieved by this start.
+    pub cut: u64,
+    /// Wall-clock time the start took.
+    pub elapsed: Duration,
+}
+
+/// Outcome of a multistart run: the best solution and per-start records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultistartOutcome {
+    /// The best solution over all starts.
+    pub best: PartitionResult,
+    /// Per-start cut/time records, in execution order.
+    pub starts: Vec<StartRecord>,
+}
+
+impl MultistartOutcome {
+    /// Best cut among the first `n` starts (the paper's "best of s starts"
+    /// protocol — s ∈ {1, 2, 4, 8}). Returns `None` if `n` is zero or
+    /// exceeds the number of executed starts.
+    pub fn best_of_first(&self, n: usize) -> Option<u64> {
+        if n == 0 || n > self.starts.len() {
+            return None;
+        }
+        self.starts[..n].iter().map(|s| s.cut).min()
+    }
+
+    /// Total wall-clock time of the first `n` starts.
+    pub fn time_of_first(&self, n: usize) -> Duration {
+        self.starts[..n.min(self.starts.len())]
+            .iter()
+            .map(|s| s.elapsed)
+            .sum()
+    }
+
+    /// Mean per-start wall-clock time.
+    pub fn avg_start_time(&self) -> Duration {
+        if self.starts.is_empty() {
+            Duration::ZERO
+        } else {
+            self.time_of_first(self.starts.len()) / self.starts.len() as u32
+        }
+    }
+}
+
+/// Runs `partitioner` for `starts` independent starts and keeps the best.
+///
+/// `partitioner` is any closure producing a [`PartitionResult`] from the
+/// instance and an RNG — both the flat FM and the multilevel engine fit.
+///
+/// # Errors
+/// Propagates the first error returned by `partitioner`.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
+/// use vlsi_partition::{multistart, BipartFm, FmConfig, PartitionResult};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+/// for w in v.windows(2) {
+///     b.add_net(1, [w[0], w[1]])?;
+/// }
+/// let hg = b.build()?;
+/// let balance = BalanceConstraint::bisection(6, Tolerance::Relative(0.0));
+/// let fixed = FixedVertices::all_free(6);
+/// let fm = BipartFm::new(FmConfig::default());
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let outcome = multistart(&hg, &fixed, &balance, 4, &mut rng, |hg, fx, bc, rng| {
+///     let r = fm.run_random(hg, fx, bc, rng)?;
+///     Ok(PartitionResult::new(r.parts, r.cut))
+/// })?;
+/// assert_eq!(outcome.best.cut, 1);
+/// assert_eq!(outcome.starts.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn multistart<R, F>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    rng: &mut R,
+    mut partitioner: F,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    R: Rng + ?Sized,
+    F: FnMut(
+        &Hypergraph,
+        &FixedVertices,
+        &BalanceConstraint,
+        &mut R,
+    ) -> Result<PartitionResult, PartitionError>,
+{
+    assert!(starts > 0, "at least one start required");
+    let mut best: Option<PartitionResult> = None;
+    let mut records = Vec::with_capacity(starts);
+    for _ in 0..starts {
+        let t0 = Instant::now();
+        let result = partitioner(hg, fixed, balance, rng)?;
+        let elapsed = t0.elapsed();
+        records.push(StartRecord {
+            cut: result.cut,
+            elapsed,
+        });
+        match &best {
+            Some(b) if b.cut <= result.cut => {}
+            _ => best = Some(result),
+        }
+    }
+    Ok(MultistartOutcome {
+        best: best.expect("starts > 0"),
+        starts: records,
+    })
+}
+
+/// Runs `starts` independent starts across `threads` OS threads, keeping
+/// the best. Start `i` always uses `ChaCha8Rng::seed_from_u64(base_seed + i)`,
+/// so the outcome is deterministic and identical to a sequential run with
+/// the same seeding, regardless of scheduling.
+///
+/// `partitioner` is shared across threads and must be `Sync`.
+///
+/// # Errors
+/// Propagates the error of the lowest-indexed failing start.
+///
+/// # Panics
+/// Panics if `starts == 0` or `threads == 0`.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
+/// use vlsi_partition::{multistart_parallel, BipartFm, FmConfig, PartitionResult};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+/// for w in v.windows(2) {
+///     b.add_net(1, [w[0], w[1]])?;
+/// }
+/// let hg = b.build()?;
+/// let balance = BalanceConstraint::bisection(6, Tolerance::Relative(0.0));
+/// let fixed = FixedVertices::all_free(6);
+/// let fm = BipartFm::new(FmConfig::default());
+/// let outcome = multistart_parallel(&hg, &fixed, &balance, 4, 2, 7, &|hg, fx, bc, rng| {
+///     let r = fm.run_random(hg, fx, bc, rng)?;
+///     Ok(PartitionResult::new(r.parts, r.cut))
+/// })?;
+/// assert_eq!(outcome.best.cut, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn multistart_parallel<F>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    threads: usize,
+    base_seed: u64,
+    partitioner: &F,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    F: Fn(
+            &Hypergraph,
+            &FixedVertices,
+            &BalanceConstraint,
+            &mut rand_chacha::ChaCha8Rng,
+        ) -> Result<PartitionResult, PartitionError>
+        + Sync,
+{
+    use rand::SeedableRng;
+
+    assert!(starts > 0, "at least one start required");
+    assert!(threads > 0, "at least one thread required");
+    let threads = threads.min(starts);
+
+    let mut slots: Vec<Option<Result<(PartitionResult, Duration), PartitionError>>> =
+        (0..starts).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut chunks: Vec<&mut [Option<_>]> = Vec::new();
+        let mut rest = slots.as_mut_slice();
+        let per = starts.div_ceil(threads);
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push(head);
+            rest = tail;
+        }
+        for (c, chunk) in chunks.into_iter().enumerate() {
+            let first_index = c * per;
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = first_index + off;
+                    let mut rng =
+                        rand_chacha::ChaCha8Rng::seed_from_u64(base_seed.wrapping_add(i as u64));
+                    let t0 = Instant::now();
+                    let result = partitioner(hg, fixed, balance, &mut rng);
+                    *slot = Some(result.map(|r| (r, t0.elapsed())));
+                }
+            });
+        }
+    });
+
+    let mut best: Option<PartitionResult> = None;
+    let mut records = Vec::with_capacity(starts);
+    for slot in slots {
+        let (result, elapsed) = slot.expect("every slot was filled")?;
+        records.push(StartRecord {
+            cut: result.cut,
+            elapsed,
+        });
+        match &best {
+            Some(b) if b.cut <= result.cut => {}
+            _ => best = Some(result),
+        }
+    }
+    Ok(MultistartOutcome {
+        best: best.expect("starts > 0"),
+        starts: records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vlsi_hypergraph::{HypergraphBuilder, PartId, Tolerance};
+
+    fn tiny() -> (Hypergraph, FixedVertices, BalanceConstraint) {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+        b.add_net(1, [v[0], v[1]]).unwrap();
+        b.add_net(1, [v[2], v[3]]).unwrap();
+        let hg = b.build().unwrap();
+        let fx = FixedVertices::all_free(4);
+        let bc = BalanceConstraint::bisection(4, Tolerance::Relative(0.0));
+        (hg, fx, bc)
+    }
+
+    #[test]
+    fn keeps_best_and_all_records() {
+        let (hg, fx, bc) = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut cuts = [5u64, 2, 7].into_iter();
+        let outcome = multistart(&hg, &fx, &bc, 3, &mut rng, |_, _, _, _| {
+            Ok(PartitionResult::new(
+                vec![PartId(0); 4],
+                cuts.next().unwrap(),
+            ))
+        })
+        .unwrap();
+        assert_eq!(outcome.best.cut, 2);
+        assert_eq!(outcome.starts.len(), 3);
+        assert_eq!(outcome.best_of_first(1), Some(5));
+        assert_eq!(outcome.best_of_first(2), Some(2));
+        assert_eq!(outcome.best_of_first(9), None);
+        assert_eq!(outcome.best_of_first(0), None);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let (hg, fx, bc) = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let err = multistart(&hg, &fx, &bc, 2, &mut rng, |_, _, _, _| {
+            Err(PartitionError::InfeasibleInstance {
+                vertex: None,
+                detail: "boom".into(),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, PartitionError::InfeasibleInstance { .. }));
+    }
+
+    #[test]
+    fn ties_keep_earlier_start() {
+        let (hg, fx, bc) = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut i = 0u32;
+        let outcome = multistart(&hg, &fx, &bc, 2, &mut rng, |_, _, _, _| {
+            i += 1;
+            Ok(PartitionResult::new(vec![PartId(i - 1); 4], 3))
+        })
+        .unwrap();
+        assert_eq!(outcome.best.parts[0], PartId(0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_seeding() {
+        let (hg, fx, bc) = tiny();
+        let fm = crate::BipartFm::new(crate::FmConfig::default());
+        let run = |hg: &Hypergraph,
+                   fx: &FixedVertices,
+                   bc: &BalanceConstraint,
+                   rng: &mut ChaCha8Rng|
+         -> Result<PartitionResult, PartitionError> {
+            let r = fm.run_random(hg, fx, bc, rng)?;
+            Ok(PartitionResult::new(r.parts, r.cut))
+        };
+        let par = multistart_parallel(&hg, &fx, &bc, 5, 3, 42, &run).unwrap();
+        // Sequential reference with the same per-start seeding.
+        let mut seq_cuts = Vec::new();
+        for i in 0..5u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(42 + i);
+            seq_cuts.push(run(&hg, &fx, &bc, &mut rng).unwrap().cut);
+        }
+        let par_cuts: Vec<u64> = par.starts.iter().map(|s| s.cut).collect();
+        assert_eq!(par_cuts, seq_cuts);
+        assert_eq!(par.best.cut, *seq_cuts.iter().min().unwrap());
+    }
+
+    #[test]
+    fn parallel_single_thread_works() {
+        let (hg, fx, bc) = tiny();
+        let outcome = multistart_parallel(&hg, &fx, &bc, 3, 1, 0, &|_, _, _, _| {
+            Ok(PartitionResult::new(vec![PartId(0); 4], 2))
+        })
+        .unwrap();
+        assert_eq!(outcome.starts.len(), 3);
+        assert_eq!(outcome.best.cut, 2);
+    }
+
+    #[test]
+    fn parallel_errors_propagate() {
+        let (hg, fx, bc) = tiny();
+        let err = multistart_parallel(&hg, &fx, &bc, 4, 2, 0, &|_, _, _, _| {
+            Err::<PartitionResult, _>(PartitionError::InfeasibleInstance {
+                vertex: None,
+                detail: "boom".into(),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, PartitionError::InfeasibleInstance { .. }));
+    }
+
+    #[test]
+    fn timing_accumulates() {
+        let (hg, fx, bc) = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let outcome = multistart(&hg, &fx, &bc, 2, &mut rng, |_, _, _, _| {
+            Ok(PartitionResult::new(vec![PartId(0); 4], 1))
+        })
+        .unwrap();
+        assert!(outcome.time_of_first(2) >= outcome.starts[0].elapsed);
+        assert!(outcome.avg_start_time() <= outcome.time_of_first(2));
+    }
+}

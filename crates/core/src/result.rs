@@ -1,0 +1,40 @@
+//! Common result type shared by the partitioning engines.
+
+use vlsi_hypergraph::PartId;
+
+/// A completed partitioning solution: the assignment and its cut.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::PartId;
+/// use vlsi_partition::PartitionResult;
+/// let r = PartitionResult::new(vec![PartId(0), PartId(1)], 3);
+/// assert_eq!(r.cut, 3);
+/// assert_eq!(r.parts.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionResult {
+    /// Partition of each vertex, indexed by vertex id.
+    pub parts: Vec<PartId>,
+    /// Cut value of the assignment (weighted number of cut nets).
+    pub cut: u64,
+}
+
+impl PartitionResult {
+    /// Creates a result from an assignment and its cut value.
+    pub fn new(parts: Vec<PartId>, cut: u64) -> Self {
+        PartitionResult { parts, cut }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = PartitionResult::new(vec![PartId(1)], 0);
+        assert_eq!(r.parts, vec![PartId(1)]);
+        assert_eq!(r.cut, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The terminal-clustering equivalence transform from the paper's
+//! conclusions: "a bipartitioning instance with an arbitrary number/percent
+//! of fixed terminals can be represented by an equivalent instance with
+//! only two terminals, by clustering all terminals fixed in a given
+//! partition into one single terminal."
+
+use std::collections::HashMap;
+
+use vlsi_hypergraph::{
+    BuildError, FixedVertices, Fixity, Hypergraph, HypergraphBuilder, PartId, VertexId,
+};
+
+/// The result of [`cluster_terminals`]: the transformed instance and the
+/// mapping from original vertices to clustered vertices.
+#[derive(Debug, Clone)]
+pub struct ClusteredInstance {
+    /// The transformed hypergraph: all free vertices plus at most one
+    /// terminal per partition.
+    pub hypergraph: Hypergraph,
+    /// Fixities of the transformed instance.
+    pub fixed: FixedVertices,
+    /// `map[v]` is the vertex in the transformed instance representing
+    /// original vertex `v`.
+    pub map: Vec<VertexId>,
+    /// For each partition that had terminals, the clustered terminal vertex.
+    pub terminal_of_part: HashMap<PartId, VertexId>,
+}
+
+impl ClusteredInstance {
+    /// Projects a partition assignment of the clustered instance back onto
+    /// the original vertex set.
+    pub fn project(&self, clustered_parts: &[PartId]) -> Vec<PartId> {
+        self.map
+            .iter()
+            .map(|m| clustered_parts[m.index()])
+            .collect()
+    }
+}
+
+/// Clusters all vertices fixed in the same partition into a single terminal
+/// vertex of the summed weight. Vertices with `FixedAny` fixities are left
+/// untouched (they are not bound to a unique partition).
+///
+/// The transform preserves the cut of every legal solution: any net's set of
+/// touched partitions is unchanged because each terminal cluster sits
+/// exactly where its members sat.
+///
+/// # Errors
+/// Returns [`BuildError`] if the rebuilt hypergraph is malformed (cannot
+/// happen for well-formed inputs; surfaced for API honesty).
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::{FixedVertices, HypergraphBuilder, PartId, VertexId};
+/// use vlsi_partition::terminal_cluster::cluster_terminals;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..5).map(|_| b.add_vertex(1)).collect();
+/// b.add_net(1, [v[0], v[1], v[4]])?;
+/// b.add_net(1, [v[2], v[3]])?;
+/// let hg = b.build()?;
+/// let mut fx = FixedVertices::all_free(5);
+/// fx.fix(v[0], PartId(0));
+/// fx.fix(v[1], PartId(0));
+/// fx.fix(v[2], PartId(1));
+///
+/// let clustered = cluster_terminals(&hg, &fx)?;
+/// // 2 free vertices + 2 terminal clusters
+/// assert_eq!(clustered.hypergraph.num_vertices(), 4);
+/// assert_eq!(clustered.fixed.num_fixed(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cluster_terminals(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+) -> Result<ClusteredInstance, BuildError> {
+    let mut builder = HypergraphBuilder::with_resources(hg.num_resources());
+    let mut map = vec![VertexId(0); hg.num_vertices()];
+    let mut fixities: Vec<Fixity> = Vec::new();
+
+    // Free (and FixedAny) vertices first, preserving relative order.
+    for v in hg.vertices() {
+        let fixity = fixed.fixity(v);
+        if !matches!(fixity, Fixity::Fixed(_)) {
+            let nv = builder.add_vertex_multi(hg.vertex_weights(v))?;
+            map[v.index()] = nv;
+            fixities.push(fixity);
+        }
+    }
+
+    // One terminal per partition, carrying the summed weights.
+    let mut terminal_of_part: HashMap<PartId, VertexId> = HashMap::new();
+    let mut part_weights: HashMap<PartId, Vec<u64>> = HashMap::new();
+    for v in hg.vertices() {
+        if let Fixity::Fixed(p) = fixed.fixity(v) {
+            let acc = part_weights
+                .entry(p)
+                .or_insert_with(|| vec![0; hg.num_resources()]);
+            for (r, &w) in hg.vertex_weights(v).iter().enumerate() {
+                acc[r] += w;
+            }
+        }
+    }
+    let mut parts: Vec<PartId> = part_weights.keys().copied().collect();
+    parts.sort();
+    for p in parts {
+        let nv = builder.add_vertex_multi(&part_weights[&p])?;
+        terminal_of_part.insert(p, nv);
+        fixities.push(Fixity::Fixed(p));
+    }
+    for v in hg.vertices() {
+        if let Fixity::Fixed(p) = fixed.fixity(v) {
+            map[v.index()] = terminal_of_part[&p];
+        }
+    }
+
+    // Rebuild nets through the map, deduplicating merged pins.
+    for n in hg.nets() {
+        builder.add_net_dedup(
+            hg.net_weight(n),
+            hg.net_pins(n).iter().map(|&v| map[v.index()]),
+        )?;
+    }
+
+    Ok(ClusteredInstance {
+        hypergraph: builder.build()?,
+        fixed: FixedVertices::from_fixities(fixities),
+        map,
+        terminal_of_part,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_hypergraph::{CutState, PartSet};
+
+    fn instance() -> (Hypergraph, FixedVertices) {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..6).map(|i| b.add_vertex(i as u64 + 1)).collect();
+        b.add_net(1, [v[0], v[2], v[4]]).unwrap();
+        b.add_net(2, [v[1], v[3]]).unwrap();
+        b.add_net(1, [v[4], v[5]]).unwrap();
+        let hg = b.build().unwrap();
+        let mut fx = FixedVertices::all_free(6);
+        fx.fix(VertexId(0), PartId(0));
+        fx.fix(VertexId(2), PartId(0));
+        fx.fix(VertexId(1), PartId(1));
+        (hg, fx)
+    }
+
+    #[test]
+    fn clusters_per_part() {
+        let (hg, fx) = instance();
+        let c = cluster_terminals(&hg, &fx).unwrap();
+        // 3 free + 2 terminals
+        assert_eq!(c.hypergraph.num_vertices(), 5);
+        let t0 = c.terminal_of_part[&PartId(0)];
+        let t1 = c.terminal_of_part[&PartId(1)];
+        assert_eq!(c.hypergraph.vertex_weight(t0), 1 + 3);
+        assert_eq!(c.hypergraph.vertex_weight(t1), 2);
+        assert_eq!(c.fixed.fixity(t0), Fixity::Fixed(PartId(0)));
+    }
+
+    #[test]
+    fn total_weight_preserved() {
+        let (hg, fx) = instance();
+        let c = cluster_terminals(&hg, &fx).unwrap();
+        assert_eq!(c.hypergraph.total_weight(), hg.total_weight());
+        assert_eq!(c.hypergraph.num_nets(), hg.num_nets());
+    }
+
+    #[test]
+    fn cut_equivalence_for_projected_solutions() {
+        let (hg, fx) = instance();
+        let c = cluster_terminals(&hg, &fx).unwrap();
+        // Assign the clustered free vertices arbitrarily, terminals fixed.
+        let mut cparts = vec![PartId(0); c.hypergraph.num_vertices()];
+        for v in c.hypergraph.vertices() {
+            cparts[v.index()] = match c.fixed.fixity(v) {
+                Fixity::Fixed(p) => p,
+                _ => PartId(v.0 % 2),
+            };
+        }
+        let clustered_cut = CutState::new(&c.hypergraph, 2, &cparts).cut();
+        let orig_parts = c.project(&cparts);
+        let orig_cut = CutState::new(&hg, 2, &orig_parts).cut();
+        assert_eq!(clustered_cut, orig_cut);
+    }
+
+    #[test]
+    fn fixed_any_left_untouched() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let v1 = b.add_vertex(1);
+        b.add_net(1, [v0, v1]).unwrap();
+        let hg = b.build().unwrap();
+        let mut fx = FixedVertices::all_free(2);
+        fx.fix_any(v0, PartSet::all(2));
+        let c = cluster_terminals(&hg, &fx).unwrap();
+        assert_eq!(c.hypergraph.num_vertices(), 2);
+        assert!(matches!(c.fixed.fixity(c.map[0]), Fixity::FixedAny(_)));
+    }
+
+    #[test]
+    fn no_terminals_is_identity_shape() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(2);
+        let v1 = b.add_vertex(3);
+        b.add_net(1, [v0, v1]).unwrap();
+        let hg = b.build().unwrap();
+        let fx = FixedVertices::all_free(2);
+        let c = cluster_terminals(&hg, &fx).unwrap();
+        assert_eq!(c.hypergraph.num_vertices(), 2);
+        assert!(c.terminal_of_part.is_empty());
+    }
+}

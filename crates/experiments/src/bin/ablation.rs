@@ -1,0 +1,37 @@
+//! Quality ablation of the multilevel engine's design choices.
+
+use vlsi_experiments::ablation::{render, run_ablation, standard_variants};
+use vlsi_experiments::opts::Options;
+use vlsi_netgen::instances::by_name;
+
+fn main() {
+    let opts = Options::from_env();
+    let percentages = [0.0, 10.0, 30.0];
+    println!(
+        "Engine ablation: avg cut (avg seconds) per variant, good-regime\n\
+         fixing, {} runs, scale {}\n",
+        opts.trials, opts.scale
+    );
+    for name in &opts.circuits {
+        let Some(circuit) = by_name(name, opts.scale, opts.seed) else {
+            eprintln!("unknown circuit `{name}`");
+            std::process::exit(2);
+        };
+        match run_ablation(
+            &circuit.hypergraph,
+            &standard_variants(),
+            &percentages,
+            opts.trials,
+            opts.seed,
+        ) {
+            Ok(cells) => println!(
+                "{}",
+                render(&circuit.name, &cells, &percentages).render(opts.csv)
+            ),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Generates fixed-terminal benchmark suites on disk: for each requested
+//! circuit, the eight standard block instances (A–D × V/H) are written as
+//! hMetis `.hgr` + `.fix` pairs — the deliverable the paper's Section IV
+//! proposes for the community.
+//!
+//! ```text
+//! usage: genbench [--scale F] [--seed N] [--circuit NAME]... [--dir PATH]
+//! ```
+
+use std::fs::{self, File};
+use std::path::PathBuf;
+
+use vlsi_experiments::opts::Options;
+use vlsi_experiments::table4;
+use vlsi_hypergraph::io::{write_fix, write_hgr};
+use vlsi_netgen::instances::by_name;
+
+fn main() {
+    // Reuse the standard options; an extra --dir is parsed from the env.
+    let mut dir = PathBuf::from("benchmarks");
+    let mut passthrough = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--dir" {
+            match it.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--dir needs a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            passthrough.push(arg);
+        }
+    }
+    let opts = match Options::parse(passthrough) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("{}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let mut all = Vec::new();
+    for name in &opts.circuits {
+        let Some(circuit) = by_name(name, opts.scale, opts.seed) else {
+            eprintln!("unknown circuit `{name}` (skipped)");
+            continue;
+        };
+        for inst in table4::derive(&circuit, None) {
+            let hgr = dir.join(format!("{}.hgr", inst.name));
+            let fix = dir.join(format!("{}.fix", inst.name));
+            let write = (|| -> std::io::Result<()> {
+                write_hgr(File::create(&hgr)?, &inst.hypergraph)?;
+                write_fix(File::create(&fix)?, &inst.fixed)?;
+                Ok(())
+            })();
+            if let Err(e) = write {
+                eprintln!("{}: {e}", inst.name);
+                std::process::exit(1);
+            }
+            all.push(inst);
+        }
+    }
+    print!("{}", table4::render(&all).render(opts.csv));
+    println!("\nwrote {} instance pairs to {}", all.len(), dir.display());
+}

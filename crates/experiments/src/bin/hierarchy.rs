@@ -1,0 +1,33 @@
+//! Compares the fixed fractions of placement-generated bisection instances
+//! against Rent's-rule expectations (the empirical counterpart of Table I).
+
+use vlsi_experiments::hierarchy::{bucket_profile, collect_bisection_profile, render};
+use vlsi_experiments::opts::Options;
+use vlsi_netgen::instances::by_name;
+use vlsi_netgen::rent::RentModel;
+use vlsi_placer::PlacerConfig;
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "Placement hierarchy vs Rent's rule (k = 3.9), scale {}\n",
+        opts.scale
+    );
+    for name in &opts.circuits {
+        let Some(circuit) = by_name(name, opts.scale, opts.seed) else {
+            eprintln!("unknown circuit `{name}`");
+            std::process::exit(2);
+        };
+        let profile = match collect_bisection_profile(&circuit, &PlacerConfig::default(), opts.seed)
+        {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let model = RentModel::new(3.9, circuit.target_rent_exponent);
+        let rows = bucket_profile(&profile, &model);
+        println!("{}", render(&circuit.name, &rows).render(opts.csv));
+    }
+}

@@ -1,0 +1,45 @@
+//! Runs the multiway (k-way) fixed-terminals sweep — the paper's
+//! future-work question 1.
+
+use vlsi_experiments::multiway::{run_multiway, MultiwayConfig};
+use vlsi_experiments::opts::Options;
+use vlsi_experiments::regimes::Regime;
+use vlsi_netgen::instances::by_name;
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "Multiway (k = 4) fixed-terminals sweep, {} trials, scale {}\n",
+        opts.trials, opts.scale
+    );
+    for name in &opts.circuits {
+        let Some(circuit) = by_name(name, opts.scale, opts.seed) else {
+            eprintln!("unknown circuit `{name}`");
+            std::process::exit(2);
+        };
+        let config = MultiwayConfig {
+            trials: opts.trials,
+            seed: opts.seed,
+            ..MultiwayConfig::default()
+        };
+        match run_multiway(&circuit.name, &circuit.hypergraph, &config) {
+            Ok(sweep) => {
+                println!("{}", sweep.render().render(opts.csv));
+                if !opts.csv {
+                    println!("reference good k-1 objective: {}", sweep.good_kminus1);
+                    let rand = sweep.regime_points(Regime::Random);
+                    if let (Some(first), Some(last)) = (rand.first(), rand.last()) {
+                        println!(
+                            "rand k-1 rises {:.0} -> {:.0} over the sweep\n",
+                            first.avg_kminus1, last.avg_kminus1
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

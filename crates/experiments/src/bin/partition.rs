@@ -1,0 +1,198 @@
+//! Command-line partitioner: reads an hMetis `.hgr` file (and optionally a
+//! `.fix` fixed-vertex file), bipartitions it, and writes/prints the
+//! solution — the downstream-user entry point of this repository.
+//!
+//! ```text
+//! usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N]
+//!                  [--seed N] [--engine ml|fm] [--out FILE]
+//! ```
+
+use std::fs::File;
+use std::io::Write as _;
+use std::process::exit;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use vlsi_experiments::harness::Engine;
+use vlsi_hypergraph::io::{read_fix, read_hgr};
+use vlsi_hypergraph::{
+    validate_partitioning, BalanceConstraint, FixedVertices, Partitioning, Tolerance,
+};
+use vlsi_partition::{multistart, FmConfig, MultilevelConfig};
+
+struct Args {
+    hgr: String,
+    fix: Option<String>,
+    tolerance: f64,
+    /// `None` = choose automatically from the fixed fraction (the paper's
+    /// guideline via `vlsi_partition::policy`).
+    starts: Option<usize>,
+    seed: u64,
+    engine: String,
+    out: Option<String>,
+}
+
+const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N|auto] [--seed N] [--engine ml|fm] [--out FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        hgr: String::new(),
+        fix: None,
+        tolerance: 0.02,
+        starts: Some(4),
+        seed: 1,
+        engine: "ml".into(),
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--hgr" => args.hgr = value("--hgr")?,
+            "--fix" => args.fix = Some(value("--fix")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance")?
+            }
+            "--starts" => {
+                let v = value("--starts")?;
+                args.starts = if v == "auto" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|_| "bad --starts")?)
+                };
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--engine" => args.engine = value("--engine")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if args.hgr.is_empty() {
+        return Err(format!("--hgr is required\n{USAGE}"));
+    }
+    if args.starts == Some(0) {
+        return Err("--starts must be at least 1".into());
+    }
+    if !matches!(args.engine.as_str(), "ml" | "fm") {
+        return Err("--engine must be `ml` or `fm`".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            exit(2);
+        }
+    };
+
+    let hg = match File::open(&args.hgr)
+        .map_err(|e| e.to_string())
+        .and_then(|f| read_hgr(f).map_err(|e| e.to_string()))
+    {
+        Ok(hg) => hg,
+        Err(e) => {
+            eprintln!("{}: {e}", args.hgr);
+            exit(1);
+        }
+    };
+    let fixed = match &args.fix {
+        None => FixedVertices::all_free(hg.num_vertices()),
+        Some(path) => match File::open(path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| read_fix(f, hg.num_vertices()).map_err(|e| e.to_string()))
+        {
+            Ok(fx) => fx,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                exit(1);
+            }
+        },
+    };
+
+    println!(
+        "{}: {} vertices ({} fixed), {} nets, {} pins",
+        args.hgr,
+        hg.num_vertices(),
+        fixed.num_fixed(),
+        hg.num_nets(),
+        hg.num_pins()
+    );
+
+    let starts = args.starts.unwrap_or_else(|| {
+        let s = vlsi_partition::policy::recommended_starts(fixed.fixed_fraction());
+        println!(
+            "auto start count: {s} ({}% of vertices fixed)",
+            (100.0 * fixed.fixed_fraction()).round()
+        );
+        s
+    });
+
+    let balance =
+        BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(args.tolerance));
+    let engine = match args.engine.as_str() {
+        "fm" => Engine::Flat(FmConfig::default()),
+        _ => Engine::Multilevel(MultilevelConfig::default()),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let outcome = match multistart(
+        &hg,
+        &fixed,
+        &balance,
+        starts,
+        &mut rng,
+        |hg, fx, bc, rng| engine.run_once(hg, fx, bc, rng),
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("partitioning failed: {e}");
+            exit(1);
+        }
+    };
+
+    let p = Partitioning::from_parts(&hg, 2, outcome.best.parts.clone())
+        .expect("engine output is well-formed");
+    let report = validate_partitioning(&hg, &p, &balance, &fixed);
+    println!(
+        "best cut over {} starts: {} ({}; loads {} / {})",
+        starts,
+        outcome.best.cut,
+        report,
+        p.load(vlsi_hypergraph::PartId(0), 0),
+        p.load(vlsi_hypergraph::PartId(1), 0),
+    );
+    for (i, s) in outcome.starts.iter().enumerate() {
+        println!(
+            "  start {}: cut {} in {:.3}s",
+            i + 1,
+            s.cut,
+            s.elapsed.as_secs_f64()
+        );
+    }
+
+    if let Some(out) = &args.out {
+        let mut f = match File::create(out) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{out}: {e}");
+                exit(1);
+            }
+        };
+        for part in &outcome.best.parts {
+            if let Err(e) = writeln!(f, "{}", part.0) {
+                eprintln!("{out}: {e}");
+                exit(1);
+            }
+        }
+        println!("wrote assignment to {out}");
+    }
+    if !report.is_valid() {
+        exit(3);
+    }
+}

@@ -1,0 +1,33 @@
+//! Within-pass improvement profiles (Section III analysis).
+
+use vlsi_experiments::opts::Options;
+use vlsi_experiments::pass_profile::{render, run_pass_profile};
+use vlsi_experiments::table2::PAPER_TABLE2_PERCENTAGES;
+use vlsi_netgen::instances::by_name;
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "Within-pass improvement profiles (LIFO-FM, good-regime fixing),\n\
+         {} runs, scale {}\n",
+        opts.trials, opts.scale
+    );
+    for name in &opts.circuits {
+        let Some(circuit) = by_name(name, opts.scale, opts.seed) else {
+            eprintln!("unknown circuit `{name}`");
+            std::process::exit(2);
+        };
+        match run_pass_profile(
+            &circuit.hypergraph,
+            &PAPER_TABLE2_PERCENTAGES,
+            opts.trials,
+            opts.seed,
+        ) {
+            Ok(rows) => println!("{}", render(&circuit.name, &rows).render(opts.csv)),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Runs the complete reproduction battery: Table I, Figures 1–2, Tables
+//! II–IV, printing everything in one report (the source of EXPERIMENTS.md).
+
+use vlsi_experiments::figures::{run_figure, FigureConfig};
+use vlsi_experiments::opts::Options;
+use vlsi_experiments::regimes::Regime;
+use vlsi_experiments::table2::{self, PAPER_TABLE2_PERCENTAGES};
+use vlsi_experiments::table3::{self, PAPER_CUTOFFS};
+use vlsi_experiments::{table1, table4};
+use vlsi_netgen::instances::by_name;
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "# Reproduction battery (scale {}, trials {}, seed {})\n",
+        opts.scale, opts.trials, opts.seed
+    );
+
+    println!("## Table I\n");
+    println!("{}", table1::render().render(opts.csv));
+
+    let circuits: Vec<_> = opts
+        .circuits
+        .iter()
+        .filter_map(|name| {
+            let c = by_name(name, opts.scale, opts.seed);
+            if c.is_none() {
+                eprintln!("unknown circuit `{name}` (skipped)");
+            }
+            c
+        })
+        .collect();
+
+    println!("## Figures 1-2\n");
+    for circuit in &circuits {
+        let config = FigureConfig {
+            trials: opts.trials,
+            seed: opts.seed,
+            ..FigureConfig::default()
+        };
+        match run_figure(&circuit.name, &circuit.hypergraph, &config) {
+            Ok(fig) => {
+                println!("{}", fig.render().render(opts.csv));
+                println!("reference good cut: {}", fig.good_cut);
+                for regime in [Regime::Good, Regime::Random] {
+                    if let Some(p) = fig.single_start_sufficient_from(regime, 0.05) {
+                        println!(
+                            "{}: one start within 5% of eight starts from {p}% fixed",
+                            regime.label()
+                        );
+                    }
+                }
+                if let Some((pct, cut)) = fig.nonmonotonic_peak(Regime::Good) {
+                    println!("good: nonmonotonic quality peak at {pct}% fixed (raw@8 = {cut:.1})");
+                }
+                println!();
+            }
+            Err(e) => eprintln!("{}: {e}", circuit.name),
+        }
+    }
+
+    println!("## Table II\n");
+    for circuit in &circuits {
+        match table2::run_table2(
+            &circuit.hypergraph,
+            &PAPER_TABLE2_PERCENTAGES,
+            opts.trials,
+            opts.seed,
+        ) {
+            Ok(rows) => println!("{}", table2::render(&circuit.name, &rows).render(opts.csv)),
+            Err(e) => eprintln!("{}: {e}", circuit.name),
+        }
+    }
+
+    println!("## Table III\n");
+    for circuit in &circuits {
+        match table3::run_table3(
+            &circuit.hypergraph,
+            &PAPER_TABLE2_PERCENTAGES,
+            &PAPER_CUTOFFS,
+            opts.trials,
+            opts.seed,
+        ) {
+            Ok(cells) => println!(
+                "{}",
+                table3::render(&circuit.name, &cells, &PAPER_CUTOFFS).render(opts.csv)
+            ),
+            Err(e) => eprintln!("{}: {e}", circuit.name),
+        }
+    }
+
+    println!("## Table IV\n");
+    let mut all = Vec::new();
+    for circuit in &circuits {
+        all.extend(table4::derive(circuit, None));
+    }
+    print!("{}", table4::render(&all).render(opts.csv));
+}

@@ -1,0 +1,93 @@
+//! Prints instance statistics and constraint-strength metrics for any
+//! hMetis `.hgr` instance (optionally with a `.fix` fixed-vertex file).
+//!
+//! ```text
+//! usage: stats --hgr FILE [--fix FILE]
+//! ```
+
+use std::fs::File;
+use std::process::exit;
+
+use vlsi_experiments::constraint::constraint_metrics;
+use vlsi_hypergraph::io::{read_fix, read_hgr};
+use vlsi_hypergraph::stats::{net_size_histogram, vertex_degree_histogram, InstanceStats};
+use vlsi_hypergraph::FixedVertices;
+
+fn main() {
+    let mut hgr = None::<String>;
+    let mut fix = None::<String>;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--hgr" => hgr = it.next(),
+            "--fix" => fix = it.next(),
+            other => {
+                eprintln!("unknown flag `{other}`\nusage: stats --hgr FILE [--fix FILE]");
+                exit(2);
+            }
+        }
+    }
+    let Some(hgr) = hgr else {
+        eprintln!("usage: stats --hgr FILE [--fix FILE]");
+        exit(2);
+    };
+
+    let hg = match File::open(&hgr)
+        .map_err(|e| e.to_string())
+        .and_then(|f| read_hgr(f).map_err(|e| e.to_string()))
+    {
+        Ok(hg) => hg,
+        Err(e) => {
+            eprintln!("{hgr}: {e}");
+            exit(1);
+        }
+    };
+    let fixed = match &fix {
+        None => FixedVertices::all_free(hg.num_vertices()),
+        Some(path) => match File::open(path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| read_fix(f, hg.num_vertices()).map_err(|e| e.to_string()))
+        {
+            Ok(fx) => fx,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                exit(1);
+            }
+        },
+    };
+
+    let s = InstanceStats::compute(&hg, &fixed);
+    println!("instance            {hgr}");
+    println!("vertices            {}", s.num_vertices);
+    println!("  movable           {}", s.num_cells);
+    println!("  fixed             {}", s.num_pads);
+    println!("nets                {}", s.num_nets);
+    println!("  external          {}", s.num_external_nets);
+    println!("pins                {}", s.num_pins);
+    println!("avg pins/vertex     {:.2}", s.avg_pins_per_vertex);
+    println!("avg pins/net        {:.2}", s.avg_pins_per_net);
+    println!("max net size        {}", s.max_net_size);
+    println!("max vertex degree   {}", s.max_vertex_degree);
+    println!("max weight %        {:.2}", s.max_weight_percent);
+
+    let m = constraint_metrics(&hg, &fixed);
+    println!("\nconstraint strength (see the paper's conclusions):");
+    println!("  fixed fraction           {:.3}", m.fixed_fraction);
+    println!("  terminal adjacency       {:.3}", m.terminal_adjacency);
+    println!("  mean terminal pull       {:.3}", m.mean_pull);
+    println!(
+        "  anchored weight fraction {:.3}",
+        m.anchored_weight_fraction
+    );
+
+    println!("\nnet-size histogram (2..=10, last bucket = 10+):");
+    let hist = net_size_histogram(&hg, 10);
+    for (size, count) in hist.iter().enumerate().skip(2) {
+        println!("  {size:>3}{} {count}", if size == 10 { "+" } else { " " });
+    }
+    println!("\ndegree histogram (0..=10, last bucket = 10+):");
+    let hist = vertex_degree_histogram(&hg, 10);
+    for (deg, count) in hist.iter().enumerate() {
+        println!("  {deg:>3}{} {count}", if deg == 10 { "+" } else { " " });
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table I (Rent's-rule block-size thresholds).
+
+use vlsi_experiments::opts::Options;
+use vlsi_experiments::table1;
+
+fn main() {
+    let opts = Options::from_env();
+    println!("Table I: block sizes below which the expected fixed fraction");
+    println!("exceeds 5%/10%/20% (k = 3.5)\n");
+    print!("{}", table1::render().render(opts.csv));
+}

@@ -1,0 +1,24 @@
+//! Regenerates the paper's Table IV (parameters of the derived
+//! fixed-terminal benchmarks).
+
+use vlsi_experiments::opts::Options;
+use vlsi_experiments::table4;
+use vlsi_netgen::instances::by_name;
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "Table IV: parameters of fixed-terminal benchmarks derived from\n\
+         placements (blocks A-D x cutlines V/H), scale {}\n",
+        opts.scale
+    );
+    let mut all = Vec::new();
+    for name in &opts.circuits {
+        let Some(circuit) = by_name(name, opts.scale, opts.seed) else {
+            eprintln!("unknown circuit `{name}`");
+            std::process::exit(2);
+        };
+        all.extend(table4::derive(&circuit, None));
+    }
+    print!("{}", table4::render(&all).render(opts.csv));
+}

@@ -1,0 +1,46 @@
+//! Experiment harness reproducing every table and figure of *Hypergraph
+//! Partitioning with Fixed Vertices* (Alpert et al., DAC 1999 / TCAD 2000).
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table I (Rent block-size thresholds) | [`table1`] | `table1` |
+//! | Figures 1–2 (fixed-fraction sweeps) | [`figures`] | `figures` |
+//! | Table II (FM pass statistics) | [`table2`] | `table2` |
+//! | Table III (pass cutoffs) | [`table3`] | `table3` |
+//! | Table IV (derived benchmarks) | [`table4`] | `table4` |
+//!
+//! Beyond the paper's own artefacts, the crate carries its future-work
+//! extensions: [`multiway`] (k-way sweeps), [`pass_profile`] (within-pass
+//! improvement positions), [`constraint`] (invariant constraint-strength
+//! metrics), [`hierarchy`] (placer instances vs Rent's rule),
+//! [`rent_extraction`] (partitioning-based Rent measurement) and
+//! [`ablation`] (engine design-choice quality tables).
+//!
+//! The shared machinery lives in [`regimes`] (the paper's good/rand
+//! incremental fixing protocol), [`harness`] (multi-trial multi-start
+//! runner) and [`report`] (text/CSV rendering). `repro_all` runs the whole
+//! battery and writes `EXPERIMENTS`-ready output; `partition`, `genbench`
+//! and `stats` are stand-alone command-line tools.
+//!
+//! Experiments default to scaled-down instances and few trials so the suite
+//! completes in minutes; `--paper` switches to full-size instances and the
+//! paper's 50-trial protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod constraint;
+pub mod figures;
+pub mod harness;
+pub mod hierarchy;
+pub mod multiway;
+pub mod opts;
+pub mod pass_profile;
+pub mod regimes;
+pub mod rent_extraction;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

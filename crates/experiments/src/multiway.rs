@@ -1,0 +1,260 @@
+//! The paper's future-work question 1: "determining whether multiway
+//! partitioning is as affected by fixed terminals".
+//!
+//! The experiment mirrors the Figures 1–2 protocol for k-way partitioning:
+//! find a good free k-way solution by recursive bisection, fix growing
+//! subsets of vertices (good/rand), and measure the best achievable k−1
+//! objective and runtime against the fixed percentage.
+
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use vlsi_hypergraph::{
+    BalanceConstraint, CutState, FixedVertices, Hypergraph, Objective, Tolerance,
+};
+use vlsi_partition::kway::{recursive_bisection, refine};
+use vlsi_partition::{MultilevelConfig, PartitionError};
+
+use crate::regimes::{FixSchedule, Regime};
+use crate::report::{fmt_f64, fmt_secs, Table};
+
+/// One data point of the multiway sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiwayPoint {
+    /// Fixing regime.
+    pub regime: Regime,
+    /// Percentage of fixed vertices.
+    pub percent: f64,
+    /// Average k−1 objective over the trials.
+    pub avg_kminus1: f64,
+    /// Normalised to the regime's base (good solution / best seen).
+    pub normalized: f64,
+    /// Mean wall-clock time per trial.
+    pub time_per_trial: Duration,
+}
+
+/// Configuration of the multiway sweep.
+#[derive(Debug, Clone)]
+pub struct MultiwayConfig {
+    /// Number of partitions (the paper's natural choice is quadrisection).
+    pub k: usize,
+    /// Balance tolerance per block.
+    pub tolerance: f64,
+    /// Percentages to sweep.
+    pub percentages: Vec<f64>,
+    /// Trials per point.
+    pub trials: usize,
+    /// Multilevel settings for the recursive bisections.
+    pub ml_config: MultilevelConfig,
+    /// Refinement passes after recursive bisection.
+    pub refine_passes: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for MultiwayConfig {
+    fn default() -> Self {
+        MultiwayConfig {
+            k: 4,
+            tolerance: 0.1,
+            percentages: vec![0.0, 5.0, 10.0, 20.0, 30.0, 50.0],
+            trials: 3,
+            ml_config: MultilevelConfig::default(),
+            refine_passes: 4,
+            seed: 1999,
+        }
+    }
+}
+
+/// A full multiway sweep result.
+#[derive(Debug, Clone)]
+pub struct MultiwaySweep {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of partitions.
+    pub k: usize,
+    /// The reference good solution's k−1 objective.
+    pub good_kminus1: u64,
+    /// All points.
+    pub points: Vec<MultiwayPoint>,
+}
+
+/// Runs one k-way partitioning trial (recursive bisection + refinement).
+fn solve_once(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    config: &MultiwayConfig,
+    seed: u64,
+) -> Result<u64, PartitionError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let rb = recursive_bisection(
+        hg,
+        fixed,
+        config.k,
+        config.tolerance,
+        &config.ml_config,
+        &mut rng,
+    )?;
+    let refined = refine(
+        hg,
+        fixed,
+        balance,
+        rb.parts,
+        Objective::KMinus1,
+        config.refine_passes,
+    )?;
+    Ok(refined.cut)
+}
+
+/// Runs the multiway sweep for one circuit.
+///
+/// # Errors
+/// Propagates partitioning failures.
+pub fn run_multiway(
+    name: &str,
+    hg: &Hypergraph,
+    config: &MultiwayConfig,
+) -> Result<MultiwaySweep, PartitionError> {
+    let balance = BalanceConstraint::even(
+        config.k,
+        &[hg.total_weight()],
+        Tolerance::Relative(config.tolerance),
+    );
+    // Reference good solution on the free instance.
+    let free = FixedVertices::all_free(hg.num_vertices());
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let good = recursive_bisection(
+        hg,
+        &free,
+        config.k,
+        config.tolerance,
+        &config.ml_config,
+        &mut rng,
+    )?;
+    let good = refine(
+        hg,
+        &free,
+        &balance,
+        good.parts,
+        Objective::KMinus1,
+        config.refine_passes,
+    )?;
+    let good_kminus1 = CutState::new(hg, config.k, &good.parts).value(Objective::KMinus1);
+
+    let mut points = Vec::new();
+    for regime in [Regime::Good, Regime::Random] {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xD1CE);
+        let schedule = FixSchedule::new(hg, regime, &good.parts, &mut rng);
+        for &pct in &config.percentages {
+            let fixed = schedule.at_percent(pct);
+            let mut sum = 0.0;
+            let mut best = u64::MAX;
+            let mut time = Duration::ZERO;
+            for t in 0..config.trials {
+                let t0 = Instant::now();
+                let v = solve_once(
+                    hg,
+                    &fixed,
+                    &balance,
+                    config,
+                    config.seed ^ (t as u64 + 1).wrapping_mul(0xBEEF_55AA),
+                )?;
+                time += t0.elapsed();
+                sum += v as f64;
+                best = best.min(v);
+            }
+            let avg = sum / config.trials as f64;
+            let base = match regime {
+                Regime::Good => (good_kminus1 as f64).max(1.0),
+                Regime::Random => (best as f64).max(1.0),
+            };
+            points.push(MultiwayPoint {
+                regime,
+                percent: pct,
+                avg_kminus1: avg,
+                normalized: avg / base,
+                time_per_trial: time / config.trials as u32,
+            });
+        }
+    }
+    Ok(MultiwaySweep {
+        circuit: name.to_string(),
+        k: config.k,
+        good_kminus1,
+        points,
+    })
+}
+
+impl MultiwaySweep {
+    /// Renders the sweep as a table.
+    pub fn render(&self) -> Table {
+        let mut t = Table::new(vec![
+            "circuit".into(),
+            "k".into(),
+            "regime".into(),
+            "fixed%".into(),
+            "avg k-1".into(),
+            "norm".into(),
+            "s/trial".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                self.circuit.clone(),
+                self.k.to_string(),
+                p.regime.label().into(),
+                fmt_f64(p.percent, 1),
+                fmt_f64(p.avg_kminus1, 1),
+                fmt_f64(p.normalized, 3),
+                fmt_secs(p.time_per_trial),
+            ]);
+        }
+        t
+    }
+
+    /// Points of one regime in sweep order.
+    pub fn regime_points(&self, regime: Regime) -> Vec<&MultiwayPoint> {
+        self.points.iter().filter(|p| p.regime == regime).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+
+    #[test]
+    fn multiway_sweep_shows_the_same_trends() {
+        let c = Generator::new(GeneratorConfig {
+            num_cells: 200,
+            num_pads: 8,
+            ..GeneratorConfig::default()
+        })
+        .generate(13);
+        let config = MultiwayConfig {
+            percentages: vec![0.0, 50.0],
+            trials: 2,
+            ml_config: MultilevelConfig {
+                coarsest_size: 24,
+                coarse_starts: 2,
+                ..MultilevelConfig::default()
+            },
+            refine_passes: 2,
+            ..MultiwayConfig::default()
+        };
+        let sweep = run_multiway("test", &c.hypergraph, &config).unwrap();
+        assert_eq!(sweep.points.len(), 4);
+        // Random fixing raises the k−1 objective in 4-way too.
+        let rand = sweep.regime_points(Regime::Random);
+        assert!(
+            rand[1].avg_kminus1 > rand[0].avg_kminus1,
+            "rand fixing should raise the multiway objective: {} -> {}",
+            rand[0].avg_kminus1,
+            rand[1].avg_kminus1
+        );
+        let t = sweep.render();
+        assert_eq!(t.len(), 4);
+    }
+}

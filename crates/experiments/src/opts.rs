@@ -1,0 +1,155 @@
+//! Minimal command-line option parsing shared by the experiment binaries.
+//!
+//! No external CLI dependency is warranted for five binaries with a
+//! handful of flags, so this is a tiny hand-rolled parser.
+
+/// Options common to all experiment binaries.
+///
+/// # Example
+/// ```
+/// use vlsi_experiments::opts::Options;
+/// let o = Options::parse(["--scale", "0.25", "--trials", "3", "--circuit", "ibm03"]
+///     .iter()
+///     .map(|s| s.to_string()))
+///     .unwrap();
+/// assert_eq!(o.scale, 0.25);
+/// assert_eq!(o.trials, 3);
+/// assert_eq!(o.circuits, vec!["ibm03".to_string()]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Instance scale factor (1.0 = the paper's full circuit sizes).
+    pub scale: f64,
+    /// Trials per data point (the paper averages 50).
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Circuits to run (`ibm01`…`ibm05`).
+    pub circuits: Vec<String>,
+    /// Emit CSV instead of the aligned text table.
+    pub csv: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 0.12,
+            trials: 5,
+            seed: 1999, // the paper's year — a fixed default for replicability
+            circuits: vec!["ibm01".into(), "ibm03".into()],
+            csv: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses the given arguments (excluding the program name).
+    ///
+    /// Recognised flags: `--scale F`, `--trials N`, `--seed N`,
+    /// `--circuit NAME` (repeatable), `--paper` (full scale, 50 trials),
+    /// `--csv`.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for unknown flags or bad values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut o = Options::default();
+        let mut explicit_circuits = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => o.scale = take(&mut it, "--scale")?,
+                "--trials" => o.trials = take(&mut it, "--trials")?,
+                "--seed" => o.seed = take(&mut it, "--seed")?,
+                "--circuit" => {
+                    if !explicit_circuits {
+                        o.circuits.clear();
+                        explicit_circuits = true;
+                    }
+                    o.circuits.push(it.next().ok_or("--circuit needs a value")?);
+                }
+                "--paper" => {
+                    o.scale = 1.0;
+                    o.trials = 50;
+                }
+                "--csv" => o.csv = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+            }
+        }
+        if o.trials == 0 {
+            return Err("--trials must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&o.scale) || o.scale <= 0.0 {
+            return Err("--scale must be in (0, 1]".into());
+        }
+        Ok(o)
+    }
+
+    /// Parses `std::env::args()`, printing usage and exiting on error.
+    pub fn from_env() -> Options {
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: [--scale F] [--trials N] [--seed N] [--circuit NAME]... [--paper] [--csv]
+  --scale F       instance scale, 1.0 = paper-size circuits (default 0.12)
+  --trials N      trials per data point (default 5; the paper used 50)
+  --seed N        base RNG seed (default 1999)
+  --circuit NAME  ibm01..ibm05, repeatable (default: ibm01 ibm03)
+  --paper         shorthand for --scale 1.0 --trials 50
+  --csv           machine-readable CSV output";
+
+fn take<I: Iterator<Item = String>, T: std::str::FromStr>(
+    it: &mut I,
+    flag: &str,
+) -> Result<T, String> {
+    it.next()
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("bad value for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.trials, 5);
+        assert_eq!(o.circuits.len(), 2);
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn paper_mode() {
+        let o = parse(&["--paper"]).unwrap();
+        assert_eq!(o.scale, 1.0);
+        assert_eq!(o.trials, 50);
+    }
+
+    #[test]
+    fn circuit_replaces_defaults() {
+        let o = parse(&["--circuit", "ibm05", "--circuit", "ibm02"]).unwrap();
+        assert_eq!(o.circuits, vec!["ibm05", "ibm02"]);
+    }
+
+    #[test]
+    fn rejects_unknown_and_bad() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--scale", "2.0"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! The paper's experimental fixing protocol.
+//!
+//! "In our experiments we choose to fix a subset of random vertices from
+//! the netlist. We either 1) fix the chosen vertices independently into
+//! random partitions (*rand*) or 2) fix the chosen vertices according to
+//! where they are assigned in the best min-cut solution we could find for
+//! the instance when no vertices were fixed (*good*). [...] We
+//! incrementally fix additional vertices, e.g., all vertices fixed at 1.0%
+//! are also fixed at 2.0%."
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use vlsi_hypergraph::{FixedVertices, Hypergraph, PartId, VertexId};
+
+/// The two fixing regimes of Figures 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// Fix vertices where the best known free solution places them.
+    Good,
+    /// Fix vertices into independent uniformly random partitions.
+    Random,
+}
+
+impl Regime {
+    /// Short label used in reports (`good` / `rand`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Regime::Good => "good",
+            Regime::Random => "rand",
+        }
+    }
+}
+
+/// The percentages swept in the paper's Figures 1 and 2.
+pub const PAPER_PERCENTAGES: [f64; 12] = [
+    0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0,
+];
+
+/// An incremental fixing schedule: one random vertex order and one
+/// per-vertex partition assignment, from which the fixity table for any
+/// percentage can be materialised. Because the order is shared, the fixed
+/// sets are nested exactly as in the paper.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use vlsi_hypergraph::{HypergraphBuilder, PartId};
+/// use vlsi_experiments::regimes::{FixSchedule, Regime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// for _ in 0..100 {
+///     b.add_vertex(1);
+/// }
+/// let hg = b.build()?;
+/// let good = vec![PartId(0); 100];
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let sched = FixSchedule::new(&hg, Regime::Good, &good, &mut rng);
+/// let at10 = sched.at_percent(10.0);
+/// assert_eq!(at10.num_fixed(), 10);
+/// // Nesting: everything fixed at 5% is also fixed at 10%.
+/// let at5 = sched.at_percent(5.0);
+/// for (v, _) in at5.iter_fixed() {
+///     assert!(at10.fixity(v).is_fixed());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixSchedule {
+    order: Vec<VertexId>,
+    assignment: Vec<PartId>,
+    num_vertices: usize,
+}
+
+impl FixSchedule {
+    /// Draws a schedule for `hg` under `regime`. `good_solution` supplies
+    /// the target partitions for [`Regime::Good`] (it is also consulted for
+    /// the partition count under [`Regime::Random`]).
+    ///
+    /// # Panics
+    /// Panics if `good_solution.len() != hg.num_vertices()`.
+    pub fn new<R: Rng + ?Sized>(
+        hg: &Hypergraph,
+        regime: Regime,
+        good_solution: &[PartId],
+        rng: &mut R,
+    ) -> Self {
+        let all: Vec<VertexId> = hg.vertices().collect();
+        Self::new_restricted(hg, regime, good_solution, &all, rng)
+    }
+
+    /// Like [`FixSchedule::new`] but drawing the fixing order only from
+    /// `candidates` — e.g. the identified I/O pads, as in the paper's
+    /// control experiment ("we could find no difference in any experiment
+    /// between fixing identified I/Os and fixing random vertices").
+    /// Percentages remain relative to the whole vertex set, so the largest
+    /// reachable percentage is `candidates.len() / num_vertices` (the paper
+    /// likewise stops at the pad count).
+    ///
+    /// # Panics
+    /// Panics if `good_solution.len() != hg.num_vertices()`.
+    pub fn new_restricted<R: Rng + ?Sized>(
+        hg: &Hypergraph,
+        regime: Regime,
+        good_solution: &[PartId],
+        candidates: &[VertexId],
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(good_solution.len(), hg.num_vertices(), "solution length");
+        let num_parts = good_solution
+            .iter()
+            .map(|p| p.index() + 1)
+            .max()
+            .unwrap_or(2)
+            .max(2);
+        let mut order: Vec<VertexId> = candidates.to_vec();
+        order.shuffle(rng);
+        let assignment = match regime {
+            Regime::Good => good_solution.to_vec(),
+            Regime::Random => (0..hg.num_vertices())
+                .map(|_| PartId(rng.gen_range(0..num_parts as u32)))
+                .collect(),
+        };
+        FixSchedule {
+            order,
+            assignment,
+            num_vertices: hg.num_vertices(),
+        }
+    }
+
+    /// Number of vertices fixed at `percent` (rounded to nearest; capped
+    /// at the candidate pool size).
+    pub fn count_at_percent(&self, percent: f64) -> usize {
+        ((self.num_vertices as f64 * percent / 100.0).round() as usize).min(self.order.len())
+    }
+
+    /// Materialises the fixity table with the first `percent`% of the
+    /// schedule fixed.
+    pub fn at_percent(&self, percent: f64) -> FixedVertices {
+        let k = self.count_at_percent(percent);
+        let mut fixed = FixedVertices::all_free(self.num_vertices);
+        for &v in &self.order[..k] {
+            fixed.fix(v, self.assignment[v.index()]);
+        }
+        fixed
+    }
+
+    /// The underlying per-vertex target assignment.
+    pub fn assignment(&self) -> &[PartId] {
+        &self.assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vlsi_hypergraph::HypergraphBuilder;
+
+    fn hg(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..n {
+            b.add_vertex(1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn good_regime_uses_solution_parts() {
+        let g = hg(50);
+        let good: Vec<PartId> = (0..50).map(|i| PartId(i % 2)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let s = FixSchedule::new(&g, Regime::Good, &good, &mut rng);
+        let fx = s.at_percent(100.0);
+        for v in g.vertices() {
+            assert!(fx.fixity(v).allows(good[v.index()]));
+        }
+    }
+
+    #[test]
+    fn random_regime_differs_from_good() {
+        let g = hg(200);
+        let good: Vec<PartId> = vec![PartId(0); 200];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = FixSchedule::new(&g, Regime::Random, &good, &mut rng);
+        let fx = s.at_percent(100.0);
+        let ones = g
+            .vertices()
+            .filter(|&v| fx.fixity(v) == vlsi_hypergraph::Fixity::Fixed(PartId(1)))
+            .count();
+        assert!(ones > 50, "random fixing should hit both partitions");
+    }
+
+    #[test]
+    fn nesting_holds_across_all_paper_percentages() {
+        let g = hg(1000);
+        let good: Vec<PartId> = (0..1000).map(|i| PartId(i % 2)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let s = FixSchedule::new(&g, Regime::Random, &good, &mut rng);
+        let mut prev_count = 0;
+        for &pct in &PAPER_PERCENTAGES {
+            let fx = s.at_percent(pct);
+            assert!(fx.num_fixed() >= prev_count);
+            prev_count = fx.num_fixed();
+        }
+        assert_eq!(s.at_percent(50.0).num_fixed(), 500);
+    }
+
+    #[test]
+    fn restricted_schedule_fixes_only_candidates() {
+        let g = hg(100);
+        let good: Vec<PartId> = (0..100).map(|i| PartId(i % 2)).collect();
+        let pads: Vec<VertexId> = (90..100).map(VertexId).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let s = FixSchedule::new_restricted(&g, Regime::Good, &good, &pads, &mut rng);
+        // 5% of 100 vertices = 5 fixed, all drawn from the pads.
+        let fx = s.at_percent(5.0);
+        assert_eq!(fx.num_fixed(), 5);
+        for (v, _) in fx.iter_fixed() {
+            assert!(pads.contains(&v), "{v} is not a pad");
+        }
+        // Percentages beyond the pool size cap at the pool, as the paper
+        // does ("the percentage is limited by the total number of pads").
+        assert_eq!(s.at_percent(50.0).num_fixed(), 10);
+    }
+
+    #[test]
+    fn zero_percent_is_free() {
+        let g = hg(10);
+        let good = vec![PartId(0); 10];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let s = FixSchedule::new(&g, Regime::Good, &good, &mut rng);
+        assert_eq!(s.at_percent(0.0).num_fixed(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Regime::Good.label(), "good");
+        assert_eq!(Regime::Random.label(), "rand");
+    }
+}

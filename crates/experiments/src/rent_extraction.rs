@@ -1,0 +1,229 @@
+//! Partitioning-based Rent-exponent extraction.
+//!
+//! The standard empirical procedure (Landman & Russo, and the wire-length
+//! literature the paper cites): recursively bisect the netlist with a
+//! min-cut partitioner, record `(block size, external nets)` for every
+//! block of the partitioning hierarchy, and fit `log T = log k + p·log C`.
+//! Applied to our synthetic circuits this measures the *realised* Rent
+//! exponent with machinery completely independent of the generator's own
+//! bookkeeping — the honest check that the IBM-substitute circuits really
+//! have the structure the experiments assume.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use vlsi_hypergraph::{
+    induced_subgraph, BalanceConstraint, FixedVertices, Hypergraph, PartId, Tolerance, VertexId,
+};
+use vlsi_partition::{MultilevelConfig, MultilevelPartitioner, PartitionError};
+
+/// One observation: a block of `cells` vertices with `external` nets
+/// crossing its boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RentSample {
+    /// Number of vertices in the block.
+    pub cells: usize,
+    /// Number of nets with pins both inside and outside the block.
+    pub external: usize,
+}
+
+/// Recursively bisects `hg` down to `min_block` vertices, recording a
+/// [`RentSample`] for every block of the hierarchy.
+///
+/// # Errors
+/// Propagates partitioning failures.
+pub fn rent_samples(
+    hg: &Hypergraph,
+    min_block: usize,
+    ml_config: &MultilevelConfig,
+    seed: u64,
+) -> Result<Vec<RentSample>, PartitionError> {
+    let mut samples = Vec::new();
+    let all: Vec<VertexId> = hg.vertices().collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    recurse(hg, &all, min_block, ml_config, &mut rng, &mut samples)?;
+    Ok(samples)
+}
+
+fn recurse(
+    hg: &Hypergraph,
+    block: &[VertexId],
+    min_block: usize,
+    ml_config: &MultilevelConfig,
+    rng: &mut ChaCha8Rng,
+    samples: &mut Vec<RentSample>,
+) -> Result<(), PartitionError> {
+    if block.len() < hg.num_vertices() {
+        // Count nets crossing the block boundary.
+        let mut inside = vec![false; hg.num_vertices()];
+        for &v in block {
+            inside[v.index()] = true;
+        }
+        let external = hg
+            .nets()
+            .filter(|&n| {
+                let pins = hg.net_pins(n);
+                let ins = pins.iter().filter(|p| inside[p.index()]).count();
+                ins > 0 && ins < pins.len()
+            })
+            .count();
+        samples.push(RentSample {
+            cells: block.len(),
+            external,
+        });
+    }
+    if block.len() <= min_block.max(2) {
+        return Ok(());
+    }
+
+    let mut inside = vec![false; hg.num_vertices()];
+    for &v in block {
+        inside[v.index()] = true;
+    }
+    let sub = induced_subgraph(hg, 2, |v| inside[v.index()]);
+    if sub.hg.num_vertices() < 4 {
+        return Ok(());
+    }
+    let wmax = sub
+        .hg
+        .vertices()
+        .map(|v| sub.hg.vertex_weight(v))
+        .max()
+        .unwrap_or(0);
+    let slack = ((sub.hg.total_weight() as f64) * 0.05) as u64;
+    let balance =
+        BalanceConstraint::bisection(sub.hg.total_weight(), Tolerance::Absolute(slack.max(wmax)));
+    let free = FixedVertices::all_free(sub.hg.num_vertices());
+    let ml = MultilevelPartitioner::new(*ml_config);
+    let result = ml.run(&sub.hg, &free, &balance, rng)?;
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (sv, &pv) in sub.to_parent.iter().enumerate() {
+        if result.parts[sv] == PartId(0) {
+            left.push(pv);
+        } else {
+            right.push(pv);
+        }
+    }
+    if left.is_empty() || right.is_empty() {
+        return Ok(()); // degenerate split: stop recursing here
+    }
+    recurse(hg, &left, min_block, ml_config, rng, samples)?;
+    recurse(hg, &right, min_block, ml_config, rng, samples)?;
+    Ok(())
+}
+
+/// Mean external-net count over the samples whose block size lies in
+/// `[lo, hi)`. Unlike the two-parameter power-law fit (where `k` and `p`
+/// trade off over a limited size range), this is a robust, directly
+/// comparable observable: richer Rent structure means more external nets
+/// at any fixed block size.
+pub fn band_average(samples: &[RentSample], lo: usize, hi: usize) -> Option<f64> {
+    let in_band: Vec<&RentSample> = samples
+        .iter()
+        .filter(|s| s.cells >= lo && s.cells < hi)
+        .collect();
+    if in_band.is_empty() {
+        return None;
+    }
+    Some(in_band.iter().map(|s| s.external as f64).sum::<f64>() / in_band.len() as f64)
+}
+
+/// Least-squares fit of the Rent exponent over samples with at least
+/// `min_cells` vertices. Returns `(exponent, coefficient k)`; `None` with
+/// fewer than three usable samples.
+pub fn fit_rent(samples: &[RentSample], min_cells: usize) -> Option<(f64, f64)> {
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.cells >= min_cells && s.external > 0)
+        .map(|s| ((s.cells as f64).ln(), (s.external as f64).ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let p = (n * sxy - sx * sy) / denom;
+    let logk = (sy - p * sx) / n;
+    Some((p, logk.exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+
+    #[test]
+    fn extraction_orders_with_generator_target() {
+        // The two-parameter power-law fit is collinear over a limited size
+        // range (k and p trade off), so the robust observable is the mean
+        // external-net count in a fixed size band: a richer Rent structure
+        // must show more boundary nets at any fixed block size. The fitted
+        // exponent itself is checked only for plausibility.
+        let extract = |target: f64| {
+            let circuit = Generator::new(GeneratorConfig {
+                num_cells: 2048,
+                rent_exponent: target,
+                num_pads: 32,
+                ..GeneratorConfig::default()
+            })
+            .generate(5);
+            let cfg = MultilevelConfig {
+                coarsest_size: 40,
+                coarse_starts: 2,
+                ..MultilevelConfig::default()
+            };
+            let samples = rent_samples(&circuit.hypergraph, 32, &cfg, 9).unwrap();
+            assert!(samples.len() > 20, "need a real hierarchy");
+            let band = band_average(&samples, 128, 512).expect("band populated");
+            let (p, _) = fit_rent(&samples, 48).expect("fit succeeds");
+            (band, p)
+        };
+        let (band_low, p_low) = extract(0.50);
+        let (band_high, p_high) = extract(0.68);
+        assert!(
+            band_high > band_low * 1.3,
+            "external nets at fixed size must grow with the target: {band_low:.1} vs {band_high:.1}"
+        );
+        for p in [p_low, p_high] {
+            assert!((0.25..0.85).contains(&p), "implausible exponent {p}");
+        }
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(fit_rent(&[], 1).is_none());
+        let flat = vec![
+            RentSample {
+                cells: 10,
+                external: 5,
+            };
+            5
+        ];
+        assert!(fit_rent(&flat, 1).is_none(), "zero variance in x");
+    }
+
+    #[test]
+    fn fit_recovers_exact_power_law() {
+        let samples: Vec<RentSample> = (3..12)
+            .map(|i| {
+                let c = 1usize << i;
+                RentSample {
+                    cells: c,
+                    external: (3.5 * (c as f64).powf(0.6)).round() as usize,
+                }
+            })
+            .collect();
+        let (p, k) = fit_rent(&samples, 1).unwrap();
+        assert!((p - 0.6).abs() < 0.02, "p = {p}");
+        assert!((k - 3.5).abs() < 0.5, "k = {k}");
+    }
+}

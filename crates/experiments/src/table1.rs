@@ -1,0 +1,72 @@
+//! Table I: block sizes below which the expected number of fixed vertices
+//! exceeds 5%, 10% or 20% of all vertices, for a range of Rent parameters
+//! (`k = 3.5`).
+
+use vlsi_netgen::rent::{table_one, TableOneRow};
+
+use crate::report::Table;
+
+/// The Rent parameters the paper tabulates (0.47 is the classic Landman–
+/// Russo logic value; 0.68 the modern-design estimate it cites).
+pub const PAPER_RENT_PARAMETERS: [f64; 8] = [0.47, 0.50, 0.55, 0.57, 0.60, 0.62, 0.65, 0.68];
+
+/// Computes the Table I rows.
+pub fn compute() -> Vec<TableOneRow> {
+    table_one(&PAPER_RENT_PARAMETERS)
+}
+
+/// Renders Table I.
+///
+/// # Example
+/// ```
+/// let t = vlsi_experiments::table1::render();
+/// assert!(t.to_text().contains("0.68"));
+/// ```
+pub fn render() -> Table {
+    let mut t = Table::new(vec![
+        "p".into(),
+        "C (5% fixed)".into(),
+        "C (10% fixed)".into(),
+        "C (20% fixed)".into(),
+    ]);
+    for row in compute() {
+        t.row(vec![
+            format!("{:.2}", row.p_milli as f64 / 1000.0),
+            row.c_5pct.to_string(),
+            row.c_10pct.to_string(),
+            row.c_20pct.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_rows() {
+        let t = render();
+        assert_eq!(t.len(), PAPER_RENT_PARAMETERS.len());
+    }
+
+    #[test]
+    fn rows_increase_with_p() {
+        let rows = compute();
+        for w in rows.windows(2) {
+            assert!(w[1].c_10pct > w[0].c_10pct);
+        }
+    }
+
+    #[test]
+    fn sizable_blocks_have_high_fixed_share() {
+        // The paper's headline: "even rather sizable subblocks of the design
+        // can be expected to have a high proportion of fixed terminals."
+        let rows = compute();
+        let p068 = rows.last().unwrap();
+        assert!(
+            p068.c_20pct > 1000,
+            "20% threshold at p=0.68 should exceed 1000 cells"
+        );
+    }
+}

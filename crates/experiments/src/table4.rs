@@ -1,0 +1,91 @@
+//! Table IV: parameters of the new fixed-terminal benchmarks derived from
+//! placements (cells, pads, nets, external nets, `Max%`).
+
+use vlsi_netgen::blocks::{standard_instances, BlockInstance};
+use vlsi_netgen::Circuit;
+use vlsi_netgen::Point;
+
+use crate::report::{fmt_f64, Table};
+
+/// Derives the eight standard instances (blocks A–D × cutlines V/H) for a
+/// circuit using the given placement (or the circuit's native one).
+pub fn derive(circuit: &Circuit, placement: Option<&[Point]>) -> Vec<BlockInstance> {
+    standard_instances(circuit, placement)
+}
+
+/// Renders the Table IV rows for a batch of instances.
+///
+/// # Example
+/// ```
+/// use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+/// use vlsi_experiments::table4;
+///
+/// let c = Generator::new(GeneratorConfig {
+///     num_cells: 300,
+///     ..GeneratorConfig::default()
+/// })
+/// .generate(1);
+/// let instances = table4::derive(&c, None);
+/// let t = table4::render(&instances);
+/// assert_eq!(t.len(), instances.len());
+/// ```
+pub fn render(instances: &[BlockInstance]) -> Table {
+    let mut t = Table::new(vec![
+        "instance".into(),
+        "cells".into(),
+        "pads".into(),
+        "nets".into(),
+        "ext nets".into(),
+        "pins".into(),
+        "Max%".into(),
+        "fixed%".into(),
+    ]);
+    for inst in instances {
+        let s = inst.stats();
+        t.row(vec![
+            inst.name.clone(),
+            s.num_cells.to_string(),
+            s.num_pads.to_string(),
+            s.num_nets.to_string(),
+            s.num_external_nets.to_string(),
+            s.num_pins.to_string(),
+            fmt_f64(s.max_weight_percent, 2),
+            fmt_f64(100.0 * s.num_pads as f64 / s.num_vertices as f64, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+
+    #[test]
+    fn eight_rows_per_circuit() {
+        let c = Generator::new(GeneratorConfig {
+            num_cells: 400,
+            ..GeneratorConfig::default()
+        })
+        .generate(3);
+        let instances = derive(&c, None);
+        let t = render(&instances);
+        assert_eq!(t.len(), 8);
+        let text = t.to_text();
+        assert!(text.contains("_A_V"));
+        assert!(text.contains("_D_H"));
+    }
+
+    #[test]
+    fn external_nets_reported() {
+        let c = Generator::new(GeneratorConfig {
+            num_cells: 500,
+            ..GeneratorConfig::default()
+        })
+        .generate(4);
+        let instances = derive(&c, None);
+        // Sub-die blocks must have external nets.
+        let b = instances.iter().find(|i| i.name.contains("_B_")).unwrap();
+        assert!(b.stats().num_external_nets > 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Incremental construction of [`Hypergraph`] values.
+
+use crate::error::BuildError;
+use crate::graph::Hypergraph;
+use crate::{NetId, VertexId};
+
+/// Builder for [`Hypergraph`].
+///
+/// Vertices are added first (optionally with multi-resource weights), nets
+/// reference them. [`HypergraphBuilder::build`] packs everything into
+/// immutable CSR arrays.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::HypergraphBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let a = b.add_vertex(2);
+/// let c = b.add_vertex(3);
+/// b.add_net(1, [a, c])?;
+/// let hg = b.build()?;
+/// assert_eq!(hg.num_vertices(), 2);
+/// assert_eq!(hg.total_weight(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HypergraphBuilder {
+    num_resources: usize,
+    weights: Vec<u64>,
+    names: Vec<Option<String>>,
+    net_weights: Vec<u64>,
+    net_offsets: Vec<usize>,
+    net_pins: Vec<VertexId>,
+    any_named: bool,
+}
+
+impl HypergraphBuilder {
+    /// Creates a builder for single-resource (scalar-weight) hypergraphs.
+    pub fn new() -> Self {
+        Self::with_resources(1)
+    }
+
+    /// Creates a builder whose vertices carry `num_resources` weights each
+    /// (Section IV: multi-balanced partitioning, e.g. area + pin count +
+    /// power).
+    ///
+    /// # Panics
+    /// Panics if `num_resources == 0`.
+    pub fn with_resources(num_resources: usize) -> Self {
+        assert!(num_resources >= 1, "at least one resource type required");
+        HypergraphBuilder {
+            num_resources,
+            weights: Vec::new(),
+            names: Vec::new(),
+            net_weights: Vec::new(),
+            net_offsets: vec![0],
+            net_pins: Vec::new(),
+            any_named: false,
+        }
+    }
+
+    /// Pre-allocates space for the given numbers of vertices, nets and pins.
+    pub fn with_capacity(num_vertices: usize, num_nets: usize, num_pins: usize) -> Self {
+        let mut b = Self::new();
+        b.weights.reserve(num_vertices);
+        b.names.reserve(num_vertices);
+        b.net_weights.reserve(num_nets);
+        b.net_offsets.reserve(num_nets + 1);
+        b.net_pins.reserve(num_pins);
+        b
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.net_weights.len()
+    }
+
+    /// Adds a vertex with a scalar weight (resource 0); any additional
+    /// resources are zero.
+    pub fn add_vertex(&mut self, weight: u64) -> VertexId {
+        let id = VertexId::from_index(self.names.len());
+        self.weights.push(weight);
+        self.weights
+            .extend(std::iter::repeat_n(0, self.num_resources - 1));
+        self.names.push(None);
+        id
+    }
+
+    /// Adds a vertex with one weight per resource type.
+    ///
+    /// # Errors
+    /// Returns [`BuildError::ResourceArity`] if `weights.len()` differs from
+    /// the builder's resource count.
+    pub fn add_vertex_multi(&mut self, weights: &[u64]) -> Result<VertexId, BuildError> {
+        if weights.len() != self.num_resources {
+            return Err(BuildError::ResourceArity {
+                vertex: VertexId::from_index(self.names.len()),
+                expected: self.num_resources,
+                found: weights.len(),
+            });
+        }
+        let id = VertexId::from_index(self.names.len());
+        self.weights.extend_from_slice(weights);
+        self.names.push(None);
+        Ok(id)
+    }
+
+    /// Attaches a human-readable name to a vertex (used by the file formats).
+    ///
+    /// # Panics
+    /// Panics if `vertex` has not been added.
+    pub fn set_vertex_name(&mut self, vertex: VertexId, name: impl Into<String>) {
+        self.names[vertex.index()] = Some(name.into());
+        self.any_named = true;
+    }
+
+    /// Adds a net with the given weight and pins.
+    ///
+    /// Single-pin nets are accepted (they can never be cut but occur in real
+    /// netlists); duplicate pins within one net are rejected.
+    ///
+    /// # Errors
+    /// * [`BuildError::EmptyNet`] if `pins` is empty.
+    /// * [`BuildError::UnknownVertex`] if a pin references a vertex that was
+    ///   never added.
+    /// * [`BuildError::DuplicatePin`] if the same vertex appears twice.
+    pub fn add_net<I>(&mut self, weight: u64, pins: I) -> Result<NetId, BuildError>
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let net = NetId::from_index(self.net_weights.len());
+        let start = self.net_pins.len();
+        for pin in pins {
+            if pin.index() >= self.names.len() {
+                self.net_pins.truncate(start);
+                return Err(BuildError::UnknownVertex {
+                    vertex: pin,
+                    num_vertices: self.names.len(),
+                });
+            }
+            if self.net_pins[start..].contains(&pin) {
+                self.net_pins.truncate(start);
+                return Err(BuildError::DuplicatePin { net, vertex: pin });
+            }
+            self.net_pins.push(pin);
+        }
+        if self.net_pins.len() == start {
+            return Err(BuildError::EmptyNet { net });
+        }
+        self.net_weights.push(weight);
+        self.net_offsets.push(self.net_pins.len());
+        Ok(net)
+    }
+
+    /// Like [`HypergraphBuilder::add_net`] but silently drops duplicate pins
+    /// instead of failing — convenient when translating netlists in which a
+    /// cell may legitimately connect to the same signal through several pins.
+    ///
+    /// # Errors
+    /// Returns [`BuildError::EmptyNet`] / [`BuildError::UnknownVertex`] as
+    /// [`HypergraphBuilder::add_net`] does.
+    pub fn add_net_dedup<I>(&mut self, weight: u64, pins: I) -> Result<NetId, BuildError>
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let net = NetId::from_index(self.net_weights.len());
+        let start = self.net_pins.len();
+        for pin in pins {
+            if pin.index() >= self.names.len() {
+                self.net_pins.truncate(start);
+                return Err(BuildError::UnknownVertex {
+                    vertex: pin,
+                    num_vertices: self.names.len(),
+                });
+            }
+            if !self.net_pins[start..].contains(&pin) {
+                self.net_pins.push(pin);
+            }
+        }
+        if self.net_pins.len() == start {
+            return Err(BuildError::EmptyNet { net });
+        }
+        self.net_weights.push(weight);
+        self.net_offsets.push(self.net_pins.len());
+        Ok(net)
+    }
+
+    /// Finalizes the builder into an immutable [`Hypergraph`].
+    ///
+    /// # Errors
+    /// Currently infallible for inputs accepted by the `add_*` methods, but
+    /// returns `Result` to keep room for cross-net validation.
+    pub fn build(self) -> Result<Hypergraph, BuildError> {
+        let names = if self.any_named {
+            Some(
+                self.names
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, n)| n.unwrap_or_else(|| format!("v{i}")))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        Ok(Hypergraph::from_parts(
+            self.num_resources,
+            self.weights,
+            names,
+            self.net_weights,
+            self.net_offsets,
+            self.net_pins,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_graph() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|i| b.add_vertex(i + 1)).collect();
+        b.add_net(1, [v[0], v[1], v[2]]).unwrap();
+        b.add_net(2, [v[2], v[3]]).unwrap();
+        let hg = b.build().unwrap();
+        assert_eq!(hg.num_vertices(), 4);
+        assert_eq!(hg.num_nets(), 2);
+        assert_eq!(hg.num_pins(), 5);
+        assert_eq!(hg.total_weight(), 1 + 2 + 3 + 4);
+        assert_eq!(hg.net_pins(NetId(0)), &[v[0], v[1], v[2]]);
+        assert_eq!(hg.vertex_nets(v[2]), &[NetId(0), NetId(1)]);
+    }
+
+    #[test]
+    fn empty_net_rejected() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(1);
+        let err = b.add_net(1, []).unwrap_err();
+        assert!(matches!(err, BuildError::EmptyNet { .. }));
+    }
+
+    #[test]
+    fn unknown_vertex_rejected_and_builder_still_usable() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let err = b.add_net(1, [v0, VertexId(9)]).unwrap_err();
+        assert!(matches!(err, BuildError::UnknownVertex { .. }));
+        // failed add must not leave partial pins behind
+        b.add_net(1, [v0]).unwrap();
+        let hg = b.build().unwrap();
+        assert_eq!(hg.num_pins(), 1);
+    }
+
+    #[test]
+    fn duplicate_pin_rejected() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let err = b.add_net(1, [v0, v0]).unwrap_err();
+        assert!(matches!(err, BuildError::DuplicatePin { .. }));
+    }
+
+    #[test]
+    fn dedup_variant_drops_duplicates() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let v1 = b.add_vertex(1);
+        b.add_net_dedup(1, [v0, v1, v0]).unwrap();
+        let hg = b.build().unwrap();
+        assert_eq!(hg.net_pins(NetId(0)).len(), 2);
+    }
+
+    #[test]
+    fn multi_resource_weights() {
+        let mut b = HypergraphBuilder::with_resources(3);
+        let v = b.add_vertex_multi(&[4, 5, 6]).unwrap();
+        let w = b.add_vertex(9); // scalar fills remaining resources with 0
+        let hg = b.build().unwrap();
+        assert_eq!(hg.vertex_weights(v), &[4, 5, 6]);
+        assert_eq!(hg.vertex_weights(w), &[9, 0, 0]);
+        assert_eq!(hg.total_weights(), &[13, 5, 6]);
+    }
+
+    #[test]
+    fn resource_arity_checked() {
+        let mut b = HypergraphBuilder::with_resources(2);
+        let err = b.add_vertex_multi(&[1]).unwrap_err();
+        assert!(matches!(err, BuildError::ResourceArity { .. }));
+    }
+
+    #[test]
+    fn names_defaulted_when_any_set() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let v1 = b.add_vertex(1);
+        b.set_vertex_name(v0, "pad_in");
+        let hg = b.build().unwrap();
+        assert_eq!(hg.vertex_name(v0), Some("pad_in"));
+        assert_eq!(hg.vertex_name(v1), Some("v1"));
+    }
+
+    #[test]
+    fn names_absent_when_never_set() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let hg = b.build().unwrap();
+        assert_eq!(hg.vertex_name(v0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn zero_resources_rejected() {
+        let _ = HypergraphBuilder::with_resources(0);
+    }
+}

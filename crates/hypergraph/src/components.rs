@@ -1,0 +1,104 @@
+//! Connected components of a hypergraph (vertices linked through shared
+//! nets).
+
+use crate::{Hypergraph, VertexId};
+
+/// Labels each vertex with a dense component id (`0..num_components`),
+/// returning `(labels, num_components)`. Vertices incident to no net form
+/// singleton components.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::{connected_components, HypergraphBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let a = b.add_vertex(1);
+/// let c = b.add_vertex(1);
+/// let isolated = b.add_vertex(1);
+/// b.add_net(1, [a, c])?;
+/// let hg = b.build()?;
+/// let (labels, n) = connected_components(&hg);
+/// assert_eq!(n, 2);
+/// assert_eq!(labels[a.index()], labels[c.index()]);
+/// assert_ne!(labels[a.index()], labels[isolated.index()]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn connected_components(hg: &Hypergraph) -> (Vec<u32>, usize) {
+    const UNSEEN: u32 = u32::MAX;
+    let mut labels = vec![UNSEEN; hg.num_vertices()];
+    let mut next = 0u32;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for start in hg.vertices() {
+        if labels[start.index()] != UNSEEN {
+            continue;
+        }
+        labels[start.index()] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &n in hg.vertex_nets(v) {
+                for &u in hg.net_pins(n) {
+                    if labels[u.index()] == UNSEEN {
+                        labels[u.index()] = next;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next as usize)
+}
+
+/// Size (vertex count) of the largest connected component.
+pub fn largest_component_size(hg: &Hypergraph) -> usize {
+    let (labels, n) = connected_components(hg);
+    let mut sizes = vec![0usize; n];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    #[test]
+    fn single_net_is_one_component() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+        b.add_net(1, v.clone()).unwrap();
+        let hg = b.build().unwrap();
+        let (labels, n) = connected_components(&hg);
+        assert_eq!(n, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert_eq!(largest_component_size(&hg), 4);
+    }
+
+    #[test]
+    fn disjoint_nets_make_components() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+        b.add_net(1, [v[0], v[1]]).unwrap();
+        b.add_net(1, [v[2], v[3], v[4]]).unwrap();
+        let hg = b.build().unwrap();
+        let (labels, n) = connected_components(&hg);
+        assert_eq!(n, 3); // {0,1}, {2,3,4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_eq!(largest_component_size(&hg), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let hg = HypergraphBuilder::new().build().unwrap();
+        let (labels, n) = connected_components(&hg);
+        assert!(labels.is_empty());
+        assert_eq!(n, 0);
+        assert_eq!(largest_component_size(&hg), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Strongly-typed index newtypes for vertices, nets and partitions.
+//!
+//! All three wrap `u32` and provide `index()` for slice access. Using
+//! newtypes rather than raw `usize` statically prevents mixing a net index
+//! into a vertex array (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a vertex (a cell, pad or terminal) in a [`crate::Hypergraph`].
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::VertexId;
+/// let v = VertexId(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a net (hyperedge) in a [`crate::Hypergraph`].
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::NetId;
+/// assert_eq!(NetId(7).index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NetId(pub u32);
+
+/// Identifier of a partition (block) in a [`crate::Partitioning`].
+///
+/// Partition ids are dense: a k-way partitioning uses `PartId(0)..PartId(k)`.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::PartId;
+/// assert_eq!(PartId(1).other_side(), PartId(0));
+/// assert_eq!(PartId(0).other_side(), PartId(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartId(pub u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Returns the id as a `usize` suitable for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id overflows u32"))
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$ty> for usize {
+            fn from(id: $ty) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+impl_id!(VertexId, "v");
+impl_id!(NetId, "n");
+impl_id!(PartId, "p");
+
+impl PartId {
+    /// In a bipartitioning, the opposite side of this partition.
+    ///
+    /// # Panics
+    /// Panics if `self` is not `PartId(0)` or `PartId(1)`.
+    #[inline]
+    pub fn other_side(self) -> PartId {
+        match self.0 {
+            0 => PartId(1),
+            1 => PartId(0),
+            other => panic!("other_side called on non-bipartition id p{other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        assert_eq!(VertexId::from_index(42).index(), 42);
+        assert_eq!(NetId::from_index(0).index(), 0);
+        assert_eq!(PartId::from_index(3).index(), 3);
+    }
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(VertexId(1).to_string(), "v1");
+        assert_eq!(NetId(2).to_string(), "n2");
+        assert_eq!(PartId(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn other_side_flips() {
+        assert_eq!(PartId(0).other_side(), PartId(1));
+        assert_eq!(PartId(1).other_side(), PartId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-bipartition")]
+    fn other_side_panics_for_multiway() {
+        let _ = PartId(2).other_side();
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId(1) < VertexId(2));
+        let mut v = vec![NetId(3), NetId(1), NetId(2)];
+        v.sort();
+        assert_eq!(v, vec![NetId(1), NetId(2), NetId(3)]);
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let n: usize = VertexId(9).into();
+        assert_eq!(n, 9);
+    }
+}

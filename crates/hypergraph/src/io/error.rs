@@ -1,0 +1,87 @@
+//! Parse errors for the instance file formats.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use crate::BuildError;
+
+/// Error produced while parsing an instance file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be interpreted.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The parsed tokens described an invalid hypergraph.
+    Build(BuildError),
+}
+
+impl ParseError {
+    /// Builds a [`ParseError::Malformed`] for `line` (1-based) — public so
+    /// downstream parsers of related formats (e.g. Bookshelf) can reuse the
+    /// error type.
+    pub fn malformed(line: usize, message: impl Into<String>) -> Self {
+        ParseError::Malformed {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseError::Build(e) => write!(f, "invalid hypergraph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Build(e) => Some(e),
+            ParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+impl From<BuildError> for ParseError {
+    fn from(e: BuildError) -> Self {
+        ParseError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_number() {
+        let e = ParseError::malformed(7, "bad token");
+        assert_eq!(e.to_string(), "line 7: bad token");
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e = ParseError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,145 @@
+//! `.fix` fixed-vertex files.
+//!
+//! One line per vertex, in vertex order:
+//!
+//! * `-1` — the vertex is free (hMetis convention);
+//! * `P` — the vertex is fixed in partition `P`;
+//! * `P,Q,...` — the vertex is fixed in *one of* the listed partitions
+//!   (the paper's "or" semantics for propagated terminals, Section IV).
+//!
+//! Lines starting with `%` are comments.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::io::ParseError;
+use crate::{FixedVertices, Fixity, PartId, PartSet};
+
+/// Reads a `.fix` file covering `num_vertices` vertices.
+///
+/// # Errors
+/// Returns [`ParseError`] if the file has the wrong number of entries, a
+/// malformed token, or a partition index ≥ 64.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::io::read_fix;
+/// use vlsi_hypergraph::{Fixity, PartId, VertexId};
+/// let fx = read_fix("-1\n1\n0,2\n".as_bytes(), 3)?;
+/// assert!(fx.fixity(VertexId(0)).is_free());
+/// assert_eq!(fx.fixity(VertexId(1)), Fixity::Fixed(PartId(1)));
+/// assert!(fx.fixity(VertexId(2)).allows(PartId(2)));
+/// # Ok::<(), vlsi_hypergraph::io::ParseError>(())
+/// ```
+pub fn read_fix<R: Read>(reader: R, num_vertices: usize) -> Result<FixedVertices, ParseError> {
+    let buf = BufReader::new(reader);
+    let mut fixities = Vec::with_capacity(num_vertices);
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        if fixities.len() == num_vertices {
+            return Err(ParseError::malformed(
+                line_no,
+                format!("more than {num_vertices} fixity entries"),
+            ));
+        }
+        if trimmed == "-1" {
+            fixities.push(Fixity::Free);
+            continue;
+        }
+        let mut set = PartSet::new();
+        for tok in trimmed.split(',') {
+            let p: u32 = tok.trim().parse().map_err(|_| {
+                ParseError::malformed(line_no, format!("bad partition index `{tok}`"))
+            })?;
+            if p as usize >= PartSet::MAX_PARTS {
+                return Err(ParseError::malformed(
+                    line_no,
+                    format!("partition index {p} exceeds the maximum of 63"),
+                ));
+            }
+            set.insert(PartId(p));
+        }
+        fixities.push(if set.len() == 1 {
+            Fixity::Fixed(set.iter().next().expect("non-empty set"))
+        } else {
+            Fixity::FixedAny(set)
+        });
+    }
+    if fixities.len() != num_vertices {
+        return Err(ParseError::malformed(
+            0,
+            format!(
+                "expected {num_vertices} fixity entries, found {}",
+                fixities.len()
+            ),
+        ));
+    }
+    Ok(FixedVertices::from_fixities(fixities))
+}
+
+/// Writes a `.fix` file.
+///
+/// # Errors
+/// Propagates I/O errors from `writer`.
+pub fn write_fix<W: Write>(mut writer: W, fixed: &FixedVertices) -> std::io::Result<()> {
+    for fixity in fixed.as_slice() {
+        match fixity {
+            Fixity::Free => writeln!(writer, "-1")?,
+            Fixity::Fixed(p) => writeln!(writer, "{}", p.0)?,
+            Fixity::FixedAny(set) => {
+                let parts: Vec<String> = set.iter().map(|p| p.0.to_string()).collect();
+                writeln!(writer, "{}", parts.join(","))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexId;
+
+    #[test]
+    fn roundtrip_all_fixity_kinds() {
+        let mut fx = FixedVertices::all_free(4);
+        fx.fix(VertexId(1), PartId(0));
+        fx.fix_any(VertexId(2), [PartId(1), PartId(3)].into_iter().collect());
+        let mut out = Vec::new();
+        write_fix(&mut out, &fx).unwrap();
+        let back = read_fix(out.as_slice(), 4).unwrap();
+        assert_eq!(back, fx);
+    }
+
+    #[test]
+    fn single_element_or_becomes_fixed() {
+        let fx = read_fix("2\n".as_bytes(), 1).unwrap();
+        assert_eq!(fx.fixity(VertexId(0)), Fixity::Fixed(PartId(2)));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        assert!(read_fix("-1\n".as_bytes(), 2).is_err());
+        assert!(read_fix("-1\n-1\n-1\n".as_bytes(), 2).is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let fx = read_fix("% hi\n-1\n".as_bytes(), 1).unwrap();
+        assert!(fx.fixity(VertexId(0)).is_free());
+    }
+
+    #[test]
+    fn oversized_part_index_rejected() {
+        assert!(read_fix("64\n".as_bytes(), 1).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(read_fix("zero\n".as_bytes(), 1).is_err());
+    }
+}

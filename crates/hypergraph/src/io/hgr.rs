@@ -1,0 +1,225 @@
+//! hMetis `.hgr` reader and writer.
+//!
+//! Format (hMetis manual §5): the first non-comment line is
+//! `num_nets num_vertices [fmt]` where `fmt` is `1` (net weights), `10`
+//! (vertex weights) or `11` (both). Then one line per net: optional weight
+//! followed by 1-based vertex indices; finally, with vertex weights, one
+//! weight per line. Lines starting with `%` are comments.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::io::ParseError;
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Reads an hMetis-format hypergraph.
+///
+/// # Errors
+/// Returns [`ParseError`] on I/O failure, malformed tokens, out-of-range
+/// vertex indices, or empty nets. Duplicate pins within a net are tolerated
+/// (deduplicated), matching hMetis behaviour.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::io::read_hgr;
+/// let text = "% tiny\n2 3 11\n7 1 2\n3 2 3\n4\n5\n6\n";
+/// let hg = read_hgr(text.as_bytes())?;
+/// assert_eq!(hg.num_nets(), 2);
+/// assert_eq!(hg.vertex_weight(vlsi_hypergraph::VertexId(0)), 4);
+/// assert_eq!(hg.net_weight(vlsi_hypergraph::NetId(1)), 3);
+/// # Ok::<(), vlsi_hypergraph::io::ParseError>(())
+/// ```
+pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseError> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        lines.push((idx + 1, trimmed.to_string()));
+    }
+    let mut it = lines.into_iter();
+    let (hdr_line, header) = it
+        .next()
+        .ok_or_else(|| ParseError::malformed(1, "missing header line"))?;
+    let mut hdr = header.split_whitespace();
+    let num_nets: usize = parse_tok(hdr.next(), hdr_line, "net count")?;
+    let num_vertices: usize = parse_tok(hdr.next(), hdr_line, "vertex count")?;
+    let fmt: u32 = match hdr.next() {
+        Some(tok) => tok
+            .parse()
+            .map_err(|_| ParseError::malformed(hdr_line, format!("bad fmt field `{tok}`")))?,
+        None => 0,
+    };
+    let (net_weights, vertex_weights) = match fmt {
+        0 => (false, false),
+        1 => (true, false),
+        10 => (false, true),
+        11 => (true, true),
+        other => {
+            return Err(ParseError::malformed(
+                hdr_line,
+                format!("unsupported fmt `{other}` (expected 0, 1, 10 or 11)"),
+            ))
+        }
+    };
+
+    let mut builder = HypergraphBuilder::new();
+    // Vertex weights come *after* the nets, so create unit vertices now and
+    // patch weights by rebuilding if needed.
+    let mut weights = vec![1u64; num_vertices];
+    let mut nets: Vec<(u64, Vec<VertexId>)> = Vec::with_capacity(num_nets);
+
+    for _ in 0..num_nets {
+        let (line_no, line) = it
+            .next()
+            .ok_or_else(|| ParseError::malformed(hdr_line, "fewer net lines than declared"))?;
+        let mut toks = line.split_whitespace();
+        let weight: u64 = if net_weights {
+            parse_tok(toks.next(), line_no, "net weight")?
+        } else {
+            1
+        };
+        let mut pins = Vec::new();
+        for tok in toks {
+            let idx: usize = tok
+                .parse()
+                .map_err(|_| ParseError::malformed(line_no, format!("bad vertex index `{tok}`")))?;
+            if idx == 0 || idx > num_vertices {
+                return Err(ParseError::malformed(
+                    line_no,
+                    format!("vertex index {idx} out of range 1..={num_vertices}"),
+                ));
+            }
+            pins.push(VertexId::from_index(idx - 1));
+        }
+        if pins.is_empty() {
+            return Err(ParseError::malformed(line_no, "net with no pins"));
+        }
+        nets.push((weight, pins));
+    }
+
+    if vertex_weights {
+        for w in weights.iter_mut() {
+            let (line_no, line) = it.next().ok_or_else(|| {
+                ParseError::malformed(hdr_line, "fewer vertex-weight lines than declared")
+            })?;
+            *w = line
+                .split_whitespace()
+                .next()
+                .ok_or_else(|| ParseError::malformed(line_no, "empty vertex weight line"))?
+                .parse()
+                .map_err(|_| ParseError::malformed(line_no, "bad vertex weight"))?;
+        }
+    }
+
+    for &w in &weights {
+        builder.add_vertex(w);
+    }
+    for (w, pins) in nets {
+        builder.add_net_dedup(w, pins)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Writes a hypergraph in hMetis format (fmt 11: both weight kinds).
+///
+/// # Errors
+/// Propagates I/O errors from `writer`.
+pub fn write_hgr<W: Write>(mut writer: W, hg: &Hypergraph) -> std::io::Result<()> {
+    writeln!(writer, "{} {} 11", hg.num_nets(), hg.num_vertices())?;
+    for n in hg.nets() {
+        write!(writer, "{}", hg.net_weight(n))?;
+        for p in hg.net_pins(n) {
+            write!(writer, " {}", p.index() + 1)?;
+        }
+        writeln!(writer)?;
+    }
+    for v in hg.vertices() {
+        writeln!(writer, "{}", hg.vertex_weight(v))?;
+    }
+    Ok(())
+}
+
+fn parse_tok<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    let tok = tok.ok_or_else(|| ParseError::malformed(line, format!("missing {what}")))?;
+    tok.parse()
+        .map_err(|_| ParseError::malformed(line, format!("bad {what} `{tok}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetId;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|i| b.add_vertex(i as u64 + 1)).collect();
+        b.add_net(5, [v[0], v[1], v[3]]).unwrap();
+        b.add_net(1, [v[2], v[3]]).unwrap();
+        let hg = b.build().unwrap();
+
+        let mut out = Vec::new();
+        write_hgr(&mut out, &hg).unwrap();
+        let back = read_hgr(out.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), 4);
+        assert_eq!(back.num_nets(), 2);
+        assert_eq!(back.net_weight(NetId(0)), 5);
+        assert_eq!(back.net_pins(NetId(0)), hg.net_pins(NetId(0)));
+        assert_eq!(back.vertex_weight(VertexId(2)), 3);
+    }
+
+    #[test]
+    fn unweighted_fmt_defaults_to_ones() {
+        let text = "2 3\n1 2\n2 3\n";
+        let hg = read_hgr(text.as_bytes()).unwrap();
+        assert_eq!(hg.net_weight(NetId(0)), 1);
+        assert_eq!(hg.vertex_weight(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "% header comment\n\n1 2 1\n% net comment\n9 1 2\n";
+        let hg = read_hgr(text.as_bytes()).unwrap();
+        assert_eq!(hg.net_weight(NetId(0)), 9);
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let text = "1 2\n1 3\n";
+        let err = read_hgr(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn zero_index_rejected() {
+        let text = "1 2\n0 1\n";
+        assert!(read_hgr(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn missing_net_lines_rejected() {
+        let text = "3 2\n1 2\n";
+        let err = read_hgr(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("fewer net lines"));
+    }
+
+    #[test]
+    fn bad_fmt_rejected() {
+        let text = "1 2 99\n1 2\n";
+        assert!(read_hgr(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_pins_deduplicated() {
+        let text = "1 2\n1 2 1\n";
+        let hg = read_hgr(text.as_bytes()).unwrap();
+        assert_eq!(hg.net_size(NetId(0)), 2);
+    }
+}

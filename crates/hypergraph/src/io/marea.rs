@@ -1,0 +1,183 @@
+//! The paper's proposed *multi-area* file type (Section IV): "each area
+//! corresponds to a given resource type; this is a straightforward
+//! extension of the are file format with multiple module areas repeated on
+//! the same line."
+//!
+//! Format: one line per vertex, in vertex order, holding `k ≥ 1`
+//! whitespace-separated non-negative integers (the same `k` on every
+//! line). Lines starting with `%` or `#` are comments.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::io::ParseError;
+use crate::{Hypergraph, HypergraphBuilder};
+
+/// Reads a multi-area file covering `num_vertices` vertices. Returns the
+/// number of resource types and the flat row-major weight matrix.
+///
+/// # Errors
+/// Returns [`ParseError`] if lines disagree on the resource count, a value
+/// is malformed, or the entry count does not match `num_vertices`.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::io::read_multi_are;
+/// let (k, w) = read_multi_are("3 1 7\n2 2 0\n".as_bytes(), 2)?;
+/// assert_eq!(k, 3);
+/// assert_eq!(w, vec![3, 1, 7, 2, 2, 0]);
+/// # Ok::<(), vlsi_hypergraph::io::ParseError>(())
+/// ```
+pub fn read_multi_are<R: Read>(
+    reader: R,
+    num_vertices: usize,
+) -> Result<(usize, Vec<u64>), ParseError> {
+    let buf = BufReader::new(reader);
+    let mut num_resources = 0usize;
+    let mut weights: Vec<u64> = Vec::new();
+    let mut rows = 0usize;
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<u64>, _> = trimmed.split_whitespace().map(str::parse).collect();
+        let row = row.map_err(|_| ParseError::malformed(line_no, "bad area value"))?;
+        if rows == 0 {
+            num_resources = row.len();
+            if num_resources == 0 {
+                return Err(ParseError::malformed(line_no, "empty area line"));
+            }
+        } else if row.len() != num_resources {
+            return Err(ParseError::malformed(
+                line_no,
+                format!("line has {} areas, expected {num_resources}", row.len()),
+            ));
+        }
+        if rows == num_vertices {
+            return Err(ParseError::malformed(
+                line_no,
+                format!("more than {num_vertices} area lines"),
+            ));
+        }
+        weights.extend(row);
+        rows += 1;
+    }
+    if rows != num_vertices {
+        return Err(ParseError::malformed(
+            0,
+            format!("expected {num_vertices} area lines, found {rows}"),
+        ));
+    }
+    Ok((num_resources, weights))
+}
+
+/// Writes a hypergraph's vertex weights as a multi-area file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_multi_are<W: Write>(mut writer: W, hg: &Hypergraph) -> std::io::Result<()> {
+    for v in hg.vertices() {
+        let row: Vec<String> = hg.vertex_weights(v).iter().map(u64::to_string).collect();
+        writeln!(writer, "{}", row.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Rebuilds `hg` with the multi-resource weights from a multi-area file —
+/// the connectivity is untouched, every vertex gains `num_resources`
+/// weights.
+///
+/// # Errors
+/// Returns [`ParseError`] if the weight matrix shape disagrees with `hg`.
+pub fn apply_multi_areas(
+    hg: &Hypergraph,
+    num_resources: usize,
+    weights: &[u64],
+) -> Result<Hypergraph, ParseError> {
+    if weights.len() != hg.num_vertices() * num_resources {
+        return Err(ParseError::malformed(
+            0,
+            format!(
+                "weight matrix has {} entries, expected {}",
+                weights.len(),
+                hg.num_vertices() * num_resources
+            ),
+        ));
+    }
+    let mut b = HypergraphBuilder::with_resources(num_resources);
+    for v in hg.vertices() {
+        let s = v.index() * num_resources;
+        b.add_vertex_multi(&weights[s..s + num_resources])?;
+        if let Some(name) = hg.vertex_name(v) {
+            b.set_vertex_name(v, name);
+        }
+    }
+    for n in hg.nets() {
+        b.add_net(hg.net_weight(n), hg.net_pins(n).iter().copied())?;
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexId;
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let u = b.add_vertex(1);
+        let v = b.add_vertex(1);
+        b.add_net(1, [u, v]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_multi_resource_graph() {
+        let mut b = HypergraphBuilder::with_resources(3);
+        let u = b.add_vertex_multi(&[1, 2, 3]).unwrap();
+        let v = b.add_vertex_multi(&[4, 0, 6]).unwrap();
+        b.add_net(1, [u, v]).unwrap();
+        let hg = b.build().unwrap();
+
+        let mut out = Vec::new();
+        write_multi_are(&mut out, &hg).unwrap();
+        let (k, w) = read_multi_are(out.as_slice(), 2).unwrap();
+        assert_eq!(k, 3);
+        assert_eq!(w, vec![1, 2, 3, 4, 0, 6]);
+    }
+
+    #[test]
+    fn apply_upgrades_resource_count() {
+        let hg = sample();
+        let upgraded = apply_multi_areas(&hg, 2, &[5, 1, 7, 2]).unwrap();
+        assert_eq!(upgraded.num_resources(), 2);
+        assert_eq!(upgraded.vertex_weights(VertexId(1)), &[7, 2]);
+        assert_eq!(upgraded.num_nets(), hg.num_nets());
+        assert_eq!(upgraded.total_weights(), &[12, 3]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let hg = sample();
+        assert!(apply_multi_areas(&hg, 2, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn ragged_lines_rejected() {
+        assert!(read_multi_are("1 2\n3\n".as_bytes(), 2).is_err());
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        assert!(read_multi_are("1 2\n".as_bytes(), 2).is_err());
+        assert!(read_multi_are("1\n2\n3\n".as_bytes(), 2).is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let (k, w) = read_multi_are("% multi-area\n# also a comment\n9\n".as_bytes(), 1).unwrap();
+        assert_eq!((k, w), (1, vec![9]));
+    }
+}

@@ -1,0 +1,29 @@
+//! Reading and writing partitioning instances.
+//!
+//! Three textual formats are supported:
+//!
+//! * **hMetis `.hgr`** ([`read_hgr`] / [`write_hgr`]) — the de-facto
+//!   standard exchange format for hypergraph partitioning benchmarks, with
+//!   optional net and vertex weights.
+//! * **Fixed-vertex `.fix` files** ([`read_fix`] / [`write_fix`]) — one line
+//!   per vertex: `-1` for free, a partition index for fixed, or a
+//!   comma-separated list of indices for the paper's "or" semantics
+//!   (a terminal fixed in more than one partition, Section IV).
+//! * **ACM/SIGDA `.netD`/`.are`** ([`read_netd`] / [`write_netd`]) — the
+//!   classic benchmark format referenced in the paper's introduction, where
+//!   pads (`pNN` modules) are distinguished from cells (`aNN` modules).
+//!
+//! All readers take `R: Read` by value (pass `&mut reader` to keep using the
+//! reader afterwards); writers take `W: Write` the same way.
+
+mod error;
+mod fix;
+mod hgr;
+mod marea;
+mod netare;
+
+pub use error::ParseError;
+pub use fix::{read_fix, write_fix};
+pub use hgr::{read_hgr, write_hgr};
+pub use marea::{apply_multi_areas, read_multi_are, write_multi_are};
+pub use netare::{read_netd, write_netd, NetD};

@@ -1,0 +1,341 @@
+//! ACM/SIGDA `.netD`/`.are` benchmark format.
+//!
+//! The classic format referenced in the paper's introduction. A `.netD`
+//! file consists of a five-line header —
+//!
+//! ```text
+//! 0
+//! <num_pins>
+//! <num_nets>
+//! <num_modules>
+//! <pad_offset>
+//! ```
+//!
+//! — followed by one line per pin: `<module> <s|l> [I|O|B]`, where `s`
+//! starts a new net and `l` continues the current one. Modules named `aK`
+//! are cells with vertex index `K`; modules named `pK` are pads with vertex
+//! index `pad_offset + K - 1`. The companion `.are` file lists
+//! `<module> <area>` pairs (and, in the paper's proposed *multi-area*
+//! extension, several areas per line).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::io::ParseError;
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// A parsed `.netD` instance: the hypergraph plus the cell/pad distinction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetD {
+    /// The netlist hypergraph. Cells occupy the low vertex indices, pads the
+    /// high ones (starting at [`NetD::pad_offset`]).
+    pub hypergraph: Hypergraph,
+    /// Index of the first pad vertex.
+    pub pad_offset: usize,
+}
+
+impl NetD {
+    /// Returns `true` if `vertex` is a pad (I/O terminal).
+    pub fn is_pad(&self, vertex: VertexId) -> bool {
+        vertex.index() >= self.pad_offset
+    }
+
+    /// Number of pad vertices.
+    pub fn num_pads(&self) -> usize {
+        self.hypergraph.num_vertices() - self.pad_offset
+    }
+}
+
+fn module_index(token: &str, pad_offset: usize, line: usize) -> Result<usize, ParseError> {
+    let (kind, rest) = token.split_at(1);
+    let idx: usize = rest
+        .parse()
+        .map_err(|_| ParseError::malformed(line, format!("bad module name `{token}`")))?;
+    match kind {
+        "a" => Ok(idx),
+        "p" => {
+            if idx == 0 {
+                return Err(ParseError::malformed(line, "pads are numbered from p1"));
+            }
+            Ok(pad_offset + idx - 1)
+        }
+        _ => Err(ParseError::malformed(
+            line,
+            format!("module `{token}` must start with `a` or `p`"),
+        )),
+    }
+}
+
+/// Reads a `.netD` netlist and an optional `.are` area file.
+///
+/// Vertices without an `.are` entry (or when `are` is `None`) get area 1 for
+/// cells and 0 for pads — pads are the zero-area terminals of the paper.
+///
+/// # Errors
+/// Returns [`ParseError`] for malformed headers, unknown module names, pins
+/// before the first `s` marker, or count mismatches.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::io::read_netd;
+/// let netd = "0\n4\n2\n3\n2\n\
+///             a0 s\na1 l\n\
+///             a1 s\np1 l\n";
+/// let are = "a0 5\na1 3\np1 0\n";
+/// let inst = read_netd(netd.as_bytes(), Some(are.as_bytes()))?;
+/// assert_eq!(inst.hypergraph.num_nets(), 2);
+/// assert_eq!(inst.num_pads(), 1);
+/// # Ok::<(), vlsi_hypergraph::io::ParseError>(())
+/// ```
+pub fn read_netd<R: Read, A: Read>(netd: R, are: Option<A>) -> Result<NetD, ParseError> {
+    let buf = BufReader::new(netd);
+    let mut lines = buf.lines().enumerate();
+
+    let mut header = [0usize; 5];
+    for slot in header.iter_mut() {
+        let (idx, line) = lines
+            .next()
+            .ok_or_else(|| ParseError::malformed(0, "truncated header"))?;
+        let line = line?;
+        *slot = line.trim().parse().map_err(|_| {
+            ParseError::malformed(idx + 1, format!("bad header value `{}`", line.trim()))
+        })?;
+    }
+    let [_, num_pins, num_nets, num_modules, pad_offset_raw] = header;
+    // The classic files store the index of the last non-pad module here; we
+    // accept either that or the count of non-pad modules (off-by-one safe
+    // because pads are zero-area and named explicitly).
+    let pad_offset = pad_offset_raw.min(num_modules);
+
+    let mut builder = HypergraphBuilder::with_capacity(num_modules, num_nets, num_pins);
+    let mut areas = vec![None::<u64>; num_modules];
+    for i in 0..num_modules {
+        builder.add_vertex(0); // weights patched below via rebuild
+        let name = if i < pad_offset {
+            format!("a{i}")
+        } else {
+            format!("p{}", i - pad_offset + 1)
+        };
+        builder.set_vertex_name(VertexId::from_index(i), name);
+    }
+
+    let mut nets: Vec<(u64, Vec<VertexId>)> = Vec::with_capacity(num_nets);
+    let mut current: Vec<VertexId> = Vec::new();
+    let mut pins_seen = 0usize;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        let module = toks
+            .next()
+            .ok_or_else(|| ParseError::malformed(line_no, "missing module name"))?;
+        let marker = toks
+            .next()
+            .ok_or_else(|| ParseError::malformed(line_no, "missing s/l marker"))?;
+        let vid = module_index(module, pad_offset, line_no)?;
+        if vid >= num_modules {
+            return Err(ParseError::malformed(
+                line_no,
+                format!("module `{module}` out of range ({num_modules} modules)"),
+            ));
+        }
+        pins_seen += 1;
+        match marker {
+            "s" => {
+                if !current.is_empty() {
+                    nets.push((1, std::mem::take(&mut current)));
+                }
+                current.push(VertexId::from_index(vid));
+            }
+            "l" => {
+                if current.is_empty() {
+                    return Err(ParseError::malformed(
+                        line_no,
+                        "continuation pin before any `s` marker",
+                    ));
+                }
+                current.push(VertexId::from_index(vid));
+            }
+            other => {
+                return Err(ParseError::malformed(
+                    line_no,
+                    format!("unknown pin marker `{other}` (expected `s` or `l`)"),
+                ))
+            }
+        }
+    }
+    if !current.is_empty() {
+        nets.push((1, current));
+    }
+    if nets.len() != num_nets {
+        return Err(ParseError::malformed(
+            0,
+            format!("header declared {num_nets} nets, found {}", nets.len()),
+        ));
+    }
+    if pins_seen != num_pins {
+        return Err(ParseError::malformed(
+            0,
+            format!("header declared {num_pins} pins, found {pins_seen}"),
+        ));
+    }
+
+    if let Some(are) = are {
+        let buf = BufReader::new(are);
+        for (idx, line) in buf.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut toks = trimmed.split_whitespace();
+            let module = toks
+                .next()
+                .ok_or_else(|| ParseError::malformed(line_no, "missing module name"))?;
+            let area: u64 = toks
+                .next()
+                .ok_or_else(|| ParseError::malformed(line_no, "missing area"))?
+                .parse()
+                .map_err(|_| ParseError::malformed(line_no, "bad area value"))?;
+            let vid = module_index(module, pad_offset, line_no)?;
+            if vid >= num_modules {
+                return Err(ParseError::malformed(
+                    line_no,
+                    format!("module `{module}` out of range"),
+                ));
+            }
+            areas[vid] = Some(area);
+        }
+    }
+
+    // Rebuild with the final areas (the builder's vertices were placeholders).
+    let mut b = HypergraphBuilder::with_capacity(num_modules, num_nets, num_pins);
+    for (i, area) in areas.iter().enumerate() {
+        let default = if i < pad_offset { 1 } else { 0 };
+        let v = b.add_vertex(area.unwrap_or(default));
+        let name = if i < pad_offset {
+            format!("a{i}")
+        } else {
+            format!("p{}", i - pad_offset + 1)
+        };
+        b.set_vertex_name(v, name);
+    }
+    for (w, pins) in nets {
+        b.add_net_dedup(w, pins)?;
+    }
+    Ok(NetD {
+        hypergraph: b.build()?,
+        pad_offset,
+    })
+}
+
+/// Writes a [`NetD`] instance as a `.netD` file and its areas as `.are`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_netd<W: Write, A: Write>(
+    mut netd_out: W,
+    mut are_out: A,
+    inst: &NetD,
+) -> std::io::Result<()> {
+    let hg = &inst.hypergraph;
+    writeln!(netd_out, "0")?;
+    writeln!(netd_out, "{}", hg.num_pins())?;
+    writeln!(netd_out, "{}", hg.num_nets())?;
+    writeln!(netd_out, "{}", hg.num_vertices())?;
+    writeln!(netd_out, "{}", inst.pad_offset)?;
+    let name = |v: VertexId| {
+        if v.index() < inst.pad_offset {
+            format!("a{}", v.index())
+        } else {
+            format!("p{}", v.index() - inst.pad_offset + 1)
+        }
+    };
+    for n in hg.nets() {
+        for (i, &p) in hg.net_pins(n).iter().enumerate() {
+            let marker = if i == 0 { "s" } else { "l" };
+            writeln!(netd_out, "{} {marker}", name(p))?;
+        }
+    }
+    for v in hg.vertices() {
+        writeln!(are_out, "{} {}", name(v), hg.vertex_weight(v))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetId;
+
+    const SAMPLE: &str = "0\n5\n2\n4\n3\na0 s\na1 l\np1 l\na2 s\na1 l\n";
+
+    #[test]
+    fn parse_sample() {
+        let inst = read_netd(SAMPLE.as_bytes(), None::<&[u8]>).unwrap();
+        let hg = &inst.hypergraph;
+        assert_eq!(hg.num_vertices(), 4);
+        assert_eq!(hg.num_nets(), 2);
+        assert_eq!(hg.num_pins(), 5);
+        assert_eq!(inst.pad_offset, 3);
+        assert_eq!(inst.num_pads(), 1);
+        assert!(inst.is_pad(VertexId(3)));
+        assert!(!inst.is_pad(VertexId(2)));
+        // default areas: cells 1, pads 0
+        assert_eq!(hg.vertex_weight(VertexId(0)), 1);
+        assert_eq!(hg.vertex_weight(VertexId(3)), 0);
+        assert_eq!(hg.vertex_name(VertexId(3)), Some("p1"));
+    }
+
+    #[test]
+    fn areas_applied() {
+        let are = "a0 7\np1 2\n";
+        let inst = read_netd(SAMPLE.as_bytes(), Some(are.as_bytes())).unwrap();
+        assert_eq!(inst.hypergraph.vertex_weight(VertexId(0)), 7);
+        assert_eq!(inst.hypergraph.vertex_weight(VertexId(3)), 2);
+        assert_eq!(inst.hypergraph.vertex_weight(VertexId(1)), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let inst = read_netd(SAMPLE.as_bytes(), None::<&[u8]>).unwrap();
+        let (mut nd, mut ar) = (Vec::new(), Vec::new());
+        write_netd(&mut nd, &mut ar, &inst).unwrap();
+        let back = read_netd(nd.as_slice(), Some(ar.as_slice())).unwrap();
+        assert_eq!(back.hypergraph.num_nets(), 2);
+        assert_eq!(back.pad_offset, inst.pad_offset);
+        assert_eq!(
+            back.hypergraph.net_pins(NetId(0)),
+            inst.hypergraph.net_pins(NetId(0))
+        );
+    }
+
+    #[test]
+    fn continuation_before_source_rejected() {
+        let text = "0\n1\n1\n1\n1\na0 l\n";
+        assert!(read_netd(text.as_bytes(), None::<&[u8]>).is_err());
+    }
+
+    #[test]
+    fn net_count_mismatch_rejected() {
+        let text = "0\n2\n5\n2\n2\na0 s\na1 l\n";
+        let err = read_netd(text.as_bytes(), None::<&[u8]>).unwrap_err();
+        assert!(err.to_string().contains("declared 5 nets"));
+    }
+
+    #[test]
+    fn bad_module_name_rejected() {
+        let text = "0\n1\n1\n1\n1\nx0 s\n";
+        assert!(read_netd(text.as_bytes(), None::<&[u8]>).is_err());
+    }
+
+    #[test]
+    fn pad_zero_rejected() {
+        let text = "0\n1\n1\n1\n0\np0 s\n";
+        assert!(read_netd(text.as_bytes(), None::<&[u8]>).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Induced sub-hypergraph extraction.
+//!
+//! Used by recursive bisection (k-way partitioning) and by the top-down
+//! placer, which repeatedly restricts the netlist to the cells of one block.
+
+use crate::{FixedVertices, Fixity, Hypergraph, HypergraphBuilder, VertexId};
+
+/// An induced sub-hypergraph together with the vertex correspondence.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted hypergraph.
+    pub hg: Hypergraph,
+    /// `to_parent[sub_vertex] = parent_vertex`.
+    pub to_parent: Vec<VertexId>,
+    /// `to_sub[parent_vertex] = Some(sub_vertex)` for selected vertices.
+    pub to_sub: Vec<Option<VertexId>>,
+}
+
+impl Subgraph {
+    /// Restricts a parent fixity table to the subgraph's vertices.
+    pub fn restrict_fixed(&self, fixed: &FixedVertices) -> FixedVertices {
+        FixedVertices::from_fixities(
+            self.to_parent
+                .iter()
+                .map(|&p| {
+                    if p.index() < fixed.len() {
+                        fixed.fixity(p)
+                    } else {
+                        Fixity::Free
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Extracts the sub-hypergraph induced by the vertices for which `select`
+/// returns `true`. Nets are restricted to their selected pins; restricted
+/// nets with fewer than `min_pins` pins are dropped (use 2 to discard nets
+/// that can never be cut, 1 to keep all connectivity).
+///
+/// # Panics
+/// Panics if `min_pins == 0`.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::{induced_subgraph, HypergraphBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+/// b.add_net(1, [v[0], v[1], v[2]])?;
+/// b.add_net(1, [v[2], v[3]])?;
+/// let hg = b.build()?;
+/// let sub = induced_subgraph(&hg, 2, |u| u.index() < 3);
+/// assert_eq!(sub.hg.num_vertices(), 3);
+/// assert_eq!(sub.hg.num_nets(), 1); // the 2-pin net lost a pin
+/// # Ok(())
+/// # }
+/// ```
+pub fn induced_subgraph<F: FnMut(VertexId) -> bool>(
+    hg: &Hypergraph,
+    min_pins: usize,
+    mut select: F,
+) -> Subgraph {
+    assert!(min_pins >= 1, "min_pins must be at least 1");
+    let mut to_sub = vec![None; hg.num_vertices()];
+    let mut to_parent = Vec::new();
+    let mut builder = HypergraphBuilder::with_resources(hg.num_resources());
+    for v in hg.vertices() {
+        if select(v) {
+            let sv = builder
+                .add_vertex_multi(hg.vertex_weights(v))
+                .expect("arity matches parent");
+            if let Some(name) = hg.vertex_name(v) {
+                builder.set_vertex_name(sv, name);
+            }
+            to_sub[v.index()] = Some(sv);
+            to_parent.push(v);
+        }
+    }
+    let mut pins = Vec::new();
+    for n in hg.nets() {
+        pins.clear();
+        pins.extend(hg.net_pins(n).iter().filter_map(|&p| to_sub[p.index()]));
+        if pins.len() >= min_pins {
+            builder
+                .add_net(hg.net_weight(n), pins.iter().copied())
+                .expect("pins are valid sub vertices");
+        }
+    }
+    Subgraph {
+        hg: builder.build().expect("valid subgraph"),
+        to_parent,
+        to_sub,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetId, PartId};
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..5).map(|i| b.add_vertex(i as u64 + 1)).collect();
+        b.add_net(2, [v[0], v[1], v[2]]).unwrap();
+        b.add_net(1, [v[2], v[3]]).unwrap();
+        b.add_net(1, [v[3], v[4]]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mapping_is_consistent() {
+        let hg = sample();
+        let sub = induced_subgraph(&hg, 2, |v| v.0 % 2 == 0); // v0, v2, v4
+        assert_eq!(sub.hg.num_vertices(), 3);
+        for (sv, &pv) in sub.to_parent.iter().enumerate() {
+            assert_eq!(sub.to_sub[pv.index()], Some(VertexId(sv as u32)));
+            assert_eq!(
+                sub.hg.vertex_weight(VertexId(sv as u32)),
+                hg.vertex_weight(pv)
+            );
+        }
+    }
+
+    #[test]
+    fn nets_restricted_and_filtered() {
+        let hg = sample();
+        let sub = induced_subgraph(&hg, 2, |v| v.0 <= 2);
+        // net0 keeps 3 pins, net1 drops to 1 pin (filtered), net2 to 0.
+        assert_eq!(sub.hg.num_nets(), 1);
+        assert_eq!(sub.hg.net_size(NetId(0)), 3);
+        assert_eq!(sub.hg.net_weight(NetId(0)), 2);
+    }
+
+    #[test]
+    fn min_pins_one_keeps_singletons() {
+        let hg = sample();
+        let sub = induced_subgraph(&hg, 1, |v| v.0 <= 2);
+        assert_eq!(sub.hg.num_nets(), 2);
+    }
+
+    #[test]
+    fn fixity_restriction() {
+        let hg = sample();
+        let mut fx = FixedVertices::all_free(5);
+        fx.fix(VertexId(2), PartId(1));
+        let sub = induced_subgraph(&hg, 2, |v| v.0 >= 2);
+        let sub_fx = sub.restrict_fixed(&fx);
+        assert_eq!(sub_fx.num_fixed(), 1);
+        let sv = sub.to_sub[2].unwrap();
+        assert!(sub_fx.fixity(sv).is_fixed());
+    }
+
+    #[test]
+    fn empty_selection() {
+        let hg = sample();
+        let sub = induced_subgraph(&hg, 2, |_| false);
+        assert_eq!(sub.hg.num_vertices(), 0);
+        assert_eq!(sub.hg.num_nets(), 0);
+    }
+}

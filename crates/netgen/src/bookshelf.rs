@@ -1,0 +1,404 @@
+//! GSRC Bookshelf netlist/placement I/O (`.nodes` / `.nets` / `.pl`).
+//!
+//! Section IV of the paper: "Detailed descriptions of new file formats are
+//! available in the Gigascale Silicon Research Center (GSRC) bookshelf for
+//! VLSI CAD algorithms." This module implements the classic trio used by
+//! the placement community:
+//!
+//! * `.nodes` — `name width height [terminal]` (terminals are pads);
+//! * `.nets` — `NetDegree : d [name]` headers followed by one pin line per
+//!   member;
+//! * `.pl` — `name x y : orientation [/FIXED]` placements.
+//!
+//! Round-tripping a [`Circuit`] through these files preserves the
+//! hypergraph, the cell/pad split, and the placement.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use vlsi_hypergraph::io::ParseError;
+use vlsi_hypergraph::{HypergraphBuilder, VertexId};
+
+use crate::circuit::Circuit;
+use crate::geometry::{Point, Rect};
+
+/// Writes the `.nodes` file of a circuit.
+///
+/// Cell areas are emitted as `width = area`, `height = 1`; pads get
+/// `0 0 terminal`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_nodes<W: Write>(mut w: W, circuit: &Circuit) -> std::io::Result<()> {
+    let hg = &circuit.hypergraph;
+    writeln!(w, "UCLA nodes 1.0")?;
+    writeln!(w, "NumNodes : {}", hg.num_vertices())?;
+    writeln!(w, "NumTerminals : {}", circuit.num_pads())?;
+    for v in hg.vertices() {
+        if circuit.is_pad(v) {
+            writeln!(w, "  p{} 0 0 terminal", v.index() - circuit.pad_offset)?;
+        } else {
+            writeln!(w, "  a{} {} 1", v.index(), hg.vertex_weight(v))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the `.nets` file of a circuit.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_nets<W: Write>(mut w: W, circuit: &Circuit) -> std::io::Result<()> {
+    let hg = &circuit.hypergraph;
+    writeln!(w, "UCLA nets 1.0")?;
+    writeln!(w, "NumNets : {}", hg.num_nets())?;
+    writeln!(w, "NumPins : {}", hg.num_pins())?;
+    for n in hg.nets() {
+        writeln!(w, "NetDegree : {} n{}", hg.net_size(n), n.index())?;
+        for (i, &p) in hg.net_pins(n).iter().enumerate() {
+            let name = node_name(circuit, p);
+            let dir = if i == 0 { "O" } else { "I" };
+            writeln!(w, "  {name} {dir}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the `.pl` placement file of a circuit (pads marked `/FIXED`).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_pl<W: Write>(mut w: W, circuit: &Circuit, positions: &[Point]) -> std::io::Result<()> {
+    assert_eq!(positions.len(), circuit.hypergraph.num_vertices());
+    writeln!(w, "UCLA pl 1.0")?;
+    for v in circuit.hypergraph.vertices() {
+        let name = node_name(circuit, v);
+        let p = positions[v.index()];
+        let suffix = if circuit.is_pad(v) { " /FIXED" } else { "" };
+        writeln!(w, "{name} {} {} : N{suffix}", p.x, p.y)?;
+    }
+    Ok(())
+}
+
+fn node_name(circuit: &Circuit, v: VertexId) -> String {
+    let mut s = String::new();
+    if circuit.is_pad(v) {
+        let _ = write!(s, "p{}", v.index() - circuit.pad_offset);
+    } else {
+        let _ = write!(s, "a{}", v.index());
+    }
+    s
+}
+
+/// Parsed node table: name → (index, is_terminal, area).
+struct NodeTable {
+    names: Vec<String>,
+    areas: Vec<u64>,
+    terminal: Vec<bool>,
+}
+
+fn parse_nodes<R: Read>(reader: R) -> Result<NodeTable, ParseError> {
+    let buf = BufReader::new(reader);
+    let mut table = NodeTable {
+        names: Vec::new(),
+        areas: Vec::new(),
+        terminal: Vec::new(),
+    };
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("UCLA") {
+            continue;
+        }
+        if t.starts_with("NumNodes") || t.starts_with("NumTerminals") {
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let name = toks
+            .next()
+            .ok_or_else(|| ParseError::malformed(line_no, "missing node name"))?;
+        let width: f64 = toks
+            .next()
+            .ok_or_else(|| ParseError::malformed(line_no, "missing width"))?
+            .parse()
+            .map_err(|_| ParseError::malformed(line_no, "bad width"))?;
+        let height: f64 = toks
+            .next()
+            .ok_or_else(|| ParseError::malformed(line_no, "missing height"))?
+            .parse()
+            .map_err(|_| ParseError::malformed(line_no, "bad height"))?;
+        let is_terminal = toks.next() == Some("terminal");
+        table.names.push(name.to_string());
+        table.areas.push((width * height.max(1.0)).round() as u64);
+        table.terminal.push(is_terminal);
+    }
+    Ok(table)
+}
+
+/// Reads a Bookshelf circuit from its `.nodes`, `.nets` and `.pl` streams.
+///
+/// # Errors
+/// Returns [`ParseError`] for malformed content, unknown node names in the
+/// nets or placement, or count mismatches.
+///
+/// # Example
+/// ```
+/// use vlsi_netgen::bookshelf::{read_bookshelf, write_nets, write_nodes, write_pl};
+/// use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+///
+/// let circuit = Generator::new(GeneratorConfig {
+///     num_cells: 50,
+///     ..GeneratorConfig::default()
+/// })
+/// .generate(3);
+/// let (mut nodes, mut nets, mut pl) = (Vec::new(), Vec::new(), Vec::new());
+/// write_nodes(&mut nodes, &circuit).unwrap();
+/// write_nets(&mut nets, &circuit).unwrap();
+/// write_pl(&mut pl, &circuit, &circuit.placement).unwrap();
+/// let back = read_bookshelf(nodes.as_slice(), nets.as_slice(), Some(pl.as_slice())).unwrap();
+/// assert_eq!(back.hypergraph.num_nets(), circuit.hypergraph.num_nets());
+/// assert_eq!(back.num_pads(), circuit.num_pads());
+/// ```
+pub fn read_bookshelf<N: Read, E: Read, P: Read>(
+    nodes: N,
+    nets: E,
+    pl: Option<P>,
+) -> Result<Circuit, ParseError> {
+    let table = parse_nodes(nodes)?;
+    let n = table.names.len();
+
+    // Cells first, pads after, mirroring the Circuit layout.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (table.terminal[i], i));
+    let mut new_index = vec![0usize; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_index[old] = new;
+    }
+    let pad_offset = table.terminal.iter().filter(|&&t| !t).count();
+
+    let mut builder = HypergraphBuilder::new();
+    let mut name_to_new = std::collections::HashMap::with_capacity(n);
+    for &old in &order {
+        let v = builder.add_vertex(if table.terminal[old] {
+            0
+        } else {
+            table.areas[old].max(1)
+        });
+        builder.set_vertex_name(v, table.names[old].clone());
+        name_to_new.insert(table.names[old].clone(), v);
+    }
+
+    // Parse .nets.
+    let buf = BufReader::new(nets);
+    let mut declared_nets = None::<usize>;
+    let mut current: Vec<VertexId> = Vec::new();
+    let mut pending = 0usize;
+    let mut nets_done = 0usize;
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("UCLA") || t.starts_with("NumPins") {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("NumNets") {
+            let v = rest.trim_start_matches([':', ' ']).trim();
+            declared_nets = Some(
+                v.parse()
+                    .map_err(|_| ParseError::malformed(line_no, "bad NumNets"))?,
+            );
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("NetDegree") {
+            if pending > 0 {
+                return Err(ParseError::malformed(
+                    line_no,
+                    "previous net has missing pins",
+                ));
+            }
+            if !current.is_empty() {
+                builder.add_net_dedup(1, current.drain(..))?;
+                nets_done += 1;
+            }
+            let v = rest.trim_start_matches([':', ' ']).trim();
+            let degree_tok = v.split_whitespace().next().unwrap_or("");
+            pending = degree_tok
+                .parse()
+                .map_err(|_| ParseError::malformed(line_no, "bad NetDegree"))?;
+            continue;
+        }
+        // A pin line.
+        if pending == 0 {
+            return Err(ParseError::malformed(line_no, "pin outside a net"));
+        }
+        let name = t
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| ParseError::malformed(line_no, "missing pin name"))?;
+        let v = *name_to_new
+            .get(name)
+            .ok_or_else(|| ParseError::malformed(line_no, format!("unknown node `{name}`")))?;
+        current.push(v);
+        pending -= 1;
+    }
+    if pending > 0 {
+        return Err(ParseError::malformed(0, "last net has missing pins"));
+    }
+    if !current.is_empty() {
+        builder.add_net_dedup(1, current.drain(..))?;
+        nets_done += 1;
+    }
+    if let Some(d) = declared_nets {
+        if d != nets_done {
+            return Err(ParseError::malformed(
+                0,
+                format!("NumNets declared {d}, found {nets_done}"),
+            ));
+        }
+    }
+    let hypergraph = builder.build()?;
+
+    // Parse .pl (optional).
+    let mut placement = vec![Point::default(); hypergraph.num_vertices()];
+    if let Some(pl) = pl {
+        let buf = BufReader::new(pl);
+        for (idx, line) in buf.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') || t.starts_with("UCLA") {
+                continue;
+            }
+            let mut toks = t.split_whitespace();
+            let name = toks
+                .next()
+                .ok_or_else(|| ParseError::malformed(line_no, "missing node name"))?;
+            let x: f64 = toks
+                .next()
+                .ok_or_else(|| ParseError::malformed(line_no, "missing x"))?
+                .parse()
+                .map_err(|_| ParseError::malformed(line_no, "bad x"))?;
+            let y: f64 = toks
+                .next()
+                .ok_or_else(|| ParseError::malformed(line_no, "missing y"))?
+                .parse()
+                .map_err(|_| ParseError::malformed(line_no, "bad y"))?;
+            let v = *name_to_new
+                .get(name)
+                .ok_or_else(|| ParseError::malformed(line_no, format!("unknown node `{name}`")))?;
+            placement[v.index()] = Point::new(x, y);
+        }
+    }
+
+    // Die = bounding box of the placement (or a unit box when absent).
+    let (mut x1, mut y1) = (1.0f64, 1.0f64);
+    for p in &placement {
+        x1 = x1.max(p.x);
+        y1 = y1.max(p.y);
+    }
+
+    Ok(Circuit {
+        name: "bookshelf".into(),
+        hypergraph,
+        placement,
+        pad_offset,
+        die: Rect::new(0.0, 0.0, x1, y1),
+        target_rent_exponent: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{Generator, GeneratorConfig};
+
+    fn circuit() -> Circuit {
+        Generator::new(GeneratorConfig {
+            num_cells: 120,
+            num_pads: 10,
+            ..GeneratorConfig::default()
+        })
+        .generate(9)
+    }
+
+    fn roundtrip(c: &Circuit) -> Circuit {
+        let (mut nodes, mut nets, mut pl) = (Vec::new(), Vec::new(), Vec::new());
+        write_nodes(&mut nodes, c).unwrap();
+        write_nets(&mut nets, c).unwrap();
+        write_pl(&mut pl, c, &c.placement).unwrap();
+        read_bookshelf(nodes.as_slice(), nets.as_slice(), Some(pl.as_slice())).unwrap()
+    }
+
+    #[test]
+    fn full_roundtrip_preserves_structure() {
+        let c = circuit();
+        let back = roundtrip(&c);
+        assert_eq!(back.hypergraph.num_vertices(), c.hypergraph.num_vertices());
+        assert_eq!(back.hypergraph.num_nets(), c.hypergraph.num_nets());
+        assert_eq!(back.hypergraph.num_pins(), c.hypergraph.num_pins());
+        assert_eq!(back.num_pads(), c.num_pads());
+        assert_eq!(back.pad_offset, c.pad_offset);
+        // Areas, placement and pad flags survive.
+        for v in c.hypergraph.vertices() {
+            assert_eq!(
+                back.hypergraph.vertex_weight(v),
+                c.hypergraph.vertex_weight(v),
+                "{v}"
+            );
+            let (a, b) = (back.placement[v.index()], c.placement[v.index()]);
+            assert!((a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nets_preserved_exactly() {
+        let c = circuit();
+        let back = roundtrip(&c);
+        for n in c.hypergraph.nets() {
+            assert_eq!(back.hypergraph.net_pins(n), c.hypergraph.net_pins(n));
+        }
+    }
+
+    #[test]
+    fn missing_pl_yields_default_positions() {
+        let c = circuit();
+        let (mut nodes, mut nets) = (Vec::new(), Vec::new());
+        write_nodes(&mut nodes, &c).unwrap();
+        write_nets(&mut nets, &c).unwrap();
+        let back = read_bookshelf(nodes.as_slice(), nets.as_slice(), None::<&[u8]>).unwrap();
+        assert!(back.placement.iter().all(|p| p.x == 0.0 && p.y == 0.0));
+    }
+
+    #[test]
+    fn unknown_pin_name_rejected() {
+        let nodes = "UCLA nodes 1.0\n a0 2 1\n";
+        let nets = "UCLA nets 1.0\nNumNets : 1\nNetDegree : 2 n0\n a0 O\n zz I\n";
+        let err = read_bookshelf(nodes.as_bytes(), nets.as_bytes(), None::<&[u8]>).unwrap_err();
+        assert!(err.to_string().contains("unknown node"));
+    }
+
+    #[test]
+    fn net_count_mismatch_rejected() {
+        let nodes = "UCLA nodes 1.0\n a0 2 1\n a1 2 1\n";
+        let nets = "UCLA nets 1.0\nNumNets : 2\nNetDegree : 2\n a0 O\n a1 I\n";
+        let err = read_bookshelf(nodes.as_bytes(), nets.as_bytes(), None::<&[u8]>).unwrap_err();
+        assert!(err.to_string().contains("NumNets"));
+    }
+
+    #[test]
+    fn truncated_net_rejected() {
+        let nodes = "UCLA nodes 1.0\n a0 2 1\n a1 2 1\n";
+        let nets = "UCLA nets 1.0\nNumNets : 1\nNetDegree : 3\n a0 O\n a1 I\n";
+        assert!(read_bookshelf(nodes.as_bytes(), nets.as_bytes(), None::<&[u8]>).is_err());
+    }
+
+    #[test]
+    fn terminals_have_zero_area_after_read() {
+        let c = circuit();
+        let back = roundtrip(&c);
+        for pad in back.pads() {
+            assert_eq!(back.hypergraph.vertex_weight(pad), 0);
+        }
+    }
+}

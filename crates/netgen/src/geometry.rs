@@ -1,0 +1,168 @@
+//! Minimal planar geometry for placements and block extraction.
+
+/// A point in the placement plane.
+///
+/// # Example
+/// ```
+/// use vlsi_netgen::Point;
+/// let p = Point::new(1.0, 2.0);
+/// assert_eq!(p.x, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+}
+
+/// An axis-parallel rectangle `[x0, x1) × [y0, y1)`.
+///
+/// # Example
+/// ```
+/// use vlsi_netgen::{Point, Rect};
+/// let r = Rect::new(0.0, 0.0, 10.0, 4.0);
+/// assert!(r.contains(Point::new(5.0, 2.0)));
+/// assert!(!r.contains(Point::new(10.0, 2.0)));
+/// let (left, right) = r.split_vertical();
+/// assert_eq!(left.x1, 5.0);
+/// assert_eq!(right.x0, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge (exclusive).
+    pub x1: f64,
+    /// Top edge (exclusive).
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is inverted.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x0 <= x1 && y0 <= y1, "inverted rectangle");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Returns `true` if `p` lies inside (left/bottom inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1
+    }
+
+    /// Splits at the vertical mid-line into (left, right).
+    pub fn split_vertical(&self) -> (Rect, Rect) {
+        let mid = (self.x0 + self.x1) / 2.0;
+        (
+            Rect::new(self.x0, self.y0, mid, self.y1),
+            Rect::new(mid, self.y0, self.x1, self.y1),
+        )
+    }
+
+    /// Splits at the horizontal mid-line into (bottom, top).
+    pub fn split_horizontal(&self) -> (Rect, Rect) {
+        let mid = (self.y0 + self.y1) / 2.0;
+        (
+            Rect::new(self.x0, self.y0, self.x1, mid),
+            Rect::new(self.x0, mid, self.x1, self.y1),
+        )
+    }
+
+    /// Clamps a point into the rectangle (used to snap pad locations).
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.x0, self.x1), p.y.clamp(self.y0, self.y1))
+    }
+}
+
+/// Orientation of a cutline through a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cutline {
+    /// A vertical cutline: partitions are left (0) / right (1).
+    Vertical,
+    /// A horizontal cutline: partitions are bottom (0) / top (1).
+    Horizontal,
+}
+
+impl Cutline {
+    /// Side of the cutline bisecting `rect` on which `p` falls:
+    /// 0 = left/bottom, 1 = right/top.
+    pub fn side(&self, rect: &Rect, p: Point) -> u32 {
+        match self {
+            Cutline::Vertical => u32::from(p.x >= (rect.x0 + rect.x1) / 2.0),
+            Cutline::Horizontal => u32::from(p.y >= (rect.y0 + rect.y1) / 2.0),
+        }
+    }
+
+    /// Single-letter tag used in instance names (`V`/`H`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Cutline::Vertical => "V",
+            Cutline::Horizontal => "H",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_cover_the_rect() {
+        let r = Rect::new(0.0, 0.0, 8.0, 6.0);
+        let (l, rr) = r.split_vertical();
+        assert_eq!(l.width() + rr.width(), r.width());
+        let (b, t) = r.split_horizontal();
+        assert_eq!(b.height() + t.height(), r.height());
+        assert_eq!(r.center(), Point::new(4.0, 3.0));
+    }
+
+    #[test]
+    fn cutline_sides() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(Cutline::Vertical.side(&r, Point::new(2.0, 9.0)), 0);
+        assert_eq!(Cutline::Vertical.side(&r, Point::new(7.0, 1.0)), 1);
+        assert_eq!(Cutline::Horizontal.side(&r, Point::new(2.0, 9.0)), 1);
+        assert_eq!(Cutline::Horizontal.side(&r, Point::new(2.0, 4.0)), 0);
+        assert_eq!(Cutline::Vertical.tag(), "V");
+        assert_eq!(Cutline::Horizontal.tag(), "H");
+    }
+
+    #[test]
+    fn clamp_snaps_outside_points() {
+        let r = Rect::new(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(r.clamp(Point::new(-1.0, 9.0)), Point::new(0.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_rejected() {
+        let _ = Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Row-based legalization: snap a global placement into non-overlapping
+//! standard-cell rows (tetris-style greedy packing).
+//!
+//! The top-down placer leaves cells at block centres; a real standard-cell
+//! layout puts them in rows with no overlap. This legalizer scales cell
+//! widths so the total area exactly fills `num_rows` rows across the die,
+//! assigns every movable cell to the nearest row with remaining capacity,
+//! and packs each row left to right in x order.
+
+use vlsi_hypergraph::Hypergraph;
+use vlsi_netgen::{Point, Rect};
+
+/// Result of legalization: final positions plus displacement statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Legalized {
+    /// Position of every vertex (anchored vertices keep their input
+    /// positions).
+    pub positions: Vec<Point>,
+    /// Mean distance moved by the legalized cells.
+    pub mean_displacement: f64,
+    /// Largest distance moved by any cell.
+    pub max_displacement: f64,
+}
+
+/// Legalizes `positions` into `num_rows` rows inside `die`. Vertices with
+/// `anchored[v] = true` (pads) are left untouched and consume no row
+/// capacity; zero-weight movable vertices get a minimal width.
+///
+/// # Panics
+/// Panics if the shapes disagree or `num_rows == 0`.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::HypergraphBuilder;
+/// use vlsi_netgen::{Point, Rect};
+/// use vlsi_placer::legalize_rows;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// for _ in 0..4 {
+///     b.add_vertex(1);
+/// }
+/// let hg = b.build()?;
+/// let die = Rect::new(0.0, 0.0, 4.0, 2.0);
+/// // All four cells stacked on one point: legalization must separate them.
+/// let pos = vec![Point::new(2.0, 1.0); 4];
+/// let out = legalize_rows(&hg, &pos, &[false; 4], die, 2);
+/// for i in 0..4 {
+///     for j in (i + 1)..4 {
+///         let (a, b) = (out.positions[i], out.positions[j]);
+///         assert!((a.x - b.x).abs() > 1e-9 || (a.y - b.y).abs() > 1e-9);
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn legalize_rows(
+    hg: &Hypergraph,
+    positions: &[Point],
+    anchored: &[bool],
+    die: Rect,
+    num_rows: usize,
+) -> Legalized {
+    assert_eq!(positions.len(), hg.num_vertices(), "positions length");
+    assert_eq!(anchored.len(), hg.num_vertices(), "anchored length");
+    assert!(num_rows > 0, "need at least one row");
+
+    let movable: Vec<usize> = (0..hg.num_vertices()).filter(|&i| !anchored[i]).collect();
+    let mut out = positions.to_vec();
+    if movable.is_empty() {
+        return Legalized {
+            positions: out,
+            mean_displacement: 0.0,
+            max_displacement: 0.0,
+        };
+    }
+
+    // Scale areas to widths that fill the rows with a small safety margin
+    // (so greedy packing can never be forced off-die); cells wider than a
+    // row — oversized macros — are capped at the row width.
+    let total_area: u64 = movable
+        .iter()
+        .map(|&i| {
+            hg.vertex_weight(vlsi_hypergraph::VertexId::from_index(i))
+                .max(1)
+        })
+        .sum();
+    let capacity = die.width() * num_rows as f64;
+    let scale = 0.97 * capacity / total_area as f64;
+    let width = |i: usize| -> f64 {
+        let w = hg
+            .vertex_weight(vlsi_hypergraph::VertexId::from_index(i))
+            .max(1) as f64
+            * scale;
+        w.min(die.width() * 0.999)
+    };
+
+    let row_height = die.height() / num_rows as f64;
+    let row_y = |r: usize| die.y0 + (r as f64 + 0.5) * row_height;
+    let preferred_row = |p: Point| -> usize {
+        (((p.y - die.y0) / row_height).floor() as isize).clamp(0, num_rows as isize - 1) as usize
+    };
+
+    // Sort the cells by (preferred row, x) and fill rows greedily; when a
+    // row is full, spill to the nearest row with room.
+    let mut order = movable.clone();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (preferred_row(positions[a]), preferred_row(positions[b]));
+        ra.cmp(&rb)
+            .then(positions[a].x.total_cmp(&positions[b].x))
+            .then(a.cmp(&b))
+    });
+    let mut cursor = vec![0.0f64; num_rows];
+
+    let mut disp_sum = 0.0;
+    let mut disp_max = 0.0f64;
+    for &i in &order {
+        let w = width(i);
+        let want = preferred_row(positions[i]);
+        // Nearest row (by |delta|) whose remaining width fits the cell;
+        // fall back to the emptiest row if nothing fits cleanly.
+        let mut chosen = None;
+        for delta in 0..num_rows as isize {
+            for cand in [want as isize - delta, want as isize + delta] {
+                if cand < 0 || cand >= num_rows as isize {
+                    continue;
+                }
+                let r = cand as usize;
+                if cursor[r] + w <= die.width() + 1e-9 {
+                    chosen = Some(r);
+                    break;
+                }
+            }
+            if chosen.is_some() {
+                break;
+            }
+        }
+        let r = chosen.unwrap_or_else(|| {
+            (0..num_rows)
+                .min_by(|&a, &b| cursor[a].total_cmp(&cursor[b]))
+                .expect("num_rows > 0")
+        });
+        // In the pathological fallback (every row full, e.g. macros wider
+        // than rows) clamp onto the die; the slight overlap there mirrors
+        // how production legalizers defer oversized macros to floorplanning.
+        let x = (die.x0 + cursor[r] + w / 2.0)
+            .min(die.x1 - w / 2.0)
+            .max(die.x0 + w / 2.0);
+        cursor[r] += w;
+        let new = Point::new(x, row_y(r));
+        let d = ((new.x - positions[i].x).powi(2) + (new.y - positions[i].y).powi(2)).sqrt();
+        disp_sum += d;
+        disp_max = disp_max.max(d);
+        out[i] = new;
+    }
+
+    Legalized {
+        positions: out,
+        mean_displacement: disp_sum / movable.len() as f64,
+        max_displacement: disp_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vlsi_hypergraph::HypergraphBuilder;
+    use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+
+    use crate::{hpwl, PlacerConfig, TopDownPlacer};
+
+    #[test]
+    fn rows_never_overlap() {
+        let circuit = Generator::new(GeneratorConfig {
+            num_cells: 200,
+            ..GeneratorConfig::default()
+        })
+        .generate(3);
+        let anchored: Vec<bool> = circuit
+            .hypergraph
+            .vertices()
+            .map(|v| circuit.is_pad(v))
+            .collect();
+        let out = legalize_rows(
+            &circuit.hypergraph,
+            &circuit.placement,
+            &anchored,
+            circuit.die,
+            14,
+        );
+        // Reconstruct intervals per row (same width formula as the
+        // implementation) and assert disjointness.
+        let scale = 0.97 * circuit.die.width() * 14.0
+            / circuit
+                .cells()
+                .map(|v| circuit.hypergraph.vertex_weight(v).max(1))
+                .sum::<u64>() as f64;
+        let mut rows: std::collections::HashMap<i64, Vec<(f64, f64)>> = Default::default();
+        for v in circuit.cells() {
+            let p = out.positions[v.index()];
+            let w = circuit.hypergraph.vertex_weight(v).max(1) as f64 * scale;
+            rows.entry((p.y * 1000.0) as i64)
+                .or_default()
+                .push((p.x - w / 2.0, p.x + w / 2.0));
+        }
+        for intervals in rows.values_mut() {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in intervals.windows(2) {
+                assert!(
+                    pair[0].1 <= pair[1].0 + 1e-6,
+                    "overlap: {:?} vs {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+        // Everything stays on the die.
+        for v in circuit.cells() {
+            assert!(circuit.die.contains(out.positions[v.index()]));
+        }
+    }
+
+    #[test]
+    fn anchored_cells_untouched_and_zero_when_empty() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let hg = b.build().unwrap();
+        let die = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let pos = vec![Point::new(1.5, 1.5)];
+        let out = legalize_rows(&hg, &pos, &[true], die, 2);
+        assert_eq!(out.positions[v0.index()], pos[0]);
+        assert_eq!(out.mean_displacement, 0.0);
+    }
+
+    #[test]
+    fn legalization_keeps_wirelength_in_the_same_regime() {
+        let circuit = Generator::new(GeneratorConfig {
+            num_cells: 300,
+            ..GeneratorConfig::default()
+        })
+        .generate(5);
+        let placer = TopDownPlacer::new(PlacerConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let placement = placer.place_circuit(&circuit, &mut rng).unwrap();
+        let before = hpwl(&circuit.hypergraph, &placement.positions);
+        let anchored: Vec<bool> = circuit
+            .hypergraph
+            .vertices()
+            .map(|v| circuit.is_pad(v))
+            .collect();
+        let out = legalize_rows(
+            &circuit.hypergraph,
+            &placement.positions,
+            &anchored,
+            circuit.die,
+            17,
+        );
+        let after = hpwl(&circuit.hypergraph, &out.positions);
+        assert!(
+            after < before * 1.8,
+            "legalization should not destroy the placement: {before} -> {after}"
+        );
+        assert!(out.max_displacement <= circuit.die.width() + circuit.die.height());
+    }
+
+    #[test]
+    fn heavy_cells_get_wide_slots() {
+        let mut b = HypergraphBuilder::new();
+        let big = b.add_vertex(10);
+        let small: Vec<_> = (0..10).map(|_| b.add_vertex(1)).collect();
+        let hg = b.build().unwrap();
+        let die = Rect::new(0.0, 0.0, 10.0, 2.0);
+        let pos = vec![Point::new(5.0, 0.5); 11];
+        let out = legalize_rows(&hg, &pos, &[false; 11], die, 2);
+        // Total width = 20 over 2 rows of width 10: exactly full. The big
+        // cell occupies half a row; everything must still fit on-die.
+        for v in hg.vertices() {
+            assert!(die.contains(out.positions[v.index()]), "{v}");
+        }
+        let _ = (big, small);
+    }
+}

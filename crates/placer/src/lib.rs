@@ -1,0 +1,44 @@
+//! Top-down recursive-bisection standard-cell placement with terminal
+//! propagation.
+//!
+//! This crate is the *application* that motivates the paper: "In top-down
+//! placement, the input to the partitioner is never a free hypergraph.
+//! Rather, the input contains fixed terminals that arise from the chip
+//! I/Os or from the propagated terminals of other subproblems in the
+//! partitioning hierarchy." Every bisection the placer performs calls the
+//! multilevel partitioner of [`vlsi_partition`] with exactly such
+//! fixed-terminal instances (Dunlop–Kernighan terminal propagation).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+//! use vlsi_placer::{hpwl, PlacerConfig, TopDownPlacer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = Generator::new(GeneratorConfig {
+//!     num_cells: 200,
+//!     ..GeneratorConfig::default()
+//! })
+//! .generate(3);
+//!
+//! let placer = TopDownPlacer::new(PlacerConfig::default());
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+//! let placement = placer.place_circuit(&circuit, &mut rng)?;
+//! let wl = hpwl(&circuit.hypergraph, &placement.positions);
+//! assert!(wl > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod legalize;
+mod topdown;
+mod wirelength;
+
+pub use legalize::{legalize_rows, Legalized};
+pub use topdown::{Placement, PlacerConfig, TopDownPlacer};
+pub use wirelength::{hpwl, net_hpwl};

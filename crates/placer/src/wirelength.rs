@@ -1,0 +1,99 @@
+//! Half-perimeter wirelength (HPWL) evaluation.
+
+use vlsi_hypergraph::{Hypergraph, NetId};
+use vlsi_netgen::Point;
+
+/// Half-perimeter bounding-box wirelength of one net.
+///
+/// # Panics
+/// Panics if the net is out of range or `positions` is too short.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::{HypergraphBuilder, NetId};
+/// use vlsi_netgen::Point;
+/// use vlsi_placer::net_hpwl;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let u = b.add_vertex(1);
+/// let v = b.add_vertex(1);
+/// b.add_net(1, [u, v])?;
+/// let hg = b.build()?;
+/// let pos = vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+/// assert_eq!(net_hpwl(&hg, NetId(0), &pos), 7.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn net_hpwl(hg: &Hypergraph, net: NetId, positions: &[Point]) -> f64 {
+    let pins = hg.net_pins(net);
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for &p in pins {
+        let pos = positions[p.index()];
+        min_x = min_x.min(pos.x);
+        max_x = max_x.max(pos.x);
+        min_y = min_y.min(pos.y);
+        max_y = max_y.max(pos.y);
+    }
+    if pins.is_empty() {
+        0.0
+    } else {
+        (max_x - min_x) + (max_y - min_y)
+    }
+}
+
+/// Total weighted HPWL over all nets.
+pub fn hpwl(hg: &Hypergraph, positions: &[Point]) -> f64 {
+    hg.nets()
+        .map(|n| hg.net_weight(n) as f64 * net_hpwl(hg, n, positions))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn single_pin_net_is_zero() {
+        let mut b = HypergraphBuilder::new();
+        let u = b.add_vertex(1);
+        b.add_net(1, [u]).unwrap();
+        let hg = b.build().unwrap();
+        assert_eq!(net_hpwl(&hg, NetId(0), &[Point::new(5.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn weighted_total() {
+        let mut b = HypergraphBuilder::new();
+        let u = b.add_vertex(1);
+        let v = b.add_vertex(1);
+        let w = b.add_vertex(1);
+        b.add_net(2, [u, v]).unwrap();
+        b.add_net(1, [v, w]).unwrap();
+        let hg = b.build().unwrap();
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 2.0),
+        ];
+        assert_eq!(hpwl(&hg, &pos), 2.0 * 1.0 + 1.0 * 2.0);
+    }
+
+    #[test]
+    fn multi_pin_bounding_box() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_vertex(1)).collect();
+        b.add_net(1, v.clone()).unwrap();
+        let hg = b.build().unwrap();
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 5.0),
+            Point::new(4.0, 1.0),
+        ];
+        assert_eq!(net_hpwl(&hg, NetId(0), &pos), 4.0 + 5.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Benchmark derivation (the paper's Section IV / Table IV): generate a
+//! placed circuit, lay blocks and cutlines over the placement, extract
+//! fixed-terminal partitioning instances, and write them out in hMetis
+//! `.hgr` + `.fix` format.
+//!
+//! Run with: `cargo run --release --example benchmark_generation`
+
+use std::fs;
+
+use vlsi_experiments::table4;
+use vlsi_hypergraph::io::{write_fix, write_hgr};
+use vlsi_netgen::instances::ibm01_like_scaled;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = ibm01_like_scaled(0.05, 3);
+    let instances = table4::derive(&circuit, None);
+
+    println!("Table IV for {}:\n", circuit.name);
+    print!("{}", table4::render(&instances).to_text());
+
+    let dir = std::env::temp_dir().join("fixed-terminal-benchmarks");
+    fs::create_dir_all(&dir)?;
+    for inst in &instances {
+        let hgr_path = dir.join(format!("{}.hgr", inst.name));
+        let fix_path = dir.join(format!("{}.fix", inst.name));
+        write_hgr(fs::File::create(&hgr_path)?, &inst.hypergraph)?;
+        write_fix(fs::File::create(&fix_path)?, &inst.fixed)?;
+    }
+    println!(
+        "\nwrote {} instance pairs to {}",
+        instances.len(),
+        dir.display()
+    );
+
+    // Round-trip one of them to show the parsers.
+    let first = &instances[0];
+    let text = fs::read(dir.join(format!("{}.hgr", first.name)))?;
+    let back = vlsi_hypergraph::io::read_hgr(text.as_slice())?;
+    assert_eq!(back.num_nets(), first.hypergraph.num_nets());
+    let fix_text = fs::read(dir.join(format!("{}.fix", first.name)))?;
+    let back_fix = vlsi_hypergraph::io::read_fix(fix_text.as_slice(), back.num_vertices())?;
+    assert_eq!(back_fix.num_fixed(), first.fixed.num_fixed());
+    println!("round-tripped {} successfully", first.name);
+    Ok(())
+}

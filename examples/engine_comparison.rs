@@ -1,0 +1,95 @@
+//! Compares every bipartitioning engine in the repository — multilevel
+//! CLIP/LIFO FM, flat FM, Kernighan–Lin, and simulated annealing — on the
+//! same instance, with and without fixed terminals.
+//!
+//! Run with: `cargo run --release --example engine_comparison`
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use vlsi_experiments::harness::{find_good_solution, paper_balance};
+use vlsi_experiments::regimes::{FixSchedule, Regime};
+use vlsi_netgen::instances::ibm01_like_scaled;
+use vlsi_partition::annealing::{simulated_annealing, AnnealingConfig};
+use vlsi_partition::kl::{kernighan_lin, KlConfig};
+use vlsi_partition::{random_initial, BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = ibm01_like_scaled(0.15, 7); // ~1900 cells
+    let hg = &circuit.hypergraph;
+    let balance = paper_balance(hg);
+    println!(
+        "{}: {} vertices, {} nets\n",
+        circuit.name,
+        hg.num_vertices(),
+        hg.num_nets()
+    );
+
+    let good = find_good_solution(hg, &balance, &MultilevelConfig::default(), 4, 11)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let schedule = FixSchedule::new(hg, Regime::Good, &good.parts, &mut rng);
+
+    println!(
+        "{:>24}  {:>12}  {:>12}  {:>9}",
+        "engine", "cut @ 0%", "cut @ 30%", "time"
+    );
+    for (name, which) in [
+        ("multilevel (CLIP+LIFO)", 0usize),
+        ("flat FM (LIFO)", 1),
+        ("Kernighan-Lin", 2),
+        ("simulated annealing", 3),
+    ] {
+        let mut cuts = [0u64; 2];
+        let mut elapsed = std::time::Duration::ZERO;
+        for (slot, pct) in [(0usize, 0.0f64), (1, 30.0)] {
+            let fixed = schedule.at_percent(pct);
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let t0 = Instant::now();
+            let cut = match which {
+                0 => {
+                    let ml = MultilevelPartitioner::new(MultilevelConfig::default());
+                    ml.run(hg, &fixed, &balance, &mut rng)?.cut
+                }
+                1 => {
+                    let fm = BipartFm::new(FmConfig::default());
+                    fm.run_random(hg, &fixed, &balance, &mut rng)?.cut
+                }
+                2 => {
+                    let initial = random_initial(hg, &fixed, &balance, 2, &mut rng)?;
+                    kernighan_lin(hg, &fixed, &balance, initial, KlConfig::default())?.cut
+                }
+                _ => {
+                    let initial = random_initial(hg, &fixed, &balance, 2, &mut rng)?;
+                    simulated_annealing(
+                        hg,
+                        &fixed,
+                        &balance,
+                        initial,
+                        AnnealingConfig::default(),
+                        &mut rng,
+                    )?
+                    .cut
+                }
+            };
+            elapsed += t0.elapsed();
+            cuts[slot] = cut;
+        }
+        println!(
+            "{:>24}  {:>12}  {:>12}  {:>8.3}s",
+            name,
+            cuts[0],
+            cuts[1],
+            elapsed.as_secs_f64()
+        );
+    }
+    println!(
+        "\nreference good cut: {} — the multilevel engine tracks it closely in\n\
+         both regimes; the classical baselines (flat FM, KL, annealing) fall\n\
+         progressively behind, which is exactly why the paper's testbed used\n\
+         a leading-edge multilevel partitioner.",
+        good.cut
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Umbrella crate for the reproduction of *Hypergraph Partitioning with
+//! Fixed Vertices* (Alpert, Caldwell, Kahng, Markov; DAC 1999 / IEEE TCAD
+//! 19(2), Feb. 2000).
+//!
+//! Re-exports the workspace libraries so the examples and integration
+//! tests can depend on a single crate:
+//!
+//! * [`vlsi_hypergraph`] — hypergraph data structures, fixed vertices,
+//!   balance constraints, cut objectives, instance I/O.
+//! * [`vlsi_partition`] — FM / CLIP / multilevel / k-way partitioning.
+//! * [`vlsi_netgen`] — Rent's-rule synthetic circuits and benchmark
+//!   derivation.
+//! * [`vlsi_placer`] — top-down placement with terminal propagation.
+//! * [`vlsi_experiments`] — the per-table/figure experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use fixed_vertices_repro::vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+//!
+//! let circuit = Generator::new(GeneratorConfig {
+//!     num_cells: 64,
+//!     ..GeneratorConfig::default()
+//! })
+//! .generate(0);
+//! assert_eq!(circuit.num_cells(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use vlsi_experiments;
+pub use vlsi_hypergraph;
+pub use vlsi_netgen;
+pub use vlsi_partition;
+pub use vlsi_placer;

@@ -1,0 +1,189 @@
+//! Model-based property tests for the partitioning core's data structures:
+//! the gain-bucket array against a naive reference model, and coarsening
+//! invariants on random hypergraphs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use fixed_vertices_repro::vlsi_hypergraph::{
+    CutState, FixedVertices, Fixity, HypergraphBuilder, PartId, VertexId,
+};
+use fixed_vertices_repro::vlsi_partition::multilevel::{coarsen_once, CoarsenParams};
+use fixed_vertices_repro::vlsi_partition::GainBuckets;
+
+/// Operations for the gain-bucket model test.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, i64),
+    Remove(u32),
+    Update(u32, i64),
+    Adjust(u32, i64),
+    Select,
+}
+
+fn op_strategy(num_vertices: u32, bound: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..num_vertices, -bound..=bound).prop_map(|(v, k)| Op::Insert(v, k)),
+        (0..num_vertices).prop_map(Op::Remove),
+        (0..num_vertices, -bound..=bound).prop_map(|(v, k)| Op::Update(v, k)),
+        (0..num_vertices, -3i64..=3).prop_map(|(v, d)| Op::Adjust(v, d)),
+        Just(Op::Select),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gain_buckets_match_reference_model(
+        ops in proptest::collection::vec(op_strategy(12, 6), 1..120),
+    ) {
+        // Model: map vertex -> (key, insertion_stamp); select = max key,
+        // ties by most recent stamp. Keys clamped to the structure bound.
+        const BOUND: i64 = 16;
+        let mut gb = GainBuckets::new(12, BOUND);
+        let mut model: HashMap<u32, (i64, u64)> = HashMap::new();
+        let mut stamp = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(v, k) => {
+                    model.entry(v).or_insert_with(|| {
+                        gb.insert(VertexId(v), k);
+                        stamp += 1;
+                        (k, stamp)
+                    });
+                }
+                Op::Remove(v) => {
+                    gb.remove(VertexId(v));
+                    gb.decay_max();
+                    model.remove(&v);
+                }
+                Op::Update(v, k) => {
+                    gb.update(VertexId(v), k);
+                    if let Some(entry) = model.get_mut(&v) {
+                        if entry.0 != k {
+                            stamp += 1;
+                            *entry = (k, stamp);
+                        }
+                    }
+                }
+                Op::Adjust(v, d) => {
+                    let new_key = model.get(&v).map(|&(k, _)| k + d);
+                    if let Some(nk) = new_key {
+                        if nk.abs() <= BOUND {
+                            gb.adjust(VertexId(v), d);
+                            if d != 0 {
+                                stamp += 1;
+                                model.insert(v, (nk, stamp));
+                            }
+                        }
+                    }
+                }
+                Op::Select => {
+                    let got = gb.select(|_| true);
+                    let want = model
+                        .iter()
+                        .max_by_key(|(_, &(k, s))| (k, s))
+                        .map(|(&v, &(k, _))| (VertexId(v), k));
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(gb.len(), model.len());
+            for (&v, &(k, _)) in &model {
+                prop_assert!(gb.contains(VertexId(v)));
+                prop_assert_eq!(gb.key(VertexId(v)), k);
+            }
+        }
+    }
+}
+
+/// Random instance for coarsening tests.
+#[allow(clippy::type_complexity)]
+fn graph_strategy() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<usize>>, Vec<Option<u8>>, u64)> {
+    (6usize..30).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1u64..5, n),
+            proptest::collection::vec(proptest::collection::btree_set(0..n, 2..=3.min(n)), 2..40)
+                .prop_map(|nets| {
+                    nets.into_iter()
+                        .map(|s| s.into_iter().collect::<Vec<_>>())
+                        .collect::<Vec<_>>()
+                }),
+            proptest::collection::vec(proptest::option::weighted(0.25, 0u8..2), n),
+            any::<u64>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coarsening_preserves_weight_and_cut_structure(
+        (weights, nets, fixities, seed) in graph_strategy(),
+    ) {
+        let mut b = HypergraphBuilder::new();
+        for &w in &weights {
+            b.add_vertex(w);
+        }
+        for net in &nets {
+            b.add_net(1, net.iter().map(|&i| VertexId::from_index(i)))
+                .expect("valid net");
+        }
+        let hg = b.build().expect("valid graph");
+        let fixed = FixedVertices::from_fixities(
+            fixities
+                .iter()
+                .map(|f| match f {
+                    None => Fixity::Free,
+                    Some(p) => Fixity::Fixed(PartId(*p as u32)),
+                })
+                .collect(),
+        );
+        let params = CoarsenParams {
+            max_cluster_weight: u64::MAX,
+            max_net_size_for_matching: 64,
+            max_fixed_part_weight: Vec::new(),
+            allow_free_fixed_merge: false,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let Some(level) = coarsen_once(&hg, &fixed, &params, 1.01, None, &mut rng) else {
+            // A stall is legal; nothing to check.
+            return Ok(());
+        };
+
+        // Invariant 1: total weight preserved.
+        prop_assert_eq!(level.hg.total_weight(), hg.total_weight());
+
+        // Invariant 2: fixities merged soundly — every fine vertex's fixity
+        // allows whatever its coarse cluster's fixity allows.
+        for v in hg.vertices() {
+            let cf = level.fixed.fixity(level.map[v.index()]);
+            match (fixed.fixity(v), cf) {
+                (Fixity::Fixed(p), Fixity::Fixed(q)) => prop_assert_eq!(p, q),
+                (Fixity::Fixed(_), other) => {
+                    prop_assert!(false, "fixed vertex lost its pin: {other:?}")
+                }
+                _ => {}
+            }
+        }
+
+        // Invariant 3: any coarse assignment projects to a fine assignment
+        // with the same cut.
+        let coarse_parts: Vec<PartId> = level
+            .hg
+            .vertices()
+            .map(|v| match level.fixed.fixity(v) {
+                Fixity::Fixed(p) => PartId(p.0 % 2),
+                _ => PartId(v.0 % 2),
+            })
+            .collect();
+        let coarse_cut = CutState::new(&level.hg, 2, &coarse_parts).cut();
+        let fine_parts = level.project(&coarse_parts);
+        let fine_cut = CutState::new(&hg, 2, &fine_parts).cut();
+        prop_assert_eq!(coarse_cut, fine_cut);
+    }
+}

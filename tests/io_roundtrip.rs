@@ -1,0 +1,150 @@
+//! Cross-crate I/O tests: generated circuits survive round-trips through
+//! every supported file format, and re-read instances partition to the
+//! same solution space.
+
+use proptest::prelude::*;
+
+use fixed_vertices_repro::vlsi_hypergraph::io::{
+    read_fix, read_hgr, read_netd, write_fix, write_hgr, write_netd, NetD,
+};
+use fixed_vertices_repro::vlsi_hypergraph::{
+    CutState, FixedVertices, Fixity, HypergraphBuilder, PartId, PartSet, VertexId,
+};
+use fixed_vertices_repro::vlsi_netgen::blocks::standard_instances;
+use fixed_vertices_repro::vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+
+#[test]
+fn generated_circuit_roundtrips_through_hgr() {
+    let circuit = Generator::new(GeneratorConfig {
+        num_cells: 300,
+        ..GeneratorConfig::default()
+    })
+    .generate(5);
+    let hg = &circuit.hypergraph;
+
+    let mut buf = Vec::new();
+    write_hgr(&mut buf, hg).expect("write succeeds");
+    let back = read_hgr(buf.as_slice()).expect("parse succeeds");
+
+    assert_eq!(back.num_vertices(), hg.num_vertices());
+    assert_eq!(back.num_nets(), hg.num_nets());
+    assert_eq!(back.num_pins(), hg.num_pins());
+    for v in hg.vertices() {
+        assert_eq!(back.vertex_weight(v), hg.vertex_weight(v));
+    }
+    for n in hg.nets() {
+        assert_eq!(back.net_pins(n), hg.net_pins(n));
+        assert_eq!(back.net_weight(n), hg.net_weight(n));
+    }
+}
+
+#[test]
+fn extracted_block_roundtrips_with_fix_file() {
+    let circuit = Generator::new(GeneratorConfig {
+        num_cells: 400,
+        ..GeneratorConfig::default()
+    })
+    .generate(6);
+    let instances = standard_instances(&circuit, None);
+    let inst = instances
+        .iter()
+        .find(|i| i.name.contains("_B_"))
+        .expect("half-die instance exists");
+
+    let (mut hgr, mut fix) = (Vec::new(), Vec::new());
+    write_hgr(&mut hgr, &inst.hypergraph).expect("hgr written");
+    write_fix(&mut fix, &inst.fixed).expect("fix written");
+
+    let hg2 = read_hgr(hgr.as_slice()).expect("hgr parsed");
+    let fx2 = read_fix(fix.as_slice(), hg2.num_vertices()).expect("fix parsed");
+    assert_eq!(fx2, inst.fixed);
+
+    // Cuts agree between the original and re-read instance for the same
+    // assignment.
+    let parts: Vec<PartId> = hg2
+        .vertices()
+        .map(|v| match fx2.fixity(v) {
+            Fixity::Fixed(p) => p,
+            _ => PartId(v.0 % 2),
+        })
+        .collect();
+    assert_eq!(
+        CutState::new(&inst.hypergraph, 2, &parts).cut(),
+        CutState::new(&hg2, 2, &parts).cut()
+    );
+}
+
+#[test]
+fn netd_roundtrip_preserves_pads() {
+    let circuit = Generator::new(GeneratorConfig {
+        num_cells: 120,
+        ..GeneratorConfig::default()
+    })
+    .generate(7);
+    let inst = NetD {
+        hypergraph: circuit.hypergraph.clone(),
+        pad_offset: circuit.pad_offset,
+    };
+    let (mut netd, mut are) = (Vec::new(), Vec::new());
+    write_netd(&mut netd, &mut are, &inst).expect("written");
+    let back = read_netd(netd.as_slice(), Some(are.as_slice())).expect("parsed");
+    assert_eq!(back.pad_offset, inst.pad_offset);
+    assert_eq!(back.num_pads(), inst.num_pads());
+    assert_eq!(back.hypergraph.num_nets(), inst.hypergraph.num_nets());
+    for v in inst.hypergraph.vertices() {
+        assert_eq!(
+            back.hypergraph.vertex_weight(v),
+            inst.hypergraph.vertex_weight(v)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_fixities_roundtrip_fix_files(
+        fixities in proptest::collection::vec(0u8..4, 1..40),
+    ) {
+        let table = FixedVertices::from_fixities(
+            fixities
+                .iter()
+                .map(|&k| match k {
+                    0 => Fixity::Free,
+                    1 => Fixity::Fixed(PartId(0)),
+                    2 => Fixity::Fixed(PartId(3)),
+                    _ => Fixity::FixedAny(
+                        [PartId(1), PartId(2)].into_iter().collect::<PartSet>(),
+                    ),
+                })
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        write_fix(&mut buf, &table).expect("written");
+        let back = read_fix(buf.as_slice(), table.len()).expect("parsed");
+        prop_assert_eq!(back, table);
+    }
+
+    #[test]
+    fn arbitrary_graphs_roundtrip_hgr(
+        nets in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..15, 1..5),
+            1..25,
+        ),
+        weights in proptest::collection::vec(1u64..100, 15),
+    ) {
+        let mut b = HypergraphBuilder::new();
+        for &w in &weights {
+            b.add_vertex(w);
+        }
+        for net in &nets {
+            b.add_net(1, net.iter().map(|&i| VertexId::from_index(i)))
+                .expect("valid net");
+        }
+        let hg = b.build().expect("valid graph");
+        let mut buf = Vec::new();
+        write_hgr(&mut buf, &hg).expect("written");
+        let back = read_hgr(buf.as_slice()).expect("parsed");
+        prop_assert_eq!(back, hg);
+    }
+}

@@ -1,0 +1,63 @@
+//! Robustness: the parsers must return errors — never panic — on
+//! arbitrary malformed input, and must reject structured-but-inconsistent
+//! files with informative messages.
+
+use proptest::prelude::*;
+
+use fixed_vertices_repro::vlsi_hypergraph::io::{read_fix, read_hgr, read_multi_are, read_netd};
+use fixed_vertices_repro::vlsi_netgen::bookshelf::read_bookshelf;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn hgr_parser_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = read_hgr(text.as_bytes());
+    }
+
+    #[test]
+    fn fix_parser_never_panics(text in "[ -~\n]{0,200}", n in 0usize..20) {
+        let _ = read_fix(text.as_bytes(), n);
+    }
+
+    #[test]
+    fn netd_parser_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = read_netd(text.as_bytes(), None::<&[u8]>);
+    }
+
+    #[test]
+    fn multi_are_parser_never_panics(text in "[ -~\n]{0,200}", n in 0usize..20) {
+        let _ = read_multi_are(text.as_bytes(), n);
+    }
+
+    #[test]
+    fn bookshelf_parser_never_panics(
+        nodes in "[ -~\n]{0,300}",
+        nets in "[ -~\n]{0,300}",
+    ) {
+        let _ = read_bookshelf(nodes.as_bytes(), nets.as_bytes(), None::<&[u8]>);
+    }
+
+    #[test]
+    fn hgr_parser_never_panics_on_numeric_soup(
+        nums in proptest::collection::vec(0u32..1000, 0..60),
+    ) {
+        // Lines of random numbers: the shape of a real .hgr but with
+        // arbitrary counts — must parse or fail cleanly.
+        let text = nums
+            .chunks(3)
+            .map(|c| c.iter().map(u32::to_string).collect::<Vec<_>>().join(" "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = read_hgr(text.as_bytes());
+    }
+}
+
+#[test]
+fn error_messages_name_the_line() {
+    let err = read_hgr("1 2\nbogus tokens\n".as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+
+    let err = read_fix("1\nx\n".as_bytes(), 2).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+}

@@ -1,0 +1,154 @@
+//! Solution-quality checks against brute force on tiny instances, and
+//! bit-exact determinism of every seeded component.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use fixed_vertices_repro::vlsi_hypergraph::{
+    BalanceConstraint, CutState, FixedVertices, Fixity, Hypergraph, HypergraphBuilder, PartId,
+    Tolerance, VertexId,
+};
+use fixed_vertices_repro::vlsi_netgen::instances::ibm01_like_scaled;
+use fixed_vertices_repro::vlsi_partition::{
+    multistart, BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner, PartitionResult,
+};
+use fixed_vertices_repro::vlsi_placer::{PlacerConfig, TopDownPlacer};
+
+/// Exhaustive optimal bisection cut over all balanced assignments that
+/// honour the fixities.
+fn brute_force_best(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+) -> Option<u64> {
+    let n = hg.num_vertices();
+    assert!(n <= 16, "brute force only for tiny instances");
+    let mut best = None;
+    for mask in 0u32..(1 << n) {
+        let parts: Vec<PartId> = (0..n).map(|i| PartId((mask >> i) & 1)).collect();
+        let ok = (0..n).all(|i| fixed.fixity(VertexId(i as u32)).allows(parts[i]));
+        if !ok {
+            continue;
+        }
+        let mut loads = [0u64; 2];
+        for i in 0..n {
+            loads[parts[i].index()] += hg.vertex_weight(VertexId(i as u32));
+        }
+        if !balance.is_satisfied(&loads) {
+            continue;
+        }
+        let cut = CutState::new(hg, 2, &parts).cut();
+        best = Some(best.map_or(cut, |b: u64| b.min(cut)));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fm_multistart_matches_brute_force_on_tiny_instances(
+        nets in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..10, 2..4),
+            2..20,
+        ),
+        fix_mask in proptest::collection::vec(proptest::option::weighted(0.2, 0u8..2), 10),
+        seed in any::<u64>(),
+    ) {
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..10 {
+            b.add_vertex(1);
+        }
+        for net in &nets {
+            b.add_net(1, net.iter().map(|&i| VertexId::from_index(i)))
+                .expect("valid net");
+        }
+        let hg = b.build().expect("valid graph");
+        let fixed = FixedVertices::from_fixities(
+            fix_mask
+                .iter()
+                .map(|f| match f {
+                    None => Fixity::Free,
+                    Some(p) => Fixity::Fixed(PartId(*p as u32)),
+                })
+                .collect(),
+        );
+        let balance = BalanceConstraint::bisection(10, Tolerance::Relative(0.2));
+        let Some(optimal) = brute_force_best(&hg, &fixed, &balance) else {
+            return Ok(()); // infeasible fixity/balance combination
+        };
+        let fm = BipartFm::new(FmConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let outcome = multistart(&hg, &fixed, &balance, 8, &mut rng, |hg, fx, bc, rng| {
+            let r = fm.run_random(hg, fx, bc, rng)?;
+            Ok(PartitionResult::new(r.parts, r.cut))
+        });
+        let Ok(outcome) = outcome else {
+            return Ok(()); // random_initial could not balance this fixity mix
+        };
+        // 8-start FM on 10 vertices should essentially always be optimal;
+        // tolerate at most one net of slack to keep the test non-flaky.
+        prop_assert!(
+            outcome.best.cut <= optimal + 1,
+            "fm {} vs optimal {optimal}",
+            outcome.best.cut
+        );
+        prop_assert!(outcome.best.cut >= optimal, "fm beat brute force?!");
+    }
+}
+
+#[test]
+fn multilevel_is_bit_deterministic() {
+    let circuit = ibm01_like_scaled(0.05, 21);
+    let hg = &circuit.hypergraph;
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.05));
+    let fixed = FixedVertices::all_free(hg.num_vertices());
+    let ml = MultilevelPartitioner::new(MultilevelConfig::default());
+    let run = || {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        ml.run(hg, &fixed, &balance, &mut rng).expect("runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.parts, b.parts);
+    assert_eq!(a.cut, b.cut);
+    assert_eq!(a.level_sizes, b.level_sizes);
+}
+
+#[test]
+fn placer_is_bit_deterministic() {
+    let circuit = ibm01_like_scaled(0.02, 22);
+    let placer = TopDownPlacer::new(PlacerConfig {
+        ml_config: MultilevelConfig {
+            coarsest_size: 30,
+            coarse_starts: 2,
+            ..MultilevelConfig::default()
+        },
+        ..PlacerConfig::default()
+    });
+    let run = || {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        placer.place_circuit(&circuit, &mut rng).expect("places")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.positions, b.positions);
+    assert_eq!(a.num_bisections, b.num_bisections);
+}
+
+#[test]
+fn different_seeds_explore_different_solutions() {
+    let circuit = ibm01_like_scaled(0.05, 23);
+    let hg = &circuit.hypergraph;
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.05));
+    let fixed = FixedVertices::all_free(hg.num_vertices());
+    let fm = BipartFm::new(FmConfig::default());
+    let mut distinct = std::collections::HashSet::new();
+    for seed in 0..6u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let r = fm.run_random(hg, &fixed, &balance, &mut rng).expect("runs");
+        distinct.insert(r.parts);
+    }
+    assert!(distinct.len() > 1, "flat FM should vary across seeds");
+}
