@@ -3,8 +3,8 @@
 //!
 //! Regenerate the table with `cargo run -p vlsi-experiments --bin table4`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vlsi_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 use vlsi_netgen::blocks::{extract_block, standard_instances};
 use vlsi_netgen::instances::ibm01_like_scaled;

@@ -4,10 +4,10 @@
 //!
 //! Regenerate the table with `cargo run -p vlsi-experiments --bin table2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
+use vlsi_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use vlsi_experiments::harness::{find_good_solution, paper_balance};
 use vlsi_experiments::regimes::{FixSchedule, Regime};

@@ -1,10 +1,10 @@
 //! Micro-benchmarks of the substrate data structures: gain buckets,
 //! incremental cut maintenance, and one coarsening level.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
+use vlsi_rng::prelude::*;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 use vlsi_hypergraph::{CutState, FixedVertices, PartId, VertexId};
 use vlsi_netgen::instances::ibm01_like_scaled;

@@ -2,8 +2,8 @@
 //!
 //! Regenerate the table itself with `cargo run -p vlsi-experiments --bin table1`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vlsi_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 use vlsi_experiments::table1;
 use vlsi_netgen::rent::RentModel;

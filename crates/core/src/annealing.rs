@@ -9,7 +9,7 @@
 //! Fixed vertices are never proposed; `FixedAny` vertices flip only within
 //! their allowed set (in a bisection: both sides).
 
-use rand::Rng;
+use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{
     BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
@@ -47,7 +47,7 @@ impl Default for AnnealingConfig {
 ///
 /// # Example
 /// ```
-/// use rand::SeedableRng;
+/// use vlsi_rng::SeedableRng;
 /// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, PartId, Tolerance};
 /// use vlsi_partition::annealing::{simulated_annealing, AnnealingConfig};
 ///
@@ -61,7 +61,7 @@ impl Default for AnnealingConfig {
 /// let fixed = FixedVertices::all_free(8);
 /// let balance = BalanceConstraint::bisection(8, Tolerance::Relative(0.0));
 /// let initial: Vec<PartId> = (0..8).map(|i| PartId(i % 2)).collect();
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(1);
 /// let r = simulated_annealing(
 ///     &hg, &fixed, &balance, initial, AnnealingConfig::default(), &mut rng,
 /// )?;
@@ -193,9 +193,9 @@ pub fn simulated_annealing<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::{validate_partitioning, HypergraphBuilder, Tolerance};
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     fn two_cliques(s: usize) -> Hypergraph {
         let mut b = HypergraphBuilder::new();

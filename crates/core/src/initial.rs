@@ -1,7 +1,7 @@
 //! Random legal initial solutions respecting fixed vertices and balance.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use vlsi_rng::seq::SliceRandom;
+use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Fixity, Hypergraph, PartId, VertexId};
 
@@ -28,7 +28,7 @@ const MAX_ATTEMPTS: usize = 25;
 ///
 /// # Example
 /// ```
-/// use rand::SeedableRng;
+/// use vlsi_rng::SeedableRng;
 /// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
 /// use vlsi_partition::random_initial;
 ///
@@ -40,7 +40,7 @@ const MAX_ATTEMPTS: usize = 25;
 /// let hg = b.build()?;
 /// let bc = BalanceConstraint::bisection(10, Tolerance::Relative(0.0));
 /// let fx = FixedVertices::all_free(10);
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(7);
 /// let parts = random_initial(&hg, &fx, &bc, 2, &mut rng)?;
 /// let ones = parts.iter().filter(|p| p.0 == 1).count();
 /// assert_eq!(ones, 5);
@@ -168,9 +168,9 @@ fn add_load(loads: &mut [u64], nr: usize, part: PartId, weights: &[u64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::{HypergraphBuilder, PartSet, Tolerance};
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     fn unit_graph(n: usize) -> Hypergraph {
         let mut b = HypergraphBuilder::new();

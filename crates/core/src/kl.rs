@@ -233,9 +233,9 @@ fn run_pass(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::{validate_partitioning, HypergraphBuilder, Tolerance};
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     fn two_cliques(s: usize) -> Hypergraph {
         let mut b = HypergraphBuilder::new();
@@ -266,10 +266,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut b = HypergraphBuilder::new();
         let v: Vec<_> = (0..30).map(|_| b.add_vertex(1)).collect();
-        use rand::Rng;
+        use vlsi_rng::Rng;
         for _ in 0..60 {
-            let i = rng.gen_range(0..30);
-            let j = (i + rng.gen_range(1..30)) % 30;
+            let i = rng.gen_range(0..30usize);
+            let j = (i + rng.gen_range(1..30usize)) % 30;
             b.add_net_dedup(1, [v[i], v[j]]).unwrap();
         }
         let hg = b.build().unwrap();

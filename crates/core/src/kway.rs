@@ -5,7 +5,7 @@
 //! is as affected by fixed terminals" as an open question; this module
 //! provides the machinery the experiment harness uses to ask it.
 
-use rand::Rng;
+use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{
     induced_subgraph, BalanceConstraint, CutState, FixedVertices, Fixity, Hypergraph, Objective,
@@ -32,7 +32,7 @@ use crate::{PartitionError, PartitionResult};
 ///
 /// # Example
 /// ```
-/// use rand::SeedableRng;
+/// use vlsi_rng::SeedableRng;
 /// use vlsi_hypergraph::{FixedVertices, HypergraphBuilder};
 /// use vlsi_partition::kway::recursive_bisection;
 /// use vlsi_partition::MultilevelConfig;
@@ -45,7 +45,7 @@ use crate::{PartitionError, PartitionResult};
 /// }
 /// let hg = b.build()?;
 /// let fixed = FixedVertices::all_free(16);
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(1);
 /// let r = recursive_bisection(&hg, &fixed, 4, 0.1, &MultilevelConfig::default(), &mut rng)?;
 /// assert_eq!(r.parts.len(), 16);
 /// assert!(r.parts.iter().all(|p| p.0 < 4));
@@ -402,7 +402,7 @@ pub fn refine_pass(
 ///
 /// # Example
 /// ```
-/// use rand::SeedableRng;
+/// use vlsi_rng::SeedableRng;
 /// use vlsi_hypergraph::{FixedVertices, HypergraphBuilder};
 /// use vlsi_partition::kway::multilevel_kway;
 /// use vlsi_partition::MultilevelConfig;
@@ -415,7 +415,7 @@ pub fn refine_pass(
 /// }
 /// let hg = b.build()?;
 /// let fixed = FixedVertices::all_free(32);
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(2);
 /// let cfg = MultilevelConfig { coarsest_size: 8, ..MultilevelConfig::default() };
 /// let r = multilevel_kway(&hg, &fixed, 4, 0.1, &cfg, &mut rng)?;
 /// assert_eq!(r.cut, 3); // a chain 4-sects with three cut nets
@@ -544,9 +544,9 @@ pub fn refine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::{HypergraphBuilder, Tolerance};
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     /// `c` cliques of size `s`, chained by single bridge nets.
     fn cliques(c: usize, s: usize) -> Hypergraph {

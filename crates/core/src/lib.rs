@@ -22,7 +22,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use vlsi_rng::SeedableRng;
 //! use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
 //! use vlsi_partition::{MultilevelConfig, MultilevelPartitioner};
 //!
@@ -40,7 +40,7 @@
 //! let fixed = FixedVertices::all_free(hg.num_vertices());
 //!
 //! let ml = MultilevelPartitioner::new(MultilevelConfig::default());
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(1);
 //! let result = ml.run(&hg, &fixed, &balance, &mut rng)?;
 //! assert_eq!(result.cut, 1); // a chain bisects with a single cut net
 //! # let _ = balance;

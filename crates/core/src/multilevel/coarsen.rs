@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use vlsi_rng::seq::SliceRandom;
+use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{FixedVertices, Fixity, Hypergraph, HypergraphBuilder, PartId, VertexId};
 
@@ -294,9 +294,9 @@ fn fixed_delta(f: Fixity, p: PartId, w: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::PartSet;
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     fn params() -> CoarsenParams {
         CoarsenParams {

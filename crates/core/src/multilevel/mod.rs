@@ -11,7 +11,7 @@ mod coarsen;
 
 pub use coarsen::{coarsen_once, merge_fixity, CoarsenParams, Level};
 
-use rand::Rng;
+use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, PartId};
 
@@ -42,7 +42,7 @@ impl From<MultilevelResult> for PartitionResult {
 ///
 /// # Example
 /// ```
-/// use rand::SeedableRng;
+/// use vlsi_rng::SeedableRng;
 /// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
 /// use vlsi_partition::{MultilevelConfig, MultilevelPartitioner};
 ///
@@ -56,7 +56,7 @@ impl From<MultilevelResult> for PartitionResult {
 /// let balance = BalanceConstraint::bisection(64, Tolerance::Relative(0.02));
 /// let fixed = FixedVertices::all_free(64);
 /// let ml = MultilevelPartitioner::new(MultilevelConfig::default());
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(0);
 /// let r = ml.run(&hg, &fixed, &balance, &mut rng)?;
 /// assert_eq!(r.cut, 1);
 /// # Ok(())
@@ -265,11 +265,11 @@ impl MultilevelPartitioner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::{
         validate_partitioning, HypergraphBuilder, Partitioning, Tolerance, VertexId,
     };
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     /// A 2D grid graph: gridsize² vertices, 2-pin nets along rows/columns.
     fn grid(side: usize) -> Hypergraph {

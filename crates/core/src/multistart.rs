@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use rand::Rng;
+use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph};
 
@@ -65,7 +65,7 @@ impl MultistartOutcome {
 ///
 /// # Example
 /// ```
-/// use rand::SeedableRng;
+/// use vlsi_rng::SeedableRng;
 /// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
 /// use vlsi_partition::{multistart, BipartFm, FmConfig, PartitionResult};
 ///
@@ -80,7 +80,7 @@ impl MultistartOutcome {
 /// let fixed = FixedVertices::all_free(6);
 /// let fm = BipartFm::new(FmConfig::default());
 ///
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(0);
 /// let outcome = multistart(&hg, &fixed, &balance, 4, &mut rng, |hg, fx, bc, rng| {
 ///     let r = fm.run_random(hg, fx, bc, rng)?;
 ///     Ok(PartitionResult::new(r.parts, r.cut))
@@ -179,11 +179,11 @@ where
             &Hypergraph,
             &FixedVertices,
             &BalanceConstraint,
-            &mut rand_chacha::ChaCha8Rng,
+            &mut vlsi_rng::ChaCha8Rng,
         ) -> Result<PartitionResult, PartitionError>
         + Sync,
 {
-    use rand::SeedableRng;
+    use vlsi_rng::SeedableRng;
 
     assert!(starts > 0, "at least one start required");
     assert!(threads > 0, "at least one thread required");
@@ -207,7 +207,7 @@ where
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let i = first_index + off;
                     let mut rng =
-                        rand_chacha::ChaCha8Rng::seed_from_u64(base_seed.wrapping_add(i as u64));
+                        vlsi_rng::ChaCha8Rng::seed_from_u64(base_seed.wrapping_add(i as u64));
                     let t0 = Instant::now();
                     let result = partitioner(hg, fixed, balance, &mut rng);
                     *slot = Some(result.map(|r| (r, t0.elapsed())));
@@ -238,9 +238,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::{HypergraphBuilder, PartId, Tolerance};
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     fn tiny() -> (Hypergraph, FixedVertices, BalanceConstraint) {
         let mut b = HypergraphBuilder::new();

@@ -7,8 +7,8 @@
 
 use std::time::{Duration, Instant};
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
 use vlsi_partition::{

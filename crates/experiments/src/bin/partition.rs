@@ -11,8 +11,8 @@ use std::fs::File;
 use std::io::Write as _;
 use std::process::exit;
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_experiments::harness::Engine;
 use vlsi_hypergraph::io::{read_fix, read_hgr};

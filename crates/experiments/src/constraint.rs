@@ -151,10 +151,10 @@ pub fn constraint_metrics(hg: &Hypergraph, fixed: &FixedVertices) -> ConstraintM
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::{HypergraphBuilder, PartId, VertexId};
     use vlsi_partition::terminal_cluster::cluster_terminals;
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     use crate::regimes::{FixSchedule, Regime};
 

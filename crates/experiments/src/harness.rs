@@ -3,9 +3,9 @@
 
 use std::time::Duration;
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Tolerance};
 use vlsi_partition::{
@@ -234,7 +234,7 @@ mod tests {
         let hg = chain(32);
         let fixed = FixedVertices::all_free(32);
         let balance = paper_balance(&hg);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
         for engine in [
             Engine::Flat(FmConfig::default()),
             Engine::Multilevel(MultilevelConfig {

@@ -9,8 +9,8 @@
 //! bisection instances by movable-vertex count, and report measured fixed
 //! fractions next to the [`vlsi_netgen::rent::RentModel`] prediction.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_netgen::rent::RentModel;
 use vlsi_netgen::Circuit;
@@ -138,8 +138,11 @@ mod tests {
             last.measured_fixed_fraction
         );
         // And the measured fractions are in the same regime as predicted:
-        // within a factor of ~3 on the mid buckets.
-        for r in &rows {
+        // within a factor of ~3 on the mid buckets. The largest bucket is
+        // excluded: it holds the die-level bisections, whose only terminals
+        // are the I/O pads — Rent's rule models terminals of *interior*
+        // blocks and structurally overpredicts at the root.
+        for r in rows.iter().take(rows.len() - 1) {
             if r.instances >= 4 && r.predicted_fixed_fraction > 0.05 {
                 let ratio = r.measured_fixed_fraction / r.predicted_fixed_fraction;
                 assert!(

@@ -9,8 +9,8 @@
 //! *where inside a pass* the best solution occurs, as a function of the
 //! fixed-vertex percentage.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
 use vlsi_partition::{BipartFm, FmConfig, MultilevelConfig, PartitionError, SelectionPolicy};

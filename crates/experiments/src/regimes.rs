@@ -8,8 +8,8 @@
 //! incrementally fix additional vertices, e.g., all vertices fixed at 1.0%
 //! are also fixed at 2.0%."
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use vlsi_rng::seq::SliceRandom;
+use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{FixedVertices, Hypergraph, PartId, VertexId};
 
@@ -44,7 +44,7 @@ pub const PAPER_PERCENTAGES: [f64; 12] = [
 ///
 /// # Example
 /// ```
-/// use rand::SeedableRng;
+/// use vlsi_rng::SeedableRng;
 /// use vlsi_hypergraph::{HypergraphBuilder, PartId};
 /// use vlsi_experiments::regimes::{FixSchedule, Regime};
 ///
@@ -55,7 +55,7 @@ pub const PAPER_PERCENTAGES: [f64; 12] = [
 /// }
 /// let hg = b.build()?;
 /// let good = vec![PartId(0); 100];
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(1);
 /// let sched = FixSchedule::new(&hg, Regime::Good, &good, &mut rng);
 /// let at10 = sched.at_percent(10.0);
 /// assert_eq!(at10.num_fixed(), 10);
@@ -156,9 +156,9 @@ impl FixSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::HypergraphBuilder;
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     fn hg(n: usize) -> Hypergraph {
         let mut b = HypergraphBuilder::new();

@@ -9,8 +9,8 @@
 //! bookkeeping — the honest check that the IBM-substitute circuits really
 //! have the structure the experiments assume.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::{
     induced_subgraph, BalanceConstraint, FixedVertices, Hypergraph, PartId, Tolerance, VertexId,

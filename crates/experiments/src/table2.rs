@@ -2,8 +2,8 @@
 //! nodes moved per pass (excluding the first pass), for LIFO-FM runs at
 //! increasing fixed-vertex percentages.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
 use vlsi_partition::{BipartFm, FmConfig, MultilevelConfig, PartitionError, SelectionPolicy};

@@ -286,9 +286,9 @@ mod tests {
 
     #[test]
     fn incremental_matches_recompute_on_random_walk() {
-        use rand::prelude::*;
+        use vlsi_rng::prelude::*;
         let hg = chain(20);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(11);
         let mut parts: Vec<PartId> = (0..20).map(|_| PartId(rng.gen_range(0..3))).collect();
         let mut cs = CutState::new(&hg, 3, &parts);
         for _ in 0..200 {
@@ -299,6 +299,95 @@ mod tests {
             parts[v.index()] = to;
             for &obj in &[Objective::Cut, Objective::KMinus1, Objective::Soed] {
                 assert_eq!(cs.value(obj), recompute_value(&hg, 3, &parts, obj));
+            }
+        }
+    }
+
+    /// Random hypergraph: `n` unit vertices, `m` nets of 2–4 distinct pins.
+    fn random_hg(n: usize, m: usize, rng: &mut vlsi_rng::ChaCha8Rng) -> Hypergraph {
+        use vlsi_rng::Rng;
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..n).map(|_| b.add_vertex(1)).collect();
+        for _ in 0..m {
+            let size = rng.gen_range(2..=4usize.min(n));
+            let mut pins = Vec::with_capacity(size);
+            while pins.len() < size {
+                let cand = v[rng.gen_range(0..n)];
+                if !pins.contains(&cand) {
+                    pins.push(cand);
+                }
+            }
+            b.add_net(rng.gen_range(1..4u64), pins).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// FM's bipartition gain formula (+w when the vertex is the last pin on
+    /// its side, −w when the other side has none) must equal the *actual*
+    /// cut delta realised by `move_vertex` — and the incrementally moved
+    /// state must equal a from-scratch `CutState` — on random instances.
+    #[test]
+    fn gain_formula_matches_cut_delta_on_random_instances() {
+        use vlsi_rng::{Rng, SeedableRng};
+        let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(77);
+        for trial in 0..50 {
+            let n = rng.gen_range(4..30usize);
+            let hg = random_hg(n, rng.gen_range(3..3 * n), &mut rng);
+            let mut parts: Vec<PartId> = (0..n).map(|_| PartId(rng.gen_range(0..2))).collect();
+            let mut cs = CutState::new(&hg, 2, &parts);
+            for step in 0..60 {
+                let v = VertexId(rng.gen_range(0..n as u32));
+                let from = parts[v.index()];
+                let to = PartId(1 - from.0);
+                // The textbook FM gain of moving v from `from` to `to`.
+                let mut gain = 0i64;
+                for &net in hg.vertex_nets(v) {
+                    let w = hg.net_weight(net) as i64;
+                    if cs.pins_in(net, from) == 1 {
+                        gain += w;
+                    }
+                    if cs.pins_in(net, to) == 0 {
+                        gain -= w;
+                    }
+                }
+                let before = cs.cut() as i64;
+                cs.move_vertex(&hg, v, from, to);
+                parts[v.index()] = to;
+                assert_eq!(
+                    before - cs.cut() as i64,
+                    gain,
+                    "trial {trial} step {step}: gain disagrees with cut delta"
+                );
+                let fresh = CutState::new(&hg, 2, &parts);
+                assert_eq!(cs.cut(), fresh.cut());
+                assert_eq!(cs.kminus1(), fresh.kminus1());
+            }
+        }
+    }
+
+    /// The random-walk recompute check again, but on random (non-chain)
+    /// multiway instances: incremental maintenance of every objective must
+    /// agree with from-scratch recomputation after each move.
+    #[test]
+    fn incremental_matches_recompute_on_random_instances() {
+        use vlsi_rng::{Rng, SeedableRng};
+        let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(91);
+        for _ in 0..20 {
+            let n = rng.gen_range(5..25usize);
+            let k = rng.gen_range(2..5usize);
+            let hg = random_hg(n, 2 * n, &mut rng);
+            let mut parts: Vec<PartId> =
+                (0..n).map(|_| PartId(rng.gen_range(0..k as u32))).collect();
+            let mut cs = CutState::new(&hg, k, &parts);
+            for _ in 0..80 {
+                let v = VertexId(rng.gen_range(0..n as u32));
+                let to = PartId(rng.gen_range(0..k as u32));
+                let from = parts[v.index()];
+                cs.move_vertex(&hg, v, from, to);
+                parts[v.index()] = to;
+                for &obj in &[Objective::Cut, Objective::KMinus1, Objective::Soed] {
+                    assert_eq!(cs.value(obj), recompute_value(&hg, k, &parts, obj));
+                }
             }
         }
     }

@@ -6,17 +6,17 @@
 //! why `Max%` is a column of Table IV. This module samples such skewed
 //! distributions.
 
-use rand::Rng;
+use vlsi_rng::Rng;
 
 /// A skewed cell-area distribution: a unit-ish body plus a heavy tail and a
 /// handful of macro-sized giants.
 ///
 /// # Example
 /// ```
-/// use rand::SeedableRng;
+/// use vlsi_rng::SeedableRng;
 /// use vlsi_netgen::areas::AreaDistribution;
 ///
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(1);
 /// let dist = AreaDistribution::ibm_like();
 /// let areas = dist.sample(&mut rng, 5000);
 /// let total: u64 = areas.iter().sum();
@@ -102,8 +102,8 @@ impl Default for AreaDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     #[test]
     fn unit_distribution_is_small() {

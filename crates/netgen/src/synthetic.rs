@@ -12,10 +12,10 @@
 //! locality the connectivity implies — which is what the paper's Section IV
 //! block-extraction methodology needs.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::seq::SliceRandom;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::{HypergraphBuilder, VertexId};
 

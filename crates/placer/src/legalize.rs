@@ -164,10 +164,10 @@ pub fn legalize_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_hypergraph::HypergraphBuilder;
     use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     use crate::{hpwl, PlacerConfig, TopDownPlacer};
 
@@ -200,7 +200,8 @@ mod tests {
         let mut rows: std::collections::HashMap<i64, Vec<(f64, f64)>> = Default::default();
         for v in circuit.cells() {
             let p = out.positions[v.index()];
-            let w = circuit.hypergraph.vertex_weight(v).max(1) as f64 * scale;
+            let w = (circuit.hypergraph.vertex_weight(v).max(1) as f64 * scale)
+                .min(circuit.die.width() * 0.999);
             rows.entry((p.y * 1000.0) as i64)
                 .or_default()
                 .push((p.x - w / 2.0, p.x + w / 2.0));

@@ -12,7 +12,7 @@
 //! # Example
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use vlsi_rng::SeedableRng;
 //! use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
 //! use vlsi_placer::{hpwl, PlacerConfig, TopDownPlacer};
 //!
@@ -24,7 +24,7 @@
 //! .generate(3);
 //!
 //! let placer = TopDownPlacer::new(PlacerConfig::default());
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+//! let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(5);
 //! let placement = placer.place_circuit(&circuit, &mut rng)?;
 //! let wl = hpwl(&circuit.hypergraph, &placement.positions);
 //! assert!(wl > 0.0);

@@ -1,6 +1,6 @@
 //! The recursive-bisection placement engine.
 
-use rand::Rng;
+use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{
     BalanceConstraint, FixedVertices, Hypergraph, HypergraphBuilder, PartId, VertexId,
@@ -337,9 +337,9 @@ fn place_end_case(positions: &mut [Point], rect: &Rect, cells: &[VertexId]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vlsi_netgen::synthetic::{Generator, GeneratorConfig};
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     use crate::wirelength::hpwl;
 

@@ -1,0 +1,220 @@
+//! ChaCha8 (Bernstein) as a counter-based PRNG: the drop-in replacement
+//! for the `rand_chacha::ChaCha8Rng` call sites. Counter-based streams
+//! give two properties the experiment harness relies on:
+//!
+//! * the output at any position is a pure function of (key, stream,
+//!   counter), so a trajectory can be reproduced from its seed alone;
+//! * the 64-bit stream id yields up to 2^64 *independent* substreams per
+//!   seed — one per trial/start — without any coordination between them.
+
+use crate::splitmix::fnv1a_64;
+use crate::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: usize = 16;
+/// "expand 32-byte k" — the standard ChaCha constant row.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+/// A ChaCha8 stream generator with a 256-bit key, 64-bit block counter,
+/// and 64-bit stream id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u64; WORDS_PER_BLOCK / 2],
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    /// Returns the 64-bit stream id.
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Selects stream `stream` and rewinds to its start. Streams with
+    /// different ids are independent even under the same key.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.idx = self.buf.len();
+    }
+
+    /// Derives the substream named `label` *without* advancing `self`:
+    /// same key, stream id hashed from the label. Calling it twice with
+    /// the same label yields the same stream.
+    pub fn substream(&self, label: &str) -> Self {
+        let mut child = self.clone();
+        child.set_stream(fnv1a_64(label.as_bytes()));
+        child
+    }
+
+    /// Forks an independent child stream named `label`, advancing `self`
+    /// by one draw. Successive forks with the same label differ (the
+    /// parent draw is mixed into the child's stream id).
+    pub fn fork(&mut self, label: &str) -> Self {
+        let draw = self.next_u64();
+        let mut child = self.clone();
+        child.set_stream(crate::mix64(draw ^ fnv1a_64(label.as_bytes())));
+        child
+    }
+
+    fn refill(&mut self) {
+        let mut x = [0u32; WORDS_PER_BLOCK];
+        x[..4].copy_from_slice(&SIGMA);
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        x[14] = self.stream as u32;
+        x[15] = (self.stream >> 32) as u32;
+        let input = x;
+
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (xi, &ii) in x.iter_mut().zip(input.iter()) {
+            *xi = xi.wrapping_add(ii);
+        }
+        for (i, pair) in x.chunks_exact(2).enumerate() {
+            self.buf[i] = pair[0] as u64 | ((pair[1] as u64) << 32);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; WORDS_PER_BLOCK / 2],
+            idx: WORDS_PER_BLOCK / 2,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.idx >= self.buf.len() {
+            self.refill();
+        }
+        let out = self.buf[self.idx];
+        self.idx += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        b.set_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn substream_is_pure_and_label_sensitive() {
+        let r = ChaCha8Rng::seed_from_u64(11);
+        let mut s1 = r.substream("trial-0");
+        let mut s2 = r.substream("trial-0");
+        let mut s3 = r.substream("trial-1");
+        let x = s1.next_u64();
+        assert_eq!(x, s2.next_u64());
+        assert_ne!(x, s3.next_u64());
+    }
+
+    #[test]
+    fn fork_advances_parent_deterministically() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        let mut fa = a.fork("x");
+        let mut fb = b.fork("x");
+        assert_eq!(fa.next_u64(), fb.next_u64());
+        assert_eq!(a.next_u64(), b.next_u64());
+        // Two forks with the same label from the same parent still differ.
+        let mut fa2 = a.fork("x");
+        assert_ne!(fa.next_u64(), fa2.next_u64());
+    }
+
+    #[test]
+    fn block_boundary_is_seamless() {
+        // Draw an odd number of u64s across several 8-u64 blocks.
+        let mut r = ChaCha8Rng::seed_from_u64(4);
+        let long: Vec<u64> = (0..27).map(|_| r.next_u64()).collect();
+        let mut r2 = ChaCha8Rng::seed_from_u64(4);
+        let again: Vec<u64> = (0..27).map(|_| r2.next_u64()).collect();
+        assert_eq!(long, again);
+        assert_eq!(
+            long.iter().collect::<std::collections::HashSet<_>>().len(),
+            27
+        );
+    }
+
+    #[test]
+    fn usable_as_generic_rng() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let counts = (0..6000).fold([0usize; 3], |mut acc, _| {
+            acc[r.gen_range(0..3usize)] += 1;
+            acc
+        });
+        assert!(counts.iter().all(|&c| c > 1600), "{counts:?}");
+    }
+}

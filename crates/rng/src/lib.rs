@@ -1,0 +1,330 @@
+//! Deterministic, dependency-free random number generation for the
+//! fixed-vertices reproduction.
+//!
+//! Every experiment in the paper is an average over *seeded* trials
+//! (Figures 1–2 and Tables II–IV are 50-trial means), so the entire
+//! workspace routes its randomness through this crate. It deliberately
+//! exposes only the narrow surface the partitioner actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] — every trajectory starts from one u64;
+//! * [`Rng::gen_range`] / [`Rng::gen_bool`] — bounded draws;
+//! * [`seq::SliceRandom`] — `shuffle` and `choose`;
+//! * [`Xoshiro256PlusPlus`] — the fast default generator
+//!   (SplitMix64-seeded xoshiro256++);
+//! * [`ChaCha8Rng`] — a ChaCha8 stream generator for call sites that want
+//!   a counter-based stream (drop-in for the old `rand_chacha` sites);
+//! * [`ChaCha8Rng::fork`] / [`ChaCha8Rng::substream`] — named substreams
+//!   so per-trial / per-start randomness is independent of call order.
+//!
+//! All generators are pure functions of their seed: the same u64 yields
+//! the same byte stream on every platform and build, which is what makes
+//! `tests/determinism.rs` meaningful.
+//!
+//! # Example
+//! ```
+//! use vlsi_rng::{ChaCha8Rng, Rng, SeedableRng};
+//! use vlsi_rng::seq::SliceRandom;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(42);
+//! let x = rng.gen_range(0..10);
+//! assert!(x < 10);
+//! let mut v = vec![1, 2, 3, 4];
+//! v.shuffle(&mut rng);
+//! assert_eq!(rng.gen_bool(1.0), true);
+//!
+//! // Same seed, same stream — always.
+//! let a: Vec<u64> = (0..4).map(|_| ChaCha8Rng::seed_from_u64(7).next_u64()).collect();
+//! assert!(a.windows(2).all(|w| w[0] == w[1]));
+//! use vlsi_rng::RngCore;
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod chacha;
+mod splitmix;
+mod xoshiro;
+
+pub mod seq;
+
+pub use chacha::ChaCha8Rng;
+pub use splitmix::{fnv1a_64, mix64, SplitMix64};
+pub use xoshiro::Xoshiro256PlusPlus;
+
+/// Everything a call site typically needs, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{ChaCha8Rng, Rng, RngCore, SeedableRng, Xoshiro256PlusPlus};
+}
+
+/// The raw generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits (upper half of
+    /// [`next_u64`](Self::next_u64), which has the better-mixed bits on
+    /// xoshiro-family generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes (little-endian u64 chunks).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience draws on top of [`RngCore`]; blanket-implemented.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (`a..b` or `a..=b`; integers or floats).
+    ///
+    /// Integer draws use Lemire's widening-multiply rejection, so they are
+    /// exactly uniform regardless of the bound.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        // 53-bit uniform in [0, 1); p == 1.0 therefore always succeeds.
+        gen_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn gen_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw in `[0, bound)` via Lemire's rejection method.
+///
+/// # Panics
+/// Panics if `bound == 0`.
+#[inline]
+pub fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "uniform_below: empty range");
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a fixed-size byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands one `u64` into a full seed via SplitMix64 (the expansion
+    /// recommended by the xoshiro authors) and constructs the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64::new(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A range that can produce a uniform sample; implemented for `Range` and
+/// `RangeInclusive` over the primitive integers and floats.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let off = uniform_below(rng, span) as $u;
+                (self.start as $u).wrapping_add(off) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_below(rng, span + 1) as $u;
+                (lo as $u).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = gen_f64(rng) as $t;
+                let v = self.start + (self.end - self.start) * u;
+                // Guard against rounding landing exactly on `end`.
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_range_bounds_hold_for_all_int_types() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..2000 {
+            let a = rng.gen_range(3u8..9);
+            assert!((3..9).contains(&a));
+            let b = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&b));
+            let c = rng.gen_range(0usize..1);
+            assert_eq!(c, 0);
+            let d = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = d;
+            let e = rng.gen_range(10u64..11);
+            assert_eq!(e, 10);
+        }
+    }
+
+    #[test]
+    fn gen_range_floats_stay_in_range() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for _ in 0..2000 {
+            let x = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&x));
+            let y = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+        let _ = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes_are_exact() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_is_plausible() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn uniform_below_covers_small_bounds() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[uniform_below(&mut rng, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rng_core_works_through_mut_ref() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0..100)
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let by_ref = &mut rng;
+        assert!(draw(by_ref) < 100);
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_covers_tail() {
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        ChaCha8Rng::seed_from_u64(9).fill_bytes(&mut a);
+        ChaCha8Rng::seed_from_u64(9).fill_bytes(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, [0u8; 13]);
+    }
+}

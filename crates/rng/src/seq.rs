@@ -1,0 +1,92 @@
+//! Sequence helpers mirroring `rand::seq`: in-place Fisher–Yates shuffle
+//! and uniform element choice.
+
+use crate::{uniform_below, Rng};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, one `gen_range` per
+    /// element, identical order of draws to `rand`'s implementation so a
+    /// shuffle consumes a predictable amount of the stream).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, Xoshiro256PlusPlus};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let shuffled = |seed| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..20).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(shuffled(9), shuffled(9));
+        assert_ne!(shuffled(9), shuffled(10));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let v = [10, 20, 30];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*v.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let v: [u8; 0] = [];
+        assert!(v.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn singleton_shuffle_is_noop_and_cheap() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut v = [42];
+        v.shuffle(&mut rng);
+        assert_eq!(v, [42]);
+    }
+}

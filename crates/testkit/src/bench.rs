@@ -1,0 +1,428 @@
+//! A minimal wall-clock benchmark runner mirroring the slice of the
+//! criterion API the bench targets use. Each benchmark is calibrated so a
+//! sample lasts ~`TESTKIT_BENCH_TARGET_MS` (default 20 ms), warmed up,
+//! then timed for `sample_size` samples; the per-iteration min / mean /
+//! median / p95 / max land in `results/bench/<target>.json` and on
+//! stdout.
+//!
+//! Under `cargo test` the bench targets are excluded (`test = false` in
+//! the manifest); under `cargo bench` the harness honours positional CLI
+//! filters just like criterion (`cargo bench -- micro/` runs the micro
+//! group only). `TESTKIT_BENCH_SAMPLES` overrides every `sample_size`.
+
+use std::fmt::Display;
+use std::fs;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+// Re-export the harness macros next to the types, so bench targets can
+// `use vlsi_testkit::bench::{criterion_group, criterion_main, Criterion}`.
+pub use crate::{criterion_group, criterion_main};
+
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full benchmark id, e.g. `baselines/engine/multilevel/0pct`.
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations averaged inside each sample.
+    pub iters_per_sample: u64,
+    /// Per-iteration nanoseconds.
+    pub min_ns: f64,
+    /// Per-iteration nanoseconds.
+    pub mean_ns: f64,
+    /// Per-iteration nanoseconds.
+    pub median_ns: f64,
+    /// Per-iteration nanoseconds.
+    pub p95_ns: f64,
+    /// Per-iteration nanoseconds.
+    pub max_ns: f64,
+}
+
+/// The benchmark registry for one bench target.
+pub struct Criterion {
+    target: String,
+    out_dir: PathBuf,
+    filters: Vec<String>,
+    records: Vec<Record>,
+    sample_override: Option<usize>,
+    target_sample_ms: f64,
+}
+
+impl Criterion {
+    /// Creates the registry for bench target `target`; `manifest_dir` is
+    /// the bench crate's `CARGO_MANIFEST_DIR`, used to locate the
+    /// workspace `results/` directory (overridable via
+    /// `TESTKIT_BENCH_DIR`).
+    pub fn new(target: &str, manifest_dir: &str) -> Self {
+        let out_dir = std::env::var_os("TESTKIT_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                PathBuf::from(manifest_dir)
+                    .join("..")
+                    .join("..")
+                    .join("results")
+                    .join("bench")
+            });
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        let sample_override = std::env::var("TESTKIT_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        let target_sample_ms = std::env::var("TESTKIT_BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20.0);
+        Criterion {
+            target: target.to_string(),
+            out_dir,
+            filters,
+            records: Vec::new(),
+            sample_override,
+            target_sample_ms,
+        }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one(&mut self, id: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.selected(&id) {
+            return;
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_override.unwrap_or(sample_size),
+            target_sample_ms: self.target_sample_ms,
+            record: None,
+        };
+        f(&mut b);
+        let Some(mut rec) = b.record.take() else {
+            return; // the closure never called iter()
+        };
+        rec.id = id;
+        println!(
+            "{:<52} median {:>12}  p95 {:>12}  ({} samples x {} iters)",
+            rec.id,
+            fmt_ns(rec.median_ns),
+            fmt_ns(rec.p95_ns),
+            rec.samples,
+            rec.iters_per_sample,
+        );
+        self.records.push(rec);
+    }
+
+    /// Registers and immediately runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id.to_string(), DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside share the group prefix and
+    /// its `sample_size`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Writes all accumulated records as JSON and prints the output path.
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn finalize(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        if let Err(e) = fs::create_dir_all(&self.out_dir) {
+            eprintln!(
+                "testkit-bench: cannot create {}: {e}",
+                self.out_dir.display()
+            );
+            return;
+        }
+        let path = self.out_dir.join(format!("{}.json", self.target));
+        let mut json = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"id\": {}, \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"p95_ns\": {:.1}, \"max_ns\": {:.1}}}{}",
+                json_string(&r.id),
+                r.samples,
+                r.iters_per_sample,
+                r.min_ns,
+                r.mean_ns,
+                r.median_ns,
+                r.p95_ns,
+                r.max_ns,
+                if i + 1 == self.records.len() {
+                    "\n"
+                } else {
+                    ",\n"
+                },
+            ));
+        }
+        json.push_str("]\n");
+        match fs::write(&path, json) {
+            Ok(()) => println!("testkit-bench: wrote {}", path.display()),
+            Err(e) => eprintln!("testkit-bench: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// A benchmark group (criterion's `BenchmarkGroup` subset).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `prefix/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.prefix, id.into().0);
+        let n = self.sample_size;
+        self.criterion.run_one(id, n, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `prefix/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.prefix, id.0);
+        let n = self.sample_size;
+        self.criterion.run_one(id, n, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for criterion API parity; records are already
+    /// accumulated).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, `function/parameter` or bare parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id for `function` at `parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; [`iter`](Bencher::iter) does the
+/// calibrated measurement.
+pub struct Bencher {
+    sample_size: usize,
+    target_sample_ms: f64,
+    record: Option<Record>,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates iterations per sample to the target
+    /// sample duration, runs one warmup sample, then `sample_size` timed
+    /// samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: time single runs until we know roughly how long one
+        // iteration takes (bounded so pathological benches still finish).
+        let t0 = Instant::now();
+        black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as f64;
+        let target_ns = self.target_sample_ms * 1e6;
+        let iters = ((target_ns / once_ns) as u64).clamp(1, 1_000_000);
+
+        // Warmup sample.
+        for _ in 0..iters {
+            black_box(f());
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let n = per_iter.len();
+        let mean = per_iter.iter().sum::<f64>() / n as f64;
+        self.record = Some(Record {
+            id: String::new(),
+            samples: n,
+            iters_per_sample: iters,
+            min_ns: per_iter[0],
+            mean_ns: mean,
+            median_ns: percentile(&per_iter, 0.50),
+            p95_ns: percentile(&per_iter, 0.95),
+            max_ns: per_iter[n - 1],
+        });
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Groups benchmark functions under one name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::bench::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Entry point for a bench target, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::new(
+                env!("CARGO_CRATE_NAME"),
+                env!("CARGO_MANIFEST_DIR"),
+            );
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_criterion(dir: &std::path::Path) -> Criterion {
+        let mut c = Criterion::new("unit", dir.to_str().expect("utf8 path"));
+        // Unit tests must not inherit `cargo test` CLI words as filters.
+        c.filters.clear();
+        c.out_dir = dir.join("results").join("bench");
+        c.sample_override = Some(3);
+        c.target_sample_ms = 0.01;
+        c
+    }
+
+    #[test]
+    fn bench_function_records_sane_statistics() {
+        let dir = std::env::temp_dir().join("vlsi-testkit-bench-a");
+        let mut c = quiet_criterion(&dir);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let r = &c.records[0];
+        assert_eq!(r.id, "noop");
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns);
+        assert!(r.p95_ns <= r.max_ns);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_respect_sample_size() {
+        let dir = std::env::temp_dir().join("vlsi-testkit-bench-b");
+        let mut c = quiet_criterion(&dir);
+        c.sample_override = None;
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(4);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        let r = &c.records[0];
+        assert_eq!(r.id, "grp/f/7");
+        assert_eq!(r.samples, 4);
+    }
+
+    #[test]
+    fn finalize_writes_valid_jsonish_output() {
+        let dir = std::env::temp_dir().join("vlsi-testkit-bench-c");
+        let mut c = quiet_criterion(&dir);
+        c.bench_function("alpha", |b| b.iter(|| 2 * 2));
+        c.finalize();
+        let written = std::fs::read_to_string(dir.join("results").join("bench").join("unit.json"))
+            .expect("json written");
+        assert!(written.contains("\"id\": \"alpha\""));
+        assert!(written.trim_start().starts_with('['));
+        assert!(written.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn benchmark_id_formats_match_criterion() {
+        assert_eq!(BenchmarkId::new("ml", "0pct").0, "ml/0pct");
+        assert_eq!(BenchmarkId::from_parameter(3).0, "3");
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn percentile_handles_small_samples() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.95), 3.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Self-contained test infrastructure for the fixed-vertices workspace:
+//! a property-testing harness and a wall-clock benchmark runner, both
+//! deterministic and dependency-free so the tier-1 gate
+//! (`cargo build --release --offline && cargo test -q --offline`)
+//! runs with no registry access at all.
+//!
+//! # Property testing
+//!
+//! [`prop_test!`] declares `#[test]` functions whose inputs are drawn from
+//! a generator (any `Fn(&mut TestRng) -> T`). Each named test gets a
+//! *fixed-seed corpus* — the case seeds are a pure function of the test
+//! name — so a failure reproduces on every rerun without recording
+//! anything. On failure the input is [shrunk](Shrink) to a minimal
+//! counterexample before reporting.
+//!
+//! ```
+//! use vlsi_testkit::{prop_test, gen, TestRng};
+//! use vlsi_rng::Rng;
+//!
+//! prop_test! {
+//!     #[cases(32)]
+//!     fn sum_is_commutative((a, b) in |rng: &mut TestRng| {
+//!         (rng.gen_range(0u64..1000), rng.gen_range(0u64..1000))
+//!     }) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+//!
+//! Environment knobs: `TESTKIT_CASES` multiplies/overrides the per-test
+//! case count; `TESTKIT_SEED` re-bases every corpus (for fuzzing beyond
+//! the checked-in seeds).
+//!
+//! # Benchmarks
+//!
+//! [`bench`] mirrors the slice of the criterion API the bench targets
+//! use (`criterion_group!`, `criterion_main!`, groups, `bench_with_input`)
+//! and writes median/p95 JSON records under `results/bench/`.
+
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod gen;
+pub mod prop;
+mod shrink;
+
+pub use prop::{check, PropConfig};
+pub use shrink::Shrink;
+
+/// The generator driving every property-test corpus.
+pub type TestRng = vlsi_rng::Xoshiro256PlusPlus;

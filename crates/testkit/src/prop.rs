@@ -1,0 +1,254 @@
+//! The property-test runner: fixed-seed corpus per test name, panic
+//! capture, greedy shrinking, minimal-counterexample reporting.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use vlsi_rng::{fnv1a_64, mix64, RngCore, SeedableRng, SplitMix64};
+
+use crate::{Shrink, TestRng};
+
+/// Per-property configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PropConfig {
+    /// Number of random cases (before the `TESTKIT_CASES` override).
+    pub cases: u32,
+    /// Budget of candidate evaluations during shrinking.
+    pub max_shrink_evals: u32,
+}
+
+impl PropConfig {
+    /// Config running `cases` random cases.
+    pub fn cases(cases: u32) -> Self {
+        PropConfig {
+            cases,
+            ..PropConfig::default()
+        }
+    }
+}
+
+impl Default for PropConfig {
+    fn default() -> Self {
+        PropConfig {
+            cases: 64,
+            max_shrink_evals: 2048,
+        }
+    }
+}
+
+/// Runs property `test` on `cases` inputs drawn from `gen`.
+///
+/// The case seeds form a pure function of `name` (re-based by
+/// `TESTKIT_SEED` if set), so every run — local or CI — replays the
+/// identical corpus. On the first failing case the input is shrunk
+/// greedily via [`Shrink`] and the minimal counterexample is reported in
+/// the panic message together with the case seed.
+///
+/// # Panics
+/// Panics (failing the enclosing `#[test]`) if any case fails.
+pub fn check<T, G, F>(name: &str, cfg: PropConfig, gen: G, test: F)
+where
+    T: Clone + std::fmt::Debug,
+    T: Shrink,
+    G: Fn(&mut TestRng) -> T,
+    F: Fn(T),
+{
+    let cases = effective_cases(cfg.cases);
+    let base = match std::env::var("TESTKIT_SEED") {
+        Ok(s) => {
+            let reseed: u64 = s.parse().unwrap_or_else(|_| fnv1a_64(s.as_bytes()));
+            mix64(fnv1a_64(name.as_bytes()) ^ mix64(reseed))
+        }
+        Err(_) => fnv1a_64(name.as_bytes()),
+    };
+    let mut corpus = SplitMix64::new(base);
+    for case in 0..cases {
+        let seed = corpus.next_u64();
+        let mut rng = TestRng::seed_from_u64(seed);
+        let value = gen(&mut rng);
+        if let Err(msg) = run_one(&test, &value) {
+            let (minimal, min_msg, evals) = shrink_failure(&test, value, msg, cfg.max_shrink_evals);
+            panic!(
+                "property `{name}` failed at case {case}/{cases} (seed {seed:#018x}, \
+                 {evals} shrink evals)\n--- minimal failing input ---\n{minimal:#?}\n\
+                 --- failure ---\n{min_msg}\n\
+                 (corpus is fixed per test name; rerun reproduces this case. \
+                 Set TESTKIT_SEED to explore a different corpus, TESTKIT_CASES to scale it.)"
+            );
+        }
+    }
+}
+
+/// Resolves the case count: `TESTKIT_CASES=nX` multiplies the default,
+/// a plain number replaces it.
+fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("TESTKIT_CASES") {
+        Ok(v) => {
+            if let Some(mult) = v.strip_suffix(['x', 'X']) {
+                let m: f64 = mult.parse().unwrap_or(1.0);
+                ((configured as f64 * m) as u32).max(1)
+            } else {
+                v.parse().unwrap_or(configured).max(1)
+            }
+        }
+        Err(_) => configured.max(1),
+    }
+}
+
+fn run_one<T: Clone, F: Fn(T)>(test: &F, value: &T) -> Result<(), String> {
+    let v = value.clone();
+    match panic::catch_unwind(AssertUnwindSafe(|| test(v))) {
+        Ok(()) => Ok(()),
+        // `&*` matters: a plain `&payload` would unsize the Box itself to
+        // `&dyn Any` and every downcast would miss.
+        Err(payload) => Err(panic_message(&*payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Greedy descent: keep taking the first candidate that still fails until
+/// no candidate fails or the evaluation budget runs out.
+fn shrink_failure<T, F>(test: &F, mut value: T, mut msg: String, budget: u32) -> (T, String, u32)
+where
+    T: Clone + Shrink,
+    F: Fn(T),
+{
+    let mut evals = 0u32;
+    'outer: loop {
+        for candidate in value.shrink() {
+            if evals >= budget {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(m) = run_one(test, &candidate) {
+                value = candidate;
+                msg = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, evals)
+}
+
+/// Declares property-based `#[test]` functions.
+///
+/// ```text
+/// prop_test! {
+///     #[cases(64)]
+///     fn my_property(pattern in generator_expr) {
+///         // body panics (assert!) to fail the property
+///     }
+/// }
+/// ```
+///
+/// `generator_expr` is any `Fn(&mut TestRng) -> T` where
+/// `T: Clone + Debug + Shrink`; `pattern` may destructure it (e.g. a
+/// tuple of inputs).
+#[macro_export]
+macro_rules! prop_test {
+    ($( $(#[doc = $doc:expr])* #[cases($cases:expr)] fn $name:ident($pat:pat in $gen:expr) $body:block )+) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let generator = $gen;
+                $crate::prop::check(
+                    stringify!($name),
+                    $crate::PropConfig::cases($cases),
+                    move |rng: &mut $crate::TestRng| generator(rng),
+                    |value| {
+                        let $pat = value;
+                        $body
+                    },
+                );
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_rng::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "always_true",
+            PropConfig::cases(17),
+            |rng| rng.gen_range(0u64..100),
+            |_| {
+                counter.set(counter.get() + 1);
+            },
+        );
+        assert_eq!(counter.get(), effective_cases(17));
+    }
+
+    #[test]
+    fn corpus_is_deterministic_per_name() {
+        let collect = |name: &str| {
+            let mut seen = Vec::new();
+            // Generate without running a failing test: capture inputs.
+            let mut corpus = SplitMix64::new(fnv1a_64(name.as_bytes()));
+            for _ in 0..5 {
+                let mut rng = TestRng::seed_from_u64(corpus.next_u64());
+                seen.push(rng.gen_range(0u64..1_000_000));
+            }
+            seen
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_input() {
+        let result = panic::catch_unwind(|| {
+            check(
+                "fails_above_10",
+                PropConfig::cases(64),
+                |rng| rng.gen_range(0u64..1000),
+                |v| assert!(v <= 10, "value {v} exceeds 10"),
+            );
+        });
+        let msg = panic_message(&*result.unwrap_err());
+        // Greedy shrink on `u64` lands on the smallest failing value.
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(msg.contains("11"), "expected minimal input 11 in: {msg}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_few_elements() {
+        let result = panic::catch_unwind(|| {
+            check(
+                "no_nines",
+                PropConfig::cases(64),
+                |rng| {
+                    let n = rng.gen_range(0usize..50);
+                    (0..n).map(|_| rng.gen_range(0u8..10)).collect::<Vec<u8>>()
+                },
+                |v| assert!(!v.contains(&9)),
+            );
+        });
+        let msg = panic_message(&*result.unwrap_err());
+        assert!(msg.contains("[\n    9,\n]") || msg.contains("[9]"), "{msg}");
+    }
+
+    prop_test! {
+        #[cases(16)]
+        fn macro_declares_runnable_tests((a, b) in |rng: &mut TestRng| {
+            (rng.gen_range(0u32..50), rng.gen_range(0u32..50))
+        }) {
+            assert_eq!(a + b, b + a);
+        }
+    }
+}

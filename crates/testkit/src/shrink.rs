@@ -1,0 +1,212 @@
+//! Input shrinking: when a property fails, the harness walks candidate
+//! simplifications of the failing input and keeps the smallest one that
+//! still fails, so the report shows a minimal counterexample rather than
+//! a 120-element random blob.
+
+/// Produces simpler candidate values. The harness re-runs the property on
+/// each candidate and greedily descends into the first that still fails.
+///
+/// Implementations should order candidates from most to least aggressive
+/// (e.g. "empty vec" before "drop one element") so the greedy walk takes
+/// large steps first.
+pub trait Shrink: Sized {
+    /// Candidate simplifications of `self`; may be empty.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v > 0 {
+                    out.push(0);
+                    if v > 1 {
+                        out.push(v / 2);
+                    }
+                    out.push(v - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    out.push(v / 2);
+                    out.push(v - v.signum());
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_int!(i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let v = *self;
+        if v == 0.0 {
+            Vec::new()
+        } else {
+            vec![0.0, v / 2.0]
+        }
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if !self.is_empty() {
+            out.push(String::new());
+            let half: String = self.chars().take(self.chars().count() / 2).collect();
+            if !half.is_empty() {
+                out.push(half);
+            }
+            let mut drop_last = self.clone();
+            drop_last.pop();
+            out.push(drop_last);
+        }
+        out
+    }
+}
+
+impl<T: Clone + Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(x) => {
+                let mut out = vec![None];
+                out.extend(x.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+/// Caps per-step candidate fan-out so shrinking long vectors stays cheap.
+const MAX_ELEMENT_CANDIDATES: usize = 24;
+
+impl<T: Clone + Shrink> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        // Drop single elements (bounded).
+        for i in 0..n.min(MAX_ELEMENT_CANDIDATES) {
+            let mut c = self.clone();
+            c.remove(i);
+            out.push(c);
+        }
+        // Shrink single elements in place (bounded).
+        for i in 0..n.min(MAX_ELEMENT_CANDIDATES) {
+            for s in self[i].shrink().into_iter().take(2) {
+                let mut c = self.clone();
+                c[i] = s;
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Clone + Shrink),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for s in self.$idx.shrink() {
+                        let mut c = self.clone();
+                        c.$idx = s;
+                        out.push(c);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+impl_shrink_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_shrinks_toward_zero() {
+        assert_eq!(10u32.shrink(), vec![0, 5, 9]);
+        assert!(0u32.shrink().is_empty());
+        assert_eq!(1u64.shrink(), vec![0]);
+    }
+
+    #[test]
+    fn int_shrinks_toward_zero_from_both_sides() {
+        assert_eq!((-6i64).shrink(), vec![0, -3, -5]);
+        assert_eq!(3i64.shrink(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn vec_candidates_are_strictly_simpler_for_greedy_descent() {
+        let v = vec![4u32, 7, 9];
+        let cands = v.shrink();
+        assert!(cands.contains(&vec![]));
+        assert!(cands.contains(&vec![7, 9]));
+        assert!(cands.iter().all(|c| c != &v));
+    }
+
+    #[test]
+    fn option_shrinks_to_none_first() {
+        let v = Some(4u8);
+        assert_eq!(v.shrink()[0], None);
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let cands = (2u32, 1u32).shrink();
+        assert!(cands.contains(&(0, 1)));
+        assert!(cands.contains(&(2, 0)));
+    }
+
+    #[test]
+    fn string_shrinks_shorter() {
+        let cands = "abcd".to_string().shrink();
+        assert!(cands.iter().all(|c| c.len() < 4));
+        assert!(cands.contains(&String::new()));
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::{
     validate_partitioning, BalanceConstraint, FixedVertices, HypergraphBuilder, Objective, PartId,

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example topdown_placement`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use vlsi_netgen::instances::ibm01_like_scaled;
 use vlsi_placer::{hpwl, legalize_rows, PlacerConfig, TopDownPlacer};

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see README "Tier-1 gate").
+#
+# Everything runs with --offline: the workspace has no external crates, so
+# this must succeed on a machine with no network and no registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check --all
+
+echo "ci.sh: all gates passed"

@@ -4,9 +4,9 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::{ChaCha8Rng, Rng, SeedableRng};
+use vlsi_testkit::gen::{instances, InstanceConfig, RawInstance};
+use vlsi_testkit::{prop_test, Shrink, TestRng};
 
 use fixed_vertices_repro::vlsi_hypergraph::{
     CutState, FixedVertices, Fixity, HypergraphBuilder, PartId, VertexId,
@@ -15,7 +15,7 @@ use fixed_vertices_repro::vlsi_partition::multilevel::{coarsen_once, CoarsenPara
 use fixed_vertices_repro::vlsi_partition::GainBuckets;
 
 /// Operations for the gain-bucket model test.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Op {
     Insert(u32, i64),
     Remove(u32),
@@ -24,23 +24,45 @@ enum Op {
     Select,
 }
 
-fn op_strategy(num_vertices: u32, bound: i64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..num_vertices, -bound..=bound).prop_map(|(v, k)| Op::Insert(v, k)),
-        (0..num_vertices).prop_map(Op::Remove),
-        (0..num_vertices, -bound..=bound).prop_map(|(v, k)| Op::Update(v, k)),
-        (0..num_vertices, -3i64..=3).prop_map(|(v, d)| Op::Adjust(v, d)),
-        Just(Op::Select),
-    ]
+impl Shrink for Op {
+    fn shrink(&self) -> Vec<Self> {
+        // Simplify any operation to a plain Select; the Vec<Op> shrinker
+        // handles dropping operations altogether.
+        if *self == Op::Select {
+            Vec::new()
+        } else {
+            vec![Op::Select]
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn op_gen(num_vertices: u32, bound: i64) -> impl Fn(&mut TestRng) -> Op {
+    move |rng| match rng.gen_range(0..5u8) {
+        0 => Op::Insert(
+            rng.gen_range(0..num_vertices),
+            rng.gen_range(-bound..=bound),
+        ),
+        1 => Op::Remove(rng.gen_range(0..num_vertices)),
+        2 => Op::Update(
+            rng.gen_range(0..num_vertices),
+            rng.gen_range(-bound..=bound),
+        ),
+        3 => Op::Adjust(rng.gen_range(0..num_vertices), rng.gen_range(-3i64..=3)),
+        _ => Op::Select,
+    }
+}
 
-    #[test]
-    fn gain_buckets_match_reference_model(
-        ops in proptest::collection::vec(op_strategy(12, 6), 1..120),
-    ) {
+fn ops_gen(num_vertices: u32, bound: i64) -> impl Fn(&mut TestRng) -> Vec<Op> {
+    move |rng| {
+        let n = rng.gen_range(1..120usize);
+        let g = op_gen(num_vertices, bound);
+        (0..n).map(|_| g(rng)).collect()
+    }
+}
+
+prop_test! {
+    #[cases(128)]
+    fn gain_buckets_match_reference_model(ops in ops_gen(12, 6)) {
         // Model: map vertex -> (key, insertion_stamp); select = max key,
         // ties by most recent stamp. Keys clamped to the structure bound.
         const BOUND: i64 = 16;
@@ -88,43 +110,28 @@ proptest! {
                         .iter()
                         .max_by_key(|(_, &(k, s))| (k, s))
                         .map(|(&v, &(k, _))| (VertexId(v), k));
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
-            prop_assert_eq!(gb.len(), model.len());
+            assert_eq!(gb.len(), model.len());
             for (&v, &(k, _)) in &model {
-                prop_assert!(gb.contains(VertexId(v)));
-                prop_assert_eq!(gb.key(VertexId(v)), k);
+                assert!(gb.contains(VertexId(v)));
+                assert_eq!(gb.key(VertexId(v)), k);
             }
         }
     }
-}
 
-/// Random instance for coarsening tests.
-#[allow(clippy::type_complexity)]
-fn graph_strategy() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<usize>>, Vec<Option<u8>>, u64)> {
-    (6usize..30).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(1u64..5, n),
-            proptest::collection::vec(proptest::collection::btree_set(0..n, 2..=3.min(n)), 2..40)
-                .prop_map(|nets| {
-                    nets.into_iter()
-                        .map(|s| s.into_iter().collect::<Vec<_>>())
-                        .collect::<Vec<_>>()
-                }),
-            proptest::collection::vec(proptest::option::weighted(0.25, 0u8..2), n),
-            any::<u64>(),
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
+    #[cases(64)]
     fn coarsening_preserves_weight_and_cut_structure(
-        (weights, nets, fixities, seed) in graph_strategy(),
+        inst in instances(InstanceConfig {
+            vertices: 6..30,
+            max_weight: 4,
+            max_net_size: 3,
+            fix_prob: 0.25,
+            ..InstanceConfig::default()
+        })
     ) {
+        let RawInstance { weights, nets, fixities, seed } = inst;
         let mut b = HypergraphBuilder::new();
         for &w in &weights {
             b.add_vertex(w);
@@ -152,20 +159,20 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let Some(level) = coarsen_once(&hg, &fixed, &params, 1.01, None, &mut rng) else {
             // A stall is legal; nothing to check.
-            return Ok(());
+            return;
         };
 
         // Invariant 1: total weight preserved.
-        prop_assert_eq!(level.hg.total_weight(), hg.total_weight());
+        assert_eq!(level.hg.total_weight(), hg.total_weight());
 
         // Invariant 2: fixities merged soundly — every fine vertex's fixity
         // allows whatever its coarse cluster's fixity allows.
         for v in hg.vertices() {
             let cf = level.fixed.fixity(level.map[v.index()]);
             match (fixed.fixity(v), cf) {
-                (Fixity::Fixed(p), Fixity::Fixed(q)) => prop_assert_eq!(p, q),
+                (Fixity::Fixed(p), Fixity::Fixed(q)) => assert_eq!(p, q),
                 (Fixity::Fixed(_), other) => {
-                    prop_assert!(false, "fixed vertex lost its pin: {other:?}")
+                    panic!("fixed vertex lost its pin: {other:?}")
                 }
                 _ => {}
             }
@@ -184,6 +191,6 @@ proptest! {
         let coarse_cut = CutState::new(&level.hg, 2, &coarse_parts).cut();
         let fine_parts = level.project(&coarse_parts);
         let fine_cut = CutState::new(&hg, 2, &fine_parts).cut();
-        prop_assert_eq!(coarse_cut, fine_cut);
+        assert_eq!(coarse_cut, fine_cut);
     }
 }

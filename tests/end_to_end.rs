@@ -78,8 +78,8 @@ fn fixing_pads_behaves_like_fixing_random_vertices() {
         find_good_solution, paper_balance, run_trials, Engine,
     };
     use fixed_vertices_repro::vlsi_experiments::regimes::{FixSchedule, Regime};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vlsi_rng::ChaCha8Rng;
+    use vlsi_rng::SeedableRng;
 
     let circuit = ibm01_like_scaled(0.05, 41);
     let hg = &circuit.hypergraph;
@@ -93,8 +93,7 @@ fn fixing_pads_behaves_like_fixing_random_vertices() {
     let engine = Engine::Multilevel(cfg);
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     let pads: Vec<_> = circuit.pads().collect();
-    let pad_schedule =
-        FixSchedule::new_restricted(hg, Regime::Good, &good.parts, &pads, &mut rng);
+    let pad_schedule = FixSchedule::new_restricted(hg, Regime::Good, &good.parts, &pads, &mut rng);
     let any_schedule = FixSchedule::new(hg, Regime::Good, &good.parts, &mut rng);
 
     // A small percentage reachable from the pad pool alone.

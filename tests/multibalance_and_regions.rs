@@ -2,8 +2,8 @@
 //! types evenly distributed) and region-style "or" fixing (a terminal fixed
 //! in the two left-side quadrants of a quadrisection).
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use fixed_vertices_repro::vlsi_hypergraph::io::{
     apply_multi_areas, read_multi_are, write_multi_are,

@@ -2,45 +2,53 @@
 //! arbitrary malformed input, and must reject structured-but-inconsistent
 //! files with informative messages.
 
-use proptest::prelude::*;
+use vlsi_rng::Rng;
+use vlsi_testkit::gen::{ascii_text, vec_of};
+use vlsi_testkit::{prop_test, TestRng};
 
 use fixed_vertices_repro::vlsi_hypergraph::io::{read_fix, read_hgr, read_multi_are, read_netd};
 use fixed_vertices_repro::vlsi_netgen::bookshelf::read_bookshelf;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+fn text_and_count(max_len: usize) -> impl Fn(&mut TestRng) -> (String, usize) {
+    move |rng| (ascii_text(max_len)(rng), rng.gen_range(0..20usize))
+}
 
-    #[test]
-    fn hgr_parser_never_panics(text in "[ -~\n]{0,400}") {
+fn text_pair(max_len: usize) -> impl Fn(&mut TestRng) -> (String, String) {
+    move |rng| (ascii_text(max_len)(rng), ascii_text(max_len)(rng))
+}
+
+prop_test! {
+    #[cases(192)]
+    fn hgr_parser_never_panics(text in ascii_text(400)) {
         let _ = read_hgr(text.as_bytes());
     }
 
-    #[test]
-    fn fix_parser_never_panics(text in "[ -~\n]{0,200}", n in 0usize..20) {
+    #[cases(192)]
+    fn fix_parser_never_panics(case in text_and_count(200)) {
+        let (text, n) = case;
         let _ = read_fix(text.as_bytes(), n);
     }
 
-    #[test]
-    fn netd_parser_never_panics(text in "[ -~\n]{0,400}") {
+    #[cases(192)]
+    fn netd_parser_never_panics(text in ascii_text(400)) {
         let _ = read_netd(text.as_bytes(), None::<&[u8]>);
     }
 
-    #[test]
-    fn multi_are_parser_never_panics(text in "[ -~\n]{0,200}", n in 0usize..20) {
+    #[cases(192)]
+    fn multi_are_parser_never_panics(case in text_and_count(200)) {
+        let (text, n) = case;
         let _ = read_multi_are(text.as_bytes(), n);
     }
 
-    #[test]
-    fn bookshelf_parser_never_panics(
-        nodes in "[ -~\n]{0,300}",
-        nets in "[ -~\n]{0,300}",
-    ) {
+    #[cases(192)]
+    fn bookshelf_parser_never_panics(case in text_pair(300)) {
+        let (nodes, nets) = case;
         let _ = read_bookshelf(nodes.as_bytes(), nets.as_bytes(), None::<&[u8]>);
     }
 
-    #[test]
+    #[cases(192)]
     fn hgr_parser_never_panics_on_numeric_soup(
-        nums in proptest::collection::vec(0u32..1000, 0..60),
+        nums in vec_of(0..60, |r: &mut TestRng| r.gen_range(0u32..1000))
     ) {
         // Lines of random numbers: the shape of a real .hgr but with
         // arbitrary counts — must parse or fail cleanly.

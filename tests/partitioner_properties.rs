@@ -3,9 +3,9 @@
 //! fixities and balance, and report cuts that match a from-scratch
 //! recomputation.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::{ChaCha8Rng, SeedableRng};
+use vlsi_testkit::gen::{instances, InstanceConfig, RawInstance};
+use vlsi_testkit::{prop_test, TestRng};
 
 use fixed_vertices_repro::vlsi_hypergraph::{
     validate_partitioning, BalanceConstraint, CutState, FixedVertices, Fixity, Hypergraph,
@@ -18,41 +18,16 @@ use fixed_vertices_repro::vlsi_partition::{
     kway, BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner, SelectionPolicy,
 };
 
-/// A random small instance description for proptest.
-#[derive(Debug, Clone)]
-struct RandomInstance {
-    weights: Vec<u64>,
-    nets: Vec<Vec<usize>>,
-    /// fixity per vertex: None = free, Some(p) = fixed in partition p % 2.
-    fixities: Vec<Option<u8>>,
-    seed: u64,
-}
-
-fn instance_strategy(max_vertices: usize) -> impl Strategy<Value = RandomInstance> {
-    (4..max_vertices).prop_flat_map(|n| {
-        let weights = proptest::collection::vec(1u64..6, n);
-        let nets = proptest::collection::vec(
-            proptest::collection::btree_set(0..n, 2..=4.min(n)),
-            1..(3 * n).max(2),
-        )
-        .prop_map(|nets| {
-            nets.into_iter()
-                .map(|s| s.into_iter().collect::<Vec<_>>())
-                .collect::<Vec<_>>()
-        });
-        let fixities = proptest::collection::vec(proptest::option::weighted(0.3, 0u8..2), n);
-        (weights, nets, fixities, any::<u64>()).prop_map(|(weights, nets, fixities, seed)| {
-            RandomInstance {
-                weights,
-                nets,
-                fixities,
-                seed,
-            }
-        })
+/// Instance generator matching the old proptest strategy: 4..max vertices,
+/// weights 1..=5, 2–4-pin nets, ~30% of vertices fixed across 2 parts.
+fn instance_gen(max_vertices: usize) -> impl Fn(&mut TestRng) -> RawInstance {
+    instances(InstanceConfig {
+        vertices: 4..max_vertices,
+        ..InstanceConfig::default()
     })
 }
 
-fn build(inst: &RandomInstance) -> (Hypergraph, FixedVertices) {
+fn build(inst: &RawInstance) -> (Hypergraph, FixedVertices) {
     let mut b = HypergraphBuilder::new();
     for &w in &inst.weights {
         b.add_vertex(w);
@@ -79,11 +54,9 @@ fn loose_balance(hg: &Hypergraph) -> BalanceConstraint {
     BalanceConstraint::bisection(hg.total_weight(), Tolerance::Absolute(hg.total_weight()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn flat_fm_solutions_are_always_valid(inst in instance_strategy(24)) {
+prop_test! {
+    #[cases(64)]
+    fn flat_fm_solutions_are_always_valid(inst in instance_gen(24)) {
         let (hg, fixed) = build(&inst);
         let balance = loose_balance(&hg);
         let fm = BipartFm::new(FmConfig::default());
@@ -91,12 +64,12 @@ proptest! {
         let result = fm.run_random(&hg, &fixed, &balance, &mut rng).expect("fm runs");
         let p = Partitioning::from_parts(&hg, 2, result.parts.clone()).expect("valid parts");
         let report = validate_partitioning(&hg, &p, &balance, &fixed);
-        prop_assert!(report.is_valid(), "{report}");
-        prop_assert_eq!(report.recomputed_cut, result.cut);
+        assert!(report.is_valid(), "{report}");
+        assert_eq!(report.recomputed_cut, result.cut);
     }
 
-    #[test]
-    fn clip_fm_solutions_are_always_valid(inst in instance_strategy(24)) {
+    #[cases(64)]
+    fn clip_fm_solutions_are_always_valid(inst in instance_gen(24)) {
         let (hg, fixed) = build(&inst);
         let balance = loose_balance(&hg);
         let fm = BipartFm::new(FmConfig {
@@ -107,11 +80,11 @@ proptest! {
         let result = fm.run_random(&hg, &fixed, &balance, &mut rng).expect("fm runs");
         let p = Partitioning::from_parts(&hg, 2, result.parts.clone()).expect("valid parts");
         let report = validate_partitioning(&hg, &p, &balance, &fixed);
-        prop_assert!(report.is_valid(), "{report}");
+        assert!(report.is_valid(), "{report}");
     }
 
-    #[test]
-    fn multilevel_solutions_are_always_valid(inst in instance_strategy(40)) {
+    #[cases(64)]
+    fn multilevel_solutions_are_always_valid(inst in instance_gen(40)) {
         let (hg, fixed) = build(&inst);
         let balance = loose_balance(&hg);
         let ml = MultilevelPartitioner::new(MultilevelConfig {
@@ -123,12 +96,12 @@ proptest! {
         let result = ml.run(&hg, &fixed, &balance, &mut rng).expect("ml runs");
         let p = Partitioning::from_parts(&hg, 2, result.parts.clone()).expect("valid parts");
         let report = validate_partitioning(&hg, &p, &balance, &fixed);
-        prop_assert!(report.is_valid(), "{report}");
-        prop_assert_eq!(report.recomputed_cut, result.cut);
+        assert!(report.is_valid(), "{report}");
+        assert_eq!(report.recomputed_cut, result.cut);
     }
 
-    #[test]
-    fn fm_never_worse_than_initial(inst in instance_strategy(24)) {
+    #[cases(64)]
+    fn fm_never_worse_than_initial(inst in instance_gen(24)) {
         // FM keeps the best prefix of each pass, so the final cut can never
         // exceed the initial cut.
         let (hg, fixed) = build(&inst);
@@ -140,11 +113,11 @@ proptest! {
         let initial_cut = CutState::new(&hg, 2, &initial).cut();
         let fm = BipartFm::new(FmConfig::default());
         let result = fm.run(&hg, &fixed, &balance, initial).expect("fm runs");
-        prop_assert!(result.cut <= initial_cut);
+        assert!(result.cut <= initial_cut);
     }
 
-    #[test]
-    fn terminal_clustering_preserves_cut_of_projected_solutions(inst in instance_strategy(20)) {
+    #[cases(64)]
+    fn terminal_clustering_preserves_cut_of_projected_solutions(inst in instance_gen(20)) {
         let (hg, fixed) = build(&inst);
         let clustered = cluster_terminals(&hg, &fixed).expect("transform");
         // Partition the clustered instance arbitrarily but legally.
@@ -159,11 +132,11 @@ proptest! {
         let ccut = CutState::new(&clustered.hypergraph, 2, &cparts).cut();
         let projected = clustered.project(&cparts);
         let pcut = CutState::new(&hg, 2, &projected).cut();
-        prop_assert_eq!(ccut, pcut);
+        assert_eq!(ccut, pcut);
     }
 
-    #[test]
-    fn kl_baseline_solutions_are_valid_and_monotone(inst in instance_strategy(20)) {
+    #[cases(64)]
+    fn kl_baseline_solutions_are_valid_and_monotone(inst in instance_gen(20)) {
         let (hg, fixed) = build(&inst);
         let balance = loose_balance(&hg);
         let mut rng = ChaCha8Rng::seed_from_u64(inst.seed);
@@ -173,15 +146,15 @@ proptest! {
         let before = CutState::new(&hg, 2, &initial).cut();
         let r = kernighan_lin(&hg, &fixed, &balance, initial, KlConfig::default())
             .expect("kl runs");
-        prop_assert!(r.cut <= before);
+        assert!(r.cut <= before);
         let p = Partitioning::from_parts(&hg, 2, r.parts).expect("valid parts");
         let report = validate_partitioning(&hg, &p, &balance, &fixed);
-        prop_assert!(report.is_valid(), "{report}");
-        prop_assert_eq!(report.recomputed_cut, r.cut);
+        assert!(report.is_valid(), "{report}");
+        assert_eq!(report.recomputed_cut, r.cut);
     }
 
-    #[test]
-    fn annealing_solutions_are_valid_and_monotone(inst in instance_strategy(20)) {
+    #[cases(64)]
+    fn annealing_solutions_are_valid_and_monotone(inst in instance_gen(20)) {
         let (hg, fixed) = build(&inst);
         let balance = loose_balance(&hg);
         let mut rng = ChaCha8Rng::seed_from_u64(inst.seed);
@@ -194,14 +167,14 @@ proptest! {
             .expect("sa runs");
         // SA keeps the best *balanced* state, which is never worse than a
         // balanced initial.
-        prop_assert!(r.cut <= before);
+        assert!(r.cut <= before);
         let p = Partitioning::from_parts(&hg, 2, r.parts).expect("valid parts");
         let report = validate_partitioning(&hg, &p, &balance, &fixed);
-        prop_assert!(report.is_valid(), "{report}");
+        assert!(report.is_valid(), "{report}");
     }
 
-    #[test]
-    fn kway_refine_is_valid_and_monotone(inst in instance_strategy(18)) {
+    #[cases(64)]
+    fn kway_refine_is_valid_and_monotone(inst in instance_gen(18)) {
         let (hg, fixed) = build(&inst);
         // 3-way with loose balance; map fixities into range.
         let balance = BalanceConstraint::even(
@@ -216,9 +189,9 @@ proptest! {
         let before = CutState::new(&hg, 3, &initial).value(Objective::KMinus1);
         let r = kway::refine(&hg, &fixed, &balance, initial, Objective::KMinus1, 4)
             .expect("refine runs");
-        prop_assert!(r.cut <= before);
+        assert!(r.cut <= before);
         for v in hg.vertices() {
-            prop_assert!(fixed.fixity(v).allows(r.parts[v.index()]));
+            assert!(fixed.fixity(v).allows(r.parts[v.index()]));
         }
     }
 }

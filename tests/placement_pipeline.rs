@@ -3,8 +3,8 @@
 //! *placer's* placement (exactly the paper's Section IV flow) → partition
 //! the derived instances.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
 
 use fixed_vertices_repro::vlsi_experiments::harness::paper_balance;
 use fixed_vertices_repro::vlsi_hypergraph::{validate_partitioning, FixedVertices, Partitioning};
