@@ -1,0 +1,88 @@
+//! Overhead of the vlsi-trace observability layer on the FM inner loop.
+//!
+//! Four variants of the same LIFO-FM workload as `fm_pass_stats` (10% of
+//! vertices fixed, good regime):
+//!
+//! * `null` — `run_random_with_sink` with [`NullSink`]: must cost the same
+//!   as the plain `run_random` baseline, since `Sink::ENABLED = false`
+//!   compiles every emission site out of the monomorphised engine.
+//! * `plain` — `run_random`, the pre-trace entry point, for reference.
+//! * `counters` — [`CounterSink`]: a few relaxed atomic adds per event.
+//! * `jsonl_devnull` — [`JsonlSink`] into `std::io::sink()`: full event
+//!   serialisation without disk I/O, an upper bound for `--trace` cost.
+
+use std::hint::black_box;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::SeedableRng;
+use vlsi_testkit::bench::{criterion_group, criterion_main, Criterion};
+
+use vlsi_experiments::harness::{find_good_solution, paper_balance};
+use vlsi_experiments::regimes::{FixSchedule, Regime};
+use vlsi_netgen::instances::ibm01_like_scaled;
+use vlsi_partition::trace::{CounterSink, JsonlSink, NullSink};
+use vlsi_partition::{BipartFm, FmConfig, MultilevelConfig, SelectionPolicy};
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let circuit = ibm01_like_scaled(0.10, 1999);
+    let hg = &circuit.hypergraph;
+    let balance = paper_balance(hg);
+    let good = find_good_solution(hg, &balance, &MultilevelConfig::default(), 4, 7)
+        .expect("reference solution");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let schedule = FixSchedule::new(hg, Regime::Good, &good.parts, &mut rng);
+    let fixed = schedule.at_percent(10.0);
+    let fm = BipartFm::new(FmConfig {
+        policy: SelectionPolicy::Lifo,
+        ..FmConfig::default()
+    });
+
+    let mut group = c.benchmark_group("trace/overhead");
+    group.sample_size(10);
+
+    group.bench_function("plain", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            black_box(
+                fm.run_random(hg, &fixed, &balance, &mut rng)
+                    .expect("fm succeeds"),
+            )
+        })
+    });
+
+    group.bench_function("null", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            black_box(
+                fm.run_random_with_sink(hg, &fixed, &balance, &mut rng, &NullSink)
+                    .expect("fm succeeds"),
+            )
+        })
+    });
+
+    group.bench_function("counters", |b| {
+        let sink = CounterSink::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            black_box(
+                fm.run_random_with_sink(hg, &fixed, &balance, &mut rng, &sink)
+                    .expect("fm succeeds"),
+            )
+        })
+    });
+
+    group.bench_function("jsonl_devnull", |b| {
+        let sink = JsonlSink::from_writer(Box::new(std::io::sink()));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            black_box(
+                fm.run_random_with_sink(hg, &fixed, &balance, &mut rng, &sink)
+                    .expect("fm succeeds"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -5,6 +5,7 @@ use vlsi_rng::Rng;
 use vlsi_hypergraph::{
     BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
 };
+use vlsi_trace::{Event, MoverFixity, NullSink, Sink, VecSink};
 
 use crate::config::{FmConfig, SelectionPolicy};
 use crate::fm::{PassStats, RunStats};
@@ -83,8 +84,23 @@ impl BipartFm {
         balance: &BalanceConstraint,
         rng: &mut R,
     ) -> Result<FmResult, PartitionError> {
+        self.run_random_with_sink(hg, fixed, balance, rng, &NullSink)
+    }
+
+    /// Like [`BipartFm::run_random`], emitting trace events into `sink`.
+    ///
+    /// # Errors
+    /// Same as [`BipartFm::run_random`].
+    pub fn run_random_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<FmResult, PartitionError> {
         let initial = random_initial(hg, fixed, balance, 2, rng)?;
-        self.run(hg, fixed, balance, initial)
+        self.run_with_sink(hg, fixed, balance, initial, sink)
     }
 
     /// Runs FM passes from the given initial assignment until a pass fails
@@ -102,13 +118,17 @@ impl BipartFm {
         balance: &BalanceConstraint,
         initial: Vec<PartId>,
     ) -> Result<FmResult, PartitionError> {
-        Ok(self.run_impl(hg, fixed, balance, initial, false)?.0)
+        self.run_with_sink(hg, fixed, balance, initial, &NullSink)
     }
 
     /// Like [`BipartFm::run`] but additionally records, for every pass, the
     /// cut value after each move — the raw data behind the paper's Section
     /// III analysis that "the improvements within a pass occur near the
     /// beginning of the pass".
+    ///
+    /// Implemented on top of the trace stream: the run is recorded into a
+    /// [`VecSink`] and the traces are replayed from the events, so this is
+    /// guaranteed to agree with what any external [`Sink`] observes.
     ///
     /// # Errors
     /// Same as [`BipartFm::run`].
@@ -119,17 +139,64 @@ impl BipartFm {
         balance: &BalanceConstraint,
         initial: Vec<PartId>,
     ) -> Result<(FmResult, Vec<PassTrace>), PartitionError> {
-        self.run_impl(hg, fixed, balance, initial, true)
+        let sink = VecSink::new();
+        let result = self.run_with_sink(hg, fixed, balance, initial, &sink)?;
+        let traces = vlsi_trace::replay::pass_summaries(&sink.take())
+            .into_iter()
+            .map(|s| PassTrace {
+                pass: s.pass as usize,
+                cut_before: s.cut_before,
+                cuts: s.cuts,
+            })
+            .collect();
+        Ok((result, traces))
     }
 
-    fn run_impl(
+    /// Like [`BipartFm::run`], emitting the per-pass/per-move trace events
+    /// ([`Event::PassStart`], [`Event::MoveCommitted`], [`Event::PassEnd`])
+    /// into `sink`. With [`NullSink`] the instrumentation compiles away.
+    ///
+    /// # Errors
+    /// Same as [`BipartFm::run`].
+    ///
+    /// # Example: count the engine's work with a `CounterSink`
+    /// ```
+    /// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
+    /// use vlsi_partition::{BipartFm, FmConfig};
+    /// use vlsi_trace::CounterSink;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = HypergraphBuilder::new();
+    /// let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+    /// for w in v.windows(2) {
+    ///     b.add_net(1, [w[0], w[1]])?;
+    /// }
+    /// let hg = b.build()?;
+    /// let balance = BalanceConstraint::bisection(6, Tolerance::Relative(0.0));
+    /// let fixed = FixedVertices::all_free(6);
+    ///
+    /// let counters = CounterSink::new();
+    /// let fm = BipartFm::new(FmConfig::default());
+    /// let initial = (0..6)
+    ///     .map(|i| vlsi_hypergraph::PartId((i % 2) as u32))
+    ///     .collect();
+    /// let result = fm.run_with_sink(&hg, &fixed, &balance, initial, &counters)?;
+    ///
+    /// let c = counters.snapshot();
+    /// assert_eq!(c.passes as usize, result.stats.num_passes());
+    /// assert_eq!(c.moves_tried as usize, result.stats.total_moves());
+    /// assert!(c.bucket_ops > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run_with_sink<S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         initial: Vec<PartId>,
-        record: bool,
-    ) -> Result<(FmResult, Vec<PassTrace>), PartitionError> {
+        sink: &S,
+    ) -> Result<FmResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
                 requested: balance.num_parts(),
@@ -198,11 +265,12 @@ impl BipartFm {
             locked: vec![false; hg.num_vertices()],
             policy: self.config.policy,
             relax,
+            fixed,
+            sink,
+            bucket_ops: 0,
         };
 
         let mut stats = RunStats::default();
-        let mut traces = Vec::new();
-        let mut scratch = Vec::new();
         for pass_idx in 0..self.config.max_passes {
             let cutoff_active = pass_idx > 0 || self.config.cutoff_first_pass;
             let limit = if cutoff_active {
@@ -210,32 +278,20 @@ impl BipartFm {
             } else {
                 num_movable
             };
-            let cut_before = state.partitioning.cut_value(Objective::Cut);
-            scratch.clear();
-            let pass_stats = state.run_pass(pass_idx, num_movable, limit, &mut scratch);
+            let pass_stats = state.run_pass(pass_idx, num_movable, limit);
             let improved = pass_stats.improved();
             stats.passes.push(pass_stats);
-            if record {
-                traces.push(PassTrace {
-                    pass: pass_idx,
-                    cut_before,
-                    cuts: std::mem::take(&mut scratch),
-                });
-            }
             if !improved {
                 break;
             }
         }
 
         let cut = partitioning.cut_value(Objective::Cut);
-        Ok((
-            FmResult {
-                parts: partitioning.into_parts(),
-                cut,
-                stats,
-            },
-            traces,
-        ))
+        Ok(FmResult {
+            parts: partitioning.into_parts(),
+            cut,
+            stats,
+        })
     }
 }
 
@@ -273,7 +329,7 @@ impl PassTrace {
 }
 
 /// Mutable working state shared by the passes of one run.
-struct PassState<'a> {
+struct PassState<'a, S: Sink> {
     hg: &'a Hypergraph,
     balance: &'a BalanceConstraint,
     movable: &'a [bool],
@@ -284,19 +340,27 @@ struct PassState<'a> {
     policy: SelectionPolicy,
     /// Per-resource transient balance slack (largest movable vertex weight).
     relax: Vec<u64>,
+    fixed: &'a FixedVertices,
+    sink: &'a S,
+    /// Gain-bucket operations of the current pass (only maintained when
+    /// `S::ENABLED`; reported on the pass's `PassEnd` event).
+    bucket_ops: u64,
 }
 
-impl PassState<'_> {
-    /// Executes one FM pass and restores the best prefix. Returns its stats;
-    /// pushes the post-move cut values onto `trace`.
-    fn run_pass(
-        &mut self,
-        pass: usize,
-        num_movable: usize,
-        move_limit: usize,
-        trace: &mut Vec<u64>,
-    ) -> PassStats {
+impl<S: Sink> PassState<'_, S> {
+    /// Executes one FM pass and restores the best prefix. Returns its stats
+    /// and emits the pass's trace events into the sink.
+    fn run_pass(&mut self, pass: usize, num_movable: usize, move_limit: usize) -> PassStats {
         let cut_before = self.partitioning.cut_value(Objective::Cut);
+        if S::ENABLED {
+            self.bucket_ops = 0;
+            self.sink.record(&Event::PassStart {
+                pass: pass as u32,
+                cut: cut_before,
+                movable: num_movable as u64,
+                move_limit: move_limit as u64,
+            });
+        }
         self.prepare_buckets();
 
         let mut move_log: Vec<(VertexId, PartId)> = Vec::with_capacity(move_limit);
@@ -312,15 +376,34 @@ impl PassState<'_> {
             self.buckets[from.index()].remove(vertex);
             self.buckets[from.index()].decay_max();
             self.locked[vertex.index()] = true;
+            // The vertex's own gain entry can be bumped while its move is
+            // applied; capture the realised gain first.
+            let gain = self.gain[vertex.index()];
             self.apply_move_with_gain_updates(vertex, from, to);
             move_log.push((vertex, from));
-            trace.push(self.partitioning.cut_value(Objective::Cut));
+            let cut = self.partitioning.cut_value(Objective::Cut);
+            if S::ENABLED {
+                self.bucket_ops += 1; // the remove above
+                let fixity = if vertex.index() < self.fixed.len()
+                    && matches!(self.fixed.fixity(vertex), Fixity::FixedAny(_))
+                {
+                    MoverFixity::FixedAny
+                } else {
+                    MoverFixity::Free
+                };
+                self.sink.record(&Event::MoveCommitted {
+                    pass: pass as u32,
+                    vertex: vertex.index() as u64,
+                    gain,
+                    fixity,
+                    cut,
+                });
+            }
 
             // Only strictly balanced states may become the accepted prefix.
             if !self.balance.is_satisfied(self.partitioning.loads()) {
                 continue;
             }
-            let cut = self.partitioning.cut_value(Objective::Cut);
             let imbalance = self.imbalance();
             if cut < best_cut || (cut == best_cut && imbalance < best_imbalance) {
                 best_cut = cut;
@@ -339,6 +422,17 @@ impl PassState<'_> {
         self.locked.fill(false);
         self.buckets[0].clear();
         self.buckets[1].clear();
+
+        if S::ENABLED {
+            self.sink.record(&Event::PassEnd {
+                pass: pass as u32,
+                moves: move_log.len() as u64,
+                best_prefix: best_len as u64,
+                cut_before,
+                cut_after: best_cut,
+                bucket_ops: self.bucket_ops,
+            });
+        }
 
         PassStats {
             pass,
@@ -372,6 +466,9 @@ impl PassState<'_> {
                     self.gain[v.index()] = g;
                     let side = self.partitioning.part_of(v);
                     self.buckets[side.index()].insert(v, g);
+                    if S::ENABLED {
+                        self.bucket_ops += 1;
+                    }
                 }
             }
             SelectionPolicy::Clip => {
@@ -392,6 +489,9 @@ impl PassState<'_> {
                     self.gain[v.index()] = g;
                     let side = self.partitioning.part_of(v);
                     self.buckets[side.index()].insert(v, 0);
+                    if S::ENABLED {
+                        self.bucket_ops += 1;
+                    }
                 }
             }
         }
@@ -528,6 +628,9 @@ impl PassState<'_> {
         if !self.locked[u.index()] && self.movable[u.index()] {
             let side = self.partitioning.part_of(u);
             self.buckets[side.index()].adjust(u, delta);
+            if S::ENABLED {
+                self.bucket_ops += 1;
+            }
         }
     }
 }

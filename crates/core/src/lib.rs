@@ -19,6 +19,12 @@
 //! * The terminal-clustering equivalence transform
 //!   ([`terminal_cluster::cluster_terminals`]) from the paper's conclusions.
 //!
+//! Every engine has a `*_with_sink` variant that streams structured
+//! [`trace`] events (pass brackets, committed moves, coarsening levels,
+//! multistart records) into any [`trace::Sink`]; the plain entry points are
+//! the same code instantiated with [`trace::NullSink`], which compiles the
+//! instrumentation out entirely.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -71,5 +77,12 @@ pub use fm::{BipartFm, FmResult, PassStats, PassTrace, RunStats};
 pub use gain::GainBuckets;
 pub use initial::random_initial;
 pub use multilevel::{MultilevelPartitioner, MultilevelResult};
-pub use multistart::{multistart, multistart_parallel, MultistartOutcome, StartRecord};
+pub use multistart::{
+    multistart, multistart_parallel, multistart_with_sink, MultistartOutcome, StartRecord,
+};
 pub use result::PartitionResult;
+
+/// The structured-tracing vocabulary ([`trace::Event`], [`trace::Sink`] and
+/// its implementations) re-exported so downstream crates need not depend on
+/// `vlsi-trace` directly.
+pub use vlsi_trace as trace;

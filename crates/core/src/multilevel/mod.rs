@@ -12,6 +12,7 @@ mod coarsen;
 pub use coarsen::{coarsen_once, merge_fixity, CoarsenParams, Level};
 
 use vlsi_rng::Rng;
+use vlsi_trace::{Event, NullSink, Sink};
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, PartId};
 
@@ -91,6 +92,24 @@ impl MultilevelPartitioner {
         balance: &BalanceConstraint,
         rng: &mut R,
     ) -> Result<MultilevelResult, PartitionError> {
+        self.run_with_sink(hg, fixed, balance, rng, &NullSink)
+    }
+
+    /// [`run`](Self::run), recording [`Event::LevelStart`] /
+    /// [`Event::LevelEnd`] brackets plus every underlying FM pass into
+    /// `sink`. Level 0 is the original hypergraph; higher indices are
+    /// coarser. A `LevelStart` is emitted as each coarse level is built
+    /// (top-down), and a `LevelEnd` with the post-refinement cut as each
+    /// level is solved (bottom-up, coarsest first). With [`NullSink`] this
+    /// compiles to exactly [`run`](Self::run).
+    pub fn run_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<MultilevelResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
                 requested: balance.num_parts(),
@@ -120,7 +139,16 @@ impl MultilevelPartitioner {
                 break;
             }
             match coarsen_once(cur_hg, cur_fixed, &params, cfg.min_shrink, None, rng) {
-                Some(level) => levels.push(level),
+                Some(level) => {
+                    if S::ENABLED {
+                        sink.record(&Event::LevelStart {
+                            level: (levels.len() + 1) as u32,
+                            vertices: level.hg.num_vertices() as u64,
+                            nets: level.hg.num_nets() as u64,
+                        });
+                    }
+                    levels.push(level);
+                }
                 None => break,
             }
         }
@@ -133,12 +161,21 @@ impl MultilevelPartitioner {
         let coarse_fm = BipartFm::new(cfg.coarse_fm);
         let mut best: Option<(u64, Vec<PartId>)> = None;
         for _ in 0..cfg.coarse_starts.max(1) {
-            let r = coarse_fm.run_random(coarsest_hg, coarsest_fixed, balance, rng)?;
+            let r =
+                coarse_fm.run_random_with_sink(coarsest_hg, coarsest_fixed, balance, rng, sink)?;
             if best.as_ref().is_none_or(|(c, _)| r.cut < *c) {
                 best = Some((r.cut, r.parts));
             }
         }
         let (coarse_cut, mut parts) = best.expect("at least one start");
+        if S::ENABLED {
+            sink.record(&Event::LevelEnd {
+                level: levels.len() as u32,
+                vertices: coarsest_hg.num_vertices() as u64,
+                nets: coarsest_hg.num_nets() as u64,
+                cut: coarse_cut,
+            });
+        }
 
         // Uncoarsen and refine (one or two FM stages per level).
         let refine_fm = BipartFm::new(cfg.refine_fm);
@@ -151,13 +188,21 @@ impl MultilevelPartitioner {
             } else {
                 (&levels[i - 1].hg, &levels[i - 1].fixed)
             };
-            let r = refine_fm.run(fine_hg, fine_fixed, balance, fine_parts)?;
+            let r = refine_fm.run_with_sink(fine_hg, fine_fixed, balance, fine_parts, sink)?;
             let r = match &refine_fm2 {
-                Some(fm2) => fm2.run(fine_hg, fine_fixed, balance, r.parts)?,
+                Some(fm2) => fm2.run_with_sink(fine_hg, fine_fixed, balance, r.parts, sink)?,
                 None => r,
             };
             parts = r.parts;
             cut = r.cut;
+            if S::ENABLED {
+                sink.record(&Event::LevelEnd {
+                    level: i as u32,
+                    vertices: fine_hg.num_vertices() as u64,
+                    nets: fine_hg.num_nets() as u64,
+                    cut,
+                });
+            }
         }
         if levels.is_empty() {
             // No coarsening happened: the coarse solve was the real solve.
@@ -166,7 +211,8 @@ impl MultilevelPartitioner {
         // Optional V-cycles: re-coarsen under the current partition and
         // refine again.
         for _ in 0..cfg.vcycles {
-            let (vparts, vcut) = self.vcycle(hg, fixed, balance, &params, parts.clone(), rng)?;
+            let (vparts, vcut) =
+                self.vcycle(hg, fixed, balance, &params, parts.clone(), rng, sink)?;
             if vcut <= cut {
                 parts = vparts;
                 cut = vcut;
@@ -186,7 +232,8 @@ impl MultilevelPartitioner {
 
     /// One V-cycle: coarsen restricted to same-part merges, then refine the
     /// projected solution back down.
-    fn vcycle<R: Rng + ?Sized>(
+    #[allow(clippy::too_many_arguments)]
+    fn vcycle<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
@@ -194,6 +241,7 @@ impl MultilevelPartitioner {
         params: &CoarsenParams,
         parts: Vec<PartId>,
         rng: &mut R,
+        sink: &S,
     ) -> Result<(Vec<PartId>, u64), PartitionError> {
         let cfg = &self.config;
         let mut levels: Vec<Level> = Vec::new();
@@ -233,9 +281,9 @@ impl MultilevelPartitioner {
                          fixed: &FixedVertices,
                          parts: Vec<PartId>|
          -> Result<crate::fm::FmResult, PartitionError> {
-            let r = refine_fm.run(hg, fixed, balance, parts)?;
+            let r = refine_fm.run_with_sink(hg, fixed, balance, parts, sink)?;
             match &refine_fm2 {
-                Some(fm2) => fm2.run(hg, fixed, balance, r.parts),
+                Some(fm2) => fm2.run_with_sink(hg, fixed, balance, r.parts, sink),
                 None => Ok(r),
             }
         };
@@ -375,6 +423,64 @@ mod tests {
         let a = base.run(&hg, &fixed, &balance, &mut rng_a).unwrap();
         let b = vc.run(&hg, &fixed, &balance, &mut rng_b).unwrap();
         assert!(b.cut <= a.cut);
+    }
+
+    #[test]
+    fn sink_brackets_every_level() {
+        use vlsi_trace::VecSink;
+        let hg = grid(12);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.02));
+        let ml = MultilevelPartitioner::new(small_config());
+        let sink = VecSink::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let r = ml
+            .run_with_sink(&hg, &fixed, &balance, &mut rng, &sink)
+            .unwrap();
+        let events = sink.take();
+        let starts: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::LevelStart { level, .. } => Some(*level),
+                _ => None,
+            })
+            .collect();
+        let ends: Vec<(u32, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::LevelEnd { level, cut, .. } => Some((*level, *cut)),
+                _ => None,
+            })
+            .collect();
+        // One LevelStart per coarse level, counting up from 1.
+        assert_eq!(starts.len(), r.level_sizes.len() - 1);
+        assert!(starts.iter().enumerate().all(|(i, &l)| l == i as u32 + 1));
+        // LevelEnd walks back down: coarsest first, level 0 last.
+        assert_eq!(ends.len(), r.level_sizes.len());
+        assert_eq!(ends[0], (starts.len() as u32, r.coarse_cut));
+        assert_eq!(*ends.last().unwrap(), (0, r.cut));
+        // The same stream carries the FM pass brackets.
+        assert!(events.iter().any(|e| matches!(e, Event::PassEnd { .. })));
+    }
+
+    #[test]
+    fn sink_run_matches_null_run() {
+        use vlsi_trace::VecSink;
+        let hg = grid(10);
+        let fixed = FixedVertices::all_free(hg.num_vertices());
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.02));
+        let ml = MultilevelPartitioner::new(MultilevelConfig {
+            vcycles: 1,
+            ..small_config()
+        });
+        let mut rng_a = ChaCha8Rng::seed_from_u64(7);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(7);
+        let plain = ml.run(&hg, &fixed, &balance, &mut rng_a).unwrap();
+        let sink = VecSink::new();
+        let traced = ml
+            .run_with_sink(&hg, &fixed, &balance, &mut rng_b, &sink)
+            .unwrap();
+        assert_eq!(plain, traced);
     }
 
     #[test]

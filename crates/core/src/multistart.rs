@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph};
+use vlsi_trace::{Event, NullSink, Sink};
 
 use crate::{PartitionError, PartitionResult};
 
@@ -96,7 +97,7 @@ pub fn multistart<R, F>(
     balance: &BalanceConstraint,
     starts: usize,
     rng: &mut R,
-    mut partitioner: F,
+    partitioner: F,
 ) -> Result<MultistartOutcome, PartitionError>
 where
     R: Rng + ?Sized,
@@ -107,13 +108,52 @@ where
         &mut R,
     ) -> Result<PartitionResult, PartitionError>,
 {
+    multistart_with_sink(hg, fixed, balance, starts, rng, &NullSink, partitioner)
+}
+
+/// Like [`multistart`], emitting an [`Event::StartFinished`] per start
+/// (index, cut, wall-clock microseconds) into `sink` — the raw data behind
+/// the paper's Figures 1–2 cut/CPU-time traces.
+///
+/// The driver only emits the start bracket; pass a sink-aware closure
+/// (e.g. one calling [`crate::BipartFm::run_with_sink`]) to also stream
+/// the per-pass events of each start.
+///
+/// # Errors
+/// Propagates the first error returned by `partitioner`.
+pub fn multistart_with_sink<R, S, F>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    rng: &mut R,
+    sink: &S,
+    mut partitioner: F,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    R: Rng + ?Sized,
+    S: Sink,
+    F: FnMut(
+        &Hypergraph,
+        &FixedVertices,
+        &BalanceConstraint,
+        &mut R,
+    ) -> Result<PartitionResult, PartitionError>,
+{
     assert!(starts > 0, "at least one start required");
     let mut best: Option<PartitionResult> = None;
     let mut records = Vec::with_capacity(starts);
-    for _ in 0..starts {
+    for start in 0..starts {
         let t0 = Instant::now();
         let result = partitioner(hg, fixed, balance, rng)?;
         let elapsed = t0.elapsed();
+        if S::ENABLED {
+            sink.record(&Event::StartFinished {
+                start: start as u32,
+                cut: result.cut,
+                micros: elapsed.as_micros() as u64,
+            });
+        }
         records.push(StartRecord {
             cut: result.cut,
             elapsed,
@@ -346,6 +386,35 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, PartitionError::InfeasibleInstance { .. }));
+    }
+
+    #[test]
+    fn sink_sees_one_start_event_per_start() {
+        use vlsi_trace::{replay, VecSink};
+        let (hg, fx, bc) = tiny();
+        let fm = crate::BipartFm::new(crate::FmConfig::default());
+        let sink = VecSink::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let outcome = multistart_with_sink(&hg, &fx, &bc, 3, &mut rng, &sink, |hg, fx, bc, rng| {
+            let r = fm.run_random_with_sink(hg, fx, bc, rng, &sink)?;
+            Ok(PartitionResult::new(r.parts, r.cut))
+        })
+        .unwrap();
+        let events = sink.take();
+        let start_events: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::StartFinished { start, cut, .. } => Some((*start, *cut)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(start_events.len(), 3);
+        for (i, (start, cut)) in start_events.iter().enumerate() {
+            assert_eq!(*start as usize, i);
+            assert_eq!(*cut, outcome.starts[i].cut);
+        }
+        // The FM pass events of every start rode the same stream.
+        assert!(!replay::pass_summaries(&events).is_empty());
     }
 
     #[test]

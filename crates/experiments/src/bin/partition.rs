@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N]
-//!                  [--seed N] [--engine ml|fm] [--out FILE]
+//!                  [--seed N] [--engine ml|fm] [--out FILE] [--trace FILE]
 //! ```
 
 use std::fs::File;
@@ -15,11 +15,15 @@ use vlsi_rng::ChaCha8Rng;
 use vlsi_rng::SeedableRng;
 
 use vlsi_experiments::harness::Engine;
+use vlsi_experiments::opts::{run_with_trace, TraceRun};
 use vlsi_hypergraph::io::{read_fix, read_hgr};
 use vlsi_hypergraph::{
-    validate_partitioning, BalanceConstraint, FixedVertices, Partitioning, Tolerance,
+    validate_partitioning, BalanceConstraint, FixedVertices, Hypergraph, Partitioning, Tolerance,
 };
-use vlsi_partition::{multistart, FmConfig, MultilevelConfig};
+use vlsi_partition::trace::Sink;
+use vlsi_partition::{
+    multistart_with_sink, FmConfig, MultilevelConfig, MultistartOutcome, PartitionError,
+};
 
 struct Args {
     hgr: String,
@@ -31,9 +35,10 @@ struct Args {
     seed: u64,
     engine: String,
     out: Option<String>,
+    trace: Option<String>,
 }
 
-const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N|auto] [--seed N] [--engine ml|fm] [--out FILE]";
+const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N|auto] [--seed N] [--engine ml|fm] [--out FILE] [--trace FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -44,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         engine: "ml".into(),
         out: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
             "--engine" => args.engine = value("--engine")?,
             "--out" => args.out = Some(value("--out")?),
+            "--trace" => args.trace = Some(value("--trace")?),
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -140,15 +147,18 @@ fn main() {
         "fm" => Engine::Flat(FmConfig::default()),
         _ => Engine::Multilevel(MultilevelConfig::default()),
     };
-    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
-    let outcome = match multistart(
-        &hg,
-        &fixed,
-        &balance,
-        starts,
-        &mut rng,
-        |hg, fx, bc, rng| engine.run_once(hg, fx, bc, rng),
-    ) {
+    let solved = run_with_trace(
+        args.trace.as_deref().map(std::path::Path::new),
+        Solve {
+            hg: &hg,
+            fixed: &fixed,
+            balance: &balance,
+            engine: &engine,
+            starts,
+            seed: args.seed,
+        },
+    );
+    let outcome = match solved {
         Ok(o) => o,
         Err(e) => {
             eprintln!("partitioning failed: {e}");
@@ -194,5 +204,33 @@ fn main() {
     }
     if !report.is_valid() {
         exit(3);
+    }
+}
+
+/// The multistart protocol with every start traced into the `--trace`
+/// sink (monomorphised away entirely when no trace file was requested).
+struct Solve<'a> {
+    hg: &'a Hypergraph,
+    fixed: &'a FixedVertices,
+    balance: &'a BalanceConstraint,
+    engine: &'a Engine,
+    starts: usize,
+    seed: u64,
+}
+
+impl TraceRun for Solve<'_> {
+    type Output = Result<MultistartOutcome, PartitionError>;
+
+    fn run<S: Sink>(self, sink: &S) -> Self::Output {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        multistart_with_sink(
+            self.hg,
+            self.fixed,
+            self.balance,
+            self.starts,
+            &mut rng,
+            sink,
+            |hg, fx, bc, rng| self.engine.run_once_with_sink(hg, fx, bc, rng, sink),
+        )
     }
 }

@@ -1,16 +1,36 @@
 //! Runs the complete reproduction battery: Table I, Figures 1–2, Tables
 //! II–IV, printing everything in one report (the source of EXPERIMENTS.md).
+//!
+//! With `--trace PATH`, the structured event stream of every measured run
+//! (level brackets, FM passes, multistart records) is written as JSONL to
+//! PATH — see docs/TRACING.md for the schema.
 
-use vlsi_experiments::figures::{run_figure, FigureConfig};
-use vlsi_experiments::opts::Options;
+use vlsi_experiments::figures::{run_figure_with_sink, FigureConfig};
+use vlsi_experiments::opts::{run_with_trace, Options, TraceRun};
 use vlsi_experiments::regimes::Regime;
 use vlsi_experiments::table2::{self, PAPER_TABLE2_PERCENTAGES};
 use vlsi_experiments::table3::{self, PAPER_CUTOFFS};
 use vlsi_experiments::{table1, table4};
 use vlsi_netgen::instances::by_name;
+use vlsi_partition::trace::Sink;
 
 fn main() {
     let opts = Options::from_env();
+    let trace = opts.trace.clone();
+    run_with_trace(trace.as_deref(), Battery(&opts));
+}
+
+struct Battery<'a>(&'a Options);
+
+impl TraceRun for Battery<'_> {
+    type Output = ();
+
+    fn run<S: Sink>(self, sink: &S) {
+        run_battery(self.0, sink);
+    }
+}
+
+fn run_battery<S: Sink>(opts: &Options, sink: &S) {
     println!(
         "# Reproduction battery (scale {}, trials {}, seed {})\n",
         opts.scale, opts.trials, opts.seed
@@ -38,7 +58,7 @@ fn main() {
             seed: opts.seed,
             ..FigureConfig::default()
         };
-        match run_figure(&circuit.name, &circuit.hypergraph, &config) {
+        match run_figure_with_sink(&circuit.name, &circuit.hypergraph, &config, sink) {
             Ok(fig) => {
                 println!("{}", fig.render().render(opts.csv));
                 println!("reference good cut: {}", fig.good_cut);
@@ -61,11 +81,12 @@ fn main() {
 
     println!("## Table II\n");
     for circuit in &circuits {
-        match table2::run_table2(
+        match table2::run_table2_with_sink(
             &circuit.hypergraph,
             &PAPER_TABLE2_PERCENTAGES,
             opts.trials,
             opts.seed,
+            sink,
         ) {
             Ok(rows) => println!("{}", table2::render(&circuit.name, &rows).render(opts.csv)),
             Err(e) => eprintln!("{}: {e}", circuit.name),
@@ -74,12 +95,13 @@ fn main() {
 
     println!("## Table III\n");
     for circuit in &circuits {
-        match table3::run_table3(
+        match table3::run_table3_with_sink(
             &circuit.hypergraph,
             &PAPER_TABLE2_PERCENTAGES,
             &PAPER_CUTOFFS,
             opts.trials,
             opts.seed,
+            sink,
         ) {
             Ok(cells) => println!(
                 "{}",

@@ -1,31 +1,45 @@
 //! Regenerates the paper's Table II (LIFO-FM pass statistics vs fixed %).
 
-use vlsi_experiments::opts::Options;
+use vlsi_experiments::opts::{run_with_trace, Options, TraceRun};
 use vlsi_experiments::table2::{self, PAPER_TABLE2_PERCENTAGES};
 use vlsi_netgen::instances::by_name;
+use vlsi_partition::trace::Sink;
 
 fn main() {
     let opts = Options::from_env();
-    println!(
-        "Table II: avg passes/run and avg % nodes moved per pass (excl. first),\n\
-         LIFO-FM, good-regime fixing, {} runs, scale {}\n",
-        opts.trials, opts.scale
-    );
-    for name in &opts.circuits {
-        let Some(circuit) = by_name(name, opts.scale, opts.seed) else {
-            eprintln!("unknown circuit `{name}`");
-            std::process::exit(2);
-        };
-        match table2::run_table2(
-            &circuit.hypergraph,
-            &PAPER_TABLE2_PERCENTAGES,
-            opts.trials,
-            opts.seed,
-        ) {
-            Ok(rows) => println!("{}", table2::render(&circuit.name, &rows).render(opts.csv)),
-            Err(e) => {
-                eprintln!("{name}: {e}");
-                std::process::exit(1);
+    let trace = opts.trace.clone();
+    run_with_trace(trace.as_deref(), Job(&opts));
+}
+
+struct Job<'a>(&'a Options);
+
+impl TraceRun for Job<'_> {
+    type Output = ();
+
+    fn run<S: Sink>(self, sink: &S) {
+        let opts = self.0;
+        println!(
+            "Table II: avg passes/run and avg % nodes moved per pass (excl. first),\n\
+             LIFO-FM, good-regime fixing, {} runs, scale {}\n",
+            opts.trials, opts.scale
+        );
+        for name in &opts.circuits {
+            let Some(circuit) = by_name(name, opts.scale, opts.seed) else {
+                eprintln!("unknown circuit `{name}`");
+                std::process::exit(2);
+            };
+            match table2::run_table2_with_sink(
+                &circuit.hypergraph,
+                &PAPER_TABLE2_PERCENTAGES,
+                opts.trials,
+                opts.seed,
+                sink,
+            ) {
+                Ok(rows) => println!("{}", table2::render(&circuit.name, &rows).render(opts.csv)),
+                Err(e) => {
+                    eprintln!("{name}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -8,9 +8,12 @@ use vlsi_rng::ChaCha8Rng;
 use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
+use vlsi_partition::trace::{NullSink, Sink};
 use vlsi_partition::{MultilevelConfig, PartitionError};
 
-use crate::harness::{find_good_solution, paper_balance, run_trials, Engine, PAPER_STARTS};
+use crate::harness::{
+    find_good_solution, paper_balance, run_trials_with_sink, Engine, PAPER_STARTS,
+};
 use crate::regimes::{FixSchedule, Regime, PAPER_PERCENTAGES};
 use crate::report::{fmt_f64, fmt_secs, Table};
 
@@ -79,6 +82,21 @@ pub fn run_figure(
     hg: &Hypergraph,
     config: &FigureConfig,
 ) -> Result<Figure, PartitionError> {
+    run_figure_with_sink(name, hg, config, &NullSink)
+}
+
+/// [`run_figure`], streaming the trace of every measured multistart trial
+/// (level brackets, FM passes, start records) into `sink`. The reference
+/// good-solution search is not traced.
+///
+/// # Errors
+/// Propagates partitioning failures.
+pub fn run_figure_with_sink<S: Sink>(
+    name: &str,
+    hg: &Hypergraph,
+    config: &FigureConfig,
+    sink: &S,
+) -> Result<Figure, PartitionError> {
     let balance = paper_balance(hg);
     let good = find_good_solution(
         hg,
@@ -95,7 +113,7 @@ pub fn run_figure(
         let schedule = FixSchedule::new(hg, regime, &good.parts, &mut rng);
         for &pct in &config.percentages {
             let fixed = schedule.at_percent(pct);
-            let data = run_trials(
+            let data = run_trials_with_sink(
                 hg,
                 &fixed,
                 &balance,
@@ -103,6 +121,7 @@ pub fn run_figure(
                 config.trials,
                 &PAPER_STARTS,
                 config.seed.wrapping_add((pct * 10.0) as u64),
+                sink,
             )?;
             // Normalisation: the good regime uses the single reference cut;
             // the rand regime normalises each instance to the best cut seen

@@ -8,9 +8,10 @@ use vlsi_rng::Rng;
 use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Tolerance};
+use vlsi_partition::trace::{NullSink, Sink};
 use vlsi_partition::{
-    multistart, BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner, PartitionError,
-    PartitionResult,
+    multistart_with_sink, BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner,
+    PartitionError, PartitionResult,
 };
 
 /// The partitioning engine driven by a trial.
@@ -34,14 +35,29 @@ impl Engine {
         balance: &BalanceConstraint,
         rng: &mut R,
     ) -> Result<PartitionResult, PartitionError> {
+        self.run_once_with_sink(hg, fixed, balance, rng, &NullSink)
+    }
+
+    /// [`run_once`](Self::run_once), streaming trace events into `sink`.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn run_once_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
         match self {
             Engine::Multilevel(cfg) => {
                 let ml = MultilevelPartitioner::new(*cfg);
-                Ok(ml.run(hg, fixed, balance, rng)?.into())
+                Ok(ml.run_with_sink(hg, fixed, balance, rng, sink)?.into())
             }
             Engine::Flat(cfg) => {
                 let fm = BipartFm::new(*cfg);
-                let r = fm.run_random(hg, fixed, balance, rng)?;
+                let r = fm.run_random_with_sink(hg, fixed, balance, rng, sink)?;
                 Ok(PartitionResult::new(r.parts, r.cut))
             }
         }
@@ -96,6 +112,38 @@ pub fn run_trials(
     starts_levels: &[usize],
     seed: u64,
 ) -> Result<TrialData, PartitionError> {
+    run_trials_with_sink(
+        hg,
+        fixed,
+        balance,
+        engine,
+        trials,
+        starts_levels,
+        seed,
+        &NullSink,
+    )
+}
+
+/// [`run_trials`], streaming the trace of every start (level brackets, FM
+/// passes, and one [`vlsi_partition::trace::Event::StartFinished`] per
+/// start) into `sink`.
+///
+/// # Errors
+/// Propagates the first engine failure.
+///
+/// # Panics
+/// Panics if `trials == 0` or `starts_levels` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_with_sink<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    engine: &Engine,
+    trials: usize,
+    starts_levels: &[usize],
+    seed: u64,
+    sink: &S,
+) -> Result<TrialData, PartitionError> {
     assert!(trials > 0, "need at least one trial");
     let max_starts = *starts_levels.iter().max().expect("non-empty levels");
     let mut sums = vec![0.0f64; starts_levels.len()];
@@ -105,13 +153,14 @@ pub fn run_trials(
     for t in 0..trials {
         let mut rng =
             ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let outcome = multistart(
+        let outcome = multistart_with_sink(
             hg,
             fixed,
             balance,
             max_starts,
             &mut rng,
-            |hg, fx, bc, rng| engine.run_once(hg, fx, bc, rng),
+            sink,
+            |hg, fx, bc, rng| engine.run_once_with_sink(hg, fx, bc, rng, sink),
         )?;
         for (i, &s) in starts_levels.iter().enumerate() {
             sums[i] += outcome.best_of_first(s).expect("s <= max_starts") as f64;

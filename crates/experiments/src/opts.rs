@@ -1,7 +1,13 @@
-//! Minimal command-line option parsing shared by the experiment binaries.
+//! Minimal command-line option parsing shared by the experiment binaries,
+//! plus the `--trace` plumbing that turns a path into a live
+//! [`JsonlSink`].
 //!
 //! No external CLI dependency is warranted for five binaries with a
 //! handful of flags, so this is a tiny hand-rolled parser.
+
+use std::path::Path;
+
+use vlsi_partition::trace::{JsonlSink, NullSink, Sink};
 
 /// Options common to all experiment binaries.
 ///
@@ -28,6 +34,8 @@ pub struct Options {
     pub circuits: Vec<String>,
     /// Emit CSV instead of the aligned text table.
     pub csv: bool,
+    /// Write a structured JSONL trace of the measured runs to this path.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -38,6 +46,7 @@ impl Default for Options {
             seed: 1999, // the paper's year — a fixed default for replicability
             circuits: vec!["ibm01".into(), "ibm03".into()],
             csv: false,
+            trace: None,
         }
     }
 }
@@ -72,6 +81,9 @@ impl Options {
                     o.trials = 50;
                 }
                 "--csv" => o.csv = true,
+                "--trace" => {
+                    o.trace = Some(it.next().ok_or("--trace needs a path")?.into());
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
             }
@@ -98,13 +110,56 @@ impl Options {
 }
 
 const USAGE: &str =
-    "usage: [--scale F] [--trials N] [--seed N] [--circuit NAME]... [--paper] [--csv]
+    "usage: [--scale F] [--trials N] [--seed N] [--circuit NAME]... [--paper] [--csv] [--trace PATH]
   --scale F       instance scale, 1.0 = paper-size circuits (default 0.12)
   --trials N      trials per data point (default 5; the paper used 50)
   --seed N        base RNG seed (default 1999)
   --circuit NAME  ibm01..ibm05, repeatable (default: ibm01 ibm03)
   --paper         shorthand for --scale 1.0 --trials 50
-  --csv           machine-readable CSV output";
+  --csv           machine-readable CSV output
+  --trace PATH    write a JSONL event trace of the measured runs to PATH
+                  (see docs/TRACING.md for the schema)";
+
+/// A sink-generic experiment body for [`run_with_trace`]. A plain closure
+/// cannot be generic over the sink type, so binaries implement this
+/// one-method trait on a small carrier struct instead.
+pub trait TraceRun {
+    /// What the experiment returns.
+    type Output;
+    /// Runs the experiment, streaming trace events into `sink`.
+    fn run<S: Sink>(self, sink: &S) -> Self::Output;
+}
+
+/// Runs `job` against a [`JsonlSink`] writing to `trace` when a path was
+/// given (flushing it and reporting write errors on stderr afterwards), or
+/// against the zero-cost [`NullSink`] otherwise. Exits the process when
+/// the trace file cannot be created.
+pub fn run_with_trace<J: TraceRun>(trace: Option<&Path>, job: J) -> J::Output {
+    match trace {
+        Some(path) => {
+            let sink = match JsonlSink::create(path) {
+                Ok(sink) => sink,
+                Err(e) => {
+                    eprintln!("cannot create trace file {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let out = job.run(&sink);
+            sink.flush();
+            if sink.write_errors() > 0 {
+                eprintln!(
+                    "warning: {} trace write errors; {} is incomplete",
+                    sink.write_errors(),
+                    path.display()
+                );
+            } else {
+                eprintln!("trace written to {}", path.display());
+            }
+            out
+        }
+        None => job.run(&NullSink),
+    }
+}
 
 fn take<I: Iterator<Item = String>, T: std::str::FromStr>(
     it: &mut I,
@@ -151,5 +206,40 @@ mod tests {
         assert!(parse(&["--trials", "0"]).is_err());
         assert!(parse(&["--scale", "2.0"]).is_err());
         assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--trace"]).is_err());
+    }
+
+    #[test]
+    fn run_with_trace_writes_jsonl() {
+        use vlsi_partition::trace::Event;
+        struct Emit;
+        impl TraceRun for Emit {
+            type Output = u32;
+            fn run<S: Sink>(self, sink: &S) -> u32 {
+                sink.record(&Event::StartFinished {
+                    start: 0,
+                    cut: 7,
+                    micros: 1,
+                });
+                42
+            }
+        }
+        let path =
+            std::env::temp_dir().join(format!("vlsi-opts-trace-test-{}.jsonl", std::process::id()));
+        assert_eq!(run_with_trace(Some(&path), Emit), 42);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ev\":\"start\""), "got: {text}");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(run_with_trace(None, Emit), 42);
+    }
+
+    #[test]
+    fn trace_path() {
+        let o = parse(&["--trace", "results/trace/run.jsonl"]).unwrap();
+        assert_eq!(
+            o.trace.as_deref(),
+            Some(std::path::Path::new("results/trace/run.jsonl"))
+        );
+        assert_eq!(parse(&[]).unwrap().trace, None);
     }
 }

@@ -5,14 +5,17 @@
 //! vertex is moved [...] if there are sufficiently many vertices adjacent
 //! to fixed terminals, such a near-flip is very unlikely to be improving."
 //!
-//! Using [`vlsi_partition::BipartFm::run_traced`], this module measures
-//! *where inside a pass* the best solution occurs, as a function of the
-//! fixed-vertex percentage.
+//! This module measures *where inside a pass* the best solution occurs, as
+//! a function of the fixed-vertex percentage, by recording the structured
+//! trace of every FM run and folding the per-move cut trajectory with
+//! [`pass_summaries`].
 
 use vlsi_rng::ChaCha8Rng;
 use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
+use vlsi_partition::trace::replay::pass_summaries;
+use vlsi_partition::trace::{NullSink, Sink, Tee, VecSink};
 use vlsi_partition::{BipartFm, FmConfig, MultilevelConfig, PartitionError, SelectionPolicy};
 
 use crate::harness::{find_good_solution, paper_balance};
@@ -44,6 +47,22 @@ pub fn run_pass_profile(
     runs: usize,
     seed: u64,
 ) -> Result<Vec<PassProfileRow>, PartitionError> {
+    run_pass_profile_with_sink(hg, percentages, runs, seed, &NullSink)
+}
+
+/// [`run_pass_profile`], forwarding every trace event of the measured FM
+/// runs to `forward` as well (the profile itself is always derived from an
+/// internal [`VecSink`]).
+///
+/// # Errors
+/// Propagates partitioning failures.
+pub fn run_pass_profile_with_sink<S: Sink>(
+    hg: &Hypergraph,
+    percentages: &[f64],
+    runs: usize,
+    seed: u64,
+    forward: &S,
+) -> Result<Vec<PassProfileRow>, PartitionError> {
     let balance = paper_balance(hg);
     let good = find_good_solution(hg, &balance, &MultilevelConfig::default(), 4, seed)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9A55);
@@ -65,8 +84,10 @@ pub fn run_pass_profile(
             let mut run_rng =
                 ChaCha8Rng::seed_from_u64(seed ^ (run as u64 + 1).wrapping_mul(0x51C0_FFEE));
             let initial = vlsi_partition::random_initial(hg, &fixed, &balance, 2, &mut run_rng)?;
-            let (_, traces) = fm.run_traced(hg, &fixed, &balance, initial)?;
-            for trace in &traces {
+            let record = VecSink::new();
+            let tee = Tee::new(&record, forward);
+            fm.run_with_sink(hg, &fixed, &balance, initial, &tee)?;
+            for trace in &pass_summaries(&record.take()) {
                 let Some(pos) = trace.best_position_fraction() else {
                     continue;
                 };

@@ -1,11 +1,20 @@
 //! Table II: average number of passes per run and average percentage of
 //! nodes moved per pass (excluding the first pass), for LIFO-FM runs at
 //! increasing fixed-vertex percentages.
+//!
+//! The statistics are aggregated from the structured trace stream: every
+//! run records into a [`VecSink`], the stream is folded to per-pass
+//! summaries with [`pass_summaries`], and the Table II columns are
+//! computed from those summaries. An optional forwarding sink receives
+//! the same events (e.g. a [`vlsi_partition::trace::JsonlSink`] behind
+//! `--trace`).
 
 use vlsi_rng::ChaCha8Rng;
 use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
+use vlsi_partition::trace::replay::pass_summaries;
+use vlsi_partition::trace::{NullSink, Sink, Tee, VecSink};
 use vlsi_partition::{BipartFm, FmConfig, MultilevelConfig, PartitionError, SelectionPolicy};
 
 use crate::harness::{find_good_solution, paper_balance};
@@ -45,6 +54,23 @@ pub fn run_table2(
     runs: usize,
     seed: u64,
 ) -> Result<Vec<Table2Row>, PartitionError> {
+    run_table2_with_sink(hg, percentages, runs, seed, &NullSink)
+}
+
+/// [`run_table2`], forwarding every trace event of the measured FM runs to
+/// `forward` as well (the aggregation itself always happens on an internal
+/// [`VecSink`]). The schedule-construction multilevel run is not traced —
+/// only the measured LIFO-FM runs are.
+///
+/// # Errors
+/// Propagates partitioning failures.
+pub fn run_table2_with_sink<S: Sink>(
+    hg: &Hypergraph,
+    percentages: &[f64],
+    runs: usize,
+    seed: u64,
+    forward: &S,
+) -> Result<Vec<Table2Row>, PartitionError> {
     let balance = paper_balance(hg);
     let good = find_good_solution(hg, &balance, &MultilevelConfig::default(), 4, seed)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7AB1E2);
@@ -67,24 +93,35 @@ pub fn run_table2(
         for run in 0..runs {
             let mut run_rng =
                 ChaCha8Rng::seed_from_u64(seed ^ (run as u64 + 1).wrapping_mul(0xA24B_AED4));
-            let result = fm.run_random(hg, &fixed, &balance, &mut run_rng)?;
-            passes_sum += result.stats.num_passes() as f64;
+            let record = VecSink::new();
+            let tee = Tee::new(&record, forward);
+            let result = fm.run_random_with_sink(hg, &fixed, &balance, &mut run_rng, &tee)?;
+            let passes = pass_summaries(&record.take());
+            passes_sum += passes.len() as f64;
             // Per the paper's Table II, the percentage is of *nodes* of the
             // instance, so fixed terminals count in the denominator: a
             // classic FM pass moves every movable vertex, and the decline
             // with the fixed fraction is exactly the point.
-            let later = result.stats.passes.get(1..).unwrap_or(&[]);
+            let later = passes.get(1..).unwrap_or(&[]);
             if !later.is_empty() {
                 pct_moved_sum += later
                     .iter()
-                    .map(|p| 100.0 * p.moves_made as f64 / n)
+                    .map(|p| 100.0 * p.moves as f64 / n)
                     .sum::<f64>()
                     / later.len() as f64;
                 pct_moved_count += 1;
             }
-            if let Some(p) = result.stats.avg_best_prefix_fraction_excl_first() {
-                prefix_sum += p;
-                prefix_count += 1;
+            // Mean kept/made over later passes that made a move — the same
+            // quantity as `RunStats::avg_best_prefix_fraction_excl_first`.
+            if passes.len() >= 2 {
+                let fracs: Vec<f64> = passes[1..]
+                    .iter()
+                    .filter_map(|p| p.kept_fraction())
+                    .collect();
+                if !fracs.is_empty() {
+                    prefix_sum += fracs.iter().sum::<f64>() / fracs.len() as f64;
+                    prefix_count += 1;
+                }
             }
             cut_sum += result.cut as f64;
         }
@@ -153,6 +190,24 @@ mod tests {
             rows[0].avg_pct_moved,
             rows[1].avg_pct_moved
         );
+    }
+
+    #[test]
+    fn sinked_run_matches_plain_run() {
+        use vlsi_partition::trace::CounterSink;
+        let c = Generator::new(GeneratorConfig {
+            num_cells: 200,
+            num_pads: 8,
+            ..GeneratorConfig::default()
+        })
+        .generate(9);
+        let plain = run_table2(&c.hypergraph, &[0.0, 30.0], 3, 5).unwrap();
+        let counters = CounterSink::new();
+        let forwarded = run_table2_with_sink(&c.hypergraph, &[0.0, 30.0], 3, 5, &counters).unwrap();
+        assert_eq!(plain, forwarded);
+        let snap = counters.snapshot();
+        assert!(snap.passes > 0);
+        assert!(snap.moves_tried >= snap.moves_committed);
     }
 
     #[test]

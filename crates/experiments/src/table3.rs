@@ -7,6 +7,7 @@ use vlsi_rng::ChaCha8Rng;
 use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
+use vlsi_partition::trace::{NullSink, Sink};
 use vlsi_partition::{
     BipartFm, FmConfig, MultilevelConfig, PartitionError, PassCutoff, SelectionPolicy,
 };
@@ -49,6 +50,24 @@ pub fn run_table3(
     runs: usize,
     seed: u64,
 ) -> Result<Vec<Table3Cell>, PartitionError> {
+    run_table3_with_sink(hg, percentages, cutoffs, runs, seed, &NullSink)
+}
+
+/// [`run_table3`], streaming the trace of every measured FM run into
+/// `sink`. Note the timing column measures the *traced* runs, so a heavy
+/// sink (e.g. JSONL to disk) inflates the reported times; counters and the
+/// null sink do not measurably.
+///
+/// # Errors
+/// Propagates partitioning failures.
+pub fn run_table3_with_sink<S: Sink>(
+    hg: &Hypergraph,
+    percentages: &[f64],
+    cutoffs: &[PassCutoff],
+    runs: usize,
+    seed: u64,
+    sink: &S,
+) -> Result<Vec<Table3Cell>, PartitionError> {
     let balance = paper_balance(hg);
     let good = find_good_solution(hg, &balance, &MultilevelConfig::default(), 4, seed)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7AB1E3);
@@ -74,7 +93,7 @@ pub fn run_table3(
                 let mut run_rng =
                     ChaCha8Rng::seed_from_u64(seed ^ (run as u64 + 1).wrapping_mul(0xC0FF_EE11));
                 let t0 = Instant::now();
-                let result = fm.run_random(hg, &fixed, &balance, &mut run_rng)?;
+                let result = fm.run_random_with_sink(hg, &fixed, &balance, &mut run_rng, sink)?;
                 time_sum += t0.elapsed();
                 cut_sum += result.cut as f64;
             }

@@ -34,7 +34,7 @@
 //!
 //! # Benchmarks
 //!
-//! [`bench`] mirrors the slice of the criterion API the bench targets
+//! [`mod@bench`] mirrors the slice of the criterion API the bench targets
 //! use (`criterion_group!`, `criterion_main!`, groups, `bench_with_input`)
 //! and writes median/p95 JSON records under `results/bench/`.
 

@@ -1,0 +1,316 @@
+//! The event vocabulary and its deterministic JSONL encoding.
+
+use std::fmt::Write as _;
+
+/// Fixity of a vertex that moved — only vertices allowed on both sides
+/// ever move, so the interesting distinction is plain-free versus
+/// "or"-fixed (`FixedAny` over a set containing both sides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoverFixity {
+    /// The vertex carries no fixity constraint.
+    Free,
+    /// The vertex is `FixedAny` over a set that permits both sides.
+    FixedAny,
+}
+
+impl MoverFixity {
+    /// The JSONL string form (`"free"` / `"fixed_any"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MoverFixity::Free => "free",
+            MoverFixity::FixedAny => "fixed_any",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Events carry plain integers only, so this crate stays decoupled from
+/// the hypergraph types. Producers (the FM engine, the multilevel driver,
+/// the multistart driver) document which events they emit and when; see
+/// `docs/TRACING.md` for the full contract and the JSONL schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A coarsening level was built (multilevel engine; `level` is
+    /// 1-based, the original graph being level 0).
+    LevelStart {
+        /// Coarsening level index (1 = first coarse graph).
+        level: u32,
+        /// Vertex count of the level's hypergraph.
+        vertices: u64,
+        /// Net count of the level's hypergraph.
+        nets: u64,
+    },
+    /// Refinement at one level finished (multilevel engine; emitted from
+    /// the coarsest level down to level 0, the original graph).
+    LevelEnd {
+        /// Level index (0 = original graph).
+        level: u32,
+        /// Vertex count of the level's hypergraph.
+        vertices: u64,
+        /// Net count of the level's hypergraph.
+        nets: u64,
+        /// Cut after refinement at this level.
+        cut: u64,
+    },
+    /// An FM pass began.
+    PassStart {
+        /// 0-based pass index within the FM run.
+        pass: u32,
+        /// Cut at the start of the pass.
+        cut: u64,
+        /// Number of movable vertices in the run.
+        movable: u64,
+        /// Move limit in force (equals `movable` when unlimited).
+        move_limit: u64,
+    },
+    /// One move was applied inside a pass (it may later be rolled back;
+    /// compare against the enclosing [`Event::PassEnd`]'s `best_prefix`).
+    MoveCommitted {
+        /// Pass index the move belongs to.
+        pass: u32,
+        /// Index of the moved vertex.
+        vertex: u64,
+        /// The gain the move realised (positive = cut decreased).
+        gain: i64,
+        /// Fixity of the moved vertex.
+        fixity: MoverFixity,
+        /// Cut value after the move.
+        cut: u64,
+    },
+    /// An FM pass ended and its best prefix was restored.
+    PassEnd {
+        /// 0-based pass index within the FM run.
+        pass: u32,
+        /// Moves applied before the pass ended.
+        moves: u64,
+        /// Length of the kept (best) prefix; `moves - best_prefix` moves
+        /// were rolled back.
+        best_prefix: u64,
+        /// Cut at the start of the pass.
+        cut_before: u64,
+        /// Cut after restoring the best prefix.
+        cut_after: u64,
+        /// Gain-bucket operations (inserts, removals, key adjustments)
+        /// performed during the pass.
+        bucket_ops: u64,
+    },
+    /// One multistart start completed.
+    StartFinished {
+        /// 0-based start index.
+        start: u32,
+        /// Cut achieved by the start.
+        cut: u64,
+        /// Wall-clock time of the start, in microseconds.
+        micros: u64,
+    },
+}
+
+impl Event {
+    /// The event's type tag as it appears in the JSONL `ev` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::LevelStart { .. } => "level_start",
+            Event::LevelEnd { .. } => "level_end",
+            Event::PassStart { .. } => "pass_start",
+            Event::MoveCommitted { .. } => "move",
+            Event::PassEnd { .. } => "pass_end",
+            Event::StartFinished { .. } => "start",
+        }
+    }
+
+    /// Renders the event as one JSON object with deterministic field
+    /// order (the order the fields are declared in). No trailing newline.
+    ///
+    /// ```
+    /// use vlsi_trace::Event;
+    /// let e = Event::PassStart { pass: 2, cut: 41, movable: 100, move_limit: 25 };
+    /// assert_eq!(
+    ///     e.to_jsonl(),
+    ///     r#"{"ev":"pass_start","pass":2,"cut":41,"movable":100,"move_limit":25}"#
+    /// );
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"ev\":\"{}\"", self.kind());
+        match *self {
+            Event::LevelStart {
+                level,
+                vertices,
+                nets,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"level\":{level},\"vertices\":{vertices},\"nets\":{nets}"
+                );
+            }
+            Event::LevelEnd {
+                level,
+                vertices,
+                nets,
+                cut,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"level\":{level},\"vertices\":{vertices},\"nets\":{nets},\"cut\":{cut}"
+                );
+            }
+            Event::PassStart {
+                pass,
+                cut,
+                movable,
+                move_limit,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":{pass},\"cut\":{cut},\"movable\":{movable},\"move_limit\":{move_limit}"
+                );
+            }
+            Event::MoveCommitted {
+                pass,
+                vertex,
+                gain,
+                fixity,
+                cut,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":{pass},\"vertex\":{vertex},\"gain\":{gain},\"fixity\":\"{}\",\"cut\":{cut}",
+                    fixity.as_str()
+                );
+            }
+            Event::PassEnd {
+                pass,
+                moves,
+                best_prefix,
+                cut_before,
+                cut_after,
+                bucket_ops,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":{pass},\"moves\":{moves},\"best_prefix\":{best_prefix},\"cut_before\":{cut_before},\"cut_after\":{cut_after},\"bucket_ops\":{bucket_ops}"
+                );
+            }
+            Event::StartFinished { start, cut, micros } => {
+                let _ = write!(s, ",\"start\":{start},\"cut\":{cut},\"micros\":{micros}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_field_order_is_deterministic() {
+        let cases = [
+            (
+                Event::LevelStart {
+                    level: 1,
+                    vertices: 500,
+                    nets: 800,
+                },
+                r#"{"ev":"level_start","level":1,"vertices":500,"nets":800}"#,
+            ),
+            (
+                Event::LevelEnd {
+                    level: 0,
+                    vertices: 1000,
+                    nets: 1600,
+                    cut: 42,
+                },
+                r#"{"ev":"level_end","level":0,"vertices":1000,"nets":1600,"cut":42}"#,
+            ),
+            (
+                Event::MoveCommitted {
+                    pass: 0,
+                    vertex: 7,
+                    gain: -2,
+                    fixity: MoverFixity::FixedAny,
+                    cut: 44,
+                },
+                r#"{"ev":"move","pass":0,"vertex":7,"gain":-2,"fixity":"fixed_any","cut":44}"#,
+            ),
+            (
+                Event::PassEnd {
+                    pass: 3,
+                    moves: 10,
+                    best_prefix: 2,
+                    cut_before: 50,
+                    cut_after: 44,
+                    bucket_ops: 123,
+                },
+                r#"{"ev":"pass_end","pass":3,"moves":10,"best_prefix":2,"cut_before":50,"cut_after":44,"bucket_ops":123}"#,
+            ),
+            (
+                Event::StartFinished {
+                    start: 4,
+                    cut: 99,
+                    micros: 1500,
+                },
+                r#"{"ev":"start","start":4,"cut":99,"micros":1500}"#,
+            ),
+        ];
+        for (event, expected) in cases {
+            assert_eq!(event.to_jsonl(), expected);
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            Event::LevelStart {
+                level: 0,
+                vertices: 0,
+                nets: 0,
+            }
+            .kind(),
+            Event::LevelEnd {
+                level: 0,
+                vertices: 0,
+                nets: 0,
+                cut: 0,
+            }
+            .kind(),
+            Event::PassStart {
+                pass: 0,
+                cut: 0,
+                movable: 0,
+                move_limit: 0,
+            }
+            .kind(),
+            Event::MoveCommitted {
+                pass: 0,
+                vertex: 0,
+                gain: 0,
+                fixity: MoverFixity::Free,
+                cut: 0,
+            }
+            .kind(),
+            Event::PassEnd {
+                pass: 0,
+                moves: 0,
+                best_prefix: 0,
+                cut_before: 0,
+                cut_after: 0,
+                bucket_ops: 0,
+            }
+            .kind(),
+            Event::StartFinished {
+                start: 0,
+                cut: 0,
+                micros: 0,
+            }
+            .kind(),
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Folding a recorded event stream back into per-pass summaries.
+//!
+//! The experiment harness records runs into a [`crate::VecSink`] and then
+//! aggregates here — the paper's Table II columns and the within-pass
+//! improvement profiles are all derived from [`PassSummary`].
+
+use crate::event::Event;
+
+/// Everything one FM pass contributed to the trace: the pass bracket
+/// ([`Event::PassStart`] / [`Event::PassEnd`]) plus the cut trajectory of
+/// its applied moves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassSummary {
+    /// 0-based pass index within its FM run.
+    pub pass: u32,
+    /// Cut at the start of the pass.
+    pub cut_before: u64,
+    /// Cut after restoring the best prefix.
+    pub cut_after: u64,
+    /// Moves applied during the pass.
+    pub moves: u64,
+    /// Length of the kept (best) prefix.
+    pub best_prefix: u64,
+    /// Movable-vertex count of the run.
+    pub movable: u64,
+    /// Move limit in force during the pass.
+    pub move_limit: u64,
+    /// Gain-bucket operations performed during the pass.
+    pub bucket_ops: u64,
+    /// Cut after each applied move, in move order (before any rollback).
+    pub cuts: Vec<u64>,
+}
+
+impl PassSummary {
+    /// The move index (1-based) at which the minimum cut of the pass was
+    /// first reached, as a fraction of the moves made; `None` for an empty
+    /// pass, `Some(0.0)` when no move improved on the pass-start cut.
+    /// Small values mean improvements concentrate near the beginning of
+    /// the pass — the paper's Section III observation.
+    pub fn best_position_fraction(&self) -> Option<f64> {
+        if self.cuts.is_empty() {
+            return None;
+        }
+        let best = *self.cuts.iter().min().expect("non-empty");
+        if best >= self.cut_before {
+            return Some(0.0);
+        }
+        let pos = self
+            .cuts
+            .iter()
+            .position(|&c| c == best)
+            .expect("min exists");
+        Some((pos + 1) as f64 / self.cuts.len() as f64)
+    }
+
+    /// Fraction of the applied moves that survived rollback.
+    pub fn kept_fraction(&self) -> Option<f64> {
+        if self.moves == 0 {
+            None
+        } else {
+            Some(self.best_prefix as f64 / self.moves as f64)
+        }
+    }
+
+    /// Whether the pass improved the cut.
+    pub fn improved(&self) -> bool {
+        self.cut_after < self.cut_before
+    }
+}
+
+/// Folds an event stream into one [`PassSummary`] per FM pass, in stream
+/// order. Pass indices restart at zero for every FM invocation, so a
+/// multilevel run yields several index-0 summaries — consumers segment on
+/// the index resetting if they need per-invocation grouping.
+///
+/// Events other than the pass bracket and moves are ignored, so the same
+/// stream can carry level and start events too.
+///
+/// ```
+/// use vlsi_trace::replay::pass_summaries;
+/// use vlsi_trace::{Event, MoverFixity};
+///
+/// let events = vec![
+///     Event::PassStart { pass: 0, cut: 10, movable: 4, move_limit: 4 },
+///     Event::MoveCommitted { pass: 0, vertex: 3, gain: 4, fixity: MoverFixity::Free, cut: 6 },
+///     Event::MoveCommitted { pass: 0, vertex: 1, gain: -1, fixity: MoverFixity::Free, cut: 7 },
+///     Event::PassEnd { pass: 0, moves: 2, best_prefix: 1, cut_before: 10, cut_after: 6, bucket_ops: 11 },
+/// ];
+/// let passes = pass_summaries(&events);
+/// assert_eq!(passes.len(), 1);
+/// assert_eq!(passes[0].cuts, vec![6, 7]);
+/// assert_eq!(passes[0].best_position_fraction(), Some(0.5));
+/// ```
+pub fn pass_summaries(events: &[Event]) -> Vec<PassSummary> {
+    let mut out = Vec::new();
+    let mut current: Option<PassSummary> = None;
+    for event in events {
+        match *event {
+            Event::PassStart {
+                pass,
+                cut,
+                movable,
+                move_limit,
+            } => {
+                if let Some(open) = current.take() {
+                    out.push(open); // unterminated pass (truncated stream)
+                }
+                current = Some(PassSummary {
+                    pass,
+                    cut_before: cut,
+                    cut_after: cut,
+                    moves: 0,
+                    best_prefix: 0,
+                    movable,
+                    move_limit,
+                    bucket_ops: 0,
+                    cuts: Vec::new(),
+                });
+            }
+            Event::MoveCommitted { cut, .. } => {
+                if let Some(open) = current.as_mut() {
+                    open.cuts.push(cut);
+                }
+            }
+            Event::PassEnd {
+                moves,
+                best_prefix,
+                cut_before,
+                cut_after,
+                bucket_ops,
+                ..
+            } => {
+                if let Some(mut open) = current.take() {
+                    open.moves = moves;
+                    open.best_prefix = best_prefix;
+                    open.cut_before = cut_before;
+                    open.cut_after = cut_after;
+                    open.bucket_ops = bucket_ops;
+                    out.push(open);
+                }
+            }
+            Event::LevelStart { .. } | Event::LevelEnd { .. } | Event::StartFinished { .. } => {}
+        }
+    }
+    if let Some(open) = current.take() {
+        out.push(open);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MoverFixity;
+
+    fn mv(pass: u32, cut: u64) -> Event {
+        Event::MoveCommitted {
+            pass,
+            vertex: 0,
+            gain: 0,
+            fixity: MoverFixity::Free,
+            cut,
+        }
+    }
+
+    #[test]
+    fn folds_multiple_passes() {
+        let events = vec![
+            Event::PassStart {
+                pass: 0,
+                cut: 10,
+                movable: 4,
+                move_limit: 4,
+            },
+            mv(0, 12),
+            mv(0, 8),
+            mv(0, 9),
+            mv(0, 8),
+            Event::PassEnd {
+                pass: 0,
+                moves: 4,
+                best_prefix: 2,
+                cut_before: 10,
+                cut_after: 8,
+                bucket_ops: 20,
+            },
+            Event::StartFinished {
+                start: 0,
+                cut: 8,
+                micros: 5,
+            },
+            Event::PassStart {
+                pass: 1,
+                cut: 8,
+                movable: 4,
+                move_limit: 1,
+            },
+            Event::PassEnd {
+                pass: 1,
+                moves: 0,
+                best_prefix: 0,
+                cut_before: 8,
+                cut_after: 8,
+                bucket_ops: 4,
+            },
+        ];
+        let passes = pass_summaries(&events);
+        assert_eq!(passes.len(), 2);
+        // First minimum (8) is at move 2 of 4.
+        assert_eq!(passes[0].best_position_fraction(), Some(0.5));
+        assert_eq!(passes[0].kept_fraction(), Some(0.5));
+        assert!(passes[0].improved());
+        assert_eq!(passes[1].best_position_fraction(), None);
+        assert_eq!(passes[1].kept_fraction(), None);
+        assert!(!passes[1].improved());
+        assert_eq!(passes[1].move_limit, 1);
+    }
+
+    #[test]
+    fn no_move_beats_start_yields_zero() {
+        let events = vec![
+            Event::PassStart {
+                pass: 0,
+                cut: 5,
+                movable: 2,
+                move_limit: 2,
+            },
+            mv(0, 7),
+            mv(0, 6),
+            Event::PassEnd {
+                pass: 0,
+                moves: 2,
+                best_prefix: 0,
+                cut_before: 5,
+                cut_after: 5,
+                bucket_ops: 6,
+            },
+        ];
+        let passes = pass_summaries(&events);
+        assert_eq!(passes[0].best_position_fraction(), Some(0.0));
+    }
+
+    #[test]
+    fn truncated_stream_keeps_open_pass() {
+        let events = vec![
+            Event::PassStart {
+                pass: 0,
+                cut: 9,
+                movable: 3,
+                move_limit: 3,
+            },
+            mv(0, 8),
+        ];
+        let passes = pass_summaries(&events);
+        assert_eq!(passes.len(), 1);
+        assert_eq!(passes[0].cuts, vec![8]);
+        assert_eq!(passes[0].moves, 0); // PassEnd never arrived
+    }
+}

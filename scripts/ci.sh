@@ -15,4 +15,10 @@ cargo test -q --offline --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check --all
 
+echo '==> RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline'
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "==> cargo test --doc --offline"
+cargo test --doc -q --offline --workspace
+
 echo "ci.sh: all gates passed"
