@@ -10,6 +10,9 @@
 //! * `counters` — [`CounterSink`]: a few relaxed atomic adds per event.
 //! * `jsonl_devnull` — [`JsonlSink`] into `std::io::sink()`: full event
 //!   serialisation without disk I/O, an upper bound for `--trace` cost.
+//!
+//! The `trace/kway` group repeats the experiment for the k-way refinement
+//! loop (its `KwayPassStart`/`KwayMove`/`KwayPassEnd` events).
 
 use std::hint::black_box;
 use vlsi_rng::ChaCha8Rng;
@@ -18,9 +21,10 @@ use vlsi_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 use vlsi_experiments::harness::{find_good_solution, paper_balance};
 use vlsi_experiments::regimes::{FixSchedule, Regime};
+use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Objective, PartId, Tolerance, VertexId};
 use vlsi_netgen::instances::ibm01_like_scaled;
 use vlsi_partition::trace::{CounterSink, JsonlSink, NullSink};
-use vlsi_partition::{BipartFm, FmConfig, MultilevelConfig, SelectionPolicy};
+use vlsi_partition::{kway, random_initial, BipartFm, FmConfig, MultilevelConfig, SelectionPolicy};
 
 fn bench_trace_overhead(c: &mut Criterion) {
     let circuit = ibm01_like_scaled(0.10, 1999);
@@ -84,5 +88,94 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_overhead);
+fn bench_trace_overhead_kway(c: &mut Criterion) {
+    let circuit = ibm01_like_scaled(0.10, 1999);
+    let hg = &circuit.hypergraph;
+    let k = 4usize;
+    let balance = BalanceConstraint::even(k, &[hg.total_weight()], Tolerance::Relative(0.1));
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 10 {
+        fixed.fix(VertexId(i as u32), PartId((i % k) as u32));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let initial: Vec<PartId> =
+        random_initial(hg, &fixed, &balance, k, &mut rng).expect("feasible instance");
+    let passes = 2usize;
+
+    let mut group = c.benchmark_group("trace/kway");
+    group.sample_size(10);
+
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            black_box(
+                kway::refine(
+                    hg,
+                    &fixed,
+                    &balance,
+                    initial.clone(),
+                    Objective::Cut,
+                    passes,
+                )
+                .expect("refine succeeds"),
+            )
+        })
+    });
+
+    group.bench_function("null", |b| {
+        b.iter(|| {
+            black_box(
+                kway::refine_with_sink(
+                    hg,
+                    &fixed,
+                    &balance,
+                    initial.clone(),
+                    Objective::Cut,
+                    passes,
+                    &NullSink,
+                )
+                .expect("refine succeeds"),
+            )
+        })
+    });
+
+    group.bench_function("counters", |b| {
+        let sink = CounterSink::new();
+        b.iter(|| {
+            black_box(
+                kway::refine_with_sink(
+                    hg,
+                    &fixed,
+                    &balance,
+                    initial.clone(),
+                    Objective::Cut,
+                    passes,
+                    &sink,
+                )
+                .expect("refine succeeds"),
+            )
+        })
+    });
+
+    group.bench_function("jsonl_devnull", |b| {
+        let sink = JsonlSink::from_writer(Box::new(std::io::sink()));
+        b.iter(|| {
+            black_box(
+                kway::refine_with_sink(
+                    hg,
+                    &fixed,
+                    &balance,
+                    initial.clone(),
+                    Objective::Cut,
+                    passes,
+                    &sink,
+                )
+                .expect("refine succeeds"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead, bench_trace_overhead_kway);
 criterion_main!(benches);

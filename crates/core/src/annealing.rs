@@ -14,6 +14,7 @@ use vlsi_rng::Rng;
 use vlsi_hypergraph::{
     BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
 };
+use vlsi_trace::{Event, NullSink, Sink};
 
 use crate::{PartitionError, PartitionResult};
 
@@ -76,6 +77,23 @@ pub fn simulated_annealing<R: Rng + ?Sized>(
     initial: Vec<PartId>,
     config: AnnealingConfig,
     rng: &mut R,
+) -> Result<PartitionResult, PartitionError> {
+    simulated_annealing_with_sink(hg, fixed, balance, initial, config, rng, &NullSink)
+}
+
+/// Like [`simulated_annealing`], emitting one [`Event::SweepFinished`] per
+/// sweep (accepted-flip count, current and best cut).
+///
+/// # Errors
+/// Same as [`simulated_annealing`].
+pub fn simulated_annealing_with_sink<R: Rng + ?Sized, S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    config: AnnealingConfig,
+    rng: &mut R,
+    sink: &S,
 ) -> Result<PartitionResult, PartitionError> {
     if balance.num_parts() != 2 {
         return Err(PartitionError::UnsupportedPartCount {
@@ -157,7 +175,8 @@ pub fn simulated_annealing<R: Rng + ?Sized>(
         best_parts = Some(p.as_slice().to_vec());
     }
 
-    for _ in 0..config.sweeps {
+    for sweep in 0..config.sweeps {
+        let mut accepted = 0u64;
         for _ in 0..movable.len() {
             let v = movable[rng.gen_range(0..movable.len())];
             if !flip_allowed(&p, v) {
@@ -169,6 +188,9 @@ pub fn simulated_annealing<R: Rng + ?Sized>(
             if accept {
                 let to = p.part_of(v).other_side();
                 p.move_vertex(hg, v, to);
+                if S::ENABLED {
+                    accepted += 1;
+                }
                 let cut = p.cut_value(Objective::Cut);
                 if cut < best_cut && balance.is_satisfied(p.loads()) {
                     best_cut = cut;
@@ -177,6 +199,18 @@ pub fn simulated_annealing<R: Rng + ?Sized>(
             }
         }
         temperature *= config.cooling;
+        if S::ENABLED {
+            sink.record(&Event::SweepFinished {
+                sweep: sweep as u32,
+                accepted,
+                cut: p.cut_value(Objective::Cut),
+                best_cut: if best_cut == u64::MAX {
+                    p.cut_value(Objective::Cut)
+                } else {
+                    best_cut
+                },
+            });
+        }
     }
 
     match best_parts {

@@ -1,0 +1,696 @@
+//! The unifying `Partitioner` / `Refiner` trait layer and engine registry.
+//!
+//! Every partitioning engine in this crate — flat FM, the multilevel
+//! CLIP-FM engine, Kernighan–Lin, simulated annealing, and the two k-way
+//! strategies — is reachable through one interface:
+//!
+//! * [`Partitioner`]: `hypergraph + fixities + balance + rng (+ sink)` →
+//!   [`PartitionResult`]. Implemented by the engine structs themselves
+//!   ([`BipartFm`], [`MultilevelPartitioner`]), by the config types of the
+//!   function-style engines ([`KlConfig`], [`AnnealingConfig`]), by the
+//!   k-way strategy wrappers ([`RecursiveBisection`], [`DirectKway`]), and
+//!   by the [`EngineConfig`] registry enum, which dispatches statically to
+//!   whichever engine it names.
+//! * [`Refiner`]: pass-based improvement of an *existing* assignment.
+//!   Implemented by [`BipartFm`] (one full FM run), [`FmStack`] (the
+//!   multilevel engine's two-stage CLIP-then-LIFO refinement), and
+//!   [`KwayRefiner`] (the k-way FM inner loop).
+//!
+//! The traits are generic over the RNG and the [`Sink`], so they are not
+//! dyn-compatible; by-name construction goes through the [`EngineConfig`]
+//! enum instead of trait objects, keeping every call statically dispatched
+//! and the [`NullSink`] instrumentation compiled out.
+//!
+//! # Example
+//! ```
+//! use vlsi_rng::SeedableRng;
+//! use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
+//! use vlsi_partition::{EngineConfig, Partitioner};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = HypergraphBuilder::new();
+//! let v: Vec<_> = (0..16).map(|_| b.add_vertex(1)).collect();
+//! for w in v.windows(2) {
+//!     b.add_net(1, [w[0], w[1]])?;
+//! }
+//! let hg = b.build()?;
+//! let fixed = FixedVertices::all_free(16);
+//! let balance = BalanceConstraint::bisection(16, Tolerance::Relative(0.1));
+//! let engine = EngineConfig::by_name("ml").unwrap();
+//! let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(1);
+//! let r = engine.partition(&hg, &fixed, &balance, &mut rng)?;
+//! assert_eq!(r.cut, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use vlsi_rng::Rng;
+use vlsi_trace::{NullSink, Sink};
+
+use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Objective, PartId};
+
+use crate::annealing::{simulated_annealing_with_sink, AnnealingConfig};
+use crate::config::{FmConfig, MultilevelConfig};
+use crate::fm::BipartFm;
+use crate::initial::random_initial;
+use crate::kl::{kernighan_lin_with_sink, KlConfig};
+use crate::kway;
+use crate::multilevel::MultilevelPartitioner;
+use crate::{PartitionError, PartitionResult};
+
+/// A complete partitioning engine: produces a solution from scratch given
+/// only the instance, the constraints, and a source of randomness.
+///
+/// Engines that only support bipartitioning return
+/// [`PartitionError::UnsupportedPartCount`] when `balance` names more than
+/// two parts; the k-way engines take their part count from
+/// `balance.num_parts()`.
+pub trait Partitioner {
+    /// Partitions `hg` under `balance`, honouring `fixed`, streaming the
+    /// engine's trace events into `sink`. With [`NullSink`] the
+    /// instrumentation compiles out entirely.
+    ///
+    /// # Errors
+    /// Engine-specific; at minimum
+    /// [`PartitionError::UnsupportedPartCount`] for part counts the engine
+    /// cannot handle and [`PartitionError::InfeasibleInstance`] when no
+    /// legal solution can be constructed.
+    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError>;
+
+    /// [`partition_with_sink`](Self::partition_with_sink) with the
+    /// instrumentation compiled out.
+    ///
+    /// # Errors
+    /// Same as [`partition_with_sink`](Self::partition_with_sink).
+    fn partition<R: Rng + ?Sized>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+    ) -> Result<PartitionResult, PartitionError> {
+        self.partition_with_sink(hg, fixed, balance, rng, &NullSink)
+    }
+}
+
+/// A pass-based refinement engine: improves an *existing* assignment
+/// without changing its feasibility class (fixities are honoured, balance
+/// is restored by the best-prefix rollback of each pass).
+///
+/// Refiners never worsen their input: the returned cut is at most the cut
+/// of `parts`.
+pub trait Refiner {
+    /// Refines `parts`, streaming pass brackets into `sink`.
+    ///
+    /// # Errors
+    /// [`PartitionError::UnsupportedPartCount`] for part counts the refiner
+    /// cannot handle, or [`PartitionError::Input`] when `parts` is
+    /// inconsistent with the instance.
+    fn refine_with_sink<S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        parts: Vec<PartId>,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError>;
+
+    /// [`refine_with_sink`](Self::refine_with_sink) with the
+    /// instrumentation compiled out.
+    ///
+    /// # Errors
+    /// Same as [`refine_with_sink`](Self::refine_with_sink).
+    fn refine(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        parts: Vec<PartId>,
+    ) -> Result<PartitionResult, PartitionError> {
+        self.refine_with_sink(hg, fixed, balance, parts, &NullSink)
+    }
+}
+
+// --- Partitioner implementations -----------------------------------------
+
+impl Partitioner for BipartFm {
+    /// Flat FM from a random legal initial solution.
+    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        if balance.num_parts() != 2 {
+            return Err(PartitionError::UnsupportedPartCount {
+                requested: balance.num_parts(),
+                supported: 2,
+            });
+        }
+        let r = self.run_random_with_sink(hg, fixed, balance, rng, sink)?;
+        Ok(PartitionResult::new(r.parts, r.cut))
+    }
+}
+
+impl Partitioner for MultilevelPartitioner {
+    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        self.run_with_sink(hg, fixed, balance, rng, sink)
+            .map(Into::into)
+    }
+}
+
+impl Partitioner for KlConfig {
+    /// Kernighan–Lin from a random legal initial solution.
+    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        if balance.num_parts() != 2 {
+            return Err(PartitionError::UnsupportedPartCount {
+                requested: balance.num_parts(),
+                supported: 2,
+            });
+        }
+        let initial = random_initial(hg, fixed, balance, 2, rng)?;
+        kernighan_lin_with_sink(hg, fixed, balance, initial, *self, sink)
+    }
+}
+
+impl Partitioner for AnnealingConfig {
+    /// Simulated annealing from a random legal initial solution.
+    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        if balance.num_parts() != 2 {
+            return Err(PartitionError::UnsupportedPartCount {
+                requested: balance.num_parts(),
+                supported: 2,
+            });
+        }
+        let initial = random_initial(hg, fixed, balance, 2, rng)?;
+        simulated_annealing_with_sink(hg, fixed, balance, initial, *self, rng, sink)
+    }
+}
+
+/// Shared configuration of the two k-way strategies.
+///
+/// The part count itself is *not* part of the config: both strategies read
+/// it from `balance.num_parts()` at partition time, so one engine value can
+/// serve any `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KwayConfig {
+    /// Per-part balance tolerance used when the strategy derives internal
+    /// balance constraints (recursive-bisection splits, coarsest-level
+    /// solves).
+    pub tolerance: f64,
+    /// Multilevel settings of the inner bipartitioning / coarsening engine.
+    pub ml: MultilevelConfig,
+    /// Upper bound on direct k-way FM refinement passes.
+    pub refine_passes: usize,
+    /// Objective optimised by the k-way refinement passes.
+    pub objective: Objective,
+}
+
+impl Default for KwayConfig {
+    fn default() -> Self {
+        KwayConfig {
+            tolerance: 0.1,
+            ml: MultilevelConfig::default(),
+            refine_passes: 4,
+            objective: Objective::Cut,
+        }
+    }
+}
+
+/// K-way partitioning by recursive bisection with a final direct k-way FM
+/// refinement stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecursiveBisection(pub KwayConfig);
+
+impl Partitioner for RecursiveBisection {
+    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        let cfg = &self.0;
+        let r = kway::recursive_bisection_with_sink(
+            hg,
+            fixed,
+            balance.num_parts(),
+            cfg.tolerance,
+            &cfg.ml,
+            rng,
+            sink,
+        )?;
+        if cfg.refine_passes == 0 {
+            return Ok(r);
+        }
+        kway::refine_with_sink(
+            hg,
+            fixed,
+            balance,
+            r.parts,
+            cfg.objective,
+            cfg.refine_passes,
+            sink,
+        )
+    }
+}
+
+/// Direct multilevel k-way partitioning: coarsen once, solve the coarsest
+/// level k-way, refine k-way at every uncoarsening level.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DirectKway(pub KwayConfig);
+
+impl Partitioner for DirectKway {
+    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        let cfg = &self.0;
+        kway::multilevel_kway_with_sink(
+            hg,
+            fixed,
+            balance.num_parts(),
+            cfg.tolerance,
+            &cfg.ml,
+            rng,
+            sink,
+        )
+    }
+}
+
+// --- Refiner implementations ---------------------------------------------
+
+impl Refiner for BipartFm {
+    /// One full FM run (up to `max_passes` passes) from `parts`.
+    fn refine_with_sink<S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        parts: Vec<PartId>,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        let r = self.run_with_sink(hg, fixed, balance, parts, sink)?;
+        Ok(PartitionResult::new(r.parts, r.cut))
+    }
+}
+
+/// The multilevel engine's per-level refinement: a first FM stage followed
+/// by an optional second stage with a different configuration. FM never
+/// worsens its input, so the stack dominates either stage alone (the
+/// default [`MultilevelConfig`] stacks CLIP then LIFO).
+#[derive(Debug, Clone)]
+pub struct FmStack {
+    first: BipartFm,
+    second: Option<BipartFm>,
+}
+
+impl FmStack {
+    /// Builds a stack from the stage configurations.
+    pub fn new(first: FmConfig, second: Option<FmConfig>) -> Self {
+        FmStack {
+            first: BipartFm::new(first),
+            second: second.map(BipartFm::new),
+        }
+    }
+
+    /// The refinement stack used at every uncoarsening level by a
+    /// multilevel engine with configuration `cfg` (`refine_fm` then
+    /// `refine_fm2`).
+    pub fn from_multilevel(cfg: &MultilevelConfig) -> Self {
+        FmStack::new(cfg.refine_fm, cfg.refine_fm2)
+    }
+}
+
+impl Refiner for FmStack {
+    fn refine_with_sink<S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        parts: Vec<PartId>,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        let r = self.first.run_with_sink(hg, fixed, balance, parts, sink)?;
+        let r = match &self.second {
+            Some(fm2) => fm2.run_with_sink(hg, fixed, balance, r.parts, sink)?,
+            None => r,
+        };
+        Ok(PartitionResult::new(r.parts, r.cut))
+    }
+}
+
+/// The direct k-way FM inner loop as a [`Refiner`]: up to `max_passes`
+/// passes of [`kway::refine_pass`], stopping early when a pass fails to
+/// improve the objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KwayRefiner {
+    /// Objective optimised by each pass.
+    pub objective: Objective,
+    /// Upper bound on passes.
+    pub max_passes: usize,
+}
+
+impl Default for KwayRefiner {
+    fn default() -> Self {
+        KwayRefiner {
+            objective: Objective::Cut,
+            max_passes: 4,
+        }
+    }
+}
+
+impl Refiner for KwayRefiner {
+    fn refine_with_sink<S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        parts: Vec<PartId>,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        kway::refine_with_sink(
+            hg,
+            fixed,
+            balance,
+            parts,
+            self.objective,
+            self.max_passes,
+            sink,
+        )
+    }
+}
+
+// --- Engine registry -----------------------------------------------------
+
+/// A registry entry: canonical name, accepted aliases, one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Canonical engine name (what [`EngineConfig::name`] returns).
+    pub name: &'static str,
+    /// Alternative names accepted by [`EngineConfig::by_name`].
+    pub aliases: &'static [&'static str],
+    /// One-line human-readable description.
+    pub summary: &'static str,
+}
+
+/// The engine registry, in presentation order.
+pub const ENGINES: &[EngineInfo] = &[
+    EngineInfo {
+        name: "fm",
+        aliases: &["flat"],
+        summary: "flat FM bipartitioner (LIFO gain buckets, random initial solution)",
+    },
+    EngineInfo {
+        name: "ml",
+        aliases: &["multilevel"],
+        summary: "multilevel CLIP-FM bipartitioner (the paper's engine)",
+    },
+    EngineInfo {
+        name: "kl",
+        aliases: &["kernighan-lin"],
+        summary: "Kernighan-Lin pairwise-swap bipartitioner",
+    },
+    EngineInfo {
+        name: "sa",
+        aliases: &["annealing"],
+        summary: "simulated-annealing bipartitioner with calibrated initial temperature",
+    },
+    EngineInfo {
+        name: "rb",
+        aliases: &["kway-rb"],
+        summary: "k-way by recursive bisection plus direct k-way FM refinement",
+    },
+    EngineInfo {
+        name: "kway",
+        aliases: &["kway-direct"],
+        summary: "direct multilevel k-way partitioner",
+    },
+];
+
+/// A partitioning engine selected and configured by name.
+///
+/// This is the dyn-compatible face of the trait layer: the [`Partitioner`]
+/// trait itself is generic over RNG and sink, so engines are enumerated
+/// here and dispatched statically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineConfig {
+    /// Flat FM from a random initial solution.
+    Fm(FmConfig),
+    /// The multilevel CLIP-FM engine.
+    Multilevel(MultilevelConfig),
+    /// Kernighan–Lin pairwise swaps.
+    Kl(KlConfig),
+    /// Simulated annealing.
+    Annealing(AnnealingConfig),
+    /// K-way by recursive bisection (plus k-way FM cleanup).
+    KwayRb(KwayConfig),
+    /// Direct multilevel k-way.
+    KwayDirect(KwayConfig),
+}
+
+impl EngineConfig {
+    /// Constructs the default-configured engine registered under `name`
+    /// (canonical name or alias, case-insensitive). Returns `None` for
+    /// unknown names.
+    pub fn by_name(name: &str) -> Option<EngineConfig> {
+        let name = name.to_ascii_lowercase();
+        match name.as_str() {
+            "fm" | "flat" => Some(EngineConfig::Fm(FmConfig::default())),
+            "ml" | "multilevel" => Some(EngineConfig::Multilevel(MultilevelConfig::default())),
+            "kl" | "kernighan-lin" => Some(EngineConfig::Kl(KlConfig::default())),
+            "sa" | "annealing" => Some(EngineConfig::Annealing(AnnealingConfig::default())),
+            "rb" | "kway-rb" => Some(EngineConfig::KwayRb(KwayConfig::default())),
+            "kway" | "kway-direct" => Some(EngineConfig::KwayDirect(KwayConfig::default())),
+            _ => None,
+        }
+    }
+
+    /// The engine's canonical registry name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineConfig::Fm(_) => "fm",
+            EngineConfig::Multilevel(_) => "ml",
+            EngineConfig::Kl(_) => "kl",
+            EngineConfig::Annealing(_) => "sa",
+            EngineConfig::KwayRb(_) => "rb",
+            EngineConfig::KwayDirect(_) => "kway",
+        }
+    }
+
+    /// The registry entry for this engine.
+    pub fn info(&self) -> &'static EngineInfo {
+        ENGINES
+            .iter()
+            .find(|e| e.name == self.name())
+            .expect("every variant is registered")
+    }
+}
+
+impl Partitioner for EngineConfig {
+    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+    ) -> Result<PartitionResult, PartitionError> {
+        match self {
+            EngineConfig::Fm(cfg) => {
+                BipartFm::new(*cfg).partition_with_sink(hg, fixed, balance, rng, sink)
+            }
+            EngineConfig::Multilevel(cfg) => {
+                MultilevelPartitioner::new(*cfg).partition_with_sink(hg, fixed, balance, rng, sink)
+            }
+            EngineConfig::Kl(cfg) => cfg.partition_with_sink(hg, fixed, balance, rng, sink),
+            EngineConfig::Annealing(cfg) => cfg.partition_with_sink(hg, fixed, balance, rng, sink),
+            EngineConfig::KwayRb(cfg) => {
+                RecursiveBisection(*cfg).partition_with_sink(hg, fixed, balance, rng, sink)
+            }
+            EngineConfig::KwayDirect(cfg) => {
+                DirectKway(*cfg).partition_with_sink(hg, fixed, balance, rng, sink)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_hypergraph::{
+        validate_partitioning, HypergraphBuilder, Partitioning, Tolerance, VertexId,
+    };
+    use vlsi_rng::{ChaCha8Rng, SeedableRng};
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..n).map(|_| b.add_vertex(1)).collect();
+        for w in v.windows(2) {
+            b.add_net(1, [w[0], w[1]]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn registry_covers_every_name_and_alias() {
+        for info in ENGINES {
+            let engine = EngineConfig::by_name(info.name).unwrap();
+            assert_eq!(engine.name(), info.name);
+            assert_eq!(engine.info().name, info.name);
+            for alias in info.aliases {
+                assert_eq!(EngineConfig::by_name(alias).unwrap().name(), info.name);
+            }
+        }
+        assert!(EngineConfig::by_name("no-such-engine").is_none());
+        // Case-insensitive.
+        assert_eq!(EngineConfig::by_name("ML").unwrap().name(), "ml");
+    }
+
+    #[test]
+    fn every_engine_bisects_a_chain() {
+        let hg = chain(24);
+        let fixed = FixedVertices::all_free(24);
+        let balance = BalanceConstraint::bisection(24, Tolerance::Relative(0.1));
+        for info in ENGINES {
+            let engine = EngineConfig::by_name(info.name).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let r = engine.partition(&hg, &fixed, &balance, &mut rng).unwrap();
+            let p = Partitioning::from_parts(&hg, 2, r.parts).unwrap();
+            assert!(
+                validate_partitioning(&hg, &p, &balance, &fixed).is_valid(),
+                "{} produced an invalid bisection",
+                info.name
+            );
+            assert!(
+                r.cut <= 5,
+                "{}: cut {} far from optimal 1",
+                info.name,
+                r.cut
+            );
+        }
+    }
+
+    #[test]
+    fn kway_engines_partition_four_ways_and_bipart_engines_refuse() {
+        let hg = chain(32);
+        let fixed = FixedVertices::all_free(32);
+        let balance = BalanceConstraint::even(4, &[32], Tolerance::Relative(0.2));
+        for name in ["rb", "kway"] {
+            let engine = EngineConfig::by_name(name).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let r = engine.partition(&hg, &fixed, &balance, &mut rng).unwrap();
+            let p = Partitioning::from_parts(&hg, 4, r.parts).unwrap();
+            assert!(validate_partitioning(&hg, &p, &balance, &fixed).is_valid());
+        }
+        for name in ["fm", "ml", "kl", "sa"] {
+            let engine = EngineConfig::by_name(name).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            assert!(
+                matches!(
+                    engine.partition(&hg, &fixed, &balance, &mut rng),
+                    Err(PartitionError::UnsupportedPartCount { .. })
+                ),
+                "{name} should refuse 4-way"
+            );
+        }
+    }
+
+    #[test]
+    fn engines_honour_fixed_vertices() {
+        let hg = chain(20);
+        let mut fixed = FixedVertices::all_free(20);
+        fixed.fix(VertexId(0), PartId(1));
+        fixed.fix(VertexId(19), PartId(0));
+        let balance = BalanceConstraint::bisection(20, Tolerance::Relative(0.1));
+        for info in ENGINES {
+            let engine = EngineConfig::by_name(info.name).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let r = engine.partition(&hg, &fixed, &balance, &mut rng).unwrap();
+            assert_eq!(r.parts[0], PartId(1), "{}", info.name);
+            assert_eq!(r.parts[19], PartId(0), "{}", info.name);
+        }
+    }
+
+    #[test]
+    fn refiners_never_worsen_and_respect_fixities() {
+        let hg = chain(24);
+        let mut fixed = FixedVertices::all_free(24);
+        fixed.fix(VertexId(5), PartId(0));
+        let balance = BalanceConstraint::bisection(24, Tolerance::Relative(0.1));
+        // A deliberately bad interleaved start (consistent with the fixity).
+        let mut initial: Vec<PartId> = (0..24).map(|i| PartId(i % 2)).collect();
+        initial[5] = PartId(0);
+        initial[6] = PartId(1);
+        let start_cut = Partitioning::from_parts(&hg, 2, initial.clone())
+            .unwrap()
+            .cut_value(Objective::Cut);
+
+        let fm = BipartFm::new(FmConfig::default());
+        let stack = FmStack::from_multilevel(&MultilevelConfig::default());
+        let kw = KwayRefiner::default();
+        let results = [
+            fm.refine(&hg, &fixed, &balance, initial.clone()).unwrap(),
+            stack
+                .refine(&hg, &fixed, &balance, initial.clone())
+                .unwrap(),
+            kw.refine(&hg, &fixed, &balance, initial.clone()).unwrap(),
+        ];
+        for r in &results {
+            assert!(r.cut <= start_cut);
+            assert_eq!(r.parts[5], PartId(0));
+        }
+    }
+
+    #[test]
+    fn rb_engine_skips_cleanup_when_disabled() {
+        let hg = chain(16);
+        let fixed = FixedVertices::all_free(16);
+        let balance = BalanceConstraint::even(4, &[16], Tolerance::Relative(0.3));
+        let cfg = KwayConfig {
+            refine_passes: 0,
+            ..KwayConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let r = RecursiveBisection(cfg)
+            .partition(&hg, &fixed, &balance, &mut rng)
+            .unwrap();
+        let p = Partitioning::from_parts(&hg, 4, r.parts).unwrap();
+        assert_eq!(p.cut_value(Objective::Cut), r.cut);
+    }
+}

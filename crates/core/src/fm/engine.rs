@@ -9,7 +9,7 @@ use vlsi_trace::{Event, MoverFixity, NullSink, Sink, VecSink};
 
 use crate::config::{FmConfig, SelectionPolicy};
 use crate::fm::{PassStats, RunStats};
-use crate::gain::GainBuckets;
+use crate::gain::{KwayGains, MoveLog};
 use crate::initial::random_initial;
 use crate::PartitionError;
 
@@ -257,10 +257,7 @@ impl BipartFm {
             balance,
             movable: &movable,
             partitioning: &mut partitioning,
-            buckets: [
-                GainBuckets::new(hg.num_vertices(), key_bound),
-                GainBuckets::new(hg.num_vertices(), key_bound),
-            ],
+            gains: KwayGains::new(2, hg.num_vertices(), key_bound),
             gain: vec![0i64; hg.num_vertices()],
             locked: vec![false; hg.num_vertices()],
             policy: self.config.policy,
@@ -334,7 +331,9 @@ struct PassState<'a, S: Sink> {
     balance: &'a BalanceConstraint,
     movable: &'a [bool],
     partitioning: &'a mut Partitioning,
-    buckets: [GainBuckets; 2],
+    /// Shared k-way gain container with two target parts: a vertex on side
+    /// `s` lives in the bucket for its destination `s.other_side()`.
+    gains: KwayGains,
     gain: Vec<i64>,
     locked: Vec<bool>,
     policy: SelectionPolicy,
@@ -363,9 +362,8 @@ impl<S: Sink> PassState<'_, S> {
         }
         self.prepare_buckets();
 
-        let mut move_log: Vec<(VertexId, PartId)> = Vec::with_capacity(move_limit);
+        let mut move_log = MoveLog::with_capacity(move_limit);
         let mut best_cut = cut_before;
-        let mut best_len = 0usize;
         let mut best_imbalance = self.imbalance();
 
         while move_log.len() < move_limit {
@@ -373,14 +371,14 @@ impl<S: Sink> PassState<'_, S> {
                 break;
             };
             let to = from.other_side();
-            self.buckets[from.index()].remove(vertex);
-            self.buckets[from.index()].decay_max();
+            self.gains.remove(vertex, to);
+            self.gains.decay_max_for(to);
             self.locked[vertex.index()] = true;
             // The vertex's own gain entry can be bumped while its move is
             // applied; capture the realised gain first.
             let gain = self.gain[vertex.index()];
             self.apply_move_with_gain_updates(vertex, from, to);
-            move_log.push((vertex, from));
+            move_log.record(vertex, from);
             let cut = self.partitioning.cut_value(Objective::Cut);
             if S::ENABLED {
                 self.bucket_ops += 1; // the remove above
@@ -407,26 +405,28 @@ impl<S: Sink> PassState<'_, S> {
             let imbalance = self.imbalance();
             if cut < best_cut || (cut == best_cut && imbalance < best_imbalance) {
                 best_cut = cut;
-                best_len = move_log.len();
+                move_log.mark_best();
                 best_imbalance = imbalance;
             }
         }
 
         // Roll back everything after the best prefix.
-        for &(vertex, from) in move_log[best_len..].iter().rev() {
-            self.partitioning.move_vertex(self.hg, vertex, from);
-        }
+        let moves_made = move_log.len();
+        let best_len = move_log.best_len();
+        let (hg, partitioning) = (self.hg, &mut *self.partitioning);
+        move_log.rollback_to_best(|vertex, from| {
+            partitioning.move_vertex(hg, vertex, from);
+        });
         debug_assert_eq!(self.partitioning.cut_value(Objective::Cut), best_cut);
 
         // Unlock for the next pass.
         self.locked.fill(false);
-        self.buckets[0].clear();
-        self.buckets[1].clear();
+        self.gains.clear();
 
         if S::ENABLED {
             self.sink.record(&Event::PassEnd {
                 pass: pass as u32,
-                moves: move_log.len() as u64,
+                moves: moves_made as u64,
                 best_prefix: best_len as u64,
                 cut_before,
                 cut_after: best_cut,
@@ -437,7 +437,7 @@ impl<S: Sink> PassState<'_, S> {
         PassStats {
             pass,
             movable: num_movable,
-            moves_made: move_log.len(),
+            moves_made,
             moves_kept: best_len,
             cut_before,
             cut_after: best_cut,
@@ -454,8 +454,7 @@ impl<S: Sink> PassState<'_, S> {
 
     /// Computes all initial gains and fills the buckets.
     fn prepare_buckets(&mut self) {
-        self.buckets[0].clear();
-        self.buckets[1].clear();
+        self.gains.clear();
         match self.policy {
             SelectionPolicy::Lifo => {
                 for v in self.hg.vertices() {
@@ -464,8 +463,8 @@ impl<S: Sink> PassState<'_, S> {
                     }
                     let g = self.initial_gain(v);
                     self.gain[v.index()] = g;
-                    let side = self.partitioning.part_of(v);
-                    self.buckets[side.index()].insert(v, g);
+                    let to = self.partitioning.part_of(v).other_side();
+                    self.gains.insert(v, to, g);
                     if S::ENABLED {
                         self.bucket_ops += 1;
                     }
@@ -487,8 +486,8 @@ impl<S: Sink> PassState<'_, S> {
                 by_gain.sort_unstable();
                 for &(g, v) in &by_gain {
                     self.gain[v.index()] = g;
-                    let side = self.partitioning.part_of(v);
-                    self.buckets[side.index()].insert(v, 0);
+                    let to = self.partitioning.part_of(v).other_side();
+                    self.gains.insert(v, to, 0);
                     if S::ENABLED {
                         self.bucket_ops += 1;
                     }
@@ -527,7 +526,7 @@ impl<S: Sink> PassState<'_, S> {
             let relax = &self.relax;
             let loads = self.partitioning.loads();
             let nr = hg.num_resources();
-            *slot = self.buckets[side].select(|v| {
+            *slot = self.gains.select_from(to, |v| {
                 // Relaxed feasibility: the destination may overshoot its
                 // maximum by the largest movable vertex weight.
                 hg.vertex_weights(v)
@@ -626,8 +625,8 @@ impl<S: Sink> PassState<'_, S> {
         }
         self.gain[u.index()] += delta;
         if !self.locked[u.index()] && self.movable[u.index()] {
-            let side = self.partitioning.part_of(u);
-            self.buckets[side.index()].adjust(u, delta);
+            let to = self.partitioning.part_of(u).other_side();
+            self.gains.adjust(u, to, delta);
             if S::ENABLED {
                 self.bucket_ops += 1;
             }

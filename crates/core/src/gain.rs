@@ -1,11 +1,16 @@
-//! The classic FM gain-bucket structure.
+//! The classic FM gain-bucket structure and its k-way generalization.
 //!
 //! An array of doubly-linked lists indexed by gain. Insertion is at the
 //! list head, so equal-gain ties are broken by most-recent insertion —
 //! exactly the LIFO discipline of LIFO-FM. The CLIP policy reuses the same
 //! structure with shifted keys.
+//!
+//! [`KwayGains`] stacks one [`GainBuckets`] per *target* part, giving
+//! every engine — 2-way FM and direct k-way refinement alike — the same
+//! move-selection core. [`MoveLog`] is the shared best-prefix rollback
+//! companion.
 
-use vlsi_hypergraph::VertexId;
+use vlsi_hypergraph::{PartId, VertexId};
 
 const NONE: u32 = u32::MAX;
 
@@ -197,6 +202,251 @@ impl GainBuckets {
     }
 }
 
+/// A k-way gain container: one [`GainBuckets`] per *target* part.
+///
+/// Each (vertex, target-part) pair is an independent entry keyed by the
+/// gain of moving the vertex *to* that part. In the 2-way case this
+/// degenerates to classic FM — a vertex on side `s` has exactly one
+/// useful entry, in the bucket for `s.other_side()` — so the bipartition
+/// engine and the direct k-way refiner share one selection/locking core.
+///
+/// # Example
+/// ```
+/// use vlsi_hypergraph::{PartId, VertexId};
+/// use vlsi_partition::KwayGains;
+///
+/// let mut kg = KwayGains::new(3, 4, 10);
+/// kg.insert(VertexId(0), PartId(1), 3);
+/// kg.insert(VertexId(0), PartId(2), 5);
+/// kg.insert(VertexId(1), PartId(1), 5); // same key, later insert, lower part wins ties
+/// let (v, to, key) = kg.select_best(|_, _| true).unwrap();
+/// assert_eq!((v, to, key), (VertexId(1), PartId(1), 5));
+/// kg.remove_all(VertexId(1));
+/// assert_eq!(kg.select_best(|_, _| true).unwrap().1, PartId(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KwayGains {
+    targets: Vec<GainBuckets>,
+    key_bound: i64,
+}
+
+impl KwayGains {
+    /// Creates buckets for `num_parts` target parts over `num_vertices`
+    /// vertices with keys in `[-key_bound, key_bound]`.
+    pub fn new(num_parts: usize, num_vertices: usize, key_bound: i64) -> Self {
+        KwayGains {
+            targets: (0..num_parts)
+                .map(|_| GainBuckets::new(num_vertices, key_bound))
+                .collect(),
+            key_bound,
+        }
+    }
+
+    /// Number of target parts.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Total number of (vertex, target) entries across all parts.
+    pub fn len(&self) -> usize {
+        self.targets.iter().map(GainBuckets::len).sum()
+    }
+
+    /// Returns `true` if no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.targets.iter().all(GainBuckets::is_empty)
+    }
+
+    /// Returns `true` if `(vertex, to)` is currently present.
+    #[inline]
+    pub fn contains(&self, vertex: VertexId, to: PartId) -> bool {
+        self.targets[to.index()].contains(vertex)
+    }
+
+    /// Current key of `(vertex, to)` (meaningful only while present).
+    #[inline]
+    pub fn key(&self, vertex: VertexId, to: PartId) -> i64 {
+        self.targets[to.index()].key(vertex)
+    }
+
+    /// Inserts `(vertex, to)` with the given key at the head of its bucket.
+    #[inline]
+    pub fn insert(&mut self, vertex: VertexId, to: PartId, key: i64) {
+        self.targets[to.index()].insert(vertex, key);
+    }
+
+    /// Removes `(vertex, to)`. A no-op if absent.
+    #[inline]
+    pub fn remove(&mut self, vertex: VertexId, to: PartId) {
+        self.targets[to.index()].remove(vertex);
+    }
+
+    /// Removes `vertex` from every target bucket (when it is locked).
+    pub fn remove_all(&mut self, vertex: VertexId) {
+        for b in &mut self.targets {
+            b.remove(vertex);
+        }
+    }
+
+    /// Re-keys `(vertex, to)`, re-inserting at the new bucket head. A
+    /// no-op if absent.
+    #[inline]
+    pub fn update(&mut self, vertex: VertexId, to: PartId, new_key: i64) {
+        self.targets[to.index()].update(vertex, new_key);
+    }
+
+    /// Adds `delta` to `(vertex, to)`'s key. A no-op if absent.
+    #[inline]
+    pub fn adjust(&mut self, vertex: VertexId, to: PartId, delta: i64) {
+        self.targets[to.index()].adjust(vertex, delta);
+    }
+
+    /// Selects the best feasible entry for one specific target part (the
+    /// 2-way engine picks per-target and applies its own cross-target
+    /// tie-break).
+    #[inline]
+    pub fn select_from<F: FnMut(VertexId) -> bool>(
+        &self,
+        to: PartId,
+        feasible: F,
+    ) -> Option<(VertexId, i64)> {
+        self.targets[to.index()].select(feasible)
+    }
+
+    /// Finds the highest-key feasible `(vertex, target)` entry across all
+    /// parts, scanning keys downward from the global maximum; at equal
+    /// keys, lower target-part indices win, and within a bucket the LIFO
+    /// discipline applies.
+    pub fn select_best<F: FnMut(VertexId, PartId) -> bool>(
+        &self,
+        mut feasible: F,
+    ) -> Option<(VertexId, PartId, i64)> {
+        let mut key = self
+            .targets
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| b.max_key)
+            .max()?;
+        while key >= -self.key_bound {
+            for (t, b) in self.targets.iter().enumerate() {
+                if b.is_empty() || b.max_key < key {
+                    continue;
+                }
+                let to = PartId::from_index(t);
+                let mut cur = b.heads[b.bucket_index(key)];
+                while cur != NONE {
+                    let v = VertexId(cur);
+                    if feasible(v, to) {
+                        return Some((v, to, key));
+                    }
+                    cur = b.next[cur as usize];
+                }
+            }
+            key -= 1;
+        }
+        None
+    }
+
+    /// Tightens the maximum-key hint of one target's buckets.
+    #[inline]
+    pub fn decay_max_for(&mut self, to: PartId) {
+        self.targets[to.index()].decay_max();
+    }
+
+    /// Tightens the maximum-key hints of all targets.
+    pub fn decay_max(&mut self) {
+        for b in &mut self.targets {
+            b.decay_max();
+        }
+    }
+
+    /// Removes all entries (O(parts × capacity)).
+    pub fn clear(&mut self) {
+        for b in &mut self.targets {
+            b.clear();
+        }
+    }
+}
+
+/// The shared best-prefix rollback log of pass-based refinement.
+///
+/// Every applied move is recorded with the part it came *from*; when the
+/// pass ends, [`MoveLog::rollback_to_best`] undoes the suffix beyond the
+/// best prefix in reverse order. Engines mark the best prefix whenever
+/// their objective improves.
+#[derive(Debug, Clone, Default)]
+pub struct MoveLog {
+    entries: Vec<(VertexId, PartId)>,
+    best_len: usize,
+}
+
+impl MoveLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        MoveLog::default()
+    }
+
+    /// Creates an empty log with room for `capacity` moves.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MoveLog {
+            entries: Vec::with_capacity(capacity),
+            best_len: 0,
+        }
+    }
+
+    /// Records a move of `vertex` that left part `from`.
+    #[inline]
+    pub fn record(&mut self, vertex: VertexId, from: PartId) {
+        self.entries.push((vertex, from));
+    }
+
+    /// Marks the current length as the best prefix.
+    #[inline]
+    pub fn mark_best(&mut self) {
+        self.best_len = self.entries.len();
+    }
+
+    /// Moves recorded so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no moves were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Length of the marked best prefix.
+    #[inline]
+    pub fn best_len(&self) -> usize {
+        self.best_len
+    }
+
+    /// Undoes every move beyond the best prefix, newest first, calling
+    /// `undo(vertex, from)` so the engine can restore the vertex to `from`
+    /// and update any side state. The log keeps the surviving prefix.
+    pub fn rollback_to_best<F: FnMut(VertexId, PartId)>(&mut self, mut undo: F) {
+        while self.entries.len() > self.best_len {
+            let (v, from) = self.entries.pop().expect("len > best_len >= 0");
+            undo(v, from);
+        }
+    }
+
+    /// Forgets all moves and resets the best mark.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.best_len = 0;
+    }
+
+    /// The recorded moves, oldest first.
+    pub fn entries(&self) -> &[(VertexId, PartId)] {
+        &self.entries
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +543,89 @@ mod tests {
         gb.remove(VertexId(0));
         gb.remove(VertexId(0));
         assert!(gb.is_empty());
+    }
+
+    #[test]
+    fn kway_select_best_scans_parts_in_order() {
+        let mut kg = KwayGains::new(4, 3, 6);
+        kg.insert(VertexId(0), PartId(3), 4);
+        kg.insert(VertexId(1), PartId(1), 4);
+        kg.insert(VertexId(2), PartId(2), 6);
+        // Highest key wins outright.
+        assert_eq!(
+            kg.select_best(|_, _| true),
+            Some((VertexId(2), PartId(2), 6))
+        );
+        kg.remove(VertexId(2), PartId(2));
+        // Equal keys: lower target index wins.
+        assert_eq!(
+            kg.select_best(|_, _| true),
+            Some((VertexId(1), PartId(1), 4))
+        );
+    }
+
+    #[test]
+    fn kway_select_best_respects_feasibility_and_lifo() {
+        let mut kg = KwayGains::new(2, 4, 5);
+        kg.insert(VertexId(0), PartId(0), 2);
+        kg.insert(VertexId(1), PartId(0), 2); // later insert, same bucket
+        assert_eq!(
+            kg.select_best(|_, _| true),
+            Some((VertexId(1), PartId(0), 2))
+        );
+        assert_eq!(
+            kg.select_best(|v, _| v != VertexId(1)),
+            Some((VertexId(0), PartId(0), 2))
+        );
+        assert_eq!(kg.select_best(|_, _| false), None);
+    }
+
+    #[test]
+    fn kway_remove_all_and_counts() {
+        let mut kg = KwayGains::new(3, 2, 4);
+        kg.insert(VertexId(0), PartId(1), 1);
+        kg.insert(VertexId(0), PartId(2), -1);
+        assert_eq!(kg.len(), 2);
+        assert!(kg.contains(VertexId(0), PartId(1)));
+        kg.remove_all(VertexId(0));
+        assert!(kg.is_empty());
+        assert_eq!(kg.select_best(|_, _| true), None);
+    }
+
+    #[test]
+    fn kway_adjust_and_decay() {
+        let mut kg = KwayGains::new(2, 2, 8);
+        kg.insert(VertexId(0), PartId(1), 6);
+        kg.insert(VertexId(1), PartId(0), 0);
+        kg.adjust(VertexId(0), PartId(1), -8);
+        kg.decay_max();
+        assert_eq!(kg.key(VertexId(0), PartId(1)), -2);
+        assert_eq!(
+            kg.select_best(|_, _| true),
+            Some((VertexId(1), PartId(0), 0))
+        );
+        kg.clear();
+        assert!(kg.is_empty());
+    }
+
+    #[test]
+    fn move_log_rollback_restores_suffix() {
+        let mut log = MoveLog::new();
+        log.record(VertexId(0), PartId(0));
+        log.mark_best();
+        log.record(VertexId(1), PartId(1));
+        log.record(VertexId(2), PartId(0));
+        assert_eq!((log.len(), log.best_len()), (3, 1));
+        let mut undone = Vec::new();
+        log.rollback_to_best(|v, from| undone.push((v, from)));
+        // Newest first.
+        assert_eq!(
+            undone,
+            vec![(VertexId(2), PartId(0)), (VertexId(1), PartId(1))]
+        );
+        assert_eq!(log.entries(), &[(VertexId(0), PartId(0))]);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.best_len(), 0);
     }
 }

@@ -19,6 +19,7 @@
 use vlsi_hypergraph::{
     BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
 };
+use vlsi_trace::{Event, NullSink, Sink};
 
 use crate::{PartitionError, PartitionResult};
 
@@ -81,6 +82,23 @@ pub fn kernighan_lin(
     initial: Vec<PartId>,
     config: KlConfig,
 ) -> Result<PartitionResult, PartitionError> {
+    kernighan_lin_with_sink(hg, fixed, balance, initial, config, &NullSink)
+}
+
+/// Like [`kernighan_lin`], bracketing each pass with
+/// [`Event::PassStart`]/[`Event::PassEnd`] (`moves` counts swaps; KL has
+/// no gain buckets, so `bucket_ops` is 0).
+///
+/// # Errors
+/// Same as [`kernighan_lin`].
+pub fn kernighan_lin_with_sink<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    config: KlConfig,
+    sink: &S,
+) -> Result<PartitionResult, PartitionError> {
     if balance.num_parts() != 2 {
         return Err(PartitionError::UnsupportedPartCount {
             requested: balance.num_parts(),
@@ -100,9 +118,17 @@ pub fn kernighan_lin(
         })
         .collect();
 
-    for _ in 0..config.max_passes {
+    for pass in 0..config.max_passes {
         let before = p.cut_value(Objective::Cut);
-        run_pass(hg, balance, &movable, &mut p, config.max_swaps_per_pass);
+        run_pass(
+            hg,
+            balance,
+            &movable,
+            &mut p,
+            config.max_swaps_per_pass,
+            pass as u32,
+            sink,
+        );
         if p.cut_value(Objective::Cut) >= before {
             break;
         }
@@ -154,12 +180,15 @@ fn swap_interaction(hg: &Hypergraph, p: &Partitioning, a: VertexId, b: VertexId)
     corr
 }
 
-fn run_pass(
+#[allow(clippy::too_many_arguments)]
+fn run_pass<S: Sink>(
     hg: &Hypergraph,
     balance: &BalanceConstraint,
     movable: &[bool],
     p: &mut Partitioning,
     max_swaps: Option<usize>,
+    pass: u32,
+    sink: &S,
 ) {
     let n = hg.num_vertices();
     let mut locked = vec![false; n];
@@ -168,6 +197,14 @@ fn run_pass(
     let mut best_cut = start_cut;
     let mut best_len = 0usize;
     let limit = max_swaps.unwrap_or(n);
+    if S::ENABLED {
+        sink.record(&Event::PassStart {
+            pass,
+            cut: start_cut,
+            movable: movable.iter().filter(|&&m| m).count() as u64,
+            move_limit: limit as u64,
+        });
+    }
 
     while log.len() < limit {
         // Top candidates by single-move gain on each side.
@@ -228,6 +265,16 @@ fn run_pass(
         p.move_vertex(hg, b, PartId(1));
     }
     debug_assert_eq!(p.cut_value(Objective::Cut), best_cut);
+    if S::ENABLED {
+        sink.record(&Event::PassEnd {
+            pass,
+            moves: log.len() as u64,
+            best_prefix: best_len as u64,
+            cut_before: start_cut,
+            cut_after: best_cut,
+            bucket_ops: 0, // KL has no gain buckets
+        });
+    }
 }
 
 #[cfg(test)]

@@ -11,8 +11,10 @@ use vlsi_hypergraph::{
     induced_subgraph, BalanceConstraint, CutState, FixedVertices, Fixity, Hypergraph, Objective,
     PartId, PartSet, Partitioning, VertexId,
 };
+use vlsi_trace::{Event, NullSink, Sink};
 
 use crate::config::MultilevelConfig;
+use crate::gain::{KwayGains, MoveLog};
 use crate::multilevel::MultilevelPartitioner;
 use crate::{PartitionError, PartitionResult};
 
@@ -60,6 +62,23 @@ pub fn recursive_bisection<R: Rng + ?Sized>(
     ml_config: &MultilevelConfig,
     rng: &mut R,
 ) -> Result<PartitionResult, PartitionError> {
+    recursive_bisection_with_sink(hg, fixed, k, tolerance, ml_config, rng, &NullSink)
+}
+
+/// Like [`recursive_bisection`], streaming the inner multilevel engines'
+/// trace events into `sink`.
+///
+/// # Errors
+/// Same as [`recursive_bisection`].
+pub fn recursive_bisection_with_sink<R: Rng + ?Sized, S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    k: usize,
+    tolerance: f64,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+    sink: &S,
+) -> Result<PartitionResult, PartitionError> {
     if k == 0 || k > PartSet::MAX_PARTS {
         return Err(PartitionError::UnsupportedPartCount {
             requested: k,
@@ -83,14 +102,14 @@ pub fn recursive_bisection<R: Rng + ?Sized>(
     let mut parts = vec![PartId(0); hg.num_vertices()];
     let active: Vec<VertexId> = hg.vertices().collect();
     rb_recurse(
-        hg, fixed, &active, 0, k, tolerance, ml_config, rng, &mut parts,
+        hg, fixed, &active, 0, k, tolerance, ml_config, rng, &mut parts, sink,
     )?;
     let cut = CutState::new(hg, k.max(1), &parts).cut();
     Ok(PartitionResult::new(parts, cut))
 }
 
 #[allow(clippy::too_many_arguments)]
-fn rb_recurse<R: Rng + ?Sized>(
+fn rb_recurse<R: Rng + ?Sized, S: Sink>(
     hg: &Hypergraph,
     fixed: &FixedVertices,
     active: &[VertexId],
@@ -100,6 +119,7 @@ fn rb_recurse<R: Rng + ?Sized>(
     ml_config: &MultilevelConfig,
     rng: &mut R,
     parts: &mut [PartId],
+    sink: &S,
 ) -> Result<(), PartitionError> {
     debug_assert!(lo < hi);
     if hi - lo == 1 {
@@ -205,7 +225,7 @@ fn rb_recurse<R: Rng + ?Sized>(
     let balance = BalanceConstraint::explicit(2, nr, min, max)?;
 
     let ml = MultilevelPartitioner::new(*ml_config);
-    let result = ml.run(&sub.hg, &sub_fixed, &balance, rng)?;
+    let result = ml.run_with_sink(&sub.hg, &sub_fixed, &balance, rng, sink)?;
 
     let mut left = Vec::new();
     let mut right = Vec::new();
@@ -216,14 +236,18 @@ fn rb_recurse<R: Rng + ?Sized>(
             right.push(pv);
         }
     }
-    rb_recurse(hg, fixed, &left, lo, mid, tolerance, ml_config, rng, parts)?;
-    rb_recurse(hg, fixed, &right, mid, hi, tolerance, ml_config, rng, parts)?;
+    rb_recurse(
+        hg, fixed, &left, lo, mid, tolerance, ml_config, rng, parts, sink,
+    )?;
+    rb_recurse(
+        hg, fixed, &right, mid, hi, tolerance, ml_config, rng, parts, sink,
+    )?;
     Ok(())
 }
 
 /// Exact objective delta of moving `v` from its current part to `to`
 /// (positive = improvement).
-fn move_gain(
+pub fn move_gain(
     hg: &Hypergraph,
     p: &Partitioning,
     v: VertexId,
@@ -279,15 +303,206 @@ fn move_gain(
 /// then restores the best balanced prefix. Returns the refined assignment
 /// and its objective value.
 ///
-/// The selection uses a max-heap with lazy invalidation: a popped
-/// candidate is re-evaluated against the current state and pushed back if
-/// its gain dropped, so each move costs O(neighbourhood · k · log n)
-/// instead of a full O(n·k) rescan.
+/// Selection runs on the shared [`KwayGains`] container (one gain-bucket
+/// array per target part): every allowed `(vertex, target)` move is a
+/// keyed entry, the pass repeatedly takes the globally best feasible one,
+/// and after each move only the moved vertex's unlocked neighbours are
+/// re-keyed — the same delta-maintenance discipline as the 2-way FM
+/// engine.
 ///
 /// # Errors
 /// Returns [`PartitionError::Input`] if `initial` is inconsistent with `hg`
 /// or violates a fixity.
 pub fn refine_pass(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    objective: Objective,
+) -> Result<PartitionResult, PartitionError> {
+    refine_pass_with_sink(hg, fixed, balance, initial, objective, 0, &NullSink)
+}
+
+/// Like [`refine_pass`], emitting [`Event::KwayPassStart`],
+/// [`Event::KwayMove`], and [`Event::KwayPassEnd`] into `sink`. `pass` is
+/// the 0-based pass index stamped on the events (callers looping passes
+/// supply it; single passes use 0).
+///
+/// # Errors
+/// Same as [`refine_pass`].
+pub fn refine_pass_with_sink<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    objective: Objective,
+    pass: u32,
+    sink: &S,
+) -> Result<PartitionResult, PartitionError> {
+    let k = balance.num_parts();
+    let mut p = Partitioning::from_parts_fixed(hg, k, initial, fixed)?;
+    let nr = hg.num_resources();
+
+    let mut relax = vec![0u64; nr];
+    for v in hg.vertices() {
+        if !fixed.fixity(v).is_immovable() {
+            for (r, &w) in hg.vertex_weights(v).iter().enumerate() {
+                relax[r] = relax[r].max(w);
+            }
+        }
+    }
+
+    // Under SOED a single move can change both the span and the cut term
+    // of every incident net, so keys span twice the incident weight.
+    let key_bound: i64 = 2 * hg
+        .vertices()
+        .filter(|v| !fixed.fixity(*v).is_immovable())
+        .map(|v| {
+            hg.vertex_nets(v)
+                .iter()
+                .map(|&n| hg.net_weight(n) as i64)
+                .sum::<i64>()
+        })
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    let mut gains = KwayGains::new(k, hg.num_vertices(), key_bound);
+    let mut bucket_ops = 0u64;
+    let mut movable = 0u64;
+    for v in hg.vertices() {
+        let fx = fixed.fixity(v);
+        if fx.is_immovable() {
+            continue;
+        }
+        let from = p.part_of(v);
+        let mut any = false;
+        for t in 0..k {
+            let to = PartId::from_index(t);
+            if to == from || !fx.allows(to) {
+                continue;
+            }
+            gains.insert(v, to, move_gain(hg, &p, v, to, objective));
+            any = true;
+            if S::ENABLED {
+                bucket_ops += 1;
+            }
+        }
+        if any {
+            movable += 1;
+        }
+    }
+
+    let value_before = p.cut_value(objective);
+    if S::ENABLED {
+        sink.record(&Event::KwayPassStart {
+            pass,
+            value: value_before,
+            movable,
+        });
+    }
+
+    let mut locked = vec![false; hg.num_vertices()];
+    let mut log = MoveLog::new();
+    let mut best_val = value_before;
+    // Dedup stamps for the per-move neighbourhood refresh.
+    let mut stamp = vec![0u32; hg.num_vertices()];
+    let mut epoch = 0u32;
+
+    loop {
+        let selected = {
+            let loads = p.loads();
+            gains.select_best(|v, to| {
+                // Relaxed feasibility: the destination may overshoot its
+                // maximum by the largest movable vertex weight.
+                hg.vertex_weights(v)
+                    .iter()
+                    .enumerate()
+                    .all(|(r, &w)| loads[to.index() * nr + r] + w <= balance.max(to, r) + relax[r])
+            })
+        };
+        let Some((v, to, gain)) = selected else {
+            break;
+        };
+        gains.remove_all(v);
+        gains.decay_max();
+        locked[v.index()] = true;
+        let before = p.cut_value(objective) as i64;
+        let from = p.move_vertex(hg, v, to);
+        log.record(v, from);
+        let val = p.cut_value(objective);
+        debug_assert_eq!(before - gain, val as i64, "gain mispredicted for {v}");
+        if S::ENABLED {
+            bucket_ops += 1; // the remove_all above
+            sink.record(&Event::KwayMove {
+                pass,
+                vertex: v.index() as u64,
+                from: from.index() as u32,
+                to: to.index() as u32,
+                gain,
+                value: val,
+            });
+        }
+        if balance.is_satisfied(p.loads()) && val < best_val {
+            best_val = val;
+            log.mark_best();
+        }
+        // Re-key the neighbourhood whose gains the move may have changed.
+        epoch += 1;
+        for &n in hg.vertex_nets(v) {
+            for &u in hg.net_pins(n) {
+                if u == v || locked[u.index()] || stamp[u.index()] == epoch {
+                    continue;
+                }
+                stamp[u.index()] = epoch;
+                let fx = fixed.fixity(u);
+                if fx.is_immovable() {
+                    continue;
+                }
+                let uf = p.part_of(u);
+                for t in 0..k {
+                    let tt = PartId::from_index(t);
+                    if tt == uf || !fx.allows(tt) {
+                        continue;
+                    }
+                    gains.update(u, tt, move_gain(hg, &p, u, tt, objective));
+                    if S::ENABLED {
+                        bucket_ops += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let moves_made = log.len();
+    let best_len = log.best_len();
+    log.rollback_to_best(|v, from| {
+        p.move_vertex(hg, v, from);
+    });
+    let cut = p.cut_value(objective);
+    debug_assert_eq!(cut, best_val);
+    if S::ENABLED {
+        sink.record(&Event::KwayPassEnd {
+            pass,
+            moves: moves_made as u64,
+            best_prefix: best_len as u64,
+            value_before,
+            value_after: cut,
+            bucket_ops,
+        });
+    }
+    Ok(PartitionResult::new(p.into_parts(), cut))
+}
+
+/// The pre-container k-way pass: a lazy max-heap with re-queue on stale
+/// gains. Retained verbatim as the performance baseline the
+/// `gain_container` benchmark compares [`refine_pass`] against; new code
+/// should use [`refine_pass`].
+///
+/// # Errors
+/// Returns [`PartitionError::Input`] if `initial` is inconsistent with `hg`
+/// or violates a fixity.
+pub fn refine_pass_reference(
     hg: &Hypergraph,
     fixed: &FixedVertices,
     balance: &BalanceConstraint,
@@ -430,6 +645,24 @@ pub fn multilevel_kway<R: Rng + ?Sized>(
     ml_config: &MultilevelConfig,
     rng: &mut R,
 ) -> Result<PartitionResult, PartitionError> {
+    multilevel_kway_with_sink(hg, fixed, k, tolerance, ml_config, rng, &NullSink)
+}
+
+/// Like [`multilevel_kway`], bracketing each coarsening level with
+/// [`Event::LevelStart`]/[`Event::LevelEnd`] and streaming the refinement
+/// passes' k-way events into `sink`.
+///
+/// # Errors
+/// Same as [`multilevel_kway`].
+pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    k: usize,
+    tolerance: f64,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+    sink: &S,
+) -> Result<PartitionResult, PartitionError> {
     use crate::multilevel::{coarsen_once, CoarsenParams, Level};
 
     if k == 0 || k > PartSet::MAX_PARTS {
@@ -465,7 +698,16 @@ pub fn multilevel_kway<R: Rng + ?Sized>(
             break;
         }
         match coarsen_once(cur_hg, cur_fixed, &params, ml_config.min_shrink, None, rng) {
-            Some(level) => levels.push(level),
+            Some(level) => {
+                if S::ENABLED {
+                    sink.record(&Event::LevelStart {
+                        level: levels.len() as u32 + 1,
+                        vertices: level.hg.num_vertices() as u64,
+                        nets: level.hg.num_nets() as u64,
+                    });
+                }
+                levels.push(level);
+            }
             None => break,
         }
     }
@@ -474,20 +716,37 @@ pub fn multilevel_kway<R: Rng + ?Sized>(
         Some(l) => (&l.hg, &l.fixed),
         None => (hg, fixed),
     };
-    let initial = recursive_bisection(coarsest_hg, coarsest_fixed, k, tolerance, ml_config, rng)?;
+    let initial = recursive_bisection_with_sink(
+        coarsest_hg,
+        coarsest_fixed,
+        k,
+        tolerance,
+        ml_config,
+        rng,
+        sink,
+    )?;
     let coarse_balance = BalanceConstraint::even(
         k,
         coarsest_hg.total_weights(),
         vlsi_hypergraph::Tolerance::Relative(tolerance),
     );
-    let r = refine(
+    let r = refine_with_sink(
         coarsest_hg,
         coarsest_fixed,
         &coarse_balance,
         initial.parts,
         Objective::Cut,
         4,
+        sink,
     )?;
+    if S::ENABLED {
+        sink.record(&Event::LevelEnd {
+            level: levels.len() as u32,
+            vertices: coarsest_hg.num_vertices() as u64,
+            nets: coarsest_hg.num_nets() as u64,
+            cut: r.cut,
+        });
+    }
     let mut parts = r.parts;
     for i in (0..levels.len()).rev() {
         let fine_parts = levels[i].project(&parts);
@@ -501,14 +760,23 @@ pub fn multilevel_kway<R: Rng + ?Sized>(
             fine_hg.total_weights(),
             vlsi_hypergraph::Tolerance::Relative(tolerance),
         );
-        let r = refine(
+        let r = refine_with_sink(
             fine_hg,
             fine_fixed,
             &fine_balance,
             fine_parts,
             Objective::Cut,
             4,
+            sink,
         )?;
+        if S::ENABLED {
+            sink.record(&Event::LevelEnd {
+                level: i as u32,
+                vertices: fine_hg.num_vertices() as u64,
+                nets: fine_hg.num_nets() as u64,
+                cut: r.cut,
+            });
+        }
         parts = r.parts;
     }
     let cut = CutState::new(hg, k, &parts).cut();
@@ -524,13 +792,37 @@ pub fn refine(
     hg: &Hypergraph,
     fixed: &FixedVertices,
     balance: &BalanceConstraint,
-    mut parts: Vec<PartId>,
+    parts: Vec<PartId>,
     objective: Objective,
     max_passes: usize,
 ) -> Result<PartitionResult, PartitionError> {
+    refine_with_sink(hg, fixed, balance, parts, objective, max_passes, &NullSink)
+}
+
+/// Like [`refine`], streaming each pass's k-way events into `sink`.
+///
+/// # Errors
+/// Propagates [`refine_pass_with_sink`] errors.
+pub fn refine_with_sink<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    mut parts: Vec<PartId>,
+    objective: Objective,
+    max_passes: usize,
+    sink: &S,
+) -> Result<PartitionResult, PartitionError> {
     let mut best = CutState::new(hg, balance.num_parts(), &parts).value(objective);
-    for _ in 0..max_passes {
-        let r = refine_pass(hg, fixed, balance, parts.clone(), objective)?;
+    for pass in 0..max_passes {
+        let r = refine_pass_with_sink(
+            hg,
+            fixed,
+            balance,
+            parts.clone(),
+            objective,
+            pass as u32,
+            sink,
+        )?;
         if r.cut < best {
             best = r.cut;
             parts = r.parts;

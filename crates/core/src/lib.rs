@@ -18,6 +18,10 @@
 //!   of whether multiway partitioning is as affected by fixed terminals.
 //! * The terminal-clustering equivalence transform
 //!   ([`terminal_cluster::cluster_terminals`]) from the paper's conclusions.
+//! * A unifying trait layer ([`Partitioner`] / [`Refiner`]) over every
+//!   engine — flat FM, multilevel, Kernighan–Lin, simulated annealing and
+//!   both k-way strategies — with a by-name [`EngineConfig`] registry, so
+//!   drivers need no engine-specific glue.
 //!
 //! Every engine has a `*_with_sink` variant that streams structured
 //! [`trace`] events (pass brackets, committed moves, coarsening levels,
@@ -59,6 +63,7 @@
 
 pub mod annealing;
 mod config;
+pub mod engine;
 mod error;
 pub mod fm;
 mod gain;
@@ -71,14 +76,21 @@ pub mod policy;
 mod result;
 pub mod terminal_cluster;
 
+pub use annealing::AnnealingConfig;
 pub use config::{FmConfig, MultilevelConfig, PassCutoff, SelectionPolicy};
+pub use engine::{
+    DirectKway, EngineConfig, EngineInfo, FmStack, KwayConfig, KwayRefiner, Partitioner,
+    RecursiveBisection, Refiner, ENGINES,
+};
 pub use error::PartitionError;
 pub use fm::{BipartFm, FmResult, PassStats, PassTrace, RunStats};
-pub use gain::GainBuckets;
+pub use gain::{GainBuckets, KwayGains, MoveLog};
 pub use initial::random_initial;
+pub use kl::KlConfig;
 pub use multilevel::{MultilevelPartitioner, MultilevelResult};
 pub use multistart::{
-    multistart, multistart_parallel, multistart_with_sink, MultistartOutcome, StartRecord,
+    multistart, multistart_engine, multistart_engine_with_sink, multistart_parallel,
+    multistart_parallel_engine, multistart_with_sink, MultistartOutcome, StartRecord,
 };
 pub use result::PartitionResult;
 

@@ -17,6 +17,7 @@ use vlsi_trace::{Event, NullSink, Sink};
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, PartId};
 
 use crate::config::MultilevelConfig;
+use crate::engine::{FmStack, Refiner};
 use crate::fm::BipartFm;
 use crate::{PartitionError, PartitionResult};
 
@@ -177,9 +178,8 @@ impl MultilevelPartitioner {
             });
         }
 
-        // Uncoarsen and refine (one or two FM stages per level).
-        let refine_fm = BipartFm::new(cfg.refine_fm);
-        let refine_fm2 = cfg.refine_fm2.map(BipartFm::new);
+        // Uncoarsen and refine (the configured FM stack at every level).
+        let refiner = FmStack::from_multilevel(cfg);
         let mut cut = coarse_cut;
         for i in (0..levels.len()).rev() {
             let fine_parts = levels[i].project(&parts);
@@ -188,11 +188,7 @@ impl MultilevelPartitioner {
             } else {
                 (&levels[i - 1].hg, &levels[i - 1].fixed)
             };
-            let r = refine_fm.run_with_sink(fine_hg, fine_fixed, balance, fine_parts, sink)?;
-            let r = match &refine_fm2 {
-                Some(fm2) => fm2.run_with_sink(fine_hg, fine_fixed, balance, r.parts, sink)?,
-                None => r,
-            };
+            let r = refiner.refine_with_sink(fine_hg, fine_fixed, balance, fine_parts, sink)?;
             parts = r.parts;
             cut = r.cut;
             if S::ENABLED {
@@ -203,9 +199,6 @@ impl MultilevelPartitioner {
                     cut,
                 });
             }
-        }
-        if levels.is_empty() {
-            // No coarsening happened: the coarse solve was the real solve.
         }
 
         // Optional V-cycles: re-coarsen under the current partition and
@@ -275,24 +268,13 @@ impl MultilevelPartitioner {
                 None => break,
             }
         }
-        let refine_fm = BipartFm::new(cfg.refine_fm);
-        let refine_fm2 = cfg.refine_fm2.map(BipartFm::new);
-        let two_stage = |hg: &Hypergraph,
-                         fixed: &FixedVertices,
-                         parts: Vec<PartId>|
-         -> Result<crate::fm::FmResult, PartitionError> {
-            let r = refine_fm.run_with_sink(hg, fixed, balance, parts, sink)?;
-            match &refine_fm2 {
-                Some(fm2) => fm2.run_with_sink(hg, fixed, balance, r.parts, sink),
-                None => Ok(r),
-            }
-        };
+        let refiner = FmStack::from_multilevel(cfg);
         // Refine at the coarsest level from the projected partition.
         let (coarsest_hg, coarsest_fixed) = match levels.last() {
             Some(l) => (&l.hg, &l.fixed),
             None => (hg, fixed),
         };
-        let r = two_stage(coarsest_hg, coarsest_fixed, cur_parts)?;
+        let r = refiner.refine_with_sink(coarsest_hg, coarsest_fixed, balance, cur_parts, sink)?;
         let mut parts = r.parts;
         let mut cut = r.cut;
         for i in (0..levels.len()).rev() {
@@ -302,7 +284,7 @@ impl MultilevelPartitioner {
             } else {
                 (&levels[i - 1].hg, &levels[i - 1].fixed)
             };
-            let r = two_stage(fine_hg, fine_fixed, fine_parts)?;
+            let r = refiner.refine_with_sink(fine_hg, fine_fixed, balance, fine_parts, sink)?;
             parts = r.parts;
             cut = r.cut;
         }

@@ -29,13 +29,15 @@ pub struct MultistartOutcome {
 
 impl MultistartOutcome {
     /// Best cut among the first `n` starts (the paper's "best of s starts"
-    /// protocol — s ∈ {1, 2, 4, 8}). Returns `None` if `n` is zero or
-    /// exceeds the number of executed starts.
+    /// protocol — s ∈ {1, 2, 4, 8}). As with [`time_of_first`](Self::time_of_first),
+    /// `n` is clamped to the number of executed starts, so asking for more
+    /// starts than ran reports the best over all of them. Returns `None`
+    /// only when `n` is zero (no starts considered).
     pub fn best_of_first(&self, n: usize) -> Option<u64> {
-        if n == 0 || n > self.starts.len() {
-            return None;
-        }
-        self.starts[..n].iter().map(|s| s.cut).min()
+        self.starts[..n.min(self.starts.len())]
+            .iter()
+            .map(|s| s.cut)
+            .min()
     }
 
     /// Total wall-clock time of the first `n` starts.
@@ -275,6 +277,118 @@ where
     })
 }
 
+/// [`multistart`] over any [`Partitioner`](crate::Partitioner) — the
+/// trait-layer driver used by the experiment harness.
+///
+/// # Errors
+/// Propagates the first error returned by the engine.
+///
+/// # Example
+/// ```
+/// use vlsi_rng::SeedableRng;
+/// use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
+/// use vlsi_partition::{multistart_engine, EngineConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+/// for w in v.windows(2) {
+///     b.add_net(1, [w[0], w[1]])?;
+/// }
+/// let hg = b.build()?;
+/// let balance = BalanceConstraint::bisection(6, Tolerance::Relative(0.0));
+/// let fixed = FixedVertices::all_free(6);
+/// let engine = EngineConfig::by_name("fm").unwrap();
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(0);
+/// let outcome = multistart_engine(&hg, &fixed, &balance, 4, &mut rng, &engine)?;
+/// assert_eq!(outcome.best.cut, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn multistart_engine<R, E>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    rng: &mut R,
+    engine: &E,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    R: Rng + ?Sized,
+    E: crate::Partitioner,
+{
+    multistart(
+        hg,
+        fixed,
+        balance,
+        starts,
+        rng,
+        |hg, fixed, balance, rng| engine.partition(hg, fixed, balance, rng),
+    )
+}
+
+/// [`multistart_with_sink`] over any [`Partitioner`](crate::Partitioner):
+/// each start streams the engine's own trace events plus the
+/// [`Event::StartFinished`] bracket into `sink`.
+///
+/// # Errors
+/// Propagates the first error returned by the engine.
+pub fn multistart_engine_with_sink<R, S, E>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    rng: &mut R,
+    sink: &S,
+    engine: &E,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    R: Rng + ?Sized,
+    S: Sink,
+    E: crate::Partitioner,
+{
+    multistart_with_sink(
+        hg,
+        fixed,
+        balance,
+        starts,
+        rng,
+        sink,
+        |hg, fixed, balance, rng| engine.partition_with_sink(hg, fixed, balance, rng, sink),
+    )
+}
+
+/// [`multistart_parallel`] over any [`Partitioner`](crate::Partitioner)
+/// that is `Sync` — same deterministic per-start seeding, no
+/// engine-specific glue.
+///
+/// # Errors
+/// Propagates the error of the lowest-indexed failing start.
+///
+/// # Panics
+/// Panics if `starts == 0` or `threads == 0`.
+pub fn multistart_parallel_engine<E>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    threads: usize,
+    base_seed: u64,
+    engine: &E,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    E: crate::Partitioner + Sync,
+{
+    let run = |hg: &Hypergraph,
+               fixed: &FixedVertices,
+               balance: &BalanceConstraint,
+               rng: &mut vlsi_rng::ChaCha8Rng|
+     -> Result<PartitionResult, PartitionError> {
+        engine.partition(hg, fixed, balance, rng)
+    };
+    multistart_parallel(hg, fixed, balance, starts, threads, base_seed, &run)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,7 +423,28 @@ mod tests {
         assert_eq!(outcome.starts.len(), 3);
         assert_eq!(outcome.best_of_first(1), Some(5));
         assert_eq!(outcome.best_of_first(2), Some(2));
-        assert_eq!(outcome.best_of_first(9), None);
+        assert_eq!(outcome.best_of_first(9), Some(2));
+        assert_eq!(outcome.best_of_first(0), None);
+    }
+
+    #[test]
+    fn best_of_first_clamps_to_executed_starts() {
+        let (hg, fx, bc) = tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut cuts = [5u64, 2, 7].into_iter();
+        let outcome = multistart(&hg, &fx, &bc, 3, &mut rng, |_, _, _, _| {
+            Ok(PartitionResult::new(
+                vec![PartId(0); 4],
+                cuts.next().unwrap(),
+            ))
+        })
+        .unwrap();
+        // Exactly at, one past, and far past the executed-start count all
+        // report the best over every start that actually ran.
+        assert_eq!(outcome.best_of_first(3), Some(2));
+        assert_eq!(outcome.best_of_first(4), Some(2));
+        assert_eq!(outcome.best_of_first(usize::MAX), Some(2));
+        // Zero starts considered: nothing to report.
         assert_eq!(outcome.best_of_first(0), None);
     }
 
@@ -415,6 +550,28 @@ mod tests {
         }
         // The FM pass events of every start rode the same stream.
         assert!(!replay::pass_summaries(&events).is_empty());
+    }
+
+    #[test]
+    fn every_registry_engine_runs_under_both_drivers() {
+        use crate::engine::{EngineConfig, ENGINES};
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..12).map(|_| b.add_vertex(1)).collect();
+        for w in v.windows(2) {
+            b.add_net(1, [w[0], w[1]]).unwrap();
+        }
+        let hg = b.build().unwrap();
+        let fx = FixedVertices::all_free(12);
+        let bc = BalanceConstraint::bisection(12, Tolerance::Relative(0.2));
+        for info in ENGINES {
+            let engine = EngineConfig::by_name(info.name).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let seq = multistart_engine(&hg, &fx, &bc, 2, &mut rng, &engine).unwrap();
+            let par = multistart_parallel_engine(&hg, &fx, &bc, 2, 2, 5, &engine).unwrap();
+            assert_eq!(seq.starts.len(), 2, "{}", info.name);
+            assert_eq!(par.starts.len(), 2, "{}", info.name);
+            assert!(par.best.cut >= 1, "{}", info.name);
+        }
     }
 
     #[test]

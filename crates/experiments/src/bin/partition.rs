@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N]
-//!                  [--seed N] [--engine ml|fm] [--out FILE] [--trace FILE]
+//!                  [--seed N] [--engine NAME] [--out FILE] [--trace FILE]
+//!        partition --list-engines
 //! ```
+//!
+//! `--engine` accepts any name from the `vlsi_partition` engine registry
+//! (`--list-engines` dumps it); the default is the paper's multilevel
+//! engine.
 
 use std::fs::File;
 use std::io::Write as _;
@@ -14,7 +19,6 @@ use std::process::exit;
 use vlsi_rng::ChaCha8Rng;
 use vlsi_rng::SeedableRng;
 
-use vlsi_experiments::harness::Engine;
 use vlsi_experiments::opts::{run_with_trace, TraceRun};
 use vlsi_hypergraph::io::{read_fix, read_hgr};
 use vlsi_hypergraph::{
@@ -22,7 +26,7 @@ use vlsi_hypergraph::{
 };
 use vlsi_partition::trace::Sink;
 use vlsi_partition::{
-    multistart_with_sink, FmConfig, MultilevelConfig, MultistartOutcome, PartitionError,
+    multistart_engine_with_sink, EngineConfig, MultistartOutcome, PartitionError, ENGINES,
 };
 
 struct Args {
@@ -33,12 +37,13 @@ struct Args {
     /// guideline via `vlsi_partition::policy`).
     starts: Option<usize>,
     seed: u64,
-    engine: String,
+    engine: EngineConfig,
     out: Option<String>,
     trace: Option<String>,
+    list_engines: bool,
 }
 
-const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N|auto] [--seed N] [--engine ml|fm] [--out FILE] [--trace FILE]";
+const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N|auto] [--seed N] [--engine NAME] [--out FILE] [--trace FILE]\n       partition --list-engines";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -47,9 +52,10 @@ fn parse_args() -> Result<Args, String> {
         tolerance: 0.02,
         starts: Some(4),
         seed: 1,
-        engine: "ml".into(),
+        engine: EngineConfig::by_name("ml").expect("ml is registered"),
         out: None,
         trace: None,
+        list_engines: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -71,12 +77,25 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
-            "--engine" => args.engine = value("--engine")?,
+            "--engine" => {
+                let name = value("--engine")?;
+                args.engine = EngineConfig::by_name(&name).ok_or_else(|| {
+                    let names: Vec<&str> = ENGINES.iter().map(|e| e.name).collect();
+                    format!(
+                        "unknown engine `{name}` (known: {}; see --list-engines)",
+                        names.join(", ")
+                    )
+                })?;
+            }
             "--out" => args.out = Some(value("--out")?),
             "--trace" => args.trace = Some(value("--trace")?),
+            "--list-engines" => args.list_engines = true,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
+    }
+    if args.list_engines {
+        return Ok(args);
     }
     if args.hgr.is_empty() {
         return Err(format!("--hgr is required\n{USAGE}"));
@@ -84,10 +103,19 @@ fn parse_args() -> Result<Args, String> {
     if args.starts == Some(0) {
         return Err("--starts must be at least 1".into());
     }
-    if !matches!(args.engine.as_str(), "ml" | "fm") {
-        return Err("--engine must be `ml` or `fm`".into());
-    }
     Ok(args)
+}
+
+fn print_engine_registry() {
+    println!("available engines (usable as --engine NAME or any alias):");
+    for info in ENGINES {
+        let aliases = if info.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (alias: {})", info.aliases.join(", "))
+        };
+        println!("  {:<6}{aliases:<22} {}", info.name, info.summary);
+    }
 }
 
 fn main() {
@@ -98,6 +126,10 @@ fn main() {
             exit(2);
         }
     };
+    if args.list_engines {
+        print_engine_registry();
+        return;
+    }
 
     let hg = match File::open(&args.hgr)
         .map_err(|e| e.to_string())
@@ -143,17 +175,14 @@ fn main() {
 
     let balance =
         BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(args.tolerance));
-    let engine = match args.engine.as_str() {
-        "fm" => Engine::Flat(FmConfig::default()),
-        _ => Engine::Multilevel(MultilevelConfig::default()),
-    };
+    println!("engine: {}", args.engine.info().summary);
     let solved = run_with_trace(
         args.trace.as_deref().map(std::path::Path::new),
         Solve {
             hg: &hg,
             fixed: &fixed,
             balance: &balance,
-            engine: &engine,
+            engine: &args.engine,
             starts,
             seed: args.seed,
         },
@@ -213,7 +242,7 @@ struct Solve<'a> {
     hg: &'a Hypergraph,
     fixed: &'a FixedVertices,
     balance: &'a BalanceConstraint,
-    engine: &'a Engine,
+    engine: &'a EngineConfig,
     starts: usize,
     seed: u64,
 }
@@ -223,14 +252,14 @@ impl TraceRun for Solve<'_> {
 
     fn run<S: Sink>(self, sink: &S) -> Self::Output {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        multistart_with_sink(
+        multistart_engine_with_sink(
             self.hg,
             self.fixed,
             self.balance,
             self.starts,
             &mut rng,
             sink,
-            |hg, fx, bc, rng| self.engine.run_once_with_sink(hg, fx, bc, rng, sink),
+            self.engine,
         )
     }
 }

@@ -9,11 +9,9 @@ use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
 use vlsi_partition::trace::{NullSink, Sink};
-use vlsi_partition::{MultilevelConfig, PartitionError};
+use vlsi_partition::{EngineConfig, MultilevelConfig, PartitionError};
 
-use crate::harness::{
-    find_good_solution, paper_balance, run_trials_with_sink, Engine, PAPER_STARTS,
-};
+use crate::harness::{find_good_solution, paper_balance, run_trials_with_sink, PAPER_STARTS};
 use crate::regimes::{FixSchedule, Regime, PAPER_PERCENTAGES};
 use crate::report::{fmt_f64, fmt_secs, Table};
 
@@ -105,7 +103,7 @@ pub fn run_figure_with_sink<S: Sink>(
         config.good_attempts,
         config.seed,
     )?;
-    let engine = Engine::Multilevel(config.ml_config);
+    let engine = EngineConfig::Multilevel(config.ml_config);
 
     let mut points = Vec::new();
     for regime in [Regime::Good, Regime::Random] {

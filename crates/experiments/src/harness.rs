@@ -4,65 +4,14 @@
 use std::time::Duration;
 
 use vlsi_rng::ChaCha8Rng;
-use vlsi_rng::Rng;
 use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Tolerance};
 use vlsi_partition::trace::{NullSink, Sink};
 use vlsi_partition::{
-    multistart_with_sink, BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner,
-    PartitionError, PartitionResult,
+    multistart_engine_with_sink, MultilevelConfig, MultilevelPartitioner, PartitionError,
+    PartitionResult, Partitioner,
 };
-
-/// The partitioning engine driven by a trial.
-#[derive(Debug, Clone)]
-pub enum Engine {
-    /// The multilevel CLIP-FM engine (the paper's main experiments).
-    Multilevel(MultilevelConfig),
-    /// Flat LIFO/CLIP FM (the paper's Tables II and III).
-    Flat(FmConfig),
-}
-
-impl Engine {
-    /// Runs the engine once from a random start.
-    ///
-    /// # Errors
-    /// Propagates engine failures.
-    pub fn run_once<R: Rng + ?Sized>(
-        &self,
-        hg: &Hypergraph,
-        fixed: &FixedVertices,
-        balance: &BalanceConstraint,
-        rng: &mut R,
-    ) -> Result<PartitionResult, PartitionError> {
-        self.run_once_with_sink(hg, fixed, balance, rng, &NullSink)
-    }
-
-    /// [`run_once`](Self::run_once), streaming trace events into `sink`.
-    ///
-    /// # Errors
-    /// Propagates engine failures.
-    pub fn run_once_with_sink<R: Rng + ?Sized, S: Sink>(
-        &self,
-        hg: &Hypergraph,
-        fixed: &FixedVertices,
-        balance: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-    ) -> Result<PartitionResult, PartitionError> {
-        match self {
-            Engine::Multilevel(cfg) => {
-                let ml = MultilevelPartitioner::new(*cfg);
-                Ok(ml.run_with_sink(hg, fixed, balance, rng, sink)?.into())
-            }
-            Engine::Flat(cfg) => {
-                let fm = BipartFm::new(*cfg);
-                let r = fm.run_random_with_sink(hg, fixed, balance, rng, sink)?;
-                Ok(PartitionResult::new(r.parts, r.cut))
-            }
-        }
-    }
-}
 
 /// Aggregated results of `trials` independent trials, each performing
 /// `max_starts` starts, reported as "average best of the first s starts"
@@ -98,16 +47,19 @@ pub const PAPER_STARTS: [usize; 4] = [1, 2, 4, 8];
 /// performed with a per-trial RNG derived from `seed`, and "best of the
 /// first s" is computed for each requested level.
 ///
+/// `engine` is any [`Partitioner`] — an engine struct, a config type, or a
+/// registry [`vlsi_partition::EngineConfig`] selected by name.
+///
 /// # Errors
 /// Propagates the first engine failure.
 ///
 /// # Panics
 /// Panics if `trials == 0` or `starts_levels` is empty.
-pub fn run_trials(
+pub fn run_trials<E: Partitioner>(
     hg: &Hypergraph,
     fixed: &FixedVertices,
     balance: &BalanceConstraint,
-    engine: &Engine,
+    engine: &E,
     trials: usize,
     starts_levels: &[usize],
     seed: u64,
@@ -134,11 +86,11 @@ pub fn run_trials(
 /// # Panics
 /// Panics if `trials == 0` or `starts_levels` is empty.
 #[allow(clippy::too_many_arguments)]
-pub fn run_trials_with_sink<S: Sink>(
+pub fn run_trials_with_sink<E: Partitioner, S: Sink>(
     hg: &Hypergraph,
     fixed: &FixedVertices,
     balance: &BalanceConstraint,
-    engine: &Engine,
+    engine: &E,
     trials: usize,
     starts_levels: &[usize],
     seed: u64,
@@ -153,17 +105,10 @@ pub fn run_trials_with_sink<S: Sink>(
     for t in 0..trials {
         let mut rng =
             ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let outcome = multistart_with_sink(
-            hg,
-            fixed,
-            balance,
-            max_starts,
-            &mut rng,
-            sink,
-            |hg, fx, bc, rng| engine.run_once_with_sink(hg, fx, bc, rng, sink),
-        )?;
+        let outcome =
+            multistart_engine_with_sink(hg, fixed, balance, max_starts, &mut rng, sink, engine)?;
         for (i, &s) in starts_levels.iter().enumerate() {
-            sums[i] += outcome.best_of_first(s).expect("s <= max_starts") as f64;
+            sums[i] += outcome.best_of_first(s).expect("s >= 1") as f64;
         }
         total_time += outcome.time_of_first(max_starts);
         total_starts += max_starts;
@@ -246,7 +191,7 @@ mod tests {
         let hg = chain(64);
         let fixed = FixedVertices::all_free(64);
         let balance = paper_balance(&hg);
-        let engine = Engine::Flat(FmConfig::default());
+        let engine = vlsi_partition::EngineConfig::Fm(vlsi_partition::FmConfig::default());
         let data = run_trials(&hg, &fixed, &balance, &engine, 4, &PAPER_STARTS, 7).unwrap();
         assert_eq!(data.avg_best.len(), 4);
         // Best-of-s is non-increasing in s.
@@ -280,18 +225,19 @@ mod tests {
 
     #[test]
     fn engines_run() {
+        use vlsi_partition::EngineConfig;
         let hg = chain(32);
         let fixed = FixedVertices::all_free(32);
         let balance = paper_balance(&hg);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for engine in [
-            Engine::Flat(FmConfig::default()),
-            Engine::Multilevel(MultilevelConfig {
+            EngineConfig::Fm(vlsi_partition::FmConfig::default()),
+            EngineConfig::Multilevel(MultilevelConfig {
                 coarsest_size: 8,
                 ..MultilevelConfig::default()
             }),
         ] {
-            let r = engine.run_once(&hg, &fixed, &balance, &mut rng).unwrap();
+            let r = engine.partition(&hg, &fixed, &balance, &mut rng).unwrap();
             assert!(r.cut <= 4);
         }
     }

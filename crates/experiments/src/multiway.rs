@@ -14,8 +14,9 @@ use vlsi_rng::SeedableRng;
 use vlsi_hypergraph::{
     BalanceConstraint, CutState, FixedVertices, Hypergraph, Objective, Tolerance,
 };
-use vlsi_partition::kway::{recursive_bisection, refine};
-use vlsi_partition::{MultilevelConfig, PartitionError};
+use vlsi_partition::{
+    KwayConfig, MultilevelConfig, PartitionError, Partitioner, RecursiveBisection,
+};
 
 use crate::regimes::{FixSchedule, Regime};
 use crate::report::{fmt_f64, fmt_secs, Table};
@@ -81,6 +82,17 @@ pub struct MultiwaySweep {
     pub points: Vec<MultiwayPoint>,
 }
 
+/// The trial engine: recursive bisection with k−1-objective k-way FM
+/// cleanup, expressed through the trait layer.
+fn trial_engine(config: &MultiwayConfig) -> RecursiveBisection {
+    RecursiveBisection(KwayConfig {
+        tolerance: config.tolerance,
+        ml: config.ml_config,
+        refine_passes: config.refine_passes,
+        objective: Objective::KMinus1,
+    })
+}
+
 /// Runs one k-way partitioning trial (recursive bisection + refinement).
 fn solve_once(
     hg: &Hypergraph,
@@ -90,22 +102,7 @@ fn solve_once(
     seed: u64,
 ) -> Result<u64, PartitionError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let rb = recursive_bisection(
-        hg,
-        fixed,
-        config.k,
-        config.tolerance,
-        &config.ml_config,
-        &mut rng,
-    )?;
-    let refined = refine(
-        hg,
-        fixed,
-        balance,
-        rb.parts,
-        Objective::KMinus1,
-        config.refine_passes,
-    )?;
+    let refined = trial_engine(config).partition(hg, fixed, balance, &mut rng)?;
     Ok(refined.cut)
 }
 
@@ -126,22 +123,7 @@ pub fn run_multiway(
     // Reference good solution on the free instance.
     let free = FixedVertices::all_free(hg.num_vertices());
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let good = recursive_bisection(
-        hg,
-        &free,
-        config.k,
-        config.tolerance,
-        &config.ml_config,
-        &mut rng,
-    )?;
-    let good = refine(
-        hg,
-        &free,
-        &balance,
-        good.parts,
-        Objective::KMinus1,
-        config.refine_passes,
-    )?;
+    let good = trial_engine(config).partition(hg, &free, &balance, &mut rng)?;
     let good_kminus1 = CutState::new(hg, config.k, &good.parts).value(Objective::KMinus1);
 
     let mut points = Vec::new();

@@ -104,6 +104,62 @@ pub enum Event {
         /// Wall-clock time of the start, in microseconds.
         micros: u64,
     },
+    /// A k-way refinement pass began (k-way engines; `value` is the
+    /// objective being refined — cut, k−1 or SOED — not necessarily the
+    /// plain cut).
+    KwayPassStart {
+        /// 0-based pass index within the k-way refinement.
+        pass: u32,
+        /// Objective value at the start of the pass.
+        value: u64,
+        /// Number of movable vertices in the pass.
+        movable: u64,
+    },
+    /// One k-way move was applied inside a pass (it may later be rolled
+    /// back; compare against the enclosing [`Event::KwayPassEnd`]'s
+    /// `best_prefix`). Unlike [`Event::MoveCommitted`] this carries the
+    /// source and destination block indices.
+    KwayMove {
+        /// Pass index the move belongs to.
+        pass: u32,
+        /// Index of the moved vertex.
+        vertex: u64,
+        /// Source block index.
+        from: u32,
+        /// Destination block index.
+        to: u32,
+        /// The gain the move realised (positive = objective decreased).
+        gain: i64,
+        /// Objective value after the move.
+        value: u64,
+    },
+    /// A k-way refinement pass ended and its best prefix was restored.
+    KwayPassEnd {
+        /// 0-based pass index within the k-way refinement.
+        pass: u32,
+        /// Moves applied before the pass ended.
+        moves: u64,
+        /// Length of the kept (best) prefix.
+        best_prefix: u64,
+        /// Objective value at the start of the pass.
+        value_before: u64,
+        /// Objective value after restoring the best prefix.
+        value_after: u64,
+        /// Gain-container operations (inserts, removals, key adjustments)
+        /// performed during the pass.
+        bucket_ops: u64,
+    },
+    /// One simulated-annealing sweep completed.
+    SweepFinished {
+        /// 0-based sweep index.
+        sweep: u32,
+        /// Proposals accepted during the sweep.
+        accepted: u64,
+        /// Cut at the end of the sweep.
+        cut: u64,
+        /// Best balanced cut seen so far.
+        best_cut: u64,
+    },
 }
 
 impl Event {
@@ -116,6 +172,10 @@ impl Event {
             Event::MoveCommitted { .. } => "move",
             Event::PassEnd { .. } => "pass_end",
             Event::StartFinished { .. } => "start",
+            Event::KwayPassStart { .. } => "kway_pass_start",
+            Event::KwayMove { .. } => "kway_move",
+            Event::KwayPassEnd { .. } => "kway_pass_end",
+            Event::SweepFinished { .. } => "sweep",
         }
     }
 
@@ -195,6 +255,53 @@ impl Event {
             Event::StartFinished { start, cut, micros } => {
                 let _ = write!(s, ",\"start\":{start},\"cut\":{cut},\"micros\":{micros}");
             }
+            Event::KwayPassStart {
+                pass,
+                value,
+                movable,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":{pass},\"value\":{value},\"movable\":{movable}"
+                );
+            }
+            Event::KwayMove {
+                pass,
+                vertex,
+                from,
+                to,
+                gain,
+                value,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":{pass},\"vertex\":{vertex},\"from\":{from},\"to\":{to},\"gain\":{gain},\"value\":{value}"
+                );
+            }
+            Event::KwayPassEnd {
+                pass,
+                moves,
+                best_prefix,
+                value_before,
+                value_after,
+                bucket_ops,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":{pass},\"moves\":{moves},\"best_prefix\":{best_prefix},\"value_before\":{value_before},\"value_after\":{value_after},\"bucket_ops\":{bucket_ops}"
+                );
+            }
+            Event::SweepFinished {
+                sweep,
+                accepted,
+                cut,
+                best_cut,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"sweep\":{sweep},\"accepted\":{accepted},\"cut\":{cut},\"best_cut\":{best_cut}"
+                );
+            }
         }
         s.push('}');
         s
@@ -254,6 +361,45 @@ mod tests {
                 },
                 r#"{"ev":"start","start":4,"cut":99,"micros":1500}"#,
             ),
+            (
+                Event::KwayPassStart {
+                    pass: 0,
+                    value: 31,
+                    movable: 80,
+                },
+                r#"{"ev":"kway_pass_start","pass":0,"value":31,"movable":80}"#,
+            ),
+            (
+                Event::KwayMove {
+                    pass: 0,
+                    vertex: 12,
+                    from: 3,
+                    to: 1,
+                    gain: -1,
+                    value: 32,
+                },
+                r#"{"ev":"kway_move","pass":0,"vertex":12,"from":3,"to":1,"gain":-1,"value":32}"#,
+            ),
+            (
+                Event::KwayPassEnd {
+                    pass: 0,
+                    moves: 9,
+                    best_prefix: 4,
+                    value_before: 31,
+                    value_after: 27,
+                    bucket_ops: 61,
+                },
+                r#"{"ev":"kway_pass_end","pass":0,"moves":9,"best_prefix":4,"value_before":31,"value_after":27,"bucket_ops":61}"#,
+            ),
+            (
+                Event::SweepFinished {
+                    sweep: 7,
+                    accepted: 13,
+                    cut: 20,
+                    best_cut: 18,
+                },
+                r#"{"ev":"sweep","sweep":7,"accepted":13,"cut":20,"best_cut":18}"#,
+            ),
         ];
         for (event, expected) in cases {
             assert_eq!(event.to_jsonl(), expected);
@@ -304,6 +450,37 @@ mod tests {
                 start: 0,
                 cut: 0,
                 micros: 0,
+            }
+            .kind(),
+            Event::KwayPassStart {
+                pass: 0,
+                value: 0,
+                movable: 0,
+            }
+            .kind(),
+            Event::KwayMove {
+                pass: 0,
+                vertex: 0,
+                from: 0,
+                to: 0,
+                gain: 0,
+                value: 0,
+            }
+            .kind(),
+            Event::KwayPassEnd {
+                pass: 0,
+                moves: 0,
+                best_prefix: 0,
+                value_before: 0,
+                value_after: 0,
+                bucket_ops: 0,
+            }
+            .kind(),
+            Event::SweepFinished {
+                sweep: 0,
+                accepted: 0,
+                cut: 0,
+                best_cut: 0,
             }
             .kind(),
         ];

@@ -139,7 +139,9 @@ pub fn pass_summaries(events: &[Event]) -> Vec<PassSummary> {
                     out.push(open);
                 }
             }
-            Event::LevelStart { .. } | Event::LevelEnd { .. } | Event::StartFinished { .. } => {}
+            // Level, start, k-way, and annealing events can ride the same
+            // stream; only the 2-way pass bracket is folded here.
+            _ => {}
         }
     }
     if let Some(open) = current.take() {

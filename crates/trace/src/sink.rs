@@ -63,22 +63,29 @@ pub struct Counters {
     pub levels: u64,
     /// Multistart starts finished ([`Event::StartFinished`] count).
     pub starts: u64,
+    /// K-way refinement passes executed ([`Event::KwayPassEnd`] count).
+    /// Their moves and bucket ops fold into the shared counters above.
+    pub kway_passes: u64,
+    /// Simulated-annealing sweeps finished ([`Event::SweepFinished`] count).
+    pub sweeps: u64,
 }
 
 impl std::fmt::Display for Counters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "passes {}, moves {} tried / {} committed / {} rolled back, \
-             bucket ops {}, cut updates {}, levels {}, starts {}",
+            "passes {} (+{} k-way), moves {} tried / {} committed / {} rolled back, \
+             bucket ops {}, cut updates {}, levels {}, starts {}, sweeps {}",
             self.passes,
+            self.kway_passes,
             self.moves_tried,
             self.moves_committed,
             self.moves_rolled_back,
             self.bucket_ops,
             self.cut_updates,
             self.levels,
-            self.starts
+            self.starts,
+            self.sweeps
         )
     }
 }
@@ -98,6 +105,8 @@ pub struct CounterSink {
     cut_updates: AtomicU64,
     levels: AtomicU64,
     starts: AtomicU64,
+    kway_passes: AtomicU64,
+    sweeps: AtomicU64,
 }
 
 impl CounterSink {
@@ -117,6 +126,8 @@ impl CounterSink {
             cut_updates: self.cut_updates.load(Ordering::Relaxed),
             levels: self.levels.load(Ordering::Relaxed),
             starts: self.starts.load(Ordering::Relaxed),
+            kway_passes: self.kway_passes.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,11 +158,33 @@ impl Sink for CounterSink {
             Event::StartFinished { .. } => {
                 self.starts.fetch_add(1, Ordering::Relaxed);
             }
+            Event::KwayPassEnd {
+                moves, best_prefix, ..
+            } => {
+                self.kway_passes.fetch_add(1, Ordering::Relaxed);
+                self.moves_committed
+                    .fetch_add(best_prefix, Ordering::Relaxed);
+                self.moves_rolled_back
+                    .fetch_add(moves - best_prefix, Ordering::Relaxed);
+            }
+            Event::KwayMove { gain, .. } => {
+                self.moves_tried.fetch_add(1, Ordering::Relaxed);
+                if gain != 0 {
+                    self.cut_updates.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Event::KwayPassStart { .. } => {}
+            Event::SweepFinished { .. } => {
+                self.sweeps.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        // bucket_ops arrive pre-aggregated on PassEnd (counting them as
+        // bucket_ops arrive pre-aggregated on pass ends (counting them as
         // individual events would put an emission in the hottest loop).
-        if let Event::PassEnd { bucket_ops, .. } = *event {
-            self.bucket_ops.fetch_add(bucket_ops, Ordering::Relaxed);
+        match *event {
+            Event::PassEnd { bucket_ops, .. } | Event::KwayPassEnd { bucket_ops, .. } => {
+                self.bucket_ops.fetch_add(bucket_ops, Ordering::Relaxed);
+            }
+            _ => {}
         }
     }
 }
@@ -353,7 +386,7 @@ mod tests {
 
     #[test]
     fn null_sink_is_disabled() {
-        assert!(!NullSink::ENABLED);
+        const { assert!(!NullSink::ENABLED) };
         NullSink.record(&Event::StartFinished {
             start: 0,
             cut: 0,
@@ -461,7 +494,7 @@ mod tests {
         let counters = CounterSink::new();
         let vec = VecSink::new();
         let tee = Tee::new(&counters, &vec);
-        assert!(<Tee<'_, CounterSink, VecSink> as Sink>::ENABLED);
+        const { assert!(<Tee<'_, CounterSink, VecSink> as Sink>::ENABLED) };
         for e in sample_pass() {
             tee.record(&e);
         }
@@ -469,6 +502,6 @@ mod tests {
         assert_eq!(vec.len(), 4);
 
         // A tee onto two NullSinks is statically disabled.
-        assert!(!<Tee<'_, NullSink, NullSink> as Sink>::ENABLED);
+        const { assert!(!<Tee<'_, NullSink, NullSink> as Sink>::ENABLED) };
     }
 }

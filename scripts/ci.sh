@@ -15,6 +15,9 @@ cargo test -q --offline --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check --all
 
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo '==> RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline'
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 

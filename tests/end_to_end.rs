@@ -75,9 +75,10 @@ fn fixing_pads_behaves_like_fixing_random_vertices() {
     // The paper's control: "we could find no difference in any experiment
     // between fixing identified I/Os and fixing random vertices."
     use fixed_vertices_repro::vlsi_experiments::harness::{
-        find_good_solution, paper_balance, run_trials, Engine,
+        find_good_solution, paper_balance, run_trials,
     };
     use fixed_vertices_repro::vlsi_experiments::regimes::{FixSchedule, Regime};
+    use fixed_vertices_repro::vlsi_partition::EngineConfig;
     use vlsi_rng::ChaCha8Rng;
     use vlsi_rng::SeedableRng;
 
@@ -90,7 +91,7 @@ fn fixing_pads_behaves_like_fixing_random_vertices() {
         ..MultilevelConfig::default()
     };
     let good = find_good_solution(hg, &balance, &cfg, 4, 3).expect("reference");
-    let engine = Engine::Multilevel(cfg);
+    let engine = EngineConfig::Multilevel(cfg);
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     let pads: Vec<_> = circuit.pads().collect();
     let pad_schedule = FixSchedule::new_restricted(hg, Regime::Good, &good.parts, &pads, &mut rng);

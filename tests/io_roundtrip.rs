@@ -125,7 +125,7 @@ prop_test! {
                 })
                 .collect(),
         );
-        if table.len() == 0 {
+        if table.is_empty() {
             return; // shrinking can empty the vector; a 0-vertex table is trivial
         }
         let mut buf = Vec::new();
