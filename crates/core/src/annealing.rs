@@ -14,8 +14,9 @@ use vlsi_rng::Rng;
 use vlsi_hypergraph::{
     BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
 };
-use vlsi_trace::{Event, NullSink, Sink};
+use vlsi_trace::{CancelStage, Event, NullSink, Sink};
 
+use crate::cancel::{CancelToken, CHECK_INTERVAL};
 use crate::{PartitionError, PartitionResult};
 
 /// Configuration of the annealer.
@@ -94,6 +95,36 @@ pub fn simulated_annealing_with_sink<R: Rng + ?Sized, S: Sink>(
     config: AnnealingConfig,
     rng: &mut R,
     sink: &S,
+) -> Result<PartitionResult, PartitionError> {
+    simulated_annealing_cancellable(
+        hg,
+        fixed,
+        balance,
+        initial,
+        config,
+        rng,
+        sink,
+        &CancelToken::never(),
+    )
+}
+
+/// Like [`simulated_annealing_with_sink`], additionally polling `cancel` at
+/// sweep boundaries and every [`CHECK_INTERVAL`] proposals. A cancelled run
+/// records one [`Event::Cancelled`] (stage `sweep`) and returns the best
+/// balanced state visited so far.
+///
+/// # Errors
+/// Same as [`simulated_annealing`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulated_annealing_cancellable<R: Rng + ?Sized, S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    config: AnnealingConfig,
+    rng: &mut R,
+    sink: &S,
+    cancel: &CancelToken,
 ) -> Result<PartitionResult, PartitionError> {
     if balance.num_parts() != 2 {
         return Err(PartitionError::UnsupportedPartCount {
@@ -175,9 +206,18 @@ pub fn simulated_annealing_with_sink<R: Rng + ?Sized, S: Sink>(
         best_parts = Some(p.as_slice().to_vec());
     }
 
-    for sweep in 0..config.sweeps {
+    'sweeps: for sweep in 0..config.sweeps {
+        if cancel.is_cancelled() {
+            break;
+        }
         let mut accepted = 0u64;
-        for _ in 0..movable.len() {
+        for proposal in 0..movable.len() {
+            if !cancel.is_never()
+                && proposal.is_multiple_of(CHECK_INTERVAL)
+                && cancel.is_cancelled()
+            {
+                break 'sweeps;
+            }
             let v = movable[rng.gen_range(0..movable.len())];
             if !flip_allowed(&p, v) {
                 continue;
@@ -211,6 +251,17 @@ pub fn simulated_annealing_with_sink<R: Rng + ?Sized, S: Sink>(
                 },
             });
         }
+    }
+
+    if S::ENABLED && cancel.is_cancelled() {
+        sink.record(&Event::Cancelled {
+            stage: CancelStage::Sweep,
+            value: if best_cut == u64::MAX {
+                p.cut_value(Objective::Cut)
+            } else {
+                best_cut
+            },
+        });
     }
 
     match best_parts {

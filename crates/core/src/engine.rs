@@ -49,11 +49,12 @@ use vlsi_trace::{NullSink, Sink};
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Objective, PartId};
 
-use crate::annealing::{simulated_annealing_with_sink, AnnealingConfig};
+use crate::annealing::{simulated_annealing_cancellable, AnnealingConfig};
+use crate::cancel::CancelToken;
 use crate::config::{FmConfig, MultilevelConfig};
 use crate::fm::BipartFm;
 use crate::initial::random_initial;
-use crate::kl::{kernighan_lin_with_sink, KlConfig};
+use crate::kl::{kernighan_lin_cancellable, KlConfig};
 use crate::kway;
 use crate::multilevel::MultilevelPartitioner;
 use crate::{PartitionError, PartitionResult};
@@ -67,14 +68,36 @@ use crate::{PartitionError, PartitionResult};
 /// `balance.num_parts()`.
 pub trait Partitioner {
     /// Partitions `hg` under `balance`, honouring `fixed`, streaming the
-    /// engine's trace events into `sink`. With [`NullSink`] the
-    /// instrumentation compiles out entirely.
+    /// engine's trace events into `sink` and polling `cancel` at pass
+    /// boundaries (and, in the hot engines, every few dozen moves). With
+    /// [`NullSink`] the instrumentation compiles out entirely; with
+    /// [`CancelToken::never`] every cancellation check is one predictable
+    /// branch.
+    ///
+    /// A cancelled run is **not** an error: the engine stops early and
+    /// returns its best-so-far legal solution, recording an
+    /// [`Event::Cancelled`](vlsi_trace::Event::Cancelled) per stopped loop.
     ///
     /// # Errors
     /// Engine-specific; at minimum
     /// [`PartitionError::UnsupportedPartCount`] for part counts the engine
     /// cannot handle and [`PartitionError::InfeasibleInstance`] when no
     /// legal solution can be constructed.
+    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+        cancel: &CancelToken,
+    ) -> Result<PartitionResult, PartitionError>;
+
+    /// [`partition_cancellable`](Self::partition_cancellable) with
+    /// cancellation disabled.
+    ///
+    /// # Errors
+    /// Same as [`partition_cancellable`](Self::partition_cancellable).
     fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
@@ -82,7 +105,9 @@ pub trait Partitioner {
         balance: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
-    ) -> Result<PartitionResult, PartitionError>;
+    ) -> Result<PartitionResult, PartitionError> {
+        self.partition_cancellable(hg, fixed, balance, rng, sink, &CancelToken::never())
+    }
 
     /// [`partition_with_sink`](Self::partition_with_sink) with the
     /// instrumentation compiled out.
@@ -107,12 +132,29 @@ pub trait Partitioner {
 /// Refiners never worsen their input: the returned cut is at most the cut
 /// of `parts`.
 pub trait Refiner {
-    /// Refines `parts`, streaming pass brackets into `sink`.
+    /// Refines `parts`, streaming pass brackets into `sink` and polling
+    /// `cancel` at pass boundaries. A cancelled refinement returns the
+    /// best solution reached so far (never worse than the input).
     ///
     /// # Errors
     /// [`PartitionError::UnsupportedPartCount`] for part counts the refiner
     /// cannot handle, or [`PartitionError::Input`] when `parts` is
     /// inconsistent with the instance.
+    fn refine_cancellable<S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        parts: Vec<PartId>,
+        sink: &S,
+        cancel: &CancelToken,
+    ) -> Result<PartitionResult, PartitionError>;
+
+    /// [`refine_cancellable`](Self::refine_cancellable) with cancellation
+    /// disabled.
+    ///
+    /// # Errors
+    /// Same as [`refine_cancellable`](Self::refine_cancellable).
     fn refine_with_sink<S: Sink>(
         &self,
         hg: &Hypergraph,
@@ -120,7 +162,9 @@ pub trait Refiner {
         balance: &BalanceConstraint,
         parts: Vec<PartId>,
         sink: &S,
-    ) -> Result<PartitionResult, PartitionError>;
+    ) -> Result<PartitionResult, PartitionError> {
+        self.refine_cancellable(hg, fixed, balance, parts, sink, &CancelToken::never())
+    }
 
     /// [`refine_with_sink`](Self::refine_with_sink) with the
     /// instrumentation compiled out.
@@ -142,13 +186,14 @@ pub trait Refiner {
 
 impl Partitioner for BipartFm {
     /// Flat FM from a random legal initial solution.
-    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
@@ -156,34 +201,36 @@ impl Partitioner for BipartFm {
                 supported: 2,
             });
         }
-        let r = self.run_random_with_sink(hg, fixed, balance, rng, sink)?;
+        let r = self.run_random_cancellable(hg, fixed, balance, rng, sink, cancel)?;
         Ok(PartitionResult::new(r.parts, r.cut))
     }
 }
 
 impl Partitioner for MultilevelPartitioner {
-    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
-        self.run_with_sink(hg, fixed, balance, rng, sink)
+        self.run_cancellable(hg, fixed, balance, rng, sink, cancel)
             .map(Into::into)
     }
 }
 
 impl Partitioner for KlConfig {
     /// Kernighan–Lin from a random legal initial solution.
-    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
@@ -192,19 +239,20 @@ impl Partitioner for KlConfig {
             });
         }
         let initial = random_initial(hg, fixed, balance, 2, rng)?;
-        kernighan_lin_with_sink(hg, fixed, balance, initial, *self, sink)
+        kernighan_lin_cancellable(hg, fixed, balance, initial, *self, sink, cancel)
     }
 }
 
 impl Partitioner for AnnealingConfig {
     /// Simulated annealing from a random legal initial solution.
-    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
@@ -213,7 +261,7 @@ impl Partitioner for AnnealingConfig {
             });
         }
         let initial = random_initial(hg, fixed, balance, 2, rng)?;
-        simulated_annealing_with_sink(hg, fixed, balance, initial, *self, rng, sink)
+        simulated_annealing_cancellable(hg, fixed, balance, initial, *self, rng, sink, cancel)
     }
 }
 
@@ -253,16 +301,17 @@ impl Default for KwayConfig {
 pub struct RecursiveBisection(pub KwayConfig);
 
 impl Partitioner for RecursiveBisection {
-    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
         let cfg = &self.0;
-        let r = kway::recursive_bisection_with_sink(
+        let r = kway::recursive_bisection_cancellable(
             hg,
             fixed,
             balance.num_parts(),
@@ -270,11 +319,12 @@ impl Partitioner for RecursiveBisection {
             &cfg.ml,
             rng,
             sink,
+            cancel,
         )?;
-        if cfg.refine_passes == 0 {
+        if cfg.refine_passes == 0 || cancel.is_cancelled() {
             return Ok(r);
         }
-        kway::refine_with_sink(
+        kway::refine_cancellable(
             hg,
             fixed,
             balance,
@@ -282,6 +332,7 @@ impl Partitioner for RecursiveBisection {
             cfg.objective,
             cfg.refine_passes,
             sink,
+            cancel,
         )
     }
 }
@@ -292,16 +343,17 @@ impl Partitioner for RecursiveBisection {
 pub struct DirectKway(pub KwayConfig);
 
 impl Partitioner for DirectKway {
-    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
         let cfg = &self.0;
-        kway::multilevel_kway_with_sink(
+        kway::multilevel_kway_cancellable(
             hg,
             fixed,
             balance.num_parts(),
@@ -309,6 +361,7 @@ impl Partitioner for DirectKway {
             &cfg.ml,
             rng,
             sink,
+            cancel,
         )
     }
 }
@@ -317,15 +370,16 @@ impl Partitioner for DirectKway {
 
 impl Refiner for BipartFm {
     /// One full FM run (up to `max_passes` passes) from `parts`.
-    fn refine_with_sink<S: Sink>(
+    fn refine_cancellable<S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         parts: Vec<PartId>,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
-        let r = self.run_with_sink(hg, fixed, balance, parts, sink)?;
+        let r = self.run_cancellable(hg, fixed, balance, parts, sink, cancel)?;
         Ok(PartitionResult::new(r.parts, r.cut))
     }
 }
@@ -358,18 +412,23 @@ impl FmStack {
 }
 
 impl Refiner for FmStack {
-    fn refine_with_sink<S: Sink>(
+    fn refine_cancellable<S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         parts: Vec<PartId>,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
-        let r = self.first.run_with_sink(hg, fixed, balance, parts, sink)?;
+        let r = self
+            .first
+            .run_cancellable(hg, fixed, balance, parts, sink, cancel)?;
         let r = match &self.second {
-            Some(fm2) => fm2.run_with_sink(hg, fixed, balance, r.parts, sink)?,
-            None => r,
+            Some(fm2) if !cancel.is_cancelled() => {
+                fm2.run_cancellable(hg, fixed, balance, r.parts, sink, cancel)?
+            }
+            _ => r,
         };
         Ok(PartitionResult::new(r.parts, r.cut))
     }
@@ -396,15 +455,16 @@ impl Default for KwayRefiner {
 }
 
 impl Refiner for KwayRefiner {
-    fn refine_with_sink<S: Sink>(
+    fn refine_cancellable<S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         parts: Vec<PartId>,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
-        kway::refine_with_sink(
+        kway::refine_cancellable(
             hg,
             fixed,
             balance,
@@ -412,6 +472,7 @@ impl Refiner for KwayRefiner {
             self.objective,
             self.max_passes,
             sink,
+            cancel,
         )
     }
 }
@@ -523,28 +584,31 @@ impl EngineConfig {
 }
 
 impl Partitioner for EngineConfig {
-    fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
+    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<PartitionResult, PartitionError> {
         match self {
             EngineConfig::Fm(cfg) => {
-                BipartFm::new(*cfg).partition_with_sink(hg, fixed, balance, rng, sink)
+                BipartFm::new(*cfg).partition_cancellable(hg, fixed, balance, rng, sink, cancel)
             }
-            EngineConfig::Multilevel(cfg) => {
-                MultilevelPartitioner::new(*cfg).partition_with_sink(hg, fixed, balance, rng, sink)
+            EngineConfig::Multilevel(cfg) => MultilevelPartitioner::new(*cfg)
+                .partition_cancellable(hg, fixed, balance, rng, sink, cancel),
+            EngineConfig::Kl(cfg) => {
+                cfg.partition_cancellable(hg, fixed, balance, rng, sink, cancel)
             }
-            EngineConfig::Kl(cfg) => cfg.partition_with_sink(hg, fixed, balance, rng, sink),
-            EngineConfig::Annealing(cfg) => cfg.partition_with_sink(hg, fixed, balance, rng, sink),
-            EngineConfig::KwayRb(cfg) => {
-                RecursiveBisection(*cfg).partition_with_sink(hg, fixed, balance, rng, sink)
+            EngineConfig::Annealing(cfg) => {
+                cfg.partition_cancellable(hg, fixed, balance, rng, sink, cancel)
             }
+            EngineConfig::KwayRb(cfg) => RecursiveBisection(*cfg)
+                .partition_cancellable(hg, fixed, balance, rng, sink, cancel),
             EngineConfig::KwayDirect(cfg) => {
-                DirectKway(*cfg).partition_with_sink(hg, fixed, balance, rng, sink)
+                DirectKway(*cfg).partition_cancellable(hg, fixed, balance, rng, sink, cancel)
             }
         }
     }

@@ -5,8 +5,9 @@ use vlsi_rng::Rng;
 use vlsi_hypergraph::{
     BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
 };
-use vlsi_trace::{Event, MoverFixity, NullSink, Sink, VecSink};
+use vlsi_trace::{CancelStage, Event, MoverFixity, NullSink, Sink, VecSink};
 
+use crate::cancel::{CancelToken, CHECK_INTERVAL};
 use crate::config::{FmConfig, SelectionPolicy};
 use crate::fm::{PassStats, RunStats};
 use crate::gain::{KwayGains, MoveLog};
@@ -99,8 +100,26 @@ impl BipartFm {
         rng: &mut R,
         sink: &S,
     ) -> Result<FmResult, PartitionError> {
+        self.run_random_cancellable(hg, fixed, balance, rng, sink, &CancelToken::never())
+    }
+
+    /// Like [`BipartFm::run_random_with_sink`], additionally polling
+    /// `cancel`. The initial solution is always constructed, so even an
+    /// already-cancelled token yields a legal (if unrefined) result.
+    ///
+    /// # Errors
+    /// Same as [`BipartFm::run_random`].
+    pub fn run_random_cancellable<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+        cancel: &CancelToken,
+    ) -> Result<FmResult, PartitionError> {
         let initial = random_initial(hg, fixed, balance, 2, rng)?;
-        self.run_with_sink(hg, fixed, balance, initial, sink)
+        self.run_cancellable(hg, fixed, balance, initial, sink, cancel)
     }
 
     /// Runs FM passes from the given initial assignment until a pass fails
@@ -197,6 +216,27 @@ impl BipartFm {
         initial: Vec<PartId>,
         sink: &S,
     ) -> Result<FmResult, PartitionError> {
+        self.run_cancellable(hg, fixed, balance, initial, sink, &CancelToken::never())
+    }
+
+    /// Like [`BipartFm::run_with_sink`], additionally polling `cancel` at
+    /// pass boundaries and every [`CHECK_INTERVAL`] moves inside a pass.
+    /// Cancellation is not an error: the run stops after restoring the
+    /// current pass's best prefix, records one
+    /// [`Event::Cancelled`] (stage `fm_pass`, value = cut at termination),
+    /// and returns the best solution found so far.
+    ///
+    /// # Errors
+    /// Same as [`BipartFm::run`].
+    pub fn run_cancellable<S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        initial: Vec<PartId>,
+        sink: &S,
+        cancel: &CancelToken,
+    ) -> Result<FmResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
                 requested: balance.num_parts(),
@@ -264,26 +304,35 @@ impl BipartFm {
             relax,
             fixed,
             sink,
+            cancel,
             bucket_ops: 0,
         };
 
         let mut stats = RunStats::default();
-        for pass_idx in 0..self.config.max_passes {
-            let cutoff_active = pass_idx > 0 || self.config.cutoff_first_pass;
-            let limit = if cutoff_active {
-                self.config.cutoff.limit(num_movable)
-            } else {
-                num_movable
-            };
-            let pass_stats = state.run_pass(pass_idx, num_movable, limit);
-            let improved = pass_stats.improved();
-            stats.passes.push(pass_stats);
-            if !improved {
-                break;
+        if !cancel.is_cancelled() {
+            for pass_idx in 0..self.config.max_passes {
+                let cutoff_active = pass_idx > 0 || self.config.cutoff_first_pass;
+                let limit = if cutoff_active {
+                    self.config.cutoff.limit(num_movable)
+                } else {
+                    num_movable
+                };
+                let pass_stats = state.run_pass(pass_idx, num_movable, limit);
+                let improved = pass_stats.improved();
+                stats.passes.push(pass_stats);
+                if !improved || cancel.is_cancelled() {
+                    break;
+                }
             }
         }
 
         let cut = partitioning.cut_value(Objective::Cut);
+        if S::ENABLED && cancel.is_cancelled() {
+            sink.record(&Event::Cancelled {
+                stage: CancelStage::FmPass,
+                value: cut,
+            });
+        }
         Ok(FmResult {
             parts: partitioning.into_parts(),
             cut,
@@ -341,6 +390,7 @@ struct PassState<'a, S: Sink> {
     relax: Vec<u64>,
     fixed: &'a FixedVertices,
     sink: &'a S,
+    cancel: &'a CancelToken,
     /// Gain-bucket operations of the current pass (only maintained when
     /// `S::ENABLED`; reported on the pass's `PassEnd` event).
     bucket_ops: u64,
@@ -367,6 +417,14 @@ impl<S: Sink> PassState<'_, S> {
         let mut best_imbalance = self.imbalance();
 
         while move_log.len() < move_limit {
+            // Armed tokens are re-polled every CHECK_INTERVAL moves; the
+            // best-prefix rollback below makes stopping mid-pass safe.
+            if !self.cancel.is_never()
+                && move_log.len().is_multiple_of(CHECK_INTERVAL)
+                && self.cancel.is_cancelled()
+            {
+                break;
+            }
             let Some((vertex, from)) = self.select_move() else {
                 break;
             };

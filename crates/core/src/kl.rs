@@ -19,8 +19,9 @@
 use vlsi_hypergraph::{
     BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
 };
-use vlsi_trace::{Event, NullSink, Sink};
+use vlsi_trace::{CancelStage, Event, NullSink, Sink};
 
+use crate::cancel::CancelToken;
 use crate::{PartitionError, PartitionResult};
 
 /// Number of top-gain candidates considered per side for each swap.
@@ -99,6 +100,33 @@ pub fn kernighan_lin_with_sink<S: Sink>(
     config: KlConfig,
     sink: &S,
 ) -> Result<PartitionResult, PartitionError> {
+    kernighan_lin_cancellable(
+        hg,
+        fixed,
+        balance,
+        initial,
+        config,
+        sink,
+        &CancelToken::never(),
+    )
+}
+
+/// Like [`kernighan_lin_with_sink`], additionally polling `cancel` at pass
+/// boundaries and before every swap. A cancelled run keeps the best prefix
+/// of the interrupted pass, records one [`Event::Cancelled`] (stage
+/// `kl_pass`), and returns the best solution found so far.
+///
+/// # Errors
+/// Same as [`kernighan_lin`].
+pub fn kernighan_lin_cancellable<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    config: KlConfig,
+    sink: &S,
+    cancel: &CancelToken,
+) -> Result<PartitionResult, PartitionError> {
     if balance.num_parts() != 2 {
         return Err(PartitionError::UnsupportedPartCount {
             requested: balance.num_parts(),
@@ -118,22 +146,31 @@ pub fn kernighan_lin_with_sink<S: Sink>(
         })
         .collect();
 
-    for pass in 0..config.max_passes {
-        let before = p.cut_value(Objective::Cut);
-        run_pass(
-            hg,
-            balance,
-            &movable,
-            &mut p,
-            config.max_swaps_per_pass,
-            pass as u32,
-            sink,
-        );
-        if p.cut_value(Objective::Cut) >= before {
-            break;
+    if !cancel.is_cancelled() {
+        for pass in 0..config.max_passes {
+            let before = p.cut_value(Objective::Cut);
+            run_pass(
+                hg,
+                balance,
+                &movable,
+                &mut p,
+                config.max_swaps_per_pass,
+                pass as u32,
+                sink,
+                cancel,
+            );
+            if p.cut_value(Objective::Cut) >= before || cancel.is_cancelled() {
+                break;
+            }
         }
     }
     let cut = p.cut_value(Objective::Cut);
+    if S::ENABLED && cancel.is_cancelled() {
+        sink.record(&Event::Cancelled {
+            stage: CancelStage::KlPass,
+            value: cut,
+        });
+    }
     Ok(PartitionResult::new(p.into_parts(), cut))
 }
 
@@ -189,6 +226,7 @@ fn run_pass<S: Sink>(
     max_swaps: Option<usize>,
     pass: u32,
     sink: &S,
+    cancel: &CancelToken,
 ) {
     let n = hg.num_vertices();
     let mut locked = vec![false; n];
@@ -207,6 +245,11 @@ fn run_pass<S: Sink>(
     }
 
     while log.len() < limit {
+        // Each swap already costs an O(n) candidate scan, so an armed
+        // token is simply re-polled once per swap.
+        if !cancel.is_never() && cancel.is_cancelled() {
+            break;
+        }
         // Top candidates by single-move gain on each side.
         let mut side0: Vec<(i64, VertexId)> = Vec::new();
         let mut side1: Vec<(i64, VertexId)> = Vec::new();

@@ -11,8 +11,9 @@ use vlsi_hypergraph::{
     induced_subgraph, BalanceConstraint, CutState, FixedVertices, Fixity, Hypergraph, Objective,
     PartId, PartSet, Partitioning, VertexId,
 };
-use vlsi_trace::{Event, NullSink, Sink};
+use vlsi_trace::{CancelStage, Event, NullSink, Sink};
 
+use crate::cancel::{CancelToken, CHECK_INTERVAL};
 use crate::config::MultilevelConfig;
 use crate::gain::{KwayGains, MoveLog};
 use crate::multilevel::MultilevelPartitioner;
@@ -79,6 +80,37 @@ pub fn recursive_bisection_with_sink<R: Rng + ?Sized, S: Sink>(
     rng: &mut R,
     sink: &S,
 ) -> Result<PartitionResult, PartitionError> {
+    recursive_bisection_cancellable(
+        hg,
+        fixed,
+        k,
+        tolerance,
+        ml_config,
+        rng,
+        sink,
+        &CancelToken::never(),
+    )
+}
+
+/// Like [`recursive_bisection_with_sink`], additionally threading `cancel`
+/// into every inner multilevel run. The recursion itself always completes
+/// (every vertex must receive a block), but once the token fires each
+/// sub-bisection degenerates to a cheap legal split, so cancellation
+/// latency stays bounded while the result remains a legal k-way partition.
+///
+/// # Errors
+/// Same as [`recursive_bisection`].
+#[allow(clippy::too_many_arguments)]
+pub fn recursive_bisection_cancellable<R: Rng + ?Sized, S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    k: usize,
+    tolerance: f64,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+    sink: &S,
+    cancel: &CancelToken,
+) -> Result<PartitionResult, PartitionError> {
     if k == 0 || k > PartSet::MAX_PARTS {
         return Err(PartitionError::UnsupportedPartCount {
             requested: k,
@@ -102,7 +134,7 @@ pub fn recursive_bisection_with_sink<R: Rng + ?Sized, S: Sink>(
     let mut parts = vec![PartId(0); hg.num_vertices()];
     let active: Vec<VertexId> = hg.vertices().collect();
     rb_recurse(
-        hg, fixed, &active, 0, k, tolerance, ml_config, rng, &mut parts, sink,
+        hg, fixed, &active, 0, k, tolerance, ml_config, rng, &mut parts, sink, cancel,
     )?;
     let cut = CutState::new(hg, k.max(1), &parts).cut();
     Ok(PartitionResult::new(parts, cut))
@@ -120,6 +152,7 @@ fn rb_recurse<R: Rng + ?Sized, S: Sink>(
     rng: &mut R,
     parts: &mut [PartId],
     sink: &S,
+    cancel: &CancelToken,
 ) -> Result<(), PartitionError> {
     debug_assert!(lo < hi);
     if hi - lo == 1 {
@@ -225,7 +258,7 @@ fn rb_recurse<R: Rng + ?Sized, S: Sink>(
     let balance = BalanceConstraint::explicit(2, nr, min, max)?;
 
     let ml = MultilevelPartitioner::new(*ml_config);
-    let result = ml.run_with_sink(&sub.hg, &sub_fixed, &balance, rng, sink)?;
+    let result = ml.run_cancellable(&sub.hg, &sub_fixed, &balance, rng, sink, cancel)?;
 
     let mut left = Vec::new();
     let mut right = Vec::new();
@@ -237,10 +270,10 @@ fn rb_recurse<R: Rng + ?Sized, S: Sink>(
         }
     }
     rb_recurse(
-        hg, fixed, &left, lo, mid, tolerance, ml_config, rng, parts, sink,
+        hg, fixed, &left, lo, mid, tolerance, ml_config, rng, parts, sink, cancel,
     )?;
     rb_recurse(
-        hg, fixed, &right, mid, hi, tolerance, ml_config, rng, parts, sink,
+        hg, fixed, &right, mid, hi, tolerance, ml_config, rng, parts, sink, cancel,
     )?;
     Ok(())
 }
@@ -339,6 +372,35 @@ pub fn refine_pass_with_sink<S: Sink>(
     pass: u32,
     sink: &S,
 ) -> Result<PartitionResult, PartitionError> {
+    refine_pass_cancellable(
+        hg,
+        fixed,
+        balance,
+        initial,
+        objective,
+        pass,
+        sink,
+        &CancelToken::never(),
+    )
+}
+
+/// Like [`refine_pass_with_sink`], additionally polling `cancel` every
+/// [`CHECK_INTERVAL`] moves; the best-prefix rollback makes stopping
+/// mid-pass safe.
+///
+/// # Errors
+/// Same as [`refine_pass`].
+#[allow(clippy::too_many_arguments)]
+pub fn refine_pass_cancellable<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    objective: Objective,
+    pass: u32,
+    sink: &S,
+    cancel: &CancelToken,
+) -> Result<PartitionResult, PartitionError> {
     let k = balance.num_parts();
     let mut p = Partitioning::from_parts_fixed(hg, k, initial, fixed)?;
     let nr = hg.num_resources();
@@ -410,6 +472,9 @@ pub fn refine_pass_with_sink<S: Sink>(
     let mut epoch = 0u32;
 
     loop {
+        if !cancel.is_never() && log.len().is_multiple_of(CHECK_INTERVAL) && cancel.is_cancelled() {
+            break;
+        }
         let selected = {
             let loads = p.loads();
             gains.select_best(|v, to| {
@@ -663,6 +728,37 @@ pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
     rng: &mut R,
     sink: &S,
 ) -> Result<PartitionResult, PartitionError> {
+    multilevel_kway_cancellable(
+        hg,
+        fixed,
+        k,
+        tolerance,
+        ml_config,
+        rng,
+        sink,
+        &CancelToken::never(),
+    )
+}
+
+/// Like [`multilevel_kway_with_sink`], additionally polling `cancel`. As in
+/// the 2-way multilevel engine, coarsening stops early, the coarsest solve
+/// degenerates to a cheap legal split, and the projection back to the
+/// original hypergraph always completes; one [`Event::Cancelled`] (stage
+/// `level`) records the early termination.
+///
+/// # Errors
+/// Same as [`multilevel_kway`].
+#[allow(clippy::too_many_arguments)]
+pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    k: usize,
+    tolerance: f64,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+    sink: &S,
+    cancel: &CancelToken,
+) -> Result<PartitionResult, PartitionError> {
     use crate::multilevel::{coarsen_once, CoarsenParams, Level};
 
     if k == 0 || k > PartSet::MAX_PARTS {
@@ -694,7 +790,7 @@ pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
             Some(l) => (&l.hg, &l.fixed),
             None => (hg, fixed),
         };
-        if cur_hg.num_vertices() <= ml_config.coarsest_size.max(4 * k) {
+        if cur_hg.num_vertices() <= ml_config.coarsest_size.max(4 * k) || cancel.is_cancelled() {
             break;
         }
         match coarsen_once(cur_hg, cur_fixed, &params, ml_config.min_shrink, None, rng) {
@@ -716,7 +812,7 @@ pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
         Some(l) => (&l.hg, &l.fixed),
         None => (hg, fixed),
     };
-    let initial = recursive_bisection_with_sink(
+    let initial = recursive_bisection_cancellable(
         coarsest_hg,
         coarsest_fixed,
         k,
@@ -724,13 +820,14 @@ pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
         ml_config,
         rng,
         sink,
+        cancel,
     )?;
     let coarse_balance = BalanceConstraint::even(
         k,
         coarsest_hg.total_weights(),
         vlsi_hypergraph::Tolerance::Relative(tolerance),
     );
-    let r = refine_with_sink(
+    let r = refine_cancellable(
         coarsest_hg,
         coarsest_fixed,
         &coarse_balance,
@@ -738,6 +835,7 @@ pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
         Objective::Cut,
         4,
         sink,
+        cancel,
     )?;
     if S::ENABLED {
         sink.record(&Event::LevelEnd {
@@ -760,7 +858,7 @@ pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
             fine_hg.total_weights(),
             vlsi_hypergraph::Tolerance::Relative(tolerance),
         );
-        let r = refine_with_sink(
+        let r = refine_cancellable(
             fine_hg,
             fine_fixed,
             &fine_balance,
@@ -768,6 +866,7 @@ pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
             Objective::Cut,
             4,
             sink,
+            cancel,
         )?;
         if S::ENABLED {
             sink.record(&Event::LevelEnd {
@@ -780,6 +879,12 @@ pub fn multilevel_kway_with_sink<R: Rng + ?Sized, S: Sink>(
         parts = r.parts;
     }
     let cut = CutState::new(hg, k, &parts).cut();
+    if S::ENABLED && cancel.is_cancelled() {
+        sink.record(&Event::Cancelled {
+            stage: CancelStage::Level,
+            value: cut,
+        });
+    }
     Ok(PartitionResult::new(parts, cut))
 }
 
@@ -807,28 +912,70 @@ pub fn refine_with_sink<S: Sink>(
     hg: &Hypergraph,
     fixed: &FixedVertices,
     balance: &BalanceConstraint,
-    mut parts: Vec<PartId>,
+    parts: Vec<PartId>,
     objective: Objective,
     max_passes: usize,
     sink: &S,
 ) -> Result<PartitionResult, PartitionError> {
+    refine_cancellable(
+        hg,
+        fixed,
+        balance,
+        parts,
+        objective,
+        max_passes,
+        sink,
+        &CancelToken::never(),
+    )
+}
+
+/// Like [`refine_with_sink`], additionally polling `cancel` at pass
+/// boundaries (and inside each pass every [`CHECK_INTERVAL`] moves). A
+/// cancelled run records one [`Event::Cancelled`] (stage `kway_pass`) and
+/// returns the best assignment reached so far.
+///
+/// # Errors
+/// Propagates [`refine_pass_with_sink`] errors.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_cancellable<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    mut parts: Vec<PartId>,
+    objective: Objective,
+    max_passes: usize,
+    sink: &S,
+    cancel: &CancelToken,
+) -> Result<PartitionResult, PartitionError> {
     let mut best = CutState::new(hg, balance.num_parts(), &parts).value(objective);
-    for pass in 0..max_passes {
-        let r = refine_pass_with_sink(
-            hg,
-            fixed,
-            balance,
-            parts.clone(),
-            objective,
-            pass as u32,
-            sink,
-        )?;
-        if r.cut < best {
-            best = r.cut;
-            parts = r.parts;
-        } else {
-            break;
+    if !cancel.is_cancelled() {
+        for pass in 0..max_passes {
+            let r = refine_pass_cancellable(
+                hg,
+                fixed,
+                balance,
+                parts.clone(),
+                objective,
+                pass as u32,
+                sink,
+                cancel,
+            )?;
+            if r.cut < best {
+                best = r.cut;
+                parts = r.parts;
+            } else {
+                break;
+            }
+            if cancel.is_cancelled() {
+                break;
+            }
         }
+    }
+    if S::ENABLED && cancel.is_cancelled() {
+        sink.record(&Event::Cancelled {
+            stage: CancelStage::KwayPass,
+            value: best,
+        });
     }
     Ok(PartitionResult::new(parts, best))
 }

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod annealing;
+pub mod cancel;
 mod config;
 pub mod engine;
 mod error;
@@ -77,6 +78,7 @@ mod result;
 pub mod terminal_cluster;
 
 pub use annealing::AnnealingConfig;
+pub use cancel::CancelToken;
 pub use config::{FmConfig, MultilevelConfig, PassCutoff, SelectionPolicy};
 pub use engine::{
     DirectKway, EngineConfig, EngineInfo, FmStack, KwayConfig, KwayRefiner, Partitioner,
@@ -89,8 +91,9 @@ pub use initial::random_initial;
 pub use kl::KlConfig;
 pub use multilevel::{MultilevelPartitioner, MultilevelResult};
 pub use multistart::{
-    multistart, multistart_engine, multistart_engine_with_sink, multistart_parallel,
-    multistart_parallel_engine, multistart_with_sink, MultistartOutcome, StartRecord,
+    multistart, multistart_engine, multistart_engine_cancellable, multistart_engine_with_sink,
+    multistart_parallel, multistart_parallel_engine, multistart_parallel_engine_cancellable,
+    multistart_with_sink, MultistartOutcome, StartRecord,
 };
 pub use result::PartitionResult;
 

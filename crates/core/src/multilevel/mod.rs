@@ -12,10 +12,11 @@ mod coarsen;
 pub use coarsen::{coarsen_once, merge_fixity, CoarsenParams, Level};
 
 use vlsi_rng::Rng;
-use vlsi_trace::{Event, NullSink, Sink};
+use vlsi_trace::{CancelStage, Event, NullSink, Sink};
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, PartId};
 
+use crate::cancel::CancelToken;
 use crate::config::MultilevelConfig;
 use crate::engine::{FmStack, Refiner};
 use crate::fm::BipartFm;
@@ -111,6 +112,27 @@ impl MultilevelPartitioner {
         rng: &mut R,
         sink: &S,
     ) -> Result<MultilevelResult, PartitionError> {
+        self.run_cancellable(hg, fixed, balance, rng, sink, &CancelToken::never())
+    }
+
+    /// [`run_with_sink`](Self::run_with_sink), additionally polling
+    /// `cancel`. A cancelled run truncates coarsening, keeps only the first
+    /// coarse start, lets the inner FM stop at its own checkpoints, skips
+    /// V-cycles, and records one [`Event::Cancelled`] (stage `level`). The
+    /// projection from coarse to fine always completes, so the result is a
+    /// legal partition of the *original* hypergraph.
+    ///
+    /// # Errors
+    /// Same as [`run`](Self::run).
+    pub fn run_cancellable<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+        cancel: &CancelToken,
+    ) -> Result<MultilevelResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
                 requested: balance.num_parts(),
@@ -136,7 +158,7 @@ impl MultilevelPartitioner {
                 Some(l) => (&l.hg, &l.fixed),
                 None => (hg, fixed),
             };
-            if cur_hg.num_vertices() <= cfg.coarsest_size {
+            if cur_hg.num_vertices() <= cfg.coarsest_size || cancel.is_cancelled() {
                 break;
             }
             match coarsen_once(cur_hg, cur_fixed, &params, cfg.min_shrink, None, rng) {
@@ -161,9 +183,20 @@ impl MultilevelPartitioner {
         };
         let coarse_fm = BipartFm::new(cfg.coarse_fm);
         let mut best: Option<(u64, Vec<PartId>)> = None;
-        for _ in 0..cfg.coarse_starts.max(1) {
-            let r =
-                coarse_fm.run_random_with_sink(coarsest_hg, coarsest_fixed, balance, rng, sink)?;
+        for start in 0..cfg.coarse_starts.max(1) {
+            // Start 0 always runs so a cancelled run still yields a legal
+            // solution; later starts are skipped once the token fires.
+            if start > 0 && cancel.is_cancelled() {
+                break;
+            }
+            let r = coarse_fm.run_random_cancellable(
+                coarsest_hg,
+                coarsest_fixed,
+                balance,
+                rng,
+                sink,
+                cancel,
+            )?;
             if best.as_ref().is_none_or(|(c, _)| r.cut < *c) {
                 best = Some((r.cut, r.parts));
             }
@@ -188,7 +221,8 @@ impl MultilevelPartitioner {
             } else {
                 (&levels[i - 1].hg, &levels[i - 1].fixed)
             };
-            let r = refiner.refine_with_sink(fine_hg, fine_fixed, balance, fine_parts, sink)?;
+            let r = refiner
+                .refine_cancellable(fine_hg, fine_fixed, balance, fine_parts, sink, cancel)?;
             parts = r.parts;
             cut = r.cut;
             if S::ENABLED {
@@ -204,12 +238,30 @@ impl MultilevelPartitioner {
         // Optional V-cycles: re-coarsen under the current partition and
         // refine again.
         for _ in 0..cfg.vcycles {
-            let (vparts, vcut) =
-                self.vcycle(hg, fixed, balance, &params, parts.clone(), rng, sink)?;
+            if cancel.is_cancelled() {
+                break;
+            }
+            let (vparts, vcut) = self.vcycle(
+                hg,
+                fixed,
+                balance,
+                &params,
+                parts.clone(),
+                rng,
+                sink,
+                cancel,
+            )?;
             if vcut <= cut {
                 parts = vparts;
                 cut = vcut;
             }
+        }
+
+        if S::ENABLED && cancel.is_cancelled() {
+            sink.record(&Event::Cancelled {
+                stage: CancelStage::Level,
+                value: cut,
+            });
         }
 
         let mut level_sizes = vec![hg.num_vertices()];
@@ -235,6 +287,7 @@ impl MultilevelPartitioner {
         parts: Vec<PartId>,
         rng: &mut R,
         sink: &S,
+        cancel: &CancelToken,
     ) -> Result<(Vec<PartId>, u64), PartitionError> {
         let cfg = &self.config;
         let mut levels: Vec<Level> = Vec::new();
@@ -244,7 +297,7 @@ impl MultilevelPartitioner {
                 Some(l) => (&l.hg, &l.fixed),
                 None => (hg, fixed),
             };
-            if cur_hg.num_vertices() <= cfg.coarsest_size {
+            if cur_hg.num_vertices() <= cfg.coarsest_size || cancel.is_cancelled() {
                 break;
             }
             match coarsen_once(
@@ -274,7 +327,14 @@ impl MultilevelPartitioner {
             Some(l) => (&l.hg, &l.fixed),
             None => (hg, fixed),
         };
-        let r = refiner.refine_with_sink(coarsest_hg, coarsest_fixed, balance, cur_parts, sink)?;
+        let r = refiner.refine_cancellable(
+            coarsest_hg,
+            coarsest_fixed,
+            balance,
+            cur_parts,
+            sink,
+            cancel,
+        )?;
         let mut parts = r.parts;
         let mut cut = r.cut;
         for i in (0..levels.len()).rev() {
@@ -284,7 +344,8 @@ impl MultilevelPartitioner {
             } else {
                 (&levels[i - 1].hg, &levels[i - 1].fixed)
             };
-            let r = refiner.refine_with_sink(fine_hg, fine_fixed, balance, fine_parts, sink)?;
+            let r = refiner
+                .refine_cancellable(fine_hg, fine_fixed, balance, fine_parts, sink, cancel)?;
             parts = r.parts;
             cut = r.cut;
         }

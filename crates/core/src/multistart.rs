@@ -5,8 +5,9 @@ use std::time::{Duration, Instant};
 use vlsi_rng::Rng;
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph};
-use vlsi_trace::{Event, NullSink, Sink};
+use vlsi_trace::{CancelStage, Event, NullSink, Sink};
 
+use crate::cancel::CancelToken;
 use crate::{PartitionError, PartitionResult};
 
 /// One independent start: its cut and wall-clock time.
@@ -358,6 +359,72 @@ where
     )
 }
 
+/// [`multistart_engine_with_sink`] with cooperative cancellation: the
+/// token is threaded into every start, starts after the first are skipped
+/// once it fires, and a cancelled run records one [`Event::Cancelled`]
+/// (stage `multistart`, value = best cut). Start 0 always executes, so an
+/// already-expired deadline still yields a legal best-so-far solution.
+///
+/// # Errors
+/// Propagates the first error returned by the engine.
+///
+/// # Panics
+/// Panics if `starts == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn multistart_engine_cancellable<R, S, E>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    rng: &mut R,
+    sink: &S,
+    engine: &E,
+    cancel: &CancelToken,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    R: Rng + ?Sized,
+    S: Sink,
+    E: crate::Partitioner,
+{
+    assert!(starts > 0, "at least one start required");
+    let mut best: Option<PartitionResult> = None;
+    let mut records = Vec::with_capacity(starts);
+    for start in 0..starts {
+        if start > 0 && cancel.is_cancelled() {
+            break;
+        }
+        let t0 = Instant::now();
+        let result = engine.partition_cancellable(hg, fixed, balance, rng, sink, cancel)?;
+        let elapsed = t0.elapsed();
+        if S::ENABLED {
+            sink.record(&Event::StartFinished {
+                start: start as u32,
+                cut: result.cut,
+                micros: elapsed.as_micros() as u64,
+            });
+        }
+        records.push(StartRecord {
+            cut: result.cut,
+            elapsed,
+        });
+        match &best {
+            Some(b) if b.cut <= result.cut => {}
+            _ => best = Some(result),
+        }
+    }
+    let best = best.expect("start 0 always runs");
+    if S::ENABLED && cancel.is_cancelled() {
+        sink.record(&Event::Cancelled {
+            stage: CancelStage::Multistart,
+            value: best.cut,
+        });
+    }
+    Ok(MultistartOutcome {
+        best,
+        starts: records,
+    })
+}
+
 /// [`multistart_parallel`] over any [`Partitioner`](crate::Partitioner)
 /// that is `Sync` — same deterministic per-start seeding, no
 /// engine-specific glue.
@@ -387,6 +454,117 @@ where
         engine.partition(hg, fixed, balance, rng)
     };
     multistart_parallel(hg, fixed, balance, starts, threads, base_seed, &run)
+}
+
+/// [`multistart_parallel_engine`] with cooperative cancellation and a
+/// summary sink.
+///
+/// The token is threaded into every start; start 0 always runs (possibly
+/// stopping early at the engine's own checkpoints), and starts that have
+/// not begun when the token fires are skipped entirely, so
+/// `outcome.starts` may be shorter than `starts` — but never empty.
+///
+/// Worker threads run their engines **untraced**: thread interleaving
+/// would otherwise scramble event order. Only the per-start
+/// [`Event::StartFinished`] brackets are emitted, at collection time in
+/// ascending start order, followed by one [`Event::Cancelled`] (stage
+/// `multistart`) when the run was cut short — so the summary stream is
+/// deterministic for a fixed set of completed starts.
+///
+/// # Errors
+/// Propagates the error of the lowest-indexed failing start.
+///
+/// # Panics
+/// Panics if `starts == 0` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn multistart_parallel_engine_cancellable<S, E>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    threads: usize,
+    base_seed: u64,
+    engine: &E,
+    sink: &S,
+    cancel: &CancelToken,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    S: Sink,
+    E: crate::Partitioner + Sync,
+{
+    use vlsi_rng::SeedableRng;
+
+    assert!(starts > 0, "at least one start required");
+    assert!(threads > 0, "at least one thread required");
+    let threads = threads.min(starts);
+
+    let mut slots: Vec<Option<Result<(PartitionResult, Duration), PartitionError>>> =
+        (0..starts).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut chunks: Vec<&mut [Option<_>]> = Vec::new();
+        let mut rest = slots.as_mut_slice();
+        let per = starts.div_ceil(threads);
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push(head);
+            rest = tail;
+        }
+        for (c, chunk) in chunks.into_iter().enumerate() {
+            let first_index = c * per;
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = first_index + off;
+                    // Start 0 must yield a result; everything else is
+                    // skippable once the token fires.
+                    if i > 0 && cancel.is_cancelled() {
+                        continue;
+                    }
+                    let mut rng =
+                        vlsi_rng::ChaCha8Rng::seed_from_u64(base_seed.wrapping_add(i as u64));
+                    let t0 = Instant::now();
+                    let result = engine
+                        .partition_cancellable(hg, fixed, balance, &mut rng, &NullSink, cancel);
+                    *slot = Some(result.map(|r| (r, t0.elapsed())));
+                }
+            });
+        }
+    });
+
+    let mut best: Option<PartitionResult> = None;
+    let mut records = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let Some(outcome) = slot else {
+            continue; // start skipped by cancellation
+        };
+        let (result, elapsed) = outcome?;
+        if S::ENABLED {
+            sink.record(&Event::StartFinished {
+                start: i as u32,
+                cut: result.cut,
+                micros: elapsed.as_micros() as u64,
+            });
+        }
+        records.push(StartRecord {
+            cut: result.cut,
+            elapsed,
+        });
+        match &best {
+            Some(b) if b.cut <= result.cut => {}
+            _ => best = Some(result),
+        }
+    }
+    let best = best.expect("start 0 always runs");
+    if S::ENABLED && cancel.is_cancelled() {
+        sink.record(&Event::Cancelled {
+            stage: CancelStage::Multistart,
+            value: best.cut,
+        });
+    }
+    Ok(MultistartOutcome {
+        best,
+        starts: records,
+    })
 }
 
 #[cfg(test)]
@@ -572,6 +750,79 @@ mod tests {
             assert_eq!(par.starts.len(), 2, "{}", info.name);
             assert!(par.best.cut >= 1, "{}", info.name);
         }
+    }
+
+    #[test]
+    fn cancelled_token_still_yields_start_zero() {
+        use crate::engine::EngineConfig;
+        use vlsi_trace::VecSink;
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..12).map(|_| b.add_vertex(1)).collect();
+        for w in v.windows(2) {
+            b.add_net(1, [w[0], w[1]]).unwrap();
+        }
+        let hg = b.build().unwrap();
+        let fx = FixedVertices::all_free(12);
+        let bc = BalanceConstraint::bisection(12, Tolerance::Relative(0.2));
+        let engine = EngineConfig::by_name("fm").unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+
+        let sink = VecSink::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let seq =
+            multistart_engine_cancellable(&hg, &fx, &bc, 8, &mut rng, &sink, &engine, &cancel)
+                .unwrap();
+        assert_eq!(seq.starts.len(), 1, "only start 0 runs when pre-cancelled");
+        assert_eq!(seq.best.parts.len(), 12);
+        assert!(sink.take().iter().any(
+            |e| matches!(e, Event::Cancelled { stage, .. } if *stage == CancelStage::Multistart)
+        ));
+
+        let sink = VecSink::new();
+        let par =
+            multistart_parallel_engine_cancellable(&hg, &fx, &bc, 8, 2, 3, &engine, &sink, &cancel)
+                .unwrap();
+        assert!(
+            !par.starts.is_empty() && par.starts.len() < 8,
+            "pre-cancelled parallel run skips later starts"
+        );
+        assert_eq!(par.best.parts.len(), 12);
+        assert!(sink.take().iter().any(
+            |e| matches!(e, Event::Cancelled { stage, .. } if *stage == CancelStage::Multistart)
+        ));
+    }
+
+    #[test]
+    fn cancellable_parallel_matches_plain_when_never_cancelled() {
+        use crate::engine::EngineConfig;
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..16).map(|_| b.add_vertex(1)).collect();
+        for w in v.windows(3) {
+            b.add_net(1, [w[0], w[1], w[2]]).unwrap();
+        }
+        let hg = b.build().unwrap();
+        let fx = FixedVertices::all_free(16);
+        let bc = BalanceConstraint::bisection(16, Tolerance::Relative(0.2));
+        let engine = EngineConfig::by_name("fm").unwrap();
+        let plain = multistart_parallel_engine(&hg, &fx, &bc, 4, 2, 9, &engine).unwrap();
+        let canc = multistart_parallel_engine_cancellable(
+            &hg,
+            &fx,
+            &bc,
+            4,
+            2,
+            9,
+            &engine,
+            &NullSink,
+            &CancelToken::never(),
+        )
+        .unwrap();
+        assert_eq!(plain.best.cut, canc.best.cut);
+        assert_eq!(plain.best.parts, canc.best.parts);
+        let a: Vec<_> = plain.starts.iter().map(|s| s.cut).collect();
+        let b: Vec<_> = canc.starts.iter().map(|s| s.cut).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

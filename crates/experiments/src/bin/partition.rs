@@ -4,13 +4,20 @@
 //!
 //! ```text
 //! usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N]
-//!                  [--seed N] [--engine NAME] [--out FILE] [--trace FILE]
+//!                  [--seed N] [--threads N] [--engine NAME] [--out FILE]
+//!                  [--trace FILE]
 //!        partition --list-engines
 //! ```
 //!
 //! `--engine` accepts any name from the `vlsi_partition` engine registry
 //! (`--list-engines` dumps it); the default is the paper's multilevel
 //! engine.
+//!
+//! Starts run on `--threads` OS threads (default: the machine's available
+//! parallelism) with deterministic per-start seeding, so the result is
+//! identical for every thread count. `--trace` streams per-pass events of
+//! every start into one JSONL file, which only makes sense on a single
+//! interleaving — it forces the sequential driver.
 
 use std::fs::File;
 use std::io::Write as _;
@@ -26,7 +33,8 @@ use vlsi_hypergraph::{
 };
 use vlsi_partition::trace::Sink;
 use vlsi_partition::{
-    multistart_engine_with_sink, EngineConfig, MultistartOutcome, PartitionError, ENGINES,
+    multistart_engine_with_sink, multistart_parallel_engine, EngineConfig, MultistartOutcome,
+    PartitionError, ENGINES,
 };
 
 struct Args {
@@ -37,13 +45,16 @@ struct Args {
     /// guideline via `vlsi_partition::policy`).
     starts: Option<usize>,
     seed: u64,
+    /// OS threads for the multistart driver; `--trace` forces 1 (the
+    /// traced run must be a single deterministic event interleaving).
+    threads: usize,
     engine: EngineConfig,
     out: Option<String>,
     trace: Option<String>,
     list_engines: bool,
 }
 
-const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N|auto] [--seed N] [--engine NAME] [--out FILE] [--trace FILE]\n       partition --list-engines";
+const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N|auto] [--seed N] [--threads N] [--engine NAME] [--out FILE] [--trace FILE]\n       partition --list-engines";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -52,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
         tolerance: 0.02,
         starts: Some(4),
         seed: 1,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         engine: EngineConfig::by_name("ml").expect("ml is registered"),
         out: None,
         trace: None,
@@ -77,6 +91,9 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?
+            }
             "--engine" => {
                 let name = value("--engine")?;
                 args.engine = EngineConfig::by_name(&name).ok_or_else(|| {
@@ -102,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.starts == Some(0) {
         return Err("--starts must be at least 1".into());
+    }
+    if args.threads == 0 {
+        return Err("--threads must be at least 1".into());
     }
     Ok(args)
 }
@@ -176,17 +196,31 @@ fn main() {
     let balance =
         BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(args.tolerance));
     println!("engine: {}", args.engine.info().summary);
-    let solved = run_with_trace(
-        args.trace.as_deref().map(std::path::Path::new),
-        Solve {
-            hg: &hg,
-            fixed: &fixed,
-            balance: &balance,
-            engine: &args.engine,
+    let solved = if args.trace.is_some() {
+        // A traced run must be one deterministic event interleaving, so the
+        // sequential driver carries the sink through every start.
+        run_with_trace(
+            args.trace.as_deref().map(std::path::Path::new),
+            Solve {
+                hg: &hg,
+                fixed: &fixed,
+                balance: &balance,
+                engine: &args.engine,
+                starts,
+                seed: args.seed,
+            },
+        )
+    } else {
+        multistart_parallel_engine(
+            &hg,
+            &fixed,
+            &balance,
             starts,
-            seed: args.seed,
-        },
-    );
+            args.threads,
+            args.seed,
+            &args.engine,
+        )
+    };
     let outcome = match solved {
         Ok(o) => o,
         Err(e) => {

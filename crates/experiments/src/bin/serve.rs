@@ -1,0 +1,91 @@
+//! Batch partitioning server CLI — the `vlsi-service` front end.
+//!
+//! ```text
+//! usage: serve [--stdio | --tcp ADDR] [--workers N] [--queue N]
+//!              [--cache N] [--trace FILE]
+//! ```
+//!
+//! Speaks the line-delimited JSON protocol documented in
+//! `docs/SERVICE.md`: one request object per line in, one response object
+//! per line out. `--stdio` (the default) serves a single session on
+//! stdin/stdout and exits at EOF or `{"op":"shutdown"}`; `--tcp` accepts
+//! any number of concurrent connections until a client sends shutdown.
+//! On exit the final metrics snapshot is printed to stderr.
+
+use std::process::exit;
+
+use vlsi_service::{serve_stdio, serve_tcp, ServiceConfig};
+
+const USAGE: &str =
+    "usage: serve [--stdio | --tcp ADDR] [--workers N] [--queue N] [--cache N] [--trace FILE]";
+
+struct Args {
+    tcp: Option<String>,
+    config: ServiceConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        config: ServiceConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--stdio" => args.tcp = None,
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--workers" => {
+                args.config.workers = value("--workers")?.parse().map_err(|_| "bad --workers")?
+            }
+            "--queue" => {
+                args.config.queue_capacity = value("--queue")?.parse().map_err(|_| "bad --queue")?
+            }
+            "--cache" => {
+                args.config.cache_capacity = value("--cache")?.parse().map_err(|_| "bad --cache")?
+            }
+            "--trace" => args.config.trace_path = Some(value("--trace")?.into()),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if args.config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            exit(2);
+        }
+    };
+    let served = match &args.tcp {
+        Some(addr) => {
+            eprintln!("serving on tcp://{addr} ({} workers)", args.config.workers);
+            serve_tcp(args.config, addr.as_str())
+        }
+        None => serve_stdio(args.config),
+    };
+    match served {
+        Ok(snapshot) => {
+            eprintln!(
+                "served {} jobs ({} failed, {} cache hits, {} deadline expirations); \
+                 latency p50 {}us p99 {}us",
+                snapshot.jobs_ok,
+                snapshot.jobs_failed,
+                snapshot.cache_hits,
+                snapshot.deadline_expirations,
+                snapshot.p50_us,
+                snapshot.p99_us
+            );
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            exit(1);
+        }
+    }
+}

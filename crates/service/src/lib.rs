@@ -1,0 +1,56 @@
+//! Batch partitioning server for the fixed-vertices engines.
+//!
+//! `vlsi-service` turns the [`vlsi_partition`] engine registry into a
+//! long-running batch server: clients submit partitioning jobs as
+//! line-delimited JSON (over stdin/stdout or TCP), a bounded queue feeds a
+//! worker pool, and each job runs under a cooperative [`CancelToken`]
+//! deadline that returns the best-so-far legal partition instead of
+//! aborting. Identical jobs are answered from a content-addressed
+//! solution cache, and a metrics endpoint surfaces service- and
+//! engine-level counters (including p50/p99 latency).
+//!
+//! See `docs/SERVICE.md` for the protocol reference; the module docs of
+//! [`protocol`], [`queue`], [`cache`] and [`server`] cover the layers.
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::Cursor;
+//! use vlsi_service::{Service, ServiceConfig};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let service = Service::start(ServiceConfig {
+//!     workers: 1,
+//!     ..ServiceConfig::default()
+//! })?;
+//! let requests = concat!(
+//!     r#"{"id":"j1","engine":"fm","starts":2,"seed":1,"#,
+//!     r#""hypergraph":{"vertices":[1,1,1,1],"nets":[[0,1],[1,2],[2,3]]}}"#,
+//!     "\n",
+//! );
+//! let mut out = Vec::new();
+//! service.serve(Cursor::new(requests), &mut out)?;
+//! let reply = String::from_utf8(out).unwrap();
+//! assert!(reply.contains("\"status\":\"ok\""));
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`CancelToken`]: vlsi_partition::CancelToken
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{cache_key, CacheKey, CacheStats, SolutionCache};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use protocol::{parse_request, JobRequest, JobResponse, ProtocolError, Request};
+pub use queue::{BoundedQueue, QueueClosed, WorkerPool};
+pub use server::{serve_stdio, serve_tcp, ServeOutcome, Service, ServiceConfig};

@@ -1,0 +1,189 @@
+//! Service metrics, built on the [`vlsi_trace::CounterSink`].
+//!
+//! Two layers of observability meet here: service-level counters (jobs
+//! served, cache hits, deadline expirations, latency percentiles) owned by
+//! this module, and engine-level counters (passes, moves, cancellations)
+//! aggregated by the [`CounterSink`] the workers thread into every
+//! partitioning run. A `{"op":"metrics"}` request renders both as one
+//! JSON line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vlsi_trace::{CounterSink, Counters};
+
+/// Shared, lock-free-where-it-matters service metrics.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Jobs answered successfully (including cache hits).
+    pub jobs_ok: AtomicU64,
+    /// Jobs answered with an error response.
+    pub jobs_failed: AtomicU64,
+    /// Jobs whose worker panicked (isolated; also counted in `jobs_failed`).
+    pub panics: AtomicU64,
+    /// Jobs answered from the solution cache.
+    pub cache_hits: AtomicU64,
+    /// Jobs that ran an engine because the cache missed.
+    pub cache_misses: AtomicU64,
+    /// Jobs whose deadline fired (best-so-far responses).
+    pub deadline_expirations: AtomicU64,
+    /// Malformed / rejected request lines.
+    pub protocol_errors: AtomicU64,
+    /// Engine-level counters, fed by every worker's partitioning run.
+    pub engine: CounterSink,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+/// A point-in-time copy of everything [`ServiceMetrics`] tracks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs answered successfully.
+    pub jobs_ok: u64,
+    /// Jobs answered with an error.
+    pub jobs_failed: u64,
+    /// Worker panics survived.
+    pub panics: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Deadline expirations.
+    pub deadline_expirations: u64,
+    /// Rejected request lines.
+    pub protocol_errors: u64,
+    /// Median service latency in microseconds (0 when no jobs ran).
+    pub p50_us: u64,
+    /// 99th-percentile service latency in microseconds.
+    pub p99_us: u64,
+    /// Engine counters (passes, moves, cancellations, ...).
+    pub engine: Counters,
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served job's wall-clock latency.
+    pub fn record_latency_us(&self, micros: u64) {
+        self.latencies_us
+            .lock()
+            .expect("metrics mutex")
+            .push(micros);
+    }
+
+    /// A consistent-enough copy of all counters (see
+    /// [`CounterSink::snapshot`] for the relaxed-ordering caveat).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut lat = self.latencies_us.lock().expect("metrics mutex").clone();
+        lat.sort_unstable();
+        MetricsSnapshot {
+            jobs_ok: self.jobs_ok.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            p50_us: percentile(&lat, 50),
+            p99_us: percentile(&lat, 99),
+            engine: self.engine.snapshot(),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+fn percentile(sorted: &[u64], p: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // Nearest-rank: ceil(p/100 * n), clamped to the sample.
+    let rank = ((p as usize * sorted.len()).div_ceil(100)).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a one-line JSON metrics response.
+    pub fn to_line(&self) -> String {
+        let e = &self.engine;
+        format!(
+            concat!(
+                "{{\"status\":\"ok\",\"metrics\":{{",
+                "\"jobs_ok\":{},\"jobs_failed\":{},\"panics\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},",
+                "\"deadline_expirations\":{},\"protocol_errors\":{},",
+                "\"p50_us\":{},\"p99_us\":{},",
+                "\"engine\":{{\"passes\":{},\"kway_passes\":{},\"moves_tried\":{},",
+                "\"moves_committed\":{},\"moves_rolled_back\":{},\"bucket_ops\":{},",
+                "\"cut_updates\":{},\"levels\":{},\"starts\":{},\"sweeps\":{},",
+                "\"cancellations\":{}}}}}}}"
+            ),
+            self.jobs_ok,
+            self.jobs_failed,
+            self.panics,
+            self.cache_hits,
+            self.cache_misses,
+            self.deadline_expirations,
+            self.protocol_errors,
+            self.p50_us,
+            self.p99_us,
+            e.passes,
+            e.kway_passes,
+            e.moves_tried,
+            e.moves_committed,
+            e.moves_rolled_back,
+            e.bucket_ops,
+            e.cut_updates,
+            e.levels,
+            e.starts,
+            e.sweeps,
+            e.cancellations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_activity() {
+        let m = ServiceMetrics::new();
+        m.jobs_ok.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        for us in [10, 20, 30] {
+            m.record_latency_us(us);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.jobs_ok, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.p50_us, 20);
+        assert_eq!(snap.p99_us, 30);
+    }
+
+    #[test]
+    fn metrics_line_is_valid_json() {
+        let m = ServiceMetrics::new();
+        m.record_latency_us(5);
+        let line = m.snapshot().to_line();
+        let parsed = crate::json::parse(&line).unwrap();
+        let metrics = parsed.get("metrics").unwrap();
+        assert_eq!(metrics.get("p50_us").unwrap().as_u64(), Some(5));
+        assert!(metrics
+            .get("engine")
+            .unwrap()
+            .get("cancellations")
+            .is_some());
+    }
+}

@@ -1,0 +1,569 @@
+//! Wire protocol: line-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Responses carry the request `id`, so a client
+//! may pipeline requests and match answers out of order (jobs finish in
+//! worker order, not submission order).
+//!
+//! # Requests
+//!
+//! A **job** request (all fields except `id` and the hypergraph optional):
+//!
+//! ```json
+//! {"id":"j1","engine":"ml","k":2,"tolerance":0.1,"starts":4,"threads":2,
+//!  "seed":7,"deadline_ms":5000,
+//!  "hypergraph":{"vertices":[1,1,1,1],"nets":[[0,1],{"w":2,"pins":[2,3]}]},
+//!  "fixed":[0,-1,-1,1]}
+//! ```
+//!
+//! `vertices` lists per-vertex weights; each net is either a plain pin
+//! array (weight 1) or `{"w":W,"pins":[...]}`. `fixed` maps each vertex to
+//! a part id or `-1` for free. Instead of an inline `hypergraph`, a
+//! request may name on-disk files: `"hypergraph_path":"x.hgr"` (hMETIS
+//! format) with optional `"fixed_path":"x.fix"`.
+//!
+//! **Control** requests: `{"op":"metrics"}` returns a metrics snapshot,
+//! `{"op":"shutdown"}` drains the queue and stops the server.
+//!
+//! # Responses
+//!
+//! ```json
+//! {"id":"j1","status":"ok","cut":3,"parts":[0,0,1,1],"cache_hit":false,
+//!  "deadline_expired":false,"starts_run":4,"micros":812}
+//! {"id":"j9","status":"error","code":"bad_request","message":"..."}
+//! ```
+//!
+//! Error codes: `bad_json`, `bad_request`, `unknown_engine`, `infeasible`,
+//! `queue_closed`, `internal_error`.
+
+use std::fs::File;
+use std::io::BufReader;
+
+use vlsi_hypergraph::{
+    io::{read_fix, read_hgr},
+    FixedVertices, Fixity, Hypergraph, HypergraphBuilder, PartId, PartSet,
+};
+
+use crate::json::{self, Json};
+
+/// Upper bound on `k` — [`PartSet`] packs allowed parts into a 64-bit mask.
+pub const MAX_PARTS: usize = PartSet::MAX_PARTS;
+
+/// A fully validated partitioning job, ready for a worker.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Client-chosen identifier echoed in the response.
+    pub id: String,
+    /// Canonical engine name (validated against the registry).
+    pub engine: String,
+    /// Number of parts (2..=[`MAX_PARTS`]).
+    pub k: usize,
+    /// Relative balance tolerance (≥ 0, finite).
+    pub tolerance: f64,
+    /// Independent multistart attempts (≥ 1).
+    pub starts: usize,
+    /// Worker threads for the multistart driver (≥ 1).
+    pub threads: usize,
+    /// Base RNG seed; start `i` uses `seed + i`.
+    pub seed: u64,
+    /// Wall-clock budget in milliseconds; `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// The instance.
+    pub hg: Hypergraph,
+    /// Per-vertex fixity constraints.
+    pub fixed: FixedVertices,
+}
+
+/// One parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// A partitioning job.
+    Job(Box<JobRequest>),
+    /// Metrics snapshot query.
+    Metrics,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+/// A structured protocol error, rendered as an error response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The request id, when it could be recovered from the input.
+    pub id: Option<String>,
+    /// Stable machine-readable code (`bad_json`, `bad_request`, ...).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(id: Option<String>, code: &'static str, message: impl Into<String>) -> Self {
+        ProtocolError {
+            id,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error as a one-line JSON response.
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{");
+        if let Some(id) = &self.id {
+            out.push_str("\"id\":");
+            out.push_str(&json::quote(id));
+            out.push(',');
+        }
+        out.push_str("\"status\":\"error\",\"code\":");
+        out.push_str(&json::quote(self.code));
+        out.push_str(",\"message\":");
+        out.push_str(&json::quote(&self.message));
+        out.push('}');
+        out
+    }
+}
+
+/// A successful job response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Cut value of the returned partition.
+    pub cut: u64,
+    /// Per-vertex part assignment.
+    pub parts: Vec<u32>,
+    /// Whether the solution came from the content-addressed cache.
+    pub cache_hit: bool,
+    /// Whether the deadline fired and this is a best-so-far solution.
+    pub deadline_expired: bool,
+    /// Multistart attempts that actually ran (≤ requested when cancelled).
+    pub starts_run: usize,
+    /// Wall-clock service time in microseconds.
+    pub micros: u64,
+}
+
+impl JobResponse {
+    /// Renders the response as a one-line JSON object.
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(64 + 4 * self.parts.len());
+        out.push_str("{\"id\":");
+        out.push_str(&json::quote(&self.id));
+        out.push_str(&format!(
+            ",\"status\":\"ok\",\"cut\":{},\"parts\":[",
+            self.cut
+        ));
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.to_string());
+        }
+        out.push_str(&format!(
+            "],\"cache_hit\":{},\"deadline_expired\":{},\"starts_run\":{},\"micros\":{}}}",
+            self.cache_hit, self.deadline_expired, self.starts_run, self.micros
+        ));
+        out
+    }
+}
+
+fn bad(id: &Option<String>, message: impl Into<String>) -> ProtocolError {
+    ProtocolError::new(id.clone(), "bad_request", message)
+}
+
+fn get_usize(
+    obj: &Json,
+    key: &str,
+    default: usize,
+    id: &Option<String>,
+) -> Result<usize, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .map(|u| u as usize)
+            .ok_or_else(|| bad(id, format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+/// Parses and validates one request line.
+///
+/// # Errors
+/// Returns a [`ProtocolError`] (code `bad_json`, `bad_request` or
+/// `unknown_engine`) describing the first problem found. The hypergraph
+/// and fixity vector are validated here, at ingress, so workers only ever
+/// see well-formed instances.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let root =
+        json::parse(line).map_err(|e| ProtocolError::new(None, "bad_json", e.to_string()))?;
+    if root.as_obj().is_none() {
+        return Err(ProtocolError::new(
+            None,
+            "bad_request",
+            "request must be a JSON object",
+        ));
+    }
+
+    if let Some(op) = root.get("op") {
+        return match op.as_str() {
+            Some("metrics") => Ok(Request::Metrics),
+            Some("shutdown") => Ok(Request::Shutdown),
+            _ => Err(ProtocolError::new(
+                None,
+                "bad_request",
+                "'op' must be \"metrics\" or \"shutdown\"",
+            )),
+        };
+    }
+
+    let id = root
+        .get("id")
+        .and_then(|v| v.as_str())
+        .map(|s| s.to_string());
+    let Some(ref id_str) = id else {
+        return Err(ProtocolError::new(
+            None,
+            "bad_request",
+            "job request missing string field 'id'",
+        ));
+    };
+
+    let engine_name = root
+        .get("engine")
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| bad(&id, "'engine' must be a string"))
+        })
+        .transpose()?
+        .unwrap_or_else(|| "ml".to_string());
+    let Some(engine) = vlsi_partition::EngineConfig::by_name(&engine_name) else {
+        let known: Vec<&str> = vlsi_partition::ENGINES.iter().map(|e| e.name).collect();
+        return Err(ProtocolError::new(
+            id.clone(),
+            "unknown_engine",
+            format!(
+                "unknown engine '{engine_name}'; known: {}",
+                known.join(", ")
+            ),
+        ));
+    };
+
+    let k = get_usize(&root, "k", 2, &id)?;
+    if !(2..=MAX_PARTS).contains(&k) {
+        return Err(bad(&id, format!("'k' must be in 2..={MAX_PARTS}")));
+    }
+    let tolerance = match root.get("tolerance") {
+        None => 0.1,
+        Some(v) => v
+            .as_f64()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| bad(&id, "'tolerance' must be a finite number >= 0"))?,
+    };
+    let starts = get_usize(&root, "starts", 1, &id)?;
+    if starts == 0 {
+        return Err(bad(&id, "'starts' must be >= 1"));
+    }
+    let threads = get_usize(&root, "threads", 1, &id)?;
+    if threads == 0 {
+        return Err(bad(&id, "'threads' must be >= 1"));
+    }
+    let seed = match root.get("seed") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad(&id, "'seed' must be a non-negative integer"))?,
+    };
+    let deadline_ms = match root.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| bad(&id, "'deadline_ms' must be a non-negative integer"))?,
+        ),
+    };
+
+    let hg = parse_hypergraph(&root, &id)?;
+    let fixed = parse_fixed(&root, &id, hg.num_vertices(), k)?;
+
+    Ok(Request::Job(Box::new(JobRequest {
+        id: id_str.clone(),
+        engine: engine.name().to_string(),
+        k,
+        tolerance,
+        starts,
+        threads,
+        seed,
+        deadline_ms,
+        hg,
+        fixed,
+    })))
+}
+
+fn parse_hypergraph(root: &Json, id: &Option<String>) -> Result<Hypergraph, ProtocolError> {
+    match (root.get("hypergraph"), root.get("hypergraph_path")) {
+        (Some(_), Some(_)) => Err(bad(
+            id,
+            "give either 'hypergraph' or 'hypergraph_path', not both",
+        )),
+        (Some(inline), None) => parse_inline_hypergraph(inline, id),
+        (None, Some(path)) => {
+            let path = path
+                .as_str()
+                .ok_or_else(|| bad(id, "'hypergraph_path' must be a string"))?;
+            let file =
+                File::open(path).map_err(|e| bad(id, format!("cannot open '{path}': {e}")))?;
+            read_hgr(BufReader::new(file))
+                .map_err(|e| bad(id, format!("cannot parse '{path}': {e}")))
+        }
+        (None, None) => Err(bad(id, "missing 'hypergraph' or 'hypergraph_path'")),
+    }
+}
+
+fn parse_inline_hypergraph(
+    inline: &Json,
+    id: &Option<String>,
+) -> Result<Hypergraph, ProtocolError> {
+    let vertices = inline
+        .get("vertices")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| bad(id, "'hypergraph.vertices' must be an array of weights"))?;
+    if vertices.is_empty() {
+        return Err(bad(id, "'hypergraph.vertices' must not be empty"));
+    }
+    let nets = inline
+        .get("nets")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| bad(id, "'hypergraph.nets' must be an array"))?;
+
+    let mut b = HypergraphBuilder::with_capacity(vertices.len(), nets.len(), 0);
+    let mut ids = Vec::with_capacity(vertices.len());
+    for (i, w) in vertices.iter().enumerate() {
+        let w = w.as_u64().ok_or_else(|| {
+            bad(
+                id,
+                format!("vertex {i}: weight must be a non-negative integer"),
+            )
+        })?;
+        ids.push(b.add_vertex(w));
+    }
+    for (n, net) in nets.iter().enumerate() {
+        let (weight, pins) = match net {
+            Json::Arr(pins) => (1, pins.as_slice()),
+            obj @ Json::Obj(_) => {
+                let w = match obj.get("w") {
+                    None => 1,
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or_else(|| bad(id, format!("net {n}: 'w' must be an integer")))?,
+                };
+                let pins = obj
+                    .get("pins")
+                    .and_then(|v| v.as_arr())
+                    .ok_or_else(|| bad(id, format!("net {n}: missing 'pins' array")))?;
+                (w, pins)
+            }
+            _ => {
+                return Err(bad(
+                    id,
+                    format!("net {n}: must be a pin array or {{\"w\":..,\"pins\":[..]}}"),
+                ))
+            }
+        };
+        let mut resolved = Vec::with_capacity(pins.len());
+        for p in pins {
+            let p = p
+                .as_u64()
+                .map(|u| u as usize)
+                .filter(|&u| u < ids.len())
+                .ok_or_else(|| bad(id, format!("net {n}: pin out of range 0..{}", ids.len())))?;
+            resolved.push(ids[p]);
+        }
+        b.add_net(weight, resolved)
+            .map_err(|e| bad(id, format!("net {n}: {e}")))?;
+    }
+    b.build().map_err(|e| bad(id, format!("hypergraph: {e}")))
+}
+
+fn parse_fixed(
+    root: &Json,
+    id: &Option<String>,
+    num_vertices: usize,
+    k: usize,
+) -> Result<FixedVertices, ProtocolError> {
+    match (root.get("fixed"), root.get("fixed_path")) {
+        (Some(_), Some(_)) => Err(bad(id, "give either 'fixed' or 'fixed_path', not both")),
+        (None, None) => Ok(FixedVertices::all_free(num_vertices)),
+        (None, Some(path)) => {
+            let path = path
+                .as_str()
+                .ok_or_else(|| bad(id, "'fixed_path' must be a string"))?;
+            let file =
+                File::open(path).map_err(|e| bad(id, format!("cannot open '{path}': {e}")))?;
+            read_fix(BufReader::new(file), num_vertices)
+                .map_err(|e| bad(id, format!("cannot parse '{path}': {e}")))
+        }
+        (Some(arr), None) => {
+            let entries = arr
+                .as_arr()
+                .ok_or_else(|| bad(id, "'fixed' must be an array of part ids (-1 = free)"))?;
+            if entries.len() != num_vertices {
+                return Err(bad(
+                    id,
+                    format!(
+                        "'fixed' has {} entries for {} vertices",
+                        entries.len(),
+                        num_vertices
+                    ),
+                ));
+            }
+            let mut fixities = Vec::with_capacity(entries.len());
+            for (i, e) in entries.iter().enumerate() {
+                match e.as_i64() {
+                    Some(-1) => fixities.push(Fixity::Free),
+                    Some(p) if (0..k as i64).contains(&p) => {
+                        fixities.push(Fixity::Fixed(PartId::from_index(p as usize)));
+                    }
+                    _ => {
+                        return Err(bad(
+                            id,
+                            format!("fixed[{i}]: must be -1 (free) or a part id in 0..{k}"),
+                        ))
+                    }
+                }
+            }
+            Ok(FixedVertices::from_fixities(fixities))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job_line() -> String {
+        r#"{"id":"j1","engine":"fm","starts":2,"seed":3,
+            "hypergraph":{"vertices":[1,1,1,1],"nets":[[0,1],[1,2],{"w":2,"pins":[2,3]}]},
+            "fixed":[0,-1,-1,1]}"#
+            .replace('\n', " ")
+    }
+
+    #[test]
+    fn parses_a_full_job() {
+        let Request::Job(job) = parse_request(&job_line()).unwrap() else {
+            panic!("expected a job");
+        };
+        assert_eq!(job.id, "j1");
+        assert_eq!(job.engine, "fm");
+        assert_eq!(job.k, 2);
+        assert_eq!(job.starts, 2);
+        assert_eq!(job.seed, 3);
+        assert_eq!(job.hg.num_vertices(), 4);
+        assert_eq!(job.hg.num_nets(), 3);
+        assert_eq!(job.fixed.num_fixed(), 2);
+        assert!(job.deadline_ms.is_none());
+    }
+
+    #[test]
+    fn engine_aliases_resolve_to_canonical_names() {
+        let line =
+            r#"{"id":"a","engine":"multilevel","hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#;
+        let Request::Job(job) = parse_request(line).unwrap() else {
+            panic!("expected a job");
+        };
+        assert_eq!(job.engine, "ml");
+    }
+
+    #[test]
+    fn control_requests_parse() {
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_get_structured_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("{not json", "bad_json"),
+            ("[1,2]", "bad_request"),
+            (r#"{"op":"dance"}"#, "bad_request"),
+            (r#"{"engine":"fm"}"#, "bad_request"), // missing id
+            (
+                r#"{"id":"x","engine":"quantum","hypergraph":{"vertices":[1],"nets":[]}}"#,
+                "unknown_engine",
+            ),
+            (
+                r#"{"id":"x","hypergraph":{"vertices":[],"nets":[]}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"x","hypergraph":{"vertices":[1,1],"nets":[[0,5]]}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"x","k":1,"hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"x","k":65,"hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"x","hypergraph":{"vertices":[1,1],"nets":[[0,1]]},"fixed":[0]}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"x","hypergraph":{"vertices":[1,1],"nets":[[0,1]]},"fixed":[0,7]}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"x","tolerance":-0.5,"hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"x","starts":0,"hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#,
+                "bad_request",
+            ),
+            (r#"{"id":"x"}"#, "bad_request"), // no hypergraph at all
+        ];
+        for (line, code) in cases {
+            match parse_request(line) {
+                Err(e) => assert_eq!(&e.code, code, "line {line:?} gave {e:?}"),
+                Ok(_) => panic!("line {line:?} should not parse"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_lines_echo_the_id_when_known() {
+        let err = parse_request(
+            r#"{"id":"x","engine":"quantum","hypergraph":{"vertices":[1],"nets":[]}}"#,
+        )
+        .unwrap_err();
+        let line = err.to_line();
+        assert!(line.contains("\"id\":\"x\""), "{line}");
+        assert!(line.contains("\"code\":\"unknown_engine\""), "{line}");
+        // The error line itself is valid JSON.
+        crate::json::parse(&line).unwrap();
+    }
+
+    #[test]
+    fn response_lines_are_valid_json() {
+        let resp = JobResponse {
+            id: "a\"b".into(),
+            cut: 3,
+            parts: vec![0, 1, 0],
+            cache_hit: true,
+            deadline_expired: false,
+            starts_run: 2,
+            micros: 17,
+        };
+        let parsed = crate::json::parse(&resp.to_line()).unwrap();
+        assert_eq!(parsed.get("id").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(parsed.get("cut").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("parts").unwrap().as_arr().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,269 @@
+//! Bounded job queue and worker pool.
+//!
+//! The queue is a classic mutex-plus-condvar bounded buffer: producers
+//! [`push`](BoundedQueue::push) block while the queue is full (this is the
+//! server's backpressure — a client that floods requests stalls its own
+//! connection reader instead of growing memory without bound), and workers
+//! [`pop`](BoundedQueue::pop) block while it is empty.
+//!
+//! Shutdown is graceful by construction: [`close`](BoundedQueue::close)
+//! wakes everyone, producers start failing fast, and workers keep draining
+//! whatever was already accepted before they see `None` and exit — no
+//! accepted job is ever dropped.
+//!
+//! Each worker executes jobs inside `catch_unwind`, so a panicking job
+//! poisons nothing: the worker reports the failure through the job's
+//! responder and moves on to the next job.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Error returned when submitting to a closed queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueClosed;
+
+impl std::fmt::Display for QueueClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue is closed")
+    }
+}
+
+impl std::error::Error for QueueClosed {}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking bounded MPMC queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` pending items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    /// Returns the item back inside [`QueueClosed`]-flavoured `Err` when
+    /// the queue has been closed (the item is dropped).
+    pub fn push(&self, item: T) -> Result<(), QueueClosed> {
+        let mut state = self.state.lock().expect("queue mutex");
+        loop {
+            if state.closed {
+                return Err(QueueClosed);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue mutex");
+        }
+    }
+
+    /// Enqueues `item` only if there is room right now.
+    ///
+    /// # Errors
+    /// `Err(Some(item))` when the queue is full (the item is handed back),
+    /// `Err(None)` when it is closed.
+    pub fn try_push(&self, item: T) -> Result<(), Option<T>> {
+        let mut state = self.state.lock().expect("queue mutex");
+        if state.closed {
+            return Err(None);
+        }
+        if state.items.len() < self.capacity {
+            state.items.push_back(item);
+            self.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(Some(item))
+        }
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue mutex");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex");
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes fail.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue mutex");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A fixed pool of worker threads draining a [`BoundedQueue`] of jobs.
+///
+/// `run` maps a job to `()` — jobs carry their own response channel, so
+/// the pool needs no output plumbing. A panicking job is caught and routed
+/// to `on_panic`; the worker thread survives.
+pub struct WorkerPool<T: Send + 'static> {
+    queue: Arc<BoundedQueue<T>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `workers` threads (min 1) sharing `queue`.
+    pub fn spawn<F, P>(workers: usize, queue: Arc<BoundedQueue<T>>, run: F, on_panic: P) -> Self
+    where
+        F: Fn(T) + Send + Sync + 'static,
+        P: Fn(Box<dyn std::any::Any + Send>) + Send + Sync + 'static,
+    {
+        let run = Arc::new(run);
+        let on_panic = Arc::new(on_panic);
+        let handles = (0..workers.max(1))
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let run = Arc::clone(&run);
+                let on_panic = Arc::clone(&on_panic);
+                std::thread::Builder::new()
+                    .name(format!("vlsi-service-worker-{w}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| run(job)))
+                            {
+                                on_panic(payload);
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { queue, handles }
+    }
+
+    /// The shared queue (for submitting).
+    pub fn queue(&self) -> &Arc<BoundedQueue<T>> {
+        &self.queue
+    }
+
+    /// Closes the queue and joins every worker after it drains.
+    pub fn shutdown(self) {
+        self.queue.close();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_consumer() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_blocks_until_a_pop_frees_a_slot() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1).unwrap());
+        // The producer must be blocked: the queue stays at capacity.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn try_push_reports_full_and_closed() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(Some(2)));
+        q.close();
+        assert_eq!(q.try_push(3), Err(None));
+    }
+
+    #[test]
+    fn close_drains_pending_then_ends() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).is_err());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pool_executes_all_jobs_and_survives_panics() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let panics = Arc::new(AtomicUsize::new(0));
+        let queue = Arc::new(BoundedQueue::new(4));
+        let done2 = Arc::clone(&done);
+        let panics2 = Arc::clone(&panics);
+        let pool = WorkerPool::spawn(
+            2,
+            Arc::clone(&queue),
+            move |job: usize| {
+                if job == 13 {
+                    panic!("unlucky job");
+                }
+                done2.fetch_add(1, Ordering::SeqCst);
+            },
+            move |_| {
+                panics2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        for job in [1, 13, 2, 13, 3] {
+            queue.push(job).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 3, "non-panicking jobs ran");
+        assert_eq!(panics.load(Ordering::SeqCst), 2, "panics were isolated");
+    }
+}

@@ -1,0 +1,431 @@
+//! The batch partitioning server: transports, job execution, lifecycle.
+//!
+//! A [`Service`] owns the shared state (solution cache, metrics, optional
+//! JSONL trace sink) and a [`WorkerPool`] draining a bounded job queue.
+//! Transports are thin: both the stdio loop and the TCP accept loop feed
+//! request lines into [`Service::serve`], which parses, answers control
+//! requests inline, and submits jobs. Responses travel back through a
+//! per-connection channel so a slow job never blocks the reader, and the
+//! bounded queue pushes back on clients that submit faster than the
+//! workers drain.
+//!
+//! Shutdown is graceful end to end: `{"op":"shutdown"}` (or EOF on stdio)
+//! stops the reader, every already-accepted job still runs and answers,
+//! the pool joins, and the trace sink is flushed before
+//! [`Service::shutdown`] returns the final metrics snapshot.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vlsi_hypergraph::{validate_partitioning, BalanceConstraint, PartId, Partitioning, Tolerance};
+use vlsi_partition::{
+    multistart_parallel_engine_cancellable, CancelToken, EngineConfig, PartitionError,
+};
+use vlsi_trace::{JsonlSink, Sink, Tee};
+
+use crate::cache::{cache_key, CacheStats, SolutionCache};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::protocol::{parse_request, JobRequest, JobResponse, ProtocolError, Request};
+use crate::queue::{BoundedQueue, WorkerPool};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs (defaults to the machine's
+    /// available parallelism).
+    pub workers: usize,
+    /// Bounded queue depth; producers block when it is full.
+    pub queue_capacity: usize,
+    /// Maximum solutions held by the content-addressed cache.
+    pub cache_capacity: usize,
+    /// Optional JSONL trace file receiving engine events from every job.
+    pub trace_path: Option<std::path::PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+            cache_capacity: 128,
+            trace_path: None,
+        }
+    }
+}
+
+/// State shared by transports and workers.
+struct ServiceCtx {
+    cache: Mutex<SolutionCache>,
+    metrics: ServiceMetrics,
+    trace: Option<JsonlSink>,
+}
+
+/// A queued job: the validated request plus the connection's reply channel.
+struct Job {
+    request: Box<JobRequest>,
+    tx: mpsc::Sender<String>,
+}
+
+/// How a connection's request loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The input stream reached end-of-file.
+    Eof,
+    /// The client sent `{"op":"shutdown"}`.
+    ShutdownRequested,
+}
+
+/// A running batch partitioning service.
+pub struct Service {
+    ctx: Arc<ServiceCtx>,
+    pool: WorkerPool<Job>,
+}
+
+impl Service {
+    /// Builds the shared state and spawns the worker pool.
+    ///
+    /// # Errors
+    /// Propagates trace-file creation failures.
+    pub fn start(config: ServiceConfig) -> io::Result<Service> {
+        let trace = config
+            .trace_path
+            .as_ref()
+            .map(JsonlSink::create)
+            .transpose()?;
+        let ctx = Arc::new(ServiceCtx {
+            cache: Mutex::new(SolutionCache::new(config.cache_capacity)),
+            metrics: ServiceMetrics::new(),
+            trace,
+        });
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let run_ctx = Arc::clone(&ctx);
+        let panic_ctx = Arc::clone(&ctx);
+        let pool = WorkerPool::spawn(
+            config.workers,
+            queue,
+            move |job: Job| run_job(&run_ctx, job),
+            move |_payload| {
+                // Backstop only: run_job catches its own panics so it can
+                // still answer the client. Reaching here means the reply
+                // channel itself failed mid-unwind.
+                panic_ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        Ok(Service { ctx, pool })
+    }
+
+    /// Serves one line-delimited JSON connection until EOF or shutdown.
+    ///
+    /// Responses are written as they complete (jobs may answer out of
+    /// submission order; match on `id`). The call returns only after every
+    /// job accepted from *this* connection has been answered and flushed.
+    ///
+    /// # Errors
+    /// Propagates read errors; write errors end the response pump.
+    pub fn serve<R, W>(&self, reader: R, writer: W) -> io::Result<ServeOutcome>
+    where
+        R: BufRead,
+        W: Write + Send,
+    {
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<String>();
+            let pump = scope.spawn(move || -> io::Result<()> {
+                let mut writer = writer;
+                for line in rx {
+                    writeln!(writer, "{line}")?;
+                    writer.flush()?;
+                }
+                writer.flush()
+            });
+
+            let mut outcome = ServeOutcome::Eof;
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_request(&line) {
+                    Err(e) => {
+                        self.ctx
+                            .metrics
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(e.to_line());
+                    }
+                    Ok(Request::Metrics) => {
+                        let _ = tx.send(self.metrics_line());
+                    }
+                    Ok(Request::Shutdown) => {
+                        let _ = tx.send("{\"status\":\"ok\",\"op\":\"shutdown\"}".to_string());
+                        outcome = ServeOutcome::ShutdownRequested;
+                        break;
+                    }
+                    Ok(Request::Job(request)) => {
+                        let id = request.id.clone();
+                        let job = Job {
+                            request,
+                            tx: tx.clone(),
+                        };
+                        if self.pool.queue().push(job).is_err() {
+                            let _ = tx.send(
+                                ProtocolError {
+                                    id: Some(id),
+                                    code: "queue_closed",
+                                    message: "service is shutting down".to_string(),
+                                }
+                                .to_line(),
+                            );
+                        }
+                    }
+                }
+            }
+            // Dropping our sender leaves only in-flight jobs holding clones;
+            // the pump drains their answers and exits when the last one is
+            // done — so returning from here implies all responses are out.
+            drop(tx);
+            pump.join().expect("response pump never panics")?;
+            Ok(outcome)
+        })
+    }
+
+    /// The current metrics snapshot (engine + service counters).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.ctx.metrics.snapshot()
+    }
+
+    /// The cache's own counters (hits/misses/evictions/entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ctx.cache.lock().expect("cache mutex").stats()
+    }
+
+    fn metrics_line(&self) -> String {
+        self.ctx.metrics.snapshot().to_line()
+    }
+
+    /// Drains the queue, joins every worker, flushes the trace sink, and
+    /// returns the final metrics snapshot.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        self.pool.shutdown();
+        if let Some(trace) = &self.ctx.trace {
+            trace.flush();
+        }
+        self.ctx.metrics.snapshot()
+    }
+}
+
+/// Executes one job end to end and answers on the job's channel. Panics
+/// inside the engine are caught here so the client still gets an
+/// `internal_error` response with its request id.
+fn run_job(ctx: &ServiceCtx, job: Job) {
+    let Job { request, tx } = job;
+    let id = request.id.clone();
+    let line = match panic::catch_unwind(AssertUnwindSafe(|| execute_job(ctx, &request))) {
+        Ok(line) => line,
+        Err(_) => {
+            ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            ProtocolError {
+                id: Some(id),
+                code: "internal_error",
+                message: "worker panicked while executing the job".to_string(),
+            }
+            .to_line()
+        }
+    };
+    let _ = tx.send(line);
+}
+
+fn error_code(err: &PartitionError) -> &'static str {
+    match err {
+        PartitionError::InfeasibleInstance { .. } | PartitionError::Balance(_) => "infeasible",
+        _ => "bad_request",
+    }
+}
+
+fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
+    let t0 = Instant::now();
+    let engine = EngineConfig::by_name(&req.engine).expect("engine validated at ingress");
+    let balance = BalanceConstraint::even(
+        req.k,
+        req.hg.total_weights(),
+        Tolerance::Relative(req.tolerance),
+    );
+
+    let key = cache_key(
+        &req.engine,
+        req.k,
+        req.tolerance,
+        req.starts,
+        req.seed,
+        &req.hg,
+        &req.fixed,
+    );
+    let cached = ctx.cache.lock().expect("cache mutex").get(&key);
+    if let Some((parts, cut)) = cached {
+        ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+        let micros = t0.elapsed().as_micros() as u64;
+        ctx.metrics.record_latency_us(micros);
+        return JobResponse {
+            id: req.id.clone(),
+            cut,
+            parts: parts.iter().map(|p| p.index() as u32).collect(),
+            cache_hit: true,
+            deadline_expired: false,
+            starts_run: 0,
+            micros,
+        }
+        .to_line();
+    }
+    ctx.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let cancel = match req.deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::never(),
+    };
+    let outcome = match &ctx.trace {
+        Some(trace) => {
+            let sink = Tee::new(&ctx.metrics.engine, trace);
+            multistart_parallel_engine_cancellable(
+                &req.hg,
+                &req.fixed,
+                &balance,
+                req.starts,
+                req.threads,
+                req.seed,
+                &engine,
+                &sink,
+                &cancel,
+            )
+        }
+        None => multistart_parallel_engine_cancellable(
+            &req.hg,
+            &req.fixed,
+            &balance,
+            req.starts,
+            req.threads,
+            req.seed,
+            &engine,
+            &ctx.metrics.engine,
+            &cancel,
+        ),
+    };
+
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            ctx.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return ProtocolError {
+                id: Some(req.id.clone()),
+                code: error_code(&e),
+                message: e.to_string(),
+            }
+            .to_line();
+        }
+    };
+    let deadline_expired = cancel.is_cancelled();
+
+    // Independent referee: never hand out an illegal partition, even from
+    // a cancelled best-so-far path.
+    let legal = Partitioning::from_parts(&req.hg, req.k, outcome.best.parts.clone())
+        .map(|p| validate_partitioning(&req.hg, &p, &balance, &req.fixed).is_valid())
+        .unwrap_or(false);
+    if !legal {
+        ctx.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        return ProtocolError {
+            id: Some(req.id.clone()),
+            code: "internal_error",
+            message: "engine returned a partition that failed validation".to_string(),
+        }
+        .to_line();
+    }
+
+    if deadline_expired {
+        ctx.metrics
+            .deadline_expirations
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        // Only complete runs are cached: a best-so-far solution would
+        // otherwise shadow the full-quality answer for later requests.
+        ctx.cache.lock().expect("cache mutex").insert(
+            key,
+            outcome.best.parts.clone(),
+            outcome.best.cut,
+        );
+    }
+    ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+    let micros = t0.elapsed().as_micros() as u64;
+    ctx.metrics.record_latency_us(micros);
+
+    JobResponse {
+        id: req.id.clone(),
+        cut: outcome.best.cut,
+        parts: outcome
+            .best
+            .parts
+            .iter()
+            .map(|p: &PartId| p.index() as u32)
+            .collect(),
+        cache_hit: false,
+        deadline_expired,
+        starts_run: outcome.starts.len(),
+        micros,
+    }
+    .to_line()
+}
+
+/// Runs the service over stdin/stdout until EOF or `{"op":"shutdown"}`,
+/// then shuts down gracefully and returns the final metrics snapshot.
+///
+/// # Errors
+/// Propagates transport I/O and trace-file errors.
+pub fn serve_stdio(config: ServiceConfig) -> io::Result<MetricsSnapshot> {
+    let service = Service::start(config)?;
+    let stdin = io::stdin();
+    service.serve(stdin.lock(), io::stdout())?;
+    Ok(service.shutdown())
+}
+
+/// Runs the service on a TCP listener (one thread per connection) until a
+/// client requests shutdown, then drains and returns the final snapshot.
+///
+/// # Errors
+/// Propagates bind and trace-file errors; per-connection I/O errors only
+/// end that connection.
+pub fn serve_tcp(config: ServiceConfig, addr: impl ToSocketAddrs) -> io::Result<MetricsSnapshot> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let service = Service::start(config)?;
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = &service;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(s) => BufReader::new(s),
+                            Err(_) => return,
+                        };
+                        if let Ok(ServeOutcome::ShutdownRequested) = service.serve(reader, stream) {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(service.shutdown())
+}

@@ -23,6 +23,41 @@ impl MoverFixity {
     }
 }
 
+/// The engine loop at which a cooperative-cancellation check observed an
+/// expired cancel token (`vlsi_partition::CancelToken`) — producers name
+/// the loop they were about to enter (or continue) when they stopped
+/// early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelStage {
+    /// An FM run skipped its remaining 2-way passes.
+    FmPass,
+    /// A Kernighan–Lin run skipped its remaining passes.
+    KlPass,
+    /// A k-way refinement skipped its remaining passes.
+    KwayPass,
+    /// A simulated-annealing run skipped its remaining sweeps.
+    Sweep,
+    /// A multilevel driver short-circuited its remaining work (coarse
+    /// starts, V-cycles, or coarsening levels).
+    Level,
+    /// A multistart driver skipped its remaining starts.
+    Multistart,
+}
+
+impl CancelStage {
+    /// The JSONL string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelStage::FmPass => "fm_pass",
+            CancelStage::KlPass => "kl_pass",
+            CancelStage::KwayPass => "kway_pass",
+            CancelStage::Sweep => "sweep",
+            CancelStage::Level => "level",
+            CancelStage::Multistart => "multistart",
+        }
+    }
+}
+
 /// One structured trace event.
 ///
 /// Events carry plain integers only, so this crate stays decoupled from
@@ -149,6 +184,16 @@ pub enum Event {
         /// performed during the pass.
         bucket_ops: u64,
     },
+    /// A cooperative-cancellation check observed an expired token and the
+    /// enclosing engine stopped early, returning its best-so-far solution.
+    /// Emitted at most once per engine loop that stops.
+    Cancelled {
+        /// The engine loop that observed the cancellation.
+        stage: CancelStage,
+        /// Best-so-far objective value at the moment the loop stopped
+        /// (the cut for 2-way engines, the refined objective for k-way).
+        value: u64,
+    },
     /// One simulated-annealing sweep completed.
     SweepFinished {
         /// 0-based sweep index.
@@ -175,6 +220,7 @@ impl Event {
             Event::KwayPassStart { .. } => "kway_pass_start",
             Event::KwayMove { .. } => "kway_move",
             Event::KwayPassEnd { .. } => "kway_pass_end",
+            Event::Cancelled { .. } => "cancelled",
             Event::SweepFinished { .. } => "sweep",
         }
     }
@@ -291,6 +337,9 @@ impl Event {
                     ",\"pass\":{pass},\"moves\":{moves},\"best_prefix\":{best_prefix},\"value_before\":{value_before},\"value_after\":{value_after},\"bucket_ops\":{bucket_ops}"
                 );
             }
+            Event::Cancelled { stage, value } => {
+                let _ = write!(s, ",\"stage\":\"{}\",\"value\":{value}", stage.as_str());
+            }
             Event::SweepFinished {
                 sweep,
                 accepted,
@@ -392,6 +441,13 @@ mod tests {
                 r#"{"ev":"kway_pass_end","pass":0,"moves":9,"best_prefix":4,"value_before":31,"value_after":27,"bucket_ops":61}"#,
             ),
             (
+                Event::Cancelled {
+                    stage: CancelStage::FmPass,
+                    value: 17,
+                },
+                r#"{"ev":"cancelled","stage":"fm_pass","value":17}"#,
+            ),
+            (
                 Event::SweepFinished {
                     sweep: 7,
                     accepted: 13,
@@ -474,6 +530,11 @@ mod tests {
                 value_before: 0,
                 value_after: 0,
                 bucket_ops: 0,
+            }
+            .kind(),
+            Event::Cancelled {
+                stage: CancelStage::Level,
+                value: 0,
             }
             .kind(),
             Event::SweepFinished {

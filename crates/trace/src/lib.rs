@@ -59,5 +59,5 @@ mod event;
 pub mod replay;
 mod sink;
 
-pub use event::{Event, MoverFixity};
+pub use event::{CancelStage, Event, MoverFixity};
 pub use sink::{CounterSink, Counters, JsonlSink, NullSink, Sink, Tee, VecSink};

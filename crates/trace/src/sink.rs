@@ -68,6 +68,8 @@ pub struct Counters {
     pub kway_passes: u64,
     /// Simulated-annealing sweeps finished ([`Event::SweepFinished`] count).
     pub sweeps: u64,
+    /// Cooperative cancellations observed ([`Event::Cancelled`] count).
+    pub cancellations: u64,
 }
 
 impl std::fmt::Display for Counters {
@@ -75,7 +77,7 @@ impl std::fmt::Display for Counters {
         write!(
             f,
             "passes {} (+{} k-way), moves {} tried / {} committed / {} rolled back, \
-             bucket ops {}, cut updates {}, levels {}, starts {}, sweeps {}",
+             bucket ops {}, cut updates {}, levels {}, starts {}, sweeps {}, cancellations {}",
             self.passes,
             self.kway_passes,
             self.moves_tried,
@@ -85,7 +87,8 @@ impl std::fmt::Display for Counters {
             self.cut_updates,
             self.levels,
             self.starts,
-            self.sweeps
+            self.sweeps,
+            self.cancellations
         )
     }
 }
@@ -107,6 +110,7 @@ pub struct CounterSink {
     starts: AtomicU64,
     kway_passes: AtomicU64,
     sweeps: AtomicU64,
+    cancellations: AtomicU64,
 }
 
 impl CounterSink {
@@ -128,6 +132,7 @@ impl CounterSink {
             starts: self.starts.load(Ordering::Relaxed),
             kway_passes: self.kway_passes.load(Ordering::Relaxed),
             sweeps: self.sweeps.load(Ordering::Relaxed),
+            cancellations: self.cancellations.load(Ordering::Relaxed),
         }
     }
 }
@@ -174,6 +179,9 @@ impl Sink for CounterSink {
                 }
             }
             Event::KwayPassStart { .. } => {}
+            Event::Cancelled { .. } => {
+                self.cancellations.fetch_add(1, Ordering::Relaxed);
+            }
             Event::SweepFinished { .. } => {
                 self.sweeps.fetch_add(1, Ordering::Relaxed);
             }

@@ -105,3 +105,42 @@ fn determinism_survives_fixed_vertices_in_multistart() {
         }
     }
 }
+
+#[test]
+fn multistart_parallel_is_thread_count_invariant() {
+    use fixed_vertices_repro::vlsi_partition::{multistart_parallel_engine, EngineConfig};
+
+    let circuit = ibm01_like_scaled(0.04, 23);
+    let hg = &circuit.hypergraph;
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.05));
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 25 {
+        fixed.fix(VertexId((i * 11) as u32), PartId((i % 2) as u32));
+    }
+    let engine = EngineConfig::by_name("fm").expect("fm is registered");
+
+    // Start i always seeds its own RNG with base_seed + i, so scheduling
+    // the 8 starts on 1, 2 or 4 OS threads must not change anything — not
+    // just the best cut, but the byte-identical assignment and the full
+    // per-start cut profile.
+    let run = |threads: usize| {
+        multistart_parallel_engine(hg, &fixed, &balance, 8, threads, 99, &engine)
+            .expect("parallel multistart runs")
+    };
+    let base = run(1);
+    assert_eq!(base.starts.len(), 8);
+    for threads in [2, 4] {
+        let r = run(threads);
+        assert_eq!(
+            r.best.cut, base.best.cut,
+            "{threads} threads changed the best cut"
+        );
+        assert_eq!(
+            r.best.parts, base.best.parts,
+            "{threads} threads changed the assignment"
+        );
+        let base_cuts: Vec<u64> = base.starts.iter().map(|s| s.cut).collect();
+        let cuts: Vec<u64> = r.starts.iter().map(|s| s.cut).collect();
+        assert_eq!(cuts, base_cuts, "{threads} threads changed a start's cut");
+    }
+}
