@@ -66,6 +66,7 @@ fn bench_coarsen(c: &mut Criterion) {
         max_net_size_for_matching: 64,
         max_fixed_part_weight: Vec::new(),
         allow_free_fixed_merge: false,
+        threads: 1,
     };
     let mut group = c.benchmark_group("micro/coarsen_once");
     group.sample_size(20);

@@ -1,0 +1,258 @@
+//! The CI perf-regression suite. Unlike the paper-table benches, this
+//! target exists to be *gated*: it measures the hot phases the parallel
+//! execution layer touches (heavy-edge matching + contraction, FM gain
+//! initialization inside a full run, and an end-to-end multilevel
+//! partition) at several thread counts, writes
+//! `results/bench/BENCH_partition.json`, and — when `PERF_GATE=1` — fails
+//! the process if any benchmark's median regressed more than 15% against
+//! the checked-in baseline (`PERF_BASELINE`, defaulting to
+//! `results/bench/BENCH_partition.baseline.json`).
+//!
+//! The baseline is regenerated on purpose, never by accident:
+//! `TESTKIT_BENCH_DIR=... cargo bench -p bench --bench perf_suite` and
+//! copy the JSON over the baseline file.
+
+use std::hint::black_box;
+
+use vlsi_rng::{ChaCha8Rng, SeedableRng};
+use vlsi_testkit::bench::Criterion;
+
+use vlsi_hypergraph::{BalanceConstraint, FixedVertices, PartId, Tolerance, VertexId};
+use vlsi_netgen::instances::ibm01_like_scaled;
+use vlsi_partition::multilevel::{coarsen_once, CoarsenParams};
+use vlsi_partition::{
+    BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner, Partitioner, RunCtx,
+    SelectionPolicy,
+};
+
+/// Thread counts every phase is measured at.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The default gate threshold: a benchmark fails if its median exceeds
+/// the baseline median by more than this factor. `PERF_MAX_REGRESSION`
+/// (a percentage, e.g. `40`) overrides it for noisy builders.
+const MAX_REGRESSION: f64 = 1.15;
+
+fn max_regression() -> f64 {
+    std::env::var("PERF_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|pct| 1.0 + pct / 100.0)
+        .unwrap_or(MAX_REGRESSION)
+}
+
+fn fixture() -> (
+    vlsi_hypergraph::Hypergraph,
+    FixedVertices,
+    BalanceConstraint,
+) {
+    let circuit = ibm01_like_scaled(0.60, 7);
+    let hg = circuit.hypergraph;
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 20 {
+        fixed.fix(VertexId((i * 7) as u32), PartId((i % 2) as u32));
+    }
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.05));
+    (hg, fixed, balance)
+}
+
+fn bench_coarsen(c: &mut Criterion, hg: &vlsi_hypergraph::Hypergraph, fixed: &FixedVertices) {
+    let mut group = c.benchmark_group("partition/coarsen_once");
+    group.sample_size(15);
+    for threads in THREADS {
+        let params = CoarsenParams {
+            max_cluster_weight: hg.total_weight() / 20,
+            max_net_size_for_matching: 64,
+            max_fixed_part_weight: Vec::new(),
+            allow_free_fixed_merge: false,
+            threads,
+        };
+        group.bench_function(format!("t{threads}").as_str(), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            b.iter(|| black_box(coarsen_once(hg, fixed, &params, 0.99, None, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flat_fm(
+    c: &mut Criterion,
+    hg: &vlsi_hypergraph::Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+) {
+    // A full flat-FM run; the parallel gain initialization dominates the
+    // start of every pass on an instance this size.
+    let mut group = c.benchmark_group("partition/flat_fm");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let fm = BipartFm::new(FmConfig {
+            policy: SelectionPolicy::Clip,
+            ..FmConfig::default()
+        })
+        .with_threads(threads);
+        group.bench_function(format!("t{threads}").as_str(), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(11);
+                black_box(
+                    fm.partition_ctx(hg, fixed, balance, RunCtx::new(&mut rng))
+                        .expect("fm runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multilevel(
+    c: &mut Criterion,
+    hg: &vlsi_hypergraph::Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+) {
+    let mut group = c.benchmark_group("partition/multilevel");
+    group.sample_size(10);
+    for threads in THREADS {
+        let ml = MultilevelPartitioner::new(MultilevelConfig {
+            coarsest_size: 60,
+            coarse_starts: 2,
+            threads,
+            ..MultilevelConfig::default()
+        });
+        group.bench_function(format!("t{threads}").as_str(), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(23);
+                black_box(
+                    ml.partition_ctx(hg, fixed, balance, RunCtx::new(&mut rng))
+                        .expect("ml runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Pulls `(id, median_ns)` pairs out of a testkit bench JSON file with a
+/// plain string scan (the format is fixed: `"id": "...", ... "median_ns":
+/// 123.4`), so the gate needs no JSON dependency.
+fn parse_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("\"id\": \"").skip(1) {
+        let Some(id_end) = chunk.find('"') else {
+            continue;
+        };
+        let id = chunk[..id_end].to_string();
+        let Some(pos) = chunk.find("\"median_ns\": ") else {
+            continue;
+        };
+        let rest = &chunk[pos + "\"median_ns\": ".len()..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(median) = num.parse::<f64>() {
+            out.push((id, median));
+        }
+    }
+    out
+}
+
+/// Reports the 4-thread speedup of the parallelized phases and, when
+/// `PERF_GATE=1`, compares every benchmark's median against the baseline.
+/// Returns `false` if the gate failed.
+fn gate(results_path: &std::path::Path) -> bool {
+    let Ok(current_json) = std::fs::read_to_string(results_path) else {
+        eprintln!("perf_suite: no results at {}", results_path.display());
+        return true;
+    };
+    let current = parse_medians(&current_json);
+
+    for phase in ["partition/coarsen_once", "partition/multilevel"] {
+        let t1 = current.iter().find(|(id, _)| id == &format!("{phase}/t1"));
+        let t4 = current.iter().find(|(id, _)| id == &format!("{phase}/t4"));
+        if let (Some((_, m1)), Some((_, m4))) = (t1, t4) {
+            println!("perf_suite: {phase} speedup at 4 threads: {:.2}x", m1 / m4);
+        }
+    }
+
+    if std::env::var("PERF_GATE").as_deref() != Ok("1") {
+        return true;
+    }
+    // Cargo runs bench binaries with the crate dir as cwd, so relative
+    // paths (including the PERF_BASELINE default) resolve against the
+    // workspace root instead.
+    let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let baseline_path = std::env::var("PERF_BASELINE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::PathBuf::from("results/bench/BENCH_partition.baseline.json")
+        });
+    let baseline_path = if baseline_path.is_absolute() {
+        baseline_path
+    } else {
+        workspace_root.join(baseline_path)
+    };
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "perf_suite: PERF_GATE=1 but cannot read baseline {}: {e}",
+                baseline_path.display()
+            );
+            return false;
+        }
+    };
+    let baseline = parse_medians(&baseline_json);
+
+    let threshold = max_regression();
+    let mut ok = true;
+    for (id, base_median) in &baseline {
+        let Some((_, median)) = current.iter().find(|(cid, _)| cid == id) else {
+            eprintln!("perf_suite: GATE FAIL: benchmark {id} missing from current run");
+            ok = false;
+            continue;
+        };
+        let ratio = median / base_median;
+        if ratio > threshold {
+            eprintln!(
+                "perf_suite: GATE FAIL: {id} regressed {:.0}% (median {:.0} ns vs baseline {:.0} ns)",
+                (ratio - 1.0) * 100.0,
+                median,
+                base_median,
+            );
+            ok = false;
+        } else {
+            println!(
+                "perf_suite: gate ok: {id} at {:.0}% of baseline",
+                ratio * 100.0
+            );
+        }
+    }
+    ok
+}
+
+fn main() {
+    // The file name doubles as the CI artifact name, so it is pinned here
+    // instead of deriving from the crate name like the other targets.
+    let mut c = Criterion::new("BENCH_partition", env!("CARGO_MANIFEST_DIR"));
+    let (hg, fixed, balance) = fixture();
+    bench_coarsen(&mut c, &hg, &fixed);
+    bench_flat_fm(&mut c, &hg, &fixed, &balance);
+    bench_multilevel(&mut c, &hg, &fixed, &balance);
+    c.finalize();
+
+    let out_dir = std::env::var_os("TESTKIT_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("results")
+                .join("bench")
+        });
+    if !gate(&out_dir.join("BENCH_partition.json")) {
+        std::process::exit(1);
+    }
+}

@@ -57,7 +57,9 @@ pub struct CancelToken {
 impl CancelToken {
     /// A token that never cancels. Checks against it are a single branch
     /// on a `None` discriminant — no allocation, no atomics, no clock.
-    pub fn never() -> Self {
+    /// `const`, so it can back `static` defaults such as the one
+    /// [`RunCtx::new`](crate::RunCtx::new) borrows.
+    pub const fn never() -> Self {
         CancelToken { inner: None }
     }
 

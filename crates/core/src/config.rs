@@ -145,6 +145,13 @@ pub struct MultilevelConfig {
     pub coarse_starts: usize,
     /// Number of V-cycles (0 = plain V; the paper disables V-cycling).
     pub vcycles: usize,
+    /// Worker-thread budget for the parallel hot paths (heavy-edge match
+    /// scoring, cluster contraction, FM/k-way gain initialization). The
+    /// result is byte-identical for every value — the parallel phases
+    /// compute exactly what the sequential code would and every
+    /// state-dependent decision replays in the original order — so this is
+    /// purely a speed knob. `0` and `1` both mean single-threaded.
+    pub threads: usize,
 }
 
 impl Default for MultilevelConfig {
@@ -174,6 +181,7 @@ impl Default for MultilevelConfig {
             }),
             coarse_starts: 4,
             vcycles: 0,
+            threads: 1,
         }
     }
 }
@@ -203,6 +211,7 @@ mod tests {
     fn defaults_match_paper_setup() {
         let ml = MultilevelConfig::default();
         assert_eq!(ml.vcycles, 0); // paper: V-cycling disabled
+        assert_eq!(ml.threads, 1); // parallelism is opt-in
         assert_eq!(ml.refine_fm.policy, SelectionPolicy::Clip);
         assert_eq!(FmConfig::default().cutoff, PassCutoff::Unlimited);
         assert!(!FmConfig::default().cutoff_first_pass);

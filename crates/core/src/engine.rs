@@ -4,7 +4,7 @@
 //! CLIP-FM engine, Kernighan–Lin, simulated annealing, and the two k-way
 //! strategies — is reachable through one interface:
 //!
-//! * [`Partitioner`]: `hypergraph + fixities + balance + rng (+ sink)` →
+//! * [`Partitioner`]: `hypergraph + fixities + balance + RunCtx` →
 //!   [`PartitionResult`]. Implemented by the engine structs themselves
 //!   ([`BipartFm`], [`MultilevelPartitioner`]), by the config types of the
 //!   function-style engines ([`KlConfig`], [`AnnealingConfig`]), by the
@@ -16,6 +16,14 @@
 //!   multilevel engine's two-stage CLIP-then-LIFO refinement), and
 //!   [`KwayRefiner`] (the k-way FM inner loop).
 //!
+//! Both traits have exactly one required method taking a [`RunCtx`]
+//! parameter object bundling the run-scoped resources: the RNG, the trace
+//! [`Sink`], the [`CancelToken`], and the worker-thread budget. The old
+//! `partition` / `partition_with_sink` / `partition_cancellable` (and
+//! `refine_*`) method triplets survive as thin deprecated wrappers that
+//! build the equivalent `RunCtx` — byte-identical behaviour, pinned by the
+//! `runctx_equivalence` test suite.
+//!
 //! The traits are generic over the RNG and the [`Sink`], so they are not
 //! dyn-compatible; by-name construction goes through the [`EngineConfig`]
 //! enum instead of trait objects, keeping every call statically dispatched
@@ -25,7 +33,7 @@
 //! ```
 //! use vlsi_rng::SeedableRng;
 //! use vlsi_hypergraph::{BalanceConstraint, FixedVertices, HypergraphBuilder, Tolerance};
-//! use vlsi_partition::{EngineConfig, Partitioner};
+//! use vlsi_partition::{EngineConfig, Partitioner, RunCtx};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut b = HypergraphBuilder::new();
@@ -36,15 +44,17 @@
 //! let hg = b.build()?;
 //! let fixed = FixedVertices::all_free(16);
 //! let balance = BalanceConstraint::bisection(16, Tolerance::Relative(0.1));
-//! let engine = EngineConfig::by_name("ml").unwrap();
+//! let engine = EngineConfig::by_name("ml")?;
 //! let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(1);
-//! let r = engine.partition(&hg, &fixed, &balance, &mut rng)?;
+//! let r = engine.partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng))?;
 //! assert_eq!(r.cut, 1);
 //! # Ok(())
 //! # }
 //! ```
 
-use vlsi_rng::Rng;
+use std::fmt;
+
+use vlsi_rng::{ChaCha8Rng, Rng, SeedableRng};
 use vlsi_trace::{NullSink, Sink};
 
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Objective, PartId};
@@ -59,20 +69,99 @@ use crate::kway;
 use crate::multilevel::MultilevelPartitioner;
 use crate::{PartitionError, PartitionResult};
 
+/// Backs the default `cancel` borrow of [`RunCtx::new`].
+static NEVER_CANCEL: CancelToken = CancelToken::never();
+
+/// The run-scoped resources of one engine invocation: RNG, trace sink,
+/// cancellation token, and worker-thread budget.
+///
+/// Built with [`RunCtx::new`] (defaults: [`NullSink`],
+/// [`CancelToken::never`], one thread) and customised with the `with_*`
+/// builders. A `RunCtx` is consumed by [`Partitioner::partition_ctx`] /
+/// [`Refiner::refine_ctx`]; loops that run several engines off one RNG
+/// construct a fresh context per call (`RunCtx::new(&mut *rng)`).
+///
+/// `threads` is a *budget*, not a demand: engines use at most that many
+/// worker threads in their parallel phases, and the result is
+/// byte-identical for every value (see [`crate::parallel`]). An engine
+/// whose own config also names a thread count (e.g.
+/// [`MultilevelConfig::threads`]) uses the larger of the two.
+pub struct RunCtx<'a, R: ?Sized, S> {
+    /// Source of randomness for the run.
+    pub rng: &'a mut R,
+    /// Receives the engine's trace events ([`NullSink`] compiles them out).
+    pub sink: &'a S,
+    /// Polled at pass boundaries and every few dozen moves.
+    pub cancel: &'a CancelToken,
+    /// Worker-thread budget for the parallel hot paths (`<= 1` = inline).
+    pub threads: usize,
+}
+
+impl<'a, R: Rng + ?Sized> RunCtx<'a, R, NullSink> {
+    /// A default context around `rng`: no tracing, no cancellation, one
+    /// thread.
+    pub fn new(rng: &'a mut R) -> Self {
+        RunCtx {
+            rng,
+            sink: &NullSink,
+            cancel: &NEVER_CANCEL,
+            threads: 1,
+        }
+    }
+}
+
+impl<'a, R: ?Sized, S> RunCtx<'a, R, S> {
+    /// Replaces the trace sink.
+    pub fn with_sink<S2: Sink>(self, sink: &'a S2) -> RunCtx<'a, R, S2> {
+        RunCtx {
+            rng: self.rng,
+            sink,
+            cancel: self.cancel,
+            threads: self.threads,
+        }
+    }
+
+    /// Replaces the cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets the worker-thread budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Reborrows the context for one nested call, leaving `self` usable
+    /// afterwards (the RNG advances across calls, as loops require).
+    pub fn reborrow(&mut self) -> RunCtx<'_, R, S> {
+        RunCtx {
+            rng: self.rng,
+            sink: self.sink,
+            cancel: self.cancel,
+            threads: self.threads,
+        }
+    }
+}
+
 /// A complete partitioning engine: produces a solution from scratch given
-/// only the instance, the constraints, and a source of randomness.
+/// only the instance, the constraints, and the run context.
 ///
 /// Engines that only support bipartitioning return
 /// [`PartitionError::UnsupportedPartCount`] when `balance` names more than
 /// two parts; the k-way engines take their part count from
 /// `balance.num_parts()`.
 pub trait Partitioner {
-    /// Partitions `hg` under `balance`, honouring `fixed`, streaming the
-    /// engine's trace events into `sink` and polling `cancel` at pass
-    /// boundaries (and, in the hot engines, every few dozen moves). With
-    /// [`NullSink`] the instrumentation compiles out entirely; with
-    /// [`CancelToken::never`] every cancellation check is one predictable
-    /// branch.
+    /// Partitions `hg` under `balance`, honouring `fixed`. The engine
+    /// draws randomness from `ctx.rng`, streams its trace events into
+    /// `ctx.sink`, polls `ctx.cancel` at pass boundaries (and, in the hot
+    /// engines, every few dozen moves), and uses at most `ctx.threads`
+    /// worker threads. With [`NullSink`] the instrumentation compiles out
+    /// entirely; with [`CancelToken::never`] every cancellation check is
+    /// one predictable branch; the thread budget never changes the result.
     ///
     /// A cancelled run is **not** an error: the engine stops early and
     /// returns its best-so-far legal solution, recording an
@@ -83,6 +172,20 @@ pub trait Partitioner {
     /// [`PartitionError::UnsupportedPartCount`] for part counts the engine
     /// cannot handle and [`PartitionError::InfeasibleInstance`] when no
     /// legal solution can be constructed.
+    fn partition_ctx<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        ctx: RunCtx<'_, R, S>,
+    ) -> Result<PartitionResult, PartitionError>;
+
+    /// Legacy spelling of [`partition_ctx`](Self::partition_ctx) with the
+    /// context passed as separate arguments.
+    ///
+    /// # Errors
+    /// Same as [`partition_ctx`](Self::partition_ctx).
+    #[deprecated(note = "use partition_ctx with a RunCtx")]
     fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
@@ -91,13 +194,21 @@ pub trait Partitioner {
         rng: &mut R,
         sink: &S,
         cancel: &CancelToken,
-    ) -> Result<PartitionResult, PartitionError>;
+    ) -> Result<PartitionResult, PartitionError> {
+        self.partition_ctx(
+            hg,
+            fixed,
+            balance,
+            RunCtx::new(rng).with_sink(sink).with_cancel(cancel),
+        )
+    }
 
-    /// [`partition_cancellable`](Self::partition_cancellable) with
+    /// Legacy spelling of [`partition_ctx`](Self::partition_ctx) with
     /// cancellation disabled.
     ///
     /// # Errors
-    /// Same as [`partition_cancellable`](Self::partition_cancellable).
+    /// Same as [`partition_ctx`](Self::partition_ctx).
+    #[deprecated(note = "use partition_ctx with a RunCtx")]
     fn partition_with_sink<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
@@ -106,14 +217,15 @@ pub trait Partitioner {
         rng: &mut R,
         sink: &S,
     ) -> Result<PartitionResult, PartitionError> {
-        self.partition_cancellable(hg, fixed, balance, rng, sink, &CancelToken::never())
+        self.partition_ctx(hg, fixed, balance, RunCtx::new(rng).with_sink(sink))
     }
 
-    /// [`partition_with_sink`](Self::partition_with_sink) with the
-    /// instrumentation compiled out.
+    /// Legacy spelling of [`partition_ctx`](Self::partition_ctx) with all
+    /// context defaults (no tracing, no cancellation, one thread).
     ///
     /// # Errors
-    /// Same as [`partition_with_sink`](Self::partition_with_sink).
+    /// Same as [`partition_ctx`](Self::partition_ctx).
+    #[deprecated(note = "use partition_ctx with a RunCtx")]
     fn partition<R: Rng + ?Sized>(
         &self,
         hg: &Hypergraph,
@@ -121,7 +233,7 @@ pub trait Partitioner {
         balance: &BalanceConstraint,
         rng: &mut R,
     ) -> Result<PartitionResult, PartitionError> {
-        self.partition_with_sink(hg, fixed, balance, rng, &NullSink)
+        self.partition_ctx(hg, fixed, balance, RunCtx::new(rng))
     }
 }
 
@@ -130,16 +242,35 @@ pub trait Partitioner {
 /// is restored by the best-prefix rollback of each pass).
 ///
 /// Refiners never worsen their input: the returned cut is at most the cut
-/// of `parts`.
+/// of `parts`. Refinement is deterministic — no refiner draws from
+/// `ctx.rng` — so the legacy rng-free `refine_*` wrappers pass a dummy
+/// seeded RNG that is never consumed.
 pub trait Refiner {
-    /// Refines `parts`, streaming pass brackets into `sink` and polling
-    /// `cancel` at pass boundaries. A cancelled refinement returns the
-    /// best solution reached so far (never worse than the input).
+    /// Refines `parts`, streaming pass brackets into `ctx.sink`, polling
+    /// `ctx.cancel` at pass boundaries, and using at most `ctx.threads`
+    /// worker threads for gain initialization. A cancelled refinement
+    /// returns the best solution reached so far (never worse than the
+    /// input).
     ///
     /// # Errors
     /// [`PartitionError::UnsupportedPartCount`] for part counts the refiner
     /// cannot handle, or [`PartitionError::Input`] when `parts` is
     /// inconsistent with the instance.
+    fn refine_ctx<R: Rng + ?Sized, S: Sink>(
+        &self,
+        hg: &Hypergraph,
+        fixed: &FixedVertices,
+        balance: &BalanceConstraint,
+        parts: Vec<PartId>,
+        ctx: RunCtx<'_, R, S>,
+    ) -> Result<PartitionResult, PartitionError>;
+
+    /// Legacy spelling of [`refine_ctx`](Self::refine_ctx) with the
+    /// context passed as separate arguments.
+    ///
+    /// # Errors
+    /// Same as [`refine_ctx`](Self::refine_ctx).
+    #[deprecated(note = "use refine_ctx with a RunCtx")]
     fn refine_cancellable<S: Sink>(
         &self,
         hg: &Hypergraph,
@@ -148,13 +279,24 @@ pub trait Refiner {
         parts: Vec<PartId>,
         sink: &S,
         cancel: &CancelToken,
-    ) -> Result<PartitionResult, PartitionError>;
+    ) -> Result<PartitionResult, PartitionError> {
+        // Refiners never consume randomness; the seed is immaterial.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        self.refine_ctx(
+            hg,
+            fixed,
+            balance,
+            parts,
+            RunCtx::new(&mut rng).with_sink(sink).with_cancel(cancel),
+        )
+    }
 
-    /// [`refine_cancellable`](Self::refine_cancellable) with cancellation
-    /// disabled.
+    /// Legacy spelling of [`refine_ctx`](Self::refine_ctx) with
+    /// cancellation disabled.
     ///
     /// # Errors
-    /// Same as [`refine_cancellable`](Self::refine_cancellable).
+    /// Same as [`refine_ctx`](Self::refine_ctx).
+    #[deprecated(note = "use refine_ctx with a RunCtx")]
     fn refine_with_sink<S: Sink>(
         &self,
         hg: &Hypergraph,
@@ -163,14 +305,22 @@ pub trait Refiner {
         parts: Vec<PartId>,
         sink: &S,
     ) -> Result<PartitionResult, PartitionError> {
-        self.refine_cancellable(hg, fixed, balance, parts, sink, &CancelToken::never())
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        self.refine_ctx(
+            hg,
+            fixed,
+            balance,
+            parts,
+            RunCtx::new(&mut rng).with_sink(sink),
+        )
     }
 
-    /// [`refine_with_sink`](Self::refine_with_sink) with the
-    /// instrumentation compiled out.
+    /// Legacy spelling of [`refine_ctx`](Self::refine_ctx) with all
+    /// context defaults.
     ///
     /// # Errors
-    /// Same as [`refine_with_sink`](Self::refine_with_sink).
+    /// Same as [`refine_ctx`](Self::refine_ctx).
+    #[deprecated(note = "use refine_ctx with a RunCtx")]
     fn refine(
         &self,
         hg: &Hypergraph,
@@ -178,7 +328,8 @@ pub trait Refiner {
         balance: &BalanceConstraint,
         parts: Vec<PartId>,
     ) -> Result<PartitionResult, PartitionError> {
-        self.refine_with_sink(hg, fixed, balance, parts, &NullSink)
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        self.refine_ctx(hg, fixed, balance, parts, RunCtx::new(&mut rng))
     }
 }
 
@@ -186,14 +337,12 @@ pub trait Refiner {
 
 impl Partitioner for BipartFm {
     /// Flat FM from a random legal initial solution.
-    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
+    fn partition_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
@@ -201,36 +350,38 @@ impl Partitioner for BipartFm {
                 supported: 2,
             });
         }
-        let r = self.run_random_cancellable(hg, fixed, balance, rng, sink, cancel)?;
+        let fm = self.clone().with_threads(self.threads().max(ctx.threads));
+        let r = fm.run_random_cancellable(hg, fixed, balance, ctx.rng, ctx.sink, ctx.cancel)?;
         Ok(PartitionResult::new(r.parts, r.cut))
     }
 }
 
 impl Partitioner for MultilevelPartitioner {
-    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
+    fn partition_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
-        self.run_cancellable(hg, fixed, balance, rng, sink, cancel)
+        let cfg = MultilevelConfig {
+            threads: self.config().threads.max(ctx.threads),
+            ..*self.config()
+        };
+        MultilevelPartitioner::new(cfg)
+            .run_cancellable(hg, fixed, balance, ctx.rng, ctx.sink, ctx.cancel)
             .map(Into::into)
     }
 }
 
 impl Partitioner for KlConfig {
     /// Kernighan–Lin from a random legal initial solution.
-    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
+    fn partition_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
@@ -238,21 +389,19 @@ impl Partitioner for KlConfig {
                 supported: 2,
             });
         }
-        let initial = random_initial(hg, fixed, balance, 2, rng)?;
-        kernighan_lin_cancellable(hg, fixed, balance, initial, *self, sink, cancel)
+        let initial = random_initial(hg, fixed, balance, 2, ctx.rng)?;
+        kernighan_lin_cancellable(hg, fixed, balance, initial, *self, ctx.sink, ctx.cancel)
     }
 }
 
 impl Partitioner for AnnealingConfig {
     /// Simulated annealing from a random legal initial solution.
-    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
+    fn partition_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
         if balance.num_parts() != 2 {
             return Err(PartitionError::UnsupportedPartCount {
@@ -260,8 +409,10 @@ impl Partitioner for AnnealingConfig {
                 supported: 2,
             });
         }
-        let initial = random_initial(hg, fixed, balance, 2, rng)?;
-        simulated_annealing_cancellable(hg, fixed, balance, initial, *self, rng, sink, cancel)
+        let initial = random_initial(hg, fixed, balance, 2, ctx.rng)?;
+        simulated_annealing_cancellable(
+            hg, fixed, balance, initial, *self, ctx.rng, ctx.sink, ctx.cancel,
+        )
     }
 }
 
@@ -276,7 +427,8 @@ pub struct KwayConfig {
     /// balance constraints (recursive-bisection splits, coarsest-level
     /// solves).
     pub tolerance: f64,
-    /// Multilevel settings of the inner bipartitioning / coarsening engine.
+    /// Multilevel settings of the inner bipartitioning / coarsening engine
+    /// (including its worker-thread budget).
     pub ml: MultilevelConfig,
     /// Upper bound on direct k-way FM refinement passes.
     pub refine_passes: usize,
@@ -301,38 +453,39 @@ impl Default for KwayConfig {
 pub struct RecursiveBisection(pub KwayConfig);
 
 impl Partitioner for RecursiveBisection {
-    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
+    fn partition_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
         let cfg = &self.0;
+        let threads = cfg.ml.threads.max(ctx.threads);
+        let ml = MultilevelConfig { threads, ..cfg.ml };
         let r = kway::recursive_bisection_cancellable(
             hg,
             fixed,
             balance.num_parts(),
             cfg.tolerance,
-            &cfg.ml,
-            rng,
-            sink,
-            cancel,
+            &ml,
+            ctx.rng,
+            ctx.sink,
+            ctx.cancel,
         )?;
-        if cfg.refine_passes == 0 || cancel.is_cancelled() {
+        if cfg.refine_passes == 0 || ctx.cancel.is_cancelled() {
             return Ok(r);
         }
-        kway::refine_cancellable(
+        kway::refine_threaded(
             hg,
             fixed,
             balance,
             r.parts,
             cfg.objective,
             cfg.refine_passes,
-            sink,
-            cancel,
+            ctx.sink,
+            ctx.cancel,
+            threads,
         )
     }
 }
@@ -343,25 +496,27 @@ impl Partitioner for RecursiveBisection {
 pub struct DirectKway(pub KwayConfig);
 
 impl Partitioner for DirectKway {
-    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
+    fn partition_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
         let cfg = &self.0;
+        let ml = MultilevelConfig {
+            threads: cfg.ml.threads.max(ctx.threads),
+            ..cfg.ml
+        };
         kway::multilevel_kway_cancellable(
             hg,
             fixed,
             balance.num_parts(),
             cfg.tolerance,
-            &cfg.ml,
-            rng,
-            sink,
-            cancel,
+            &ml,
+            ctx.rng,
+            ctx.sink,
+            ctx.cancel,
         )
     }
 }
@@ -370,16 +525,16 @@ impl Partitioner for DirectKway {
 
 impl Refiner for BipartFm {
     /// One full FM run (up to `max_passes` passes) from `parts`.
-    fn refine_cancellable<S: Sink>(
+    fn refine_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         parts: Vec<PartId>,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
-        let r = self.run_cancellable(hg, fixed, balance, parts, sink, cancel)?;
+        let fm = self.clone().with_threads(self.threads().max(ctx.threads));
+        let r = fm.run_cancellable(hg, fixed, balance, parts, ctx.sink, ctx.cancel)?;
         Ok(PartitionResult::new(r.parts, r.cut))
     }
 }
@@ -403,30 +558,41 @@ impl FmStack {
         }
     }
 
+    /// Sets the worker-thread budget of both stages (gain initialization
+    /// parallelises; results are thread-count invariant).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.first = self.first.with_threads(threads);
+        self.second = self.second.map(|fm| fm.with_threads(threads));
+        self
+    }
+
     /// The refinement stack used at every uncoarsening level by a
     /// multilevel engine with configuration `cfg` (`refine_fm` then
-    /// `refine_fm2`).
+    /// `refine_fm2`, on `cfg.threads` workers).
     pub fn from_multilevel(cfg: &MultilevelConfig) -> Self {
-        FmStack::new(cfg.refine_fm, cfg.refine_fm2)
+        FmStack::new(cfg.refine_fm, cfg.refine_fm2).with_threads(cfg.threads)
     }
 }
 
 impl Refiner for FmStack {
-    fn refine_cancellable<S: Sink>(
+    fn refine_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         parts: Vec<PartId>,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
-        let r = self
+        let first = self
             .first
-            .run_cancellable(hg, fixed, balance, parts, sink, cancel)?;
+            .clone()
+            .with_threads(self.first.threads().max(ctx.threads));
+        let r = first.run_cancellable(hg, fixed, balance, parts, ctx.sink, ctx.cancel)?;
         let r = match &self.second {
-            Some(fm2) if !cancel.is_cancelled() => {
-                fm2.run_cancellable(hg, fixed, balance, r.parts, sink, cancel)?
+            Some(fm2) if !ctx.cancel.is_cancelled() => {
+                let fm2 = fm2.clone().with_threads(fm2.threads().max(ctx.threads));
+                fm2.run_cancellable(hg, fixed, balance, r.parts, ctx.sink, ctx.cancel)?
             }
             _ => r,
         };
@@ -455,24 +621,24 @@ impl Default for KwayRefiner {
 }
 
 impl Refiner for KwayRefiner {
-    fn refine_cancellable<S: Sink>(
+    fn refine_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
         parts: Vec<PartId>,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
-        kway::refine_cancellable(
+        kway::refine_threaded(
             hg,
             fixed,
             balance,
             parts,
             self.objective,
             self.max_passes,
-            sink,
-            cancel,
+            ctx.sink,
+            ctx.cancel,
+            ctx.threads,
         )
     }
 }
@@ -524,6 +690,33 @@ pub const ENGINES: &[EngineInfo] = &[
     },
 ];
 
+/// Error of [`EngineConfig::by_name`]: the name matched no registered
+/// engine. [`fmt::Display`] lists every valid name and alias, so callers
+/// (CLI, service protocol) can surface an actionable message verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEngine {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown engine '{}'; known engines: ", self.name)?;
+        for (i, info) in ENGINES.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", info.name)?;
+            for alias in info.aliases {
+                write!(f, " (alias: {alias})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownEngine {}
+
 /// A partitioning engine selected and configured by name.
 ///
 /// This is the dyn-compatible face of the trait layer: the [`Partitioner`]
@@ -547,18 +740,23 @@ pub enum EngineConfig {
 
 impl EngineConfig {
     /// Constructs the default-configured engine registered under `name`
-    /// (canonical name or alias, case-insensitive). Returns `None` for
-    /// unknown names.
-    pub fn by_name(name: &str) -> Option<EngineConfig> {
-        let name = name.to_ascii_lowercase();
-        match name.as_str() {
-            "fm" | "flat" => Some(EngineConfig::Fm(FmConfig::default())),
-            "ml" | "multilevel" => Some(EngineConfig::Multilevel(MultilevelConfig::default())),
-            "kl" | "kernighan-lin" => Some(EngineConfig::Kl(KlConfig::default())),
-            "sa" | "annealing" => Some(EngineConfig::Annealing(AnnealingConfig::default())),
-            "rb" | "kway-rb" => Some(EngineConfig::KwayRb(KwayConfig::default())),
-            "kway" | "kway-direct" => Some(EngineConfig::KwayDirect(KwayConfig::default())),
-            _ => None,
+    /// (canonical name or alias, case-insensitive).
+    ///
+    /// # Errors
+    /// [`UnknownEngine`] for unregistered names; its `Display` lists every
+    /// valid name and alias.
+    pub fn by_name(name: &str) -> Result<EngineConfig, UnknownEngine> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "fm" | "flat" => Ok(EngineConfig::Fm(FmConfig::default())),
+            "ml" | "multilevel" => Ok(EngineConfig::Multilevel(MultilevelConfig::default())),
+            "kl" | "kernighan-lin" => Ok(EngineConfig::Kl(KlConfig::default())),
+            "sa" | "annealing" => Ok(EngineConfig::Annealing(AnnealingConfig::default())),
+            "rb" | "kway-rb" => Ok(EngineConfig::KwayRb(KwayConfig::default())),
+            "kway" | "kway-direct" => Ok(EngineConfig::KwayDirect(KwayConfig::default())),
+            _ => Err(UnknownEngine {
+                name: name.to_string(),
+            }),
         }
     }
 
@@ -581,34 +779,43 @@ impl EngineConfig {
             .find(|e| e.name == self.name())
             .expect("every variant is registered")
     }
+
+    /// Sets the engine's *internal* worker-thread budget where the engine
+    /// has one (the multilevel and k-way configs); a no-op for the flat
+    /// engines, which instead honour the per-run
+    /// [`RunCtx::threads`] budget. Results are thread-count invariant
+    /// either way.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        match &mut self {
+            EngineConfig::Multilevel(cfg) => cfg.threads = threads,
+            EngineConfig::KwayRb(cfg) | EngineConfig::KwayDirect(cfg) => cfg.ml.threads = threads,
+            EngineConfig::Fm(_) | EngineConfig::Kl(_) | EngineConfig::Annealing(_) => {}
+        }
+        self
+    }
 }
 
 impl Partitioner for EngineConfig {
-    fn partition_cancellable<R: Rng + ?Sized, S: Sink>(
+    fn partition_ctx<R: Rng + ?Sized, S: Sink>(
         &self,
         hg: &Hypergraph,
         fixed: &FixedVertices,
         balance: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-        cancel: &CancelToken,
+        ctx: RunCtx<'_, R, S>,
     ) -> Result<PartitionResult, PartitionError> {
         match self {
-            EngineConfig::Fm(cfg) => {
-                BipartFm::new(*cfg).partition_cancellable(hg, fixed, balance, rng, sink, cancel)
+            EngineConfig::Fm(cfg) => BipartFm::new(*cfg).partition_ctx(hg, fixed, balance, ctx),
+            EngineConfig::Multilevel(cfg) => {
+                MultilevelPartitioner::new(*cfg).partition_ctx(hg, fixed, balance, ctx)
             }
-            EngineConfig::Multilevel(cfg) => MultilevelPartitioner::new(*cfg)
-                .partition_cancellable(hg, fixed, balance, rng, sink, cancel),
-            EngineConfig::Kl(cfg) => {
-                cfg.partition_cancellable(hg, fixed, balance, rng, sink, cancel)
+            EngineConfig::Kl(cfg) => cfg.partition_ctx(hg, fixed, balance, ctx),
+            EngineConfig::Annealing(cfg) => cfg.partition_ctx(hg, fixed, balance, ctx),
+            EngineConfig::KwayRb(cfg) => {
+                RecursiveBisection(*cfg).partition_ctx(hg, fixed, balance, ctx)
             }
-            EngineConfig::Annealing(cfg) => {
-                cfg.partition_cancellable(hg, fixed, balance, rng, sink, cancel)
-            }
-            EngineConfig::KwayRb(cfg) => RecursiveBisection(*cfg)
-                .partition_cancellable(hg, fixed, balance, rng, sink, cancel),
             EngineConfig::KwayDirect(cfg) => {
-                DirectKway(*cfg).partition_cancellable(hg, fixed, balance, rng, sink, cancel)
+                DirectKway(*cfg).partition_ctx(hg, fixed, balance, ctx)
             }
         }
     }
@@ -641,9 +848,37 @@ mod tests {
                 assert_eq!(EngineConfig::by_name(alias).unwrap().name(), info.name);
             }
         }
-        assert!(EngineConfig::by_name("no-such-engine").is_none());
+        assert!(EngineConfig::by_name("no-such-engine").is_err());
         // Case-insensitive.
         assert_eq!(EngineConfig::by_name("ML").unwrap().name(), "ml");
+    }
+
+    #[test]
+    fn unknown_engine_error_lists_every_name_and_alias() {
+        let err = EngineConfig::by_name("quantum").unwrap_err();
+        assert_eq!(err.name, "quantum");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown engine 'quantum'"), "{msg}");
+        for info in ENGINES {
+            assert!(msg.contains(info.name), "{msg} missing {}", info.name);
+            for alias in info.aliases {
+                assert!(msg.contains(alias), "{msg} missing alias {alias}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_reaches_the_threaded_engines_only() {
+        match EngineConfig::by_name("ml").unwrap().with_threads(4) {
+            EngineConfig::Multilevel(cfg) => assert_eq!(cfg.threads, 4),
+            other => panic!("unexpected engine {other:?}"),
+        }
+        match EngineConfig::by_name("kway").unwrap().with_threads(3) {
+            EngineConfig::KwayDirect(cfg) => assert_eq!(cfg.ml.threads, 3),
+            other => panic!("unexpected engine {other:?}"),
+        }
+        let fm = EngineConfig::by_name("fm").unwrap();
+        assert_eq!(fm.with_threads(8), fm); // flat engines: config untouched
     }
 
     #[test]
@@ -654,7 +889,9 @@ mod tests {
         for info in ENGINES {
             let engine = EngineConfig::by_name(info.name).unwrap();
             let mut rng = ChaCha8Rng::seed_from_u64(7);
-            let r = engine.partition(&hg, &fixed, &balance, &mut rng).unwrap();
+            let r = engine
+                .partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng))
+                .unwrap();
             let p = Partitioning::from_parts(&hg, 2, r.parts).unwrap();
             assert!(
                 validate_partitioning(&hg, &p, &balance, &fixed).is_valid(),
@@ -678,7 +915,9 @@ mod tests {
         for name in ["rb", "kway"] {
             let engine = EngineConfig::by_name(name).unwrap();
             let mut rng = ChaCha8Rng::seed_from_u64(3);
-            let r = engine.partition(&hg, &fixed, &balance, &mut rng).unwrap();
+            let r = engine
+                .partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng))
+                .unwrap();
             let p = Partitioning::from_parts(&hg, 4, r.parts).unwrap();
             assert!(validate_partitioning(&hg, &p, &balance, &fixed).is_valid());
         }
@@ -687,7 +926,7 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(3);
             assert!(
                 matches!(
-                    engine.partition(&hg, &fixed, &balance, &mut rng),
+                    engine.partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng)),
                     Err(PartitionError::UnsupportedPartCount { .. })
                 ),
                 "{name} should refuse 4-way"
@@ -705,7 +944,9 @@ mod tests {
         for info in ENGINES {
             let engine = EngineConfig::by_name(info.name).unwrap();
             let mut rng = ChaCha8Rng::seed_from_u64(11);
-            let r = engine.partition(&hg, &fixed, &balance, &mut rng).unwrap();
+            let r = engine
+                .partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng))
+                .unwrap();
             assert_eq!(r.parts[0], PartId(1), "{}", info.name);
             assert_eq!(r.parts[19], PartId(0), "{}", info.name);
         }
@@ -725,15 +966,36 @@ mod tests {
             .unwrap()
             .cut_value(Objective::Cut);
 
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
         let fm = BipartFm::new(FmConfig::default());
         let stack = FmStack::from_multilevel(&MultilevelConfig::default());
         let kw = KwayRefiner::default();
         let results = [
-            fm.refine(&hg, &fixed, &balance, initial.clone()).unwrap(),
+            fm.refine_ctx(
+                &hg,
+                &fixed,
+                &balance,
+                initial.clone(),
+                RunCtx::new(&mut rng),
+            )
+            .unwrap(),
             stack
-                .refine(&hg, &fixed, &balance, initial.clone())
+                .refine_ctx(
+                    &hg,
+                    &fixed,
+                    &balance,
+                    initial.clone(),
+                    RunCtx::new(&mut rng),
+                )
                 .unwrap(),
-            kw.refine(&hg, &fixed, &balance, initial.clone()).unwrap(),
+            kw.refine_ctx(
+                &hg,
+                &fixed,
+                &balance,
+                initial.clone(),
+                RunCtx::new(&mut rng),
+            )
+            .unwrap(),
         ];
         for r in &results {
             assert!(r.cut <= start_cut);
@@ -752,9 +1014,30 @@ mod tests {
         };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let r = RecursiveBisection(cfg)
-            .partition(&hg, &fixed, &balance, &mut rng)
+            .partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng))
             .unwrap();
         let p = Partitioning::from_parts(&hg, 4, r.parts).unwrap();
         assert_eq!(p.cut_value(Objective::Cut), r.cut);
+    }
+
+    #[test]
+    fn runctx_reborrow_supports_sequential_calls() {
+        let hg = chain(16);
+        let fixed = FixedVertices::all_free(16);
+        let balance = BalanceConstraint::bisection(16, Tolerance::Relative(0.1));
+        let engine = EngineConfig::by_name("fm").unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut ctx = RunCtx::new(&mut rng).with_threads(2);
+        let a = engine
+            .partition_ctx(&hg, &fixed, &balance, ctx.reborrow())
+            .unwrap();
+        let b = engine
+            .partition_ctx(&hg, &fixed, &balance, ctx.reborrow())
+            .unwrap();
+        // The RNG advanced between the calls; both are legal bisections.
+        for r in [&a, &b] {
+            let p = Partitioning::from_parts(&hg, 2, r.parts.clone()).unwrap();
+            assert!(validate_partitioning(&hg, &p, &balance, &fixed).is_valid());
+        }
     }
 }

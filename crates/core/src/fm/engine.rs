@@ -14,6 +14,31 @@ use crate::gain::{KwayGains, MoveLog};
 use crate::initial::random_initial;
 use crate::PartitionError;
 
+/// Minimum vertices per worker before gain initialization forks threads
+/// (below this the scoped-thread spawn costs more than it saves).
+const GAIN_INIT_GRAIN: usize = 1024;
+
+/// Gain of moving `v` to the other side under the cut objective: the net
+/// weight freed by emptying `from`-critical nets minus the weight newly
+/// cut by touching nets with no pin on the other side. Pure read of the
+/// partitioning, so it is safe to evaluate from worker threads.
+fn initial_gain_of(hg: &Hypergraph, partitioning: &Partitioning, v: VertexId) -> i64 {
+    let from = partitioning.part_of(v);
+    let to = from.other_side();
+    let cs = partitioning.cut_state();
+    let mut g = 0i64;
+    for &n in hg.vertex_nets(v) {
+        let w = hg.net_weight(n) as i64;
+        if cs.pins_in(n, from) == 1 {
+            g += w;
+        }
+        if cs.pins_in(n, to) == 0 {
+            g -= w;
+        }
+    }
+    g
+}
+
 /// Result of an FM run: the final assignment, its cut, and the per-pass
 /// statistics used by the paper's Tables II and III.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,17 +85,33 @@ pub struct FmResult {
 #[derive(Debug, Clone, Default)]
 pub struct BipartFm {
     config: FmConfig,
+    threads: usize,
 }
 
 impl BipartFm {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration (single-threaded).
     pub fn new(config: FmConfig) -> Self {
-        BipartFm { config }
+        BipartFm { config, threads: 1 }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &FmConfig {
         &self.config
+    }
+
+    /// Sets the worker-thread budget for gain initialization at the start
+    /// of each pass. The result is byte-identical for every value (gains
+    /// are precomputed in parallel, bucket insertion replays in the
+    /// sequential order); `0` and `1` both mean single-threaded.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The engine's worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Runs FM from a random legal initial solution drawn with `rng`.
@@ -305,6 +346,7 @@ impl BipartFm {
             fixed,
             sink,
             cancel,
+            threads: self.threads,
             bucket_ops: 0,
         };
 
@@ -391,6 +433,8 @@ struct PassState<'a, S: Sink> {
     fixed: &'a FixedVertices,
     sink: &'a S,
     cancel: &'a CancelToken,
+    /// Worker-thread budget for gain initialization (`<= 1` = inline).
+    threads: usize,
     /// Gain-bucket operations of the current pass (only maintained when
     /// `S::ENABLED`; reported on the pass's `PassEnd` event).
     bucket_ops: u64,
@@ -511,15 +555,39 @@ impl<S: Sink> PassState<'_, S> {
     }
 
     /// Computes all initial gains and fills the buckets.
+    ///
+    /// Gains only read the (frozen) partitioning, so with a thread budget
+    /// they are precomputed in parallel; bucket insertion always replays in
+    /// the exact sequential order, keeping the run thread-count invariant.
     fn prepare_buckets(&mut self) {
         self.gains.clear();
+        let n = self.hg.num_vertices();
+        let workers = crate::parallel::effective_threads(self.threads, n, GAIN_INIT_GRAIN);
+        let pre: Option<Vec<i64>> = (workers > 1).then(|| {
+            let hg = self.hg;
+            let partitioning: &Partitioning = self.partitioning;
+            let movable = self.movable;
+            let mut out = vec![0i64; n];
+            crate::parallel::par_fill(&mut out, workers, |off, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let v = VertexId((off + i) as u32);
+                    if movable[v.index()] {
+                        *slot = initial_gain_of(hg, partitioning, v);
+                    }
+                }
+            });
+            out
+        });
         match self.policy {
             SelectionPolicy::Lifo => {
                 for v in self.hg.vertices() {
                     if !self.movable[v.index()] {
                         continue;
                     }
-                    let g = self.initial_gain(v);
+                    let g = match &pre {
+                        Some(gains) => gains[v.index()],
+                        None => self.initial_gain(v),
+                    };
                     self.gain[v.index()] = g;
                     let to = self.partitioning.part_of(v).other_side();
                     self.gains.insert(v, to, g);
@@ -539,7 +607,13 @@ impl<S: Sink> PassState<'_, S> {
                     .hg
                     .vertices()
                     .filter(|v| self.movable[v.index()])
-                    .map(|v| (self.initial_gain(v), v))
+                    .map(|v| {
+                        let g = match &pre {
+                            Some(gains) => gains[v.index()],
+                            None => self.initial_gain(v),
+                        };
+                        (g, v)
+                    })
                     .collect();
                 by_gain.sort_unstable();
                 for &(g, v) in &by_gain {
@@ -556,20 +630,7 @@ impl<S: Sink> PassState<'_, S> {
 
     /// Gain of moving `v` to the other side under the cut objective.
     fn initial_gain(&self, v: VertexId) -> i64 {
-        let from = self.partitioning.part_of(v);
-        let to = from.other_side();
-        let cs = self.partitioning.cut_state();
-        let mut g = 0i64;
-        for &n in self.hg.vertex_nets(v) {
-            let w = self.hg.net_weight(n) as i64;
-            if cs.pins_in(n, from) == 1 {
-                g += w;
-            }
-            if cs.pins_in(n, to) == 0 {
-                g -= w;
-            }
-        }
-        g
+        initial_gain_of(self.hg, self.partitioning, v)
     }
 
     /// Picks the highest-key feasible move over both sides. Ties between

@@ -19,6 +19,10 @@ use crate::gain::{KwayGains, MoveLog};
 use crate::multilevel::MultilevelPartitioner;
 use crate::{PartitionError, PartitionResult};
 
+/// Minimum `(vertex, target)` gain entries per worker before the k-way
+/// gain initialization forks threads.
+const GAIN_INIT_GRAIN: usize = 1024;
+
 /// Partitions `hg` into `k` blocks by recursive bisection with the
 /// multilevel engine, honouring fixed vertices whose target partitions are
 /// interpreted as final k-way block indices.
@@ -401,6 +405,27 @@ pub fn refine_pass_cancellable<S: Sink>(
     sink: &S,
     cancel: &CancelToken,
 ) -> Result<PartitionResult, PartitionError> {
+    refine_pass_threaded(
+        hg, fixed, balance, initial, objective, pass, sink, cancel, 1,
+    )
+}
+
+/// [`refine_pass_cancellable`] with a worker-thread budget for the initial
+/// gain computation. The budget never changes the result: gains are pure
+/// reads of the frozen input assignment, precomputed in parallel and
+/// inserted in the exact sequential order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_pass_threaded<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    objective: Objective,
+    pass: u32,
+    sink: &S,
+    cancel: &CancelToken,
+    threads: usize,
+) -> Result<PartitionResult, PartitionError> {
     let k = balance.num_parts();
     let mut p = Partitioning::from_parts_fixed(hg, k, initial, fixed)?;
     let nr = hg.num_resources();
@@ -429,6 +454,33 @@ pub fn refine_pass_cancellable<S: Sink>(
         .unwrap_or(0)
         .max(1);
 
+    // Initial gains are pure reads of the frozen assignment, so with a
+    // thread budget they are precomputed into a flat `vertex * k + target`
+    // table; the bucket insertions below always replay in the sequential
+    // order, keeping the pass thread-count invariant.
+    let workers =
+        crate::parallel::effective_threads(threads, hg.num_vertices() * k, GAIN_INIT_GRAIN);
+    let pre: Option<Vec<i64>> = (workers > 1).then(|| {
+        let p_ref = &p;
+        let mut out = vec![0i64; hg.num_vertices() * k];
+        crate::parallel::par_fill(&mut out, workers, |off, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let idx = off + i;
+                let v = VertexId((idx / k) as u32);
+                let fx = fixed.fixity(v);
+                if fx.is_immovable() {
+                    continue;
+                }
+                let to = PartId::from_index(idx % k);
+                if to == p_ref.part_of(v) || !fx.allows(to) {
+                    continue;
+                }
+                *slot = move_gain(hg, p_ref, v, to, objective);
+            }
+        });
+        out
+    });
+
     let mut gains = KwayGains::new(k, hg.num_vertices(), key_bound);
     let mut bucket_ops = 0u64;
     let mut movable = 0u64;
@@ -444,7 +496,11 @@ pub fn refine_pass_cancellable<S: Sink>(
             if to == from || !fx.allows(to) {
                 continue;
             }
-            gains.insert(v, to, move_gain(hg, &p, v, to, objective));
+            let g = match &pre {
+                Some(table) => table[v.index() * k + t],
+                None => move_gain(hg, &p, v, to, objective),
+            };
+            gains.insert(v, to, g);
             any = true;
             if S::ENABLED {
                 bucket_ops += 1;
@@ -782,6 +838,7 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
             .map(|p| balance.max(PartId::from_index(p), 0))
             .collect(),
         allow_free_fixed_merge: false,
+        threads: ml_config.threads,
     };
 
     let mut levels: Vec<Level> = Vec::new();
@@ -827,7 +884,7 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
         coarsest_hg.total_weights(),
         vlsi_hypergraph::Tolerance::Relative(tolerance),
     );
-    let r = refine_cancellable(
+    let r = refine_threaded(
         coarsest_hg,
         coarsest_fixed,
         &coarse_balance,
@@ -836,6 +893,7 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
         4,
         sink,
         cancel,
+        ml_config.threads,
     )?;
     if S::ENABLED {
         sink.record(&Event::LevelEnd {
@@ -858,7 +916,7 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
             fine_hg.total_weights(),
             vlsi_hypergraph::Tolerance::Relative(tolerance),
         );
-        let r = refine_cancellable(
+        let r = refine_threaded(
             fine_hg,
             fine_fixed,
             &fine_balance,
@@ -867,6 +925,7 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
             4,
             sink,
             cancel,
+            ml_config.threads,
         )?;
         if S::ENABLED {
             sink.record(&Event::LevelEnd {
@@ -941,16 +1000,35 @@ pub fn refine_cancellable<S: Sink>(
     hg: &Hypergraph,
     fixed: &FixedVertices,
     balance: &BalanceConstraint,
-    mut parts: Vec<PartId>,
+    parts: Vec<PartId>,
     objective: Objective,
     max_passes: usize,
     sink: &S,
     cancel: &CancelToken,
 ) -> Result<PartitionResult, PartitionError> {
+    refine_threaded(
+        hg, fixed, balance, parts, objective, max_passes, sink, cancel, 1,
+    )
+}
+
+/// [`refine_cancellable`] with a worker-thread budget for each pass's gain
+/// initialization (the budget never changes the result).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_threaded<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    mut parts: Vec<PartId>,
+    objective: Objective,
+    max_passes: usize,
+    sink: &S,
+    cancel: &CancelToken,
+    threads: usize,
+) -> Result<PartitionResult, PartitionError> {
     let mut best = CutState::new(hg, balance.num_parts(), &parts).value(objective);
     if !cancel.is_cancelled() {
         for pass in 0..max_passes {
-            let r = refine_pass_cancellable(
+            let r = refine_pass_threaded(
                 hg,
                 fixed,
                 balance,
@@ -959,6 +1037,7 @@ pub fn refine_cancellable<S: Sink>(
                 pass as u32,
                 sink,
                 cancel,
+                threads,
             )?;
             if r.cut < best {
                 best = r.cut;

@@ -22,11 +22,14 @@
 //!   engine — flat FM, multilevel, Kernighan–Lin, simulated annealing and
 //!   both k-way strategies — with a by-name [`EngineConfig`] registry, so
 //!   drivers need no engine-specific glue.
+//! * A deterministic [`parallel`] execution layer behind the multilevel
+//!   and FM hot phases: results are byte-identical at any thread count.
 //!
-//! Every engine has a `*_with_sink` variant that streams structured
-//! [`trace`] events (pass brackets, committed moves, coarsening levels,
-//! multistart records) into any [`trace::Sink`]; the plain entry points are
-//! the same code instantiated with [`trace::NullSink`], which compiles the
+//! Every engine run takes a [`RunCtx`] bundling the RNG, a
+//! [`trace::Sink`] receiving structured [`trace`] events (pass brackets,
+//! committed moves, coarsening levels, multistart records), a
+//! [`CancelToken`], and a thread budget; the defaults built by
+//! [`RunCtx::new`] use [`trace::NullSink`], which compiles the
 //! instrumentation out entirely.
 //!
 //! # Quickstart
@@ -73,6 +76,7 @@ pub mod kl;
 pub mod kway;
 pub mod multilevel;
 pub mod multistart;
+pub mod parallel;
 pub mod policy;
 mod result;
 pub mod terminal_cluster;
@@ -82,7 +86,7 @@ pub use cancel::CancelToken;
 pub use config::{FmConfig, MultilevelConfig, PassCutoff, SelectionPolicy};
 pub use engine::{
     DirectKway, EngineConfig, EngineInfo, FmStack, KwayConfig, KwayRefiner, Partitioner,
-    RecursiveBisection, Refiner, ENGINES,
+    RecursiveBisection, Refiner, RunCtx, UnknownEngine, ENGINES,
 };
 pub use error::PartitionError;
 pub use fm::{BipartFm, FmResult, PassStats, PassTrace, RunStats};

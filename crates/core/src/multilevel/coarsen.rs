@@ -5,7 +5,14 @@ use std::collections::HashMap;
 use vlsi_rng::seq::SliceRandom;
 use vlsi_rng::Rng;
 
-use vlsi_hypergraph::{FixedVertices, Fixity, Hypergraph, HypergraphBuilder, PartId, VertexId};
+use vlsi_hypergraph::{
+    FixedVertices, Fixity, Hypergraph, HypergraphBuilder, NetId, PartId, VertexId,
+};
+
+/// Minimum vertices per worker before match scoring forks threads.
+const MATCH_GRAIN: usize = 512;
+/// Minimum nets per worker before contraction forks threads.
+const NET_GRAIN: usize = 1024;
 
 /// One coarsening level: the coarse hypergraph, its fixities, and the map
 /// from fine vertex to coarse vertex.
@@ -47,6 +54,12 @@ pub struct CoarsenParams {
     /// fixed-terminals regime. Fixed–fixed merges within one partition are
     /// always allowed (the terminal-clustering equivalence).
     pub allow_free_fixed_merge: bool,
+    /// Worker-thread budget for match scoring and net contraction. Purely
+    /// a speed knob: the parallel phases compute exactly what the
+    /// sequential code would (see [`crate::parallel`]), so the coarse
+    /// level is byte-identical for every value. `0` and `1` both mean
+    /// single-threaded.
+    pub threads: usize,
 }
 
 /// Merges two fixities; `None` when the vertices may not share a cluster.
@@ -158,74 +171,188 @@ pub fn coarsen_once<R: Rng + ?Sized>(
         }
     }
 
-    let mut scores: HashMap<u32, f64> = HashMap::new();
-    for &v in &order {
-        if partner[v.index()] != UNMATCHED {
-            continue;
-        }
-        scores.clear();
-        for &net in hg.vertex_nets(v) {
-            let size = hg.net_size(net);
-            if size < 2 || size > params.max_net_size_for_matching {
-                continue;
-            }
-            let s = hg.net_weight(net) as f64 / (size as f64 - 1.0);
-            for &u in hg.net_pins(net) {
-                if u != v && partner[u.index()] == UNMATCHED {
-                    *scores.entry(u.0).or_insert(0.0) += s;
+    let match_workers = crate::parallel::effective_threads(params.threads, n, MATCH_GRAIN);
+    if match_workers > 1 {
+        // Phase 1 (parallel): candidate scoring. A candidate's heavy-edge
+        // score is a pure function of the nets it shares with `v` (the
+        // match state only decides *whether* a vertex is still a
+        // candidate, never its score), so every state-independent filter
+        // and the full score sum — accumulated in `v`'s net order, hence
+        // bit-identical to the sequential f64 sum — can run sharded over
+        // vertex ranges. Vertices matched by the terminal pre-pass are
+        // matched permanently, so the snapshot of `partner` taken here is
+        // exact for them; later greedy matches are filtered in phase 2.
+        let partner_snapshot = &partner;
+        let chunks = crate::parallel::par_map_chunks(n, match_workers, |range| {
+            let mut out: Vec<Vec<(f64, u32)>> = Vec::with_capacity(range.len());
+            let mut scores: HashMap<u32, f64> = HashMap::new();
+            for vi in range {
+                let v = VertexId(vi as u32);
+                if partner_snapshot[vi] != UNMATCHED {
+                    out.push(Vec::new());
+                    continue;
                 }
+                scores.clear();
+                for &net in hg.vertex_nets(v) {
+                    let size = hg.net_size(net);
+                    if size < 2 || size > params.max_net_size_for_matching {
+                        continue;
+                    }
+                    let s = hg.net_weight(net) as f64 / (size as f64 - 1.0);
+                    for &u in hg.net_pins(net) {
+                        if u != v && partner_snapshot[u.index()] == UNMATCHED {
+                            *scores.entry(u.0).or_insert(0.0) += s;
+                        }
+                    }
+                }
+                let vw = hg.vertex_weight(v);
+                let vfix = fixed.fixity(v);
+                let mut list: Vec<(f64, u32)> = Vec::with_capacity(scores.len());
+                for (&u_raw, &score) in &scores {
+                    let u = VertexId(u_raw);
+                    if vw + hg.vertex_weight(u) > params.max_cluster_weight {
+                        continue;
+                    }
+                    let ufix = fixed.fixity(u);
+                    if !params.allow_free_fixed_merge && vfix.is_fixed() != ufix.is_fixed() {
+                        continue;
+                    }
+                    if merge_fixity(vfix, ufix).is_none() {
+                        continue;
+                    }
+                    if let Some(parts) = same_part {
+                        if parts[v.index()] != parts[u.index()] {
+                            continue;
+                        }
+                    }
+                    list.push((score, u_raw));
+                }
+                // Descending (score, id): the order the sequential argmax
+                // induces; `(f64, u32)` pairs are unique per candidate.
+                list.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)));
+                out.push(list);
+            }
+            out
+        });
+        let candidates: Vec<Vec<(f64, u32)>> = chunks.into_iter().flatten().collect();
+
+        // Phase 2 (sequential): replay the greedy resolution in the
+        // shuffled visit order, applying the two state-dependent checks —
+        // "still unmatched" and the fixed-weight budget — against the
+        // exact state the sequential loop would see. Taking the first
+        // surviving entry of the sorted list equals the sequential argmax.
+        for &v in &order {
+            if partner[v.index()] != UNMATCHED {
+                continue;
+            }
+            let vw = hg.vertex_weight(v);
+            let vfix = fixed.fixity(v);
+            let mut best: Option<VertexId> = None;
+            for &(_, u_raw) in &candidates[v.index()] {
+                let u = VertexId(u_raw);
+                if partner[u.index()] != UNMATCHED {
+                    continue;
+                }
+                if let Some(Fixity::Fixed(p)) = merge_fixity(vfix, fixed.fixity(u)) {
+                    if p.index() < fixed_weight.len() {
+                        let added = fixed_delta(vfix, p, vw)
+                            + fixed_delta(fixed.fixity(u), p, hg.vertex_weight(u));
+                        if fixed_weight[p.index()] + added > budget[p.index()] {
+                            continue;
+                        }
+                    }
+                }
+                best = Some(u);
+                break;
+            }
+            if let Some(u) = best {
+                if let Some(Fixity::Fixed(p)) = merge_fixity(vfix, fixed.fixity(u)) {
+                    if p.index() < fixed_weight.len() {
+                        fixed_weight[p.index()] += fixed_delta(vfix, p, vw)
+                            + fixed_delta(fixed.fixity(u), p, hg.vertex_weight(u));
+                    }
+                }
+                partner[v.index()] = u.0;
+                partner[u.index()] = v.0;
+                cluster_of[v.index()] = num_clusters as u32;
+                cluster_of[u.index()] = num_clusters as u32;
+                num_clusters += 1;
+            } else {
+                partner[v.index()] = v.0; // matched with itself
+                cluster_of[v.index()] = num_clusters as u32;
+                num_clusters += 1;
             }
         }
-        let vw = hg.vertex_weight(v);
-        let vfix = fixed.fixity(v);
-        let mut best: Option<(f64, VertexId)> = None;
-        for (&u_raw, &score) in &scores {
-            let u = VertexId(u_raw);
-            if vw + hg.vertex_weight(u) > params.max_cluster_weight {
+    } else {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for &v in &order {
+            if partner[v.index()] != UNMATCHED {
                 continue;
             }
-            let ufix = fixed.fixity(u);
-            if !params.allow_free_fixed_merge && vfix.is_fixed() != ufix.is_fixed() {
-                continue;
-            }
-            let Some(merged) = merge_fixity(vfix, ufix) else {
-                continue;
-            };
-            if let Fixity::Fixed(p) = merged {
-                if p.index() < fixed_weight.len() {
-                    let added = fixed_delta(vfix, p, vw)
-                        + fixed_delta(fixed.fixity(u), p, hg.vertex_weight(u));
-                    if fixed_weight[p.index()] + added > budget[p.index()] {
-                        continue;
+            scores.clear();
+            for &net in hg.vertex_nets(v) {
+                let size = hg.net_size(net);
+                if size < 2 || size > params.max_net_size_for_matching {
+                    continue;
+                }
+                let s = hg.net_weight(net) as f64 / (size as f64 - 1.0);
+                for &u in hg.net_pins(net) {
+                    if u != v && partner[u.index()] == UNMATCHED {
+                        *scores.entry(u.0).or_insert(0.0) += s;
                     }
                 }
             }
-            if let Some(parts) = same_part {
-                if parts[v.index()] != parts[u.index()] {
+            let vw = hg.vertex_weight(v);
+            let vfix = fixed.fixity(v);
+            let mut best: Option<(f64, VertexId)> = None;
+            for (&u_raw, &score) in &scores {
+                let u = VertexId(u_raw);
+                if vw + hg.vertex_weight(u) > params.max_cluster_weight {
                     continue;
                 }
-            }
-            match best {
-                Some((bs, bu)) if (bs, bu.0) >= (score, u.0) => {}
-                _ => best = Some((score, u)),
-            }
-        }
-        if let Some((_, u)) = best {
-            if let Some(Fixity::Fixed(p)) = merge_fixity(vfix, fixed.fixity(u)) {
-                if p.index() < fixed_weight.len() {
-                    fixed_weight[p.index()] += fixed_delta(vfix, p, vw)
-                        + fixed_delta(fixed.fixity(u), p, hg.vertex_weight(u));
+                let ufix = fixed.fixity(u);
+                if !params.allow_free_fixed_merge && vfix.is_fixed() != ufix.is_fixed() {
+                    continue;
+                }
+                let Some(merged) = merge_fixity(vfix, ufix) else {
+                    continue;
+                };
+                if let Fixity::Fixed(p) = merged {
+                    if p.index() < fixed_weight.len() {
+                        let added = fixed_delta(vfix, p, vw)
+                            + fixed_delta(fixed.fixity(u), p, hg.vertex_weight(u));
+                        if fixed_weight[p.index()] + added > budget[p.index()] {
+                            continue;
+                        }
+                    }
+                }
+                if let Some(parts) = same_part {
+                    if parts[v.index()] != parts[u.index()] {
+                        continue;
+                    }
+                }
+                match best {
+                    Some((bs, bu)) if (bs, bu.0) >= (score, u.0) => {}
+                    _ => best = Some((score, u)),
                 }
             }
-            partner[v.index()] = u.0;
-            partner[u.index()] = v.0;
-            cluster_of[v.index()] = num_clusters as u32;
-            cluster_of[u.index()] = num_clusters as u32;
-            num_clusters += 1;
-        } else {
-            partner[v.index()] = v.0; // matched with itself
-            cluster_of[v.index()] = num_clusters as u32;
-            num_clusters += 1;
+            if let Some((_, u)) = best {
+                if let Some(Fixity::Fixed(p)) = merge_fixity(vfix, fixed.fixity(u)) {
+                    if p.index() < fixed_weight.len() {
+                        fixed_weight[p.index()] += fixed_delta(vfix, p, vw)
+                            + fixed_delta(fixed.fixity(u), p, hg.vertex_weight(u));
+                    }
+                }
+                partner[v.index()] = u.0;
+                partner[u.index()] = v.0;
+                cluster_of[v.index()] = num_clusters as u32;
+                cluster_of[u.index()] = num_clusters as u32;
+                num_clusters += 1;
+            } else {
+                partner[v.index()] = v.0; // matched with itself
+                cluster_of[v.index()] = num_clusters as u32;
+                num_clusters += 1;
+            }
         }
     }
 
@@ -254,17 +381,47 @@ pub fn coarsen_once<R: Rng + ?Sized>(
     }
 
     // Map, dedup and merge nets: identical coarse pin sets sum weights.
+    // With a thread budget the nets are sharded and each worker builds a
+    // local index; merging the shards sums the same u64 weights the
+    // sequential loop would, and the sort below canonicalizes the order
+    // either way, so the coarse net list is thread-count invariant.
+    let net_workers = crate::parallel::effective_threads(params.threads, hg.num_nets(), NET_GRAIN);
     let mut net_index: HashMap<Vec<u32>, u64> = HashMap::new();
-    let mut scratch: Vec<u32> = Vec::new();
-    for net in hg.nets() {
-        scratch.clear();
-        scratch.extend(hg.net_pins(net).iter().map(|&p| cluster_of[p.index()]));
-        scratch.sort_unstable();
-        scratch.dedup();
-        if scratch.len() < 2 {
-            continue; // internal to one cluster: can never be cut
+    if net_workers > 1 {
+        let cluster_ro = &cluster_of;
+        let shards = crate::parallel::par_map_chunks(hg.num_nets(), net_workers, |range| {
+            let mut local: HashMap<Vec<u32>, u64> = HashMap::new();
+            let mut scratch: Vec<u32> = Vec::new();
+            for ni in range {
+                let net = NetId(ni as u32);
+                scratch.clear();
+                scratch.extend(hg.net_pins(net).iter().map(|&p| cluster_ro[p.index()]));
+                scratch.sort_unstable();
+                scratch.dedup();
+                if scratch.len() < 2 {
+                    continue; // internal to one cluster: can never be cut
+                }
+                *local.entry(scratch.clone()).or_insert(0) += hg.net_weight(net);
+            }
+            local
+        });
+        for shard in shards {
+            for (pins, w) in shard {
+                *net_index.entry(pins).or_insert(0) += w;
+            }
         }
-        *net_index.entry(scratch.clone()).or_insert(0) += hg.net_weight(net);
+    } else {
+        let mut scratch: Vec<u32> = Vec::new();
+        for net in hg.nets() {
+            scratch.clear();
+            scratch.extend(hg.net_pins(net).iter().map(|&p| cluster_of[p.index()]));
+            scratch.sort_unstable();
+            scratch.dedup();
+            if scratch.len() < 2 {
+                continue; // internal to one cluster: can never be cut
+            }
+            *net_index.entry(scratch.clone()).or_insert(0) += hg.net_weight(net);
+        }
     }
     let mut merged: Vec<(Vec<u32>, u64)> = net_index.into_iter().collect();
     merged.sort_unstable(); // deterministic net order regardless of hash state
@@ -304,6 +461,7 @@ mod tests {
             max_net_size_for_matching: 64,
             max_fixed_part_weight: Vec::new(),
             allow_free_fixed_merge: false,
+            threads: 1,
         }
     }
 
@@ -387,9 +545,7 @@ mod tests {
         let fx = FixedVertices::all_free(4);
         let p = CoarsenParams {
             max_cluster_weight: 5, // no pair fits (3 + 3 = 6)
-            max_net_size_for_matching: 64,
-            max_fixed_part_weight: Vec::new(),
-            allow_free_fixed_merge: false,
+            ..params()
         };
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         assert!(coarsen_once(&hg, &fx, &p, 0.95, None, &mut rng).is_none());
@@ -443,6 +599,66 @@ mod tests {
             Some(Fixed(PartId(2)))
         );
         assert_eq!(merge_fixity(Fixed(PartId(0)), FixedAny(s12)), None);
+    }
+
+    #[test]
+    fn parallel_coarsening_matches_sequential_exactly() {
+        // Big enough to clear MATCH_GRAIN/NET_GRAIN so threads actually
+        // fork: a 3000-vertex chain with weights and a sprinkling of fixed
+        // vertices, plus some wider nets for the contraction dedup.
+        let n = 3000;
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..n).map(|i| b.add_vertex(1 + (i as u64 % 3))).collect();
+        for w in v.windows(2) {
+            b.add_net(1, [w[0], w[1]]).unwrap();
+        }
+        for i in (0..n - 4).step_by(7) {
+            b.add_net(2, [v[i], v[i + 2], v[i + 4]]).unwrap();
+        }
+        let hg = b.build().unwrap();
+        let mut fx = FixedVertices::all_free(n);
+        for i in (0..n).step_by(13) {
+            fx.fix(VertexId(i as u32), PartId((i % 2) as u32));
+        }
+        let budgeted = CoarsenParams {
+            max_cluster_weight: 9,
+            max_fixed_part_weight: vec![4000, 4000],
+            ..params()
+        };
+        let baseline = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            coarsen_once(&hg, &fx, &budgeted, 0.95, None, &mut rng).unwrap()
+        };
+        for threads in [2, 4, 8] {
+            let p = CoarsenParams {
+                threads,
+                ..budgeted.clone()
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let level = coarsen_once(&hg, &fx, &p, 0.95, None, &mut rng).unwrap();
+            assert_eq!(level.map, baseline.map, "{threads} threads: cluster map");
+            assert_eq!(
+                level.hg.num_nets(),
+                baseline.hg.num_nets(),
+                "{threads} threads: net count"
+            );
+            let nets: Vec<(Vec<VertexId>, u64)> = level
+                .hg
+                .nets()
+                .map(|nt| (level.hg.net_pins(nt).to_vec(), level.hg.net_weight(nt)))
+                .collect();
+            let base_nets: Vec<(Vec<VertexId>, u64)> = baseline
+                .hg
+                .nets()
+                .map(|nt| {
+                    (
+                        baseline.hg.net_pins(nt).to_vec(),
+                        baseline.hg.net_weight(nt),
+                    )
+                })
+                .collect();
+            assert_eq!(nets, base_nets, "{threads} threads: coarse nets");
+        }
     }
 
     #[test]

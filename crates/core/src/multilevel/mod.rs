@@ -18,7 +18,7 @@ use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, PartId};
 
 use crate::cancel::CancelToken;
 use crate::config::MultilevelConfig;
-use crate::engine::{FmStack, Refiner};
+use crate::engine::{FmStack, Refiner, RunCtx};
 use crate::fm::BipartFm;
 use crate::{PartitionError, PartitionResult};
 
@@ -148,6 +148,7 @@ impl MultilevelPartitioner {
             // Never let a partition's fixed weight outgrow its capacity.
             max_fixed_part_weight: (0..2).map(|p| balance.max(PartId(p), 0)).collect(),
             allow_free_fixed_merge: false,
+            threads: cfg.threads,
         };
 
         // Build the coarsening stack: levels[i] is the coarse graph produced
@@ -181,7 +182,7 @@ impl MultilevelPartitioner {
             Some(l) => (&l.hg, &l.fixed),
             None => (hg, fixed),
         };
-        let coarse_fm = BipartFm::new(cfg.coarse_fm);
+        let coarse_fm = BipartFm::new(cfg.coarse_fm).with_threads(cfg.threads);
         let mut best: Option<(u64, Vec<PartId>)> = None;
         for start in 0..cfg.coarse_starts.max(1) {
             // Start 0 always runs so a cancelled run still yields a legal
@@ -221,8 +222,13 @@ impl MultilevelPartitioner {
             } else {
                 (&levels[i - 1].hg, &levels[i - 1].fixed)
             };
-            let r = refiner
-                .refine_cancellable(fine_hg, fine_fixed, balance, fine_parts, sink, cancel)?;
+            let r = refiner.refine_ctx(
+                fine_hg,
+                fine_fixed,
+                balance,
+                fine_parts,
+                RunCtx::new(&mut *rng).with_sink(sink).with_cancel(cancel),
+            )?;
             parts = r.parts;
             cut = r.cut;
             if S::ENABLED {
@@ -327,13 +333,12 @@ impl MultilevelPartitioner {
             Some(l) => (&l.hg, &l.fixed),
             None => (hg, fixed),
         };
-        let r = refiner.refine_cancellable(
+        let r = refiner.refine_ctx(
             coarsest_hg,
             coarsest_fixed,
             balance,
             cur_parts,
-            sink,
-            cancel,
+            RunCtx::new(&mut *rng).with_sink(sink).with_cancel(cancel),
         )?;
         let mut parts = r.parts;
         let mut cut = r.cut;
@@ -344,8 +349,13 @@ impl MultilevelPartitioner {
             } else {
                 (&levels[i - 1].hg, &levels[i - 1].fixed)
             };
-            let r = refiner
-                .refine_cancellable(fine_hg, fine_fixed, balance, fine_parts, sink, cancel)?;
+            let r = refiner.refine_ctx(
+                fine_hg,
+                fine_fixed,
+                balance,
+                fine_parts,
+                RunCtx::new(&mut *rng).with_sink(sink).with_cancel(cancel),
+            )?;
             parts = r.parts;
             cut = r.cut;
         }

@@ -8,6 +8,7 @@ use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph};
 use vlsi_trace::{CancelStage, Event, NullSink, Sink};
 
 use crate::cancel::CancelToken;
+use crate::engine::RunCtx;
 use crate::{PartitionError, PartitionResult};
 
 /// One independent start: its cut and wall-clock time.
@@ -324,7 +325,7 @@ where
         balance,
         starts,
         rng,
-        |hg, fixed, balance, rng| engine.partition(hg, fixed, balance, rng),
+        |hg, fixed, balance, rng| engine.partition_ctx(hg, fixed, balance, RunCtx::new(rng)),
     )
 }
 
@@ -355,7 +356,9 @@ where
         starts,
         rng,
         sink,
-        |hg, fixed, balance, rng| engine.partition_with_sink(hg, fixed, balance, rng, sink),
+        |hg, fixed, balance, rng| {
+            engine.partition_ctx(hg, fixed, balance, RunCtx::new(rng).with_sink(sink))
+        },
     )
 }
 
@@ -394,7 +397,12 @@ where
             break;
         }
         let t0 = Instant::now();
-        let result = engine.partition_cancellable(hg, fixed, balance, rng, sink, cancel)?;
+        let result = engine.partition_ctx(
+            hg,
+            fixed,
+            balance,
+            RunCtx::new(rng).with_sink(sink).with_cancel(cancel),
+        )?;
         let elapsed = t0.elapsed();
         if S::ENABLED {
             sink.record(&Event::StartFinished {
@@ -451,7 +459,7 @@ where
                balance: &BalanceConstraint,
                rng: &mut vlsi_rng::ChaCha8Rng|
      -> Result<PartitionResult, PartitionError> {
-        engine.partition(hg, fixed, balance, rng)
+        engine.partition_ctx(hg, fixed, balance, RunCtx::new(rng))
     };
     multistart_parallel(hg, fixed, balance, starts, threads, base_seed, &run)
 }
@@ -523,8 +531,12 @@ where
                     let mut rng =
                         vlsi_rng::ChaCha8Rng::seed_from_u64(base_seed.wrapping_add(i as u64));
                     let t0 = Instant::now();
-                    let result = engine
-                        .partition_cancellable(hg, fixed, balance, &mut rng, &NullSink, cancel);
+                    let result = engine.partition_ctx(
+                        hg,
+                        fixed,
+                        balance,
+                        RunCtx::new(&mut rng).with_cancel(cancel),
+                    );
                     *slot = Some(result.map(|r| (r, t0.elapsed())));
                 }
             });

@@ -12,7 +12,7 @@ use vlsi_rng::SeedableRng;
 
 use vlsi_hypergraph::Hypergraph;
 use vlsi_partition::{
-    EngineConfig, FmConfig, MultilevelConfig, PartitionError, Partitioner, SelectionPolicy,
+    EngineConfig, FmConfig, MultilevelConfig, PartitionError, Partitioner, RunCtx, SelectionPolicy,
 };
 
 use crate::harness::{find_good_solution, paper_balance};
@@ -110,7 +110,7 @@ pub fn run_ablation(
                 let mut run_rng =
                     ChaCha8Rng::seed_from_u64(seed ^ (run as u64 + 1).wrapping_mul(0xAB1A_7E57));
                 let t0 = Instant::now();
-                let r = engine.partition(hg, &fixed, &balance, &mut run_rng)?;
+                let r = engine.partition_ctx(hg, &fixed, &balance, RunCtx::new(&mut run_rng))?;
                 time_sum += t0.elapsed();
                 cut_sum += r.cut as f64;
             }

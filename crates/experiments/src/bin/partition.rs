@@ -14,10 +14,11 @@
 //! engine.
 //!
 //! Starts run on `--threads` OS threads (default: the machine's available
-//! parallelism) with deterministic per-start seeding, so the result is
-//! identical for every thread count. `--trace` streams per-pass events of
-//! every start into one JSONL file, which only makes sense on a single
-//! interleaving — it forces the sequential driver.
+//! parallelism) with deterministic per-start seeding; with a single start
+//! the budget goes to the engine's internal parallel phases instead. The
+//! result is identical for every thread count either way. `--trace`
+//! streams per-pass events of every start into one JSONL file, which only
+//! makes sense on a single interleaving — it forces the sequential driver.
 
 use std::fs::File;
 use std::io::Write as _;
@@ -96,13 +97,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--engine" => {
                 let name = value("--engine")?;
-                args.engine = EngineConfig::by_name(&name).ok_or_else(|| {
-                    let names: Vec<&str> = ENGINES.iter().map(|e| e.name).collect();
-                    format!(
-                        "unknown engine `{name}` (known: {}; see --list-engines)",
-                        names.join(", ")
-                    )
-                })?;
+                args.engine = EngineConfig::by_name(&name)
+                    .map_err(|e| format!("{e}\n(see --list-engines)"))?;
             }
             "--out" => args.out = Some(value("--out")?),
             "--trace" => args.trace = Some(value("--trace")?),
@@ -211,6 +207,16 @@ fn main() {
             },
         )
     } else {
+        // One start cannot use multistart-level parallelism, so hand the
+        // whole thread budget to the engine's internal parallel phases;
+        // with several starts the workers stay single-threaded to avoid
+        // oversubscription. Either way the result is thread-count
+        // invariant.
+        let engine = if starts == 1 {
+            args.engine.with_threads(args.threads)
+        } else {
+            args.engine
+        };
         multistart_parallel_engine(
             &hg,
             &fixed,
@@ -218,7 +224,7 @@ fn main() {
             starts,
             args.threads,
             args.seed,
-            &args.engine,
+            &engine,
         )
     };
     let outcome = match solved {

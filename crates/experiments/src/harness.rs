@@ -225,7 +225,7 @@ mod tests {
 
     #[test]
     fn engines_run() {
-        use vlsi_partition::EngineConfig;
+        use vlsi_partition::{EngineConfig, RunCtx};
         let hg = chain(32);
         let fixed = FixedVertices::all_free(32);
         let balance = paper_balance(&hg);
@@ -237,7 +237,9 @@ mod tests {
                 ..MultilevelConfig::default()
             }),
         ] {
-            let r = engine.partition(&hg, &fixed, &balance, &mut rng).unwrap();
+            let r = engine
+                .partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng))
+                .unwrap();
             assert!(r.cut <= 4);
         }
     }

@@ -15,7 +15,7 @@ use vlsi_hypergraph::{
     BalanceConstraint, CutState, FixedVertices, Hypergraph, Objective, Tolerance,
 };
 use vlsi_partition::{
-    KwayConfig, MultilevelConfig, PartitionError, Partitioner, RecursiveBisection,
+    KwayConfig, MultilevelConfig, PartitionError, Partitioner, RecursiveBisection, RunCtx,
 };
 
 use crate::regimes::{FixSchedule, Regime};
@@ -102,7 +102,7 @@ fn solve_once(
     seed: u64,
 ) -> Result<u64, PartitionError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let refined = trial_engine(config).partition(hg, fixed, balance, &mut rng)?;
+    let refined = trial_engine(config).partition_ctx(hg, fixed, balance, RunCtx::new(&mut rng))?;
     Ok(refined.cut)
 }
 
@@ -123,7 +123,7 @@ pub fn run_multiway(
     // Reference good solution on the free instance.
     let free = FixedVertices::all_free(hg.num_vertices());
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let good = trial_engine(config).partition(hg, &free, &balance, &mut rng)?;
+    let good = trial_engine(config).partition_ctx(hg, &free, &balance, RunCtx::new(&mut rng))?;
     let good_kminus1 = CutState::new(hg, config.k, &good.parts).value(Objective::KMinus1);
 
     let mut points = Vec::new();

@@ -6,7 +6,14 @@
 //! aggregated by the [`CounterSink`] the workers thread into every
 //! partitioning run. A `{"op":"metrics"}` request renders both as one
 //! JSON line.
+//!
+//! Latencies are tracked **per engine**: a slow `sa` job must not hide in
+//! the same histogram as sub-millisecond `fm` jobs. The snapshot still
+//! exposes the aggregate p50/p99 across all engines (the fields older
+//! dashboards scrape) alongside one `{name, count, p50_us, p99_us}` entry
+//! per engine that has served at least one job.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -31,7 +38,20 @@ pub struct ServiceMetrics {
     pub protocol_errors: AtomicU64,
     /// Engine-level counters, fed by every worker's partitioning run.
     pub engine: CounterSink,
-    latencies_us: Mutex<Vec<u64>>,
+    latencies_us: Mutex<BTreeMap<&'static str, Vec<u64>>>,
+}
+
+/// Latency distribution of one engine's jobs (cache hits included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineLatency {
+    /// Canonical engine name (`"fm"`, `"ml"`, ...).
+    pub name: &'static str,
+    /// Jobs this engine has answered.
+    pub count: u64,
+    /// Median latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
 }
 
 /// A point-in-time copy of everything [`ServiceMetrics`] tracks.
@@ -51,10 +71,13 @@ pub struct MetricsSnapshot {
     pub deadline_expirations: u64,
     /// Rejected request lines.
     pub protocol_errors: u64,
-    /// Median service latency in microseconds (0 when no jobs ran).
+    /// Median service latency across all engines in microseconds
+    /// (0 when no jobs ran).
     pub p50_us: u64,
-    /// 99th-percentile service latency in microseconds.
+    /// 99th-percentile service latency across all engines in microseconds.
     pub p99_us: u64,
+    /// Per-engine latency distributions, sorted by engine name.
+    pub engine_latencies: Vec<EngineLatency>,
     /// Engine counters (passes, moves, cancellations, ...).
     pub engine: Counters,
 }
@@ -65,19 +88,36 @@ impl ServiceMetrics {
         Self::default()
     }
 
-    /// Records one served job's wall-clock latency.
-    pub fn record_latency_us(&self, micros: u64) {
+    /// Records one served job's wall-clock latency under its engine's name.
+    pub fn record_latency_us(&self, engine: &'static str, micros: u64) {
         self.latencies_us
             .lock()
             .expect("metrics mutex")
+            .entry(engine)
+            .or_default()
             .push(micros);
     }
 
     /// A consistent-enough copy of all counters (see
     /// [`CounterSink::snapshot`] for the relaxed-ordering caveat).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut lat = self.latencies_us.lock().expect("metrics mutex").clone();
-        lat.sort_unstable();
+        let by_engine = self.latencies_us.lock().expect("metrics mutex").clone();
+        let mut all: Vec<u64> = by_engine.values().flatten().copied().collect();
+        all.sort_unstable();
+        // BTreeMap iteration gives the name-sorted order the JSON line and
+        // snapshot comparisons rely on.
+        let engine_latencies = by_engine
+            .into_iter()
+            .map(|(name, mut lat)| {
+                lat.sort_unstable();
+                EngineLatency {
+                    name,
+                    count: lat.len() as u64,
+                    p50_us: percentile(&lat, 50),
+                    p99_us: percentile(&lat, 99),
+                }
+            })
+            .collect();
         MetricsSnapshot {
             jobs_ok: self.jobs_ok.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
@@ -86,8 +126,9 @@ impl ServiceMetrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            p50_us: percentile(&lat, 50),
-            p99_us: percentile(&lat, 99),
+            p50_us: percentile(&all, 50),
+            p99_us: percentile(&all, 99),
+            engine_latencies,
             engine: self.engine.snapshot(),
         }
     }
@@ -106,6 +147,17 @@ fn percentile(sorted: &[u64], p: u32) -> u64 {
 impl MetricsSnapshot {
     /// Renders the snapshot as a one-line JSON metrics response.
     pub fn to_line(&self) -> String {
+        let engines: String = self
+            .engine_latencies
+            .iter()
+            .map(|l| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                    l.name, l.count, l.p50_us, l.p99_us
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let e = &self.engine;
         format!(
             concat!(
@@ -114,6 +166,7 @@ impl MetricsSnapshot {
                 "\"cache_hits\":{},\"cache_misses\":{},",
                 "\"deadline_expirations\":{},\"protocol_errors\":{},",
                 "\"p50_us\":{},\"p99_us\":{},",
+                "\"engines\":{{{}}},",
                 "\"engine\":{{\"passes\":{},\"kway_passes\":{},\"moves_tried\":{},",
                 "\"moves_committed\":{},\"moves_rolled_back\":{},\"bucket_ops\":{},",
                 "\"cut_updates\":{},\"levels\":{},\"starts\":{},\"sweeps\":{},",
@@ -128,6 +181,7 @@ impl MetricsSnapshot {
             self.protocol_errors,
             self.p50_us,
             self.p99_us,
+            engines,
             e.passes,
             e.kway_passes,
             e.moves_tried,
@@ -163,27 +217,74 @@ mod tests {
         m.jobs_ok.fetch_add(3, Ordering::Relaxed);
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
         for us in [10, 20, 30] {
-            m.record_latency_us(us);
+            m.record_latency_us("fm", us);
         }
         let snap = m.snapshot();
         assert_eq!(snap.jobs_ok, 3);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.p50_us, 20);
         assert_eq!(snap.p99_us, 30);
+        assert_eq!(
+            snap.engine_latencies,
+            vec![EngineLatency {
+                name: "fm",
+                count: 3,
+                p50_us: 20,
+                p99_us: 30,
+            }]
+        );
+    }
+
+    #[test]
+    fn latencies_are_tracked_per_engine() {
+        let m = ServiceMetrics::new();
+        // A slow annealing job must not distort the fm percentiles.
+        for us in [10, 20, 30, 40] {
+            m.record_latency_us("fm", us);
+        }
+        m.record_latency_us("sa", 90_000);
+        let snap = m.snapshot();
+        // Name-sorted: fm before sa.
+        assert_eq!(snap.engine_latencies.len(), 2);
+        let fm = &snap.engine_latencies[0];
+        let sa = &snap.engine_latencies[1];
+        assert_eq!((fm.name, fm.count, fm.p50_us, fm.p99_us), ("fm", 4, 20, 40));
+        assert_eq!((sa.name, sa.count, sa.p50_us), ("sa", 1, 90_000));
+        // The aggregate still sees everything.
+        assert_eq!(snap.p99_us, 90_000);
     }
 
     #[test]
     fn metrics_line_is_valid_json() {
         let m = ServiceMetrics::new();
-        m.record_latency_us(5);
+        m.record_latency_us("ml", 5);
+        m.record_latency_us("fm", 7);
         let line = m.snapshot().to_line();
         let parsed = crate::json::parse(&line).unwrap();
         let metrics = parsed.get("metrics").unwrap();
         assert_eq!(metrics.get("p50_us").unwrap().as_u64(), Some(5));
+        let engines = metrics.get("engines").unwrap();
+        assert_eq!(
+            engines.get("fm").unwrap().get("p50_us").unwrap().as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            engines.get("ml").unwrap().get("p99_us").unwrap().as_u64(),
+            Some(5)
+        );
         assert!(metrics
             .get("engine")
             .unwrap()
             .get("cancellations")
             .is_some());
+    }
+
+    #[test]
+    fn metrics_line_with_no_jobs_is_valid_json() {
+        let line = ServiceMetrics::new().snapshot().to_line();
+        let parsed = crate::json::parse(&line).unwrap();
+        let metrics = parsed.get("metrics").unwrap();
+        assert_eq!(metrics.get("p50_us").unwrap().as_u64(), Some(0));
+        assert!(metrics.get("engines").is_some());
     }
 }

@@ -235,17 +235,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         })
         .transpose()?
         .unwrap_or_else(|| "ml".to_string());
-    let Some(engine) = vlsi_partition::EngineConfig::by_name(&engine_name) else {
-        let known: Vec<&str> = vlsi_partition::ENGINES.iter().map(|e| e.name).collect();
-        return Err(ProtocolError::new(
-            id.clone(),
-            "unknown_engine",
-            format!(
-                "unknown engine '{engine_name}'; known: {}",
-                known.join(", ")
-            ),
-        ));
-    };
+    // `UnknownEngine`'s Display already lists every valid name and alias;
+    // surface it verbatim under the structured `unknown_engine` code.
+    let engine = vlsi_partition::EngineConfig::by_name(&engine_name)
+        .map_err(|e| ProtocolError::new(id.clone(), "unknown_engine", e.to_string()))?;
 
     let k = get_usize(&root, "k", 2, &id)?;
     if !(2..=MAX_PARTS).contains(&k) {

@@ -251,6 +251,14 @@ fn error_code(err: &PartitionError) -> &'static str {
 fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
     let t0 = Instant::now();
     let engine = EngineConfig::by_name(&req.engine).expect("engine validated at ingress");
+    // With several multistart workers the starts already saturate the
+    // requested threads; only a single start hands them to the engine's
+    // internal parallel coarsening/refinement instead.
+    let engine = if req.starts == 1 {
+        engine.with_threads(req.threads.max(1))
+    } else {
+        engine
+    };
     let balance = BalanceConstraint::even(
         req.k,
         req.hg.total_weights(),
@@ -271,7 +279,7 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
         ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
         let micros = t0.elapsed().as_micros() as u64;
-        ctx.metrics.record_latency_us(micros);
+        ctx.metrics.record_latency_us(engine.name(), micros);
         return JobResponse {
             id: req.id.clone(),
             cut,
@@ -361,7 +369,7 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
     }
     ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
     let micros = t0.elapsed().as_micros() as u64;
-    ctx.metrics.record_latency_us(micros);
+    ctx.metrics.record_latency_us(engine.name(), micros);
 
     JobResponse {
         id: req.id.clone(),

@@ -155,6 +155,7 @@ prop_test! {
             max_net_size_for_matching: 64,
             max_fixed_part_weight: Vec::new(),
             allow_free_fixed_merge: false,
+            threads: 1,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let Some(level) = coarsen_once(&hg, &fixed, &params, 1.01, None, &mut rng) else {

@@ -144,3 +144,43 @@ fn multistart_parallel_is_thread_count_invariant() {
         assert_eq!(cuts, base_cuts, "{threads} threads changed a start's cut");
     }
 }
+
+#[test]
+fn parallel_multilevel_is_byte_identical_across_thread_counts() {
+    // The engine-internal parallelism (heavy-edge matching, contraction and
+    // gain initialization on worker threads) is required to compute exactly
+    // what the sequential code computes — not merely an equally good cut.
+    // One run per thread count, all compared byte-for-byte against the
+    // single-threaded partition vector.
+    use fixed_vertices_repro::vlsi_partition::{Partitioner, RunCtx};
+
+    let circuit = ibm01_like_scaled(0.06, 5);
+    let hg = &circuit.hypergraph;
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.02));
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 15 {
+        fixed.fix(VertexId((i * 5) as u32), PartId((i % 2) as u32));
+    }
+
+    let run = |threads: usize| {
+        let ml = MultilevelPartitioner::new(MultilevelConfig {
+            coarsest_size: 40,
+            coarse_starts: 2,
+            threads,
+            ..MultilevelConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(1999);
+        ml.partition_ctx(hg, &fixed, &balance, RunCtx::new(&mut rng))
+            .expect("ml runs")
+    };
+
+    let base = run(1);
+    for threads in [2, 4, 8] {
+        let r = run(threads);
+        assert_eq!(
+            r.parts, base.parts,
+            "{threads} internal threads changed the partition vector"
+        );
+        assert_eq!(r.cut, base.cut);
+    }
+}

@@ -1,0 +1,205 @@
+//! The `RunCtx` migration contract: every deprecated legacy entry point
+//! (`partition` / `partition_with_sink` / `partition_cancellable` and the
+//! `refine_*` triplet) is a thin wrapper over the `*_ctx` method, so the
+//! legacy spelling and an explicitly-built default [`RunCtx`] must replay
+//! **byte-identical** results for the same seed — on every registered
+//! engine, across a fixed-seed corpus of generated instances. A divergence
+//! here means a wrapper quietly changed behaviour during the migration.
+#![allow(deprecated)]
+
+use vlsi_rng::{ChaCha8Rng, SeedableRng};
+
+use fixed_vertices_repro::vlsi_hypergraph::{
+    BalanceConstraint, FixedVertices, PartId, Tolerance, VertexId,
+};
+use fixed_vertices_repro::vlsi_netgen::instances::ibm01_like_scaled;
+use fixed_vertices_repro::vlsi_partition::trace::NullSink;
+use fixed_vertices_repro::vlsi_partition::{
+    BipartFm, CancelToken, EngineConfig, FmConfig, FmStack, MultilevelConfig, Partitioner, Refiner,
+    RunCtx, ENGINES,
+};
+
+/// A smallish instance with a sprinkle of fixed vertices, deterministic in
+/// `seed`.
+fn corpus_instance(
+    seed: u64,
+) -> (
+    fixed_vertices_repro::vlsi_hypergraph::Hypergraph,
+    FixedVertices,
+) {
+    let circuit = ibm01_like_scaled(0.015, seed);
+    let hg = circuit.hypergraph;
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 12 {
+        fixed.fix(VertexId((i * 9) as u32), PartId((i % 2) as u32));
+    }
+    (hg, fixed)
+}
+
+#[test]
+fn partition_ctx_matches_every_legacy_entry_point() {
+    for corpus_seed in [3u64, 11, 42] {
+        let (hg, fixed) = corpus_instance(corpus_seed);
+        for info in ENGINES {
+            let engine = EngineConfig::by_name(info.name).expect("registry name resolves");
+            // Every registered engine supports bisection; the k-way engines
+            // treat k = 2 as a single split.
+            let balance =
+                BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.25));
+            let run_seed = 7 + corpus_seed;
+
+            let via_ctx = {
+                let mut rng = ChaCha8Rng::seed_from_u64(run_seed);
+                engine
+                    .partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng))
+                    .expect("engine runs")
+            };
+            let via_partition = {
+                let mut rng = ChaCha8Rng::seed_from_u64(run_seed);
+                engine
+                    .partition(&hg, &fixed, &balance, &mut rng)
+                    .expect("engine runs")
+            };
+            let via_sink = {
+                let mut rng = ChaCha8Rng::seed_from_u64(run_seed);
+                engine
+                    .partition_with_sink(&hg, &fixed, &balance, &mut rng, &NullSink)
+                    .expect("engine runs")
+            };
+            let via_cancellable = {
+                let mut rng = ChaCha8Rng::seed_from_u64(run_seed);
+                engine
+                    .partition_cancellable(
+                        &hg,
+                        &fixed,
+                        &balance,
+                        &mut rng,
+                        &NullSink,
+                        &CancelToken::never(),
+                    )
+                    .expect("engine runs")
+            };
+
+            for (label, legacy) in [
+                ("partition", &via_partition),
+                ("partition_with_sink", &via_sink),
+                ("partition_cancellable", &via_cancellable),
+            ] {
+                assert_eq!(
+                    legacy.parts, via_ctx.parts,
+                    "{} diverged from partition_ctx on engine {} (corpus seed {})",
+                    label, info.name, corpus_seed
+                );
+                assert_eq!(legacy.cut, via_ctx.cut);
+            }
+        }
+    }
+}
+
+#[test]
+fn refine_ctx_matches_every_legacy_entry_point() {
+    for corpus_seed in [3u64, 11] {
+        let (hg, fixed) = corpus_instance(corpus_seed);
+        let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.25));
+        // A legal-but-poor initial assignment for the refiners to improve,
+        // honouring the corpus fixities.
+        let initial: Vec<PartId> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(corpus_seed);
+            fixed_vertices_repro::vlsi_partition::random_initial(&hg, &fixed, &balance, 2, &mut rng)
+                .expect("feasible instance")
+        };
+
+        // `Refiner` is not object-safe (generic methods), so each refiner
+        // goes through a generic checker instead of a dyn loop.
+        fn check<Rf: Refiner>(
+            label: &str,
+            corpus_seed: u64,
+            refiner: &Rf,
+            hg: &fixed_vertices_repro::vlsi_hypergraph::Hypergraph,
+            fixed: &FixedVertices,
+            balance: &BalanceConstraint,
+            initial: &[PartId],
+        ) {
+            let via_ctx = {
+                let mut rng = ChaCha8Rng::seed_from_u64(0);
+                refiner
+                    .refine_ctx(hg, fixed, balance, initial.to_vec(), RunCtx::new(&mut rng))
+                    .expect("refiner runs")
+            };
+            let via_refine = refiner
+                .refine(hg, fixed, balance, initial.to_vec())
+                .expect("refiner runs");
+            let via_sink = refiner
+                .refine_with_sink(hg, fixed, balance, initial.to_vec(), &NullSink)
+                .expect("refiner runs");
+            let via_cancellable = refiner
+                .refine_cancellable(
+                    hg,
+                    fixed,
+                    balance,
+                    initial.to_vec(),
+                    &NullSink,
+                    &CancelToken::never(),
+                )
+                .expect("refiner runs");
+
+            for (legacy_label, legacy) in [
+                ("refine", &via_refine),
+                ("refine_with_sink", &via_sink),
+                ("refine_cancellable", &via_cancellable),
+            ] {
+                assert_eq!(
+                    legacy.parts, via_ctx.parts,
+                    "{legacy_label} diverged from refine_ctx on {label} (corpus seed {corpus_seed})"
+                );
+                assert_eq!(legacy.cut, via_ctx.cut);
+            }
+        }
+
+        let fm = BipartFm::new(FmConfig::default());
+        let stack = FmStack::new(FmConfig::default(), Some(FmConfig::default()));
+        check("fm", corpus_seed, &fm, &hg, &fixed, &balance, &initial);
+        check(
+            "fm-stack",
+            corpus_seed,
+            &stack,
+            &hg,
+            &fixed,
+            &balance,
+            &initial,
+        );
+    }
+}
+
+#[test]
+fn default_multilevel_config_matches_threaded_ctx_defaults() {
+    // RunCtx::new defaults to one thread; an engine whose config also says
+    // one thread must therefore behave exactly like the legacy path even
+    // when the ctx is built piecewise with the builders.
+    let (hg, fixed) = corpus_instance(19);
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.05));
+    let engine = EngineConfig::Multilevel(MultilevelConfig {
+        coarsest_size: 40,
+        ..MultilevelConfig::default()
+    });
+
+    let plain = {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        engine
+            .partition_ctx(&hg, &fixed, &balance, RunCtx::new(&mut rng))
+            .expect("engine runs")
+    };
+    let piecewise = {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let never = CancelToken::never();
+        let ctx = RunCtx::new(&mut rng)
+            .with_sink(&NullSink)
+            .with_cancel(&never)
+            .with_threads(1);
+        engine
+            .partition_ctx(&hg, &fixed, &balance, ctx)
+            .expect("engine runs")
+    };
+    assert_eq!(plain.parts, piecewise.parts);
+    assert_eq!(plain.cut, piecewise.cut);
+}
