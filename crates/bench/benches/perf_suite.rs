@@ -1,8 +1,9 @@
 //! The CI perf-regression suite. Unlike the paper-table benches, this
 //! target exists to be *gated*: it measures the hot phases the parallel
 //! execution layer touches (heavy-edge matching + contraction, FM gain
-//! initialization inside a full run, and an end-to-end multilevel
-//! partition) at several thread counts, writes
+//! initialization inside a full run, an end-to-end multilevel partition,
+//! and the synchronous-round parallel k-way refinement) at several thread
+//! counts, writes
 //! `results/bench/BENCH_partition.json`, and — when `PERF_GATE=1` — fails
 //! the process if any benchmark's median regressed more than 15% against
 //! the checked-in baseline (`PERF_BASELINE`, defaulting to
@@ -132,6 +133,46 @@ fn bench_multilevel(
     group.finish();
 }
 
+fn bench_refine_parallel(c: &mut Criterion, hg: &vlsi_hypergraph::Hypergraph) {
+    // The synchronous-round k-way refinement at every thread budget. On a
+    // single-core builder only the t1 median is a meaningful latency
+    // signal (t2–t8 pay scoped-thread spawns with no parallel speedup),
+    // but all four are gated: the t1 slice guards the engine itself and
+    // the others guard the per-round freeze/merge overhead.
+    use vlsi_hypergraph::Objective;
+    use vlsi_partition::{kway, random_initial};
+
+    let k = 4;
+    let balance = BalanceConstraint::even(k, &[hg.total_weight()], Tolerance::Relative(0.1));
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 20 {
+        fixed.fix(VertexId((i * 7) as u32), PartId((i % k) as u32));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let initial = random_initial(hg, &fixed, &balance, k, &mut rng).expect("feasible fixture");
+
+    let mut group = c.benchmark_group("partition/refine_parallel");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_function(format!("t{threads}").as_str(), |b| {
+            b.iter(|| {
+                black_box(
+                    kway::refine_pass_parallel(
+                        hg,
+                        &fixed,
+                        &balance,
+                        initial.clone(),
+                        Objective::Cut,
+                        threads,
+                    )
+                    .expect("round engine runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Pulls `(id, median_ns)` pairs out of a testkit bench JSON file with a
 /// plain string scan (the format is fixed: `"id": "...", ... "median_ns":
 /// 123.4`), so the gate needs no JSON dependency.
@@ -241,6 +282,7 @@ fn main() {
     bench_coarsen(&mut c, &hg, &fixed);
     bench_flat_fm(&mut c, &hg, &fixed, &balance);
     bench_multilevel(&mut c, &hg, &fixed, &balance);
+    bench_refine_parallel(&mut c, &hg);
     c.finalize();
 
     let out_dir = std::env::var_os("TESTKIT_BENCH_DIR")

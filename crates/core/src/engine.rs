@@ -248,9 +248,13 @@ pub trait Partitioner {
 pub trait Refiner {
     /// Refines `parts`, streaming pass brackets into `ctx.sink`, polling
     /// `ctx.cancel` at pass boundaries, and using at most `ctx.threads`
-    /// worker threads for gain initialization. A cancelled refinement
-    /// returns the best solution reached so far (never worse than the
-    /// input).
+    /// worker threads. For the 2-way FM stack the budget only parallelises
+    /// gain initialization (results are thread-count invariant); for the
+    /// k-way refiner it selects the refinement regime — budget ≤ 1 is the
+    /// sequential pass, budget ≥ 2 the synchronous-round parallel engine,
+    /// byte-identical across all budgets ≥ 2 (see
+    /// [`kway::refine_pass_parallel`]). A cancelled refinement returns the
+    /// best solution reached so far (never worse than the input).
     ///
     /// # Errors
     /// [`PartitionError::UnsupportedPartCount`] for part counts the refiner
@@ -601,8 +605,10 @@ impl Refiner for FmStack {
 }
 
 /// The direct k-way FM inner loop as a [`Refiner`]: up to `max_passes`
-/// passes of [`kway::refine_pass`], stopping early when a pass fails to
-/// improve the objective.
+/// passes, stopping early when a pass fails to improve the objective.
+/// `ctx.threads` picks the pass implementation — the sequential
+/// [`kway::refine_pass`] at a budget ≤ 1 (bit-for-bit the legacy
+/// behaviour), the synchronous-round parallel engine at ≥ 2.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KwayRefiner {
     /// Objective optimised by each pass.

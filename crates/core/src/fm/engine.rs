@@ -12,11 +12,8 @@ use crate::config::{FmConfig, SelectionPolicy};
 use crate::fm::{PassStats, RunStats};
 use crate::gain::{KwayGains, MoveLog};
 use crate::initial::random_initial;
+use crate::parallel::GAIN_INIT_GRAIN;
 use crate::PartitionError;
-
-/// Minimum vertices per worker before gain initialization forks threads
-/// (below this the scoped-thread spawn costs more than it saves).
-const GAIN_INIT_GRAIN: usize = 1024;
 
 /// Gain of moving `v` to the other side under the cut objective: the net
 /// weight freed by emptying `from`-critical nets minus the weight newly

@@ -19,9 +19,7 @@ use crate::gain::{KwayGains, MoveLog};
 use crate::multilevel::MultilevelPartitioner;
 use crate::{PartitionError, PartitionResult};
 
-/// Minimum `(vertex, target)` gain entries per worker before the k-way
-/// gain initialization forks threads.
-const GAIN_INIT_GRAIN: usize = 1024;
+use crate::parallel::GAIN_INIT_GRAIN;
 
 /// Partitions `hg` into `k` blocks by recursive bisection with the
 /// multilevel engine, honouring fixed vertices whose target partitions are
@@ -410,26 +408,37 @@ pub fn refine_pass_cancellable<S: Sink>(
     )
 }
 
-/// [`refine_pass_cancellable`] with a worker-thread budget for the initial
-/// gain computation. The budget never changes the result: gains are pure
-/// reads of the frozen input assignment, precomputed in parallel and
-/// inserted in the exact sequential order.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn refine_pass_threaded<S: Sink>(
+/// The shared gain-container setup of the sequential k-way pass and the
+/// parallel round engine (`parallel::refine`).
+pub(crate) struct KwayGainSetup {
+    /// Every allowed `(vertex, target)` move of the frozen assignment,
+    /// keyed by its exact gain.
+    pub gains: KwayGains,
+    /// Per-resource relaxation: the largest movable vertex weight, the
+    /// slack the sequential pass grants destination overshoot.
+    pub relax: Vec<u64>,
+    /// Vertices with at least one allowed move.
+    pub movable: u64,
+    /// Entries inserted (the setup's gain-container operation count).
+    pub inserts: u64,
+}
+
+/// Builds the [`KwayGainSetup`] for assignment `p`: relaxation vector,
+/// SOED-safe key bound, and a gain container holding every allowed move.
+///
+/// Initial gains are pure reads of the frozen assignment, so with a thread
+/// budget they are precomputed into a flat `vertex * k + target` table;
+/// the bucket insertions always replay in the sequential order, keeping
+/// the setup thread-count invariant.
+pub(crate) fn build_kway_gains(
     hg: &Hypergraph,
     fixed: &FixedVertices,
-    balance: &BalanceConstraint,
-    initial: Vec<PartId>,
+    p: &Partitioning,
+    k: usize,
     objective: Objective,
-    pass: u32,
-    sink: &S,
-    cancel: &CancelToken,
     threads: usize,
-) -> Result<PartitionResult, PartitionError> {
-    let k = balance.num_parts();
-    let mut p = Partitioning::from_parts_fixed(hg, k, initial, fixed)?;
+) -> KwayGainSetup {
     let nr = hg.num_resources();
-
     let mut relax = vec![0u64; nr];
     for v in hg.vertices() {
         if !fixed.fixity(v).is_immovable() {
@@ -454,14 +463,9 @@ pub(crate) fn refine_pass_threaded<S: Sink>(
         .unwrap_or(0)
         .max(1);
 
-    // Initial gains are pure reads of the frozen assignment, so with a
-    // thread budget they are precomputed into a flat `vertex * k + target`
-    // table; the bucket insertions below always replay in the sequential
-    // order, keeping the pass thread-count invariant.
     let workers =
         crate::parallel::effective_threads(threads, hg.num_vertices() * k, GAIN_INIT_GRAIN);
     let pre: Option<Vec<i64>> = (workers > 1).then(|| {
-        let p_ref = &p;
         let mut out = vec![0i64; hg.num_vertices() * k];
         crate::parallel::par_fill(&mut out, workers, |off, chunk| {
             for (i, slot) in chunk.iter_mut().enumerate() {
@@ -472,17 +476,17 @@ pub(crate) fn refine_pass_threaded<S: Sink>(
                     continue;
                 }
                 let to = PartId::from_index(idx % k);
-                if to == p_ref.part_of(v) || !fx.allows(to) {
+                if to == p.part_of(v) || !fx.allows(to) {
                     continue;
                 }
-                *slot = move_gain(hg, p_ref, v, to, objective);
+                *slot = move_gain(hg, p, v, to, objective);
             }
         });
         out
     });
 
     let mut gains = KwayGains::new(k, hg.num_vertices(), key_bound);
-    let mut bucket_ops = 0u64;
+    let mut inserts = 0u64;
     let mut movable = 0u64;
     for v in hg.vertices() {
         let fx = fixed.fixity(v);
@@ -498,18 +502,65 @@ pub(crate) fn refine_pass_threaded<S: Sink>(
             }
             let g = match &pre {
                 Some(table) => table[v.index() * k + t],
-                None => move_gain(hg, &p, v, to, objective),
+                None => move_gain(hg, p, v, to, objective),
             };
             gains.insert(v, to, g);
             any = true;
-            if S::ENABLED {
-                bucket_ops += 1;
-            }
+            inserts += 1;
         }
         if any {
             movable += 1;
         }
     }
+    KwayGainSetup {
+        gains,
+        relax,
+        movable,
+        inserts,
+    }
+}
+
+/// [`refine_pass_cancellable`] with a worker-thread budget. The budget
+/// selects between two deterministic regimes:
+///
+/// * `threads <= 1` — the sequential LIFO pass below, bit-for-bit what
+///   single-threaded callers have always computed. The budget is also
+///   forwarded to the (thread-count invariant) gain setup.
+/// * `threads >= 2` — the synchronous-round engine
+///   ([`parallel::refine::refine_pass_rounds`](crate::parallel::refine::refine_pass_rounds)),
+///   whose output is identical for **every** budget ≥ 2 (and for any
+///   worker count; see [`refine_pass_parallel`]) but is a different
+///   algorithm than the sequential pass, so the two regimes may return
+///   different (equally legal) solutions.
+///
+/// The dispatch keys on the *requested* budget, never on instance size,
+/// so which regime runs is a pure function of the caller's configuration.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_pass_threaded<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    objective: Objective,
+    pass: u32,
+    sink: &S,
+    cancel: &CancelToken,
+    threads: usize,
+) -> Result<PartitionResult, PartitionError> {
+    if threads > 1 {
+        return crate::parallel::refine::refine_pass_rounds(
+            hg, fixed, balance, initial, objective, pass, sink, cancel, threads,
+        );
+    }
+    let k = balance.num_parts();
+    let mut p = Partitioning::from_parts_fixed(hg, k, initial, fixed)?;
+    let nr = hg.num_resources();
+
+    let setup = build_kway_gains(hg, fixed, &p, k, objective, threads);
+    let mut gains = setup.gains;
+    let relax = setup.relax;
+    let movable = setup.movable;
+    let mut bucket_ops = if S::ENABLED { setup.inserts } else { 0 };
 
     let value_before = p.cut_value(objective);
     if S::ENABLED {
@@ -615,10 +666,57 @@ pub(crate) fn refine_pass_threaded<S: Sink>(
     Ok(PartitionResult::new(p.into_parts(), cut))
 }
 
+/// One synchronous-round parallel refinement pass (the `threads >= 2`
+/// regime of the k-way engines), exposed directly so tests and benches can
+/// pin its core contract: **the returned assignment is byte-identical for
+/// every `threads` value, including 1** — the worker count only chunks a
+/// pure proposal scan, never the merge or the apply order. This is
+/// stronger than the two-regime dispatch of [`refine_pass`]'s internal
+/// threaded variant (which switches to the sequential pass at budget ≤ 1)
+/// and is what `tests/determinism.rs` exercises at 1/2/4/8 threads.
+///
+/// Every applied move strictly improves the objective and is re-validated
+/// against fixity and balance at apply time, so the result never worsens
+/// `initial` and never introduces a new balance violation. See the
+/// `parallel::refine` module docs for the protocol and
+/// `docs/ARCHITECTURE.md` for its determinism proof obligations.
+///
+/// # Errors
+/// Returns [`PartitionError::Input`] if `initial` is inconsistent with `hg`
+/// or violates a fixity.
+pub fn refine_pass_parallel(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    objective: Objective,
+    threads: usize,
+) -> Result<PartitionResult, PartitionError> {
+    crate::parallel::refine::refine_pass_rounds(
+        hg,
+        fixed,
+        balance,
+        initial,
+        objective,
+        0,
+        &NullSink,
+        &CancelToken::never(),
+        threads,
+    )
+}
+
 /// The pre-container k-way pass: a lazy max-heap with re-queue on stale
-/// gains. Retained verbatim as the performance baseline the
-/// `gain_container` benchmark compares [`refine_pass`] against; new code
-/// should use [`refine_pass`].
+/// gains. Retained as the suite's **test oracle** — an independent
+/// implementation that recomputes every candidate's gain from scratch
+/// (`best_move_of`) instead of delta-maintaining a [`KwayGains`]
+/// container, so agreement with [`refine_pass`] and legality of its output
+/// cross-check the container's bookkeeping. `tests/refinement_equivalence.rs`
+/// runs it across the property-test corpus, and the `gain_container`
+/// benchmark keeps it honest as the performance baseline.
+///
+/// It is deliberately **not** in any production dispatch path: engines
+/// reach refinement only through [`refine_pass`]'s threaded internals, and
+/// new code should call [`refine_pass`] / [`refine_pass_parallel`].
 ///
 /// # Errors
 /// Returns [`PartitionError::Input`] if `initial` is inconsistent with `hg`
@@ -1011,8 +1109,11 @@ pub fn refine_cancellable<S: Sink>(
     )
 }
 
-/// [`refine_cancellable`] with a worker-thread budget for each pass's gain
-/// initialization (the budget never changes the result).
+/// [`refine_cancellable`] with a worker-thread budget, looping
+/// [`refine_pass_threaded`] until a pass stops improving. The budget
+/// selects the refinement regime per that function's contract: budget ≤ 1
+/// replays the sequential pass bit-for-bit, budget ≥ 2 runs the
+/// synchronous-round engine and is byte-identical across all budgets ≥ 2.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn refine_threaded<S: Sink>(
     hg: &Hypergraph,

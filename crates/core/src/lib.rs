@@ -90,7 +90,7 @@ pub use engine::{
 };
 pub use error::PartitionError;
 pub use fm::{BipartFm, FmResult, PassStats, PassTrace, RunStats};
-pub use gain::{GainBuckets, KwayGains, MoveLog};
+pub use gain::{GainBuckets, KwayGains, KwayGainsSnapshot, MoveLog};
 pub use initial::random_initial;
 pub use kl::KlConfig;
 pub use multilevel::{MultilevelPartitioner, MultilevelResult};

@@ -16,16 +16,36 @@
 //! stronger rule — their parallel phases compute values that are
 //! *identical* to what the sequential code would compute for the same item
 //! (heavy-edge match scores, FM/k-way initial gains, per-net coarse pin
-//! sets), and every state-dependent decision is replayed afterwards on one
-//! thread in the original order. Consequence: for a fixed seed the
-//! partition vector is byte-identical for 1, 2, 4 or 8 threads, which
-//! `tests/determinism.rs` pins.
+//! sets, round-engine move proposals), and every state-dependent decision
+//! is replayed afterwards on one thread in the original order.
+//!
+//! Two consequences, pinned by `tests/determinism.rs`:
+//!
+//! * **Setup phases** (coarsening, gain initialization) compute exactly
+//!   what the sequential code computes, so for a fixed seed the partition
+//!   vector is byte-identical for 1, 2, 4 or 8 threads.
+//! * **K-way refinement** ([`refine`]) is a *two-regime* contract: a
+//!   budget ≤ 1 runs the legacy sequential pass bit-for-bit, while every
+//!   budget ≥ 2 runs the synchronous-round engine and yields one identical
+//!   answer regardless of the budget. The round engine itself is
+//!   worker-count invariant down to a single worker —
+//!   `kway::refine_pass_parallel` pins byte-identity at literal
+//!   1/2/4/8 — but it is a different algorithm than the sequential pass,
+//!   so the regimes may legitimately return different (equally legal)
+//!   solutions.
 //!
 //! Thread counts are budgets, not demands: `threads <= 1`, or inputs below
 //! the caller's grain size, run inline on the current thread with zero
 //! overhead.
 
 use std::ops::Range;
+
+pub mod refine;
+
+/// Minimum items (gain entries, vertices) per worker before a gain
+/// initialization or proposal scan forks threads. Shared by the 2-way FM
+/// engine, the k-way gain setup, and the round engine's proposal stage.
+pub(crate) const GAIN_INIT_GRAIN: usize = 1024;
 
 /// Decides how many worker threads a phase should actually use.
 ///

@@ -1,0 +1,336 @@
+//! Deterministic synchronous-round parallel k-way refinement.
+//!
+//! This is the `threads >= 2` regime of the k-way refinement dispatch
+//! (`kway::refine_pass_threaded`): instead of the sequential pass's one
+//! global best-move loop, the pass runs as a sequence of **synchronous
+//! rounds** in the style of mt-KaHyPar's deterministic preset. Each round:
+//!
+//! 1. **Freeze.** The live [`KwayGains`](crate::KwayGains) container is
+//!    copied into a [`KwayGainsSnapshot`] and the part loads into a plain
+//!    vector. Workers never see the live state.
+//! 2. **Propose (parallel).** Worker chunks scan disjoint vertex ranges of
+//!    the frozen snapshot; for each vertex they propose its single best
+//!    positive-gain move whose destination is feasible under the frozen
+//!    loads. Proposals are a pure function of the vertex and the frozen
+//!    state, so chunk boundaries cannot affect them.
+//! 3. **Merge.** Chunk outputs are concatenated (chunk order = ascending
+//!    vertex order) and sorted by `(gain descending, vertex id ascending)`.
+//!    Each vertex proposes at most once, so this is a strict total order —
+//!    no comparator tie can reach the sort's unstable element order.
+//! 4. **Apply (sequential).** Proposals are re-validated in merge order
+//!    against the *live* state — fresh gain still positive, fixity intact
+//!    (structural: the snapshot only holds allowed targets), destination
+//!    within its balance maximum, source staying above its minimum — and
+//!    applied one at a time. A vertex moves at most once per round.
+//! 5. **Delta-update.** Moved vertices are re-keyed for their new source
+//!    part and their neighbourhoods refreshed in the live container, then
+//!    the next round begins. A round that applies nothing ends the pass.
+//!
+//! # Determinism proof obligations
+//!
+//! The output is byte-identical for **any** worker count (including 1)
+//! because every stage is either sequential or chunk-invariant: proposals
+//! are pure per-vertex reads of frozen state (obligation: workers must not
+//! observe live mutations — enforced by the snapshot copy), the merge
+//! order is a strict total order independent of chunking (obligation: at
+//! most one proposal per vertex — enforced structurally by
+//! [`KwayGainsSnapshot::best_entry`]), and apply/delta-update run on one
+//! thread in merge order. `tests/determinism.rs` pins this at 1/2/4/8
+//! threads and `tests/refinement_equivalence.rs` replays adversarial
+//! equal-gain instances across worker counts.
+//!
+//! # Termination and never-worsen
+//!
+//! Every applied move's re-validated gain is strictly positive, so the
+//! non-negative integer objective strictly decreases with each move; the
+//! pass therefore terminates and never returns a worse assignment than its
+//! input. Because moves are only applied when the destination stays within
+//! `balance.max` and the source above `balance.min`, a part/resource pair
+//! that satisfies its bounds keeps satisfying them — no best-prefix
+//! rollback is needed, unlike the sequential pass's relaxed-feasibility
+//! exploration.
+
+use vlsi_hypergraph::{
+    BalanceConstraint, FixedVertices, Hypergraph, Objective, PartId, Partitioning, VertexId,
+};
+use vlsi_trace::{Event, Sink};
+
+use crate::cancel::{CancelToken, CHECK_INTERVAL};
+use crate::gain::KwayGainsSnapshot;
+use crate::kway::{build_kway_gains, move_gain};
+use crate::{PartitionError, PartitionResult};
+
+use super::{effective_threads, par_map_chunks, GAIN_INIT_GRAIN};
+
+/// One synchronous-round parallel refinement pass over `initial`.
+///
+/// This is the engine behind [`kway::refine_pass_parallel`]
+/// (crate::kway::refine_pass_parallel) and the `threads >= 2` regime of
+/// the k-way dispatch; see the module docs for the protocol. Emits
+/// [`Event::KwayPassStart`]/[`Event::KwayPassEnd`] brackets around
+/// per-round [`Event::RoundStart`]/[`Event::RoundApplied`] pairs, with one
+/// [`Event::KwayMove`] per applied move, and polls `cancel` at round
+/// boundaries and every [`CHECK_INTERVAL`] proposals inside the apply
+/// stage (an armed-but-unfired token is only ever *read*, so it cannot
+/// perturb the result).
+///
+/// # Errors
+/// Returns [`PartitionError::Input`] if `initial` is inconsistent with
+/// `hg` or violates a fixity.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_pass_rounds<S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    initial: Vec<PartId>,
+    objective: Objective,
+    pass: u32,
+    sink: &S,
+    cancel: &CancelToken,
+    threads: usize,
+) -> Result<PartitionResult, PartitionError> {
+    let k = balance.num_parts();
+    let mut p = Partitioning::from_parts_fixed(hg, k, initial, fixed)?;
+    let nr = hg.num_resources();
+    let n = hg.num_vertices();
+
+    let setup = build_kway_gains(hg, fixed, &p, k, objective, threads);
+    let mut gains = setup.gains;
+    let mut bucket_ops = if S::ENABLED { setup.inserts } else { 0 };
+
+    let value_before = p.cut_value(objective);
+    if S::ENABLED {
+        sink.record(&Event::KwayPassStart {
+            pass,
+            value: value_before,
+            movable: setup.movable,
+        });
+    }
+
+    let mut snap = KwayGainsSnapshot::empty();
+    let mut total_moves = 0u64;
+    // Dedup stamps for the per-round neighbourhood refresh.
+    let mut stamp = vec![0u32; n];
+    let mut epoch = 0u32;
+    let mut round = 0u32;
+    let mut cancelled = false;
+
+    while !cancelled {
+        if !cancel.is_never() && cancel.is_cancelled() {
+            break;
+        }
+
+        // Freeze: workers read the snapshot and these loads, never the
+        // live container or partitioning.
+        gains.snapshot_into(&mut snap);
+        let frozen_loads: Vec<u64> = p.loads().to_vec();
+
+        // Propose: each chunk is a pure function of its vertex range, so
+        // concatenating in chunk order yields ascending vertex order for
+        // every worker count.
+        let workers = effective_threads(threads, n, GAIN_INIT_GRAIN);
+        let snap_ref = &snap;
+        let loads_ref = &frozen_loads;
+        let chunks = par_map_chunks(n, workers, |range| {
+            let mut proposals: Vec<(i64, u32, u32)> = Vec::new();
+            for i in range {
+                let v = VertexId(i as u32);
+                let ws = hg.vertex_weights(v);
+                let from = p.part_of(v);
+                let best = snap_ref.best_entry(v, |to| {
+                    ws.iter().enumerate().all(|(r, &w)| {
+                        loads_ref[to.index() * nr + r] + w <= balance.max(to, r)
+                            && loads_ref[from.index() * nr + r] - w >= balance.min(from, r)
+                    })
+                });
+                if let Some((to, gain)) = best {
+                    if gain > 0 {
+                        proposals.push((gain, i as u32, to.index() as u32));
+                    }
+                }
+            }
+            proposals
+        });
+        let mut proposals: Vec<(i64, u32, u32)> = chunks.concat();
+        if proposals.is_empty() {
+            break;
+        }
+        // Merge: gain descending, vertex id ascending. One proposal per
+        // vertex makes this a strict total order — chunking cannot leave
+        // a tie for the unstable sort to break arbitrarily.
+        proposals.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+
+        if S::ENABLED {
+            sink.record(&Event::RoundStart {
+                pass,
+                round,
+                value: p.cut_value(objective),
+                proposed: proposals.len() as u64,
+            });
+        }
+
+        // Apply: single-threaded, in merge order, re-validating every
+        // proposal against the live state.
+        let mut applied = 0u64;
+        let mut moved: Vec<VertexId> = Vec::new();
+        for (i, &(_, raw, to_raw)) in proposals.iter().enumerate() {
+            if !cancel.is_never() && i % CHECK_INTERVAL == 0 && i > 0 && cancel.is_cancelled() {
+                cancelled = true;
+                break;
+            }
+            let v = VertexId(raw);
+            let to = PartId(to_raw);
+            let from = p.part_of(v);
+            if from == to {
+                continue;
+            }
+            let gain = move_gain(hg, &p, v, to, objective);
+            if gain <= 0 {
+                continue;
+            }
+            let loads = p.loads();
+            let legal = hg.vertex_weights(v).iter().enumerate().all(|(r, &w)| {
+                loads[to.index() * nr + r] + w <= balance.max(to, r)
+                    && loads[from.index() * nr + r] - w >= balance.min(from, r)
+            });
+            if !legal {
+                continue;
+            }
+            p.move_vertex(hg, v, to);
+            applied += 1;
+            moved.push(v);
+            if S::ENABLED {
+                sink.record(&Event::KwayMove {
+                    pass,
+                    vertex: v.index() as u64,
+                    from: from.index() as u32,
+                    to: to.index() as u32,
+                    gain,
+                    value: p.cut_value(objective),
+                });
+            }
+        }
+        total_moves += applied;
+
+        if S::ENABLED {
+            sink.record(&Event::RoundApplied {
+                pass,
+                round,
+                applied,
+                value: p.cut_value(objective),
+            });
+        }
+        if applied == 0 {
+            break;
+        }
+
+        // Delta-update the live container: moved vertices get a fresh
+        // entry set for their new source part, then their neighbourhoods
+        // are re-keyed (each vertex at most once via the epoch stamps).
+        epoch += 1;
+        for &v in &moved {
+            stamp[v.index()] = epoch;
+            gains.remove_all(v);
+            let fx = fixed.fixity(v);
+            let from = p.part_of(v);
+            for t in 0..k {
+                let to = PartId::from_index(t);
+                if to == from || !fx.allows(to) {
+                    continue;
+                }
+                gains.insert(v, to, move_gain(hg, &p, v, to, objective));
+                if S::ENABLED {
+                    bucket_ops += 1;
+                }
+            }
+            if S::ENABLED {
+                bucket_ops += 1; // the remove_all above
+            }
+        }
+        for &v in &moved {
+            for &net in hg.vertex_nets(v) {
+                for &u in hg.net_pins(net) {
+                    if stamp[u.index()] == epoch {
+                        continue;
+                    }
+                    stamp[u.index()] = epoch;
+                    let fx = fixed.fixity(u);
+                    if fx.is_immovable() {
+                        continue;
+                    }
+                    let uf = p.part_of(u);
+                    for t in 0..k {
+                        let to = PartId::from_index(t);
+                        if to == uf || !fx.allows(to) {
+                            continue;
+                        }
+                        gains.update(u, to, move_gain(hg, &p, u, to, objective));
+                        if S::ENABLED {
+                            bucket_ops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        gains.decay_max();
+
+        // Gain-consistency cross-check (debug builds): after the delta
+        // update every live entry's key must equal a from-scratch gain
+        // recomputation — the same invariant the `refine_pass_reference`
+        // oracle enforces by construction.
+        #[cfg(debug_assertions)]
+        verify_gain_consistency(hg, fixed, &p, &gains, k, objective);
+
+        round += 1;
+    }
+
+    let value_after = p.cut_value(objective);
+    debug_assert!(
+        value_after <= value_before,
+        "a round worsened the objective"
+    );
+    if S::ENABLED {
+        sink.record(&Event::KwayPassEnd {
+            pass,
+            moves: total_moves,
+            best_prefix: total_moves,
+            value_before,
+            value_after,
+            bucket_ops,
+        });
+    }
+    Ok(PartitionResult::new(p.into_parts(), value_after))
+}
+
+/// Asserts that every live `(vertex, target)` entry's key equals the
+/// exact [`move_gain`] of that move under the current assignment.
+#[cfg(debug_assertions)]
+fn verify_gain_consistency(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    p: &Partitioning,
+    gains: &crate::KwayGains,
+    k: usize,
+    objective: Objective,
+) {
+    for v in hg.vertices() {
+        let fx = fixed.fixity(v);
+        if fx.is_immovable() {
+            continue;
+        }
+        let from = p.part_of(v);
+        for t in 0..k {
+            let to = PartId::from_index(t);
+            if to == from || !fx.allows(to) {
+                continue;
+            }
+            debug_assert!(gains.contains(v, to), "missing gain entry for {v} -> {to}");
+            let expected = move_gain(hg, p, v, to, objective);
+            debug_assert_eq!(
+                gains.key(v, to),
+                expected,
+                "stale gain for {v} -> {to} (expected {expected})"
+            );
+        }
+    }
+}

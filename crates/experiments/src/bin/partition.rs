@@ -14,11 +14,15 @@
 //! engine.
 //!
 //! Starts run on `--threads` OS threads (default: the machine's available
-//! parallelism) with deterministic per-start seeding; with a single start
-//! the budget goes to the engine's internal parallel phases instead. The
-//! result is identical for every thread count either way. `--trace`
-//! streams per-pass events of every start into one JSONL file, which only
-//! makes sense on a single interleaving — it forces the sequential driver.
+//! parallelism) with deterministic per-start seeding, so multistart
+//! results are identical for every thread count. With a single start the
+//! budget goes to the engine's internal phases instead; there determinism
+//! is two-regime: `--threads 1` replays the sequential refinement
+//! bit-for-bit, while any `--threads N` with `N >= 2` selects the
+//! synchronous-round parallel k-way refinement (engines `rb`/`kway`) and
+//! returns one identical answer regardless of `N`. `--trace` streams
+//! per-pass events of every start into one JSONL file, which only makes
+//! sense on a single interleaving — it forces the sequential driver.
 
 use std::fs::File;
 use std::io::Write as _;

@@ -2,10 +2,18 @@
 //!
 //! A solution is addressed by the *content* of the job that produced it:
 //! the canonical byte encoding of (engine, k, tolerance, starts, seed,
-//! vertex weights, nets, fixities) — everything that determines the
-//! deterministic output. Two structurally identical requests therefore
-//! share one entry no matter how their JSON was formatted, while any
-//! change to the instance or configuration misses.
+//! refinement regime, vertex weights, nets, fixities) — everything that
+//! determines the deterministic output. Two structurally identical
+//! requests therefore share one entry no matter how their JSON was
+//! formatted, while any change to the instance or configuration misses.
+//!
+//! The *refinement regime* bit exists because the k-way engines' answer is
+//! no longer invariant across every thread count: a single-start job with
+//! `threads >= 2` runs the synchronous-round parallel refinement, which is
+//! a different (equally deterministic) algorithm than the sequential pass
+//! at `threads <= 1`. The exact thread count stays out of the key — within
+//! a regime the answer is identical for any budget — but the regime itself
+//! must match.
 //!
 //! Lookups compare the full key bytes, not just the 64-bit hash, so a
 //! hash collision degrades to a miss instead of returning a wrong
@@ -44,17 +52,22 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Builds the content address of a job.
+/// Builds the content address of a job. `parallel_refine` is the
+/// refinement-regime bit: `true` when the job hands a thread budget ≥ 2 to
+/// the engine's internal phases (single-start jobs), selecting the
+/// synchronous-round parallel k-way refinement.
 ///
 /// The encoding is length-prefixed throughout, so distinct structures can
 /// never alias (e.g. moving a weight from one vertex to the next changes
 /// the bytes even though the concatenation is identical).
+#[allow(clippy::too_many_arguments)]
 pub fn cache_key(
     engine: &str,
     k: usize,
     tolerance: f64,
     starts: usize,
     seed: u64,
+    parallel_refine: bool,
     hg: &Hypergraph,
     fixed: &FixedVertices,
 ) -> CacheKey {
@@ -65,6 +78,7 @@ pub fn cache_key(
     push_u64(&mut bytes, tolerance.to_bits());
     push_u64(&mut bytes, starts as u64);
     push_u64(&mut bytes, seed);
+    push_u64(&mut bytes, parallel_refine as u64);
 
     push_u64(&mut bytes, hg.num_vertices() as u64);
     push_u64(&mut bytes, hg.num_resources() as u64);
@@ -254,7 +268,7 @@ mod tests {
     }
 
     fn key_of(hg: &Hypergraph, fixed: &FixedVertices, seed: u64) -> CacheKey {
-        cache_key("ml", 2, 0.1, 4, seed, hg, fixed)
+        cache_key("ml", 2, 0.1, 4, seed, false, hg, fixed)
     }
 
     #[test]
@@ -272,13 +286,18 @@ mod tests {
         assert_ne!(base, key_of(&hg, &fx, 8), "seed is part of the address");
         assert_ne!(
             base,
-            cache_key("fm", 2, 0.1, 4, 7, &hg, &fx),
+            cache_key("fm", 2, 0.1, 4, 7, false, &hg, &fx),
             "engine is part of the address"
         );
         assert_ne!(
             base,
-            cache_key("ml", 2, 0.2, 4, 7, &hg, &fx),
+            cache_key("ml", 2, 0.2, 4, 7, false, &hg, &fx),
             "tolerance is part of the address"
+        );
+        assert_ne!(
+            base,
+            cache_key("ml", 2, 0.1, 4, 7, true, &hg, &fx),
+            "refinement regime is part of the address"
         );
         let mut fixed = FixedVertices::all_free(6);
         fixed.fix(

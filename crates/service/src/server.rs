@@ -265,12 +265,17 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
         Tolerance::Relative(req.tolerance),
     );
 
+    // The regime bit mirrors the with_threads hand-off below: only a
+    // single start gives the engine an internal budget, and only a budget
+    // >= 2 switches the k-way refinement onto the parallel round engine.
+    let parallel_refine = req.starts == 1 && req.threads >= 2;
     let key = cache_key(
         &req.engine,
         req.k,
         req.tolerance,
         req.starts,
         req.seed,
+        parallel_refine,
         &req.hg,
         &req.fixed,
     );

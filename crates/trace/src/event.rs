@@ -184,6 +184,34 @@ pub enum Event {
         /// performed during the pass.
         bucket_ops: u64,
     },
+    /// A synchronous round of the parallel k-way refinement engine began:
+    /// proposals were collected from a frozen gain snapshot and merged into
+    /// the deterministic apply order. Emitted once per round, inside a
+    /// `KwayPassStart`/`KwayPassEnd` bracket.
+    RoundStart {
+        /// 0-based pass index the round belongs to.
+        pass: u32,
+        /// 0-based round index within the pass.
+        round: u32,
+        /// Objective value at the start of the round.
+        value: u64,
+        /// Number of merged move proposals entering the apply stage.
+        proposed: u64,
+    },
+    /// A synchronous round of the parallel k-way refinement engine finished
+    /// its apply stage: proposals were re-validated in merge order and the
+    /// surviving moves applied. `applied <= proposed` of the matching
+    /// [`Event::RoundStart`]; a round with `applied = 0` ends the pass.
+    RoundApplied {
+        /// 0-based pass index the round belongs to.
+        pass: u32,
+        /// 0-based round index within the pass.
+        round: u32,
+        /// Moves that survived re-validation and were applied.
+        applied: u64,
+        /// Objective value after the round's moves.
+        value: u64,
+    },
     /// A cooperative-cancellation check observed an expired token and the
     /// enclosing engine stopped early, returning its best-so-far solution.
     /// Emitted at most once per engine loop that stops.
@@ -220,6 +248,8 @@ impl Event {
             Event::KwayPassStart { .. } => "kway_pass_start",
             Event::KwayMove { .. } => "kway_move",
             Event::KwayPassEnd { .. } => "kway_pass_end",
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundApplied { .. } => "round_applied",
             Event::Cancelled { .. } => "cancelled",
             Event::SweepFinished { .. } => "sweep",
         }
@@ -337,6 +367,28 @@ impl Event {
                     ",\"pass\":{pass},\"moves\":{moves},\"best_prefix\":{best_prefix},\"value_before\":{value_before},\"value_after\":{value_after},\"bucket_ops\":{bucket_ops}"
                 );
             }
+            Event::RoundStart {
+                pass,
+                round,
+                value,
+                proposed,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":{pass},\"round\":{round},\"value\":{value},\"proposed\":{proposed}"
+                );
+            }
+            Event::RoundApplied {
+                pass,
+                round,
+                applied,
+                value,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pass\":{pass},\"round\":{round},\"applied\":{applied},\"value\":{value}"
+                );
+            }
             Event::Cancelled { stage, value } => {
                 let _ = write!(s, ",\"stage\":\"{}\",\"value\":{value}", stage.as_str());
             }
@@ -441,6 +493,24 @@ mod tests {
                 r#"{"ev":"kway_pass_end","pass":0,"moves":9,"best_prefix":4,"value_before":31,"value_after":27,"bucket_ops":61}"#,
             ),
             (
+                Event::RoundStart {
+                    pass: 1,
+                    round: 2,
+                    value: 40,
+                    proposed: 12,
+                },
+                r#"{"ev":"round_start","pass":1,"round":2,"value":40,"proposed":12}"#,
+            ),
+            (
+                Event::RoundApplied {
+                    pass: 1,
+                    round: 2,
+                    applied: 7,
+                    value: 33,
+                },
+                r#"{"ev":"round_applied","pass":1,"round":2,"applied":7,"value":33}"#,
+            ),
+            (
                 Event::Cancelled {
                     stage: CancelStage::FmPass,
                     value: 17,
@@ -530,6 +600,20 @@ mod tests {
                 value_before: 0,
                 value_after: 0,
                 bucket_ops: 0,
+            }
+            .kind(),
+            Event::RoundStart {
+                pass: 0,
+                round: 0,
+                value: 0,
+                proposed: 0,
+            }
+            .kind(),
+            Event::RoundApplied {
+                pass: 0,
+                round: 0,
+                applied: 0,
+                value: 0,
             }
             .kind(),
             Event::Cancelled {

@@ -66,6 +66,9 @@ pub struct Counters {
     /// K-way refinement passes executed ([`Event::KwayPassEnd`] count).
     /// Their moves and bucket ops fold into the shared counters above.
     pub kway_passes: u64,
+    /// Synchronous parallel-refinement rounds applied
+    /// ([`Event::RoundApplied`] count).
+    pub rounds: u64,
     /// Simulated-annealing sweeps finished ([`Event::SweepFinished`] count).
     pub sweeps: u64,
     /// Cooperative cancellations observed ([`Event::Cancelled`] count).
@@ -77,7 +80,8 @@ impl std::fmt::Display for Counters {
         write!(
             f,
             "passes {} (+{} k-way), moves {} tried / {} committed / {} rolled back, \
-             bucket ops {}, cut updates {}, levels {}, starts {}, sweeps {}, cancellations {}",
+             bucket ops {}, cut updates {}, levels {}, starts {}, rounds {}, sweeps {}, \
+             cancellations {}",
             self.passes,
             self.kway_passes,
             self.moves_tried,
@@ -87,6 +91,7 @@ impl std::fmt::Display for Counters {
             self.cut_updates,
             self.levels,
             self.starts,
+            self.rounds,
             self.sweeps,
             self.cancellations
         )
@@ -109,6 +114,7 @@ pub struct CounterSink {
     levels: AtomicU64,
     starts: AtomicU64,
     kway_passes: AtomicU64,
+    rounds: AtomicU64,
     sweeps: AtomicU64,
     cancellations: AtomicU64,
 }
@@ -131,6 +137,7 @@ impl CounterSink {
             levels: self.levels.load(Ordering::Relaxed),
             starts: self.starts.load(Ordering::Relaxed),
             kway_passes: self.kway_passes.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
             sweeps: self.sweeps.load(Ordering::Relaxed),
             cancellations: self.cancellations.load(Ordering::Relaxed),
         }
@@ -179,6 +186,10 @@ impl Sink for CounterSink {
                 }
             }
             Event::KwayPassStart { .. } => {}
+            Event::RoundStart { .. } => {}
+            Event::RoundApplied { .. } => {
+                self.rounds.fetch_add(1, Ordering::Relaxed);
+            }
             Event::Cancelled { .. } => {
                 self.cancellations.fetch_add(1, Ordering::Relaxed);
             }

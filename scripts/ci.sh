@@ -35,9 +35,12 @@ cargo test --doc -q --offline --workspace
 # Perf smoke gate: run the perf-regression suite with a small sample count
 # and fail on a >15% median regression against the checked-in baseline.
 # The suite writes results/bench/BENCH_partition.json (the CI artifact) and
-# prints the 4-thread speedup of the parallelized phases. Skip with
-# PERF_SMOKE=0 (e.g. on heavily-loaded or single-core builders where
-# wall-clock medians are meaningless).
+# prints the 4-thread speedup of the parallelized phases. On a single-core
+# builder the t1 slices (partition/*/t1, including the synchronous-round
+# partition/refine_parallel/t1) are the meaningful smoke signal — the
+# t2–t8 slices pay scoped-thread spawns with no parallel speedup and only
+# guard per-round freeze/merge overhead. Skip with PERF_SMOKE=0 (e.g. on
+# heavily-loaded builders where wall-clock medians are meaningless).
 if [ "${PERF_SMOKE:-1}" = "1" ]; then
     echo "==> perf smoke gate (cargo bench -p bench --bench perf_suite)"
     TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-5}" \

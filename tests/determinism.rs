@@ -184,3 +184,111 @@ fn parallel_multilevel_is_byte_identical_across_thread_counts() {
         assert_eq!(r.cut, base.cut);
     }
 }
+
+/// A k-way instance large enough (~8900 vertices) that the round engine's
+/// proposal scan actually forks the full worker budget at 8 threads, with
+/// a round-robin slice of fixed vertices so the frozen-snapshot path sees
+/// immovables too.
+fn kway_refinement_fixture() -> (
+    fixed_vertices_repro::vlsi_hypergraph::Hypergraph,
+    FixedVertices,
+    BalanceConstraint,
+    Vec<PartId>,
+) {
+    use fixed_vertices_repro::vlsi_partition::random_initial;
+
+    let circuit = ibm01_like_scaled(0.7, 11);
+    let hg = circuit.hypergraph;
+    let k = 4;
+    let balance = BalanceConstraint::even(k, &[hg.total_weight()], Tolerance::Relative(0.1));
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 17 {
+        fixed.fix(VertexId((i * 17) as u32), PartId((i % k) as u32));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let initial = random_initial(&hg, &fixed, &balance, k, &mut rng).expect("feasible fixture");
+    (hg, fixed, balance, initial)
+}
+
+#[test]
+fn kway_round_refinement_is_byte_identical_across_thread_counts() {
+    // The synchronous-round engine must be worker-count invariant *as an
+    // algorithm*: proposals are pure reads of frozen state and the merge
+    // order is a strict total order, so 1, 2, 4 and 8 workers — different
+    // chunk boundaries — must produce the byte-identical assignment.
+    use fixed_vertices_repro::vlsi_hypergraph::Objective;
+    use fixed_vertices_repro::vlsi_partition::kway;
+
+    let (hg, fixed, balance, initial) = kway_refinement_fixture();
+    let run = |threads: usize| {
+        kway::refine_pass_parallel(
+            &hg,
+            &fixed,
+            &balance,
+            initial.clone(),
+            Objective::Cut,
+            threads,
+        )
+        .expect("round engine runs")
+    };
+    let base = run(1);
+    assert!(base.cut > 0, "fixture should leave a non-trivial cut");
+    for threads in [2, 4, 8] {
+        let r = run(threads);
+        assert_eq!(
+            r.parts, base.parts,
+            "{threads} workers changed the round engine's assignment"
+        );
+        assert_eq!(r.cut, base.cut, "{threads} workers changed the cut");
+    }
+}
+
+#[test]
+fn kway_round_refinement_ignores_an_armed_cancel_token() {
+    // An armed-but-unfired CancelToken is only ever *polled* by the round
+    // engine, so its presence must not perturb the result at any thread
+    // count; a token fired before the run must return the input unchanged
+    // (best-so-far semantics with zero rounds run).
+    use fixed_vertices_repro::vlsi_hypergraph::{CutState, Objective};
+    use fixed_vertices_repro::vlsi_partition::{CancelToken, KwayRefiner, Refiner, RunCtx};
+
+    let (hg, fixed, balance, initial) = kway_refinement_fixture();
+    let refiner = KwayRefiner::default();
+    let run = |threads: usize, cancel: &CancelToken| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        refiner
+            .refine_ctx(
+                &hg,
+                &fixed,
+                &balance,
+                initial.clone(),
+                RunCtx::new(&mut rng)
+                    .with_threads(threads)
+                    .with_cancel(cancel),
+            )
+            .expect("refiner runs")
+    };
+
+    let base = run(4, &CancelToken::never());
+    for threads in [2, 4, 8] {
+        let armed = CancelToken::new();
+        let r = run(threads, &armed);
+        assert_eq!(
+            r.parts, base.parts,
+            "an armed token perturbed the result at {threads} threads"
+        );
+        assert_eq!(r.cut, base.cut);
+    }
+
+    let before = CutState::new(&hg, 4, &initial).value(Objective::Cut);
+    for threads in [1, 2, 8] {
+        let fired = CancelToken::new();
+        fired.cancel();
+        let r = run(threads, &fired);
+        assert_eq!(
+            r.parts, initial,
+            "a pre-fired token must return the input unchanged ({threads} threads)"
+        );
+        assert_eq!(r.cut, before);
+    }
+}
