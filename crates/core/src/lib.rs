@@ -80,6 +80,7 @@ pub mod parallel;
 pub mod policy;
 mod result;
 pub mod terminal_cluster;
+pub mod warmstart;
 
 pub use annealing::AnnealingConfig;
 pub use cancel::CancelToken;
@@ -97,9 +98,10 @@ pub use multilevel::{MultilevelPartitioner, MultilevelResult};
 pub use multistart::{
     multistart, multistart_engine, multistart_engine_cancellable, multistart_engine_with_sink,
     multistart_parallel, multistart_parallel_engine, multistart_parallel_engine_cancellable,
-    multistart_with_sink, MultistartOutcome, StartRecord,
+    multistart_parallel_engine_instrumented, multistart_with_sink, MultistartOutcome, StartRecord,
 };
 pub use result::PartitionResult;
+pub use warmstart::{refine_from_partition_ctx, WarmStartOutcome};
 
 /// The structured-tracing vocabulary ([`trace::Event`], [`trace::Sink`] and
 /// its implementations) re-exported so downstream crates need not depend on

@@ -500,6 +500,49 @@ where
     S: Sink,
     E: crate::Partitioner + Sync,
 {
+    multistart_parallel_engine_instrumented(
+        hg, fixed, balance, starts, threads, base_seed, engine, sink, &NullSink, cancel,
+    )
+}
+
+/// [`multistart_parallel_engine_cancellable`] with an extra **engine
+/// sink** that every start's engine run records into.
+///
+/// The summary `sink` keeps its deterministic contract (per-start
+/// [`Event::StartFinished`] in ascending order at collection time).
+/// `engine_sink` instead receives the engines' internal event streams
+/// (levels, passes, moves, cancellation checkpoints) **live from the
+/// worker threads**, so with `threads > 1` its event *order* is not
+/// deterministic — only the multiset of events is. It exists for
+/// order-insensitive consumers, above all the
+/// [`CounterSink`](vlsi_trace::CounterSink) a serving layer uses to
+/// aggregate pass/move totals across jobs; pass
+/// [`NullSink`] to opt out (what the plain
+/// cancellable variant does).
+///
+/// # Errors
+/// Propagates the error of the lowest-indexed failing start.
+///
+/// # Panics
+/// Panics if `starts == 0` or `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn multistart_parallel_engine_instrumented<S, ES, E>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    starts: usize,
+    threads: usize,
+    base_seed: u64,
+    engine: &E,
+    sink: &S,
+    engine_sink: &ES,
+    cancel: &CancelToken,
+) -> Result<MultistartOutcome, PartitionError>
+where
+    S: Sink,
+    ES: Sink + Sync,
+    E: crate::Partitioner + Sync,
+{
     use vlsi_rng::SeedableRng;
 
     assert!(starts > 0, "at least one start required");
@@ -535,7 +578,9 @@ where
                         hg,
                         fixed,
                         balance,
-                        RunCtx::new(&mut rng).with_cancel(cancel),
+                        RunCtx::new(&mut rng)
+                            .with_sink(engine_sink)
+                            .with_cancel(cancel),
                     );
                     *slot = Some(result.map(|r| (r, t0.elapsed())));
                 }

@@ -1,0 +1,366 @@
+//! Concurrent load generator for the `vlsi-service` TCP front end.
+//!
+//! ```text
+//! usage: loadgen [--addr HOST:PORT | --spawn] [--connections N]
+//!                [--requests N] [--warm-ratio F] [--seed S]
+//!                [--vertices N] [--k K] [--workers N] [--engine NAME]
+//! ```
+//!
+//! Opens `--connections` concurrent TCP connections (one client thread
+//! each) and drives `--requests` jobs down every connection: the first
+//! is always a cold solve, and each subsequent job is a **warm-start**
+//! against the connection's latest solution id with probability
+//! `--warm-ratio` (with a small per-request net delta so the instance
+//! genuinely changes), or a fresh cold solve otherwise. Latencies are
+//! measured client-side per class and reported as a single JSON summary
+//! line on stdout:
+//!
+//! ```json
+//! {"connections":32,"requests":512,"errors":0,
+//!  "cold":{"count":288,"p50_us":911,"p99_us":4100},
+//!  "warm":{"count":224,"p50_us":402,"p99_us":1800},
+//!  "warm_hits":224,"warm_misses":0}
+//! ```
+//!
+//! `--spawn` starts an in-process server on a loopback port (tuned by
+//! `--workers`), runs the workload against it, sends `{"op":"shutdown"}`
+//! and prints the server's final metrics line on stderr — the one-command
+//! soak used by `scripts/ci.sh` and the worked example in
+//! `docs/OPERATIONS.md`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use vlsi_service::json::{self, Json};
+use vlsi_service::ServiceConfig;
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT | --spawn] [--connections N] \
+                     [--requests N] [--warm-ratio F] [--seed S] [--vertices N] [--k K] \
+                     [--workers N] [--engine NAME]";
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    connections: usize,
+    requests: usize,
+    warm_ratio: f64,
+    seed: u64,
+    vertices: usize,
+    k: usize,
+    workers: usize,
+    engine: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        spawn: false,
+        connections: 8,
+        requests: 16,
+        warm_ratio: 0.5,
+        seed: 1,
+        vertices: 96,
+        k: 4,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        engine: "kway".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--spawn" => args.spawn = true,
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|_| "bad --connections")?
+            }
+            "--requests" => {
+                args.requests = value("--requests")?.parse().map_err(|_| "bad --requests")?
+            }
+            "--warm-ratio" => {
+                args.warm_ratio = value("--warm-ratio")?
+                    .parse()
+                    .map_err(|_| "bad --warm-ratio")?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--vertices" => {
+                args.vertices = value("--vertices")?.parse().map_err(|_| "bad --vertices")?
+            }
+            "--k" => args.k = value("--k")?.parse().map_err(|_| "bad --k")?,
+            "--workers" => {
+                args.workers = value("--workers")?.parse().map_err(|_| "bad --workers")?
+            }
+            "--engine" => args.engine = value("--engine")?,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if args.spawn == args.addr.is_some() {
+        return Err(format!("give exactly one of --addr or --spawn\n{USAGE}"));
+    }
+    if args.connections == 0 || args.requests == 0 {
+        return Err("--connections and --requests must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&args.warm_ratio) {
+        return Err("--warm-ratio must be in 0..=1".into());
+    }
+    if args.vertices < 8 {
+        return Err("--vertices must be at least 8".into());
+    }
+    Ok(args)
+}
+
+/// The shared workload instance: a ring of unit vertices with every
+/// eighth vertex fixed round-robin across the parts (20%+ fixed pins is
+/// reached by the added chords' endpoints staying free). Deterministic in
+/// (n, k) only — warm deltas then perturb it per request.
+fn instance_json(n: usize, k: usize) -> String {
+    let vertices = vec!["1"; n].join(",");
+    let nets: Vec<String> = (0..n).map(|i| format!("[{},{}]", i, (i + 1) % n)).collect();
+    // Fix every 5th vertex, round-robin over parts: n/5 = 20% fixed.
+    let fixed: Vec<String> = (0..n)
+        .map(|i| {
+            if i % 5 == 0 {
+                ((i / 5) % k).to_string()
+            } else {
+                "-1".to_string()
+            }
+        })
+        .collect();
+    format!(
+        r#""hypergraph":{{"vertices":[{}],"nets":[{}]}},"fixed":[{}]"#,
+        vertices,
+        nets.join(","),
+        fixed.join(",")
+    )
+}
+
+/// Deterministic per-request chord for warm deltas: request `i` on
+/// connection `c` adds one two-pin net across the ring.
+fn delta_json(n: usize, c: usize, i: usize) -> String {
+    let a = (c * 17 + i * 7) % n;
+    let b = (a + n / 3 + i % 5 + 1) % n;
+    format!(r#"{{"added_nets":[[{a},{b}]]}}"#)
+}
+
+#[derive(Default)]
+struct ClassStats {
+    latencies_us: Vec<u64>,
+}
+
+impl ClassStats {
+    fn push(&mut self, us: u64) {
+        self.latencies_us.push(us);
+    }
+
+    fn summary(&mut self) -> (usize, u64, u64) {
+        self.latencies_us.sort_unstable();
+        let pct = |p: usize| -> u64 {
+            if self.latencies_us.is_empty() {
+                return 0;
+            }
+            let rank = ((p * self.latencies_us.len()).div_ceil(100)).max(1);
+            self.latencies_us[rank.min(self.latencies_us.len()) - 1]
+        };
+        (self.latencies_us.len(), pct(50), pct(99))
+    }
+}
+
+#[derive(Default)]
+struct ConnResult {
+    cold: ClassStats,
+    warm: ClassStats,
+    warm_hits: usize,
+    warm_misses: usize,
+    errors: usize,
+}
+
+fn run_connection(
+    addr: &str,
+    conn_idx: usize,
+    args: &Args,
+    inst: &str,
+) -> Result<ConnResult, String> {
+    let stream = connect_with_retry(addr)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut result = ConnResult::default();
+    let mut last_solution: Option<String> = None;
+    // Cheap deterministic coin for the warm/cold mix.
+    let mut coin = args
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(conn_idx as u64);
+
+    for i in 0..args.requests {
+        coin = coin
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let go_warm = last_solution.is_some()
+            && ((coin >> 33) as f64 / (1u64 << 31) as f64) < args.warm_ratio;
+        let id = format!("c{conn_idx}-r{i}");
+        let line = if go_warm {
+            let sid = last_solution.clone().expect("warm implies a solution id");
+            let delta = delta_json(args.vertices, conn_idx, i);
+            format!(
+                r#"{{"id":"{id}","engine":"{}","k":{},"starts":1,"seed":{},"priority":"interactive","warm_start":{{"solution_id":"{sid}","delta":{delta}}},{inst}}}"#,
+                args.engine,
+                args.k,
+                args.seed.wrapping_add((conn_idx * 1000 + i) as u64),
+            )
+        } else {
+            format!(
+                r#"{{"id":"{id}","engine":"{}","k":{},"starts":1,"seed":{},{inst}}}"#,
+                args.engine,
+                args.k,
+                args.seed.wrapping_add((conn_idx * 1000 + i) as u64),
+            )
+        };
+        let t0 = Instant::now();
+        writeln!(writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        let mut resp_line = String::new();
+        reader
+            .read_line(&mut resp_line)
+            .map_err(|e| format!("recv: {e}"))?;
+        let us = t0.elapsed().as_micros() as u64;
+        let resp = json::parse(resp_line.trim()).map_err(|e| format!("bad response: {e}"))?;
+        if resp.get("status").and_then(Json::as_str) != Some("ok") {
+            result.errors += 1;
+            continue;
+        }
+        match resp.get("warm").and_then(Json::as_str) {
+            Some("hit") => {
+                result.warm_hits += 1;
+                result.warm.push(us);
+            }
+            Some("miss") => {
+                result.warm_misses += 1;
+                result.cold.push(us);
+            }
+            _ => result.cold.push(us),
+        }
+        if let Some(sid) = resp.get("solution_id").and_then(Json::as_str) {
+            last_solution = Some(sid.to_string());
+        }
+    }
+    Ok(result)
+}
+
+fn connect_with_retry(addr: &str) -> Result<TcpStream, String> {
+    for _ in 0..200 {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                // Request lines are small; Nagle + delayed ACK would add
+                // ~40ms to every measured round trip.
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    Err(format!("cannot connect to {addr}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            exit(2);
+        }
+    };
+
+    // --spawn: run the server in-process on an OS-assigned loopback port.
+    let (addr, server) = if args.spawn {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        let addr = probe.local_addr().expect("local addr").to_string();
+        drop(probe);
+        let config = ServiceConfig {
+            workers: args.workers,
+            ..ServiceConfig::default()
+        };
+        let server_addr = addr.clone();
+        let handle = std::thread::spawn(move || {
+            vlsi_service::serve_tcp(config, server_addr.as_str()).expect("serve_tcp runs")
+        });
+        (addr, Some(handle))
+    } else {
+        (args.addr.clone().expect("--addr checked"), None)
+    };
+
+    let inst = instance_json(args.vertices, args.k);
+    let results: Vec<Result<ConnResult, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.connections)
+            .map(|c| {
+                let addr = addr.as_str();
+                let args = &args;
+                let inst = inst.as_str();
+                scope.spawn(move || run_connection(addr, c, args, inst))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    if let Some(server) = server {
+        // One extra control connection shuts the spawned server down.
+        if let Ok(mut ctl) = connect_with_retry(&addr).map(BufReader::new) {
+            let _ = writeln!(ctl.get_mut(), r#"{{"op":"shutdown"}}"#);
+            let mut ack = String::new();
+            let _ = ctl.read_line(&mut ack);
+        }
+        let snapshot = server.join().expect("server thread");
+        eprintln!("{}", snapshot.to_line());
+    }
+
+    let mut cold = ClassStats::default();
+    let mut warm = ClassStats::default();
+    let (mut warm_hits, mut warm_misses, mut errors, mut failed_conns) = (0, 0, 0, 0);
+    for r in results {
+        match r {
+            Ok(mut r) => {
+                cold.latencies_us.append(&mut r.cold.latencies_us);
+                warm.latencies_us.append(&mut r.warm.latencies_us);
+                warm_hits += r.warm_hits;
+                warm_misses += r.warm_misses;
+                errors += r.errors;
+            }
+            Err(e) => {
+                eprintln!("connection failed: {e}");
+                failed_conns += 1;
+            }
+        }
+    }
+    let (cold_n, cold_p50, cold_p99) = cold.summary();
+    let (warm_n, warm_p50, warm_p99) = warm.summary();
+    println!(
+        concat!(
+            "{{\"connections\":{},\"requests\":{},\"errors\":{},\"failed_connections\":{},",
+            "\"cold\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}},",
+            "\"warm\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}},",
+            "\"warm_hits\":{},\"warm_misses\":{}}}"
+        ),
+        args.connections,
+        args.connections * args.requests,
+        errors,
+        failed_conns,
+        cold_n,
+        cold_p50,
+        cold_p99,
+        warm_n,
+        warm_p50,
+        warm_p99,
+        warm_hits,
+        warm_misses,
+    );
+    if errors > 0 || failed_conns > 0 {
+        exit(1);
+    }
+}

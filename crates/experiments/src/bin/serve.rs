@@ -2,22 +2,27 @@
 //!
 //! ```text
 //! usage: serve [--stdio | --tcp ADDR] [--workers N] [--queue N]
-//!              [--cache N] [--trace FILE]
+//!              [--cache N] [--trace FILE] [--high-water N]
+//!              [--rate R] [--burst N] [--idle-timeout SECS]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol documented in
-//! `docs/SERVICE.md`: one request object per line in, one response object
-//! per line out. `--stdio` (the default) serves a single session on
-//! stdin/stdout and exits at EOF or `{"op":"shutdown"}`; `--tcp` accepts
-//! any number of concurrent connections until a client sends shutdown.
-//! On exit the final metrics snapshot is printed to stderr.
+//! `docs/PROTOCOL.md`: one request object per line in, one response
+//! object per line out. `--stdio` (the default) serves a single session
+//! on stdin/stdout and exits at EOF or `{"op":"shutdown"}`; `--tcp`
+//! accepts any number of concurrent connections on the epoll event loop
+//! until a client sends shutdown. `--high-water`, `--rate` and `--burst`
+//! enable admission control (load shedding and per-client rate limits —
+//! see `docs/OPERATIONS.md` for tuning). On exit the final metrics
+//! snapshot is printed to stderr.
 
 use std::process::exit;
+use std::time::Duration;
 
 use vlsi_service::{serve_stdio, serve_tcp, ServiceConfig};
 
-const USAGE: &str =
-    "usage: serve [--stdio | --tcp ADDR] [--workers N] [--queue N] [--cache N] [--trace FILE]";
+const USAGE: &str = "usage: serve [--stdio | --tcp ADDR] [--workers N] [--queue N] [--cache N] \
+                     [--trace FILE] [--high-water N] [--rate R] [--burst N] [--idle-timeout SECS]";
 
 struct Args {
     tcp: Option<String>,
@@ -45,6 +50,26 @@ fn parse_args() -> Result<Args, String> {
                 args.config.cache_capacity = value("--cache")?.parse().map_err(|_| "bad --cache")?
             }
             "--trace" => args.config.trace_path = Some(value("--trace")?.into()),
+            "--high-water" => {
+                args.config.admission.high_water = value("--high-water")?
+                    .parse()
+                    .map_err(|_| "bad --high-water")?
+            }
+            "--rate" => {
+                args.config.admission.rate_per_sec =
+                    value("--rate")?.parse().map_err(|_| "bad --rate")?
+            }
+            "--burst" => {
+                args.config.admission.burst =
+                    value("--burst")?.parse().map_err(|_| "bad --burst")?
+            }
+            "--idle-timeout" => {
+                args.config.idle_timeout = Duration::from_secs(
+                    value("--idle-timeout")?
+                        .parse()
+                        .map_err(|_| "bad --idle-timeout")?,
+                )
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }

@@ -1,0 +1,168 @@
+//! Admission control: per-client token buckets and queue load-shedding.
+//!
+//! Every connection (stdio session, or one TCP client on the event loop)
+//! owns a [`TokenBucket`]: a classic leaky-bucket rate limiter with a
+//! burst allowance, refilled continuously at `rate_per_sec`. A job that
+//! arrives with the bucket empty is refused with a structured
+//! `rate_limited` error — one greedy client cannot starve the worker pool
+//! while others wait.
+//!
+//! Independently, the server **load-sheds**: once the bounded job queue's
+//! depth reaches the configured high-water mark, new jobs are refused with
+//! an `overloaded` error instead of being queued (or, on the stdio path,
+//! instead of blocking the reader). Both refusals emit an
+//! [`Event::Shed`](vlsi_trace::Event::Shed) into the engine trace stream,
+//! so `engine.sheds` in the metrics line counts every admission refusal.
+//!
+//! Both mechanisms default to **off** ([`AdmissionConfig::default`]):
+//! `rate_per_sec = 0` disables the bucket and
+//! `high_water = usize::MAX` disables depth shedding, leaving the queue's
+//! own capacity bound as the only backstop (the event loop still sheds
+//! `overloaded` on a hard-full queue rather than block). See
+//! `docs/OPERATIONS.md` for tuning guidance.
+
+use std::time::Instant;
+
+/// Admission-control tuning knobs, part of
+/// [`ServiceConfig`](crate::ServiceConfig).
+///
+/// ```
+/// use vlsi_service::AdmissionConfig;
+///
+/// // Defaults leave both mechanisms off.
+/// let off = AdmissionConfig::default();
+/// assert_eq!(off.rate_per_sec, 0.0);
+/// assert_eq!(off.high_water, usize::MAX);
+///
+/// // A production-shaped config: 50 jobs/s per client with a burst of
+/// // 100, shedding once 96 jobs are queued.
+/// let tuned = AdmissionConfig { rate_per_sec: 50.0, burst: 100, high_water: 96 };
+/// assert!(tuned.high_water < off.high_water);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Token-bucket refill rate per client, in jobs per second.
+    /// `0.0` (the default) disables rate limiting.
+    pub rate_per_sec: f64,
+    /// Token-bucket capacity: the largest burst a client may submit
+    /// before the rate applies.
+    pub burst: u32,
+    /// Queue depth at which new jobs are shed with `overloaded`.
+    /// `usize::MAX` (the default) disables depth-based shedding.
+    pub high_water: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_sec: 0.0,
+            burst: 64,
+            high_water: usize::MAX,
+        }
+    }
+}
+
+/// A per-client token bucket: `burst` tokens of capacity, refilled at
+/// `rate_per_sec`. A rate of `0` (or less) admits everything.
+///
+/// ```
+/// use std::time::Instant;
+/// use vlsi_service::{AdmissionConfig, TokenBucket};
+///
+/// let cfg = AdmissionConfig { rate_per_sec: 1.0, burst: 2, high_water: usize::MAX };
+/// let now = Instant::now();
+/// let mut bucket = TokenBucket::new(&cfg, now);
+/// assert!(bucket.try_take(now)); // burst token 1
+/// assert!(bucket.try_take(now)); // burst token 2
+/// assert!(!bucket.try_take(now), "dry until the rate refills it");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens: f64,
+    rate: f64,
+    burst: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket for one client.
+    pub fn new(config: &AdmissionConfig, now: Instant) -> Self {
+        let burst = f64::from(config.burst.max(1));
+        TokenBucket {
+            tokens: burst,
+            rate: config.rate_per_sec,
+            burst,
+            last: now,
+        }
+    }
+
+    /// Tries to take one token at `now`: refills for the elapsed time,
+    /// then either spends a token (`true`) or reports exhaustion
+    /// (`false`). Always `true` when rate limiting is disabled.
+    pub fn try_take(&mut self, now: Instant) -> bool {
+        if self.rate <= 0.0 {
+            return true;
+        }
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_bucket_admits_everything() {
+        let now = Instant::now();
+        let mut b = TokenBucket::new(&AdmissionConfig::default(), now);
+        for _ in 0..10_000 {
+            assert!(b.try_take(now));
+        }
+    }
+
+    #[test]
+    fn burst_is_honoured_then_exhausted() {
+        let cfg = AdmissionConfig {
+            rate_per_sec: 1.0,
+            burst: 3,
+            high_water: usize::MAX,
+        };
+        let now = Instant::now();
+        let mut b = TokenBucket::new(&cfg, now);
+        // Three tokens of burst, then dry — no time passes.
+        assert!(b.try_take(now));
+        assert!(b.try_take(now));
+        assert!(b.try_take(now));
+        assert!(!b.try_take(now), "burst exhausted mid-batch");
+        // Half a second refills half a token: still dry.
+        assert!(!b.try_take(now + Duration::from_millis(500)));
+        // After 1.5s total one whole token is back.
+        assert!(b.try_take(now + Duration::from_millis(1500)));
+        assert!(!b.try_take(now + Duration::from_millis(1500)));
+    }
+
+    #[test]
+    fn refill_never_exceeds_burst() {
+        let cfg = AdmissionConfig {
+            rate_per_sec: 100.0,
+            burst: 2,
+            high_water: usize::MAX,
+        };
+        let now = Instant::now();
+        let mut b = TokenBucket::new(&cfg, now);
+        // A long idle period must not bank more than `burst` tokens.
+        let later = now + Duration::from_secs(60);
+        assert!(b.try_take(later));
+        assert!(b.try_take(later));
+        assert!(!b.try_take(later));
+    }
+}

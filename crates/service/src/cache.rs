@@ -37,6 +37,16 @@ impl CacheKey {
     pub fn hash(&self) -> u64 {
         self.hash
     }
+
+    /// The **solution id** of this key: a stable, content-derived handle
+    /// (`"s"` + 16 hex digits of the hash) returned to clients in job
+    /// responses and accepted back in `warm_start.solution_id`. Because it
+    /// is derived from the content hash — not from an insertion counter —
+    /// the id a client observes is independent of worker count and
+    /// completion order.
+    pub fn solution_id(&self) -> String {
+        format!("s{:016x}", self.hash)
+    }
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -189,6 +199,35 @@ impl SolutionCache {
         found
     }
 
+    /// Looks up a solution by its content-derived id (see
+    /// [`CacheKey::solution_id`]), refreshing recency on a hit. Used by
+    /// the warm-start path; `None` (an evicted or never-seen id) makes the
+    /// server fall back to a cold run with a `warm:"miss"` note.
+    ///
+    /// In the vanishingly rare case of two resident keys sharing a 64-bit
+    /// hash, the first entry in the bucket answers — the warm-start path
+    /// only needs *a* plausible seed, and it re-legalizes and re-validates
+    /// whatever it gets.
+    pub fn get_by_id(&mut self, id: &str) -> Option<(Vec<PartId>, u64)> {
+        let hash = id
+            .strip_prefix('s')
+            .and_then(|h| u64::from_str_radix(h, 16).ok());
+        self.tick += 1;
+        let tick = self.tick;
+        let found = hash
+            .and_then(|h| self.map.get_mut(&h))
+            .and_then(|bucket| bucket.first_mut())
+            .map(|e| {
+                e.last_used = tick;
+                (e.parts.clone(), e.cut)
+            });
+        match &found {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        found
+    }
+
     /// Inserts (or refreshes) a solution, evicting the least-recently-used
     /// entry when the capacity bound is exceeded.
     pub fn insert(&mut self, key: CacheKey, parts: Vec<PartId>, cut: u64) {
@@ -325,6 +364,26 @@ mod tests {
         assert_eq!(parts.len(), 4);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn solution_ids_round_trip_and_miss_after_eviction() {
+        let hg = chain(4);
+        let fx = FixedVertices::all_free(4);
+        let mut cache = SolutionCache::new(1);
+        let k0 = key_of(&hg, &fx, 0);
+        let id0 = k0.solution_id();
+        assert!(id0.starts_with('s') && id0.len() == 17, "{id0}");
+        assert_eq!(id0, key_of(&hg, &fx, 0).solution_id(), "content-derived");
+        cache.insert(k0.clone(), vec![PartId::from_index(1); 4], 2);
+        let (parts, cut) = cache.get_by_id(&id0).expect("hit by id");
+        assert_eq!((parts.len(), cut), (4, 2));
+        // Capacity 1: inserting a second solution evicts the first, and
+        // its id now misses instead of erroring.
+        cache.insert(key_of(&hg, &fx, 1), vec![PartId::from_index(0); 4], 3);
+        assert!(cache.get_by_id(&id0).is_none(), "evicted id misses");
+        assert!(cache.get_by_id("not-an-id").is_none());
+        assert!(cache.get_by_id("sffffffffffffffff").is_none());
     }
 
     #[test]

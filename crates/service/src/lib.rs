@@ -2,15 +2,24 @@
 //!
 //! `vlsi-service` turns the [`vlsi_partition`] engine registry into a
 //! long-running batch server: clients submit partitioning jobs as
-//! line-delimited JSON (over stdin/stdout or TCP), a bounded queue feeds a
-//! worker pool, and each job runs under a cooperative [`CancelToken`]
-//! deadline that returns the best-so-far legal partition instead of
-//! aborting. Identical jobs are answered from a content-addressed
-//! solution cache, and a metrics endpoint surfaces service- and
-//! engine-level counters (including p50/p99 latency).
+//! line-delimited JSON (over stdin/stdout or TCP), a bounded two-lane
+//! priority queue feeds a worker pool, and each job runs under a
+//! cooperative [`CancelToken`] deadline that returns the best-so-far
+//! legal partition instead of aborting. Identical jobs are answered from
+//! a content-addressed solution cache, warm-start requests refine a
+//! previously returned solution instead of partitioning from scratch,
+//! and a metrics endpoint surfaces service- and engine-level counters
+//! (including per-engine p50/p99 latency).
 //!
-//! See `docs/SERVICE.md` for the protocol reference; the module docs of
-//! [`protocol`], [`queue`], [`cache`] and [`server`] cover the layers.
+//! The TCP transport is a nonblocking epoll event loop (Linux
+//! x86_64/aarch64; dependency-free via an in-crate raw-syscall shim)
+//! with per-client admission token buckets, queue load shedding and
+//! idle timeouts — see [`AdmissionConfig`] and `docs/OPERATIONS.md`.
+//!
+//! See `docs/PROTOCOL.md` for the complete wire reference and
+//! `docs/SERVICE.md` for the operational overview; the module docs of
+//! [`protocol`], [`queue`], [`admission`], [`cache`] and [`server`]
+//! cover the layers.
 //!
 //! # Example
 //!
@@ -39,18 +48,33 @@
 //!
 //! [`CancelToken`]: vlsi_partition::CancelToken
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll shim in `sys` is the one module
+// allowed to make raw syscalls; everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod eventloop;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+#[allow(unsafe_code)]
+mod sys;
 
+pub use admission::{AdmissionConfig, TokenBucket};
 pub use cache::{cache_key, CacheKey, CacheStats, SolutionCache};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use protocol::{parse_request, JobRequest, JobResponse, ProtocolError, Request};
-pub use queue::{BoundedQueue, QueueClosed, WorkerPool};
+pub use protocol::{parse_request, JobRequest, JobResponse, ProtocolError, Request, ERROR_CODES};
+pub use queue::{BoundedQueue, Lane, QueueClosed, WorkerPool};
 pub use server::{serve_stdio, serve_tcp, ServeOutcome, Service, ServiceConfig};

@@ -170,7 +170,7 @@ impl MetricsSnapshot {
                 "\"engine\":{{\"passes\":{},\"kway_passes\":{},\"moves_tried\":{},",
                 "\"moves_committed\":{},\"moves_rolled_back\":{},\"bucket_ops\":{},",
                 "\"cut_updates\":{},\"levels\":{},\"starts\":{},\"sweeps\":{},",
-                "\"cancellations\":{}}}}}}}"
+                "\"cancellations\":{},\"warm_starts\":{},\"sheds\":{}}}}}}}"
             ),
             self.jobs_ok,
             self.jobs_failed,
@@ -193,6 +193,8 @@ impl MetricsSnapshot {
             e.starts,
             e.sweeps,
             e.cancellations,
+            e.warm_starts,
+            e.sheds,
         )
     }
 }
@@ -277,6 +279,8 @@ mod tests {
             .unwrap()
             .get("cancellations")
             .is_some());
+        assert!(metrics.get("engine").unwrap().get("warm_starts").is_some());
+        assert!(metrics.get("engine").unwrap().get("sheds").is_some());
     }
 
     #[test]

@@ -22,6 +22,20 @@
 //! request may name on-disk files: `"hypergraph_path":"x.hgr"` (hMETIS
 //! format) with optional `"fixed_path":"x.fix"`.
 //!
+//! Optional extras on a job request:
+//!
+//! * `"priority":"interactive"|"batch"` picks the queue lane
+//!   ([`Lane`], default `batch`); interactive jobs are dequeued first.
+//! * `"warm_start":{"solution_id":"s...","delta":{...}}` asks the server
+//!   to seed refinement from a previously returned solution instead of
+//!   partitioning from scratch. The optional `delta` **edits the
+//!   request's own instance at ingress**: `"removed_nets":[idx,...]`
+//!   drops nets by index, `"added_nets":[...]` appends nets (same shape
+//!   as `hypergraph.nets`), and `"moved_fixed":[[vertex,part|-1],...]`
+//!   re-pins vertices. The vertex set is unchanged by a delta. When the
+//!   named solution has been evicted, the job silently falls back to a
+//!   cold run and the response carries `"warm":"miss"`.
+//!
 //! **Control** requests: `{"op":"metrics"}` returns a metrics snapshot,
 //! `{"op":"shutdown"}` drains the queue and stops the server.
 //!
@@ -29,12 +43,16 @@
 //!
 //! ```json
 //! {"id":"j1","status":"ok","cut":3,"parts":[0,0,1,1],"cache_hit":false,
-//!  "deadline_expired":false,"starts_run":4,"micros":812}
+//!  "deadline_expired":false,"starts_run":4,"micros":812,
+//!  "solution_id":"s00c0ffee00c0ffee"}
 //! {"id":"j9","status":"error","code":"bad_request","message":"..."}
 //! ```
 //!
-//! Error codes: `bad_json`, `bad_request`, `unknown_engine`, `infeasible`,
-//! `queue_closed`, `internal_error`.
+//! `solution_id` names the cached solution for later `warm_start`
+//! requests; `"warm":"hit"|"miss"` appears on warm-start jobs.
+//!
+//! Every error code the service can emit is listed in [`ERROR_CODES`] and
+//! documented in `docs/PROTOCOL.md` (the complete wire reference).
 
 use std::fs::File;
 use std::io::BufReader;
@@ -45,9 +63,24 @@ use vlsi_hypergraph::{
 };
 
 use crate::json::{self, Json};
+use crate::queue::Lane;
 
 /// Upper bound on `k` — [`PartSet`] packs allowed parts into a 64-bit mask.
 pub const MAX_PARTS: usize = PartSet::MAX_PARTS;
+
+/// Every error code a response line can carry, in the order
+/// `docs/PROTOCOL.md` documents them. `protocol_doc` tests keep the doc
+/// table and this list in lockstep.
+pub const ERROR_CODES: &[&str] = &[
+    "bad_json",
+    "bad_request",
+    "unknown_engine",
+    "infeasible",
+    "queue_closed",
+    "overloaded",
+    "rate_limited",
+    "internal_error",
+];
 
 /// A fully validated partitioning job, ready for a worker.
 #[derive(Debug, Clone)]
@@ -68,9 +101,16 @@ pub struct JobRequest {
     pub seed: u64,
     /// Wall-clock budget in milliseconds; `None` = no deadline.
     pub deadline_ms: Option<u64>,
-    /// The instance.
+    /// Queue lane this job rides ([`Lane::Batch`] unless the request says
+    /// `"priority":"interactive"`).
+    pub priority: Lane,
+    /// Solution id to warm-start from, when the request carried a
+    /// `warm_start` clause. Any delta has already been applied to `hg` /
+    /// `fixed` at parse time.
+    pub warm_from: Option<String>,
+    /// The instance (post-delta, when warm-starting).
     pub hg: Hypergraph,
-    /// Per-vertex fixity constraints.
+    /// Per-vertex fixity constraints (post-delta, when warm-starting).
     pub fixed: FixedVertices,
 }
 
@@ -139,6 +179,13 @@ pub struct JobResponse {
     pub starts_run: usize,
     /// Wall-clock service time in microseconds.
     pub micros: u64,
+    /// Cache id of this solution, usable in later `warm_start` requests.
+    /// Absent when the solution was not cached (e.g. the deadline fired).
+    pub solution_id: Option<String>,
+    /// `"hit"` when the job refined from the named warm-start seed,
+    /// `"miss"` when the seed was gone and the job fell back to a cold
+    /// run; absent on plain cold jobs.
+    pub warm: Option<&'static str>,
 }
 
 impl JobResponse {
@@ -158,9 +205,18 @@ impl JobResponse {
             out.push_str(&p.to_string());
         }
         out.push_str(&format!(
-            "],\"cache_hit\":{},\"deadline_expired\":{},\"starts_run\":{},\"micros\":{}}}",
+            "],\"cache_hit\":{},\"deadline_expired\":{},\"starts_run\":{},\"micros\":{}",
             self.cache_hit, self.deadline_expired, self.starts_run, self.micros
         ));
+        if let Some(sid) = &self.solution_id {
+            out.push_str(",\"solution_id\":");
+            out.push_str(&json::quote(sid));
+        }
+        if let Some(warm) = self.warm {
+            out.push_str(",\"warm\":");
+            out.push_str(&json::quote(warm));
+        }
+        out.push('}');
         out
     }
 }
@@ -272,9 +328,35 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 .ok_or_else(|| bad(&id, "'deadline_ms' must be a non-negative integer"))?,
         ),
     };
+    let priority = match root.get("priority") {
+        None => Lane::Batch,
+        Some(v) => match v.as_str() {
+            Some("interactive") => Lane::Interactive,
+            Some("batch") => Lane::Batch,
+            _ => return Err(bad(&id, "'priority' must be \"interactive\" or \"batch\"")),
+        },
+    };
 
-    let hg = parse_hypergraph(&root, &id)?;
-    let fixed = parse_fixed(&root, &id, hg.num_vertices(), k)?;
+    let mut hg = parse_hypergraph(&root, &id)?;
+    let mut fixed = parse_fixed(&root, &id, hg.num_vertices(), k)?;
+
+    let warm_from = match root.get("warm_start") {
+        None => None,
+        Some(ws) => {
+            if ws.as_obj().is_none() {
+                return Err(bad(&id, "'warm_start' must be an object"));
+            }
+            let sid = ws
+                .get("solution_id")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| bad(&id, "'warm_start.solution_id' must be a string"))?
+                .to_string();
+            if let Some(delta) = ws.get("delta") {
+                (hg, fixed) = apply_warm_delta(delta, &hg, &fixed, k, &id)?;
+            }
+            Some(sid)
+        }
+    };
 
     Ok(Request::Job(Box::new(JobRequest {
         id: id_str.clone(),
@@ -285,9 +367,120 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         threads,
         seed,
         deadline_ms,
+        priority,
+        warm_from,
         hg,
         fixed,
     })))
+}
+
+/// Applies a `warm_start.delta` to the request's instance: drops
+/// `removed_nets` (by index), appends `added_nets`, re-pins
+/// `moved_fixed`. The vertex set is unchanged, so cached part vectors
+/// keep their meaning as warm seeds.
+fn apply_warm_delta(
+    delta: &Json,
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    k: usize,
+    id: &Option<String>,
+) -> Result<(Hypergraph, FixedVertices), ProtocolError> {
+    if delta.as_obj().is_none() {
+        return Err(bad(id, "'warm_start.delta' must be an object"));
+    }
+
+    let mut removed = vec![false; hg.num_nets()];
+    if let Some(v) = delta.get("removed_nets") {
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| bad(id, "'delta.removed_nets' must be an array of net indices"))?;
+        for e in arr {
+            let n = e
+                .as_u64()
+                .map(|u| u as usize)
+                .filter(|&u| u < hg.num_nets())
+                .ok_or_else(|| {
+                    bad(
+                        id,
+                        format!(
+                            "delta.removed_nets: index out of range 0..{}",
+                            hg.num_nets()
+                        ),
+                    )
+                })?;
+            removed[n] = true;
+        }
+    }
+
+    let mut added = Vec::new();
+    if let Some(v) = delta.get("added_nets") {
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| bad(id, "'delta.added_nets' must be an array of nets"))?;
+        for (n, net) in arr.iter().enumerate() {
+            added.push(parse_net_spec(net, n, hg.num_vertices(), id)?);
+        }
+    }
+
+    let mut fixities: Vec<Fixity> = fixed.as_slice().to_vec();
+    if let Some(v) = delta.get("moved_fixed") {
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| bad(id, "'delta.moved_fixed' must be an array of [vertex, part]"))?;
+        for e in arr {
+            let pair = e
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| bad(id, "delta.moved_fixed: each entry must be [vertex, part]"))?;
+            let v = pair[0]
+                .as_u64()
+                .map(|u| u as usize)
+                .filter(|&u| u < hg.num_vertices())
+                .ok_or_else(|| {
+                    bad(
+                        id,
+                        format!(
+                            "delta.moved_fixed: vertex out of range 0..{}",
+                            hg.num_vertices()
+                        ),
+                    )
+                })?;
+            fixities[v] = match pair[1].as_i64() {
+                Some(-1) => Fixity::Free,
+                Some(p) if (0..k as i64).contains(&p) => {
+                    Fixity::Fixed(PartId::from_index(p as usize))
+                }
+                _ => {
+                    return Err(bad(
+                        id,
+                        format!("delta.moved_fixed: part must be -1 (free) or in 0..{k}"),
+                    ))
+                }
+            };
+        }
+    }
+
+    let kept = removed.iter().filter(|&&r| !r).count();
+    let mut b = HypergraphBuilder::with_capacity(hg.num_vertices(), kept + added.len(), 0);
+    let ids: Vec<_> = hg
+        .vertices()
+        .map(|v| b.add_vertex(hg.vertex_weight(v)))
+        .collect();
+    for net in hg.nets() {
+        if removed[net.index()] {
+            continue;
+        }
+        let pins: Vec<_> = hg.net_pins(net).iter().map(|&v| ids[v.index()]).collect();
+        b.add_net(hg.net_weight(net), pins)
+            .map_err(|e| bad(id, format!("delta: {e}")))?;
+    }
+    for (n, (w, pins)) in added.into_iter().enumerate() {
+        let pins: Vec<_> = pins.into_iter().map(|p| ids[p]).collect();
+        b.add_net(w, pins)
+            .map_err(|e| bad(id, format!("delta.added_nets[{n}]: {e}")))?;
+    }
+    let hg = b.build().map_err(|e| bad(id, format!("delta: {e}")))?;
+    Ok((hg, FixedVertices::from_fixities(fixities)))
 }
 
 fn parse_hypergraph(root: &Json, id: &Option<String>) -> Result<Hypergraph, ProtocolError> {
@@ -338,41 +531,55 @@ fn parse_inline_hypergraph(
         ids.push(b.add_vertex(w));
     }
     for (n, net) in nets.iter().enumerate() {
-        let (weight, pins) = match net {
-            Json::Arr(pins) => (1, pins.as_slice()),
-            obj @ Json::Obj(_) => {
-                let w = match obj.get("w") {
-                    None => 1,
-                    Some(v) => v
-                        .as_u64()
-                        .ok_or_else(|| bad(id, format!("net {n}: 'w' must be an integer")))?,
-                };
-                let pins = obj
-                    .get("pins")
-                    .and_then(|v| v.as_arr())
-                    .ok_or_else(|| bad(id, format!("net {n}: missing 'pins' array")))?;
-                (w, pins)
-            }
-            _ => {
-                return Err(bad(
-                    id,
-                    format!("net {n}: must be a pin array or {{\"w\":..,\"pins\":[..]}}"),
-                ))
-            }
-        };
-        let mut resolved = Vec::with_capacity(pins.len());
-        for p in pins {
-            let p = p
-                .as_u64()
-                .map(|u| u as usize)
-                .filter(|&u| u < ids.len())
-                .ok_or_else(|| bad(id, format!("net {n}: pin out of range 0..{}", ids.len())))?;
-            resolved.push(ids[p]);
-        }
+        let (weight, pins) = parse_net_spec(net, n, ids.len(), id)?;
+        let resolved: Vec<_> = pins.into_iter().map(|p| ids[p]).collect();
         b.add_net(weight, resolved)
             .map_err(|e| bad(id, format!("net {n}: {e}")))?;
     }
     b.build().map_err(|e| bad(id, format!("hypergraph: {e}")))
+}
+
+/// Parses one net spec — a plain pin array (weight 1) or
+/// `{"w":W,"pins":[...]}` — into a weight and pin indices validated
+/// against `num_vertices`.
+fn parse_net_spec(
+    net: &Json,
+    n: usize,
+    num_vertices: usize,
+    id: &Option<String>,
+) -> Result<(u64, Vec<usize>), ProtocolError> {
+    let (weight, pins) = match net {
+        Json::Arr(pins) => (1, pins.as_slice()),
+        obj @ Json::Obj(_) => {
+            let w = match obj.get("w") {
+                None => 1,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| bad(id, format!("net {n}: 'w' must be an integer")))?,
+            };
+            let pins = obj
+                .get("pins")
+                .and_then(|v| v.as_arr())
+                .ok_or_else(|| bad(id, format!("net {n}: missing 'pins' array")))?;
+            (w, pins)
+        }
+        _ => {
+            return Err(bad(
+                id,
+                format!("net {n}: must be a pin array or {{\"w\":..,\"pins\":[..]}}"),
+            ))
+        }
+    };
+    let mut resolved = Vec::with_capacity(pins.len());
+    for p in pins {
+        let p = p
+            .as_u64()
+            .map(|u| u as usize)
+            .filter(|&u| u < num_vertices)
+            .ok_or_else(|| bad(id, format!("net {n}: pin out of range 0..{num_vertices}")))?;
+        resolved.push(p);
+    }
+    Ok((weight, resolved))
 }
 
 fn parse_fixed(
@@ -552,11 +759,144 @@ mod tests {
             deadline_expired: false,
             starts_run: 2,
             micros: 17,
+            solution_id: None,
+            warm: None,
         };
         let parsed = crate::json::parse(&resp.to_line()).unwrap();
         assert_eq!(parsed.get("id").unwrap().as_str(), Some("a\"b"));
         assert_eq!(parsed.get("cut").unwrap().as_u64(), Some(3));
         assert_eq!(parsed.get("cache_hit").unwrap().as_bool(), Some(true));
         assert_eq!(parsed.get("parts").unwrap().as_arr().unwrap().len(), 3);
+        assert!(parsed.get("solution_id").is_none());
+        assert!(parsed.get("warm").is_none());
+    }
+
+    #[test]
+    fn warm_response_fields_render() {
+        let resp = JobResponse {
+            id: "w1".into(),
+            cut: 1,
+            parts: vec![0, 1],
+            cache_hit: false,
+            deadline_expired: false,
+            starts_run: 1,
+            micros: 9,
+            solution_id: Some("s00000000deadbeef".into()),
+            warm: Some("hit"),
+        };
+        let parsed = crate::json::parse(&resp.to_line()).unwrap();
+        assert_eq!(
+            parsed.get("solution_id").unwrap().as_str(),
+            Some("s00000000deadbeef")
+        );
+        assert_eq!(parsed.get("warm").unwrap().as_str(), Some("hit"));
+    }
+
+    #[test]
+    fn priority_selects_the_lane() {
+        let line = r#"{"id":"p","priority":"interactive",
+            "hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#
+            .replace('\n', " ");
+        let Request::Job(job) = parse_request(&line).unwrap() else {
+            panic!("expected a job");
+        };
+        assert_eq!(job.priority, Lane::Interactive);
+
+        let Request::Job(job) = parse_request(&job_line()).unwrap() else {
+            panic!("expected a job");
+        };
+        assert_eq!(job.priority, Lane::Batch, "default lane is batch");
+
+        let err = parse_request(
+            r#"{"id":"p","priority":"urgent","hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn warm_start_without_delta_keeps_the_instance() {
+        let line = r#"{"id":"w","warm_start":{"solution_id":"s0011223344556677"},
+            "hypergraph":{"vertices":[1,1,1,1],"nets":[[0,1],[2,3]]}}"#
+            .replace('\n', " ");
+        let Request::Job(job) = parse_request(&line).unwrap() else {
+            panic!("expected a job");
+        };
+        assert_eq!(job.warm_from.as_deref(), Some("s0011223344556677"));
+        assert_eq!(job.hg.num_nets(), 2);
+    }
+
+    #[test]
+    fn warm_start_delta_edits_nets_and_fixities() {
+        let line = r#"{"id":"w","k":2,
+            "hypergraph":{"vertices":[1,1,1,1],"nets":[[0,1],[1,2],[2,3]]},
+            "fixed":[0,-1,-1,-1],
+            "warm_start":{"solution_id":"s0000000000000001","delta":{
+                "removed_nets":[1],
+                "added_nets":[{"w":3,"pins":[0,3]}],
+                "moved_fixed":[[1,1],[0,-1]]}}}"#
+            .replace('\n', " ");
+        let Request::Job(job) = parse_request(&line).unwrap() else {
+            panic!("expected a job");
+        };
+        // One net removed, one added: still 3 nets, with the new one last.
+        assert_eq!(job.hg.num_nets(), 3);
+        let last = job.hg.nets().last().unwrap();
+        assert_eq!(job.hg.net_weight(last), 3);
+        assert_eq!(
+            job.hg
+                .net_pins(last)
+                .iter()
+                .map(|v| v.index())
+                .collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+        // Vertex 0 was freed, vertex 1 pinned to part 1.
+        use vlsi_hypergraph::VertexId;
+        assert!(job.fixed.fixity(VertexId::from_index(0)).is_free());
+        assert_eq!(
+            job.fixed.fixity(VertexId::from_index(1)),
+            Fixity::Fixed(PartId::from_index(1))
+        );
+        assert_eq!(job.fixed.num_fixed(), 1);
+    }
+
+    #[test]
+    fn bad_warm_start_deltas_are_rejected() {
+        let hg = r#""hypergraph":{"vertices":[1,1],"nets":[[0,1]]}"#;
+        let cases = [
+            // missing solution_id
+            format!(r#"{{"id":"w","warm_start":{{}},{hg}}}"#),
+            // removed net index out of range
+            format!(
+                r#"{{"id":"w","warm_start":{{"solution_id":"s0","delta":{{"removed_nets":[5]}}}},{hg}}}"#
+            ),
+            // added net pin out of range
+            format!(
+                r#"{{"id":"w","warm_start":{{"solution_id":"s0","delta":{{"added_nets":[[0,9]]}}}},{hg}}}"#
+            ),
+            // moved_fixed vertex out of range
+            format!(
+                r#"{{"id":"w","warm_start":{{"solution_id":"s0","delta":{{"moved_fixed":[[9,0]]}}}},{hg}}}"#
+            ),
+            // moved_fixed part out of range for k=2
+            format!(
+                r#"{{"id":"w","warm_start":{{"solution_id":"s0","delta":{{"moved_fixed":[[0,5]]}}}},{hg}}}"#
+            ),
+        ];
+        for line in &cases {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, "bad_request", "line {line}");
+        }
+    }
+
+    #[test]
+    fn error_codes_are_distinct_and_nonempty() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in ERROR_CODES {
+            assert!(!code.is_empty());
+            assert!(seen.insert(code), "duplicate error code {code}");
+        }
+        assert_eq!(ERROR_CODES.len(), 8);
     }
 }

@@ -1,10 +1,15 @@
-//! Bounded job queue and worker pool.
+//! Bounded two-lane job queue and worker pool.
 //!
-//! The queue is a classic mutex-plus-condvar bounded buffer: producers
-//! [`push`](BoundedQueue::push) block while the queue is full (this is the
-//! server's backpressure — a client that floods requests stalls its own
-//! connection reader instead of growing memory without bound), and workers
-//! [`pop`](BoundedQueue::pop) block while it is empty.
+//! The queue is a classic mutex-plus-condvar bounded buffer with two
+//! **priority lanes**: [`Lane::Interactive`] jobs are always dequeued
+//! before [`Lane::Batch`] jobs, and both lanes share one capacity bound.
+//! Producers [`push`](BoundedQueue::push) block while the queue is full
+//! (this is the stdio server's backpressure — a client that floods
+//! requests stalls its own connection reader instead of growing memory
+//! without bound); the nonblocking event-loop front end uses
+//! [`try_push`](BoundedQueue::try_push) and sheds with a structured
+//! `overloaded` error instead of blocking. Workers
+//! [`pop`](BoundedQueue::pop) block while both lanes are empty.
 //!
 //! Shutdown is graceful by construction: [`close`](BoundedQueue::close)
 //! wakes everyone, producers start failing fast, and workers keep draining
@@ -32,12 +37,41 @@ impl std::fmt::Display for QueueClosed {
 
 impl std::error::Error for QueueClosed {}
 
+/// Priority lane of a queued job. Interactive jobs are dequeued before
+/// batch jobs whenever both lanes are non-empty; within a lane order is
+/// FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lane {
+    /// Latency-sensitive jobs, dequeued first.
+    Interactive,
+    /// Throughput jobs (the default when a request names no priority).
+    #[default]
+    Batch,
+}
+
+impl Lane {
+    /// The wire name (`"interactive"` / `"batch"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lane::Interactive => "interactive",
+            Lane::Batch => "batch",
+        }
+    }
+}
+
 struct QueueState<T> {
-    items: VecDeque<T>,
+    interactive: VecDeque<T>,
+    batch: VecDeque<T>,
     closed: bool,
 }
 
-/// A blocking bounded MPMC queue.
+impl<T> QueueState<T> {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+}
+
+/// A blocking bounded MPMC queue with two priority lanes.
 pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     not_empty: Condvar,
@@ -46,11 +80,13 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    /// A queue holding at most `capacity` pending items (min 1).
+    /// A queue holding at most `capacity` pending items (min 1) across
+    /// both lanes.
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
             state: Mutex::new(QueueState {
-                items: VecDeque::new(),
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -59,19 +95,22 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Enqueues `item`, blocking while the queue is full.
+    /// Enqueues `item` on `lane`, blocking while the queue is full.
     ///
     /// # Errors
-    /// Returns the item back inside [`QueueClosed`]-flavoured `Err` when
-    /// the queue has been closed (the item is dropped).
-    pub fn push(&self, item: T) -> Result<(), QueueClosed> {
+    /// Returns [`QueueClosed`] when the queue has been closed (the item is
+    /// dropped).
+    pub fn push(&self, item: T, lane: Lane) -> Result<(), QueueClosed> {
         let mut state = self.state.lock().expect("queue mutex");
         loop {
             if state.closed {
                 return Err(QueueClosed);
             }
-            if state.items.len() < self.capacity {
-                state.items.push_back(item);
+            if state.len() < self.capacity {
+                match lane {
+                    Lane::Interactive => state.interactive.push_back(item),
+                    Lane::Batch => state.batch.push_back(item),
+                }
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -79,18 +118,21 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Enqueues `item` only if there is room right now.
+    /// Enqueues `item` on `lane` only if there is room right now.
     ///
     /// # Errors
     /// `Err(Some(item))` when the queue is full (the item is handed back),
     /// `Err(None)` when it is closed.
-    pub fn try_push(&self, item: T) -> Result<(), Option<T>> {
+    pub fn try_push(&self, item: T, lane: Lane) -> Result<(), Option<T>> {
         let mut state = self.state.lock().expect("queue mutex");
         if state.closed {
             return Err(None);
         }
-        if state.items.len() < self.capacity {
-            state.items.push_back(item);
+        if state.len() < self.capacity {
+            match lane {
+                Lane::Interactive => state.interactive.push_back(item),
+                Lane::Batch => state.batch.push_back(item),
+            }
             self.not_empty.notify_one();
             Ok(())
         } else {
@@ -98,12 +140,17 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Dequeues the next item, blocking while the queue is empty.
-    /// Returns `None` once the queue is closed **and** drained.
+    /// Dequeues the next item — interactive lane first — blocking while
+    /// both lanes are empty. Returns `None` once the queue is closed
+    /// **and** drained.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue mutex");
         loop {
-            if let Some(item) = state.items.pop_front() {
+            if let Some(item) = state
+                .interactive
+                .pop_front()
+                .or_else(|| state.batch.pop_front())
+            {
                 self.not_full.notify_one();
                 return Some(item);
             }
@@ -122,9 +169,9 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
     }
 
-    /// Number of items currently queued.
+    /// Number of items currently queued across both lanes.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue mutex").items.len()
+        self.state.lock().expect("queue mutex").len()
     }
 
     /// Whether the queue is currently empty.
@@ -194,10 +241,10 @@ mod tests {
     use std::time::Duration;
 
     #[test]
-    fn fifo_order_single_consumer() {
+    fn fifo_order_within_a_lane() {
         let q = BoundedQueue::new(8);
         for i in 0..5 {
-            q.push(i).unwrap();
+            q.push(i, Lane::Batch).unwrap();
         }
         q.close();
         let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
@@ -205,11 +252,36 @@ mod tests {
     }
 
     #[test]
+    fn interactive_lane_preempts_batch() {
+        let q = BoundedQueue::new(8);
+        q.push(10, Lane::Batch).unwrap();
+        q.push(11, Lane::Batch).unwrap();
+        q.push(1, Lane::Interactive).unwrap();
+        q.push(2, Lane::Interactive).unwrap();
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            drained,
+            vec![1, 2, 10, 11],
+            "interactive first, FIFO within"
+        );
+    }
+
+    #[test]
+    fn capacity_is_shared_across_lanes() {
+        let q = BoundedQueue::new(2);
+        q.push(1, Lane::Batch).unwrap();
+        q.push(2, Lane::Interactive).unwrap();
+        assert_eq!(q.try_push(3, Lane::Interactive), Err(Some(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
     fn push_blocks_until_a_pop_frees_a_slot() {
         let q = Arc::new(BoundedQueue::new(1));
-        q.push(0u32).unwrap();
+        q.push(0u32, Lane::Batch).unwrap();
         let q2 = Arc::clone(&q);
-        let producer = std::thread::spawn(move || q2.push(1).unwrap());
+        let producer = std::thread::spawn(move || q2.push(1, Lane::Batch).unwrap());
         // The producer must be blocked: the queue stays at capacity.
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(q.len(), 1);
@@ -221,21 +293,21 @@ mod tests {
     #[test]
     fn try_push_reports_full_and_closed() {
         let q = BoundedQueue::new(1);
-        assert!(q.try_push(1).is_ok());
-        assert_eq!(q.try_push(2), Err(Some(2)));
+        assert!(q.try_push(1, Lane::Batch).is_ok());
+        assert_eq!(q.try_push(2, Lane::Batch), Err(Some(2)));
         q.close();
-        assert_eq!(q.try_push(3), Err(None));
+        assert_eq!(q.try_push(3, Lane::Batch), Err(None));
     }
 
     #[test]
     fn close_drains_pending_then_ends() {
         let q = Arc::new(BoundedQueue::new(4));
-        q.push(1).unwrap();
-        q.push(2).unwrap();
+        q.push(1, Lane::Batch).unwrap();
+        q.push(2, Lane::Interactive).unwrap();
         q.close();
-        assert!(q.push(3).is_err());
-        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3, Lane::Batch).is_err());
         assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
     }
 
@@ -260,7 +332,7 @@ mod tests {
             },
         );
         for job in [1, 13, 2, 13, 3] {
-            queue.push(job).unwrap();
+            queue.push(job, Lane::Batch).unwrap();
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 3, "non-panicking jobs ran");

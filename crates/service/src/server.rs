@@ -1,36 +1,55 @@
 //! The batch partitioning server: transports, job execution, lifecycle.
 //!
 //! A [`Service`] owns the shared state (solution cache, metrics, optional
-//! JSONL trace sink) and a [`WorkerPool`] draining a bounded job queue.
-//! Transports are thin: both the stdio loop and the TCP accept loop feed
-//! request lines into [`Service::serve`], which parses, answers control
-//! requests inline, and submits jobs. Responses travel back through a
-//! per-connection channel so a slow job never blocks the reader, and the
-//! bounded queue pushes back on clients that submit faster than the
-//! workers drain.
+//! JSONL trace sink) and a [`WorkerPool`] draining a bounded two-lane job
+//! queue. Transports are thin: the stdio loop feeds request lines into
+//! [`Service::serve`], and the TCP front end (`docs/OPERATIONS.md`) is a
+//! nonblocking epoll event loop in the `eventloop` module that frames lines
+//! itself and submits through the same admission and execution path.
+//! Responses travel back through a per-job reply closure so a slow job
+//! never blocks a reader, and the bounded queue pushes back on clients
+//! that submit faster than the workers drain.
+//!
+//! Admission control ([`AdmissionConfig`]) sits in front of the queue:
+//! per-client token buckets answer `rate_limited` to floods, and once the
+//! queue depth crosses the high-water mark new jobs are shed with
+//! `overloaded` instead of queued. Warm-start jobs (`warm_start` in the
+//! request) resolve their seed in the solution cache and refine from it
+//! via [`vlsi_partition::refine_from_partition_ctx`] instead of
+//! partitioning from scratch, falling back to a cold run (`"warm":"miss"`)
+//! when the seed has been evicted.
 //!
 //! Shutdown is graceful end to end: `{"op":"shutdown"}` (or EOF on stdio)
 //! stops the reader, every already-accepted job still runs and answers,
 //! the pool joins, and the trace sink is flushed before
 //! [`Service::shutdown`] returns the final metrics snapshot.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, ToSocketAddrs};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use vlsi_hypergraph::{validate_partitioning, BalanceConstraint, PartId, Partitioning, Tolerance};
-use vlsi_partition::{
-    multistart_parallel_engine_cancellable, CancelToken, EngineConfig, PartitionError,
+use vlsi_hypergraph::{
+    validate_partitioning, BalanceConstraint, Objective, PartId, Partitioning, Tolerance,
 };
-use vlsi_trace::{JsonlSink, Sink, Tee};
+use vlsi_partition::{
+    multistart_parallel_engine_instrumented, refine_from_partition_ctx, CancelToken, EngineConfig,
+    PartitionError, RunCtx,
+};
+use vlsi_rng::{ChaCha8Rng, SeedableRng};
+use vlsi_trace::{Event, JsonlSink, Sink, Tee};
 
+use crate::admission::{AdmissionConfig, TokenBucket};
 use crate::cache::{cache_key, CacheStats, SolutionCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::protocol::{parse_request, JobRequest, JobResponse, ProtocolError, Request};
 use crate::queue::{BoundedQueue, WorkerPool};
+
+/// Refinement passes a warm-start job runs from its seed (matches the
+/// k-way refiner's default budget).
+const WARM_MAX_PASSES: usize = 4;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -38,12 +57,19 @@ pub struct ServiceConfig {
     /// Worker threads executing jobs (defaults to the machine's
     /// available parallelism).
     pub workers: usize,
-    /// Bounded queue depth; producers block when it is full.
+    /// Bounded queue depth; stdio producers block when it is full, the
+    /// TCP event loop sheds.
     pub queue_capacity: usize,
     /// Maximum solutions held by the content-addressed cache.
     pub cache_capacity: usize,
     /// Optional JSONL trace file receiving engine events from every job.
     pub trace_path: Option<std::path::PathBuf>,
+    /// Admission control (rate limiting and load shedding); off by
+    /// default.
+    pub admission: AdmissionConfig,
+    /// TCP connections idle longer than this (no traffic, no jobs in
+    /// flight) are closed by the event loop.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +81,8 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 128,
             trace_path: None,
+            admission: AdmissionConfig::default(),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -66,10 +94,34 @@ struct ServiceCtx {
     trace: Option<JsonlSink>,
 }
 
-/// A queued job: the validated request plus the connection's reply channel.
-struct Job {
+impl ServiceCtx {
+    /// Records one admission refusal (rate limit or load shed) at the
+    /// given queue depth in the engine counters and the trace stream.
+    fn record_shed(&self, depth: usize) {
+        let ev = Event::Shed {
+            queue_depth: depth as u64,
+        };
+        self.metrics.engine.record(&ev);
+        if let Some(trace) = &self.trace {
+            trace.record(&ev);
+        }
+    }
+}
+
+/// A queued job: the validated request plus the reply path back to its
+/// connection (an mpsc sender on stdio, an event-loop completion on TCP).
+pub(crate) struct Job {
     request: Box<JobRequest>,
-    tx: mpsc::Sender<String>,
+    reply: Box<dyn FnOnce(String) + Send>,
+}
+
+/// Why [`Service::try_submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitError {
+    /// The queue is at capacity right now.
+    Full,
+    /// The service is shutting down.
+    Closed,
 }
 
 /// How a connection's request loop ended.
@@ -85,6 +137,8 @@ pub enum ServeOutcome {
 pub struct Service {
     ctx: Arc<ServiceCtx>,
     pool: WorkerPool<Job>,
+    admission: AdmissionConfig,
+    idle_timeout: Duration,
 }
 
 impl Service {
@@ -113,11 +167,16 @@ impl Service {
             move |_payload| {
                 // Backstop only: run_job catches its own panics so it can
                 // still answer the client. Reaching here means the reply
-                // channel itself failed mid-unwind.
+                // path itself failed mid-unwind.
                 panic_ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
             },
         );
-        Ok(Service { ctx, pool })
+        Ok(Service {
+            ctx,
+            pool,
+            admission: config.admission,
+            idle_timeout: config.idle_timeout,
+        })
     }
 
     /// Serves one line-delimited JSON connection until EOF or shutdown.
@@ -125,6 +184,9 @@ impl Service {
     /// Responses are written as they complete (jobs may answer out of
     /// submission order; match on `id`). The call returns only after every
     /// job accepted from *this* connection has been answered and flushed.
+    /// The connection gets its own admission token bucket; below the
+    /// high-water mark a full queue blocks the reader (backpressure), at
+    /// or above it jobs are shed with `overloaded`.
     ///
     /// # Errors
     /// Propagates read errors; write errors end the response pump.
@@ -144,6 +206,7 @@ impl Service {
                 writer.flush()
             });
 
+            let mut bucket = TokenBucket::new(&self.admission, Instant::now());
             let mut outcome = ServeOutcome::Eof;
             for line in reader.lines() {
                 let line = line?;
@@ -152,10 +215,7 @@ impl Service {
                 }
                 match parse_request(&line) {
                     Err(e) => {
-                        self.ctx
-                            .metrics
-                            .protocol_errors
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.note_protocol_error();
                         let _ = tx.send(e.to_line());
                     }
                     Ok(Request::Metrics) => {
@@ -168,11 +228,19 @@ impl Service {
                     }
                     Ok(Request::Job(request)) => {
                         let id = request.id.clone();
+                        if let Err(e) = self.admit(&mut bucket, &id, Instant::now()) {
+                            let _ = tx.send(e.to_line());
+                            continue;
+                        }
+                        let lane = request.priority;
+                        let reply_tx = tx.clone();
                         let job = Job {
                             request,
-                            tx: tx.clone(),
+                            reply: Box::new(move |line| {
+                                let _ = reply_tx.send(line);
+                            }),
                         };
-                        if self.pool.queue().push(job).is_err() {
+                        if self.pool.queue().push(job, lane).is_err() {
                             let _ = tx.send(
                                 ProtocolError {
                                     id: Some(id),
@@ -194,6 +262,49 @@ impl Service {
         })
     }
 
+    /// Applies admission control for one job: the client's token bucket
+    /// first, then the queue high-water mark. A refusal is recorded as a
+    /// shed and returned as the structured error to send.
+    pub(crate) fn admit(
+        &self,
+        bucket: &mut TokenBucket,
+        id: &str,
+        now: Instant,
+    ) -> Result<(), ProtocolError> {
+        if !bucket.try_take(now) {
+            self.note_shed();
+            return Err(ProtocolError {
+                id: Some(id.to_string()),
+                code: "rate_limited",
+                message: "client exceeded its admission rate; retry later".to_string(),
+            });
+        }
+        let depth = self.pool.queue().len();
+        if depth >= self.admission.high_water {
+            self.note_shed();
+            return Err(ProtocolError {
+                id: Some(id.to_string()),
+                code: "overloaded",
+                message: format!("job queue depth {depth} is at the high-water mark; retry later"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Submits a job without blocking (the event-loop path).
+    pub(crate) fn try_submit(
+        &self,
+        request: Box<JobRequest>,
+        reply: Box<dyn FnOnce(String) + Send>,
+    ) -> Result<(), SubmitError> {
+        let lane = request.priority;
+        let job = Job { request, reply };
+        self.pool.queue().try_push(job, lane).map_err(|e| match e {
+            Some(_) => SubmitError::Full,
+            None => SubmitError::Closed,
+        })
+    }
+
     /// The current metrics snapshot (engine + service counters).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.ctx.metrics.snapshot()
@@ -204,8 +315,27 @@ impl Service {
         self.ctx.cache.lock().expect("cache mutex").stats()
     }
 
-    fn metrics_line(&self) -> String {
+    pub(crate) fn metrics_line(&self) -> String {
         self.ctx.metrics.snapshot().to_line()
+    }
+
+    pub(crate) fn admission(&self) -> AdmissionConfig {
+        self.admission
+    }
+
+    pub(crate) fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+
+    pub(crate) fn note_protocol_error(&self) {
+        self.ctx
+            .metrics
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_shed(&self) {
+        self.ctx.record_shed(self.pool.queue().len());
     }
 
     /// Drains the queue, joins every worker, flushes the trace sink, and
@@ -219,11 +349,11 @@ impl Service {
     }
 }
 
-/// Executes one job end to end and answers on the job's channel. Panics
-/// inside the engine are caught here so the client still gets an
+/// Executes one job end to end and answers through the job's reply path.
+/// Panics inside the engine are caught here so the client still gets an
 /// `internal_error` response with its request id.
 fn run_job(ctx: &ServiceCtx, job: Job) {
-    let Job { request, tx } = job;
+    let Job { request, reply } = job;
     let id = request.id.clone();
     let line = match panic::catch_unwind(AssertUnwindSafe(|| execute_job(ctx, &request))) {
         Ok(line) => line,
@@ -238,7 +368,7 @@ fn run_job(ctx: &ServiceCtx, job: Job) {
             .to_line()
         }
     };
-    let _ = tx.send(line);
+    reply(line);
 }
 
 fn error_code(err: &PartitionError) -> &'static str {
@@ -248,8 +378,194 @@ fn error_code(err: &PartitionError) -> &'static str {
     }
 }
 
+/// The per-engine latency label a warm-start job is recorded under, so
+/// warm and cold latencies of the same engine stay separable in the
+/// metrics snapshot.
+fn warm_label(engine: &str) -> &'static str {
+    match engine {
+        "fm" => "warm:fm",
+        "ml" => "warm:ml",
+        "kl" => "warm:kl",
+        "sa" => "warm:sa",
+        "rb" => "warm:rb",
+        "kway" => "warm:kway",
+        _ => "warm:other",
+    }
+}
+
 fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
     let t0 = Instant::now();
+    if let Some(sid) = req.warm_from.as_deref() {
+        let seed = ctx.cache.lock().expect("cache mutex").get_by_id(sid);
+        match seed {
+            // A seed for a different vertex count cannot be re-legalized
+            // onto this instance — treat it like an eviction.
+            Some((parts, _)) if parts.len() == req.hg.num_vertices() => {
+                return execute_warm(ctx, req, sid, &parts, t0);
+            }
+            _ => return execute_cold(ctx, req, t0, Some("miss")),
+        }
+    }
+    execute_cold(ctx, req, t0, None)
+}
+
+/// Runs a warm-start job: legalize the cached seed against the (possibly
+/// delta-edited) instance, refine from it, cache under a warm key.
+fn execute_warm(
+    ctx: &ServiceCtx,
+    req: &JobRequest,
+    sid: &str,
+    seed: &[PartId],
+    t0: Instant,
+) -> String {
+    let engine = EngineConfig::by_name(&req.engine).expect("engine validated at ingress");
+    let label = warm_label(engine.name());
+    let balance = BalanceConstraint::even(
+        req.k,
+        req.hg.total_weights(),
+        Tolerance::Relative(req.tolerance),
+    );
+    // No multistart on the warm path: the requested threads go straight to
+    // the k-way refinement, whose parallel regime starts at 2.
+    let parallel_refine = req.threads >= 2;
+    let warm_engine = format!("warm:{sid}:{}", req.engine);
+    let key = cache_key(
+        &warm_engine,
+        req.k,
+        req.tolerance,
+        req.starts,
+        req.seed,
+        parallel_refine,
+        &req.hg,
+        &req.fixed,
+    );
+    if let Some((parts, cut)) = ctx.cache.lock().expect("cache mutex").get(&key) {
+        ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+        let micros = t0.elapsed().as_micros() as u64;
+        ctx.metrics.record_latency_us(label, micros);
+        return JobResponse {
+            id: req.id.clone(),
+            cut,
+            parts: parts.iter().map(|p| p.index() as u32).collect(),
+            cache_hit: true,
+            deadline_expired: false,
+            starts_run: 0,
+            micros,
+            solution_id: Some(key.solution_id()),
+            warm: Some("hit"),
+        }
+        .to_line();
+    }
+    ctx.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let cancel = match req.deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::never(),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(req.seed);
+    let outcome = match &ctx.trace {
+        Some(trace) => {
+            let sink = Tee::new(&ctx.metrics.engine, trace);
+            refine_from_partition_ctx(
+                &req.hg,
+                &req.fixed,
+                &balance,
+                seed,
+                Objective::Cut,
+                WARM_MAX_PASSES,
+                RunCtx::new(&mut rng)
+                    .with_sink(&sink)
+                    .with_cancel(&cancel)
+                    .with_threads(req.threads),
+            )
+        }
+        None => refine_from_partition_ctx(
+            &req.hg,
+            &req.fixed,
+            &balance,
+            seed,
+            Objective::Cut,
+            WARM_MAX_PASSES,
+            RunCtx::new(&mut rng)
+                .with_sink(&ctx.metrics.engine)
+                .with_cancel(&cancel)
+                .with_threads(req.threads),
+        ),
+    };
+
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            ctx.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return ProtocolError {
+                id: Some(req.id.clone()),
+                code: error_code(&e),
+                message: e.to_string(),
+            }
+            .to_line();
+        }
+    };
+    let deadline_expired = cancel.is_cancelled();
+
+    // Same independent referee as the cold path: never hand out an
+    // illegal partition.
+    let legal = Partitioning::from_parts(&req.hg, req.k, outcome.result.parts.clone())
+        .map(|p| validate_partitioning(&req.hg, &p, &balance, &req.fixed).is_valid())
+        .unwrap_or(false);
+    if !legal {
+        ctx.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        return ProtocolError {
+            id: Some(req.id.clone()),
+            code: "internal_error",
+            message: "warm refinement returned a partition that failed validation".to_string(),
+        }
+        .to_line();
+    }
+
+    let solution_id = if deadline_expired {
+        ctx.metrics
+            .deadline_expirations
+            .fetch_add(1, Ordering::Relaxed);
+        None
+    } else {
+        let sid = key.solution_id();
+        ctx.cache.lock().expect("cache mutex").insert(
+            key,
+            outcome.result.parts.clone(),
+            outcome.result.cut,
+        );
+        Some(sid)
+    };
+    ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+    let micros = t0.elapsed().as_micros() as u64;
+    ctx.metrics.record_latency_us(label, micros);
+
+    JobResponse {
+        id: req.id.clone(),
+        cut: outcome.result.cut,
+        parts: outcome
+            .result
+            .parts
+            .iter()
+            .map(|p: &PartId| p.index() as u32)
+            .collect(),
+        cache_hit: false,
+        deadline_expired,
+        starts_run: 1,
+        micros,
+        solution_id,
+        warm: Some("hit"),
+    }
+    .to_line()
+}
+
+fn execute_cold(
+    ctx: &ServiceCtx,
+    req: &JobRequest,
+    t0: Instant,
+    warm_note: Option<&'static str>,
+) -> String {
     let engine = EngineConfig::by_name(&req.engine).expect("engine validated at ingress");
     // With several multistart workers the starts already saturate the
     // requested threads; only a single start hands them to the engine's
@@ -293,6 +609,8 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
             deadline_expired: false,
             starts_run: 0,
             micros,
+            solution_id: Some(key.solution_id()),
+            warm: warm_note,
         }
         .to_line();
     }
@@ -302,10 +620,13 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
         Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
         None => CancelToken::never(),
     };
+    // The engine counters additionally see every start's internal events
+    // (levels, passes, moves) via the instrumented driver; the JSONL
+    // trace keeps the deterministic summary stream only.
     let outcome = match &ctx.trace {
         Some(trace) => {
             let sink = Tee::new(&ctx.metrics.engine, trace);
-            multistart_parallel_engine_cancellable(
+            multistart_parallel_engine_instrumented(
                 &req.hg,
                 &req.fixed,
                 &balance,
@@ -314,10 +635,11 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
                 req.seed,
                 &engine,
                 &sink,
+                &ctx.metrics.engine,
                 &cancel,
             )
         }
-        None => multistart_parallel_engine_cancellable(
+        None => multistart_parallel_engine_instrumented(
             &req.hg,
             &req.fixed,
             &balance,
@@ -325,6 +647,7 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
             req.threads,
             req.seed,
             &engine,
+            &ctx.metrics.engine,
             &ctx.metrics.engine,
             &cancel,
         ),
@@ -359,19 +682,22 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
         .to_line();
     }
 
-    if deadline_expired {
+    let solution_id = if deadline_expired {
         ctx.metrics
             .deadline_expirations
             .fetch_add(1, Ordering::Relaxed);
+        None
     } else {
         // Only complete runs are cached: a best-so-far solution would
         // otherwise shadow the full-quality answer for later requests.
+        let sid = key.solution_id();
         ctx.cache.lock().expect("cache mutex").insert(
             key,
             outcome.best.parts.clone(),
             outcome.best.cut,
         );
-    }
+        Some(sid)
+    };
     ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
     let micros = t0.elapsed().as_micros() as u64;
     ctx.metrics.record_latency_us(engine.name(), micros);
@@ -389,6 +715,8 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
         deadline_expired,
         starts_run: outcome.starts.len(),
         micros,
+        solution_id,
+        warm: warm_note,
     }
     .to_line()
 }
@@ -398,6 +726,16 @@ fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
 ///
 /// # Errors
 /// Propagates transport I/O and trace-file errors.
+///
+/// # Example
+///
+/// ```no_run
+/// use vlsi_service::{serve_stdio, ServiceConfig};
+///
+/// let snapshot = serve_stdio(ServiceConfig::default())?;
+/// eprintln!("served {} jobs", snapshot.jobs_ok);
+/// # Ok::<(), std::io::Error>(())
+/// ```
 pub fn serve_stdio(config: ServiceConfig) -> io::Result<MetricsSnapshot> {
     let service = Service::start(config)?;
     let stdin = io::stdin();
@@ -405,18 +743,55 @@ pub fn serve_stdio(config: ServiceConfig) -> io::Result<MetricsSnapshot> {
     Ok(service.shutdown())
 }
 
-/// Runs the service on a TCP listener (one thread per connection) until a
-/// client requests shutdown, then drains and returns the final snapshot.
+/// Runs the service on a TCP listener until a client requests shutdown,
+/// then drains in-flight jobs, answers them, and returns the final
+/// snapshot.
+///
+/// On Linux (x86_64/aarch64) this is a single-threaded nonblocking epoll
+/// event loop handling every connection: line framing, per-client
+/// admission token buckets, idle timeouts ([`ServiceConfig::idle_timeout`])
+/// and load shedding all happen on the loop while the worker pool runs
+/// jobs. Elsewhere it falls back to one thread per connection.
 ///
 /// # Errors
 /// Propagates bind and trace-file errors; per-connection I/O errors only
 /// end that connection.
+///
+/// # Example
+///
+/// ```no_run
+/// use vlsi_service::{serve_tcp, ServiceConfig};
+///
+/// let snapshot = serve_tcp(ServiceConfig::default(), "127.0.0.1:7171")?;
+/// eprintln!("p99 latency: {}us", snapshot.p99_us);
+/// # Ok::<(), std::io::Error>(())
+/// ```
 pub fn serve_tcp(config: ServiceConfig, addr: impl ToSocketAddrs) -> io::Result<MetricsSnapshot> {
     let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
     let service = Service::start(config)?;
-    let stop = AtomicBool::new(false);
+    serve_listener(&service, listener)?;
+    Ok(service.shutdown())
+}
 
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn serve_listener(service: &Service, listener: TcpListener) -> io::Result<()> {
+    crate::eventloop::run(service, listener)
+}
+
+/// Fallback accept loop for targets without the epoll front end: one
+/// thread per connection, polling accept.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn serve_listener(service: &Service, listener: TcpListener) -> io::Result<()> {
+    use std::sync::atomic::AtomicBool;
+
+    listener.set_nonblocking(true)?;
+    let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         while !stop.load(Ordering::Relaxed) {
             match listener.accept() {
@@ -425,7 +800,7 @@ pub fn serve_tcp(config: ServiceConfig, addr: impl ToSocketAddrs) -> io::Result<
                     let stop = &stop;
                     scope.spawn(move || {
                         let reader = match stream.try_clone() {
-                            Ok(s) => BufReader::new(s),
+                            Ok(s) => io::BufReader::new(s),
                             Err(_) => return,
                         };
                         if let Ok(ServeOutcome::ShutdownRequested) = service.serve(reader, stream) {
@@ -440,5 +815,5 @@ pub fn serve_tcp(config: ServiceConfig, addr: impl ToSocketAddrs) -> io::Result<
             }
         }
     });
-    Ok(service.shutdown())
+    Ok(())
 }

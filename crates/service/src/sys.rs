@@ -1,0 +1,290 @@
+//! Minimal epoll bindings via raw syscalls — no libc, no crates.
+//!
+//! The workspace is hermetic (no external dependencies), so the event
+//! loop cannot lean on `libc` or `mio`. This module makes the four
+//! syscalls the front end needs (`epoll_create1`, `epoll_ctl`,
+//! `epoll_pwait`, `close`) directly with inline assembly, wrapped in a
+//! safe [`Epoll`] handle that owns the epoll file descriptor.
+//!
+//! Only compiled on Linux x86_64/aarch64 (see the cfg gate in
+//! `lib.rs`); other targets fall back to the thread-per-connection
+//! server, which needs none of this.
+//!
+//! Safety perimeter: the `unsafe` here is confined to issuing syscalls
+//! with kernel-validated arguments. Every pointer passed is a valid
+//! Rust reference or slice for the duration of the call, every fd is
+//! either owned by `Epoll` or borrowed from a live socket, and error
+//! returns are converted to `io::Error` rather than ignored.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readiness flag: the fd is readable.
+pub const EPOLLIN: u32 = 0x1;
+/// Readiness flag: the fd is writable.
+pub const EPOLLOUT: u32 = 0x4;
+/// Readiness flag: error condition (always reported, never subscribed).
+pub const EPOLLERR: u32 = 0x8;
+/// Readiness flag: hangup (always reported, never subscribed).
+pub const EPOLLHUP: u32 = 0x10;
+/// Readiness flag: peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const CLOSE: usize = 3;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const EPOLL_CREATE1: usize = 20;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const CLOSE: usize = 57;
+}
+
+/// One readiness record, ABI-compatible with the kernel's
+/// `struct epoll_event`. x86_64 is the only target where the kernel
+/// packs the struct; aarch64 uses natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready event mask (`EPOLLIN` / `EPOLLOUT` / ...).
+    pub events: u32,
+    /// Caller-chosen token identifying the fd.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event, for pre-sizing wait buffers.
+    pub fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall4(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") nr as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall5(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") nr as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall4(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "svc 0",
+        in("x8") nr,
+        inlateout("x0") a1 => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall5(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "svc 0",
+        in("x8") nr,
+        inlateout("x0") a1 => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        in("x4") a5,
+        options(nostack),
+    );
+    ret
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// An owned epoll instance. The fd is closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; the flag is valid.
+        let fd = check(unsafe { syscall4(nr::EPOLL_CREATE1, EPOLL_CLOEXEC as usize, 0, 0, 0) })?;
+        Ok(Epoll { fd: fd as RawFd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it before
+        // returning. `fd` is a live descriptor supplied by the caller.
+        check(unsafe {
+            syscall4(
+                nr::EPOLL_CTL,
+                self.fd as usize,
+                op as usize,
+                fd as usize,
+                std::ptr::addr_of_mut!(ev) as usize,
+            )
+        })
+        .map(|_| ())
+    }
+
+    /// Starts watching `fd` for `events`, reported under `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the interest mask of an already-watched `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Stops watching `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` (−1 = forever) for readiness, filling
+    /// `events` and returning how many entries are valid. `EINTR` is
+    /// surfaced as `Ok(0)` — callers treat it like a timeout tick.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        // SAFETY: `events` is a live, writable slice; the kernel writes at
+        // most `events.len()` entries. The null sigmask means "don't touch
+        // the signal mask" (epoll_pwait with NULL == epoll_wait, which
+        // aarch64 doesn't have).
+        let ret = unsafe {
+            syscall5(
+                nr::EPOLL_PWAIT,
+                self.fd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0,
+            )
+        };
+        match check(ret) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own this fd and drop it exactly once.
+        let _ = unsafe { syscall4(nr::CLOSE, self.fd as usize, 0, 0, 0) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_reports_readability() {
+        let ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        let mut evs = vec![EpollEvent::zeroed(); 8];
+        // Nothing written yet: a zero-timeout wait sees nothing.
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0);
+
+        a.write_all(b"x").unwrap();
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (data, events) = (evs[0].data, evs[0].events);
+        assert_eq!(data, 42);
+        assert_ne!(events & EPOLLIN, 0);
+    }
+
+    #[test]
+    fn modify_and_delete_change_interest() {
+        let ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 1).unwrap();
+        a.write_all(b"x").unwrap();
+
+        // Swap interest to write-only: the pending byte no longer wakes us
+        // with EPOLLIN, but the socket is writable.
+        ep.modify(b.as_raw_fd(), EPOLLOUT, 2).unwrap();
+        let mut evs = vec![EpollEvent::zeroed(); 8];
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (data, events) = (evs[0].data, evs[0].events);
+        assert_eq!(data, 2);
+        assert_ne!(events & EPOLLOUT, 0);
+        assert_eq!(events & EPOLLIN, 0);
+
+        ep.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0, "deleted fd is silent");
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let ep = Epoll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 7).unwrap();
+        drop(a);
+        let mut evs = vec![EpollEvent::zeroed(); 8];
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        let ev = evs[0];
+        assert_ne!(ev.events & (EPOLLRDHUP | EPOLLHUP), 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Admission-control and warm-start edge cases, end to end.
+//!
+//! Covers the refusal paths the scale-out issue calls out: a queue
+//! pinned at its high-water mark (every job shed with `overloaded`), a
+//! token bucket exhausted mid-batch (`rate_limited` for the overflow
+//! request only), and a warm-start request whose solution id has been
+//! evicted (must fall back to a cold run flagged `"warm":"miss"`, never
+//! an error). The high-water path is exercised over both transports —
+//! the stdio reader and the TCP epoll loop shed through the same
+//! [`Service::admit`] gate.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use vlsi_service::json::{self, Json};
+use vlsi_service::{AdmissionConfig, Service, ServiceConfig};
+
+fn tiny_instance(id: &str, seed: u64) -> String {
+    format!(
+        r#"{{"id":"{id}","engine":"fm","seed":{seed},"hypergraph":{{"vertices":[1,1,1,1],"nets":[[0,1],[1,2],[2,3]]}},"fixed":[0,-1,-1,1]}}"#
+    )
+}
+
+/// Runs a scripted stdio session and returns the parsed response lines.
+fn stdio_session(config: ServiceConfig, requests: &[String]) -> (Vec<Json>, Service) {
+    let service = Service::start(config).expect("service starts");
+    let input = requests.join("\n") + "\n";
+    let mut out = Vec::new();
+    service
+        .serve(Cursor::new(input), &mut out)
+        .expect("session runs");
+    let text = String::from_utf8(out).expect("utf8");
+    let responses = text
+        .lines()
+        .map(|l| json::parse(l).expect("valid JSON response"))
+        .collect();
+    (responses, service)
+}
+
+fn code_of(resp: &Json) -> Option<&str> {
+    resp.get("code").and_then(|c| c.as_str())
+}
+
+#[test]
+fn queue_at_high_water_sheds_every_job_as_overloaded() {
+    let (responses, service) = stdio_session(
+        ServiceConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                high_water: 0, // the queue is always "at" the mark
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        &[tiny_instance("a", 1), tiny_instance("b", 2)],
+    );
+    assert_eq!(responses.len(), 2);
+    for resp in &responses {
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(code_of(resp), Some("overloaded"));
+    }
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.jobs_ok, 0, "nothing was admitted");
+    assert_eq!(
+        snapshot.engine.sheds, 2,
+        "every refusal is counted as a shed"
+    );
+}
+
+#[test]
+fn token_bucket_exhaustion_limits_a_burst_mid_batch() {
+    // Effectively no refill during the test: only the burst is spendable.
+    let (responses, service) = stdio_session(
+        ServiceConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                rate_per_sec: 0.000_001,
+                burst: 2,
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        &[
+            tiny_instance("a", 1),
+            tiny_instance("b", 2),
+            tiny_instance("c", 3),
+            tiny_instance("d", 4),
+        ],
+    );
+    assert_eq!(responses.len(), 4);
+    let by_id = |id: &str| {
+        responses
+            .iter()
+            .find(|r| r.get("id").and_then(|v| v.as_str()) == Some(id))
+            .unwrap_or_else(|| panic!("no response for {id}"))
+    };
+    for id in ["a", "b"] {
+        assert_eq!(
+            by_id(id).get("status").unwrap().as_str(),
+            Some("ok"),
+            "the burst covers the first two jobs"
+        );
+    }
+    for id in ["c", "d"] {
+        assert_eq!(code_of(by_id(id)), Some("rate_limited"), "job {id}");
+    }
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.jobs_ok, 2);
+    assert_eq!(snapshot.engine.sheds, 2);
+}
+
+#[test]
+fn evicted_warm_start_seed_falls_back_to_cold_with_a_miss_note() {
+    // Capacity 1: the second solve evicts the first solution.
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        cache_capacity: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+
+    let run = |service: &Service, request: &str| -> Json {
+        let mut out = Vec::new();
+        service
+            .serve(Cursor::new(format!("{request}\n")), &mut out)
+            .expect("session runs");
+        json::parse(String::from_utf8(out).unwrap().trim()).expect("valid JSON")
+    };
+
+    let first = run(&service, &tiny_instance("a", 1));
+    assert_eq!(first.get("status").unwrap().as_str(), Some("ok"));
+    let sid = first
+        .get("solution_id")
+        .and_then(|v| v.as_str())
+        .expect("solution id")
+        .to_string();
+
+    // Evict it, then warm-start from the now-gone id.
+    let second = run(&service, &tiny_instance("b", 2));
+    assert_eq!(second.get("status").unwrap().as_str(), Some("ok"));
+    let warm_req = format!(
+        r#"{{"id":"w","engine":"fm","seed":1,"warm_start":{{"solution_id":"{sid}"}},"hypergraph":{{"vertices":[1,1,1,1],"nets":[[0,1],[1,2],[2,3]]}},"fixed":[0,-1,-1,1]}}"#
+    );
+    let warm = run(&service, &warm_req);
+    assert_eq!(
+        warm.get("status").unwrap().as_str(),
+        Some("ok"),
+        "an evicted seed is not an error: {warm:?}"
+    );
+    assert_eq!(
+        warm.get("warm").unwrap().as_str(),
+        Some("miss"),
+        "the cold fallback is flagged"
+    );
+    assert_eq!(warm.get("cache_hit").unwrap().as_bool(), Some(false));
+
+    // An id that never existed behaves the same.
+    let bogus = run(
+        &service,
+        r#"{"id":"x","engine":"fm","seed":9,"warm_start":{"solution_id":"s0000000000000000"},"hypergraph":{"vertices":[1,1,1,1],"nets":[[0,1],[1,2],[2,3]]},"fixed":[0,-1,-1,1]}"#,
+    );
+    assert_eq!(bogus.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(bogus.get("warm").unwrap().as_str(), Some("miss"));
+
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.jobs_ok, 4);
+    assert_eq!(snapshot.jobs_failed, 0);
+    assert_eq!(
+        snapshot.engine.warm_starts, 0,
+        "miss fallbacks run cold, not warm"
+    );
+}
+
+#[test]
+fn tcp_event_loop_sheds_at_the_high_water_mark() {
+    let probe = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+    let addr = probe.local_addr().expect("addr");
+    drop(probe);
+    let server = std::thread::spawn(move || {
+        vlsi_service::serve_tcp(
+            ServiceConfig {
+                workers: 1,
+                admission: AdmissionConfig {
+                    high_water: 0,
+                    ..AdmissionConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+            addr,
+        )
+        .expect("serve_tcp runs")
+    });
+
+    let mut stream = None;
+    for _ in 0..200 {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let mut stream = stream.expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    writeln!(stream, "{}", tiny_instance("t", 7)).expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let resp = json::parse(line.trim()).expect("valid JSON");
+    assert_eq!(code_of(&resp), Some("overloaded"), "{line}");
+
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).expect("send shutdown");
+    let snapshot = server.join().expect("server thread");
+    assert_eq!(snapshot.jobs_ok, 0);
+    assert_eq!(snapshot.engine.sheds, 1);
+}

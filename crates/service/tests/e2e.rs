@@ -220,9 +220,13 @@ fn stdio_session_covers_cache_deadline_and_errors() {
     assert!(snapshot.p99_us >= snapshot.p50_us);
     assert_eq!(cache.hits, 1);
     assert_eq!(cache.entries, 1, "only the completed run was cached");
-    assert_eq!(
-        snapshot.engine.cancellations, 2,
-        "one multistart cancellation per deadline job"
+    // At least the multistart-summary cancellation of each deadline job;
+    // the instrumented driver additionally counts the engines' internal
+    // cancellation checkpoints.
+    assert!(
+        snapshot.engine.cancellations >= 2,
+        "each deadline job records its cancellation: {}",
+        snapshot.engine.cancellations
     );
 }
 

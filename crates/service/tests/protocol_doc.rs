@@ -1,0 +1,142 @@
+//! Keeps `docs/PROTOCOL.md` and the protocol implementation in lockstep.
+//!
+//! The doc promises to be the *complete* wire reference; these tests make
+//! that promise mechanical: the error-code table must list exactly
+//! [`vlsi_service::ERROR_CODES`] in the same order, every request and
+//! response field the parser knows must have a row in the corresponding
+//! doc table, and both control ops must be documented. Rename a code or
+//! add a field without touching the doc and this file fails.
+
+use vlsi_service::ERROR_CODES;
+
+const PROTOCOL_MD: &str = include_str!("../../../docs/PROTOCOL.md");
+
+/// Returns the body of the `## heading` section (up to the next `## `).
+fn section<'a>(doc: &'a str, heading: &str) -> &'a str {
+    let needle = format!("\n## {heading}\n");
+    let start = doc
+        .find(&needle)
+        .unwrap_or_else(|| panic!("PROTOCOL.md has no `## {heading}` section"))
+        + needle.len();
+    let rest = &doc[start..];
+    match rest.find("\n## ") {
+        Some(end) => &rest[..end],
+        None => rest,
+    }
+}
+
+/// Extracts the first backtick-quoted name of each `| `name` | ...` table row.
+fn table_row_names(body: &str) -> Vec<String> {
+    body.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("| `")?;
+            let end = rest.find('`')?;
+            Some(rest[..end].to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn error_code_table_matches_error_codes_in_order() {
+    let documented = table_row_names(section(PROTOCOL_MD, "Error codes"));
+    let expected: Vec<String> = ERROR_CODES.iter().map(|c| c.to_string()).collect();
+    assert_eq!(
+        documented, expected,
+        "docs/PROTOCOL.md `## Error codes` table must list exactly \
+         vlsi_service::ERROR_CODES, in the same order"
+    );
+}
+
+#[test]
+fn every_error_code_is_explained_not_just_listed() {
+    let body = section(PROTOCOL_MD, "Error codes");
+    for line in body.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("| `") {
+            let cells: Vec<&str> = rest.split('|').collect();
+            assert!(
+                cells.len() >= 3 && cells[2].trim().len() >= 10,
+                "error-code row needs a Retryable and a Cause cell: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_job_request_field_has_a_doc_row() {
+    // The full set of keys `parse_request` reads off a job object. Adding
+    // a request field means adding it here AND to the PROTOCOL.md table.
+    let request_fields = [
+        "id",
+        "engine",
+        "k",
+        "tolerance",
+        "starts",
+        "threads",
+        "seed",
+        "deadline_ms",
+        "priority",
+        "warm_start",
+        "hypergraph",
+        "fixed",
+    ];
+    let documented = table_row_names(section(PROTOCOL_MD, "Message types"));
+    for field in request_fields {
+        assert!(
+            documented.iter().any(|d| d == field),
+            "job request field `{field}` has no row in the PROTOCOL.md table"
+        );
+    }
+    // The path-based alternative is described in a footnote, not the table.
+    let body = section(PROTOCOL_MD, "Message types");
+    for key in [
+        "hypergraph_path",
+        "fixed_path",
+        "removed_nets",
+        "added_nets",
+        "moved_fixed",
+    ] {
+        assert!(
+            body.contains(key),
+            "request key `{key}` is undocumented in `## Message types`"
+        );
+    }
+}
+
+#[test]
+fn every_response_field_has_a_doc_row() {
+    let response_fields = [
+        "id",
+        "status",
+        "cut",
+        "parts",
+        "cache_hit",
+        "deadline_expired",
+        "starts_run",
+        "micros",
+        "solution_id",
+        "warm",
+    ];
+    let documented = table_row_names(section(PROTOCOL_MD, "Responses"));
+    for field in response_fields {
+        assert!(
+            documented.iter().any(|d| d == field),
+            "response field `{field}` has no row in the PROTOCOL.md table"
+        );
+    }
+    // Error responses carry `code` and `message` (shown in the example).
+    let body = section(PROTOCOL_MD, "Responses");
+    assert!(body.contains("`code`") && body.contains("`message`"));
+}
+
+#[test]
+fn both_control_ops_are_documented() {
+    let body = section(PROTOCOL_MD, "Message types");
+    for op in ["metrics", "shutdown"] {
+        assert!(
+            body.contains(&format!(r#"{{"op":"{op}"}}"#)),
+            "control op `{op}` is undocumented"
+        );
+    }
+}

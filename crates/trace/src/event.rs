@@ -233,6 +233,25 @@ pub enum Event {
         /// Best balanced cut seen so far.
         best_cut: u64,
     },
+    /// A refinement run was seeded from an existing partition instead of
+    /// partitioning from scratch (the service's warm-start path). Emitted
+    /// once per warm run, after the seed has been re-legalized against
+    /// fixity and balance and before the first refinement pass.
+    WarmStart {
+        /// Vertices that kept their seed assignment through legalization.
+        reused: u64,
+        /// Vertices relocated while re-legalizing fixity and balance.
+        relocated: u64,
+        /// Objective value of the legalized seed, before refinement.
+        value: u64,
+    },
+    /// The serving layer refused a job at admission: the queue crossed its
+    /// load-shedding high-water mark, or the client exhausted its
+    /// fairness token bucket.
+    Shed {
+        /// Job-queue depth observed when the decision was made.
+        queue_depth: u64,
+    },
 }
 
 impl Event {
@@ -252,6 +271,8 @@ impl Event {
             Event::RoundApplied { .. } => "round_applied",
             Event::Cancelled { .. } => "cancelled",
             Event::SweepFinished { .. } => "sweep",
+            Event::WarmStart { .. } => "warm_start",
+            Event::Shed { .. } => "shed",
         }
     }
 
@@ -403,6 +424,19 @@ impl Event {
                     ",\"sweep\":{sweep},\"accepted\":{accepted},\"cut\":{cut},\"best_cut\":{best_cut}"
                 );
             }
+            Event::WarmStart {
+                reused,
+                relocated,
+                value,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"reused\":{reused},\"relocated\":{relocated},\"value\":{value}"
+                );
+            }
+            Event::Shed { queue_depth } => {
+                let _ = write!(s, ",\"queue_depth\":{queue_depth}");
+            }
         }
         s.push('}');
         s
@@ -526,6 +560,18 @@ mod tests {
                 },
                 r#"{"ev":"sweep","sweep":7,"accepted":13,"cut":20,"best_cut":18}"#,
             ),
+            (
+                Event::WarmStart {
+                    reused: 190,
+                    relocated: 10,
+                    value: 37,
+                },
+                r#"{"ev":"warm_start","reused":190,"relocated":10,"value":37}"#,
+            ),
+            (
+                Event::Shed { queue_depth: 48 },
+                r#"{"ev":"shed","queue_depth":48}"#,
+            ),
         ];
         for (event, expected) in cases {
             assert_eq!(event.to_jsonl(), expected);
@@ -628,6 +674,13 @@ mod tests {
                 best_cut: 0,
             }
             .kind(),
+            Event::WarmStart {
+                reused: 0,
+                relocated: 0,
+                value: 0,
+            }
+            .kind(),
+            Event::Shed { queue_depth: 0 }.kind(),
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

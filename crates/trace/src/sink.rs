@@ -73,6 +73,12 @@ pub struct Counters {
     pub sweeps: u64,
     /// Cooperative cancellations observed ([`Event::Cancelled`] count).
     pub cancellations: u64,
+    /// Warm-started refinement runs seeded from a cached partition
+    /// ([`Event::WarmStart`] count).
+    pub warm_starts: u64,
+    /// Jobs refused at admission — queue high-water load-shedding or
+    /// token-bucket exhaustion ([`Event::Shed`] count).
+    pub sheds: u64,
 }
 
 impl std::fmt::Display for Counters {
@@ -81,7 +87,7 @@ impl std::fmt::Display for Counters {
             f,
             "passes {} (+{} k-way), moves {} tried / {} committed / {} rolled back, \
              bucket ops {}, cut updates {}, levels {}, starts {}, rounds {}, sweeps {}, \
-             cancellations {}",
+             cancellations {}, warm starts {}, sheds {}",
             self.passes,
             self.kway_passes,
             self.moves_tried,
@@ -93,7 +99,9 @@ impl std::fmt::Display for Counters {
             self.starts,
             self.rounds,
             self.sweeps,
-            self.cancellations
+            self.cancellations,
+            self.warm_starts,
+            self.sheds
         )
     }
 }
@@ -117,6 +125,8 @@ pub struct CounterSink {
     rounds: AtomicU64,
     sweeps: AtomicU64,
     cancellations: AtomicU64,
+    warm_starts: AtomicU64,
+    sheds: AtomicU64,
 }
 
 impl CounterSink {
@@ -140,6 +150,8 @@ impl CounterSink {
             rounds: self.rounds.load(Ordering::Relaxed),
             sweeps: self.sweeps.load(Ordering::Relaxed),
             cancellations: self.cancellations.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
         }
     }
 }
@@ -195,6 +207,12 @@ impl Sink for CounterSink {
             }
             Event::SweepFinished { .. } => {
                 self.sweeps.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::WarmStart { .. } => {
+                self.warm_starts.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Shed { .. } => {
+                self.sheds.fetch_add(1, Ordering::Relaxed);
             }
         }
         // bucket_ops arrive pre-aggregated on pass ends (counting them as

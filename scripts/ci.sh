@@ -32,6 +32,35 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 echo "==> cargo test --doc --offline"
 cargo test --doc -q --offline --workspace
 
+# Doc integrity gate: every relative markdown link in README/docs must
+# resolve, the doc set must cross-reference itself, and PROTOCOL.md must
+# enumerate exactly vlsi_service::ERROR_CODES (same codes, same order)
+# plus every request/response field. These also run inside the plain
+# `cargo test` above; re-running them by name makes a doc-rot failure
+# show up as its own CI step instead of somewhere in the workspace noise.
+echo "==> doc link + protocol doc gate"
+cargo test -q --offline -p fixed-vertices-repro --test doc_links
+cargo test -q --offline -p vlsi-service --test protocol_doc
+
+# Service soak smoke: bring up an in-process server, drive a bounded
+# mixed cold/warm workload over concurrent TCP connections, and fail on
+# any error or failed connection. Deeper gates (warm-start pass counts,
+# cross-worker-count determinism, latency bounds) live in
+# crates/service/tests/soak.rs and already ran under `cargo test`; this
+# step exercises the real binary end to end. Skip with SOAK_SMOKE=0.
+if [ "${SOAK_SMOKE:-1}" = "1" ]; then
+    echo "==> service soak smoke (loadgen --spawn)"
+    soak_out="$(cargo run --release --offline -q -p vlsi-experiments --bin loadgen -- \
+        --spawn --connections 4 --requests 6 --seed 3 2>/dev/null)"
+    echo "$soak_out"
+    case "$soak_out" in
+        *'"errors":0,"failed_connections":0'*) ;;
+        *) echo "ci.sh: soak smoke reported errors" >&2; exit 1 ;;
+    esac
+else
+    echo "==> service soak smoke skipped (SOAK_SMOKE=0)"
+fi
+
 # Perf smoke gate: run the perf-regression suite with a small sample count
 # and fail on a >15% median regression against the checked-in baseline.
 # The suite writes results/bench/BENCH_partition.json (the CI artifact) and
