@@ -34,12 +34,28 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 /// (a percentage, e.g. `40`) overrides it for noisy builders.
 const MAX_REGRESSION: f64 = 1.15;
 
+/// Wider gate for the single-shot `scale/` *wall-clock* records: a ~30 s
+/// partition measured once cannot amortize builder noise the way a
+/// multi-sample median can (observed run-to-run spread on the CI box is
+/// ~±20% for identical code). `PERF_SCALE_MAX_REGRESSION` overrides.
+/// The `scale/peak_rss/*` record stays on the tight default — memory is
+/// repeatable to within a few percent and is the gate that matters here.
+const SCALE_TIME_MAX_REGRESSION: f64 = 1.5;
+
 fn max_regression() -> f64 {
     std::env::var("PERF_MAX_REGRESSION")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .map(|pct| 1.0 + pct / 100.0)
         .unwrap_or(MAX_REGRESSION)
+}
+
+fn scale_time_max_regression() -> f64 {
+    std::env::var("PERF_SCALE_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|pct| 1.0 + pct / 100.0)
+        .unwrap_or(SCALE_TIME_MAX_REGRESSION)
 }
 
 fn fixture() -> (
@@ -173,6 +189,54 @@ fn bench_refine_parallel(c: &mut Criterion, hg: &vlsi_hypergraph::Hypergraph) {
     group.finish();
 }
 
+/// Whether the million-cell `scale/` group runs (skip with `PERF_SCALE=0`
+/// on builders that cannot afford a ~30 s single-shot partition; the gate
+/// then ignores `scale/` baseline entries instead of failing on them).
+fn scale_enabled() -> bool {
+    std::env::var("PERF_SCALE").as_deref() != Ok("0")
+}
+
+/// The million-cell tier: wall-clock for streaming generation + CSR
+/// build (a real calibrated benchmark — it is sub-second) and a
+/// single-shot full multilevel partition, plus the process peak RSS.
+/// Single-shot because one partition run takes ~30 s; the computation is
+/// deterministic, so run-to-run variance stays well inside the 15% gate.
+/// Runs after every other group so the reported peak RSS (a process-wide
+/// high-water mark) is dominated by the million-cell instance, not by the
+/// small fixtures.
+fn bench_scale(c: &mut Criterion) {
+    use vlsi_netgen::instances::million_cells_scaled;
+
+    let mut group = c.benchmark_group("scale/build");
+    group.sample_size(3);
+    group.bench_function("1M", |b| b.iter(|| black_box(million_cells_scaled(1.0, 7))));
+    group.finish();
+
+    let circuit = million_cells_scaled(1.0, 7);
+    let hg = &circuit.hypergraph;
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 50 {
+        fixed.fix(VertexId((i * 41) as u32), PartId((i % 2) as u32));
+    }
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.05));
+    let ml = MultilevelPartitioner::new(MultilevelConfig {
+        coarse_starts: 1,
+        threads: 8,
+        ..MultilevelConfig::default()
+    });
+    let t = std::time::Instant::now();
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let result = ml
+        .partition_ctx(hg, &fixed, &balance, RunCtx::new(&mut rng))
+        .expect("ml runs at 1M cells");
+    let wall_ns = t.elapsed().as_nanos() as f64;
+    black_box(&result);
+    c.report_value("scale/partition/1M/t8", wall_ns);
+    if let Some(peak) = bench::mem::peak_rss_bytes() {
+        c.report_value("scale/peak_rss/1M/bytes", peak as f64);
+    }
+}
+
 /// Pulls `(id, median_ns)` pairs out of a testkit bench JSON file with a
 /// plain string scan (the format is fixed: `"id": "...", ... "median_ns":
 /// 123.4`), so the gate needs no JSON dependency.
@@ -250,10 +314,19 @@ fn gate(results_path: &std::path::Path) -> bool {
     let threshold = max_regression();
     let mut ok = true;
     for (id, base_median) in &baseline {
+        if !scale_enabled() && id.starts_with("scale/") {
+            println!("perf_suite: gate skip: {id} (PERF_SCALE=0)");
+            continue;
+        }
         let Some((_, median)) = current.iter().find(|(cid, _)| cid == id) else {
             eprintln!("perf_suite: GATE FAIL: benchmark {id} missing from current run");
             ok = false;
             continue;
+        };
+        let threshold = if id.starts_with("scale/") && !id.starts_with("scale/peak_rss") {
+            threshold.max(scale_time_max_regression())
+        } else {
+            threshold
         };
         let ratio = median / base_median;
         if ratio > threshold {
@@ -283,6 +356,11 @@ fn main() {
     bench_flat_fm(&mut c, &hg, &fixed, &balance);
     bench_multilevel(&mut c, &hg, &fixed, &balance);
     bench_refine_parallel(&mut c, &hg);
+    if scale_enabled() {
+        bench_scale(&mut c);
+    } else {
+        println!("perf_suite: scale/ group skipped (PERF_SCALE=0)");
+    }
     c.finalize();
 
     let out_dir = std::env::var_os("TESTKIT_BENCH_DIR")

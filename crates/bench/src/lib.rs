@@ -1,2 +1,8 @@
 //! Criterion benchmark crate — see `benches/` for the per-table/figure
-//! benchmark targets. This library is intentionally empty.
+//! benchmark targets. The library itself carries only the pieces the
+//! bench targets and the scale smoke share: process-memory sampling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mem;

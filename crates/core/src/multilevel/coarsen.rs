@@ -381,54 +381,86 @@ pub fn coarsen_once<R: Rng + ?Sized>(
     }
 
     // Map, dedup and merge nets: identical coarse pin sets sum weights.
-    // With a thread budget the nets are sharded and each worker builds a
-    // local index; merging the shards sums the same u64 weights the
-    // sequential loop would, and the sort below canonicalizes the order
-    // either way, so the coarse net list is thread-count invariant.
+    //
+    // Sort-based dedup over two flat arenas instead of a
+    // `HashMap<Vec<u32>, u64>`: every net's mapped pins are normalized
+    // (sorted, internally deduped) in place at the tail of one shared pin
+    // arena, with a `(offset, len, weight)` span per surviving net in the
+    // second arena — no per-net key allocation, no hashing. Sorting the
+    // spans lexicographically by pin slice brings identical coarse nets
+    // adjacent; one merge pass sums their weights. u64 weight addition is
+    // order-independent and the emitted nets come out in the same
+    // lexicographic order the old `merged.sort_unstable()` produced, so
+    // the coarse net list is byte-identical to the HashMap version — and
+    // thread-count invariant: with a thread budget the normalize pass is
+    // sharded and the shard arenas concatenate before the same global
+    // sort-merge.
     let net_workers = crate::parallel::effective_threads(params.threads, hg.num_nets(), NET_GRAIN);
-    let mut net_index: HashMap<Vec<u32>, u64> = HashMap::new();
-    if net_workers > 1 {
-        let cluster_ro = &cluster_of;
-        let shards = crate::parallel::par_map_chunks(hg.num_nets(), net_workers, |range| {
-            let mut local: HashMap<Vec<u32>, u64> = HashMap::new();
-            let mut scratch: Vec<u32> = Vec::new();
-            for ni in range {
-                let net = NetId(ni as u32);
-                scratch.clear();
-                scratch.extend(hg.net_pins(net).iter().map(|&p| cluster_ro[p.index()]));
-                scratch.sort_unstable();
-                scratch.dedup();
-                if scratch.len() < 2 {
-                    continue; // internal to one cluster: can never be cut
+    let normalize = |range: std::ops::Range<usize>,
+                     pin_arena: &mut Vec<u32>,
+                     spans: &mut Vec<(u32, u32, u64)>| {
+        for ni in range {
+            let net = NetId(ni as u32);
+            let start = pin_arena.len();
+            pin_arena.extend(hg.net_pins(net).iter().map(|&p| cluster_of[p.index()]));
+            pin_arena[start..].sort_unstable();
+            // In-place dedup of the tail written for this net.
+            let mut w = start + 1;
+            for r in start + 1..pin_arena.len() {
+                if pin_arena[r] != pin_arena[w - 1] {
+                    pin_arena[w] = pin_arena[r];
+                    w += 1;
                 }
-                *local.entry(scratch.clone()).or_insert(0) += hg.net_weight(net);
             }
-            local
+            pin_arena.truncate(w);
+            if w - start < 2 {
+                pin_arena.truncate(start); // internal to one cluster: can never be cut
+                continue;
+            }
+            spans.push((start as u32, (w - start) as u32, hg.net_weight(net)));
+        }
+    };
+    let mut pin_arena: Vec<u32>;
+    let mut spans: Vec<(u32, u32, u64)>;
+    if net_workers > 1 {
+        let shards = crate::parallel::par_map_chunks(hg.num_nets(), net_workers, |range| {
+            let mut local_pins: Vec<u32> = Vec::new();
+            let mut local_spans: Vec<(u32, u32, u64)> = Vec::new();
+            normalize(range, &mut local_pins, &mut local_spans);
+            (local_pins, local_spans)
         });
-        for shard in shards {
-            for (pins, w) in shard {
-                *net_index.entry(pins).or_insert(0) += w;
-            }
+        pin_arena = Vec::with_capacity(shards.iter().map(|(p, _)| p.len()).sum());
+        spans = Vec::with_capacity(shards.iter().map(|(_, s)| s.len()).sum());
+        for (local_pins, local_spans) in shards {
+            let base = pin_arena.len() as u32;
+            pin_arena.extend_from_slice(&local_pins);
+            spans.extend(
+                local_spans
+                    .into_iter()
+                    .map(|(off, len, w)| (base + off, len, w)),
+            );
         }
     } else {
-        let mut scratch: Vec<u32> = Vec::new();
-        for net in hg.nets() {
-            scratch.clear();
-            scratch.extend(hg.net_pins(net).iter().map(|&p| cluster_of[p.index()]));
-            scratch.sort_unstable();
-            scratch.dedup();
-            if scratch.len() < 2 {
-                continue; // internal to one cluster: can never be cut
-            }
-            *net_index.entry(scratch.clone()).or_insert(0) += hg.net_weight(net);
-        }
+        pin_arena = Vec::with_capacity(hg.num_pins());
+        spans = Vec::with_capacity(hg.num_nets());
+        normalize(0..hg.num_nets(), &mut pin_arena, &mut spans);
     }
-    let mut merged: Vec<(Vec<u32>, u64)> = net_index.into_iter().collect();
-    merged.sort_unstable(); // deterministic net order regardless of hash state
-    for (pins, w) in merged {
+
+    let pin_slice = |s: &(u32, u32, u64)| &pin_arena[s.0 as usize..(s.0 + s.1) as usize];
+    spans.sort_unstable_by(|a, b| pin_slice(a).cmp(pin_slice(b)));
+    let mut i = 0;
+    while i < spans.len() {
+        let key = pin_slice(&spans[i]);
+        let mut weight = spans[i].2;
+        let mut j = i + 1;
+        while j < spans.len() && pin_slice(&spans[j]) == key {
+            weight += spans[j].2;
+            j += 1;
+        }
         builder
-            .add_net(w, pins.into_iter().map(VertexId))
+            .add_net(weight, key.iter().copied().map(VertexId))
             .expect("valid coarse net");
+        i = j;
     }
 
     Some(Level {

@@ -3,7 +3,8 @@
 //! ```text
 //! usage: serve [--stdio | --tcp ADDR] [--workers N] [--queue N]
 //!              [--cache N] [--trace FILE] [--high-water N]
-//!              [--rate R] [--burst N] [--idle-timeout SECS]
+//!              [--rate R] [--burst N] [--max-pins N]
+//!              [--idle-timeout SECS]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol documented in
@@ -11,9 +12,10 @@
 //! object per line out. `--stdio` (the default) serves a single session
 //! on stdin/stdout and exits at EOF or `{"op":"shutdown"}`; `--tcp`
 //! accepts any number of concurrent connections on the epoll event loop
-//! until a client sends shutdown. `--high-water`, `--rate` and `--burst`
-//! enable admission control (load shedding and per-client rate limits —
-//! see `docs/OPERATIONS.md` for tuning). On exit the final metrics
+//! until a client sends shutdown. `--high-water`, `--rate`, `--burst` and
+//! `--max-pins` enable admission control (load shedding, per-client rate
+//! limits and a per-request instance-size cap — see `docs/OPERATIONS.md`
+//! for tuning). On exit the final metrics
 //! snapshot is printed to stderr.
 
 use std::process::exit;
@@ -22,7 +24,8 @@ use std::time::Duration;
 use vlsi_service::{serve_stdio, serve_tcp, ServiceConfig};
 
 const USAGE: &str = "usage: serve [--stdio | --tcp ADDR] [--workers N] [--queue N] [--cache N] \
-                     [--trace FILE] [--high-water N] [--rate R] [--burst N] [--idle-timeout SECS]";
+                     [--trace FILE] [--high-water N] [--rate R] [--burst N] [--max-pins N] \
+                     [--idle-timeout SECS]";
 
 struct Args {
     tcp: Option<String>,
@@ -62,6 +65,10 @@ fn parse_args() -> Result<Args, String> {
             "--burst" => {
                 args.config.admission.burst =
                     value("--burst")?.parse().map_err(|_| "bad --burst")?
+            }
+            "--max-pins" => {
+                args.config.admission.max_pins =
+                    value("--max-pins")?.parse().map_err(|_| "bad --max-pins")?
             }
             "--idle-timeout" => {
                 args.config.idle_timeout = Duration::from_secs(

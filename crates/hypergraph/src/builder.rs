@@ -1,7 +1,9 @@
 //! Incremental construction of [`Hypergraph`] values.
 
+use std::fmt::Write as _;
+
 use crate::error::BuildError;
-use crate::graph::Hypergraph;
+use crate::graph::{Hypergraph, NameTable};
 use crate::{NetId, VertexId};
 
 /// Builder for [`Hypergraph`].
@@ -9,6 +11,11 @@ use crate::{NetId, VertexId};
 /// Vertices are added first (optionally with multi-resource weights), nets
 /// reference them. [`HypergraphBuilder::build`] packs everything into
 /// immutable CSR arrays.
+///
+/// Names are kept as a sparse `(vertex, name)` log rather than a dense
+/// per-vertex slot, so an unnamed million-vertex graph pays nothing for
+/// the feature; [`HypergraphBuilder::build`] packs the log into the
+/// graph's name arena (last write per vertex wins).
 ///
 /// # Example
 /// ```
@@ -25,15 +32,22 @@ use crate::{NetId, VertexId};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct HypergraphBuilder {
     num_resources: usize,
+    num_vertices: usize,
     weights: Vec<u64>,
-    names: Vec<Option<String>>,
+    /// Sparse name log; packed into a [`NameTable`] by `build`.
+    names: Vec<(VertexId, String)>,
     net_weights: Vec<u64>,
-    net_offsets: Vec<usize>,
+    net_offsets: Vec<u32>,
     net_pins: Vec<VertexId>,
-    any_named: bool,
+}
+
+impl Default for HypergraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl HypergraphBuilder {
@@ -52,20 +66,35 @@ impl HypergraphBuilder {
         assert!(num_resources >= 1, "at least one resource type required");
         HypergraphBuilder {
             num_resources,
+            num_vertices: 0,
             weights: Vec::new(),
             names: Vec::new(),
             net_weights: Vec::new(),
             net_offsets: vec![0],
             net_pins: Vec::new(),
-            any_named: false,
         }
     }
 
-    /// Pre-allocates space for the given numbers of vertices, nets and pins.
+    /// Pre-allocates space for the given numbers of vertices, nets and pins
+    /// in a single-resource builder.
     pub fn with_capacity(num_vertices: usize, num_nets: usize, num_pins: usize) -> Self {
-        let mut b = Self::new();
-        b.weights.reserve(num_vertices);
-        b.names.reserve(num_vertices);
+        Self::with_capacity_and_resources(num_vertices, num_nets, num_pins, 1)
+    }
+
+    /// Pre-allocates space for a multi-resource builder: reserves
+    /// `num_vertices * num_resources` weight slots so the reservation is
+    /// exact for any resource arity.
+    ///
+    /// # Panics
+    /// Panics if `num_resources == 0`.
+    pub fn with_capacity_and_resources(
+        num_vertices: usize,
+        num_nets: usize,
+        num_pins: usize,
+        num_resources: usize,
+    ) -> Self {
+        let mut b = Self::with_resources(num_resources);
+        b.weights.reserve(num_vertices * num_resources);
         b.net_weights.reserve(num_nets);
         b.net_offsets.reserve(num_nets + 1);
         b.net_pins.reserve(num_pins);
@@ -74,7 +103,7 @@ impl HypergraphBuilder {
 
     /// Number of vertices added so far.
     pub fn num_vertices(&self) -> usize {
-        self.names.len()
+        self.num_vertices
     }
 
     /// Number of nets added so far.
@@ -82,14 +111,19 @@ impl HypergraphBuilder {
         self.net_weights.len()
     }
 
+    /// Number of pins added so far.
+    pub fn num_pins(&self) -> usize {
+        self.net_pins.len()
+    }
+
     /// Adds a vertex with a scalar weight (resource 0); any additional
     /// resources are zero.
     pub fn add_vertex(&mut self, weight: u64) -> VertexId {
-        let id = VertexId::from_index(self.names.len());
+        let id = VertexId::from_index(self.num_vertices);
         self.weights.push(weight);
         self.weights
             .extend(std::iter::repeat_n(0, self.num_resources - 1));
-        self.names.push(None);
+        self.num_vertices += 1;
         id
     }
 
@@ -101,24 +135,45 @@ impl HypergraphBuilder {
     pub fn add_vertex_multi(&mut self, weights: &[u64]) -> Result<VertexId, BuildError> {
         if weights.len() != self.num_resources {
             return Err(BuildError::ResourceArity {
-                vertex: VertexId::from_index(self.names.len()),
+                vertex: VertexId::from_index(self.num_vertices),
                 expected: self.num_resources,
                 found: weights.len(),
             });
         }
-        let id = VertexId::from_index(self.names.len());
+        let id = VertexId::from_index(self.num_vertices);
         self.weights.extend_from_slice(weights);
-        self.names.push(None);
+        self.num_vertices += 1;
         Ok(id)
     }
 
+    /// Overwrites the primary (resource-0) weight of an existing vertex.
+    ///
+    /// The file formats list weights *after* connectivity (`.hgr` fmt
+    /// 10/11, `.are` companions), so streaming parsers create unit-weight
+    /// vertices first and patch them here instead of buffering the whole
+    /// file or rebuilding the graph.
+    ///
+    /// # Panics
+    /// Panics if `vertex` has not been added.
+    pub fn set_vertex_weight(&mut self, vertex: VertexId, weight: u64) {
+        assert!(
+            vertex.index() < self.num_vertices,
+            "set_vertex_weight on unknown vertex {vertex}"
+        );
+        self.weights[vertex.index() * self.num_resources] = weight;
+    }
+
     /// Attaches a human-readable name to a vertex (used by the file formats).
+    /// Naming the same vertex again replaces the earlier name.
     ///
     /// # Panics
     /// Panics if `vertex` has not been added.
     pub fn set_vertex_name(&mut self, vertex: VertexId, name: impl Into<String>) {
-        self.names[vertex.index()] = Some(name.into());
-        self.any_named = true;
+        assert!(
+            vertex.index() < self.num_vertices,
+            "set_vertex_name on unknown vertex {vertex}"
+        );
+        self.names.push((vertex, name.into()));
     }
 
     /// Adds a net with the given weight and pins.
@@ -131,6 +186,8 @@ impl HypergraphBuilder {
     /// * [`BuildError::UnknownVertex`] if a pin references a vertex that was
     ///   never added.
     /// * [`BuildError::DuplicatePin`] if the same vertex appears twice.
+    /// * [`BuildError::ArenaOverflow`] if the pin arena would exceed
+    ///   `u32::MAX` entries.
     pub fn add_net<I>(&mut self, weight: u64, pins: I) -> Result<NetId, BuildError>
     where
         I: IntoIterator<Item = VertexId>,
@@ -138,11 +195,11 @@ impl HypergraphBuilder {
         let net = NetId::from_index(self.net_weights.len());
         let start = self.net_pins.len();
         for pin in pins {
-            if pin.index() >= self.names.len() {
+            if pin.index() >= self.num_vertices {
                 self.net_pins.truncate(start);
                 return Err(BuildError::UnknownVertex {
                     vertex: pin,
-                    num_vertices: self.names.len(),
+                    num_vertices: self.num_vertices,
                 });
             }
             if self.net_pins[start..].contains(&pin) {
@@ -154,9 +211,7 @@ impl HypergraphBuilder {
         if self.net_pins.len() == start {
             return Err(BuildError::EmptyNet { net });
         }
-        self.net_weights.push(weight);
-        self.net_offsets.push(self.net_pins.len());
-        Ok(net)
+        self.finish_net(weight, start, net)
     }
 
     /// Like [`HypergraphBuilder::add_net`] but silently drops duplicate pins
@@ -164,8 +219,8 @@ impl HypergraphBuilder {
     /// cell may legitimately connect to the same signal through several pins.
     ///
     /// # Errors
-    /// Returns [`BuildError::EmptyNet`] / [`BuildError::UnknownVertex`] as
-    /// [`HypergraphBuilder::add_net`] does.
+    /// Returns [`BuildError::EmptyNet`] / [`BuildError::UnknownVertex`] /
+    /// [`BuildError::ArenaOverflow`] as [`HypergraphBuilder::add_net`] does.
     pub fn add_net_dedup<I>(&mut self, weight: u64, pins: I) -> Result<NetId, BuildError>
     where
         I: IntoIterator<Item = VertexId>,
@@ -173,11 +228,11 @@ impl HypergraphBuilder {
         let net = NetId::from_index(self.net_weights.len());
         let start = self.net_pins.len();
         for pin in pins {
-            if pin.index() >= self.names.len() {
+            if pin.index() >= self.num_vertices {
                 self.net_pins.truncate(start);
                 return Err(BuildError::UnknownVertex {
                     vertex: pin,
-                    num_vertices: self.names.len(),
+                    num_vertices: self.num_vertices,
                 });
             }
             if !self.net_pins[start..].contains(&pin) {
@@ -187,27 +242,68 @@ impl HypergraphBuilder {
         if self.net_pins.len() == start {
             return Err(BuildError::EmptyNet { net });
         }
+        self.finish_net(weight, start, net)
+    }
+
+    /// Commits a net whose pins `[start..]` are already staged, enforcing
+    /// the `u32` offset bound of the CSR layout.
+    fn finish_net(&mut self, weight: u64, start: usize, net: NetId) -> Result<NetId, BuildError> {
+        let end = self.net_pins.len();
+        if end > u32::MAX as usize {
+            self.net_pins.truncate(start);
+            return Err(BuildError::ArenaOverflow {
+                arena: "pins",
+                requested: end as u64,
+            });
+        }
         self.net_weights.push(weight);
-        self.net_offsets.push(self.net_pins.len());
+        self.net_offsets.push(end as u32);
         Ok(net)
     }
 
     /// Finalizes the builder into an immutable [`Hypergraph`].
     ///
     /// # Errors
-    /// Currently infallible for inputs accepted by the `add_*` methods, but
-    /// returns `Result` to keep room for cross-net validation.
+    /// Returns [`BuildError::ArenaOverflow`] if the packed name arena would
+    /// exceed the `u32` offset range; otherwise infallible for inputs
+    /// accepted by the `add_*` methods.
     pub fn build(self) -> Result<Hypergraph, BuildError> {
-        let names = if self.any_named {
-            Some(
-                self.names
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, n)| n.unwrap_or_else(|| format!("v{i}")))
-                    .collect(),
-            )
-        } else {
+        let names = if self.names.is_empty() {
             None
+        } else {
+            // Pack the sparse log densely: stable sort keeps later writes
+            // to the same vertex after earlier ones, so consuming every
+            // matching entry leaves the last write in effect.
+            let mut log = self.names;
+            log.sort_by_key(|(v, _)| v.index());
+            let mut table = NameTable::new();
+            let mut it = log.iter().peekable();
+            let mut scratch = String::new();
+            for i in 0..self.num_vertices {
+                let mut name: Option<&str> = None;
+                while let Some((v, n)) = it.peek() {
+                    if v.index() != i {
+                        break;
+                    }
+                    name = Some(n.as_str());
+                    it.next();
+                }
+                let packed = match name {
+                    Some(n) => table.push(n),
+                    None => {
+                        scratch.clear();
+                        write!(scratch, "v{i}").expect("write to String");
+                        table.push(&scratch)
+                    }
+                };
+                if !packed {
+                    return Err(BuildError::ArenaOverflow {
+                        arena: "names",
+                        requested: u32::MAX as u64 + 1,
+                    });
+                }
+            }
+            Some(table)
         };
         Ok(Hypergraph::from_parts(
             self.num_resources,
@@ -307,6 +403,16 @@ mod tests {
     }
 
     #[test]
+    fn renaming_a_vertex_takes_the_last_write() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        b.set_vertex_name(v0, "first");
+        b.set_vertex_name(v0, "second");
+        let hg = b.build().unwrap();
+        assert_eq!(hg.vertex_name(v0), Some("second"));
+    }
+
+    #[test]
     fn names_absent_when_never_set() {
         let mut b = HypergraphBuilder::new();
         let v0 = b.add_vertex(1);
@@ -318,5 +424,26 @@ mod tests {
     #[should_panic(expected = "at least one resource")]
     fn zero_resources_rejected() {
         let _ = HypergraphBuilder::with_resources(0);
+    }
+
+    #[test]
+    fn with_capacity_and_resources_keeps_resource_arity() {
+        // Regression: `with_capacity` used to call `Self::new()`, silently
+        // resetting `num_resources` to 1 and under-reserving weights.
+        let mut b = HypergraphBuilder::with_capacity_and_resources(4, 2, 8, 3);
+        assert!(b.weights.capacity() >= 12, "weights reserve V * R slots");
+        let v = b.add_vertex_multi(&[1, 2, 3]).unwrap();
+        let hg = b.build().unwrap();
+        assert_eq!(hg.num_resources(), 3);
+        assert_eq!(hg.vertex_weights(v), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn with_capacity_is_single_resource() {
+        let mut b = HypergraphBuilder::with_capacity(2, 1, 2);
+        let v = b.add_vertex(7);
+        let hg = b.build().unwrap();
+        assert_eq!(hg.num_resources(), 1);
+        assert_eq!(hg.vertex_weight(v), 7);
     }
 }

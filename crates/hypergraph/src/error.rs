@@ -38,6 +38,14 @@ pub enum BuildError {
         /// Observed number of resources.
         found: usize,
     },
+    /// A CSR arena outgrew the `u32` offset range the compact layout uses
+    /// (at most `u32::MAX` pins, or 4 GiB of name bytes, per graph).
+    ArenaOverflow {
+        /// Which arena overflowed: `"pins"` or `"names"`.
+        arena: &'static str,
+        /// The arena length that was requested.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -61,6 +69,10 @@ impl fmt::Display for BuildError {
             } => write!(
                 f,
                 "vertex {vertex} supplies {found} resource weights, expected {expected}"
+            ),
+            BuildError::ArenaOverflow { arena, requested } => write!(
+                f,
+                "{arena} arena needs {requested} bytes-or-entries, exceeding the u32 offset range"
             ),
         }
     }

@@ -2,11 +2,57 @@
 
 use crate::{NetId, VertexId};
 
+/// Side-table arena for optional vertex names.
+///
+/// Instead of one heap `String` per vertex (24 bytes of header plus an
+/// allocation each, even for graphs that are never named), all names live
+/// concatenated in a single byte arena indexed by `u32` offsets — the same
+/// CSR discipline as the pin arrays. Lookup is two offset reads and a
+/// slice, and the whole table costs `4·(V+1)` bytes plus the name bytes
+/// themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct NameTable {
+    bytes: String,
+    /// `num_vertices + 1` offsets into `bytes`.
+    offsets: Vec<u32>,
+}
+
+impl NameTable {
+    /// An empty arena (zero names packed).
+    pub(crate) fn new() -> Self {
+        NameTable {
+            bytes: String::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Appends the next vertex's name. Returns `false` without modifying
+    /// the arena if the concatenated names would overflow the `u32` offset
+    /// range (>4 GiB of name bytes).
+    pub(crate) fn push(&mut self, name: &str) -> bool {
+        let end = self.bytes.len() + name.len();
+        if end > u32::MAX as usize {
+            return false;
+        }
+        self.bytes.push_str(name);
+        self.offsets.push(end as u32);
+        true
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, index: usize) -> &str {
+        &self.bytes[self.offsets[index] as usize..self.offsets[index + 1] as usize]
+    }
+}
+
 /// An immutable hypergraph with weighted vertices and weighted nets.
 ///
 /// Pin membership is stored twice in compressed sparse row (CSR) form:
 /// net → pins and vertex → incident nets, so both directions are O(degree)
-/// with no per-element allocation. Construct one with
+/// with no per-element allocation. Offsets are `u32` — 12 bytes per pin
+/// across both directions — which bounds any single graph to `u32::MAX`
+/// pins; [`crate::HypergraphBuilder`] reports overflow as a structured
+/// error rather than truncating. Construct one with
 /// [`crate::HypergraphBuilder`].
 ///
 /// Vertex weights support multiple *resource types* (Section IV of the
@@ -36,11 +82,11 @@ pub struct Hypergraph {
     weights: Vec<u64>,
     /// Per-resource totals.
     total_weights: Vec<u64>,
-    names: Option<Vec<String>>,
+    names: Option<NameTable>,
     net_weights: Vec<u64>,
-    net_offsets: Vec<usize>,
+    net_offsets: Vec<u32>,
     net_pins: Vec<VertexId>,
-    vertex_offsets: Vec<usize>,
+    vertex_offsets: Vec<u32>,
     vertex_nets: Vec<NetId>,
 }
 
@@ -48,38 +94,46 @@ impl Hypergraph {
     pub(crate) fn from_parts(
         num_resources: usize,
         weights: Vec<u64>,
-        names: Option<Vec<String>>,
+        names: Option<NameTable>,
         net_weights: Vec<u64>,
-        net_offsets: Vec<usize>,
+        net_offsets: Vec<u32>,
         net_pins: Vec<VertexId>,
     ) -> Self {
         debug_assert_eq!(weights.len() % num_resources, 0);
         let num_vertices = weights.len() / num_resources;
         debug_assert_eq!(net_offsets.len(), net_weights.len() + 1);
+        debug_assert!(net_pins.len() <= u32::MAX as usize);
 
         let mut total_weights = vec![0u64; num_resources];
         for (i, w) in weights.iter().enumerate() {
             total_weights[i % num_resources] += w;
         }
 
-        // Build the vertex -> nets CSR by counting then bucketing.
-        let mut degree = vec![0usize; num_vertices];
+        // Build the vertex -> nets CSR by counting then bucketing. The
+        // degree array doubles as the per-vertex write cursor afterwards,
+        // so no second offsets copy is ever allocated.
+        let mut degree = vec![0u32; num_vertices];
         for pin in &net_pins {
             degree[pin.index()] += 1;
         }
         let mut vertex_offsets = Vec::with_capacity(num_vertices + 1);
-        vertex_offsets.push(0usize);
-        for d in &degree {
-            let last = *vertex_offsets.last().expect("non-empty offsets");
-            vertex_offsets.push(last + d);
+        let mut acc = 0u32;
+        vertex_offsets.push(acc);
+        for d in degree.iter_mut() {
+            acc += *d;
+            vertex_offsets.push(acc);
+            *d = 0;
         }
-        let mut cursor = vertex_offsets.clone();
         let mut vertex_nets = vec![NetId(0); net_pins.len()];
         for net_idx in 0..net_weights.len() {
-            let (start, end) = (net_offsets[net_idx], net_offsets[net_idx + 1]);
+            let (start, end) = (
+                net_offsets[net_idx] as usize,
+                net_offsets[net_idx + 1] as usize,
+            );
             for pin in &net_pins[start..end] {
-                vertex_nets[cursor[pin.index()]] = NetId::from_index(net_idx);
-                cursor[pin.index()] += 1;
+                let p = pin.index();
+                vertex_nets[(vertex_offsets[p] + degree[p]) as usize] = NetId::from_index(net_idx);
+                degree[p] += 1;
             }
         }
 
@@ -166,7 +220,8 @@ impl Hypergraph {
     /// Panics if `net` is out of range.
     #[inline]
     pub fn net_pins(&self, net: NetId) -> &[VertexId] {
-        &self.net_pins[self.net_offsets[net.index()]..self.net_offsets[net.index() + 1]]
+        &self.net_pins
+            [self.net_offsets[net.index()] as usize..self.net_offsets[net.index() + 1] as usize]
     }
 
     /// Number of pins on a net.
@@ -175,7 +230,7 @@ impl Hypergraph {
     /// Panics if `net` is out of range.
     #[inline]
     pub fn net_size(&self, net: NetId) -> usize {
-        self.net_offsets[net.index() + 1] - self.net_offsets[net.index()]
+        (self.net_offsets[net.index() + 1] - self.net_offsets[net.index()]) as usize
     }
 
     /// The nets incident to a vertex.
@@ -184,8 +239,8 @@ impl Hypergraph {
     /// Panics if `vertex` is out of range.
     #[inline]
     pub fn vertex_nets(&self, vertex: VertexId) -> &[NetId] {
-        &self.vertex_nets
-            [self.vertex_offsets[vertex.index()]..self.vertex_offsets[vertex.index() + 1]]
+        &self.vertex_nets[self.vertex_offsets[vertex.index()] as usize
+            ..self.vertex_offsets[vertex.index() + 1] as usize]
     }
 
     /// Degree (number of incident nets) of a vertex.
@@ -194,12 +249,12 @@ impl Hypergraph {
     /// Panics if `vertex` is out of range.
     #[inline]
     pub fn vertex_degree(&self, vertex: VertexId) -> usize {
-        self.vertex_offsets[vertex.index() + 1] - self.vertex_offsets[vertex.index()]
+        (self.vertex_offsets[vertex.index() + 1] - self.vertex_offsets[vertex.index()]) as usize
     }
 
     /// Optional human-readable vertex name (set via the builder or a parser).
     pub fn vertex_name(&self, vertex: VertexId) -> Option<&str> {
-        self.names.as_ref().map(|n| n[vertex.index()].as_str())
+        self.names.as_ref().map(|t| t.get(vertex.index()))
     }
 
     /// Iterator over all vertex ids.
@@ -242,6 +297,23 @@ impl Hypergraph {
             .max()
             .unwrap_or(0);
         100.0 * max as f64 / self.total_weight() as f64
+    }
+
+    /// Resident bytes of the CSR arenas (pins, offsets, weights, names) —
+    /// the capacity-planning observable documented in
+    /// `docs/ARCHITECTURE.md`. Excludes allocator overhead.
+    pub fn arena_bytes(&self) -> usize {
+        self.weights.len() * 8
+            + self.total_weights.len() * 8
+            + self.net_weights.len() * 8
+            + self.net_offsets.len() * 4
+            + self.net_pins.len() * 4
+            + self.vertex_offsets.len() * 4
+            + self.vertex_nets.len() * 4
+            + self
+                .names
+                .as_ref()
+                .map_or(0, |t| t.bytes.len() + t.offsets.len() * 4)
     }
 }
 
@@ -301,5 +373,24 @@ mod tests {
         assert_eq!(hg.avg_pins_per_vertex(), 0.0);
         assert_eq!(hg.avg_pins_per_net(), 0.0);
         assert_eq!(hg.max_weight_percent(), 0.0);
+    }
+
+    #[test]
+    fn name_table_packs_and_resolves() {
+        let mut t = NameTable::new();
+        for n in ["a0", "", "pad_17"] {
+            assert!(t.push(n));
+        }
+        assert_eq!(t.get(0), "a0");
+        assert_eq!(t.get(1), "");
+        assert_eq!(t.get(2), "pad_17");
+    }
+
+    #[test]
+    fn arena_bytes_counts_pins_at_twelve_bytes() {
+        let hg = triangle();
+        // 6 pins × (4 net_pins + 4 vertex_nets) + offsets + weights.
+        assert!(hg.arena_bytes() >= 6 * 8);
+        assert_eq!(hg.arena_bytes() % 4, 0);
     }
 }

@@ -19,6 +19,18 @@ pub enum ParseError {
         /// Explanation of the problem.
         message: String,
     },
+    /// A token could not be interpreted; like [`ParseError::Malformed`]
+    /// but additionally carrying the absolute byte offset of the offending
+    /// token — in a million-line file, `head -c <offset>` beats counting
+    /// lines.
+    MalformedAt {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based absolute byte offset of the offending token.
+        byte_offset: u64,
+        /// Explanation of the problem.
+        message: String,
+    },
     /// The parsed tokens described an invalid hypergraph.
     Build(BuildError),
 }
@@ -33,6 +45,16 @@ impl ParseError {
             message: message.into(),
         }
     }
+
+    /// Builds a [`ParseError::MalformedAt`] carrying both the 1-based line
+    /// number and the absolute byte offset of the offending token.
+    pub fn malformed_at(line: usize, byte_offset: u64, message: impl Into<String>) -> Self {
+        ParseError::MalformedAt {
+            line,
+            byte_offset,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -41,6 +63,13 @@ impl fmt::Display for ParseError {
             ParseError::Io(e) => write!(f, "i/o error: {e}"),
             ParseError::Malformed { line, message } => {
                 write!(f, "line {line}: {message}")
+            }
+            ParseError::MalformedAt {
+                line,
+                byte_offset,
+                message,
+            } => {
+                write!(f, "line {line} (byte {byte_offset}): {message}")
             }
             ParseError::Build(e) => write!(f, "invalid hypergraph: {e}"),
         }
@@ -52,7 +81,7 @@ impl Error for ParseError {
         match self {
             ParseError::Io(e) => Some(e),
             ParseError::Build(e) => Some(e),
-            ParseError::Malformed { .. } => None,
+            ParseError::Malformed { .. } | ParseError::MalformedAt { .. } => None,
         }
     }
 }
@@ -77,6 +106,12 @@ mod tests {
     fn display_includes_line_number() {
         let e = ParseError::malformed(7, "bad token");
         assert_eq!(e.to_string(), "line 7: bad token");
+    }
+
+    #[test]
+    fn display_includes_byte_offset_when_known() {
+        let e = ParseError::malformed_at(7, 123, "bad token");
+        assert_eq!(e.to_string(), "line 7 (byte 123): bad token");
     }
 
     #[test]

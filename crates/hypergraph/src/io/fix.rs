@@ -7,10 +7,12 @@
 //! * `P,Q,...` — the vertex is fixed in *one of* the listed partitions
 //!   (the paper's "or" semantics for propagated terminals, Section IV).
 //!
-//! Lines starting with `%` are comments.
+//! Lines starting with `%` are comments. The reader streams through a
+//! fixed buffer — no per-line allocation.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
+use crate::io::scan::{Emitter, Scanner};
 use crate::io::ParseError;
 use crate::{FixedVertices, Fixity, PartId, PartSet};
 
@@ -31,43 +33,21 @@ use crate::{FixedVertices, Fixity, PartId, PartSet};
 /// # Ok::<(), vlsi_hypergraph::io::ParseError>(())
 /// ```
 pub fn read_fix<R: Read>(reader: R, num_vertices: usize) -> Result<FixedVertices, ParseError> {
-    let buf = BufReader::new(reader);
-    let mut fixities = Vec::with_capacity(num_vertices);
-    for (idx, line) in buf.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('%') {
-            continue;
-        }
+    let mut sc = Scanner::new(reader, b"%");
+    let mut fixities = Vec::with_capacity(num_vertices.min(1 << 22));
+    while sc.next_content_line()? {
+        sc.token()?;
         if fixities.len() == num_vertices {
-            return Err(ParseError::malformed(
-                line_no,
-                format!("more than {num_vertices} fixity entries"),
-            ));
+            return Err(sc.err_at_tok(format!("more than {num_vertices} fixity entries")));
         }
-        if trimmed == "-1" {
-            fixities.push(Fixity::Free);
-            continue;
+        let entry = parse_entry(&sc)?;
+        if sc.token()? {
+            return Err(sc.err_at_tok(format!(
+                "unexpected token `{}` after fixity entry",
+                sc.tok_lossy()
+            )));
         }
-        let mut set = PartSet::new();
-        for tok in trimmed.split(',') {
-            let p: u32 = tok.trim().parse().map_err(|_| {
-                ParseError::malformed(line_no, format!("bad partition index `{tok}`"))
-            })?;
-            if p as usize >= PartSet::MAX_PARTS {
-                return Err(ParseError::malformed(
-                    line_no,
-                    format!("partition index {p} exceeds the maximum of 63"),
-                ));
-            }
-            set.insert(PartId(p));
-        }
-        fixities.push(if set.len() == 1 {
-            Fixity::Fixed(set.iter().next().expect("non-empty set"))
-        } else {
-            Fixity::FixedAny(set)
-        });
+        fixities.push(entry);
     }
     if fixities.len() != num_vertices {
         return Err(ParseError::malformed(
@@ -81,22 +61,72 @@ pub fn read_fix<R: Read>(reader: R, num_vertices: usize) -> Result<FixedVertices
     Ok(FixedVertices::from_fixities(fixities))
 }
 
+/// Interprets the scanner's current token as one fixity entry.
+fn parse_entry<R: Read>(sc: &Scanner<R>) -> Result<Fixity, ParseError> {
+    let tok = sc.tok();
+    if tok == b"-1" {
+        return Ok(Fixity::Free);
+    }
+    let mut set = PartSet::new();
+    for seg in tok.split(|&b| b == b',') {
+        let mut p: u32 = 0;
+        if seg.is_empty() {
+            return Err(sc.err_at_tok("bad partition index ``".to_string()));
+        }
+        for &b in seg {
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                _ => {
+                    return Err(sc.err_at_tok(format!(
+                        "bad partition index `{}`",
+                        String::from_utf8_lossy(seg)
+                    )))
+                }
+            };
+            p = p
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(digit))
+                .ok_or_else(|| {
+                    sc.err_at_tok(format!(
+                        "bad partition index `{}`",
+                        String::from_utf8_lossy(seg)
+                    ))
+                })?;
+        }
+        if p as usize >= PartSet::MAX_PARTS {
+            return Err(sc.err_at_tok(format!("partition index {p} exceeds the maximum of 63")));
+        }
+        set.insert(PartId(p));
+    }
+    Ok(if set.len() == 1 {
+        Fixity::Fixed(set.iter().next().expect("non-empty set"))
+    } else {
+        Fixity::FixedAny(set)
+    })
+}
+
 /// Writes a `.fix` file.
 ///
 /// # Errors
 /// Propagates I/O errors from `writer`.
-pub fn write_fix<W: Write>(mut writer: W, fixed: &FixedVertices) -> std::io::Result<()> {
+pub fn write_fix<W: Write>(writer: W, fixed: &FixedVertices) -> std::io::Result<()> {
+    let mut e = Emitter::new(writer);
     for fixity in fixed.as_slice() {
         match fixity {
-            Fixity::Free => writeln!(writer, "-1")?,
-            Fixity::Fixed(p) => writeln!(writer, "{}", p.0)?,
+            Fixity::Free => e.str("-1")?,
+            Fixity::Fixed(p) => e.int(u64::from(p.0))?,
             Fixity::FixedAny(set) => {
-                let parts: Vec<String> = set.iter().map(|p| p.0.to_string()).collect();
-                writeln!(writer, "{}", parts.join(","))?;
+                for (i, p) in set.iter().enumerate() {
+                    if i > 0 {
+                        e.byte(b',')?;
+                    }
+                    e.int(u64::from(p.0))?;
+                }
             }
         }
+        e.byte(b'\n')?;
     }
-    Ok(())
+    e.finish()
 }
 
 #[cfg(test)]
@@ -141,5 +171,10 @@ mod tests {
     #[test]
     fn garbage_rejected() {
         assert!(read_fix("zero\n".as_bytes(), 1).is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(read_fix("0 2\n".as_bytes(), 1).is_err());
     }
 }

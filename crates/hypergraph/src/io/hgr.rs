@@ -5,18 +5,30 @@
 //! (vertex weights) or `11` (both). Then one line per net: optional weight
 //! followed by 1-based vertex indices; finally, with vertex weights, one
 //! weight per line. Lines starting with `%` are comments.
+//!
+//! The reader streams: bytes flow through a fixed buffer straight into the
+//! [`HypergraphBuilder`], so memory is bounded by the graph being built,
+//! never by the file (no per-line `String`s, no vector of lines).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
+use crate::io::scan::{Emitter, Scanner};
 use crate::io::ParseError;
 use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Largest element count we pre-reserve from a header before any data has
+/// been seen — a malformed header must not allocate unbounded memory.
+const MAX_HEADER_RESERVE: usize = 1 << 22;
 
 /// Reads an hMetis-format hypergraph.
 ///
 /// # Errors
 /// Returns [`ParseError`] on I/O failure, malformed tokens, out-of-range
-/// vertex indices, or empty nets. Duplicate pins within a net are tolerated
-/// (deduplicated), matching hMetis behaviour.
+/// vertex indices, empty nets, or counts beyond the `u32` id range (the
+/// compact CSR layout stores ids and offsets in 32 bits). Token-level
+/// errors carry the absolute byte offset as well as the line number.
+/// Duplicate pins within a net are tolerated (deduplicated), matching
+/// hMetis behaviour.
 ///
 /// # Example
 /// ```
@@ -29,127 +41,119 @@ use crate::{Hypergraph, HypergraphBuilder, VertexId};
 /// # Ok::<(), vlsi_hypergraph::io::ParseError>(())
 /// ```
 pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseError> {
-    let buf = BufReader::new(reader);
-    let mut lines = Vec::new();
-    for (idx, line) in buf.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('%') {
-            continue;
-        }
-        lines.push((idx + 1, trimmed.to_string()));
+    let mut sc = Scanner::new(reader, b"%");
+    if !sc.next_content_line()? {
+        return Err(ParseError::malformed(1, "missing header line"));
     }
-    let mut it = lines.into_iter();
-    let (hdr_line, header) = it
-        .next()
-        .ok_or_else(|| ParseError::malformed(1, "missing header line"))?;
-    let mut hdr = header.split_whitespace();
-    let num_nets: usize = parse_tok(hdr.next(), hdr_line, "net count")?;
-    let num_vertices: usize = parse_tok(hdr.next(), hdr_line, "vertex count")?;
-    let fmt: u32 = match hdr.next() {
-        Some(tok) => tok
-            .parse()
-            .map_err(|_| ParseError::malformed(hdr_line, format!("bad fmt field `{tok}`")))?,
-        None => 0,
-    };
-    let (net_weights, vertex_weights) = match fmt {
-        0 => (false, false),
-        1 => (true, false),
-        10 => (false, true),
-        11 => (true, true),
-        other => {
-            return Err(ParseError::malformed(
-                hdr_line,
-                format!("unsupported fmt `{other}` (expected 0, 1, 10 or 11)"),
-            ))
+    let num_nets = sc.expect_usize("net count")?;
+    if num_nets > u32::MAX as usize {
+        return Err(sc.err_at_tok(format!("net count {num_nets} exceeds the u32 id range")));
+    }
+    let num_vertices = sc.expect_usize("vertex count")?;
+    if num_vertices > u32::MAX as usize {
+        return Err(sc.err_at_tok(format!(
+            "vertex count {num_vertices} exceeds the u32 id range"
+        )));
+    }
+    let (net_weights, vertex_weights) = if sc.token()? {
+        match sc.parse_u64("fmt field")? {
+            0 => (false, false),
+            1 => (true, false),
+            10 => (false, true),
+            11 => (true, true),
+            other => {
+                return Err(sc.err_at_tok(format!(
+                    "unsupported fmt `{other}` (expected 0, 1, 10 or 11)"
+                )))
+            }
         }
+    } else {
+        (false, false)
     };
+    sc.skip_rest_of_line()?;
 
-    let mut builder = HypergraphBuilder::new();
-    // Vertex weights come *after* the nets, so create unit vertices now and
-    // patch weights by rebuilding if needed.
-    let mut weights = vec![1u64; num_vertices];
-    let mut nets: Vec<(u64, Vec<VertexId>)> = Vec::with_capacity(num_nets);
+    let mut builder = HypergraphBuilder::with_capacity(
+        num_vertices.min(MAX_HEADER_RESERVE),
+        num_nets.min(MAX_HEADER_RESERVE),
+        0,
+    );
+    // Vertex weights come *after* the nets; create unit vertices now and
+    // patch each weight as its line streams past.
+    for _ in 0..num_vertices {
+        builder.add_vertex(1);
+    }
 
+    let mut pins: Vec<VertexId> = Vec::new();
     for _ in 0..num_nets {
-        let (line_no, line) = it
-            .next()
-            .ok_or_else(|| ParseError::malformed(hdr_line, "fewer net lines than declared"))?;
-        let mut toks = line.split_whitespace();
+        if !sc.next_content_line()? {
+            return Err(ParseError::malformed(
+                sc.line(),
+                "fewer net lines than declared",
+            ));
+        }
         let weight: u64 = if net_weights {
-            parse_tok(toks.next(), line_no, "net weight")?
+            sc.expect_u64("net weight")?
         } else {
             1
         };
-        let mut pins = Vec::new();
-        for tok in toks {
-            let idx: usize = tok
-                .parse()
-                .map_err(|_| ParseError::malformed(line_no, format!("bad vertex index `{tok}`")))?;
-            if idx == 0 || idx > num_vertices {
-                return Err(ParseError::malformed(
-                    line_no,
-                    format!("vertex index {idx} out of range 1..={num_vertices}"),
-                ));
+        pins.clear();
+        while sc.token()? {
+            let idx = sc.parse_u64("vertex index")?;
+            if idx == 0 || idx > num_vertices as u64 {
+                return Err(sc.err_at_tok(format!(
+                    "vertex index {idx} out of range 1..={num_vertices}"
+                )));
             }
-            pins.push(VertexId::from_index(idx - 1));
+            pins.push(VertexId::from_index(idx as usize - 1));
         }
         if pins.is_empty() {
-            return Err(ParseError::malformed(line_no, "net with no pins"));
+            return Err(ParseError::malformed(sc.line(), "net with no pins"));
         }
-        nets.push((weight, pins));
+        builder.add_net_dedup(weight, pins.iter().copied())?;
     }
 
     if vertex_weights {
-        for w in weights.iter_mut() {
-            let (line_no, line) = it.next().ok_or_else(|| {
-                ParseError::malformed(hdr_line, "fewer vertex-weight lines than declared")
-            })?;
-            *w = line
-                .split_whitespace()
-                .next()
-                .ok_or_else(|| ParseError::malformed(line_no, "empty vertex weight line"))?
-                .parse()
-                .map_err(|_| ParseError::malformed(line_no, "bad vertex weight"))?;
+        for i in 0..num_vertices {
+            if !sc.next_content_line()? {
+                return Err(ParseError::malformed(
+                    sc.line(),
+                    "fewer vertex-weight lines than declared",
+                ));
+            }
+            let w = sc.expect_u64("vertex weight")?;
+            sc.skip_rest_of_line()?;
+            builder.set_vertex_weight(VertexId::from_index(i), w);
         }
-    }
-
-    for &w in &weights {
-        builder.add_vertex(w);
-    }
-    for (w, pins) in nets {
-        builder.add_net_dedup(w, pins)?;
     }
     Ok(builder.build()?)
 }
 
 /// Writes a hypergraph in hMetis format (fmt 11: both weight kinds).
 ///
+/// Output is buffered and integers are formatted without allocation, so a
+/// million-net graph streams out in large writes.
+///
 /// # Errors
 /// Propagates I/O errors from `writer`.
-pub fn write_hgr<W: Write>(mut writer: W, hg: &Hypergraph) -> std::io::Result<()> {
-    writeln!(writer, "{} {} 11", hg.num_nets(), hg.num_vertices())?;
+pub fn write_hgr<W: Write>(writer: W, hg: &Hypergraph) -> std::io::Result<()> {
+    let mut e = Emitter::new(writer);
+    e.int(hg.num_nets() as u64)?;
+    e.byte(b' ')?;
+    e.int(hg.num_vertices() as u64)?;
+    e.str(" 11\n")?;
     for n in hg.nets() {
-        write!(writer, "{}", hg.net_weight(n))?;
+        e.int(hg.net_weight(n))?;
         for p in hg.net_pins(n) {
-            write!(writer, " {}", p.index() + 1)?;
+            e.byte(b' ')?;
+            e.int(p.index() as u64 + 1)?;
         }
-        writeln!(writer)?;
+        e.byte(b'\n')?;
     }
     for v in hg.vertices() {
-        writeln!(writer, "{}", hg.vertex_weight(v))?;
+        e.int(hg.vertex_weight(v))?;
+        e.byte(b'\n')?;
     }
-    Ok(())
-}
-
-fn parse_tok<T: std::str::FromStr>(
-    tok: Option<&str>,
-    line: usize,
-    what: &str,
-) -> Result<T, ParseError> {
-    let tok = tok.ok_or_else(|| ParseError::malformed(line, format!("missing {what}")))?;
-    tok.parse()
-        .map_err(|_| ParseError::malformed(line, format!("bad {what} `{tok}`")))
+    e.finish()
 }
 
 #[cfg(test)]
@@ -221,5 +225,38 @@ mod tests {
         let text = "1 2\n1 2 1\n";
         let hg = read_hgr(text.as_bytes()).unwrap();
         assert_eq!(hg.net_size(NetId(0)), 2);
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        // The bad index `9` sits at byte 6 of "1 2\n1 9\n".
+        let err = read_hgr("1 2\n1 9\n".as_bytes()).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "line 2 (byte 6): vertex index 9 out of range 1..=2"
+        );
+    }
+
+    #[test]
+    fn counts_beyond_u32_are_structured_errors() {
+        let text = "1 5000000000\n1 2\n";
+        let err = read_hgr(text.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the u32 id range"),
+            "{err}"
+        );
+        let text = "5000000000 1\n";
+        let err = read_hgr(text.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the u32 id range"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_tokens_after_fmt_ignored() {
+        let text = "1 2 1 extra stuff\n4 1 2\n";
+        let hg = read_hgr(text.as_bytes()).unwrap();
+        assert_eq!(hg.net_weight(NetId(0)), 4);
     }
 }

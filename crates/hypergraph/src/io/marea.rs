@@ -5,10 +5,12 @@
 //!
 //! Format: one line per vertex, in vertex order, holding `k ≥ 1`
 //! whitespace-separated non-negative integers (the same `k` on every
-//! line). Lines starting with `%` or `#` are comments.
+//! line). Lines starting with `%` or `#` are comments. The reader streams
+//! tokens straight into the flat weight matrix.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
+use crate::io::scan::{Emitter, Scanner};
 use crate::io::ParseError;
 use crate::{Hypergraph, HypergraphBuilder};
 
@@ -31,28 +33,23 @@ pub fn read_multi_are<R: Read>(
     reader: R,
     num_vertices: usize,
 ) -> Result<(usize, Vec<u64>), ParseError> {
-    let buf = BufReader::new(reader);
+    let mut sc = Scanner::new(reader, b"%#");
     let mut num_resources = 0usize;
     let mut weights: Vec<u64> = Vec::new();
     let mut rows = 0usize;
-    for (idx, line) in buf.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
-            continue;
+    while sc.next_content_line()? {
+        let line_no = sc.line();
+        let mut cols = 0usize;
+        while sc.token()? {
+            weights.push(sc.parse_u64("area value")?);
+            cols += 1;
         }
-        let row: Result<Vec<u64>, _> = trimmed.split_whitespace().map(str::parse).collect();
-        let row = row.map_err(|_| ParseError::malformed(line_no, "bad area value"))?;
         if rows == 0 {
-            num_resources = row.len();
-            if num_resources == 0 {
-                return Err(ParseError::malformed(line_no, "empty area line"));
-            }
-        } else if row.len() != num_resources {
+            num_resources = cols;
+        } else if cols != num_resources {
             return Err(ParseError::malformed(
                 line_no,
-                format!("line has {} areas, expected {num_resources}", row.len()),
+                format!("line has {cols} areas, expected {num_resources}"),
             ));
         }
         if rows == num_vertices {
@@ -61,7 +58,6 @@ pub fn read_multi_are<R: Read>(
                 format!("more than {num_vertices} area lines"),
             ));
         }
-        weights.extend(row);
         rows += 1;
     }
     if rows != num_vertices {
@@ -77,12 +73,18 @@ pub fn read_multi_are<R: Read>(
 ///
 /// # Errors
 /// Propagates I/O errors.
-pub fn write_multi_are<W: Write>(mut writer: W, hg: &Hypergraph) -> std::io::Result<()> {
+pub fn write_multi_are<W: Write>(writer: W, hg: &Hypergraph) -> std::io::Result<()> {
+    let mut e = Emitter::new(writer);
     for v in hg.vertices() {
-        let row: Vec<String> = hg.vertex_weights(v).iter().map(u64::to_string).collect();
-        writeln!(writer, "{}", row.join(" "))?;
+        for (i, w) in hg.vertex_weights(v).iter().enumerate() {
+            if i > 0 {
+                e.byte(b' ')?;
+            }
+            e.int(*w)?;
+        }
+        e.byte(b'\n')?;
     }
-    Ok(())
+    e.finish()
 }
 
 /// Rebuilds `hg` with the multi-resource weights from a multi-area file —
@@ -106,7 +108,12 @@ pub fn apply_multi_areas(
             ),
         ));
     }
-    let mut b = HypergraphBuilder::with_resources(num_resources);
+    let mut b = HypergraphBuilder::with_capacity_and_resources(
+        hg.num_vertices(),
+        hg.num_nets(),
+        hg.num_pins(),
+        num_resources,
+    );
     for v in hg.vertices() {
         let s = v.index() * num_resources;
         b.add_vertex_multi(&weights[s..s + num_resources])?;

@@ -21,6 +21,7 @@ mod fix;
 mod hgr;
 mod marea;
 mod netare;
+mod scan;
 
 pub use error::ParseError;
 pub use fix::{read_fix, write_fix};

@@ -17,11 +17,20 @@
 //! index `pad_offset + K - 1`. The companion `.are` file lists
 //! `<module> <area>` pairs (and, in the paper's proposed *multi-area*
 //! extension, several areas per line).
+//!
+//! Both readers stream: pins flow straight into the builder net-by-net and
+//! `.are` areas patch vertex weights in place, so there is no intermediate
+//! net list and no second build pass.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
+use crate::io::scan::{Emitter, Scanner};
 use crate::io::ParseError;
 use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Largest element count pre-reserved from a header before any data has
+/// been seen.
+const MAX_HEADER_RESERVE: usize = 1 << 22;
 
 /// A parsed `.netD` instance: the hypergraph plus the cell/pad distinction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,23 +54,41 @@ impl NetD {
     }
 }
 
-fn module_index(token: &str, pad_offset: usize, line: usize) -> Result<usize, ParseError> {
-    let (kind, rest) = token.split_at(1);
-    let idx: usize = rest
-        .parse()
-        .map_err(|_| ParseError::malformed(line, format!("bad module name `{token}`")))?;
+/// Resolves the scanner's current token (`aK` or `pK`) to a vertex index.
+fn module_index<R: Read>(sc: &Scanner<R>, pad_offset: usize) -> Result<usize, ParseError> {
+    let tok = sc.tok();
+    let (kind, digits) = match tok.split_first() {
+        Some((k, rest)) => (*k, rest),
+        None => return Err(sc.err_at_tok("missing module name")),
+    };
+    let mut idx = 0usize;
+    let mut any = false;
+    for &b in digits {
+        let d = match b {
+            b'0'..=b'9' => (b - b'0') as usize,
+            _ => return Err(sc.err_at_tok(format!("bad module name `{}`", sc.tok_lossy()))),
+        };
+        idx = idx
+            .checked_mul(10)
+            .and_then(|v| v.checked_add(d))
+            .ok_or_else(|| sc.err_at_tok(format!("bad module name `{}`", sc.tok_lossy())))?;
+        any = true;
+    }
+    if !any {
+        return Err(sc.err_at_tok(format!("bad module name `{}`", sc.tok_lossy())));
+    }
     match kind {
-        "a" => Ok(idx),
-        "p" => {
+        b'a' => Ok(idx),
+        b'p' => {
             if idx == 0 {
-                return Err(ParseError::malformed(line, "pads are numbered from p1"));
+                return Err(sc.err_at_tok("pads are numbered from p1"));
             }
             Ok(pad_offset + idx - 1)
         }
-        _ => Err(ParseError::malformed(
-            line,
-            format!("module `{token}` must start with `a` or `p`"),
-        )),
+        _ => Err(sc.err_at_tok(format!(
+            "module `{}` must start with `a` or `p`",
+            sc.tok_lossy()
+        ))),
     }
 }
 
@@ -87,93 +114,102 @@ fn module_index(token: &str, pad_offset: usize, line: usize) -> Result<usize, Pa
 /// # Ok::<(), vlsi_hypergraph::io::ParseError>(())
 /// ```
 pub fn read_netd<R: Read, A: Read>(netd: R, are: Option<A>) -> Result<NetD, ParseError> {
-    let buf = BufReader::new(netd);
-    let mut lines = buf.lines().enumerate();
+    let mut sc = Scanner::new(netd, b"#");
 
     let mut header = [0usize; 5];
     for slot in header.iter_mut() {
-        let (idx, line) = lines
-            .next()
-            .ok_or_else(|| ParseError::malformed(0, "truncated header"))?;
-        let line = line?;
-        *slot = line.trim().parse().map_err(|_| {
-            ParseError::malformed(idx + 1, format!("bad header value `{}`", line.trim()))
-        })?;
+        if !sc.next_content_line()? {
+            return Err(ParseError::malformed(0, "truncated header"));
+        }
+        *slot = sc.expect_usize("header value")?;
+        sc.skip_rest_of_line()?;
     }
     let [_, num_pins, num_nets, num_modules, pad_offset_raw] = header;
+    if num_modules > u32::MAX as usize || num_pins > u32::MAX as usize {
+        return Err(ParseError::malformed(
+            0,
+            format!(
+                "header declares {num_modules} modules / {num_pins} pins, \
+                 exceeding the u32 id range"
+            ),
+        ));
+    }
     // The classic files store the index of the last non-pad module here; we
     // accept either that or the count of non-pad modules (off-by-one safe
     // because pads are zero-area and named explicitly).
     let pad_offset = pad_offset_raw.min(num_modules);
 
-    let mut builder = HypergraphBuilder::with_capacity(num_modules, num_nets, num_pins);
-    let mut areas = vec![None::<u64>; num_modules];
+    let mut builder = HypergraphBuilder::with_capacity(
+        num_modules.min(MAX_HEADER_RESERVE),
+        num_nets.min(MAX_HEADER_RESERVE),
+        num_pins.min(MAX_HEADER_RESERVE),
+    );
+    let mut name = String::new();
     for i in 0..num_modules {
-        builder.add_vertex(0); // weights patched below via rebuild
-        let name = if i < pad_offset {
-            format!("a{i}")
+        // Default areas: cells 1, pads 0; an `.are` file patches these.
+        let v = builder.add_vertex(if i < pad_offset { 1 } else { 0 });
+        name.clear();
+        if i < pad_offset {
+            name.push('a');
+            name.push_str(itoa(i).as_str());
         } else {
-            format!("p{}", i - pad_offset + 1)
-        };
-        builder.set_vertex_name(VertexId::from_index(i), name);
+            name.push('p');
+            name.push_str(itoa(i - pad_offset + 1).as_str());
+        }
+        builder.set_vertex_name(v, name.as_str());
     }
 
-    let mut nets: Vec<(u64, Vec<VertexId>)> = Vec::with_capacity(num_nets);
     let mut current: Vec<VertexId> = Vec::new();
+    let mut nets_seen = 0usize;
     let mut pins_seen = 0usize;
-    for (idx, line) in lines {
-        let line_no = idx + 1;
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut toks = trimmed.split_whitespace();
-        let module = toks
-            .next()
-            .ok_or_else(|| ParseError::malformed(line_no, "missing module name"))?;
-        let marker = toks
-            .next()
-            .ok_or_else(|| ParseError::malformed(line_no, "missing s/l marker"))?;
-        let vid = module_index(module, pad_offset, line_no)?;
+    while sc.next_content_line()? {
+        sc.token()?;
+        let vid = module_index(&sc, pad_offset)?;
         if vid >= num_modules {
-            return Err(ParseError::malformed(
-                line_no,
-                format!("module `{module}` out of range ({num_modules} modules)"),
-            ));
+            return Err(sc.err_at_tok(format!(
+                "module `{}` out of range ({num_modules} modules)",
+                sc.tok_lossy()
+            )));
+        }
+        if !sc.token()? {
+            return Err(ParseError::malformed(sc.line(), "missing s/l marker"));
         }
         pins_seen += 1;
-        match marker {
-            "s" => {
+        match sc.tok() {
+            b"s" => {
                 if !current.is_empty() {
-                    nets.push((1, std::mem::take(&mut current)));
+                    builder.add_net_dedup(1, current.drain(..))?;
+                    nets_seen += 1;
                 }
                 current.push(VertexId::from_index(vid));
             }
-            "l" => {
+            b"l" => {
                 if current.is_empty() {
                     return Err(ParseError::malformed(
-                        line_no,
+                        sc.line(),
                         "continuation pin before any `s` marker",
                     ));
                 }
                 current.push(VertexId::from_index(vid));
             }
-            other => {
-                return Err(ParseError::malformed(
-                    line_no,
-                    format!("unknown pin marker `{other}` (expected `s` or `l`)"),
-                ))
+            _ => {
+                return Err(sc.err_at_tok(format!(
+                    "unknown pin marker `{}` (expected `s` or `l`)",
+                    sc.tok_lossy()
+                )))
             }
         }
+        // Any trailing direction token (I/O/B) is ignored.
+        sc.skip_rest_of_line()?;
     }
     if !current.is_empty() {
-        nets.push((1, current));
+        builder.add_net_dedup(1, current.drain(..))?;
+        nets_seen += 1;
     }
-    if nets.len() != num_nets {
+    if nets_seen != num_nets {
         return Err(ParseError::malformed(
             0,
-            format!("header declared {num_nets} nets, found {}", nets.len()),
+            format!("header declared {num_nets} nets, found {nets_seen}"),
         ));
     }
     if pins_seen != num_pins {
@@ -184,87 +220,94 @@ pub fn read_netd<R: Read, A: Read>(netd: R, are: Option<A>) -> Result<NetD, Pars
     }
 
     if let Some(are) = are {
-        let buf = BufReader::new(are);
-        for (idx, line) in buf.lines().enumerate() {
-            let line_no = idx + 1;
-            let line = line?;
-            let trimmed = line.trim();
-            if trimmed.is_empty() || trimmed.starts_with('#') {
-                continue;
+        let mut sc = Scanner::new(are, b"#");
+        while sc.next_content_line()? {
+            sc.token()?;
+            let vid = module_index(&sc, pad_offset)?;
+            let module_line = sc.tok_line();
+            if !sc.token()? {
+                return Err(ParseError::malformed(module_line, "missing area"));
             }
-            let mut toks = trimmed.split_whitespace();
-            let module = toks
-                .next()
-                .ok_or_else(|| ParseError::malformed(line_no, "missing module name"))?;
-            let area: u64 = toks
-                .next()
-                .ok_or_else(|| ParseError::malformed(line_no, "missing area"))?
-                .parse()
-                .map_err(|_| ParseError::malformed(line_no, "bad area value"))?;
-            let vid = module_index(module, pad_offset, line_no)?;
+            let area = sc.parse_u64("area value")?;
             if vid >= num_modules {
-                return Err(ParseError::malformed(
-                    line_no,
-                    format!("module `{module}` out of range"),
-                ));
+                return Err(ParseError::malformed(module_line, "module out of range"));
             }
-            areas[vid] = Some(area);
+            builder.set_vertex_weight(VertexId::from_index(vid), area);
+            sc.skip_rest_of_line()?;
         }
     }
 
-    // Rebuild with the final areas (the builder's vertices were placeholders).
-    let mut b = HypergraphBuilder::with_capacity(num_modules, num_nets, num_pins);
-    for (i, area) in areas.iter().enumerate() {
-        let default = if i < pad_offset { 1 } else { 0 };
-        let v = b.add_vertex(area.unwrap_or(default));
-        let name = if i < pad_offset {
-            format!("a{i}")
-        } else {
-            format!("p{}", i - pad_offset + 1)
-        };
-        b.set_vertex_name(v, name);
-    }
-    for (w, pins) in nets {
-        b.add_net_dedup(w, pins)?;
-    }
     Ok(NetD {
-        hypergraph: b.build()?,
+        hypergraph: builder.build()?,
         pad_offset,
     })
+}
+
+/// Stack-allocated decimal formatting for the generated module names.
+fn itoa(v: usize) -> String {
+    // Names go through the builder's name log as `String`s anyway; this
+    // keeps the hot concatenation free of `format!` machinery.
+    let mut s = String::with_capacity(20);
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    s.push_str(std::str::from_utf8(&digits[i..]).expect("ascii digits"));
+    s
 }
 
 /// Writes a [`NetD`] instance as a `.netD` file and its areas as `.are`.
 ///
 /// # Errors
 /// Propagates I/O errors.
-pub fn write_netd<W: Write, A: Write>(
-    mut netd_out: W,
-    mut are_out: A,
-    inst: &NetD,
-) -> std::io::Result<()> {
+pub fn write_netd<W: Write, A: Write>(netd_out: W, are_out: A, inst: &NetD) -> std::io::Result<()> {
     let hg = &inst.hypergraph;
-    writeln!(netd_out, "0")?;
-    writeln!(netd_out, "{}", hg.num_pins())?;
-    writeln!(netd_out, "{}", hg.num_nets())?;
-    writeln!(netd_out, "{}", hg.num_vertices())?;
-    writeln!(netd_out, "{}", inst.pad_offset)?;
-    let name = |v: VertexId| {
-        if v.index() < inst.pad_offset {
-            format!("a{}", v.index())
+    fn emit_name<W: Write>(
+        e: &mut Emitter<W>,
+        v: VertexId,
+        pad_offset: usize,
+    ) -> std::io::Result<()> {
+        if v.index() < pad_offset {
+            e.byte(b'a')?;
+            e.int(v.index() as u64)
         } else {
-            format!("p{}", v.index() - inst.pad_offset + 1)
+            e.byte(b'p')?;
+            e.int((v.index() - pad_offset + 1) as u64)
         }
-    };
+    }
+    let mut nd = Emitter::new(netd_out);
+    nd.str("0\n")?;
+    nd.int(hg.num_pins() as u64)?;
+    nd.byte(b'\n')?;
+    nd.int(hg.num_nets() as u64)?;
+    nd.byte(b'\n')?;
+    nd.int(hg.num_vertices() as u64)?;
+    nd.byte(b'\n')?;
+    nd.int(inst.pad_offset as u64)?;
+    nd.byte(b'\n')?;
     for n in hg.nets() {
         for (i, &p) in hg.net_pins(n).iter().enumerate() {
-            let marker = if i == 0 { "s" } else { "l" };
-            writeln!(netd_out, "{} {marker}", name(p))?;
+            emit_name(&mut nd, p, inst.pad_offset)?;
+            nd.str(if i == 0 { " s\n" } else { " l\n" })?;
         }
     }
+    nd.finish()?;
+
+    let mut ar = Emitter::new(are_out);
     for v in hg.vertices() {
-        writeln!(are_out, "{} {}", name(v), hg.vertex_weight(v))?;
+        emit_name(&mut ar, v, inst.pad_offset)?;
+        ar.byte(b' ')?;
+        ar.int(hg.vertex_weight(v))?;
+        ar.byte(b'\n')?;
     }
-    Ok(())
+    ar.finish()
 }
 
 #[cfg(test)]
@@ -337,5 +380,12 @@ mod tests {
     fn pad_zero_rejected() {
         let text = "0\n1\n1\n1\n0\np0 s\n";
         assert!(read_netd(text.as_bytes(), None::<&[u8]>).is_err());
+    }
+
+    #[test]
+    fn direction_suffix_tokens_ignored() {
+        let text = "0\n2\n1\n2\n2\na0 s I\na1 l O\n";
+        let inst = read_netd(text.as_bytes(), None::<&[u8]>).unwrap();
+        assert_eq!(inst.hypergraph.num_pins(), 2);
     }
 }

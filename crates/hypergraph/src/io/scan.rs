@@ -1,0 +1,343 @@
+//! Streaming byte scanner and buffered emitter shared by the file-format
+//! parsers.
+//!
+//! [`Scanner`] reads raw bytes through a fixed-size buffer and hands out
+//! whitespace-separated tokens one at a time — no per-line `String`, no
+//! vector of lines, so parsing a million-line `.hgr` allocates a single
+//! buffer plus one small token scratch regardless of file size. It tracks
+//! both the 1-based line number and the absolute byte offset of every
+//! token so errors in huge files are addressable with `dd`/`head -c`.
+//!
+//! [`Emitter`] is the write-side dual: manual integer formatting into one
+//! fixed buffer, flushed in large chunks, so writers never pay a syscall
+//! or a `format!` allocation per token.
+
+use std::io::{Read, Write};
+
+use crate::io::ParseError;
+
+const READ_BUF: usize = 64 * 1024;
+const WRITE_BUF: usize = 64 * 1024;
+
+/// A line-aware streaming tokenizer over any [`Read`].
+pub(crate) struct Scanner<R> {
+    src: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    hit_eof: bool,
+    /// 1-based line number of the byte at `pos`.
+    line: usize,
+    /// Absolute byte offset of the byte at `pos`.
+    offset: u64,
+    /// Bytes that start a whole-line comment (checked at line starts only).
+    comments: &'static [u8],
+    /// The current token, copied out so it survives buffer refills.
+    tok: Vec<u8>,
+    tok_line: usize,
+    tok_offset: u64,
+}
+
+impl<R: Read> Scanner<R> {
+    pub(crate) fn new(src: R, comments: &'static [u8]) -> Self {
+        Scanner {
+            src,
+            buf: vec![0; READ_BUF],
+            pos: 0,
+            len: 0,
+            hit_eof: false,
+            line: 1,
+            offset: 0,
+            comments,
+            tok: Vec::new(),
+            tok_line: 1,
+            tok_offset: 0,
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>, ParseError> {
+        while self.pos == self.len {
+            if self.hit_eof {
+                return Ok(None);
+            }
+            self.len = self.src.read(&mut self.buf)?;
+            self.pos = 0;
+            if self.len == 0 {
+                self.hit_eof = true;
+                return Ok(None);
+            }
+        }
+        Ok(Some(self.buf[self.pos]))
+    }
+
+    fn bump(&mut self) {
+        if self.buf[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        self.offset += 1;
+    }
+
+    /// Consumes bytes up to and including the next `\n` (or EOF).
+    pub(crate) fn skip_rest_of_line(&mut self) -> Result<(), ParseError> {
+        while let Some(b) = self.peek()? {
+            let was_newline = b == b'\n';
+            self.bump();
+            if was_newline {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Positions the scanner at the first token of the next non-blank,
+    /// non-comment line. Returns `false` at EOF. Must be called at a line
+    /// start (the initial position, or after the previous line's tokens
+    /// are exhausted / skipped).
+    pub(crate) fn next_content_line(&mut self) -> Result<bool, ParseError> {
+        loop {
+            match self.peek()? {
+                None => return Ok(false),
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => self.bump(),
+                Some(b) if self.comments.contains(&b) => self.skip_rest_of_line()?,
+                Some(_) => return Ok(true),
+            }
+        }
+    }
+
+    /// Reads the next whitespace-separated token on the *current* line into
+    /// the internal scratch. Returns `false` at the end of the line (the
+    /// newline itself is left unconsumed) or at EOF.
+    pub(crate) fn token(&mut self) -> Result<bool, ParseError> {
+        loop {
+            match self.peek()? {
+                None | Some(b'\n') => return Ok(false),
+                Some(b' ') | Some(b'\t') | Some(b'\r') => self.bump(),
+                Some(_) => break,
+            }
+        }
+        self.tok.clear();
+        self.tok_line = self.line;
+        self.tok_offset = self.offset;
+        while let Some(b) = self.peek()? {
+            if b.is_ascii_whitespace() {
+                break;
+            }
+            self.tok.push(b);
+            self.bump();
+        }
+        Ok(true)
+    }
+
+    /// Bytes of the most recent token.
+    pub(crate) fn tok(&self) -> &[u8] {
+        &self.tok
+    }
+
+    /// The most recent token as UTF-8 (lossy — tokens are matched or
+    /// echoed into error messages, never stored).
+    pub(crate) fn tok_lossy(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.tok)
+    }
+
+    /// 1-based line number at the current read position.
+    pub(crate) fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Line number where the most recent token started.
+    pub(crate) fn tok_line(&self) -> usize {
+        self.tok_line
+    }
+
+    /// A [`ParseError`] anchored at the most recent token (line + byte).
+    pub(crate) fn err_at_tok(&self, message: impl Into<String>) -> ParseError {
+        ParseError::malformed_at(self.tok_line, self.tok_offset, message)
+    }
+
+    /// Parses the most recent token as an unsigned decimal integer.
+    pub(crate) fn parse_u64(&self, what: &str) -> Result<u64, ParseError> {
+        let mut value: u64 = 0;
+        if self.tok.is_empty() {
+            return Err(self.err_at_tok(format!("bad {what} ``")));
+        }
+        for &b in &self.tok {
+            let digit = match b {
+                b'0'..=b'9' => u64::from(b - b'0'),
+                _ => return Err(self.err_at_tok(format!("bad {what} `{}`", self.tok_lossy()))),
+            };
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(digit))
+                .ok_or_else(|| {
+                    self.err_at_tok(format!("bad {what} `{}` (overflow)", self.tok_lossy()))
+                })?;
+        }
+        Ok(value)
+    }
+
+    /// Reads the next token on the line and parses it as `u64`, erroring
+    /// with "missing `what`" at the current line if the line is exhausted.
+    pub(crate) fn expect_u64(&mut self, what: &str) -> Result<u64, ParseError> {
+        if !self.token()? {
+            return Err(ParseError::malformed(self.line, format!("missing {what}")));
+        }
+        self.parse_u64(what)
+    }
+
+    /// [`Scanner::expect_u64`] narrowed to `usize`.
+    pub(crate) fn expect_usize(&mut self, what: &str) -> Result<usize, ParseError> {
+        let v = self.expect_u64(what)?;
+        usize::try_from(v)
+            .map_err(|_| self.err_at_tok(format!("bad {what} `{}` (overflow)", self.tok_lossy())))
+    }
+}
+
+/// A buffered writer with allocation-free integer formatting.
+pub(crate) struct Emitter<W: Write> {
+    out: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> Emitter<W> {
+    pub(crate) fn new(out: W) -> Self {
+        Emitter {
+            out,
+            buf: Vec::with_capacity(WRITE_BUF),
+        }
+    }
+
+    fn spill(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.out.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    fn room(&mut self, need: usize) -> std::io::Result<()> {
+        if self.buf.len() + need > WRITE_BUF {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a decimal integer.
+    pub(crate) fn int(&mut self, v: u64) -> std::io::Result<()> {
+        self.room(20)?;
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        let mut v = v;
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        self.buf.extend_from_slice(&digits[i..]);
+        Ok(())
+    }
+
+    /// Appends a literal string (names, markers, separators).
+    pub(crate) fn str(&mut self, s: &str) -> std::io::Result<()> {
+        if s.len() >= WRITE_BUF {
+            self.spill()?;
+            return self.out.write_all(s.as_bytes());
+        }
+        self.room(s.len())?;
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+
+    /// Appends a single byte (space, newline).
+    pub(crate) fn byte(&mut self, b: u8) -> std::io::Result<()> {
+        self.room(1)?;
+        self.buf.push(b);
+        Ok(())
+    }
+
+    /// Flushes the remaining buffered bytes.
+    pub(crate) fn finish(mut self) -> std::io::Result<()> {
+        self.spill()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_across_lines_with_comments() {
+        let text = "% comment\n 1 22\t333 \n\n% more\n4\n";
+        let mut sc = Scanner::new(text.as_bytes(), b"%");
+        assert!(sc.next_content_line().unwrap());
+        assert_eq!(sc.expect_u64("a").unwrap(), 1);
+        assert_eq!(sc.tok_line(), 2);
+        assert_eq!(sc.expect_u64("b").unwrap(), 22);
+        assert_eq!(sc.expect_u64("c").unwrap(), 333);
+        assert!(!sc.token().unwrap(), "line exhausted");
+        assert!(sc.next_content_line().unwrap());
+        assert_eq!(sc.expect_u64("d").unwrap(), 4);
+        assert_eq!(sc.tok_line(), 5);
+        assert!(!sc.next_content_line().unwrap());
+    }
+
+    #[test]
+    fn byte_offsets_are_absolute() {
+        let text = "ab\ncd efg\n";
+        let mut sc = Scanner::new(text.as_bytes(), b"%");
+        assert!(sc.next_content_line().unwrap());
+        assert!(sc.token().unwrap());
+        assert_eq!(sc.tok_offset, 0);
+        assert!(sc.next_content_line().unwrap());
+        assert!(sc.token().unwrap());
+        assert_eq!(sc.tok_offset, 3);
+        assert!(sc.token().unwrap());
+        assert_eq!(sc.tok(), b"efg");
+        assert_eq!(sc.tok_offset, 6);
+    }
+
+    #[test]
+    fn tokens_survive_refill_boundaries() {
+        // A token that straddles any buffer boundary must come out whole;
+        // exercise with a reader that returns one byte at a time.
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut sc = Scanner::new(OneByte(b"123456789 42\n"), b"%");
+        assert!(sc.next_content_line().unwrap());
+        assert_eq!(sc.expect_u64("n").unwrap(), 123456789);
+        assert_eq!(sc.expect_u64("m").unwrap(), 42);
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error_not_a_wrap() {
+        let mut sc = Scanner::new("99999999999999999999999\n".as_bytes(), b"%");
+        assert!(sc.next_content_line().unwrap());
+        let err = sc.expect_u64("count").unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn emitter_formats_integers() {
+        let mut out = Vec::new();
+        let mut e = Emitter::new(&mut out);
+        e.int(0).unwrap();
+        e.byte(b' ').unwrap();
+        e.int(18446744073709551615).unwrap();
+        e.byte(b'\n').unwrap();
+        e.str("a7 s").unwrap();
+        e.finish().unwrap();
+        assert_eq!(out, b"0 18446744073709551615\na7 s");
+    }
+}

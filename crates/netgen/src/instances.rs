@@ -91,6 +91,57 @@ ibm_preset!(
     0.66
 );
 
+/// Builds the configuration for a Rent-faithful scale preset: pad count
+/// follows Rent's rule (`T = k·n^p`) instead of a published circuit.
+fn scale_preset(name: &str, cells: usize, rent_p: f64, scale: f64) -> GeneratorConfig {
+    let s = scale.clamp(0.001, 1.0);
+    let num_cells = ((cells as f64 * s).round() as usize).max(16);
+    let pins_per_cell = 3.9;
+    GeneratorConfig {
+        name: if s < 1.0 {
+            format!("{name}-s{s:.2}")
+        } else {
+            name.to_string()
+        },
+        num_cells,
+        num_pads: (pins_per_cell * (num_cells as f64).powf(rent_p)).round() as usize,
+        rent_exponent: rent_p,
+        pins_per_cell,
+        ..GeneratorConfig::default()
+    }
+}
+
+macro_rules! scale_preset {
+    ($full:ident, $scaled:ident, $name:literal, $cells:literal, $p:literal) => {
+        /// Rent-faithful scale preset, built with the streaming
+        /// [`scale`](crate::scale) generator (live state `O(k·n^p)`).
+        pub fn $full(seed: u64) -> Circuit {
+            crate::scale::build_circuit(&scale_preset($name, $cells, $p, 1.0), seed)
+        }
+
+        /// Scaled variant: same Rent exponent, `scale` times the cells
+        /// (clamped to at least 16), pads re-derived from Rent's rule.
+        pub fn $scaled(scale: f64, seed: u64) -> Circuit {
+            crate::scale::build_circuit(&scale_preset($name, $cells, $p, scale), seed)
+        }
+    };
+}
+
+scale_preset!(
+    million_cells,
+    million_cells_scaled,
+    "rent-1m",
+    1_000_000,
+    0.62
+);
+scale_preset!(
+    ten_million_cells,
+    ten_million_cells_scaled,
+    "rent-10m",
+    10_000_000,
+    0.62
+);
+
 /// All five full-size presets, generated with consecutive seeds.
 pub fn all_full(seed: u64) -> Vec<Circuit> {
     vec![
@@ -120,6 +171,8 @@ pub fn by_name(name: &str, scale: f64, seed: u64) -> Option<Circuit> {
         "ibm03" | "ibm03-like" => Some(ibm03_like_scaled(scale, seed)),
         "ibm04" | "ibm04-like" => Some(ibm04_like_scaled(scale, seed)),
         "ibm05" | "ibm05-like" => Some(ibm05_like_scaled(scale, seed)),
+        "1m" | "1M" | "rent-1m" => Some(million_cells_scaled(scale, seed)),
+        "10m" | "10M" | "rent-10m" => Some(ten_million_cells_scaled(scale, seed)),
         _ => None,
     }
 }
@@ -161,6 +214,23 @@ mod tests {
         assert!(by_name("ibm04", 0.05, 1).is_some());
         assert!(by_name("ibm05-like", 0.05, 1).is_some());
         assert!(by_name("nope", 1.0, 1).is_none());
+    }
+
+    #[test]
+    fn scale_presets_resolve_and_follow_rent() {
+        // 1% of the 1M preset = 10k cells — big enough to check the shape
+        // without slowing the suite down.
+        let c = by_name("1M", 0.01, 5).unwrap();
+        assert_eq!(c.num_cells(), 10_000);
+        assert!(c.name.starts_with("rent-1m-s0.01"));
+        // Pads track Rent's rule, not a fixed published count.
+        let expect = 3.9 * 10_000f64.powf(0.62);
+        let pads = c.num_pads() as f64;
+        assert!(
+            (pads - expect).abs() < expect * 0.5,
+            "pads {pads} vs Rent {expect}"
+        );
+        assert!(by_name("10m", 0.001, 5).is_some());
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   cell areas ([`areas`]) and a *native geometric placement* produced by
 //!   the same recursion that creates the connectivity.
 //! * [`instances`] — presets `ibm01_like()`…`ibm05_like()` matching the
-//!   published vertex/net counts of the ISPD-98 suite.
+//!   published vertex/net counts of the ISPD-98 suite, plus Rent-faithful
+//!   `million_cells()`/`ten_million_cells()` scale presets.
+//! * [`scale`] — the streaming emit-on-close generator behind the scale
+//!   presets: live netlist state is `O(k·n^p)`, so circuits far beyond
+//!   the ISPD-98 sizes build in bounded memory.
 //! * [`blocks`] — the paper's Section IV methodology: lay a block and a
 //!   cutline over a placement and derive a partitioning instance whose
 //!   external cells/pads become zero-area terminals fixed in the closest
@@ -43,6 +47,7 @@ mod circuit;
 mod geometry;
 pub mod instances;
 pub mod rent;
+pub mod scale;
 pub mod synthetic;
 
 pub use circuit::Circuit;

@@ -1,0 +1,476 @@
+//! Million-cell-scale Rent-faithful generation with *streaming emission*.
+//!
+//! [`synthetic::Generator`](crate::synthetic::Generator) keeps every net it
+//! has ever created in a `Vec<Vec<u32>>` until the whole circuit is done —
+//! fine at ISPD-98 sizes, ruinous at 10^7 cells. This module re-implements
+//! the same hierarchical Rent construction with an **emit-on-close** slab:
+//! a net lives in memory only while an open endpoint can still extend it,
+//! and the moment it closes it is handed to a caller-supplied sink and its
+//! slot recycled. Because Rent's rule bounds the open endpoints of the
+//! recursion to `O(k·n^p)` (tens of thousands at 10^7 cells, not tens of
+//! millions), the working set of the netlist state stays tiny no matter how
+//! large the circuit is — the sink decides what, if anything, to retain.
+//!
+//! [`build_circuit`] is the standard sink: it feeds a
+//! [`HypergraphBuilder`] directly, so the only full-size allocations are
+//! the final CSR arenas and the placement.
+
+use vlsi_rng::seq::SliceRandom;
+use vlsi_rng::ChaCha8Rng;
+use vlsi_rng::Rng;
+use vlsi_rng::SeedableRng;
+
+use vlsi_hypergraph::{HypergraphBuilder, VertexId};
+
+use crate::circuit::Circuit;
+use crate::geometry::{Point, Rect};
+use crate::synthetic::{perimeter_point, take_random, GeneratorConfig};
+
+/// Only hierarchy blocks of at least this many cells contribute a Rent
+/// sample, keeping the stats `O(n / 32)` instead of `O(n)`.
+const RENT_SAMPLE_MIN_BLOCK: usize = 32;
+
+/// Observations from one streaming emission run.
+#[derive(Debug, Clone, Default)]
+pub struct EmitStats {
+    /// Nets handed to the sink.
+    pub nets_emitted: usize,
+    /// Total pins across emitted nets.
+    pub pins_emitted: usize,
+    /// High-water mark of simultaneously open nets — the live netlist
+    /// state, `O(k·n^p)` by construction.
+    pub max_open_nets: usize,
+    /// `(block_size, external_terminals)` for hierarchy blocks of at
+    /// least `RENT_SAMPLE_MIN_BLOCK` cells (same regression input as
+    /// [`GenStats`](crate::synthetic::GenStats)).
+    pub rent_samples: Vec<(usize, usize)>,
+}
+
+impl EmitStats {
+    /// Least-squares estimate of the realised Rent exponent (see
+    /// [`GenStats::fitted_rent_exponent`](crate::synthetic::GenStats::fitted_rent_exponent)).
+    pub fn fitted_rent_exponent(&self, min_block: usize) -> Option<f64> {
+        let mut g = crate::synthetic::GenStats::default();
+        g.rent_samples.clone_from(&self.rent_samples);
+        g.fitted_rent_exponent(min_block)
+    }
+}
+
+/// An open connection endpoint of a block.
+#[derive(Debug, Clone, Copy)]
+enum Endpoint {
+    /// An unconnected pin of a cell.
+    Pin(u32),
+    /// A slab slot holding a net that still reaches the block boundary.
+    Net(u32),
+}
+
+/// Streams the Rent-faithful netlist of `cfg` to `sink`, one closed net at
+/// a time. Every emitted net has ≥ 2 distinct pins (cells in
+/// `0..num_cells`, pads in `num_cells..num_cells + num_pads`) and is
+/// emitted exactly once. If `placement` is non-empty it must hold
+/// `num_cells` slots and receives the native leaf placement.
+///
+/// # Panics
+/// Panics if `cfg.num_cells == 0` or `cfg.leaf_size == 0`.
+pub fn emit_nets<F: FnMut(&[u32])>(cfg: &GeneratorConfig, seed: u64, mut sink: F) -> EmitStats {
+    emit_impl(cfg, seed, &mut sink, None)
+}
+
+/// [`emit_nets`] that also fills `placement` (resized to `num_cells`) with
+/// the leaf grid positions inside the die square `[0, ceil(sqrt(n))]²`.
+pub fn emit_nets_placed<F: FnMut(&[u32])>(
+    cfg: &GeneratorConfig,
+    seed: u64,
+    sink: &mut F,
+    placement: &mut Vec<Point>,
+) -> EmitStats {
+    emit_impl(cfg, seed, sink, Some(placement))
+}
+
+fn emit_impl<F: FnMut(&[u32])>(
+    cfg: &GeneratorConfig,
+    seed: u64,
+    sink: &mut F,
+    placement: Option<&mut Vec<Point>>,
+) -> EmitStats {
+    assert!(cfg.num_cells > 0, "need at least one cell");
+    assert!(cfg.leaf_size > 0, "leaf size must be positive");
+    let n = cfg.num_cells;
+    let mut placement = placement;
+    if let Some(p) = placement.as_mut() {
+        p.clear();
+        p.resize(n, Point::default());
+    }
+
+    let die_side = (n as f64).sqrt().ceil().max(1.0);
+    let die = Rect::new(0.0, 0.0, die_side, die_side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut st = StreamState {
+        cfg,
+        rng: &mut rng,
+        open: Vec::new(),
+        free: Vec::new(),
+        sink,
+        placement,
+        stats: EmitStats::default(),
+    };
+    let mut endpoints = st.build_block(0, n as u32, die, 0);
+
+    // Attach remaining endpoints to pads on the die boundary, closing the
+    // nets they kept open.
+    let num_pads = cfg.num_pads.min(endpoints.len().max(1));
+    endpoints.shuffle(st.rng);
+    for (i, ep) in endpoints.iter().enumerate() {
+        let pad = if num_pads > 0 {
+            Some(n as u32 + (i % num_pads) as u32)
+        } else {
+            None
+        };
+        match *ep {
+            Endpoint::Pin(cell) => {
+                if let Some(pad) = pad {
+                    st.emit(&[cell, pad]);
+                }
+            }
+            Endpoint::Net(slot) => {
+                if let Some(pad) = pad {
+                    if !st.open[slot as usize].contains(&pad) {
+                        st.open[slot as usize].push(pad);
+                    }
+                }
+                st.close(slot);
+            }
+        }
+    }
+    debug_assert_eq!(st.free.len(), st.open.len(), "all nets closed");
+    st.stats
+}
+
+struct StreamState<'a, R: Rng, F: FnMut(&[u32])> {
+    cfg: &'a GeneratorConfig,
+    rng: &'a mut R,
+    /// Slab of open nets; closed slots are recycled through `free`.
+    open: Vec<Vec<u32>>,
+    free: Vec<u32>,
+    sink: &'a mut F,
+    placement: Option<&'a mut Vec<Point>>,
+    stats: EmitStats,
+}
+
+impl<R: Rng, F: FnMut(&[u32])> StreamState<'_, R, F> {
+    /// Emits a finished pin set straight to the sink.
+    fn emit(&mut self, pins: &[u32]) {
+        if pins.len() >= 2 {
+            self.stats.nets_emitted += 1;
+            self.stats.pins_emitted += pins.len();
+            (self.sink)(pins);
+        }
+    }
+
+    /// Opens a fresh 2-pin net in the slab, reusing a free slot.
+    fn open_net(&mut self, a: u32, b: u32) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            let pins = &mut self.open[slot as usize];
+            pins.clear();
+            pins.push(a);
+            pins.push(b);
+            slot
+        } else {
+            self.open.push(vec![a, b]);
+            let live = self.open.len() - self.free.len();
+            self.stats.max_open_nets = self.stats.max_open_nets.max(live);
+            (self.open.len() - 1) as u32
+        }
+    }
+
+    /// Closes an open net: emits it and recycles the slot.
+    fn close(&mut self, slot: u32) {
+        let pins = std::mem::take(&mut self.open[slot as usize]);
+        self.emit(&pins);
+        self.open[slot as usize] = pins; // hand the allocation back for reuse
+        self.open[slot as usize].clear();
+        self.free.push(slot);
+    }
+
+    /// Recursively builds the block of cells `[lo, hi)`, returning its open
+    /// endpoints. Mirrors `synthetic::GenState::build_block`, but any net
+    /// whose last endpoint is consumed is emitted immediately.
+    fn build_block(&mut self, lo: u32, hi: u32, rect: Rect, depth: usize) -> Vec<Endpoint> {
+        let count = (hi - lo) as usize;
+        if count <= self.cfg.leaf_size {
+            return self.build_leaf(lo, hi, rect);
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (ra, rb) = if depth.is_multiple_of(2) {
+            rect.split_vertical()
+        } else {
+            rect.split_horizontal()
+        };
+        let mut left = self.build_block(lo, mid, ra, depth + 1);
+        let mut right = self.build_block(mid, hi, rb, depth + 1);
+
+        let t_target = (self.cfg.pins_per_cell * (count as f64).powf(self.cfg.rent_exponent))
+            .round()
+            .max(1.0) as usize;
+        let have = left.len() + right.len();
+        let mut to_consume = have.saturating_sub(t_target);
+        let mut merged: Vec<Endpoint> = Vec::with_capacity(t_target + 2);
+
+        while to_consume > 0 && !left.is_empty() && !right.is_empty() {
+            let el = take_random(&mut left, self.rng);
+            let er = take_random(&mut right, self.rng);
+            let consumed = self.join(el, er, &mut merged);
+            to_consume = to_consume.saturating_sub(consumed);
+        }
+        merged.extend(left);
+        merged.extend(right);
+        if count >= RENT_SAMPLE_MIN_BLOCK {
+            self.stats.rent_samples.push((count, merged.len()));
+        }
+        merged
+    }
+
+    /// Joins one endpoint from each side; nets that lose their last
+    /// endpoint are closed (emitted) on the spot.
+    fn join(&mut self, el: Endpoint, er: Endpoint, merged: &mut Vec<Endpoint>) -> usize {
+        use Endpoint::*;
+        let keep_open = self.rng.gen_bool(self.cfg.keep_open_probability);
+        match (el, er) {
+            (Pin(a), Pin(b)) => {
+                if keep_open {
+                    let slot = self.open_net(a, b);
+                    merged.push(Net(slot));
+                    1
+                } else {
+                    self.emit(&[a, b]);
+                    2
+                }
+            }
+            (Pin(a), Net(n)) | (Net(n), Pin(a)) => {
+                let extend = self.rng.gen_bool(self.cfg.extend_probability);
+                if extend {
+                    if !self.open[n as usize].contains(&a) {
+                        self.open[n as usize].push(a);
+                    }
+                    if keep_open {
+                        merged.push(Net(n));
+                        1
+                    } else {
+                        self.close(n);
+                        2
+                    }
+                } else {
+                    // Keep the net open, spend the pin on a fresh 2-pin net
+                    // with a random member of the net (local connection).
+                    let other = *self.open[n as usize]
+                        .as_slice()
+                        .choose(self.rng)
+                        .expect("open nets are non-empty");
+                    if other != a {
+                        self.emit(&[a, other]);
+                    }
+                    merged.push(Net(n));
+                    1
+                }
+            }
+            (Net(n1), Net(n2)) => {
+                // Keep one of the two boundary nets open at random; the
+                // other can never grow again, so it is done.
+                if self.rng.gen_bool(0.5) {
+                    merged.push(Net(n1));
+                    self.close(n2);
+                } else {
+                    merged.push(Net(n2));
+                    self.close(n1);
+                }
+                1
+            }
+        }
+    }
+
+    /// Builds a leaf block: optionally places its cells in `rect` and
+    /// exposes ~k open pins per cell.
+    fn build_leaf(&mut self, lo: u32, hi: u32, rect: Rect) -> Vec<Endpoint> {
+        let count = (hi - lo) as usize;
+        if let Some(placement) = self.placement.as_deref_mut() {
+            let cols = (count as f64).sqrt().ceil() as usize;
+            let rows = count.div_ceil(cols.max(1));
+            for (i, cell) in (lo..hi).enumerate() {
+                let (r, c) = (i / cols, i % cols);
+                let x = rect.x0 + rect.width() * (c as f64 + 0.5) / cols as f64;
+                let y = rect.y0 + rect.height() * (r as f64 + 0.5) / rows.max(1) as f64;
+                placement[cell as usize] = Point::new(x, y);
+            }
+        }
+        let k = self.cfg.pins_per_cell;
+        let base = k.floor() as usize;
+        let frac = k - base as f64;
+        let mut endpoints = Vec::with_capacity(count * (base + 1));
+        for cell in lo..hi {
+            let pins = base + usize::from(self.rng.gen_bool(frac));
+            for _ in 0..pins {
+                endpoints.push(Endpoint::Pin(cell));
+            }
+        }
+        endpoints
+    }
+}
+
+/// Builds a full [`Circuit`] by streaming the netlist straight into a
+/// [`HypergraphBuilder`] — the only `O(n)` allocations are the final CSR
+/// arenas, the cell areas and the placement.
+///
+/// # Panics
+/// Panics if `cfg.num_cells == 0` or `cfg.leaf_size == 0`, or if the
+/// circuit would exceed the `u32` pin-arena range.
+pub fn build_circuit(cfg: &GeneratorConfig, seed: u64) -> Circuit {
+    let n = cfg.num_cells;
+    let die_side = (n as f64).sqrt().ceil().max(1.0);
+    let die = Rect::new(0.0, 0.0, die_side, die_side);
+
+    // Areas come from an rng stream independent of the netlist recursion so
+    // connectivity is a function of (cfg, seed) alone.
+    let mut area_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let areas = cfg.areas.sample(&mut area_rng, n);
+
+    let expected_pins = (n as f64 * cfg.pins_per_cell * 1.25) as usize;
+    let mut builder = HypergraphBuilder::with_capacity(n + cfg.num_pads, n, expected_pins);
+    for &a in &areas {
+        builder.add_vertex(a);
+    }
+    drop(areas);
+    for _ in 0..cfg.num_pads {
+        builder.add_vertex(0);
+    }
+
+    let mut placement = Vec::with_capacity(n);
+    {
+        let mut sink = |pins: &[u32]| {
+            builder
+                .add_net(1, pins.iter().copied().map(VertexId))
+                .expect("streaming generator stays within the pin arena");
+        };
+        emit_nets_placed(cfg, seed, &mut sink, &mut placement);
+    }
+    let hypergraph = builder.build().expect("streaming generator is valid");
+
+    // Pads evenly spaced along the perimeter.
+    let perimeter = 2.0 * (die.width() + die.height());
+    for i in 0..cfg.num_pads {
+        let d = perimeter * i as f64 / cfg.num_pads.max(1) as f64;
+        placement.push(perimeter_point(&die, d));
+    }
+
+    Circuit {
+        name: cfg.name.clone(),
+        hypergraph,
+        placement,
+        pad_offset: n,
+        die,
+        target_rent_exponent: cfg.rent_exponent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cells: usize, p: f64) -> GeneratorConfig {
+        GeneratorConfig {
+            name: "scale-test".into(),
+            num_cells: cells,
+            rent_exponent: p,
+            num_pads: (3.8 * (cells as f64).powf(p)).round() as usize,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_net_emitted_once_and_closed() {
+        let mut nets = 0usize;
+        let mut pins = 0usize;
+        let stats = emit_nets(&cfg(5000, 0.62), 3, |ps| {
+            assert!(ps.len() >= 2);
+            let mut sorted = ps.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), ps.len(), "duplicate pin in emitted net");
+            nets += 1;
+            pins += ps.len();
+        });
+        assert_eq!(stats.nets_emitted, nets);
+        assert_eq!(stats.pins_emitted, pins);
+        assert!(nets > 2500, "too few nets: {nets}");
+    }
+
+    #[test]
+    fn open_state_is_sublinear() {
+        // The whole point: live netlist state tracks k·n^p, not n.
+        let c = cfg(100_000, 0.62);
+        let stats = emit_nets(&c, 7, |_| {});
+        let rent_bound = (c.pins_per_cell * (c.num_cells as f64).powf(c.rent_exponent)) as usize;
+        assert!(
+            stats.max_open_nets < 4 * rent_bound,
+            "open high-water {} vs Rent bound {rent_bound}",
+            stats.max_open_nets
+        );
+        assert!(
+            stats.max_open_nets * 20 < stats.nets_emitted,
+            "open high-water {} should be far below total {}",
+            stats.max_open_nets,
+            stats.nets_emitted
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let collect = |seed| {
+            let mut v: Vec<Vec<u32>> = Vec::new();
+            emit_nets(&cfg(2000, 0.6), seed, |ps| v.push(ps.to_vec()));
+            v
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn realised_rent_exponent_tracks_target() {
+        for &p in &[0.55, 0.68] {
+            let stats = emit_nets(&cfg(32_768, p), 5, |_| {});
+            let fitted = stats.fitted_rent_exponent(64).expect("enough samples");
+            assert!((fitted - p).abs() < 0.12, "target {p}, fitted {fitted}");
+        }
+    }
+
+    #[test]
+    fn build_circuit_shape_and_placement() {
+        let c = build_circuit(&cfg(4096, 0.62), 11);
+        assert_eq!(c.num_cells(), 4096);
+        assert!(c.num_pads() > 0);
+        for pad in c.pads() {
+            assert_eq!(c.hypergraph.vertex_weight(pad), 0);
+        }
+        for cell in c.cells() {
+            assert!(c.die.contains(c.location(cell)), "cell off-die");
+        }
+        let avg_pins = c
+            .cells()
+            .map(|v| c.hypergraph.vertex_degree(v))
+            .sum::<usize>() as f64
+            / c.num_cells() as f64;
+        assert!(
+            (2.0..=4.5).contains(&avg_pins),
+            "avg pins per cell {avg_pins}"
+        );
+        let giant = vlsi_hypergraph::largest_component_size(&c.hypergraph);
+        assert!(giant as f64 > 0.95 * c.hypergraph.num_vertices() as f64);
+    }
+
+    #[test]
+    fn build_circuit_deterministic() {
+        let a = build_circuit(&cfg(1500, 0.6), 2);
+        let b = build_circuit(&cfg(1500, 0.6), 2);
+        assert_eq!(a.hypergraph, b.hypergraph);
+    }
+}

@@ -240,7 +240,7 @@ impl Generator {
 
 /// Walks a distance `d` along the perimeter of `r` counter-clockwise from
 /// the bottom-left corner.
-fn perimeter_point(r: &Rect, d: f64) -> Point {
+pub(crate) fn perimeter_point(r: &Rect, d: f64) -> Point {
     let (w, h) = (r.width(), r.height());
     let d = d % (2.0 * (w + h));
     if d < w {
@@ -381,7 +381,7 @@ impl<R: Rng> GenState<'_, R> {
     }
 }
 
-fn take_random<T, R: Rng>(v: &mut Vec<T>, rng: &mut R) -> T {
+pub(crate) fn take_random<T, R: Rng>(v: &mut Vec<T>, rng: &mut R) -> T {
     let i = rng.gen_range(0..v.len());
     v.swap_remove(i)
 }

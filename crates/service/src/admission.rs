@@ -14,12 +14,18 @@
 //! [`Event::Shed`](vlsi_trace::Event::Shed) into the engine trace stream,
 //! so `engine.sheds` in the metrics line counts every admission refusal.
 //!
-//! Both mechanisms default to **off** ([`AdmissionConfig::default`]):
-//! `rate_per_sec = 0` disables the bucket and
-//! `high_water = usize::MAX` disables depth shedding, leaving the queue's
-//! own capacity bound as the only backstop (the event loop still sheds
-//! `overloaded` on a hard-full queue rather than block). See
-//! `docs/OPERATIONS.md` for tuning guidance.
+//! A third, per-request guard caps instance *size*: a job whose
+//! hypergraph carries more than `max_pins` pins is refused with a
+//! `too_large` error before it can reach the worker pool — one giant
+//! netlist cannot OOM the service no matter how well-behaved the client's
+//! rate is.
+//!
+//! All mechanisms default to **off** ([`AdmissionConfig::default`]):
+//! `rate_per_sec = 0` disables the bucket, `high_water = usize::MAX`
+//! disables depth shedding (leaving the queue's own capacity bound as the
+//! only backstop — the event loop still sheds `overloaded` on a hard-full
+//! queue rather than block), and `max_pins = usize::MAX` disables the
+//! size cap. See `docs/OPERATIONS.md` for tuning guidance.
 
 use std::time::Instant;
 
@@ -35,9 +41,16 @@ use std::time::Instant;
 /// assert_eq!(off.high_water, usize::MAX);
 ///
 /// // A production-shaped config: 50 jobs/s per client with a burst of
-/// // 100, shedding once 96 jobs are queued.
-/// let tuned = AdmissionConfig { rate_per_sec: 50.0, burst: 100, high_water: 96 };
+/// // 100, shedding once 96 jobs are queued, refusing instances beyond
+/// // 50M pins (roughly 600 MiB of CSR + working memory per job).
+/// let tuned = AdmissionConfig {
+///     rate_per_sec: 50.0,
+///     burst: 100,
+///     high_water: 96,
+///     max_pins: 50_000_000,
+/// };
 /// assert!(tuned.high_water < off.high_water);
+/// assert_eq!(off.max_pins, usize::MAX);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionConfig {
@@ -50,6 +63,12 @@ pub struct AdmissionConfig {
     /// Queue depth at which new jobs are shed with `overloaded`.
     /// `usize::MAX` (the default) disables depth-based shedding.
     pub high_water: usize,
+    /// Largest instance (total pin count) a single job may carry; bigger
+    /// requests are refused with `too_large` before touching the worker
+    /// pool, so one giant netlist cannot OOM the service. `usize::MAX`
+    /// (the default) disables the limit. See `docs/OPERATIONS.md` for the
+    /// bytes-per-pin budget behind a sensible value.
+    pub max_pins: usize,
 }
 
 impl Default for AdmissionConfig {
@@ -58,6 +77,7 @@ impl Default for AdmissionConfig {
             rate_per_sec: 0.0,
             burst: 64,
             high_water: usize::MAX,
+            max_pins: usize::MAX,
         }
     }
 }
@@ -69,7 +89,7 @@ impl Default for AdmissionConfig {
 /// use std::time::Instant;
 /// use vlsi_service::{AdmissionConfig, TokenBucket};
 ///
-/// let cfg = AdmissionConfig { rate_per_sec: 1.0, burst: 2, high_water: usize::MAX };
+/// let cfg = AdmissionConfig { rate_per_sec: 1.0, burst: 2, ..AdmissionConfig::default() };
 /// let now = Instant::now();
 /// let mut bucket = TokenBucket::new(&cfg, now);
 /// assert!(bucket.try_take(now)); // burst token 1
@@ -134,7 +154,7 @@ mod tests {
         let cfg = AdmissionConfig {
             rate_per_sec: 1.0,
             burst: 3,
-            high_water: usize::MAX,
+            ..AdmissionConfig::default()
         };
         let now = Instant::now();
         let mut b = TokenBucket::new(&cfg, now);
@@ -155,7 +175,7 @@ mod tests {
         let cfg = AdmissionConfig {
             rate_per_sec: 100.0,
             burst: 2,
-            high_water: usize::MAX,
+            ..AdmissionConfig::default()
         };
         let now = Instant::now();
         let mut b = TokenBucket::new(&cfg, now);

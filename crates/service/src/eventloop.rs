@@ -325,7 +325,12 @@ fn process_line(
                 refuse(conn, "queue_closed", "service is shutting down");
                 return;
             }
-            if let Err(e) = service.admit(&mut conn.bucket, &request.id, Instant::now()) {
+            if let Err(e) = service.admit(
+                &mut conn.bucket,
+                &request.id,
+                request.hg.num_pins(),
+                Instant::now(),
+            ) {
                 conn.queue_line(&e.to_line());
                 return;
             }

@@ -76,6 +76,7 @@ pub const ERROR_CODES: &[&str] = &[
     "bad_request",
     "unknown_engine",
     "infeasible",
+    "too_large",
     "queue_closed",
     "overloaded",
     "rate_limited",
@@ -897,6 +898,6 @@ mod tests {
             assert!(!code.is_empty());
             assert!(seen.insert(code), "duplicate error code {code}");
         }
-        assert_eq!(ERROR_CODES.len(), 8);
+        assert_eq!(ERROR_CODES.len(), 9);
     }
 }

@@ -228,7 +228,8 @@ impl Service {
                     }
                     Ok(Request::Job(request)) => {
                         let id = request.id.clone();
-                        if let Err(e) = self.admit(&mut bucket, &id, Instant::now()) {
+                        let pins = request.hg.num_pins();
+                        if let Err(e) = self.admit(&mut bucket, &id, pins, Instant::now()) {
                             let _ = tx.send(e.to_line());
                             continue;
                         }
@@ -262,15 +263,29 @@ impl Service {
         })
     }
 
-    /// Applies admission control for one job: the client's token bucket
-    /// first, then the queue high-water mark. A refusal is recorded as a
-    /// shed and returned as the structured error to send.
+    /// Applies admission control for one job: the instance-size cap
+    /// first (a property of the request, refused without spending a
+    /// token), then the client's token bucket, then the queue high-water
+    /// mark. A refusal is recorded as a shed and returned as the
+    /// structured error to send.
     pub(crate) fn admit(
         &self,
         bucket: &mut TokenBucket,
         id: &str,
+        num_pins: usize,
         now: Instant,
     ) -> Result<(), ProtocolError> {
+        if num_pins > self.admission.max_pins {
+            self.note_shed();
+            return Err(ProtocolError {
+                id: Some(id.to_string()),
+                code: "too_large",
+                message: format!(
+                    "instance has {num_pins} pins, above the admission limit of {}",
+                    self.admission.max_pins
+                ),
+            });
+        }
         if !bucket.try_take(now) {
             self.note_shed();
             return Err(ProtocolError {

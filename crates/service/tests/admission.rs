@@ -111,6 +111,58 @@ fn token_bucket_exhaustion_limits_a_burst_mid_batch() {
 }
 
 #[test]
+fn oversized_instance_is_refused_with_too_large() {
+    // The tiny instance carries 6 pins; cap admission at 5. The refusal
+    // must not spend a rate token or count as a worker failure.
+    let (responses, service) = stdio_session(
+        ServiceConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                max_pins: 5,
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        &[tiny_instance("big", 1)],
+    );
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].get("status").unwrap().as_str(), Some("error"));
+    assert_eq!(code_of(&responses[0]), Some("too_large"));
+    let message = responses[0]
+        .get("message")
+        .and_then(|m| m.as_str())
+        .expect("message");
+    assert!(
+        message.contains("6 pins") && message.contains('5'),
+        "message names both sides of the limit: {message}"
+    );
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.jobs_ok, 0);
+    assert_eq!(snapshot.jobs_failed, 0, "refusal is a shed, not a failure");
+    assert_eq!(snapshot.engine.sheds, 1);
+}
+
+#[test]
+fn max_pins_admits_at_the_limit_and_refuses_above_it() {
+    // Exactly at the limit (6 pins, cap 6): admitted and solved.
+    let (responses, service) = stdio_session(
+        ServiceConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                max_pins: 6,
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        &[tiny_instance("fits", 1)],
+    );
+    assert_eq!(responses[0].get("status").unwrap().as_str(), Some("ok"));
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.jobs_ok, 1);
+    assert_eq!(snapshot.engine.sheds, 0);
+}
+
+#[test]
 fn evicted_warm_start_seed_falls_back_to_cold_with_a_miss_note() {
     // Capacity 1: the second solve evicts the first solution.
     let service = Service::start(ServiceConfig {

@@ -124,6 +124,29 @@ impl Criterion {
         self
     }
 
+    /// Records an externally measured value (single-shot wall nanoseconds,
+    /// peak-RSS bytes, …) as a one-sample record, so it lands in the JSON
+    /// next to the timed benchmarks and regression gates reading
+    /// `median_ns` cover it with no extra machinery. Honours the CLI
+    /// filters like any benchmark.
+    pub fn report_value(&mut self, id: &str, value: f64) -> &mut Self {
+        if !self.selected(id) {
+            return self;
+        }
+        println!("{:<52} value  {value:>14.1}  (reported, 1 sample)", id);
+        self.records.push(Record {
+            id: id.to_string(),
+            samples: 1,
+            iters_per_sample: 1,
+            min_ns: value,
+            mean_ns: value,
+            median_ns: value,
+            p95_ns: value,
+            max_ns: value,
+        });
+        self
+    }
+
     /// Opens a named group; benchmarks inside share the group prefix and
     /// its `sample_size`.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
@@ -406,6 +429,21 @@ mod tests {
         assert!(written.contains("\"id\": \"alpha\""));
         assert!(written.trim_start().starts_with('['));
         assert!(written.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn report_value_lands_in_records_and_json() {
+        let dir = std::env::temp_dir().join("vlsi-testkit-bench-d");
+        let mut c = quiet_criterion(&dir);
+        c.report_value("scale/peak_rss_bytes", 123456789.0);
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].median_ns, 123456789.0);
+        assert_eq!(c.records[0].samples, 1);
+        c.finalize();
+        let written = std::fs::read_to_string(dir.join("results").join("bench").join("unit.json"))
+            .expect("json written");
+        assert!(written.contains("\"id\": \"scale/peak_rss_bytes\""));
+        assert!(written.contains("\"median_ns\": 123456789.0"));
     }
 
     #[test]

@@ -61,6 +61,21 @@ else
     echo "==> service soak smoke skipped (SOAK_SMOKE=0)"
 fi
 
+# Million-cell scale smoke: stream-generate a Rent-faithful 10^6-cell
+# instance, run a full multilevel bisection on it, check legality, and
+# gate peak RSS — the memory-safety net for the compact CSR layout.
+# Budget: ~30 s wall, < 1 GiB RSS on an unloaded 8-way builder. Shrink
+# with SCALE_SMOKE_CELLS (e.g. 100000 on tiny builders) or skip with
+# SCALE_SMOKE=0; SCALE_SMOKE_MAX_RSS_MB=0 disables only the RSS gate.
+if [ "${SCALE_SMOKE:-1}" = "1" ]; then
+    echo "==> million-cell scale smoke (scale_smoke)"
+    SCALE_SMOKE_CELLS="${SCALE_SMOKE_CELLS:-1000000}" \
+    SCALE_SMOKE_MAX_RSS_MB="${SCALE_SMOKE_MAX_RSS_MB:-1024}" \
+        cargo run --release --offline -q -p bench --bin scale_smoke
+else
+    echo "==> million-cell scale smoke skipped (SCALE_SMOKE=0)"
+fi
+
 # Perf smoke gate: run the perf-regression suite with a small sample count
 # and fail on a >15% median regression against the checked-in baseline.
 # The suite writes results/bench/BENCH_partition.json (the CI artifact) and
@@ -69,7 +84,10 @@ fi
 # partition/refine_parallel/t1) are the meaningful smoke signal — the
 # t2–t8 slices pay scoped-thread spawns with no parallel speedup and only
 # guard per-round freeze/merge overhead. Skip with PERF_SMOKE=0 (e.g. on
-# heavily-loaded builders where wall-clock medians are meaningless).
+# heavily-loaded builders where wall-clock medians are meaningless). The
+# suite's million-cell scale/ group (single-shot ~30 s partition plus a
+# peak-RSS record) can be skipped on its own with PERF_SCALE=0; the gate
+# then ignores scale/ baseline entries.
 if [ "${PERF_SMOKE:-1}" = "1" ]; then
     echo "==> perf smoke gate (cargo bench -p bench --bench perf_suite)"
     TESTKIT_BENCH_SAMPLES="${TESTKIT_BENCH_SAMPLES:-5}" \

@@ -1,0 +1,404 @@
+//! Differential tests pinning the streaming byte-scanner parsers to the
+//! line-based parsers they replaced.
+//!
+//! The `reference` module below is a port of the pre-rewrite readers
+//! (`BufRead::lines()`, per-line `String`s, `split_whitespace`). The
+//! properties drive both implementations over the testkit instance
+//! corpus — serialized by the streaming writers and then deliberately
+//! uglified with comments, blank lines, and whitespace noise — plus a
+//! structured-random token soup, and require the results to be equal
+//! (`PartialEq` on `Hypergraph` / `FixedVertices`) or to fail together.
+//! A million-cell write→parse round-trip anchors the same guarantee at
+//! the scale the streaming rewrite exists for.
+//!
+//! One historical quirk is deliberately out of scope: `str::parse::<u64>`
+//! accepted a leading `+` sign, the byte-level scanner does not. The
+//! random-text alphabet therefore excludes `+`.
+
+use vlsi_rng::Rng;
+use vlsi_testkit::gen::{instances, InstanceConfig, RawInstance};
+use vlsi_testkit::{prop_test, TestRng};
+
+use fixed_vertices_repro::vlsi_hypergraph::io::{
+    read_fix, read_hgr, read_multi_are, write_fix, write_hgr, write_multi_are,
+};
+use fixed_vertices_repro::vlsi_hypergraph::{
+    FixedVertices, Fixity, Hypergraph, HypergraphBuilder, PartId, PartSet, VertexId,
+};
+use fixed_vertices_repro::vlsi_netgen::instances::million_cells_scaled;
+
+/// Line-based ports of the pre-streaming parsers. Errors are reduced to
+/// `String`: the differential contract covers *whether* an input parses
+/// and *what* it parses to, not the message text (the streaming errors
+/// deliberately say more — byte offsets, overflow detail).
+mod reference {
+    use super::*;
+
+    fn content_lines<'a>(text: &'a str, comments: &[char]) -> Vec<&'a str> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with(comments))
+            .collect()
+    }
+
+    fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+        let tok = tok.ok_or_else(|| format!("missing {what}"))?;
+        tok.parse().map_err(|_| format!("bad {what} `{tok}`"))
+    }
+
+    pub fn read_hgr_lines(text: &str) -> Result<Hypergraph, String> {
+        let lines = content_lines(text, &['%']);
+        let mut it = lines.into_iter();
+        let header = it.next().ok_or("missing header line")?;
+        let mut hdr = header.split_whitespace();
+        let num_nets: usize = parse_tok(hdr.next(), "net count")?;
+        let num_vertices: usize = parse_tok(hdr.next(), "vertex count")?;
+        let (net_weights, vertex_weights) = match hdr.next() {
+            None => (false, false),
+            Some(tok) => match tok.parse::<u64>().map_err(|_| format!("bad fmt `{tok}`"))? {
+                0 => (false, false),
+                1 => (true, false),
+                10 => (false, true),
+                11 => (true, true),
+                other => return Err(format!("unsupported fmt `{other}`")),
+            },
+        };
+
+        // The historical parser reserved `num_nets` up front — the
+        // unbounded-allocation hazard the streaming rewrite caps with
+        // MAX_HEADER_RESERVE. Grow incrementally here so a soup header
+        // like `99999 0` errors on the missing lines instead of
+        // aborting the test process.
+        let mut weights = vec![1u64; num_vertices];
+        let mut nets: Vec<(u64, Vec<VertexId>)> = Vec::new();
+        for _ in 0..num_nets {
+            let line = it.next().ok_or("fewer net lines than declared")?;
+            let mut toks = line.split_whitespace();
+            let weight: u64 = if net_weights {
+                parse_tok(toks.next(), "net weight")?
+            } else {
+                1
+            };
+            let mut pins = Vec::new();
+            for tok in toks {
+                let idx: usize = tok
+                    .parse()
+                    .map_err(|_| format!("bad vertex index `{tok}`"))?;
+                if idx == 0 || idx > num_vertices {
+                    return Err(format!("vertex index {idx} out of range"));
+                }
+                pins.push(VertexId::from_index(idx - 1));
+            }
+            if pins.is_empty() {
+                return Err("net with no pins".to_string());
+            }
+            nets.push((weight, pins));
+        }
+        if vertex_weights {
+            for w in weights.iter_mut() {
+                let line = it.next().ok_or("fewer vertex-weight lines than declared")?;
+                *w = parse_tok(line.split_whitespace().next(), "vertex weight")?;
+            }
+        }
+
+        let mut builder = HypergraphBuilder::new();
+        for &w in &weights {
+            builder.add_vertex(w);
+        }
+        for (w, pins) in nets {
+            builder.add_net_dedup(w, pins).map_err(|e| e.to_string())?;
+        }
+        builder.build().map_err(|e| e.to_string())
+    }
+
+    pub fn read_fix_lines(text: &str, num_vertices: usize) -> Result<FixedVertices, String> {
+        let mut fixities = Vec::with_capacity(num_vertices);
+        for line in content_lines(text, &['%']) {
+            if fixities.len() == num_vertices {
+                return Err(format!("more than {num_vertices} fixity entries"));
+            }
+            if line == "-1" {
+                fixities.push(Fixity::Free);
+                continue;
+            }
+            let mut set = PartSet::new();
+            for tok in line.split(',') {
+                let p: u32 = tok
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad partition index `{tok}`"))?;
+                if p as usize >= PartSet::MAX_PARTS {
+                    return Err(format!("partition index {p} exceeds the maximum of 63"));
+                }
+                set.insert(PartId(p));
+            }
+            fixities.push(if set.len() == 1 {
+                Fixity::Fixed(set.iter().next().expect("non-empty set"))
+            } else {
+                Fixity::FixedAny(set)
+            });
+        }
+        if fixities.len() != num_vertices {
+            return Err(format!(
+                "expected {num_vertices} fixity entries, found {}",
+                fixities.len()
+            ));
+        }
+        Ok(FixedVertices::from_fixities(fixities))
+    }
+
+    pub fn read_multi_are_lines(
+        text: &str,
+        num_vertices: usize,
+    ) -> Result<(usize, Vec<u64>), String> {
+        let mut num_resources = 0usize;
+        let mut weights: Vec<u64> = Vec::new();
+        let mut rows = 0usize;
+        for line in content_lines(text, &['%', '#']) {
+            let row: Result<Vec<u64>, _> = line.split_whitespace().map(str::parse).collect();
+            let row = row.map_err(|_| "bad area value".to_string())?;
+            if rows == 0 {
+                num_resources = row.len();
+            } else if row.len() != num_resources {
+                return Err(format!(
+                    "line has {} areas, expected {num_resources}",
+                    row.len()
+                ));
+            }
+            if rows == num_vertices {
+                return Err(format!("more than {num_vertices} area lines"));
+            }
+            weights.extend(row);
+            rows += 1;
+        }
+        if rows != num_vertices {
+            return Err(format!("expected {num_vertices} area lines, found {rows}"));
+        }
+        Ok((num_resources, weights))
+    }
+}
+
+fn build(inst: &RawInstance) -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    let vs: Vec<VertexId> = inst.weights.iter().map(|&w| b.add_vertex(w)).collect();
+    for net in &inst.nets {
+        b.add_net(1 + (net.len() as u64 % 3), net.iter().map(|&i| vs[i]))
+            .expect("generated nets are valid");
+    }
+    b.build().expect("generated instance builds")
+}
+
+fn fixities_of(inst: &RawInstance) -> FixedVertices {
+    let mut fx = FixedVertices::all_free(inst.weights.len());
+    for (i, f) in inst.fixities.iter().enumerate() {
+        match f {
+            None => {}
+            Some(p) if i % 3 == 0 => {
+                // Exercise the multi-part "or" entries too.
+                let mut set = PartSet::new();
+                set.insert(PartId(u32::from(*p)));
+                set.insert(PartId(u32::from(*p) + 7));
+                fx.fix_any(VertexId::from_index(i), set);
+            }
+            Some(p) => fx.fix(VertexId::from_index(i), PartId(u32::from(*p))),
+        }
+    }
+    fx
+}
+
+/// Uglifies canonical writer output without changing its meaning under
+/// either parser: comment lines, blank lines, leading/trailing horizontal
+/// whitespace, `\r\n` endings, and sometimes a missing final newline.
+fn uglify(canonical: &str, rng: &mut TestRng, comment: char) -> String {
+    let mut out = String::with_capacity(canonical.len() * 2);
+    for line in canonical.lines() {
+        while rng.gen_bool(0.15) {
+            out.push_str(&format!("{comment} noise {}\n", rng.gen_range(0..1000)));
+        }
+        if rng.gen_bool(0.1) {
+            out.push('\n');
+        }
+        if rng.gen_bool(0.2) {
+            out.push_str(if rng.gen_bool(0.5) { "  " } else { "\t" });
+        }
+        out.push_str(line);
+        if rng.gen_bool(0.2) {
+            out.push_str(if rng.gen_bool(0.5) { " " } else { "\t " });
+        }
+        if rng.gen_bool(0.15) {
+            out.push('\r');
+        }
+        out.push('\n');
+    }
+    if rng.gen_bool(0.1) && out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+/// Token soup over the grammar's own alphabet: far denser in
+/// almost-parseable inputs than printable-ASCII noise. Excludes `+`
+/// (see the module docs) and keeps numeric tokens at ≤ 4 digits — a
+/// *valid* soup header like `0 4000000000` would make both parsers
+/// faithfully build a four-billion-vertex graph.
+fn token_soup(max_len: usize) -> impl Fn(&mut TestRng) -> String {
+    const OTHER: &[u8] = b" \t\n\n%#,-x";
+    move |rng| {
+        let n = rng.gen_range(0..max_len.max(1) + 1);
+        let mut out = String::new();
+        while out.len() < n {
+            if rng.gen_bool(0.55) {
+                out.push_str(&rng.gen_range(0u32..10_000).to_string());
+                // Never let two numbers concatenate into a longer one.
+                out.push(if rng.gen_bool(0.7) { ' ' } else { '\n' });
+            } else {
+                out.push(OTHER[rng.gen_range(0..OTHER.len())] as char);
+            }
+        }
+        out
+    }
+}
+
+fn instance_and_noise() -> impl Fn(&mut TestRng) -> (RawInstance, u64) {
+    let gen = instances(InstanceConfig {
+        vertices: 2..40,
+        max_weight: 9,
+        ..InstanceConfig::default()
+    });
+    move |rng| {
+        let inst = gen(rng);
+        let noise = rng.gen_range(0..u64::MAX);
+        (inst, noise)
+    }
+}
+
+prop_test! {
+    #[cases(96)]
+    fn hgr_streaming_matches_line_reference_on_corpus(case in instance_and_noise()) {
+        let (inst, noise) = case;
+        let hg = build(&inst);
+        let mut text = Vec::new();
+        write_hgr(&mut text, &hg).expect("write to memory");
+        let canonical = String::from_utf8(text).expect("writer emits ASCII");
+        let mut rng = <TestRng as vlsi_rng::SeedableRng>::seed_from_u64(noise);
+        let ugly = uglify(&canonical, &mut rng, '%');
+
+        for input in [canonical.as_str(), ugly.as_str()] {
+            let streamed = read_hgr(input.as_bytes()).expect("streaming parser accepts");
+            let referenced = reference::read_hgr_lines(input).expect("reference parser accepts");
+            assert_eq!(streamed, referenced, "parsers disagree on:\n{input}");
+            assert_eq!(streamed, hg, "round-trip lost information");
+        }
+    }
+
+    #[cases(96)]
+    fn fix_streaming_matches_line_reference_on_corpus(case in instance_and_noise()) {
+        let (inst, noise) = case;
+        let fx = fixities_of(&inst);
+        let n = inst.weights.len();
+        let mut text = Vec::new();
+        write_fix(&mut text, &fx).expect("write to memory");
+        let canonical = String::from_utf8(text).expect("writer emits ASCII");
+        let mut rng = <TestRng as vlsi_rng::SeedableRng>::seed_from_u64(noise);
+        let ugly = uglify(&canonical, &mut rng, '%');
+
+        for input in [canonical.as_str(), ugly.as_str()] {
+            let streamed = read_fix(input.as_bytes(), n).expect("streaming parser accepts");
+            let referenced =
+                reference::read_fix_lines(input, n).expect("reference parser accepts");
+            assert_eq!(streamed, referenced, "parsers disagree on:\n{input}");
+            assert_eq!(streamed, fx, "round-trip lost information");
+        }
+    }
+
+    #[cases(96)]
+    fn multi_are_streaming_matches_line_reference_on_corpus(case in instance_and_noise()) {
+        let (inst, noise) = case;
+        let n = inst.weights.len();
+        let mut b = HypergraphBuilder::with_resources(3);
+        for (i, &w) in inst.weights.iter().enumerate() {
+            b.add_vertex_multi(&[w, (i as u64) % 5, w * 2])
+                .expect("three weights per vertex");
+        }
+        let hg = b.build().expect("vertex-only graph builds");
+        let mut text = Vec::new();
+        write_multi_are(&mut text, &hg).expect("write to memory");
+        let canonical = String::from_utf8(text).expect("writer emits ASCII");
+        let mut rng = <TestRng as vlsi_rng::SeedableRng>::seed_from_u64(noise);
+        let ugly = uglify(&canonical, &mut rng, '#');
+
+        for input in [canonical.as_str(), ugly.as_str()] {
+            let streamed = read_multi_are(input.as_bytes(), n).expect("streaming parser accepts");
+            let referenced =
+                reference::read_multi_are_lines(input, n).expect("reference parser accepts");
+            assert_eq!(streamed, referenced, "parsers disagree on:\n{input}");
+            assert_eq!(streamed.0, 3);
+        }
+    }
+
+    // On arbitrary token soup the two implementations must agree on
+    // *acceptance*, and byte-for-byte on the value when both accept.
+    #[cases(256)]
+    fn hgr_acceptance_agrees_on_token_soup(text in token_soup(300)) {
+        let streamed = read_hgr(text.as_bytes());
+        let referenced = reference::read_hgr_lines(&text);
+        assert_eq!(
+            streamed.is_ok(),
+            referenced.is_ok(),
+            "acceptance disagrees on:\n{text}\nstreaming: {streamed:?}\nreference: {referenced:?}"
+        );
+        if let (Ok(s), Ok(r)) = (streamed, referenced) {
+            assert_eq!(s, r, "accepted values disagree on:\n{text}");
+        }
+    }
+
+    #[cases(256)]
+    fn fix_acceptance_agrees_on_token_soup(text in token_soup(200)) {
+        for n in [0usize, 1, 3, 7] {
+            let streamed = read_fix(text.as_bytes(), n);
+            let referenced = reference::read_fix_lines(&text, n);
+            assert_eq!(
+                streamed.is_ok(),
+                referenced.is_ok(),
+                "acceptance disagrees at n={n} on:\n{text}\nstreaming: {streamed:?}\nreference: {referenced:?}"
+            );
+            if let (Ok(s), Ok(r)) = (streamed, referenced) {
+                assert_eq!(s, r, "accepted values disagree at n={n} on:\n{text}");
+            }
+        }
+    }
+
+    #[cases(256)]
+    fn multi_are_acceptance_agrees_on_token_soup(text in token_soup(200)) {
+        for n in [0usize, 1, 3, 7] {
+            let streamed = read_multi_are(text.as_bytes(), n);
+            let referenced = reference::read_multi_are_lines(&text, n);
+            assert_eq!(
+                streamed.is_ok(),
+                referenced.is_ok(),
+                "acceptance disagrees at n={n} on:\n{text}\nstreaming: {streamed:?}\nreference: {referenced:?}"
+            );
+            if let (Ok(s), Ok(r)) = (streamed, referenced) {
+                assert_eq!(s, r, "accepted values disagree at n={n} on:\n{text}");
+            }
+        }
+    }
+}
+
+/// The guarantee the streaming rewrite exists for: a million-cell
+/// Rent-faithful instance (~2M nets, ~4.2M pins, a ~35 MB file image)
+/// survives write→parse with nothing lost. Runs in about a second even
+/// unoptimized — the streaming generator and scanner are why.
+#[test]
+fn million_cell_preset_roundtrips_through_hgr() {
+    let circuit = million_cells_scaled(1.0, 7);
+    let hg = &circuit.hypergraph;
+
+    let mut text = Vec::new();
+    write_hgr(&mut text, hg).expect("write to memory");
+    let back = read_hgr(text.as_slice()).expect("parse back");
+    assert_eq!(
+        &back, hg,
+        "write→parse round-trip must be the identity at scale"
+    );
+}
