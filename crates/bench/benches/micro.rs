@@ -63,6 +63,7 @@ fn bench_coarsen(c: &mut Criterion) {
     let fixed = FixedVertices::all_free(hg.num_vertices());
     let params = CoarsenParams {
         max_cluster_weight: hg.total_weight() / 20,
+        max_cluster_weights: Vec::new(),
         max_net_size_for_matching: 64,
         max_fixed_part_weight: Vec::new(),
         allow_free_fixed_merge: false,

@@ -2,12 +2,14 @@
 //! target exists to be *gated*: it measures the hot phases the parallel
 //! execution layer touches (heavy-edge matching + contraction, FM gain
 //! initialization inside a full run, an end-to-end multilevel partition,
-//! and the synchronous-round parallel k-way refinement) at several thread
-//! counts, writes
+//! and the synchronous-round parallel k-way refinement under both the
+//! cut and the connectivity objectives) at several thread counts, writes
 //! `results/bench/BENCH_partition.json`, and — when `PERF_GATE=1` — fails
 //! the process if any benchmark's median regressed more than 15% against
 //! the checked-in baseline (`PERF_BASELINE`, defaulting to
-//! `results/bench/BENCH_partition.baseline.json`).
+//! `results/bench/BENCH_partition.baseline.json`). The cut-objective
+//! refinement slice (`partition/refine_parallel/t1`) additionally carries
+//! a tighter min-vs-min bound — see `CUT_REFINE_MAX_REGRESSION`.
 //!
 //! The baseline is regenerated on purpose, never by accident:
 //! `TESTKIT_BENCH_DIR=... cargo bench -p bench --bench perf_suite` and
@@ -58,6 +60,27 @@ fn scale_time_max_regression() -> f64 {
         .unwrap_or(SCALE_TIME_MAX_REGRESSION)
 }
 
+/// Tighter gate for the cut-objective refinement engine slice
+/// (`partition/refine_parallel/t1`): the pluggable-objective gain layer
+/// must stay near-free when the objective is `Cut`, so a ≤5% drift bound
+/// keeps that promise standing. The tripwire compares **min-vs-min** —
+/// background load only ever adds time, so the minimum sample is the
+/// statistic least polluted by the builder — over a ≥30-sample floor
+/// (see `min_samples` in `bench_refine_parallel`), where the min repeats
+/// to within ±2% on the CI box. Only the t1 slice carries it: the t2–t8
+/// medians are dominated by scoped-thread spawn jitter (observed ±30%
+/// run-to-run on the CI box) and stay on the general gate.
+/// `PERF_CUT_MAX_REGRESSION` overrides it for noisy builders.
+const CUT_REFINE_MAX_REGRESSION: f64 = 1.05;
+
+fn cut_refine_max_regression() -> f64 {
+    std::env::var("PERF_CUT_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|pct| 1.0 + pct / 100.0)
+        .unwrap_or(CUT_REFINE_MAX_REGRESSION)
+}
+
 fn fixture() -> (
     vlsi_hypergraph::Hypergraph,
     FixedVertices,
@@ -79,6 +102,7 @@ fn bench_coarsen(c: &mut Criterion, hg: &vlsi_hypergraph::Hypergraph, fixed: &Fi
     for threads in THREADS {
         let params = CoarsenParams {
             max_cluster_weight: hg.total_weight() / 20,
+            max_cluster_weights: Vec::new(),
             max_net_size_for_matching: 64,
             max_fixed_part_weight: Vec::new(),
             allow_free_fixed_merge: false,
@@ -168,7 +192,12 @@ fn bench_refine_parallel(c: &mut Criterion, hg: &vlsi_hypergraph::Hypergraph) {
     let initial = random_initial(hg, &fixed, &balance, k, &mut rng).expect("feasible fixture");
 
     let mut group = c.benchmark_group("partition/refine_parallel");
-    group.sample_size(10);
+    group.sample_size(30);
+    // The t1 slice is gated min-vs-min at the tight cut-path bound; the
+    // min only converges with enough samples (observed ±1.6% across runs
+    // at 30 samples vs ±11% at 5), so the floor holds even under the CI
+    // speed knob (`TESTKIT_BENCH_SAMPLES=5`).
+    group.min_samples(30);
     for threads in THREADS {
         group.bench_function(format!("t{threads}").as_str(), |b| {
             b.iter(|| {
@@ -182,6 +211,32 @@ fn bench_refine_parallel(c: &mut Criterion, hg: &vlsi_hypergraph::Hypergraph) {
                         threads,
                     )
                     .expect("round engine runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // The same pass under the connectivity objective: km1 deltas touch
+    // every pin's part-count bookkeeping instead of the boundary test, so
+    // this group prices the heterogeneous-objective tier on the exact
+    // workload the cut slices above use.
+    let mut group = c.benchmark_group("partition/km1_refine");
+    group.sample_size(30);
+    group.min_samples(30);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("t{threads}").as_str(), |b| {
+            b.iter(|| {
+                black_box(
+                    kway::refine_pass_parallel(
+                        hg,
+                        &fixed,
+                        &balance,
+                        initial.clone(),
+                        Objective::KMinus1,
+                        threads,
+                    )
+                    .expect("km1 round engine runs"),
                 )
             })
         });
@@ -237,27 +292,46 @@ fn bench_scale(c: &mut Criterion) {
     }
 }
 
-/// Pulls `(id, median_ns)` pairs out of a testkit bench JSON file with a
-/// plain string scan (the format is fixed: `"id": "...", ... "median_ns":
-/// 123.4`), so the gate needs no JSON dependency.
-fn parse_medians(json: &str) -> Vec<(String, f64)> {
+/// One record pulled from a testkit bench JSON file.
+struct BenchRecord {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+}
+
+/// Scans one numeric field (`"name": 123.4`) out of a record chunk.
+fn scan_field(chunk: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\": ");
+    let pos = chunk.find(&needle)?;
+    let rest = &chunk[pos + needle.len()..];
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse::<f64>().ok()
+}
+
+/// Pulls `(id, median_ns, min_ns)` records out of a testkit bench JSON
+/// file with a plain string scan (the format is fixed: `"id": "...", ...
+/// "min_ns": 123.4, ... "median_ns": 123.4`), so the gate needs no JSON
+/// dependency. Single-sample "reported" records carry the value in every
+/// statistic, so `min_ns` falls back to `median_ns` when absent.
+fn parse_records(json: &str) -> Vec<BenchRecord> {
     let mut out = Vec::new();
     for chunk in json.split("\"id\": \"").skip(1) {
         let Some(id_end) = chunk.find('"') else {
             continue;
         };
         let id = chunk[..id_end].to_string();
-        let Some(pos) = chunk.find("\"median_ns\": ") else {
+        let Some(median_ns) = scan_field(chunk, "median_ns") else {
             continue;
         };
-        let rest = &chunk[pos + "\"median_ns\": ".len()..];
-        let num: String = rest
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
-        if let Ok(median) = num.parse::<f64>() {
-            out.push((id, median));
-        }
+        let min_ns = scan_field(chunk, "min_ns").unwrap_or(median_ns);
+        out.push(BenchRecord {
+            id,
+            median_ns,
+            min_ns,
+        });
     }
     out
 }
@@ -270,13 +344,16 @@ fn gate(results_path: &std::path::Path) -> bool {
         eprintln!("perf_suite: no results at {}", results_path.display());
         return true;
     };
-    let current = parse_medians(&current_json);
+    let current = parse_records(&current_json);
 
     for phase in ["partition/coarsen_once", "partition/multilevel"] {
-        let t1 = current.iter().find(|(id, _)| id == &format!("{phase}/t1"));
-        let t4 = current.iter().find(|(id, _)| id == &format!("{phase}/t4"));
-        if let (Some((_, m1)), Some((_, m4))) = (t1, t4) {
-            println!("perf_suite: {phase} speedup at 4 threads: {:.2}x", m1 / m4);
+        let t1 = current.iter().find(|r| r.id == format!("{phase}/t1"));
+        let t4 = current.iter().find(|r| r.id == format!("{phase}/t4"));
+        if let (Some(r1), Some(r4)) = (t1, t4) {
+            println!(
+                "perf_suite: {phase} speedup at 4 threads: {:.2}x",
+                r1.median_ns / r4.median_ns
+            );
         }
     }
 
@@ -309,37 +386,48 @@ fn gate(results_path: &std::path::Path) -> bool {
             return false;
         }
     };
-    let baseline = parse_medians(&baseline_json);
+    let baseline = parse_records(&baseline_json);
 
     let threshold = max_regression();
     let mut ok = true;
-    for (id, base_median) in &baseline {
+    for base in &baseline {
+        let id = &base.id;
         if !scale_enabled() && id.starts_with("scale/") {
             println!("perf_suite: gate skip: {id} (PERF_SCALE=0)");
             continue;
         }
-        let Some((_, median)) = current.iter().find(|(cid, _)| cid == id) else {
+        let Some(cur) = current.iter().find(|r| &r.id == id) else {
             eprintln!("perf_suite: GATE FAIL: benchmark {id} missing from current run");
             ok = false;
             continue;
         };
+        // Cut-objective refinement: the pluggable-objective layer must
+        // stay near-free for `Objective::Cut`, so the engine-cost slice
+        // is held to the tighter cut-path bound, compared min-vs-min so
+        // builder load (which only ever adds time) cannot trip it.
+        let cut_slice = id == "partition/refine_parallel/t1";
         let threshold = if id.starts_with("scale/") && !id.starts_with("scale/peak_rss") {
             threshold.max(scale_time_max_regression())
+        } else if cut_slice {
+            cut_refine_max_regression()
         } else {
             threshold
         };
-        let ratio = median / base_median;
+        let (stat, cur_v, base_v) = if cut_slice {
+            ("min", cur.min_ns, base.min_ns)
+        } else {
+            ("median", cur.median_ns, base.median_ns)
+        };
+        let ratio = cur_v / base_v;
         if ratio > threshold {
             eprintln!(
-                "perf_suite: GATE FAIL: {id} regressed {:.0}% (median {:.0} ns vs baseline {:.0} ns)",
+                "perf_suite: GATE FAIL: {id} regressed {:.0}% ({stat} {cur_v:.0} ns vs baseline {base_v:.0} ns)",
                 (ratio - 1.0) * 100.0,
-                median,
-                base_median,
             );
             ok = false;
         } else {
             println!(
-                "perf_suite: gate ok: {id} at {:.0}% of baseline",
+                "perf_suite: gate ok: {id} at {:.0}% of baseline ({stat})",
                 ratio * 100.0
             );
         }

@@ -57,7 +57,7 @@ use std::fmt;
 use vlsi_rng::{ChaCha8Rng, Rng, SeedableRng};
 use vlsi_trace::{NullSink, Sink};
 
-use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Objective, PartId};
+use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Objective, PartId, Tolerance};
 
 use crate::annealing::{simulated_annealing_cancellable, AnnealingConfig};
 use crate::cancel::CancelToken;
@@ -477,6 +477,24 @@ impl Partitioner for RecursiveBisection {
             ctx.sink,
             ctx.cancel,
         )?;
+        // The bisection stack only targets even splits. Under a
+        // heterogeneous constraint (per-part capacity vectors), repair the
+        // assignment deterministically before judging or refining; the
+        // uniform even-split case is routed untouched, bit-for-bit.
+        let uniform = BalanceConstraint::even(
+            balance.num_parts(),
+            hg.total_weights(),
+            Tolerance::Relative(cfg.tolerance),
+        );
+        let r = if *balance == uniform {
+            r
+        } else {
+            let (parts, _relocated) =
+                crate::warmstart::legalize_assignment(hg, fixed, balance, &r.parts)?;
+            let value = vlsi_hypergraph::CutState::new(hg, balance.num_parts(), &parts)
+                .value(cfg.objective);
+            PartitionResult::new(parts, value)
+        };
         if cfg.refine_passes == 0 || ctx.cancel.is_cancelled() {
             return Ok(r);
         }
@@ -512,10 +530,33 @@ impl Partitioner for DirectKway {
             threads: cfg.ml.threads.max(ctx.threads),
             ..cfg.ml
         };
+        // Uniform even split + cut objective is the historical special
+        // case, routed through the legacy driver bit-for-bit. Anything
+        // else (per-part capacity vectors, multi-resource bounds, km1)
+        // takes the constrained driver, which threads the caller's
+        // balance and the configured objective through every level.
+        let k = balance.num_parts();
+        if k > 0 && k <= vlsi_hypergraph::PartSet::MAX_PARTS {
+            let uniform =
+                BalanceConstraint::even(k, hg.total_weights(), Tolerance::Relative(cfg.tolerance));
+            if *balance != uniform || cfg.objective != Objective::Cut {
+                return kway::multilevel_kway_constrained(
+                    hg,
+                    fixed,
+                    balance,
+                    cfg.objective,
+                    cfg.tolerance,
+                    &ml,
+                    ctx.rng,
+                    ctx.sink,
+                    ctx.cancel,
+                );
+            }
+        }
         kway::multilevel_kway_cancellable(
             hg,
             fixed,
-            balance.num_parts(),
+            k,
             cfg.tolerance,
             &ml,
             ctx.rng,
@@ -799,6 +840,33 @@ impl EngineConfig {
             EngineConfig::Fm(_) | EngineConfig::Kl(_) | EngineConfig::Annealing(_) => {}
         }
         self
+    }
+
+    /// Sets the objective for engines that optimise one (the k-way
+    /// configs); a no-op for the bipartitioning engines, where cut and
+    /// connectivity coincide (`km1 == cut` at `k = 2`).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        match &mut self {
+            EngineConfig::KwayRb(cfg) | EngineConfig::KwayDirect(cfg) => {
+                cfg.objective = objective;
+            }
+            EngineConfig::Fm(_)
+            | EngineConfig::Kl(_)
+            | EngineConfig::Annealing(_)
+            | EngineConfig::Multilevel(_) => {}
+        }
+        self
+    }
+
+    /// The objective this engine optimises (the k-way configs carry one;
+    /// the bipartitioning engines are fixed on cut, where the two
+    /// objectives coincide).
+    pub fn objective(&self) -> Objective {
+        match self {
+            EngineConfig::KwayRb(cfg) | EngineConfig::KwayDirect(cfg) => cfg.objective,
+            _ => Objective::Cut,
+        }
     }
 }
 

@@ -913,8 +913,6 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
     sink: &S,
     cancel: &CancelToken,
 ) -> Result<PartitionResult, PartitionError> {
-    use crate::multilevel::{coarsen_once, CoarsenParams, Level};
-
     if k == 0 || k > PartSet::MAX_PARTS {
         return Err(PartitionError::UnsupportedPartCount {
             requested: k,
@@ -926,11 +924,141 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
         hg.total_weights(),
         vlsi_hypergraph::Tolerance::Relative(tolerance),
     );
-    let params = CoarsenParams {
-        max_cluster_weight: ((hg.total_weight() as f64) * ml_config.max_cluster_fraction
-            / (k as f64 / 2.0))
+    multilevel_kway_inner(
+        hg,
+        fixed,
+        &balance,
+        Objective::Cut,
+        tolerance,
+        false,
+        ml_config,
+        rng,
+        sink,
+        cancel,
+    )
+}
+
+/// Direct multilevel k-way partitioning against an arbitrary
+/// [`BalanceConstraint`] (per-part, per-resource capacity vectors) and
+/// objective — the heterogeneous entry point behind
+/// [`DirectKway`](crate::DirectKway) when the caller's balance is not the
+/// uniform even split or the objective is not plain cut.
+///
+/// The multilevel schedule is the same as [`multilevel_kway`]: heavy-edge
+/// coarsening (vector weights accumulate exactly, so the caller's
+/// constraint is valid verbatim at every level), recursive bisection on
+/// the coarsest graph, then threaded FM refinement per level — every
+/// refinement pass scores `objective` and enforces the full vector
+/// constraint. Because the coarsest solve targets an even split, its
+/// result is deterministically re-legalized against `balance` (the
+/// warm-start repair) before refinement; the multi-dimensional
+/// heavy-vertex guard caps every cluster's weight *vector* during
+/// coarsening so that repair stays possible ("Vertex Weights Revisited"
+/// pathology).
+///
+/// `tolerance` only shapes the coarsest even-split solve; legality is
+/// judged exclusively by `balance`.
+///
+/// # Errors
+/// * [`PartitionError::UnsupportedPartCount`] if `balance.num_parts()` is
+///   0 or exceeds 64.
+/// * [`PartitionError::InfeasibleInstance`] when no legal assignment is
+///   reachable (capacities too tight for the instance or its fixed
+///   vertices).
+///
+/// # Example
+/// ```
+/// use vlsi_rng::SeedableRng;
+/// use vlsi_hypergraph::{FixedVertices, HypergraphBuilder, Objective, PartCapacities};
+/// use vlsi_partition::kway::multilevel_kway_constrained;
+/// use vlsi_partition::{CancelToken, MultilevelConfig};
+/// use vlsi_trace::NullSink;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_resources(2);
+/// let v: Vec<_> = (0..16).map(|i| b.add_vertex_multi(&[1, (i % 2) as u64]).unwrap()).collect();
+/// for w in v.windows(2) {
+///     b.add_net(1, [w[0], w[1]])?;
+/// }
+/// let hg = b.build()?;
+/// let fixed = FixedVertices::all_free(16);
+/// let caps = PartCapacities::uniform(4, &[6, 3]);
+/// let mut rng = vlsi_rng::ChaCha8Rng::seed_from_u64(7);
+/// let cfg = MultilevelConfig { coarsest_size: 8, ..MultilevelConfig::default() };
+/// let r = multilevel_kway_constrained(
+///     &hg, &fixed, &caps.to_balance(), Objective::KMinus1, 0.1, &cfg,
+///     &mut rng, &NullSink, &CancelToken::never(),
+/// )?;
+/// assert_eq!(r.parts.len(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn multilevel_kway_constrained<R: Rng + ?Sized, S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    objective: Objective,
+    tolerance: f64,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+    sink: &S,
+    cancel: &CancelToken,
+) -> Result<PartitionResult, PartitionError> {
+    let k = balance.num_parts();
+    if k == 0 || k > PartSet::MAX_PARTS {
+        return Err(PartitionError::UnsupportedPartCount {
+            requested: k,
+            supported: PartSet::MAX_PARTS,
+        });
+    }
+    balance
+        .check_feasible(hg.total_weights())
+        .map_err(PartitionError::Balance)?;
+    multilevel_kway_inner(
+        hg, fixed, balance, objective, tolerance, true, ml_config, rng, sink, cancel,
+    )
+}
+
+/// Shared multilevel k-way driver. The uniform path
+/// ([`multilevel_kway_cancellable`]) passes the even-split constraint with
+/// `legalize = false` — coarsening preserves per-resource totals exactly,
+/// so the even split recomputed at any level equals the top-level one and
+/// this routing is bit-for-bit the historical behavior. The constrained
+/// path passes the caller's vector balance with `legalize = true`.
+#[allow(clippy::too_many_arguments)]
+fn multilevel_kway_inner<R: Rng + ?Sized, S: Sink>(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    objective: Objective,
+    tolerance: f64,
+    legalize: bool,
+    ml_config: &MultilevelConfig,
+    rng: &mut R,
+    sink: &S,
+    cancel: &CancelToken,
+) -> Result<PartitionResult, PartitionError> {
+    use crate::multilevel::{coarsen_once, CoarsenParams, Level};
+
+    let k = balance.num_parts();
+    let cluster_cap = |total: u64| -> u64 {
+        ((total as f64) * ml_config.max_cluster_fraction / (k as f64 / 2.0))
             .ceil()
-            .max(1.0) as u64,
+            .max(1.0) as u64
+    };
+    let params = CoarsenParams {
+        max_cluster_weight: cluster_cap(hg.total_weight()),
+        // With several resource dimensions, cap the cluster weight
+        // *vector* too: a cluster hoarding one scarce resource is exactly
+        // the heavy-vertex pathology that makes coarse levels
+        // unbalanceable. Single-resource instances keep the scalar-only
+        // guard (empty vector) bit-for-bit.
+        max_cluster_weights: if hg.num_resources() > 1 {
+            hg.total_weights().iter().map(|&t| cluster_cap(t)).collect()
+        } else {
+            Vec::new()
+        },
         max_net_size_for_matching: 64,
         max_fixed_part_weight: (0..k)
             .map(|p| balance.max(PartId::from_index(p), 0))
@@ -977,17 +1105,33 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
         sink,
         cancel,
     )?;
-    let coarse_balance = BalanceConstraint::even(
-        k,
-        coarsest_hg.total_weights(),
-        vlsi_hypergraph::Tolerance::Relative(tolerance),
-    );
+    // The coarsest solve targets an even split; under an arbitrary vector
+    // constraint it may be illegal, so repair it deterministically before
+    // refining. Projection preserves per-part loads exactly, so legality
+    // established at any level is invariant down the hierarchy. Cluster
+    // granularity can leave a tight constraint unreachable this high up
+    // (no single cluster move shrinks the overfull part), so a stuck
+    // repair is tolerated here and retried after each uncoarsening, where
+    // vertices are finer; only the finest level treats it as infeasible.
+    let mut fully_legal = !legalize;
+    let initial_parts = if legalize {
+        let (p, _, legal) = crate::warmstart::legalize_assignment_lenient(
+            coarsest_hg,
+            coarsest_fixed,
+            balance,
+            &initial.parts,
+        )?;
+        fully_legal = legal;
+        p
+    } else {
+        initial.parts
+    };
     let r = refine_threaded(
         coarsest_hg,
         coarsest_fixed,
-        &coarse_balance,
-        initial.parts,
-        Objective::Cut,
+        balance,
+        initial_parts,
+        objective,
         4,
         sink,
         cancel,
@@ -1003,23 +1147,28 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
     }
     let mut parts = r.parts;
     for i in (0..levels.len()).rev() {
-        let fine_parts = levels[i].project(&parts);
+        let mut fine_parts = levels[i].project(&parts);
         let (fine_hg, fine_fixed) = if i == 0 {
             (hg, fixed)
         } else {
             (&levels[i - 1].hg, &levels[i - 1].fixed)
         };
-        let fine_balance = BalanceConstraint::even(
-            k,
-            fine_hg.total_weights(),
-            vlsi_hypergraph::Tolerance::Relative(tolerance),
-        );
+        if !fully_legal {
+            let (p, _, legal) = crate::warmstart::legalize_assignment_lenient(
+                fine_hg,
+                fine_fixed,
+                balance,
+                &fine_parts,
+            )?;
+            fine_parts = p;
+            fully_legal = legal;
+        }
         let r = refine_threaded(
             fine_hg,
             fine_fixed,
-            &fine_balance,
+            balance,
             fine_parts,
-            Objective::Cut,
+            objective,
             4,
             sink,
             cancel,
@@ -1035,7 +1184,26 @@ pub fn multilevel_kway_cancellable<R: Rng + ?Sized, S: Sink>(
         }
         parts = r.parts;
     }
-    let cut = CutState::new(hg, k, &parts).cut();
+    if !fully_legal {
+        // Finest level: the repair must succeed now or the instance is
+        // genuinely infeasible under `balance` — the strict variant
+        // reports per-part loads against the maxima. Refine once more so
+        // the repair moves get locally re-optimized.
+        let (p, _) = crate::warmstart::legalize_assignment(hg, fixed, balance, &parts)?;
+        parts = refine_threaded(
+            hg,
+            fixed,
+            balance,
+            p,
+            objective,
+            4,
+            sink,
+            cancel,
+            ml_config.threads,
+        )?
+        .parts;
+    }
+    let cut = CutState::new(hg, k, &parts).value(objective);
     if S::ENABLED && cancel.is_cancelled() {
         sink.record(&Event::Cancelled {
             stage: CancelStage::Level,

@@ -38,6 +38,15 @@ impl Level {
 pub struct CoarsenParams {
     /// Maximum primary weight of a cluster.
     pub max_cluster_weight: u64,
+    /// Per-resource caps on cluster weight vectors — the heavy-vertex
+    /// guard for multi-dimensional weights ("Vertex Weights Revisited":
+    /// a cluster that concentrates one scarce resource can make the
+    /// coarse instance unbalanceable even when its primary weight is
+    /// fine). Checked component-wise in addition to
+    /// `max_cluster_weight`; dimensions beyond the vector's length are
+    /// unconstrained. Empty = scalar guard only (the single-resource
+    /// behavior, kept bit-for-bit).
+    pub max_cluster_weights: Vec<u64>,
     /// Nets larger than this are ignored when scoring matches (they carry
     /// almost no signal and make matching quadratic).
     pub max_net_size_for_matching: usize,
@@ -148,24 +157,35 @@ pub fn coarsen_once<R: Rng + ?Sized>(
     // when half the graph is terminals. (Skipped in the free-fixed-merge
     // ablation mode, where fixed vertices stay available for matching.)
     if !params.allow_free_fixed_merge {
-        let mut bin_cluster: HashMap<u32, (u32, u64)> = HashMap::new(); // part -> (cluster, weight)
+        // part -> (cluster, primary weight, per-resource weights)
+        let mut bin_cluster: HashMap<u32, (u32, u64, Vec<u64>)> = HashMap::new();
         for &v in &order {
             let Fixity::Fixed(p) = fixed.fixity(v) else {
                 continue;
             };
             let w = hg.vertex_weight(v);
             match bin_cluster.get_mut(&p.0) {
-                Some((cluster, bw)) if *bw + w <= params.max_cluster_weight => {
+                Some((cluster, bw, bws))
+                    if *bw + w <= params.max_cluster_weight
+                        && within_resource_caps(
+                            bws,
+                            hg.vertex_weights(v),
+                            &params.max_cluster_weights,
+                        ) =>
+                {
                     cluster_of[v.index()] = *cluster;
                     partner[v.index()] = v.0;
                     *bw += w;
+                    for (a, &b) in bws.iter_mut().zip(hg.vertex_weights(v)) {
+                        *a += b;
+                    }
                 }
                 _ => {
                     let cluster = num_clusters as u32;
                     num_clusters += 1;
                     cluster_of[v.index()] = cluster;
                     partner[v.index()] = v.0;
-                    bin_cluster.insert(p.0, (cluster, w));
+                    bin_cluster.insert(p.0, (cluster, w, hg.vertex_weights(v).to_vec()));
                 }
             }
         }
@@ -211,6 +231,13 @@ pub fn coarsen_once<R: Rng + ?Sized>(
                 for (&u_raw, &score) in &scores {
                     let u = VertexId(u_raw);
                     if vw + hg.vertex_weight(u) > params.max_cluster_weight {
+                        continue;
+                    }
+                    if !within_resource_caps(
+                        hg.vertex_weights(v),
+                        hg.vertex_weights(u),
+                        &params.max_cluster_weights,
+                    ) {
                         continue;
                     }
                     let ufix = fixed.fixity(u);
@@ -308,6 +335,13 @@ pub fn coarsen_once<R: Rng + ?Sized>(
             for (&u_raw, &score) in &scores {
                 let u = VertexId(u_raw);
                 if vw + hg.vertex_weight(u) > params.max_cluster_weight {
+                    continue;
+                }
+                if !within_resource_caps(
+                    hg.vertex_weights(v),
+                    hg.vertex_weights(u),
+                    &params.max_cluster_weights,
+                ) {
                     continue;
                 }
                 let ufix = fixed.fixity(u);
@@ -470,6 +504,15 @@ pub fn coarsen_once<R: Rng + ?Sized>(
     })
 }
 
+/// Component-wise heavy-vertex guard: `true` when `acc + add` stays within
+/// the per-resource caps. Dimensions past `caps.len()` are unconstrained;
+/// an empty `caps` accepts everything (the scalar-only legacy regime).
+fn within_resource_caps(acc: &[u64], add: &[u64], caps: &[u64]) -> bool {
+    caps.iter()
+        .zip(acc.iter().zip(add))
+        .all(|(&c, (&a, &b))| a.saturating_add(b) <= c)
+}
+
 /// Weight newly counted toward partition `p`'s fixed pool when a vertex
 /// with fixity `f` and weight `w` joins a `Fixed(p)` cluster.
 fn fixed_delta(f: Fixity, p: PartId, w: u64) -> u64 {
@@ -490,6 +533,7 @@ mod tests {
     fn params() -> CoarsenParams {
         CoarsenParams {
             max_cluster_weight: u64::MAX,
+            max_cluster_weights: Vec::new(),
             max_net_size_for_matching: 64,
             max_fixed_part_weight: Vec::new(),
             allow_free_fixed_merge: false,

@@ -144,6 +144,7 @@ impl MultilevelPartitioner {
             max_cluster_weight: ((hg.total_weight() as f64) * cfg.max_cluster_fraction)
                 .ceil()
                 .max(1.0) as u64,
+            max_cluster_weights: Vec::new(),
             max_net_size_for_matching: 64,
             // Never let a partition's fixed weight outgrow its capacity.
             max_fixed_part_weight: (0..2).map(|p| balance.max(PartId(p), 0)).collect(),

@@ -33,7 +33,8 @@ use vlsi_rng::Rng;
 use vlsi_trace::{Event, Sink};
 
 use vlsi_hypergraph::{
-    BalanceConstraint, FixedVertices, Fixity, Hypergraph, Objective, PartId, Partitioning, VertexId,
+    BalanceConstraint, CutState, FixedVertices, Fixity, Hypergraph, Objective, PartId,
+    Partitioning, VertexId,
 };
 
 use crate::engine::RunCtx;
@@ -113,14 +114,90 @@ fn fits_after_add(
         .all(|r| pt.load(part, r) + weights.get(r).copied().unwrap_or(0) <= balance.max(part, r))
 }
 
+/// Repairs an arbitrary assignment to full legality (fixity, then balance)
+/// without refining — the shared pre-step of the warm-start API, also used
+/// by the constrained multilevel k-way driver on its coarsest-level solve.
+/// Deterministic, no RNG. Returns the legal assignment and the number of
+/// vertices relocated.
+///
+/// # Errors
+/// Same repair errors as [`refine_from_partition_ctx`].
+pub(crate) fn legalize_assignment(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    seed: &[PartId],
+) -> Result<(Vec<PartId>, usize), PartitionError> {
+    let k = balance.num_parts();
+    let (clamped, mut relocated) = clamp_to_fixity(seed, fixed, k)?;
+    let mut pt = Partitioning::from_parts(hg, k, clamped)?;
+    let (moves, legal) = legalize_balance(hg, fixed, balance, &mut pt)?;
+    relocated += moves;
+    if !legal {
+        return Err(stuck_error(balance, &pt, hg.num_resources()));
+    }
+    Ok((pt.into_parts(), relocated))
+}
+
+/// Best-effort variant of [`legalize_assignment`] for coarse multilevel
+/// levels, where cluster granularity can make a tight vector constraint
+/// unreachable by single-vertex moves even though the fine instance is
+/// feasible. Fixity violations are still hard errors; a stuck balance
+/// repair instead returns the partially repaired assignment with
+/// `legal = false` so the caller can retry after uncoarsening.
+pub(crate) fn legalize_assignment_lenient(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+    seed: &[PartId],
+) -> Result<(Vec<PartId>, usize, bool), PartitionError> {
+    let k = balance.num_parts();
+    let (clamped, mut relocated) = clamp_to_fixity(seed, fixed, k)?;
+    let mut pt = Partitioning::from_parts(hg, k, clamped)?;
+    let (moves, legal) = legalize_balance(hg, fixed, balance, &mut pt)?;
+    relocated += moves;
+    Ok((pt.into_parts(), relocated, legal))
+}
+
+/// The diagnostic error for a balance repair that ran out of legal moves:
+/// includes per-part per-resource loads against the constraint's maxima.
+fn stuck_error(
+    balance: &BalanceConstraint,
+    pt: &Partitioning,
+    num_resources: usize,
+) -> PartitionError {
+    let k = balance.num_parts();
+    let resources = num_resources.min(balance.num_resources());
+    let loads: Vec<Vec<u64>> = (0..k)
+        .map(|p| {
+            (0..resources)
+                .map(|r| pt.load(PartId::from_index(p), r))
+                .collect()
+        })
+        .collect();
+    let maxima: Vec<Vec<u64>> = (0..k)
+        .map(|p| {
+            (0..resources)
+                .map(|r| balance.max(PartId::from_index(p), r))
+                .collect()
+        })
+        .collect();
+    infeasible(format!(
+        "cannot re-legalize warm-start seed: balance repair ran out of legal single-vertex \
+         moves (loads {loads:?}, maxima {maxima:?})"
+    ))
+}
+
 /// Stage 2: greedy deterministic balance repair on a clamped assignment.
-/// Returns the number of moves performed.
+/// Returns the number of moves performed and whether the assignment ended
+/// fully legal; `false` means the greedy got stuck (no movable vertex
+/// fits anywhere useful) or exhausted its move budget.
 fn legalize_balance(
     hg: &Hypergraph,
     fixed: &FixedVertices,
     balance: &BalanceConstraint,
     pt: &mut Partitioning,
-) -> Result<usize, PartitionError> {
+) -> Result<(usize, bool), PartitionError> {
     let k = balance.num_parts();
     let resources = hg.num_resources().min(balance.num_resources());
     let movable = |v: VertexId, to: PartId| -> bool {
@@ -170,12 +247,58 @@ fn legalize_balance(
                     }
                 }
             }
+            // Fallback when no clean fit exists: accept any move that
+            // strictly shrinks the *total* violation, even into a part
+            // that is itself tight on another resource (e.g. a zero-area
+            // pad entering an area-violated part to relieve a cell-count
+            // ceiling elsewhere). Total violation is a non-negative
+            // integer that each such move strictly decreases, so this
+            // cannot cycle. Tried only after the clean-fit rule so that
+            // every historically repairable seed follows the old moves.
+            let best = best.or_else(|| {
+                let mut fallback: Option<(i64, u64, usize, PartId)> = None;
+                for v in hg.vertices() {
+                    let from = pt.part_of(v);
+                    let from_excess: u64 = (0..resources)
+                        .map(|r| pt.load(from, r).saturating_sub(balance.max(from, r)))
+                        .sum();
+                    if from_excess == 0 {
+                        continue;
+                    }
+                    let w = hg.vertex_weights(v);
+                    for q in (0..k).map(PartId::from_index) {
+                        if q == from || !movable(v, q) {
+                            continue;
+                        }
+                        let delta: i64 = (0..resources)
+                            .map(|r| {
+                                let wr = w.get(r).copied().unwrap_or(0);
+                                let max_f = balance.max(from, r);
+                                let max_q = balance.max(q, r);
+                                let f0 = pt.load(from, r).saturating_sub(max_f) as i64;
+                                let f1 = pt.load(from, r).saturating_sub(wr).saturating_sub(max_f)
+                                    as i64;
+                                let q0 = pt.load(q, r).saturating_sub(max_q) as i64;
+                                let q1 = (pt.load(q, r) + wr).saturating_sub(max_q) as i64;
+                                (f1 - f0) + (q1 - q0)
+                            })
+                            .sum();
+                        if delta >= 0 {
+                            continue;
+                        }
+                        let key = (delta, weight_of(v), v.index(), q);
+                        let better = fallback.is_none_or(|(bd, bw, bi, bq)| {
+                            (key.0, key.1, key.2, key.3.index()) < (bd, bw, bi, bq.index())
+                        });
+                        if better {
+                            fallback = Some(key);
+                        }
+                    }
+                }
+                fallback.map(|(_, w, vi, q)| (w, vi, q))
+            });
             let Some((_, vi, to)) = best else {
-                return Err(infeasible(format!(
-                    "cannot re-legalize warm-start seed: part {} is over capacity and no \
-                     movable vertex fits elsewhere",
-                    from.index()
-                )));
+                return Ok((moves, false)); // stuck: no move shrinks any violation
             };
             pt.move_vertex(hg, VertexId::from_index(vi), to);
             moves += 1;
@@ -192,7 +315,7 @@ fn legalize_balance(
             })
             .max_by_key(|&(p, d)| (d, std::cmp::Reverse(p.index())));
         let Some((to, _)) = underfull else {
-            return Ok(moves); // fully legal
+            return Ok((moves, true)); // fully legal
         };
         // Pull the lightest movable vertex into `to` from the donor part
         // with the most surplus over its own floor.
@@ -229,18 +352,12 @@ fn legalize_balance(
             }
         }
         let Some((_, _, vi)) = best else {
-            return Err(infeasible(format!(
-                "cannot re-legalize warm-start seed: part {} is under its balance floor and \
-                 no movable vertex can be pulled in",
-                to.index()
-            )));
+            return Ok((moves, false)); // stuck: no vertex can be pulled over the floor
         };
         pt.move_vertex(hg, VertexId::from_index(vi), to);
         moves += 1;
     }
-    Err(infeasible(
-        "warm-start legalization did not converge within its move budget".to_string(),
-    ))
+    Ok((moves, false)) // budget exhausted without reaching full legality
 }
 
 /// Seeds k-way FM refinement from an existing assignment, re-legalizing
@@ -316,16 +433,13 @@ where
             },
         ));
     }
-    let k = balance.num_parts();
-    let (clamped, mut relocated) = clamp_to_fixity(seed, fixed, k)?;
-    let mut pt = Partitioning::from_parts(hg, k, clamped)?;
-    relocated += legalize_balance(hg, fixed, balance, &mut pt)?;
+    let (parts, relocated) = legalize_assignment(hg, fixed, balance, seed)?;
 
     if S::ENABLED {
         ctx.sink.record(&Event::WarmStart {
             reused: (n - relocated.min(n)) as u64,
             relocated: relocated as u64,
-            value: pt.cut_value(objective),
+            value: CutState::new(hg, balance.num_parts(), &parts).value(objective),
         });
     }
 
@@ -333,7 +447,7 @@ where
         hg,
         fixed,
         balance,
-        pt.into_parts(),
+        parts,
         objective,
         max_passes,
         ctx.sink,

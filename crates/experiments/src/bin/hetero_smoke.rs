@@ -1,0 +1,146 @@
+//! Bounded heterogeneous-partitioning smoke for the tier-1 gate
+//! (`scripts/ci.sh`).
+//!
+//! Generates a scaled `ibm01-like` netgen instance, attaches three
+//! resource dimensions per vertex (area, unit cell count, a deterministic
+//! synthetic congestion class), fixes a spread of vertices across parts,
+//! and runs the direct k-way engine at `k = 4` under the **connectivity
+//! (km1) objective** with explicit, mildly asymmetric per-part capacity
+//! vectors. The run fails (non-zero exit) unless:
+//!
+//! * the returned assignment passes the independent legality referee
+//!   under the capacity balance (fixity + per-part per-resource maxima),
+//! * every hand-summed per-part per-resource load fits its capacity row,
+//! * the reported objective matches an independent `CutState`
+//!   recomputation and `km1 >= cut` holds.
+//!
+//! Tunables: `HETERO_SMOKE_SCALE` (netgen scale factor, default `0.1` ≈
+//! 1.3k cells) keeps the run bounded on tiny builders.
+
+use std::process::exit;
+
+use vlsi_hypergraph::{
+    io::apply_multi_areas, validate_partitioning, CutState, FixedVertices, Hypergraph, Objective,
+    PartCapacities, PartId, Partitioning, VertexId,
+};
+use vlsi_partition::{multistart_parallel_engine, EngineConfig};
+
+const K: usize = 4;
+const DIMS: usize = 3;
+const SEED: u64 = 9;
+
+/// Per-vertex resource vectors derived deterministically from the
+/// instance: `[area, 1, congestion class 0..=3]`.
+fn resource_vectors(hg: &Hypergraph) -> Vec<u64> {
+    let mut flat = Vec::with_capacity(hg.num_vertices() * DIMS);
+    for v in hg.vertices() {
+        let area = hg.vertex_weight(v);
+        flat.push(area);
+        flat.push(1);
+        flat.push((v.index() as u64).wrapping_mul(2654435761) % 4);
+    }
+    flat
+}
+
+fn main() {
+    let scale: f64 = std::env::var("HETERO_SMOKE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let circuit = vlsi_netgen::instances::ibm01_like_scaled(scale, SEED);
+    let flat = resource_vectors(&circuit.hypergraph);
+    let hg = apply_multi_areas(&circuit.hypergraph, DIMS, &flat).expect("resource table applies");
+
+    // Fix ~5% of the cells round-robin across all four parts — the
+    // paper's fixed-vertices regime on a heterogeneous instance.
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    let stride = (hg.num_vertices() / (hg.num_vertices() / 20).max(1)).max(1);
+    let mut pinned = 0usize;
+    for (slot, v) in (0..hg.num_vertices()).step_by(stride).enumerate() {
+        fixed.fix(VertexId::from_index(v), PartId::from_index(slot % K));
+        pinned += 1;
+    }
+
+    // Mildly asymmetric capacity rows: part 0 is a "large" region with
+    // ~36% of each resource, the rest get ~28% each (sums to ~120% of
+    // the totals, so the matrix is feasible but far from uniform).
+    let totals = hg.total_weights().to_vec();
+    let row = |frac: f64| -> Vec<u64> {
+        totals
+            .iter()
+            .map(|&t| ((t as f64) * frac).ceil().max(1.0) as u64)
+            .collect::<Vec<u64>>()
+    };
+    let mut caps_flat = row(0.36);
+    for _ in 1..K {
+        caps_flat.extend(row(0.28));
+    }
+    let caps = PartCapacities::explicit(K, DIMS, caps_flat).expect("well-shaped capacity matrix");
+    caps.check_feasible(hg.total_weights())
+        .expect("smoke capacities are feasible by construction");
+    let balance = caps.to_balance();
+
+    println!(
+        "hetero smoke: {} vertices ({} fixed), {} nets, {} resources, k={K}, objective=km1",
+        hg.num_vertices(),
+        pinned,
+        hg.num_nets(),
+        hg.num_resources(),
+    );
+
+    let engine = EngineConfig::by_name("kway")
+        .expect("kway is registered")
+        .with_objective(Objective::KMinus1);
+    let outcome = match multistart_parallel_engine(&hg, &fixed, &balance, 2, 2, SEED, &engine) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hetero smoke: partitioning failed: {e}");
+            exit(1);
+        }
+    };
+
+    // Independent legality referee under the capacity balance.
+    let p = Partitioning::from_parts(&hg, K, outcome.best.parts.clone())
+        .expect("engine output is well-formed");
+    let report = validate_partitioning(&hg, &p, &balance, &fixed);
+    if !report.is_valid() {
+        eprintln!("hetero smoke: referee rejected the partition: {report}");
+        exit(1);
+    }
+
+    // Hand-summed per-part per-resource loads against the capacity rows.
+    let mut loads = [0u64; K * DIMS];
+    for (i, part) in outcome.best.parts.iter().enumerate() {
+        let weights = hg.vertex_weights(VertexId::from_index(i));
+        for (r, &w) in weights.iter().enumerate() {
+            loads[part.index() * DIMS + r] += w;
+        }
+    }
+    for part in 0..K {
+        for r in 0..DIMS {
+            let load = loads[part * DIMS + r];
+            let cap = caps.cap(PartId::from_index(part), r);
+            if load > cap {
+                eprintln!("hetero smoke: part {part} resource {r}: load {load} > capacity {cap}");
+                exit(1);
+            }
+        }
+    }
+
+    // The reported value is the km1 objective, re-derived independently.
+    let cs = CutState::new(&hg, K, &outcome.best.parts);
+    let (cut, km1) = (cs.value(Objective::Cut), cs.value(Objective::KMinus1));
+    if outcome.best.cut != km1 {
+        eprintln!(
+            "hetero smoke: engine reported objective {} but recomputed km1 is {km1}",
+            outcome.best.cut
+        );
+        exit(1);
+    }
+    if km1 < cut {
+        eprintln!("hetero smoke: km1 {km1} < cut {cut} — connectivity must dominate");
+        exit(1);
+    }
+
+    println!("hetero smoke: legal + feasible; cut {cut}, km1 {km1}");
+}

@@ -1,17 +1,26 @@
 //! Command-line partitioner: reads an hMetis `.hgr` file (and optionally a
-//! `.fix` fixed-vertex file), bipartitions it, and writes/prints the
+//! `.fix` fixed-vertex file), partitions it, and writes/prints the
 //! solution — the downstream-user entry point of this repository.
 //!
 //! ```text
-//! usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N]
-//!                  [--seed N] [--threads N] [--engine NAME] [--out FILE]
-//!                  [--trace FILE]
+//! usage: partition --hgr FILE [--fix FILE] [--k N] [--tolerance F]
+//!                  [--starts N] [--seed N] [--threads N] [--engine NAME]
+//!                  [--objective cut|km1] [--are FILE] [--resource-dims N]
+//!                  [--part-capacities SPEC] [--out FILE] [--trace FILE]
 //!        partition --list-engines
 //! ```
 //!
 //! `--engine` accepts any name from the `vlsi_partition` engine registry
 //! (`--list-engines` dumps it); the default is the paper's multilevel
 //! engine.
+//!
+//! The heterogeneous surface: `--are FILE` loads multi-dimensional vertex
+//! weights (one whitespace-separated row per vertex, uniform arity;
+//! `--resource-dims N` asserts the arity), `--part-capacities
+//! "100,8;60,4;..."` replaces the uniform tolerance balance with explicit
+//! per-part capacity vectors (parts separated by `;`, one capacity per
+//! resource separated by `,`), and `--objective km1` switches the engines
+//! from the cut to the connectivity (λ−1) metric.
 //!
 //! Starts run on `--threads` OS threads (default: the machine's available
 //! parallelism) with deterministic per-start seeding, so multistart
@@ -32,9 +41,10 @@ use vlsi_rng::ChaCha8Rng;
 use vlsi_rng::SeedableRng;
 
 use vlsi_experiments::opts::{run_with_trace, TraceRun};
-use vlsi_hypergraph::io::{read_fix, read_hgr};
+use vlsi_hypergraph::io::{apply_multi_areas, read_fix, read_hgr, read_multi_are};
 use vlsi_hypergraph::{
-    validate_partitioning, BalanceConstraint, FixedVertices, Hypergraph, Partitioning, Tolerance,
+    validate_partitioning, BalanceConstraint, FixedVertices, Hypergraph, Objective, PartCapacities,
+    PartId, Partitioning, Tolerance,
 };
 use vlsi_partition::trace::Sink;
 use vlsi_partition::{
@@ -45,7 +55,15 @@ use vlsi_partition::{
 struct Args {
     hgr: String,
     fix: Option<String>,
+    k: usize,
     tolerance: f64,
+    objective: Objective,
+    /// Multi-resource vertex weights (`.are` file, one row per vertex).
+    are: Option<String>,
+    /// Expected arity of the `.are` rows; mismatch is an error.
+    resource_dims: Option<usize>,
+    /// Explicit per-part capacity vectors replacing the tolerance balance.
+    part_capacities: Option<PartCapacities>,
     /// `None` = choose automatically from the fixed fraction (the paper's
     /// guideline via `vlsi_partition::policy`).
     starts: Option<usize>,
@@ -59,13 +77,18 @@ struct Args {
     list_engines: bool,
 }
 
-const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--tolerance F] [--starts N|auto] [--seed N] [--threads N] [--engine NAME] [--out FILE] [--trace FILE]\n       partition --list-engines";
+const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--k N] [--tolerance F] [--starts N|auto] [--seed N] [--threads N] [--engine NAME] [--objective cut|km1] [--are FILE] [--resource-dims N] [--part-capacities SPEC] [--out FILE] [--trace FILE]\n       partition --list-engines";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         hgr: String::new(),
         fix: None,
+        k: 2,
         tolerance: 0.02,
+        objective: Objective::Cut,
+        are: None,
+        resource_dims: None,
+        part_capacities: None,
         starts: Some(4),
         seed: 1,
         threads: std::thread::available_parallelism()
@@ -82,6 +105,29 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--hgr" => args.hgr = value("--hgr")?,
             "--fix" => args.fix = Some(value("--fix")?),
+            "--k" => args.k = value("--k")?.parse().map_err(|_| "bad --k")?,
+            "--objective" => {
+                args.objective = match value("--objective")?.as_str() {
+                    "cut" => Objective::Cut,
+                    "km1" => Objective::KMinus1,
+                    other => return Err(format!("bad --objective `{other}` (cut or km1)")),
+                }
+            }
+            "--are" => args.are = Some(value("--are")?),
+            "--resource-dims" => {
+                args.resource_dims = Some(
+                    value("--resource-dims")?
+                        .parse()
+                        .map_err(|_| "bad --resource-dims")?,
+                )
+            }
+            "--part-capacities" => {
+                args.part_capacities = Some(
+                    value("--part-capacities")?
+                        .parse()
+                        .map_err(|e| format!("bad --part-capacities: {e}"))?,
+                )
+            }
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse()
@@ -123,6 +169,21 @@ fn parse_args() -> Result<Args, String> {
     if args.threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    if args.k < 2 {
+        return Err("--k must be at least 2".into());
+    }
+    if args.resource_dims.is_some() && args.are.is_none() {
+        return Err("--resource-dims needs --are".into());
+    }
+    if let Some(caps) = &args.part_capacities {
+        if caps.num_parts() != args.k {
+            return Err(format!(
+                "--part-capacities has {} parts, --k is {}",
+                caps.num_parts(),
+                args.k
+            ));
+        }
+    }
     Ok(args)
 }
 
@@ -161,6 +222,34 @@ fn main() {
             exit(1);
         }
     };
+    let hg = match &args.are {
+        None => hg,
+        Some(path) => {
+            let loaded = File::open(path)
+                .map_err(|e| e.to_string())
+                .and_then(|f| read_multi_are(f, hg.num_vertices()).map_err(|e| e.to_string()))
+                .and_then(|(dims, weights)| {
+                    if let Some(expect) = args.resource_dims {
+                        if dims != expect {
+                            return Err(format!(
+                                "has {dims} resource dimensions, --resource-dims says {expect}"
+                            ));
+                        }
+                    }
+                    apply_multi_areas(&hg, dims, &weights).map_err(|e| e.to_string())
+                });
+            match loaded {
+                Ok(hg) => {
+                    println!("{path}: {} resource dimensions", hg.num_resources());
+                    hg
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    exit(1);
+                }
+            }
+        }
+    };
     let fixed = match &args.fix {
         None => FixedVertices::all_free(hg.num_vertices()),
         Some(path) => match File::open(path)
@@ -193,9 +282,33 @@ fn main() {
         s
     });
 
-    let balance =
-        BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(args.tolerance));
-    println!("engine: {}", args.engine.info().summary);
+    let balance = match &args.part_capacities {
+        Some(caps) => {
+            if caps.num_resources() != hg.num_resources() {
+                eprintln!(
+                    "--part-capacities has {} resources per part, the instance has {}",
+                    caps.num_resources(),
+                    hg.num_resources()
+                );
+                exit(1);
+            }
+            if let Err(e) = caps.check_feasible(hg.total_weights()) {
+                eprintln!("--part-capacities cannot hold the instance: {e}");
+                exit(1);
+            }
+            caps.to_balance()
+        }
+        None if args.k == 2 => {
+            BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(args.tolerance))
+        }
+        None => BalanceConstraint::even(
+            args.k,
+            hg.total_weights(),
+            Tolerance::Relative(args.tolerance),
+        ),
+    };
+    let base_engine = args.engine.with_objective(args.objective);
+    println!("engine: {}", base_engine.info().summary);
     let solved = if args.trace.is_some() {
         // A traced run must be one deterministic event interleaving, so the
         // sequential driver carries the sink through every start.
@@ -205,7 +318,7 @@ fn main() {
                 hg: &hg,
                 fixed: &fixed,
                 balance: &balance,
-                engine: &args.engine,
+                engine: &base_engine,
                 starts,
                 seed: args.seed,
             },
@@ -217,9 +330,9 @@ fn main() {
         // oversubscription. Either way the result is thread-count
         // invariant.
         let engine = if starts == 1 {
-            args.engine.with_threads(args.threads)
+            base_engine.with_threads(args.threads)
         } else {
-            args.engine
+            base_engine
         };
         multistart_parallel_engine(
             &hg,
@@ -239,20 +352,33 @@ fn main() {
         }
     };
 
-    let p = Partitioning::from_parts(&hg, 2, outcome.best.parts.clone())
+    let p = Partitioning::from_parts(&hg, args.k, outcome.best.parts.clone())
         .expect("engine output is well-formed");
     let report = validate_partitioning(&hg, &p, &balance, &fixed);
+    // One load figure per part: the scalar load for single-resource
+    // instances, the comma-joined resource vector otherwise.
+    let loads: Vec<String> = (0..args.k)
+        .map(|part| {
+            (0..hg.num_resources())
+                .map(|r| p.load(PartId::from_index(part), r).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    let metric = match args.objective {
+        Objective::KMinus1 => "km1",
+        _ => "cut",
+    };
     println!(
-        "best cut over {} starts: {} ({}; loads {} / {})",
+        "best {metric} over {} starts: {} ({}; loads {})",
         starts,
         outcome.best.cut,
         report,
-        p.load(vlsi_hypergraph::PartId(0), 0),
-        p.load(vlsi_hypergraph::PartId(1), 0),
+        loads.join(" / "),
     );
     for (i, s) in outcome.starts.iter().enumerate() {
         println!(
-            "  start {}: cut {} in {:.3}s",
+            "  start {}: {metric} {} in {:.3}s",
             i + 1,
             s.cut,
             s.elapsed.as_secs_f64()

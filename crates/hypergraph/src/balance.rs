@@ -35,7 +35,12 @@ impl Tolerance {
         match self {
             Tolerance::Relative(eps) => {
                 assert!(eps >= 0.0, "relative tolerance must be non-negative");
-                (target * (1.0 + eps)).floor() as u64
+                // Clamped to at least ceil(target): flooring an epsilon
+                // smaller than the rounding gap would give k parts whose
+                // maxima sum below the total — infeasible even at eps = 0
+                // (e.g. total 10, k = 3: floor(3.33) = 3, Σmax = 9 < 10).
+                // ceil(target) per part always sums to ≥ total.
+                ((target * (1.0 + eps)).floor() as u64).max(target.ceil() as u64)
             }
             Tolerance::Absolute(slack) => (target.ceil() as u64).saturating_add(slack),
         }
@@ -51,7 +56,10 @@ impl Tolerance {
         match self {
             Tolerance::Relative(eps) => {
                 assert!(eps >= 0.0, "relative tolerance must be non-negative");
-                (target * (1.0 - eps)).ceil().max(0.0) as u64
+                // Clamped to at most floor(target), mirroring `max_load`:
+                // ceiling a tight epsilon would give k minima summing above
+                // the total (total 10, k = 3: ceil(3.33) = 4, Σmin = 12).
+                ((target * (1.0 - eps)).ceil().max(0.0) as u64).min(target.floor() as u64)
             }
             Tolerance::Absolute(slack) => (target.floor() as u64).saturating_sub(slack),
         }
@@ -400,6 +408,72 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn even_split_feasible_at_zero_tolerance_small_k() {
+        // Regression: floor/ceil rounding at small k and tiny totals used
+        // to produce Σmax < total (and Σmin > total) even at eps = 0,
+        // rejecting every assignment. The clamp guarantees
+        // Σmin ≤ total ≤ Σmax for every (total, k, eps).
+        for k in 2..=8usize {
+            for total in 1..=64u64 {
+                for eps in [0.0, 0.001, 0.01, 0.02, 0.1] {
+                    let bc = BalanceConstraint::even(k, &[total], Tolerance::Relative(eps));
+                    let sum_max: u64 = (0..k).map(|p| bc.max(PartId(p as u32), 0)).sum();
+                    let sum_min: u64 = (0..k).map(|p| bc.min(PartId(p as u32), 0)).sum();
+                    assert!(
+                        sum_max >= total,
+                        "k={k} total={total} eps={eps}: Σmax {sum_max} < total"
+                    );
+                    assert!(
+                        sum_min <= total,
+                        "k={k} total={total} eps={eps}: Σmin {sum_min} > total"
+                    );
+                    assert!(
+                        bc.min(PartId(0), 0) <= bc.max(PartId(0), 0),
+                        "k={k} total={total} eps={eps}: min > max"
+                    );
+                    assert!(bc.check_feasible(&[total]).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_split_admits_a_greedy_assignment_at_zero_tolerance() {
+        // Constructive check: unit weights distributed round-robin satisfy
+        // the zero-tolerance constraint for every k — i.e. the bounds
+        // describe a non-empty solution set, not just a feasible sum.
+        for k in 2..=8usize {
+            for total in k as u64..=40 {
+                let bc = BalanceConstraint::even(k, &[total], Tolerance::Relative(0.0));
+                let mut loads = vec![0u64; k];
+                for i in 0..total {
+                    loads[(i % k as u64) as usize] += 1;
+                }
+                assert!(
+                    bc.is_satisfied(&loads),
+                    "k={k} total={total}: round-robin {loads:?} rejected \
+                     (min {}..max {})",
+                    bc.min(PartId(0), 0),
+                    bc.max(PartId(0), 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_inactive_when_epsilon_has_room() {
+        // The clamp only rescues configurations that were infeasible; with
+        // enough epsilon room the historical floor/ceil values are kept
+        // (pinned so dims=1 outputs cannot drift).
+        let bc = BalanceConstraint::even(2, &[1000], Tolerance::Relative(0.02));
+        assert_eq!(bc.max(PartId(0), 0), 510);
+        assert_eq!(bc.min(PartId(0), 0), 490);
+        let bc = BalanceConstraint::even(4, &[100, 8], Tolerance::Relative(0.0));
+        assert_eq!(bc.max(PartId(3), 0), 25);
+        assert_eq!(bc.max(PartId(3), 1), 2);
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod graph;
 mod ids;
 pub mod io;
 mod partitioning;
+pub mod resource;
 pub mod stats;
 mod subgraph;
 mod validate;
@@ -65,5 +66,6 @@ pub use fixed::{FixedVertices, Fixity, PartSet};
 pub use graph::Hypergraph;
 pub use ids::{NetId, PartId, VertexId};
 pub use partitioning::Partitioning;
+pub use resource::{ParseResourceError, PartCapacities, ResourceVec};
 pub use subgraph::{induced_subgraph, Subgraph};
 pub use validate::{validate_partitioning, ValidationReport};

@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use vlsi_hypergraph::{FixedVertices, Fixity, Hypergraph, PartId};
+use vlsi_hypergraph::{FixedVertices, Fixity, Hypergraph, Objective, PartCapacities, PartId};
 
 /// The canonical byte encoding of a job's solution-determining content.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +78,8 @@ pub fn cache_key(
     starts: usize,
     seed: u64,
     parallel_refine: bool,
+    objective: Objective,
+    part_capacities: Option<&PartCapacities>,
     hg: &Hypergraph,
     fixed: &FixedVertices,
 ) -> CacheKey {
@@ -89,6 +91,25 @@ pub fn cache_key(
     push_u64(&mut bytes, starts as u64);
     push_u64(&mut bytes, seed);
     push_u64(&mut bytes, parallel_refine as u64);
+    push_u64(
+        &mut bytes,
+        match objective {
+            Objective::Cut => 0,
+            Objective::KMinus1 => 1,
+            Objective::Soed => 2,
+        },
+    );
+    match part_capacities {
+        None => push_u64(&mut bytes, 0),
+        Some(caps) => {
+            push_u64(&mut bytes, 1);
+            push_u64(&mut bytes, caps.num_parts() as u64);
+            push_u64(&mut bytes, caps.num_resources() as u64);
+            for &c in caps.as_flat() {
+                push_u64(&mut bytes, c);
+            }
+        }
+    }
 
     push_u64(&mut bytes, hg.num_vertices() as u64);
     push_u64(&mut bytes, hg.num_resources() as u64);
@@ -307,7 +328,18 @@ mod tests {
     }
 
     fn key_of(hg: &Hypergraph, fixed: &FixedVertices, seed: u64) -> CacheKey {
-        cache_key("ml", 2, 0.1, 4, seed, false, hg, fixed)
+        cache_key(
+            "ml",
+            2,
+            0.1,
+            4,
+            seed,
+            false,
+            Objective::Cut,
+            None,
+            hg,
+            fixed,
+        )
     }
 
     #[test]
@@ -325,18 +357,51 @@ mod tests {
         assert_ne!(base, key_of(&hg, &fx, 8), "seed is part of the address");
         assert_ne!(
             base,
-            cache_key("fm", 2, 0.1, 4, 7, false, &hg, &fx),
+            cache_key("fm", 2, 0.1, 4, 7, false, Objective::Cut, None, &hg, &fx),
             "engine is part of the address"
         );
         assert_ne!(
             base,
-            cache_key("ml", 2, 0.2, 4, 7, false, &hg, &fx),
+            cache_key("ml", 2, 0.2, 4, 7, false, Objective::Cut, None, &hg, &fx),
             "tolerance is part of the address"
         );
         assert_ne!(
             base,
-            cache_key("ml", 2, 0.1, 4, 7, true, &hg, &fx),
+            cache_key("ml", 2, 0.1, 4, 7, true, Objective::Cut, None, &hg, &fx),
             "refinement regime is part of the address"
+        );
+        assert_ne!(
+            base,
+            cache_key(
+                "ml",
+                2,
+                0.1,
+                4,
+                7,
+                false,
+                Objective::KMinus1,
+                None,
+                &hg,
+                &fx
+            ),
+            "objective is part of the address"
+        );
+        let caps = PartCapacities::uniform(2, &[10]);
+        assert_ne!(
+            base,
+            cache_key(
+                "ml",
+                2,
+                0.1,
+                4,
+                7,
+                false,
+                Objective::Cut,
+                Some(&caps),
+                &hg,
+                &fx
+            ),
+            "capacity vectors are part of the address"
         );
         let mut fixed = FixedVertices::all_free(6);
         fixed.fix(

@@ -42,8 +42,8 @@
 //! # Responses
 //!
 //! ```json
-//! {"id":"j1","status":"ok","cut":3,"parts":[0,0,1,1],"cache_hit":false,
-//!  "deadline_expired":false,"starts_run":4,"micros":812,
+//! {"id":"j1","status":"ok","cut":3,"km1":3,"parts":[0,0,1,1],
+//!  "cache_hit":false,"deadline_expired":false,"starts_run":4,"micros":812,
 //!  "solution_id":"s00c0ffee00c0ffee"}
 //! {"id":"j9","status":"error","code":"bad_request","message":"..."}
 //! ```
@@ -58,8 +58,9 @@ use std::fs::File;
 use std::io::BufReader;
 
 use vlsi_hypergraph::{
-    io::{read_fix, read_hgr},
-    FixedVertices, Fixity, Hypergraph, HypergraphBuilder, PartId, PartSet,
+    io::{apply_multi_areas, read_fix, read_hgr},
+    FixedVertices, Fixity, Hypergraph, HypergraphBuilder, Objective, PartCapacities, PartId,
+    PartSet,
 };
 
 use crate::json::{self, Json};
@@ -81,7 +82,13 @@ pub const ERROR_CODES: &[&str] = &[
     "overloaded",
     "rate_limited",
     "internal_error",
+    "infeasible_capacities",
 ];
+
+/// Upper bound on resource dimensions a request may carry. The FPGA
+/// exemplar balances 8 resource types; 16 leaves headroom while bounding
+/// per-vertex memory at ingress.
+pub const MAX_RESOURCE_DIMS: usize = 16;
 
 /// A fully validated partitioning job, ready for a worker.
 #[derive(Debug, Clone)]
@@ -109,6 +116,15 @@ pub struct JobRequest {
     /// `warm_start` clause. Any delta has already been applied to `hg` /
     /// `fixed` at parse time.
     pub warm_from: Option<String>,
+    /// Objective the k-way engines optimise (`"cut"` default, `"km1"` for
+    /// connectivity). Bipartitioning engines ignore it (the objectives
+    /// coincide at `k = 2`).
+    pub objective: Objective,
+    /// Per-part capacity vectors, when the request carried
+    /// `part_capacities`; `None` = uniform even split under `tolerance`.
+    /// Feasibility against the instance's resource totals was checked at
+    /// ingress.
+    pub part_capacities: Option<PartCapacities>,
     /// The instance (post-delta, when warm-starting).
     pub hg: Hypergraph,
     /// Per-vertex fixity constraints (post-delta, when warm-starting).
@@ -170,6 +186,9 @@ pub struct JobResponse {
     pub id: String,
     /// Cut value of the returned partition.
     pub cut: u64,
+    /// Connectivity (λ−1) value of the returned partition. Equal to `cut`
+    /// for `k = 2`; `>= cut` otherwise.
+    pub km1: u64,
     /// Per-vertex part assignment.
     pub parts: Vec<u32>,
     /// Whether the solution came from the content-addressed cache.
@@ -196,8 +215,8 @@ impl JobResponse {
         out.push_str("{\"id\":");
         out.push_str(&json::quote(&self.id));
         out.push_str(&format!(
-            ",\"status\":\"ok\",\"cut\":{},\"parts\":[",
-            self.cut
+            ",\"status\":\"ok\",\"cut\":{},\"km1\":{},\"parts\":[",
+            self.cut, self.km1
         ));
         for (i, p) in self.parts.iter().enumerate() {
             if i > 0 {
@@ -338,7 +357,20 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         },
     };
 
+    let objective = match root.get("objective") {
+        None => Objective::Cut,
+        Some(v) => match v.as_str() {
+            Some("cut") => Objective::Cut,
+            Some("km1") => Objective::KMinus1,
+            _ => return Err(bad(&id, "'objective' must be \"cut\" or \"km1\"")),
+        },
+    };
+
     let mut hg = parse_hypergraph(&root, &id)?;
+    if let Some(res) = root.get("resources") {
+        hg = apply_resources(res, hg, &id)?;
+    }
+    let part_capacities = parse_part_capacities(&root, &id, k, &hg)?;
     let mut fixed = parse_fixed(&root, &id, hg.num_vertices(), k)?;
 
     let warm_from = match root.get("warm_start") {
@@ -370,9 +402,136 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         deadline_ms,
         priority,
         warm_from,
+        objective,
+        part_capacities,
         hg,
         fixed,
     })))
+}
+
+/// Applies the `resources` field — per-vertex multi-dimensional weight
+/// vectors — by rebuilding the instance's vertex side-table. Every vertex
+/// must carry the same arity (1..=[`MAX_RESOURCE_DIMS`]).
+fn apply_resources(
+    res: &Json,
+    hg: Hypergraph,
+    id: &Option<String>,
+) -> Result<Hypergraph, ProtocolError> {
+    let rows = res.as_arr().ok_or_else(|| {
+        bad(
+            id,
+            "'resources' must be an array of per-vertex weight vectors",
+        )
+    })?;
+    if rows.len() != hg.num_vertices() {
+        return Err(bad(
+            id,
+            format!(
+                "'resources' has {} rows, expected one per vertex ({})",
+                rows.len(),
+                hg.num_vertices()
+            ),
+        ));
+    }
+    let mut dims = 0usize;
+    let mut flat: Vec<u64> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or_else(|| bad(id, format!("resources[{i}]: must be an array of integers")))?;
+        if i == 0 {
+            dims = row.len();
+            if dims == 0 || dims > MAX_RESOURCE_DIMS {
+                return Err(bad(
+                    id,
+                    format!("'resources' arity must be 1..={MAX_RESOURCE_DIMS}, got {dims}"),
+                ));
+            }
+            flat.reserve(rows.len() * dims);
+        } else if row.len() != dims {
+            return Err(bad(
+                id,
+                format!("resources[{i}]: has {} entries, expected {dims}", row.len()),
+            ));
+        }
+        for w in row {
+            flat.push(w.as_u64().ok_or_else(|| {
+                bad(
+                    id,
+                    format!("resources[{i}]: weights must be non-negative integers"),
+                )
+            })?);
+        }
+    }
+    apply_multi_areas(&hg, dims, &flat).map_err(|e| bad(id, format!("'resources': {e}")))
+}
+
+/// Parses and validates `part_capacities` — `k` rows of per-resource
+/// maxima matching the instance's resource arity — and rejects capacity
+/// matrices that cannot hold the instance's totals with the structured
+/// `infeasible_capacities` code.
+fn parse_part_capacities(
+    root: &Json,
+    id: &Option<String>,
+    k: usize,
+    hg: &Hypergraph,
+) -> Result<Option<PartCapacities>, ProtocolError> {
+    let Some(pc) = root.get("part_capacities") else {
+        return Ok(None);
+    };
+    let rows = pc.as_arr().ok_or_else(|| {
+        bad(
+            id,
+            "'part_capacities' must be an array of per-part capacity vectors",
+        )
+    })?;
+    if rows.len() != k {
+        return Err(bad(
+            id,
+            format!(
+                "'part_capacities' has {} rows, expected k = {k}",
+                rows.len()
+            ),
+        ));
+    }
+    let dims = hg.num_resources();
+    let mut flat: Vec<u64> = Vec::with_capacity(k * dims);
+    for (p, row) in rows.iter().enumerate() {
+        let row = row.as_arr().ok_or_else(|| {
+            bad(
+                id,
+                format!("part_capacities[{p}]: must be an array of integers"),
+            )
+        })?;
+        if row.len() != dims {
+            return Err(bad(
+                id,
+                format!(
+                    "part_capacities[{p}]: has {} entries, expected the instance's \
+                     resource arity ({dims})",
+                    row.len()
+                ),
+            ));
+        }
+        for c in row {
+            flat.push(c.as_u64().ok_or_else(|| {
+                bad(
+                    id,
+                    format!("part_capacities[{p}]: capacities must be non-negative integers"),
+                )
+            })?);
+        }
+    }
+    let caps = PartCapacities::explicit(k, dims, flat)
+        .map_err(|e| bad(id, format!("'part_capacities': {e}")))?;
+    if let Err(e) = caps.check_feasible(hg.total_weights()) {
+        return Err(ProtocolError::new(
+            id.clone(),
+            "infeasible_capacities",
+            format!("capacity vectors cannot hold the instance: {e}"),
+        ));
+    }
+    Ok(Some(caps))
 }
 
 /// Applies a `warm_start.delta` to the request's instance: drops
@@ -755,6 +914,7 @@ mod tests {
         let resp = JobResponse {
             id: "a\"b".into(),
             cut: 3,
+            km1: 4,
             parts: vec![0, 1, 0],
             cache_hit: true,
             deadline_expired: false,
@@ -766,6 +926,7 @@ mod tests {
         let parsed = crate::json::parse(&resp.to_line()).unwrap();
         assert_eq!(parsed.get("id").unwrap().as_str(), Some("a\"b"));
         assert_eq!(parsed.get("cut").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("km1").unwrap().as_u64(), Some(4));
         assert_eq!(parsed.get("cache_hit").unwrap().as_bool(), Some(true));
         assert_eq!(parsed.get("parts").unwrap().as_arr().unwrap().len(), 3);
         assert!(parsed.get("solution_id").is_none());
@@ -777,6 +938,7 @@ mod tests {
         let resp = JobResponse {
             id: "w1".into(),
             cut: 1,
+            km1: 1,
             parts: vec![0, 1],
             cache_hit: false,
             deadline_expired: false,
@@ -898,6 +1060,6 @@ mod tests {
             assert!(!code.is_empty());
             assert!(seen.insert(code), "duplicate error code {code}");
         }
-        assert_eq!(ERROR_CODES.len(), 9);
+        assert_eq!(ERROR_CODES.len(), 10);
     }
 }

@@ -32,7 +32,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use vlsi_hypergraph::{
-    validate_partitioning, BalanceConstraint, Objective, PartId, Partitioning, Tolerance,
+    validate_partitioning, BalanceConstraint, CutState, Hypergraph, Objective, PartId,
+    Partitioning, Tolerance,
 };
 use vlsi_partition::{
     multistart_parallel_engine_instrumented, refine_from_partition_ctx, CancelToken, EngineConfig,
@@ -408,6 +409,28 @@ fn warm_label(engine: &str) -> &'static str {
     }
 }
 
+/// Both reported metrics of a final assignment. The engine optimizes the
+/// requested objective; the response always carries cut *and* km1 so
+/// clients can compare runs across objectives.
+fn cut_and_km1(hg: &Hypergraph, k: usize, parts: &[PartId]) -> (u64, u64) {
+    let cs = CutState::new(hg, k, parts);
+    (cs.value(Objective::Cut), cs.value(Objective::KMinus1))
+}
+
+/// The balance constraint a job is solved and validated under: explicit
+/// per-part capacity vectors when the request supplies them, otherwise the
+/// legacy uniform even split at the requested tolerance.
+fn job_balance(req: &JobRequest) -> BalanceConstraint {
+    match &req.part_capacities {
+        Some(caps) => caps.to_balance(),
+        None => BalanceConstraint::even(
+            req.k,
+            req.hg.total_weights(),
+            Tolerance::Relative(req.tolerance),
+        ),
+    }
+}
+
 fn execute_job(ctx: &ServiceCtx, req: &JobRequest) -> String {
     let t0 = Instant::now();
     if let Some(sid) = req.warm_from.as_deref() {
@@ -435,11 +458,7 @@ fn execute_warm(
 ) -> String {
     let engine = EngineConfig::by_name(&req.engine).expect("engine validated at ingress");
     let label = warm_label(engine.name());
-    let balance = BalanceConstraint::even(
-        req.k,
-        req.hg.total_weights(),
-        Tolerance::Relative(req.tolerance),
-    );
+    let balance = job_balance(req);
     // No multistart on the warm path: the requested threads go straight to
     // the k-way refinement, whose parallel regime starts at 2.
     let parallel_refine = req.threads >= 2;
@@ -451,17 +470,21 @@ fn execute_warm(
         req.starts,
         req.seed,
         parallel_refine,
+        req.objective,
+        req.part_capacities.as_ref(),
         &req.hg,
         &req.fixed,
     );
-    if let Some((parts, cut)) = ctx.cache.lock().expect("cache mutex").get(&key) {
+    if let Some((parts, _value)) = ctx.cache.lock().expect("cache mutex").get(&key) {
         ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
         let micros = t0.elapsed().as_micros() as u64;
         ctx.metrics.record_latency_us(label, micros);
+        let (cut, km1) = cut_and_km1(&req.hg, req.k, &parts);
         return JobResponse {
             id: req.id.clone(),
             cut,
+            km1,
             parts: parts.iter().map(|p| p.index() as u32).collect(),
             cache_hit: true,
             deadline_expired: false,
@@ -487,7 +510,7 @@ fn execute_warm(
                 &req.fixed,
                 &balance,
                 seed,
-                Objective::Cut,
+                req.objective,
                 WARM_MAX_PASSES,
                 RunCtx::new(&mut rng)
                     .with_sink(&sink)
@@ -500,7 +523,7 @@ fn execute_warm(
             &req.fixed,
             &balance,
             seed,
-            Objective::Cut,
+            req.objective,
             WARM_MAX_PASSES,
             RunCtx::new(&mut rng)
                 .with_sink(&ctx.metrics.engine)
@@ -556,9 +579,11 @@ fn execute_warm(
     let micros = t0.elapsed().as_micros() as u64;
     ctx.metrics.record_latency_us(label, micros);
 
+    let (cut, km1) = cut_and_km1(&req.hg, req.k, &outcome.result.parts);
     JobResponse {
         id: req.id.clone(),
-        cut: outcome.result.cut,
+        cut,
+        km1,
         parts: outcome
             .result
             .parts
@@ -581,7 +606,9 @@ fn execute_cold(
     t0: Instant,
     warm_note: Option<&'static str>,
 ) -> String {
-    let engine = EngineConfig::by_name(&req.engine).expect("engine validated at ingress");
+    let engine = EngineConfig::by_name(&req.engine)
+        .expect("engine validated at ingress")
+        .with_objective(req.objective);
     // With several multistart workers the starts already saturate the
     // requested threads; only a single start hands them to the engine's
     // internal parallel coarsening/refinement instead.
@@ -590,11 +617,7 @@ fn execute_cold(
     } else {
         engine
     };
-    let balance = BalanceConstraint::even(
-        req.k,
-        req.hg.total_weights(),
-        Tolerance::Relative(req.tolerance),
-    );
+    let balance = job_balance(req);
 
     // The regime bit mirrors the with_threads hand-off below: only a
     // single start gives the engine an internal budget, and only a budget
@@ -607,18 +630,22 @@ fn execute_cold(
         req.starts,
         req.seed,
         parallel_refine,
+        req.objective,
+        req.part_capacities.as_ref(),
         &req.hg,
         &req.fixed,
     );
     let cached = ctx.cache.lock().expect("cache mutex").get(&key);
-    if let Some((parts, cut)) = cached {
+    if let Some((parts, _value)) = cached {
         ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         ctx.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
         let micros = t0.elapsed().as_micros() as u64;
         ctx.metrics.record_latency_us(engine.name(), micros);
+        let (cut, km1) = cut_and_km1(&req.hg, req.k, &parts);
         return JobResponse {
             id: req.id.clone(),
             cut,
+            km1,
             parts: parts.iter().map(|p| p.index() as u32).collect(),
             cache_hit: true,
             deadline_expired: false,
@@ -717,9 +744,11 @@ fn execute_cold(
     let micros = t0.elapsed().as_micros() as u64;
     ctx.metrics.record_latency_us(engine.name(), micros);
 
+    let (cut, km1) = cut_and_km1(&req.hg, req.k, &outcome.best.parts);
     JobResponse {
         id: req.id.clone(),
-        cut: outcome.best.cut,
+        cut,
+        km1,
         parts: outcome
             .best
             .parts

@@ -78,7 +78,10 @@ fn every_job_request_field_has_a_doc_row() {
         "deadline_ms",
         "priority",
         "warm_start",
+        "objective",
         "hypergraph",
+        "resources",
+        "part_capacities",
         "fixed",
     ];
     let documented = table_row_names(section(PROTOCOL_MD, "Message types"));
@@ -110,6 +113,7 @@ fn every_response_field_has_a_doc_row() {
         "id",
         "status",
         "cut",
+        "km1",
         "parts",
         "cache_hit",
         "deadline_expired",

@@ -8,7 +8,10 @@
 //! Under `cargo test` the bench targets are excluded (`test = false` in
 //! the manifest); under `cargo bench` the harness honours positional CLI
 //! filters just like criterion (`cargo bench -- micro/` runs the micro
-//! group only). `TESTKIT_BENCH_SAMPLES` overrides every `sample_size`.
+//! group only). `TESTKIT_BENCH_SAMPLES` overrides every `sample_size`,
+//! except that a group's `min_samples` floor always holds — gated
+//! min-statistic benchmarks need enough samples for the minimum to
+//! converge, regardless of the global speed knob.
 
 use std::fmt::Display;
 use std::fs;
@@ -93,12 +96,21 @@ impl Criterion {
         self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
     }
 
-    fn run_one(&mut self, id: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        sample_floor: usize,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
         if !self.selected(&id) {
             return;
         }
         let mut b = Bencher {
-            sample_size: self.sample_override.unwrap_or(sample_size),
+            sample_size: self
+                .sample_override
+                .unwrap_or(sample_size)
+                .max(sample_floor),
             target_sample_ms: self.target_sample_ms,
             record: None,
         };
@@ -120,7 +132,7 @@ impl Criterion {
 
     /// Registers and immediately runs a standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        self.run_one(id.to_string(), DEFAULT_SAMPLE_SIZE, &mut f);
+        self.run_one(id.to_string(), DEFAULT_SAMPLE_SIZE, 0, &mut f);
         self
     }
 
@@ -154,6 +166,7 @@ impl Criterion {
             criterion: self,
             prefix: name.to_string(),
             sample_size: DEFAULT_SAMPLE_SIZE,
+            min_samples: 0,
         }
     }
 
@@ -205,12 +218,22 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     prefix: String,
     sample_size: usize,
+    min_samples: usize,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples for benchmarks in this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets a sample-count floor that holds even under the global
+    /// `TESTKIT_BENCH_SAMPLES` override. Use for benchmarks gated on the
+    /// *minimum* sample: the min only converges with enough samples, so a
+    /// CI speed knob must not starve it.
+    pub fn min_samples(&mut self, n: usize) -> &mut Self {
+        self.min_samples = n;
         self
     }
 
@@ -222,7 +245,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = format!("{}/{}", self.prefix, id.into().0);
         let n = self.sample_size;
-        self.criterion.run_one(id, n, &mut f);
+        self.criterion.run_one(id, n, self.min_samples, &mut f);
         self
     }
 
@@ -235,7 +258,8 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = format!("{}/{}", self.prefix, id.0);
         let n = self.sample_size;
-        self.criterion.run_one(id, n, &mut |b| f(b, input));
+        self.criterion
+            .run_one(id, n, self.min_samples, &mut |b| f(b, input));
         self
     }
 
@@ -416,6 +440,19 @@ mod tests {
         let r = &c.records[0];
         assert_eq!(r.id, "grp/f/7");
         assert_eq!(r.samples, 4);
+    }
+
+    #[test]
+    fn min_samples_floor_beats_the_global_override() {
+        let dir = std::env::temp_dir().join("vlsi-testkit-bench-e");
+        let mut c = quiet_criterion(&dir);
+        c.sample_override = Some(3); // the CI speed knob
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(4);
+        g.min_samples(6);
+        g.bench_function("floored", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.records[0].samples, 6);
     }
 
     #[test]

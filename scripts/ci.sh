@@ -61,6 +61,21 @@ else
     echo "==> service soak smoke skipped (SOAK_SMOKE=0)"
 fi
 
+# Heterogeneous resource smoke: a scaled netgen instance with three
+# resource dimensions per vertex, ~5% fixed vertices, explicit asymmetric
+# per-part capacity vectors and the connectivity (km1) objective at k=4.
+# The binary exits non-zero unless the answer is legal under the capacity
+# balance, every per-part per-resource load fits its row, and the
+# reported km1 matches an independent recomputation. Bounded (~1 s);
+# shrink with HETERO_SMOKE_SCALE or skip with HETERO_SMOKE=0.
+if [ "${HETERO_SMOKE:-1}" = "1" ]; then
+    echo "==> heterogeneous resource smoke (hetero_smoke)"
+    HETERO_SMOKE_SCALE="${HETERO_SMOKE_SCALE:-0.1}" \
+        cargo run --release --offline -q -p vlsi-experiments --bin hetero_smoke
+else
+    echo "==> heterogeneous resource smoke skipped (HETERO_SMOKE=0)"
+fi
+
 # Million-cell scale smoke: stream-generate a Rent-faithful 10^6-cell
 # instance, run a full multilevel bisection on it, check legality, and
 # gate peak RSS — the memory-safety net for the compact CSR layout.

@@ -152,6 +152,7 @@ prop_test! {
         );
         let params = CoarsenParams {
             max_cluster_weight: u64::MAX,
+            max_cluster_weights: Vec::new(),
             max_net_size_for_matching: 64,
             max_fixed_part_weight: Vec::new(),
             allow_free_fixed_merge: false,
