@@ -34,8 +34,8 @@ use vlsi_experiments::regimes::{FixSchedule, Regime};
 use vlsi_netgen::instances::ibm01_like_scaled;
 use vlsi_partition::trace::NullSink;
 use vlsi_partition::{
-    multistart_engine, multistart_engine_cancellable, BipartFm, CancelToken, EngineConfig,
-    FmConfig, MultilevelConfig, SelectionPolicy,
+    BipartFm, CancelToken, EngineConfig, FmConfig, MultilevelConfig, Multistart, RunCtx,
+    SelectionPolicy,
 };
 
 fn bench_cancel_overhead_fm(c: &mut Criterion) {
@@ -108,11 +108,14 @@ fn bench_cancel_overhead_multistart(c: &mut Criterion) {
     let mut group = c.benchmark_group("cancel/multistart");
     group.sample_size(10);
 
+    let driver = Multistart::new(starts);
+
     group.bench_function("plain", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         b.iter(|| {
             black_box(
-                multistart_engine(hg, &fixed, &balance, starts, &mut rng, &engine)
+                driver
+                    .run(hg, &fixed, &balance, &engine, RunCtx::new(&mut rng))
                     .expect("multistart succeeds"),
             )
         })
@@ -123,10 +126,17 @@ fn bench_cancel_overhead_multistart(c: &mut Criterion) {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         b.iter(|| {
             black_box(
-                multistart_engine_cancellable(
-                    hg, &fixed, &balance, starts, &mut rng, &NullSink, &engine, &cancel,
-                )
-                .expect("multistart succeeds"),
+                driver
+                    .run(
+                        hg,
+                        &fixed,
+                        &balance,
+                        &engine,
+                        RunCtx::new(&mut rng)
+                            .with_sink(&NullSink)
+                            .with_cancel(&cancel),
+                    )
+                    .expect("multistart succeeds"),
             )
         })
     });
@@ -136,10 +146,17 @@ fn bench_cancel_overhead_multistart(c: &mut Criterion) {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         b.iter(|| {
             black_box(
-                multistart_engine_cancellable(
-                    hg, &fixed, &balance, starts, &mut rng, &NullSink, &engine, &cancel,
-                )
-                .expect("multistart succeeds"),
+                driver
+                    .run(
+                        hg,
+                        &fixed,
+                        &balance,
+                        &engine,
+                        RunCtx::new(&mut rng)
+                            .with_sink(&NullSink)
+                            .with_cancel(&cancel),
+                    )
+                    .expect("multistart succeeds"),
             )
         })
     });

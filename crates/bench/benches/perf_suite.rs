@@ -2,8 +2,9 @@
 //! target exists to be *gated*: it measures the hot phases the parallel
 //! execution layer touches (heavy-edge matching + contraction, FM gain
 //! initialization inside a full run, an end-to-end multilevel partition,
-//! and the synchronous-round parallel k-way refinement under both the
-//! cut and the connectivity objectives) at several thread counts, writes
+//! the synchronous-round parallel k-way refinement under both the
+//! cut and the connectivity objectives, and the V-cycle quality phase on
+//! top of the multistart driver) at several thread counts, writes
 //! `results/bench/BENCH_partition.json`, and — when `PERF_GATE=1` — fails
 //! the process if any benchmark's median regressed more than 15% against
 //! the checked-in baseline (`PERF_BASELINE`, defaulting to
@@ -244,6 +245,41 @@ fn bench_refine_parallel(c: &mut Criterion, hg: &vlsi_hypergraph::Hypergraph) {
     group.finish();
 }
 
+fn bench_vcycle(
+    c: &mut Criterion,
+    hg: &vlsi_hypergraph::Hypergraph,
+    fixed: &FixedVertices,
+    balance: &BalanceConstraint,
+) {
+    // The iterated-multilevel quality phase end to end: a 2-start parallel
+    // multistart followed by two V-cycles over the incumbent best. This
+    // prices what `--vcycles 2` adds on top of the plain driver — the
+    // restricted re-coarsening plus re-refinement per cycle — at the
+    // sequential and 4-thread budgets. Gated on the general median bound.
+    use vlsi_partition::trace::NullSink;
+    use vlsi_partition::{CancelToken, EngineConfig, Multistart};
+
+    let engine = EngineConfig::by_name("ml").expect("ml is registered");
+    let driver = Multistart::new(2).vcycles(2);
+    let mut group = c.benchmark_group("partition/vcycle");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("t{threads}").as_str(), |b| {
+            let never = CancelToken::never();
+            b.iter(|| {
+                black_box(
+                    driver
+                        .run_parallel(
+                            hg, fixed, balance, threads, 23, &engine, &NullSink, &NullSink, &never,
+                        )
+                        .expect("quality run succeeds"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Whether the million-cell `scale/` group runs (skip with `PERF_SCALE=0`
 /// on builders that cannot afford a ~30 s single-shot partition; the gate
 /// then ignores `scale/` baseline entries instead of failing on them).
@@ -444,6 +480,7 @@ fn main() {
     bench_flat_fm(&mut c, &hg, &fixed, &balance);
     bench_multilevel(&mut c, &hg, &fixed, &balance);
     bench_refine_parallel(&mut c, &hg);
+    bench_vcycle(&mut c, &hg, &fixed, &balance);
     if scale_enabled() {
         bench_scale(&mut c);
     } else {

@@ -12,8 +12,10 @@
 //!   heavy-edge-matching / first-choice coarsening that respects fixities,
 //!   FM at the coarsest level, refinement during uncoarsening, and optional
 //!   V-cycling (which the paper found to be a net loss — kept for ablation).
-//! * A multistart driver ([`multistart::multistart`]) reproducing the
-//!   paper's 1/2/4/8-start protocol.
+//! * A multistart driver ([`multistart::Multistart`]) reproducing the
+//!   paper's 1/2/4/8-start protocol, with an iterated-multilevel quality
+//!   phase ([`quality`]): V-cycles over the best solution and ensemble
+//!   recombination over the retained top-N starts.
 //! * A k-way FM extension ([`kway`]) for the paper's future-work question
 //!   of whether multiway partitioning is as affected by fixed terminals.
 //! * The terminal-clustering equivalence transform
@@ -78,6 +80,7 @@ pub mod multilevel;
 pub mod multistart;
 pub mod parallel;
 pub mod policy;
+pub mod quality;
 mod result;
 pub mod terminal_cluster;
 pub mod warmstart;
@@ -95,10 +98,14 @@ pub use gain::{GainBuckets, KwayGains, KwayGainsSnapshot, MoveLog};
 pub use initial::random_initial;
 pub use kl::KlConfig;
 pub use multilevel::{MultilevelPartitioner, MultilevelResult};
+pub use multistart::{Multistart, MultistartOutcome, StartRecord};
+// The deprecated free-function spellings stay re-exported for source
+// compatibility; re-exporting them would otherwise trip `-D deprecated`.
+#[allow(deprecated)]
 pub use multistart::{
     multistart, multistart_engine, multistart_engine_cancellable, multistart_engine_with_sink,
     multistart_parallel, multistart_parallel_engine, multistart_parallel_engine_cancellable,
-    multistart_parallel_engine_instrumented, multistart_with_sink, MultistartOutcome, StartRecord,
+    multistart_parallel_engine_instrumented, multistart_with_sink,
 };
 pub use result::PartitionResult;
 pub use warmstart::{refine_from_partition_ctx, WarmStartOutcome};

@@ -394,6 +394,33 @@ pub fn coarsen_once<R: Rng + ?Sized>(
         return None;
     }
 
+    Some(contract_clusters(
+        hg,
+        fixed,
+        cluster_of,
+        num_clusters,
+        params.threads,
+    ))
+}
+
+/// Contracts an explicit clustering into a coarse [`Level`].
+///
+/// This is the coarse-graph-construction tail shared by heavy-edge
+/// matching ([`coarsen_once`]) and the ensemble-recombination layer
+/// (which force-coarsens agreement clusters): cluster weight vectors are
+/// summed, fixities merged (panics if a cluster holds incompatible
+/// fixities — callers must pre-check with [`merge_fixity`]), and nets are
+/// mapped, deduplicated and merged by the sort-based span scheme, so the
+/// coarse net list is deterministic and thread-count invariant.
+///
+/// `cluster_of[v]` must be a dense id in `0..num_clusters`.
+pub fn contract_clusters(
+    hg: &Hypergraph,
+    fixed: &FixedVertices,
+    cluster_of: Vec<u32>,
+    num_clusters: usize,
+    threads: usize,
+) -> Level {
     // Build the coarse hypergraph.
     let nr = hg.num_resources();
     let mut weights = vec![0u64; num_clusters * nr];
@@ -429,7 +456,7 @@ pub fn coarsen_once<R: Rng + ?Sized>(
     // thread-count invariant: with a thread budget the normalize pass is
     // sharded and the shard arenas concatenate before the same global
     // sort-merge.
-    let net_workers = crate::parallel::effective_threads(params.threads, hg.num_nets(), NET_GRAIN);
+    let net_workers = crate::parallel::effective_threads(threads, hg.num_nets(), NET_GRAIN);
     let normalize = |range: std::ops::Range<usize>,
                      pin_arena: &mut Vec<u32>,
                      spans: &mut Vec<(u32, u32, u64)>| {
@@ -497,17 +524,17 @@ pub fn coarsen_once<R: Rng + ?Sized>(
         i = j;
     }
 
-    Some(Level {
+    Level {
         hg: builder.build().expect("valid coarse hypergraph"),
         fixed: FixedVertices::from_fixities(fixities),
         map: cluster_of.into_iter().map(VertexId).collect(),
-    })
+    }
 }
 
 /// Component-wise heavy-vertex guard: `true` when `acc + add` stays within
 /// the per-resource caps. Dimensions past `caps.len()` are unconstrained;
 /// an empty `caps` accepts everything (the scalar-only legacy regime).
-fn within_resource_caps(acc: &[u64], add: &[u64], caps: &[u64]) -> bool {
+pub(crate) fn within_resource_caps(acc: &[u64], add: &[u64], caps: &[u64]) -> bool {
     caps.iter()
         .zip(acc.iter().zip(add))
         .all(|(&c, (&a, &b))| a.saturating_add(b) <= c)

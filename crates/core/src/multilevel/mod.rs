@@ -9,7 +9,8 @@
 
 mod coarsen;
 
-pub use coarsen::{coarsen_once, merge_fixity, CoarsenParams, Level};
+pub(crate) use coarsen::within_resource_caps;
+pub use coarsen::{coarsen_once, contract_clusters, merge_fixity, CoarsenParams, Level};
 
 use vlsi_rng::Rng;
 use vlsi_trace::{CancelStage, Event, NullSink, Sink};

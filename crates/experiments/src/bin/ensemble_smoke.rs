@@ -1,0 +1,120 @@
+//! Bounded quality-phase smoke for the tier-1 gate (`scripts/ci.sh`).
+//!
+//! Generates a scaled `ibm01-like` netgen instance, pins **30% of the
+//! cells in the paper's good regime** (fixed to the side a reference
+//! multilevel solution put them on), and runs the multistart driver twice
+//! at equal start count: once plain, once with `.vcycles(2).ensemble(true)`.
+//! The run fails (non-zero exit) unless:
+//!
+//! * the quality run's answer passes the independent legality referee
+//!   (fixity + balance) — V-cycling and recombination must never leak an
+//!   illegal or fixity-violating partition,
+//! * its best cut is **no worse** than the plain run's best at the same
+//!   seed — the quality phase only ever improves the incumbent,
+//! * the trace stream recorded at least one completed V-cycle, so the
+//!   phase demonstrably ran rather than being skipped.
+//!
+//! Tunables: `ENSEMBLE_SMOKE_SCALE` (netgen scale factor, default `0.1` ≈
+//! 1.3k cells) keeps the run bounded on tiny builders.
+
+use std::process::exit;
+
+use vlsi_rng::{ChaCha8Rng, SeedableRng};
+
+use vlsi_experiments::harness::{find_good_solution, paper_balance};
+use vlsi_experiments::regimes::{FixSchedule, Regime};
+use vlsi_hypergraph::{validate_partitioning, Fixity, Partitioning};
+use vlsi_partition::trace::{CounterSink, NullSink};
+use vlsi_partition::{CancelToken, EngineConfig, MultilevelConfig, Multistart};
+
+const SEED: u64 = 23;
+const STARTS: usize = 4;
+const FIXED_PERCENT: f64 = 30.0;
+
+fn main() {
+    let scale: f64 = std::env::var("ENSEMBLE_SMOKE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let circuit = vlsi_netgen::instances::ibm01_like_scaled(scale, SEED);
+    let hg = &circuit.hypergraph;
+    let balance = paper_balance(hg);
+    let good = match find_good_solution(hg, &balance, &MultilevelConfig::default(), 4, 7) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("ensemble smoke: reference solution failed: {e}");
+            exit(1);
+        }
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let schedule = FixSchedule::new(hg, Regime::Good, &good.parts, &mut rng);
+    let fixed = schedule.at_percent(FIXED_PERCENT);
+    let pinned = hg
+        .vertices()
+        .filter(|&v| fixed.fixity(v) != Fixity::Free)
+        .count();
+
+    println!(
+        "ensemble smoke: {} vertices ({pinned} fixed, good regime), {} nets, {STARTS} starts",
+        hg.num_vertices(),
+        hg.num_nets(),
+    );
+
+    let engine = EngineConfig::by_name("ml").expect("ml is registered");
+    let never = CancelToken::never();
+    let run = |driver: &Multistart, sink: &CounterSink| {
+        driver.run_parallel(
+            hg, &fixed, &balance, 2, SEED, &engine, sink, &NullSink, &never,
+        )
+    };
+
+    let counters = CounterSink::new();
+    let plain = match run(&Multistart::new(STARTS), &counters) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ensemble smoke: plain multistart failed: {e}");
+            exit(1);
+        }
+    };
+    let quality_driver = Multistart::new(STARTS).vcycles(2).ensemble(true);
+    let quality = match run(&quality_driver, &counters) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ensemble smoke: quality run failed: {e}");
+            exit(1);
+        }
+    };
+
+    // The quality phase must never worsen the incumbent best.
+    if quality.best.cut > plain.best.cut {
+        eprintln!(
+            "ensemble smoke: quality best {} worse than plain best {}",
+            quality.best.cut, plain.best.cut
+        );
+        exit(1);
+    }
+
+    // Independent legality referee: fixity and balance survive V-cycles
+    // and cluster recombination.
+    let p = Partitioning::from_parts(hg, 2, quality.best.parts.clone())
+        .expect("driver output is well-formed");
+    let report = validate_partitioning(hg, &p, &balance, &fixed);
+    if !report.is_valid() {
+        eprintln!("ensemble smoke: referee rejected the quality partition: {report}");
+        exit(1);
+    }
+
+    // The phase must demonstrably have run: at least one completed
+    // V-cycle in the trace stream.
+    let snap = counters.snapshot();
+    if snap.vcycles == 0 {
+        eprintln!("ensemble smoke: no V-cycle completed ({snap})");
+        exit(1);
+    }
+
+    println!(
+        "ensemble smoke: legal; plain best {} -> quality best {} \
+         ({} vcycles, {} recombinations)",
+        plain.best.cut, quality.best.cut, snap.vcycles, snap.recombinations
+    );
+}

@@ -23,7 +23,8 @@ use vlsi_hypergraph::{
     io::apply_multi_areas, validate_partitioning, CutState, FixedVertices, Hypergraph, Objective,
     PartCapacities, PartId, Partitioning, VertexId,
 };
-use vlsi_partition::{multistart_parallel_engine, EngineConfig};
+use vlsi_partition::trace::NullSink;
+use vlsi_partition::{CancelToken, EngineConfig, Multistart};
 
 const K: usize = 4;
 const DIMS: usize = 3;
@@ -91,7 +92,10 @@ fn main() {
     let engine = EngineConfig::by_name("kway")
         .expect("kway is registered")
         .with_objective(Objective::KMinus1);
-    let outcome = match multistart_parallel_engine(&hg, &fixed, &balance, 2, 2, SEED, &engine) {
+    let never = CancelToken::never();
+    let outcome = match Multistart::new(2).run_parallel(
+        &hg, &fixed, &balance, 2, SEED, &engine, &NullSink, &NullSink, &never,
+    ) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("hetero smoke: partitioning failed: {e}");

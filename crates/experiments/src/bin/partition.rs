@@ -6,7 +6,8 @@
 //! usage: partition --hgr FILE [--fix FILE] [--k N] [--tolerance F]
 //!                  [--starts N] [--seed N] [--threads N] [--engine NAME]
 //!                  [--objective cut|km1] [--are FILE] [--resource-dims N]
-//!                  [--part-capacities SPEC] [--out FILE] [--trace FILE]
+//!                  [--part-capacities SPEC] [--vcycles N] [--ensemble]
+//!                  [--out FILE] [--trace FILE]
 //!        partition --list-engines
 //! ```
 //!
@@ -32,6 +33,12 @@
 //! returns one identical answer regardless of `N`. `--trace` streams
 //! per-pass events of every start into one JSONL file, which only makes
 //! sense on a single interleaving — it forces the sequential driver.
+//!
+//! The quality-at-fixed-cost levers: `--vcycles N` runs up to `N` iterated
+//! multilevel V-cycles over the best start (stopping early without strict
+//! improvement), and `--ensemble` recombines the agreement clusters of the
+//! top starts into a final constrained solve. Both only ever improve the
+//! reported best and keep every determinism guarantee above.
 
 use std::fs::File;
 use std::io::Write as _;
@@ -46,10 +53,9 @@ use vlsi_hypergraph::{
     validate_partitioning, BalanceConstraint, FixedVertices, Hypergraph, Objective, PartCapacities,
     PartId, Partitioning, Tolerance,
 };
-use vlsi_partition::trace::Sink;
+use vlsi_partition::trace::{NullSink, Sink};
 use vlsi_partition::{
-    multistart_engine_with_sink, multistart_parallel_engine, EngineConfig, MultistartOutcome,
-    PartitionError, ENGINES,
+    CancelToken, EngineConfig, Multistart, MultistartOutcome, PartitionError, RunCtx, ENGINES,
 };
 
 struct Args {
@@ -72,12 +78,16 @@ struct Args {
     /// traced run must be a single deterministic event interleaving).
     threads: usize,
     engine: EngineConfig,
+    /// Iterated-multilevel V-cycles applied to the best start.
+    vcycles: usize,
+    /// Ensemble recombination over the retained top starts.
+    ensemble: bool,
     out: Option<String>,
     trace: Option<String>,
     list_engines: bool,
 }
 
-const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--k N] [--tolerance F] [--starts N|auto] [--seed N] [--threads N] [--engine NAME] [--objective cut|km1] [--are FILE] [--resource-dims N] [--part-capacities SPEC] [--out FILE] [--trace FILE]\n       partition --list-engines";
+const USAGE: &str = "usage: partition --hgr FILE [--fix FILE] [--k N] [--tolerance F] [--starts N|auto] [--seed N] [--threads N] [--engine NAME] [--objective cut|km1] [--are FILE] [--resource-dims N] [--part-capacities SPEC] [--vcycles N] [--ensemble] [--out FILE] [--trace FILE]\n       partition --list-engines";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -95,6 +105,8 @@ fn parse_args() -> Result<Args, String> {
             .map(|n| n.get())
             .unwrap_or(1),
         engine: EngineConfig::by_name("ml").expect("ml is registered"),
+        vcycles: 0,
+        ensemble: false,
         out: None,
         trace: None,
         list_engines: false,
@@ -150,6 +162,10 @@ fn parse_args() -> Result<Args, String> {
                 args.engine = EngineConfig::by_name(&name)
                     .map_err(|e| format!("{e}\n(see --list-engines)"))?;
             }
+            "--vcycles" => {
+                args.vcycles = value("--vcycles")?.parse().map_err(|_| "bad --vcycles")?
+            }
+            "--ensemble" => args.ensemble = true,
             "--out" => args.out = Some(value("--out")?),
             "--trace" => args.trace = Some(value("--trace")?),
             "--list-engines" => args.list_engines = true,
@@ -309,6 +325,17 @@ fn main() {
     };
     let base_engine = args.engine.with_objective(args.objective);
     println!("engine: {}", base_engine.info().summary);
+    if args.vcycles > 0 || args.ensemble {
+        println!(
+            "quality phase: {} V-cycle(s), ensemble recombination {}",
+            args.vcycles,
+            if args.ensemble { "on" } else { "off" }
+        );
+    }
+    let driver = Multistart::new(starts)
+        .vcycles(args.vcycles)
+        .ensemble(args.ensemble)
+        .objective(args.objective);
     let solved = if args.trace.is_some() {
         // A traced run must be one deterministic event interleaving, so the
         // sequential driver carries the sink through every start.
@@ -319,7 +346,7 @@ fn main() {
                 fixed: &fixed,
                 balance: &balance,
                 engine: &base_engine,
-                starts,
+                driver: &driver,
                 seed: args.seed,
             },
         )
@@ -334,14 +361,17 @@ fn main() {
         } else {
             base_engine
         };
-        multistart_parallel_engine(
+        let never = CancelToken::never();
+        driver.run_parallel(
             &hg,
             &fixed,
             &balance,
-            starts,
             args.threads,
             args.seed,
             &engine,
+            &NullSink,
+            &NullSink,
+            &never,
         )
     };
     let outcome = match solved {
@@ -413,7 +443,7 @@ struct Solve<'a> {
     fixed: &'a FixedVertices,
     balance: &'a BalanceConstraint,
     engine: &'a EngineConfig,
-    starts: usize,
+    driver: &'a Multistart,
     seed: u64,
 }
 
@@ -422,14 +452,12 @@ impl TraceRun for Solve<'_> {
 
     fn run<S: Sink>(self, sink: &S) -> Self::Output {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        multistart_engine_with_sink(
+        self.driver.run(
             self.hg,
             self.fixed,
             self.balance,
-            self.starts,
-            &mut rng,
-            sink,
             self.engine,
+            RunCtx::new(&mut rng).with_sink(sink),
         )
     }
 }

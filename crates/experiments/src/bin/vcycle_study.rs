@@ -1,0 +1,165 @@
+//! Quality-at-fixed-cost study: V-cycles + ensemble recombination vs.
+//! plain multistart at **equal wall-clock**, on the paper's Figure 1/2
+//! fixed-fraction protocol.
+//!
+//! For each regime (good/rand) and fixed fraction, every trial runs two
+//! competitors on the same instance and per-trial seed:
+//!
+//! * **quality** — `Multistart::new(4).vcycles(2).ensemble(true)`: the
+//!   paper-protocol 4 starts, then the iterated-multilevel quality phase
+//!   over the retained top starts. Its wall-clock `T_q` is measured.
+//! * **plain** — a single 16-start multistart on the same base seed. The
+//!   equal-budget answer is `best_of_first(s*)` where `s*` is the largest
+//!   start count whose cumulative wall-clock stays within `T_q` (≥ 4, so
+//!   the plain side never gets fewer starts than the quality side ran).
+//!
+//! Cut values on both sides are bit-deterministic functions of the seed;
+//! only the budget mapping `T_q -> s*` depends on the machine (reported
+//! alongside, as avg equal-time starts). The table prints the average
+//! best cut of each competitor and the quality side's average improvement.
+//!
+//! Flags (shared `Options` conventions): `--trials N` (default 5),
+//! `--scale F` (default 0.12), `--seed N` (default 1999), `--csv` for
+//! machine-readable rows.
+
+use std::time::Instant;
+
+use vlsi_rng::{ChaCha8Rng, SeedableRng};
+
+use vlsi_experiments::harness::{find_good_solution, paper_balance};
+use vlsi_experiments::opts::Options;
+use vlsi_experiments::regimes::{FixSchedule, Regime};
+use vlsi_netgen::instances::ibm01_like_scaled;
+use vlsi_partition::trace::NullSink;
+use vlsi_partition::{CancelToken, EngineConfig, MultilevelConfig, Multistart, PartitionError};
+
+/// Starts on the quality side — the paper's default budget.
+const QUALITY_STARTS: usize = 4;
+/// Start pool on the plain side the equal-time budget selects from.
+const PLAIN_STARTS: usize = 16;
+/// Fixed fractions studied (percent of vertices pinned).
+const FRACTIONS: [f64; 3] = [10.0, 30.0, 50.0];
+
+struct Cell {
+    plain_cut: f64,
+    quality_cut: f64,
+    equal_starts: f64,
+    quality_ms: f64,
+}
+
+fn run_cell(
+    hg: &vlsi_hypergraph::Hypergraph,
+    fixed: &vlsi_hypergraph::FixedVertices,
+    balance: &vlsi_hypergraph::BalanceConstraint,
+    engine: &EngineConfig,
+    trials: usize,
+    seed: u64,
+) -> Result<Cell, PartitionError> {
+    let never = CancelToken::never();
+    let quality = Multistart::new(QUALITY_STARTS).vcycles(2).ensemble(true);
+    let mut sums = Cell {
+        plain_cut: 0.0,
+        quality_cut: 0.0,
+        equal_starts: 0.0,
+        quality_ms: 0.0,
+    };
+    for t in 0..trials {
+        let trial_seed = seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+
+        let t0 = Instant::now();
+        let q = quality.run_parallel(
+            hg, fixed, balance, 1, trial_seed, engine, &NullSink, &NullSink, &never,
+        )?;
+        let budget = t0.elapsed();
+
+        // The plain competitor replays the exact same per-start seeds
+        // (same base seed, same `run_parallel` seeding protocol) with a
+        // deeper start pool; the budget picks how much of it counts, so
+        // its first QUALITY_STARTS starts are the quality side's starts.
+        let p = Multistart::new(PLAIN_STARTS).run_parallel(
+            hg, fixed, balance, 1, trial_seed, engine, &NullSink, &NullSink, &never,
+        )?;
+        let mut s_star = QUALITY_STARTS;
+        while s_star < PLAIN_STARTS && p.time_of_first(s_star + 1) <= budget {
+            s_star += 1;
+        }
+
+        sums.plain_cut += p.best_of_first(s_star).expect("s_star >= 1") as f64;
+        sums.quality_cut += q.best.cut as f64;
+        sums.equal_starts += s_star as f64;
+        sums.quality_ms += budget.as_secs_f64() * 1e3;
+    }
+    let n = trials as f64;
+    Ok(Cell {
+        plain_cut: sums.plain_cut / n,
+        quality_cut: sums.quality_cut / n,
+        equal_starts: sums.equal_starts / n,
+        quality_ms: sums.quality_ms / n,
+    })
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let circuit = ibm01_like_scaled(opts.scale, opts.seed);
+    let hg = &circuit.hypergraph;
+    let balance = paper_balance(hg);
+    let engine = EngineConfig::by_name("ml").expect("ml is registered");
+    let good = find_good_solution(hg, &balance, &MultilevelConfig::default(), 4, 7)
+        .expect("reference solution");
+
+    println!(
+        "V-cycle + ensemble vs plain multistart at equal wall-clock\n\
+         ibm01-like scale {} ({} vertices, {} nets), {} trials, seed {}\n\
+         quality = {QUALITY_STARTS} starts + 2 V-cycles + ensemble; \
+         plain = equal-time starts from a {PLAIN_STARTS}-start pool\n",
+        opts.scale,
+        hg.num_vertices(),
+        hg.num_nets(),
+        opts.trials,
+        opts.seed
+    );
+    if opts.csv {
+        println!("regime,fixed_pct,plain_cut,quality_cut,delta_pct,equal_starts,quality_ms");
+    } else {
+        println!(
+            "{:<6} {:>6} {:>12} {:>12} {:>8} {:>12} {:>10}",
+            "regime", "fix%", "plain cut", "quality cut", "delta%", "eq. starts", "quality ms"
+        );
+    }
+    for regime in [Regime::Good, Regime::Random] {
+        for pct in FRACTIONS {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let schedule = FixSchedule::new(hg, regime, &good.parts, &mut rng);
+            let fixed = schedule.at_percent(pct);
+            let cell = match run_cell(hg, &fixed, &balance, &engine, opts.trials, opts.seed) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{} {pct}%: {e}", regime.label());
+                    std::process::exit(1);
+                }
+            };
+            let delta = 100.0 * (cell.plain_cut - cell.quality_cut) / cell.plain_cut.max(1.0);
+            if opts.csv {
+                println!(
+                    "{},{pct},{:.1},{:.1},{delta:.2},{:.1},{:.1}",
+                    regime.label(),
+                    cell.plain_cut,
+                    cell.quality_cut,
+                    cell.equal_starts,
+                    cell.quality_ms
+                );
+            } else {
+                println!(
+                    "{:<6} {:>6} {:>12.1} {:>12.1} {:>8.2} {:>12.1} {:>10.1}",
+                    regime.label(),
+                    pct,
+                    cell.plain_cut,
+                    cell.quality_cut,
+                    delta,
+                    cell.equal_starts,
+                    cell.quality_ms
+                );
+            }
+        }
+    }
+}

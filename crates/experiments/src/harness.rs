@@ -9,8 +9,8 @@ use vlsi_rng::SeedableRng;
 use vlsi_hypergraph::{BalanceConstraint, FixedVertices, Hypergraph, Tolerance};
 use vlsi_partition::trace::{NullSink, Sink};
 use vlsi_partition::{
-    multistart_engine_with_sink, MultilevelConfig, MultilevelPartitioner, PartitionError,
-    PartitionResult, Partitioner,
+    MultilevelConfig, MultilevelPartitioner, Multistart, PartitionError, PartitionResult,
+    Partitioner, RunCtx,
 };
 
 /// Aggregated results of `trials` independent trials, each performing
@@ -105,8 +105,13 @@ pub fn run_trials_with_sink<E: Partitioner, S: Sink>(
     for t in 0..trials {
         let mut rng =
             ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let outcome =
-            multistart_engine_with_sink(hg, fixed, balance, max_starts, &mut rng, sink, engine)?;
+        let outcome = Multistart::new(max_starts).run(
+            hg,
+            fixed,
+            balance,
+            engine,
+            RunCtx::new(&mut rng).with_sink(sink),
+        )?;
         for (i, &s) in starts_levels.iter().enumerate() {
             sums[i] += outcome.best_of_first(s).expect("s >= 1") as f64;
         }

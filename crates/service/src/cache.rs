@@ -65,7 +65,10 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
 /// Builds the content address of a job. `parallel_refine` is the
 /// refinement-regime bit: `true` when the job hands a thread budget ≥ 2 to
 /// the engine's internal phases (single-start jobs), selecting the
-/// synchronous-round parallel k-way refinement.
+/// synchronous-round parallel k-way refinement. `vcycles` and `ensemble`
+/// are the quality-phase knobs: a plain multistart solution must never
+/// answer a V-cycle/ensemble request (they produce different — better —
+/// partitions), so both are part of the address.
 ///
 /// The encoding is length-prefixed throughout, so distinct structures can
 /// never alias (e.g. moving a weight from one vertex to the next changes
@@ -78,6 +81,8 @@ pub fn cache_key(
     starts: usize,
     seed: u64,
     parallel_refine: bool,
+    vcycles: usize,
+    ensemble: bool,
     objective: Objective,
     part_capacities: Option<&PartCapacities>,
     hg: &Hypergraph,
@@ -91,6 +96,8 @@ pub fn cache_key(
     push_u64(&mut bytes, starts as u64);
     push_u64(&mut bytes, seed);
     push_u64(&mut bytes, parallel_refine as u64);
+    push_u64(&mut bytes, vcycles as u64);
+    push_u64(&mut bytes, ensemble as u64);
     push_u64(
         &mut bytes,
         match objective {
@@ -335,6 +342,8 @@ mod tests {
             4,
             seed,
             false,
+            0,
+            false,
             Objective::Cut,
             None,
             hg,
@@ -355,37 +364,30 @@ mod tests {
         let fx = FixedVertices::all_free(6);
         let base = key_of(&hg, &fx, 7);
         assert_ne!(base, key_of(&hg, &fx, 8), "seed is part of the address");
-        assert_ne!(
-            base,
-            cache_key("fm", 2, 0.1, 4, 7, false, Objective::Cut, None, &hg, &fx),
-            "engine is part of the address"
-        );
-        assert_ne!(
-            base,
-            cache_key("ml", 2, 0.2, 4, 7, false, Objective::Cut, None, &hg, &fx),
-            "tolerance is part of the address"
-        );
-        assert_ne!(
-            base,
-            cache_key("ml", 2, 0.1, 4, 7, true, Objective::Cut, None, &hg, &fx),
-            "refinement regime is part of the address"
-        );
-        assert_ne!(
-            base,
-            cache_key(
+        #[allow(clippy::type_complexity)]
+        let variants: &[(&str, &str, f64, bool, usize, bool, Objective)] = &[
+            ("engine", "fm", 0.1, false, 0, false, Objective::Cut),
+            ("tolerance", "ml", 0.2, false, 0, false, Objective::Cut),
+            (
+                "refinement regime",
                 "ml",
-                2,
                 0.1,
-                4,
-                7,
+                true,
+                0,
                 false,
-                Objective::KMinus1,
-                None,
-                &hg,
-                &fx
+                Objective::Cut,
             ),
-            "objective is part of the address"
-        );
+            ("vcycles", "ml", 0.1, false, 2, false, Objective::Cut),
+            ("ensemble", "ml", 0.1, false, 0, true, Objective::Cut),
+            ("objective", "ml", 0.1, false, 0, false, Objective::KMinus1),
+        ];
+        for &(what, engine, tol, par, vc, ens, obj) in variants {
+            assert_ne!(
+                base,
+                cache_key(engine, 2, tol, 4, 7, par, vc, ens, obj, None, &hg, &fx),
+                "{what} is part of the address"
+            );
+        }
         let caps = PartCapacities::uniform(2, &[10]);
         assert_ne!(
             base,
@@ -395,6 +397,8 @@ mod tests {
                 0.1,
                 4,
                 7,
+                false,
+                0,
                 false,
                 Objective::Cut,
                 Some(&caps),

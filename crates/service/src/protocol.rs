@@ -24,6 +24,11 @@
 //!
 //! Optional extras on a job request:
 //!
+//! * `"vcycles":N` runs up to `N` iterated-multilevel V-cycles over the
+//!   best start (default 0); `"ensemble":true` additionally recombines the
+//!   agreement clusters of the top starts into a final constrained solve.
+//!   Both participate in the solution-cache key, so a plain run never
+//!   answers a quality-phase request (or vice versa).
 //! * `"priority":"interactive"|"batch"` picks the queue lane
 //!   ([`Lane`], default `batch`); interactive jobs are dequeued first.
 //! * `"warm_start":{"solution_id":"s...","delta":{...}}` asks the server
@@ -107,6 +112,10 @@ pub struct JobRequest {
     pub threads: usize,
     /// Base RNG seed; start `i` uses `seed + i`.
     pub seed: u64,
+    /// Iterated-multilevel V-cycles applied to the best start (0 = off).
+    pub vcycles: usize,
+    /// Ensemble recombination over the retained top starts.
+    pub ensemble: bool,
     /// Wall-clock budget in milliseconds; `None` = no deadline.
     pub deadline_ms: Option<u64>,
     /// Queue lane this job rides ([`Lane::Batch`] unless the request says
@@ -341,6 +350,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             .as_u64()
             .ok_or_else(|| bad(&id, "'seed' must be a non-negative integer"))?,
     };
+    let vcycles = get_usize(&root, "vcycles", 0, &id)?;
+    let ensemble = match root.get("ensemble") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| bad(&id, "'ensemble' must be a boolean"))?,
+    };
     let deadline_ms = match root.get("deadline_ms") {
         None | Some(Json::Null) => None,
         Some(v) => Some(
@@ -399,6 +415,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         starts,
         threads,
         seed,
+        vcycles,
+        ensemble,
         deadline_ms,
         priority,
         warm_from,
@@ -819,6 +837,31 @@ mod tests {
         assert_eq!(job.hg.num_nets(), 3);
         assert_eq!(job.fixed.num_fixed(), 2);
         assert!(job.deadline_ms.is_none());
+        assert_eq!(job.vcycles, 0, "quality phase defaults off");
+        assert!(!job.ensemble);
+    }
+
+    #[test]
+    fn quality_phase_fields_parse_and_validate() {
+        let line = r#"{"id":"q","vcycles":3,"ensemble":true,
+            "hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#
+            .replace('\n', " ");
+        let Request::Job(job) = parse_request(&line).unwrap() else {
+            panic!("expected a job");
+        };
+        assert_eq!(job.vcycles, 3);
+        assert!(job.ensemble);
+
+        let err = parse_request(
+            r#"{"id":"q","ensemble":"yes","hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let err = parse_request(
+            r#"{"id":"q","vcycles":-1,"hypergraph":{"vertices":[1,1],"nets":[[0,1]]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
     }
 
     #[test]

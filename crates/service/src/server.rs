@@ -36,8 +36,7 @@ use vlsi_hypergraph::{
     Partitioning, Tolerance,
 };
 use vlsi_partition::{
-    multistart_parallel_engine_instrumented, refine_from_partition_ctx, CancelToken, EngineConfig,
-    PartitionError, RunCtx,
+    refine_from_partition_ctx, CancelToken, EngineConfig, Multistart, PartitionError, RunCtx,
 };
 use vlsi_rng::{ChaCha8Rng, SeedableRng};
 use vlsi_trace::{Event, JsonlSink, Sink, Tee};
@@ -463,6 +462,10 @@ fn execute_warm(
     // the k-way refinement, whose parallel regime starts at 2.
     let parallel_refine = req.threads >= 2;
     let warm_engine = format!("warm:{sid}:{}", req.engine);
+    // The warm path refines from the seed and never runs the multistart
+    // quality phase, so the vcycles/ensemble knobs do not influence its
+    // output — they stay out of the warm key (identical executions share
+    // one entry).
     let key = cache_key(
         &warm_engine,
         req.k,
@@ -470,6 +473,8 @@ fn execute_warm(
         req.starts,
         req.seed,
         parallel_refine,
+        0,
+        false,
         req.objective,
         req.part_capacities.as_ref(),
         &req.hg,
@@ -630,6 +635,8 @@ fn execute_cold(
         req.starts,
         req.seed,
         parallel_refine,
+        req.vcycles,
+        req.ensemble,
         req.objective,
         req.part_capacities.as_ref(),
         &req.hg,
@@ -663,16 +670,19 @@ fn execute_cold(
         None => CancelToken::never(),
     };
     // The engine counters additionally see every start's internal events
-    // (levels, passes, moves) via the instrumented driver; the JSONL
+    // (levels, passes, moves) via the driver's engine sink; the JSONL
     // trace keeps the deterministic summary stream only.
+    let driver = Multistart::new(req.starts)
+        .vcycles(req.vcycles)
+        .ensemble(req.ensemble)
+        .objective(req.objective);
     let outcome = match &ctx.trace {
         Some(trace) => {
             let sink = Tee::new(&ctx.metrics.engine, trace);
-            multistart_parallel_engine_instrumented(
+            driver.run_parallel(
                 &req.hg,
                 &req.fixed,
                 &balance,
-                req.starts,
                 req.threads,
                 req.seed,
                 &engine,
@@ -681,11 +691,10 @@ fn execute_cold(
                 &cancel,
             )
         }
-        None => multistart_parallel_engine_instrumented(
+        None => driver.run_parallel(
             &req.hg,
             &req.fixed,
             &balance,
-            req.starts,
             req.threads,
             req.seed,
             &engine,

@@ -75,6 +75,8 @@ fn every_job_request_field_has_a_doc_row() {
         "starts",
         "threads",
         "seed",
+        "vcycles",
+        "ensemble",
         "deadline_ms",
         "priority",
         "warm_start",

@@ -252,6 +252,38 @@ pub enum Event {
         /// Job-queue depth observed when the decision was made.
         queue_depth: u64,
     },
+    /// One V-cycle of the iterated-multilevel quality loop began: the
+    /// hypergraph is about to be re-coarsened respecting the current best
+    /// partition (matching only within parts, fixed vertices pinned) and
+    /// re-refined down the new hierarchy.
+    VCycleStart {
+        /// 0-based V-cycle index within the quality loop.
+        cycle: u32,
+        /// Objective value of the best solution entering the cycle.
+        value: u64,
+    },
+    /// One V-cycle of the iterated-multilevel quality loop finished.
+    /// `value` is never larger than the matching [`Event::VCycleStart`]'s
+    /// (same-part coarsening preserves the objective exactly and the
+    /// refiners never accept a worse solution).
+    VCycleEnd {
+        /// 0-based V-cycle index within the quality loop.
+        cycle: u32,
+        /// Objective value of the best solution leaving the cycle.
+        value: u64,
+    },
+    /// Ensemble recombination began: agreement clusters (vertices
+    /// co-assigned across the retained top solutions, split under the
+    /// per-resource cluster-weight caps) are force-coarsened and a final
+    /// constrained solve runs seeded from the best start.
+    RecombineStart {
+        /// Number of retained start solutions the agreement is over.
+        solutions: u32,
+        /// Number of agreement clusters after cap splitting.
+        clusters: u64,
+        /// Objective value of the best retained solution.
+        value: u64,
+    },
 }
 
 impl Event {
@@ -273,6 +305,9 @@ impl Event {
             Event::SweepFinished { .. } => "sweep",
             Event::WarmStart { .. } => "warm_start",
             Event::Shed { .. } => "shed",
+            Event::VCycleStart { .. } => "vcycle_start",
+            Event::VCycleEnd { .. } => "vcycle_end",
+            Event::RecombineStart { .. } => "recombine_start",
         }
     }
 
@@ -437,6 +472,19 @@ impl Event {
             Event::Shed { queue_depth } => {
                 let _ = write!(s, ",\"queue_depth\":{queue_depth}");
             }
+            Event::VCycleStart { cycle, value } | Event::VCycleEnd { cycle, value } => {
+                let _ = write!(s, ",\"cycle\":{cycle},\"value\":{value}");
+            }
+            Event::RecombineStart {
+                solutions,
+                clusters,
+                value,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"solutions\":{solutions},\"clusters\":{clusters},\"value\":{value}"
+                );
+            }
         }
         s.push('}');
         s
@@ -572,6 +620,28 @@ mod tests {
                 Event::Shed { queue_depth: 48 },
                 r#"{"ev":"shed","queue_depth":48}"#,
             ),
+            (
+                Event::VCycleStart {
+                    cycle: 0,
+                    value: 51,
+                },
+                r#"{"ev":"vcycle_start","cycle":0,"value":51}"#,
+            ),
+            (
+                Event::VCycleEnd {
+                    cycle: 0,
+                    value: 47,
+                },
+                r#"{"ev":"vcycle_end","cycle":0,"value":47}"#,
+            ),
+            (
+                Event::RecombineStart {
+                    solutions: 4,
+                    clusters: 120,
+                    value: 47,
+                },
+                r#"{"ev":"recombine_start","solutions":4,"clusters":120,"value":47}"#,
+            ),
         ];
         for (event, expected) in cases {
             assert_eq!(event.to_jsonl(), expected);
@@ -681,6 +751,14 @@ mod tests {
             }
             .kind(),
             Event::Shed { queue_depth: 0 }.kind(),
+            Event::VCycleStart { cycle: 0, value: 0 }.kind(),
+            Event::VCycleEnd { cycle: 0, value: 0 }.kind(),
+            Event::RecombineStart {
+                solutions: 0,
+                clusters: 0,
+                value: 0,
+            }
+            .kind(),
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

@@ -79,6 +79,10 @@ pub struct Counters {
     /// Jobs refused at admission — queue high-water load-shedding or
     /// token-bucket exhaustion ([`Event::Shed`] count).
     pub sheds: u64,
+    /// Iterated-multilevel V-cycles completed ([`Event::VCycleEnd`] count).
+    pub vcycles: u64,
+    /// Ensemble recombinations attempted ([`Event::RecombineStart`] count).
+    pub recombinations: u64,
 }
 
 impl std::fmt::Display for Counters {
@@ -87,7 +91,7 @@ impl std::fmt::Display for Counters {
             f,
             "passes {} (+{} k-way), moves {} tried / {} committed / {} rolled back, \
              bucket ops {}, cut updates {}, levels {}, starts {}, rounds {}, sweeps {}, \
-             cancellations {}, warm starts {}, sheds {}",
+             cancellations {}, warm starts {}, sheds {}, vcycles {}, recombinations {}",
             self.passes,
             self.kway_passes,
             self.moves_tried,
@@ -101,7 +105,9 @@ impl std::fmt::Display for Counters {
             self.sweeps,
             self.cancellations,
             self.warm_starts,
-            self.sheds
+            self.sheds,
+            self.vcycles,
+            self.recombinations
         )
     }
 }
@@ -127,6 +133,8 @@ pub struct CounterSink {
     cancellations: AtomicU64,
     warm_starts: AtomicU64,
     sheds: AtomicU64,
+    vcycles: AtomicU64,
+    recombinations: AtomicU64,
 }
 
 impl CounterSink {
@@ -152,6 +160,8 @@ impl CounterSink {
             cancellations: self.cancellations.load(Ordering::Relaxed),
             warm_starts: self.warm_starts.load(Ordering::Relaxed),
             sheds: self.sheds.load(Ordering::Relaxed),
+            vcycles: self.vcycles.load(Ordering::Relaxed),
+            recombinations: self.recombinations.load(Ordering::Relaxed),
         }
     }
 }
@@ -213,6 +223,13 @@ impl Sink for CounterSink {
             }
             Event::Shed { .. } => {
                 self.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::VCycleStart { .. } => {}
+            Event::VCycleEnd { .. } => {
+                self.vcycles.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::RecombineStart { .. } => {
+                self.recombinations.fetch_add(1, Ordering::Relaxed);
             }
         }
         // bucket_ops arrive pre-aggregated on pass ends (counting them as

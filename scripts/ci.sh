@@ -17,12 +17,15 @@ cargo fmt --check --all
 
 # -D deprecated keeps migrated call sites honest: after the RunCtx engine
 # API redesign the legacy partition/refine triplets are deprecated wrappers,
-# and no in-repo code may call them except the places that exist to pin the
-# wrappers' behaviour. Exemptions (each carries a file-level or item-level
-# #[allow(deprecated)]):
+# and after the Multistart builder redesign the nine multistart* free
+# functions are too; no in-repo code may call any of them except the places
+# that exist to pin the wrappers' behaviour. Exemptions (each carries a
+# file-level or item-level #[allow(deprecated)]):
 #   - tests/runctx_equivalence.rs: asserts legacy == *_ctx byte-for-byte.
-#   - crates/core/src/engine.rs (trait defaults): a deprecated wrapper may
-#     reference its own deprecated siblings in rustdoc.
+#   - tests/multistart_equivalence.rs: asserts every multistart* wrapper ==
+#     the Multistart builder byte-for-byte.
+#   - crates/core/src/engine.rs (trait defaults) and the lib.rs re-exports:
+#     a deprecated wrapper may reference its own deprecated siblings.
 echo "==> cargo clippy -- -D warnings -D deprecated"
 cargo clippy --offline --workspace --all-targets -- -D warnings -D deprecated
 
@@ -74,6 +77,21 @@ if [ "${HETERO_SMOKE:-1}" = "1" ]; then
         cargo run --release --offline -q -p vlsi-experiments --bin hetero_smoke
 else
     echo "==> heterogeneous resource smoke skipped (HETERO_SMOKE=0)"
+fi
+
+# Quality-phase smoke: a scaled netgen instance with 30% fixed vertices
+# (good regime), plain 4-start multistart vs. the same budget with
+# `.vcycles(2).ensemble(true)`. The binary exits non-zero unless the
+# quality answer is legal (fixity + balance referee), its best cut is no
+# worse than the plain run's, and at least one V-cycle completed in the
+# trace stream. Bounded (~1 s); shrink with ENSEMBLE_SMOKE_SCALE or skip
+# with ENSEMBLE_SMOKE=0.
+if [ "${ENSEMBLE_SMOKE:-1}" = "1" ]; then
+    echo "==> quality-phase smoke (ensemble_smoke)"
+    ENSEMBLE_SMOKE_SCALE="${ENSEMBLE_SMOKE_SCALE:-0.1}" \
+        cargo run --release --offline -q -p vlsi-experiments --bin ensemble_smoke
+else
+    echo "==> quality-phase smoke skipped (ENSEMBLE_SMOKE=0)"
 fi
 
 # Million-cell scale smoke: stream-generate a Rent-faithful 10^6-cell

@@ -11,8 +11,8 @@ use fixed_vertices_repro::vlsi_hypergraph::{
 };
 use fixed_vertices_repro::vlsi_netgen::instances::ibm01_like_scaled;
 use fixed_vertices_repro::vlsi_partition::{
-    multistart, BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner, PartitionResult,
-    SelectionPolicy,
+    BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner, Multistart, PartitionResult,
+    RunCtx, SelectionPolicy,
 };
 
 #[test]
@@ -60,11 +60,18 @@ fn multistart_fm_is_byte_identical_across_runs() {
 
     let run = |seed: u64| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        multistart(hg, &fixed, &balance, 8, &mut rng, |hg, fx, bc, rng| {
-            let r = fm.run_random(hg, fx, bc, rng)?;
-            Ok(PartitionResult::new(r.parts, r.cut))
-        })
-        .expect("multistart runs")
+        Multistart::new(8)
+            .run_with(
+                hg,
+                &fixed,
+                &balance,
+                RunCtx::new(&mut rng),
+                |hg, fx, bc, rng| {
+                    let r = fm.run_random(hg, fx, bc, rng)?;
+                    Ok(PartitionResult::new(r.parts, r.cut))
+                },
+            )
+            .expect("multistart runs")
     };
     let a = run(7);
     let b = run(7);
@@ -88,11 +95,18 @@ fn determinism_survives_fixed_vertices_in_multistart() {
     let fm = BipartFm::new(FmConfig::default());
     let run = |seed: u64| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        multistart(hg, &fixed, &balance, 4, &mut rng, |hg, fx, bc, rng| {
-            let r = fm.run_random(hg, fx, bc, rng)?;
-            Ok(PartitionResult::new(r.parts, r.cut))
-        })
-        .expect("multistart runs")
+        Multistart::new(4)
+            .run_with(
+                hg,
+                &fixed,
+                &balance,
+                RunCtx::new(&mut rng),
+                |hg, fx, bc, rng| {
+                    let r = fm.run_random(hg, fx, bc, rng)?;
+                    Ok(PartitionResult::new(r.parts, r.cut))
+                },
+            )
+            .expect("multistart runs")
     };
     let a = run(11);
     let b = run(11);
@@ -108,7 +122,8 @@ fn determinism_survives_fixed_vertices_in_multistart() {
 
 #[test]
 fn multistart_parallel_is_thread_count_invariant() {
-    use fixed_vertices_repro::vlsi_partition::{multistart_parallel_engine, EngineConfig};
+    use fixed_vertices_repro::vlsi_partition::trace::NullSink;
+    use fixed_vertices_repro::vlsi_partition::{CancelToken, EngineConfig};
 
     let circuit = ibm01_like_scaled(0.04, 23);
     let hg = &circuit.hypergraph;
@@ -124,7 +139,11 @@ fn multistart_parallel_is_thread_count_invariant() {
     // just the best cut, but the byte-identical assignment and the full
     // per-start cut profile.
     let run = |threads: usize| {
-        multistart_parallel_engine(hg, &fixed, &balance, 8, threads, 99, &engine)
+        let never = CancelToken::never();
+        Multistart::new(8)
+            .run_parallel(
+                hg, &fixed, &balance, threads, 99, &engine, &NullSink, &NullSink, &never,
+            )
             .expect("parallel multistart runs")
     };
     let base = run(1);
@@ -290,5 +309,119 @@ fn kway_round_refinement_ignores_an_armed_cancel_token() {
             "a pre-fired token must return the input unchanged ({threads} threads)"
         );
         assert_eq!(r.cut, before);
+    }
+}
+
+/// A fixed-vertex bisection instance for the V-cycle invariant tests.
+fn vcycle_fixture() -> (
+    fixed_vertices_repro::vlsi_hypergraph::Hypergraph,
+    FixedVertices,
+    BalanceConstraint,
+) {
+    let circuit = ibm01_like_scaled(0.05, 31);
+    let hg = circuit.hypergraph;
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.05));
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 10 {
+        fixed.fix(VertexId((i * 7) as u32), PartId((i % 2) as u32));
+    }
+    (hg, fixed, balance)
+}
+
+#[test]
+fn vcycles_preserve_fixity_and_legality_and_never_raise_the_cut() {
+    // Three invariants of the iterated-multilevel quality phase, checked
+    // through the driver's own trace stream plus an independent referee:
+    // (1) every fixity survives re-coarsening/re-refinement, (2) the final
+    // partition is balance-legal, (3) the best value is monotone
+    // non-increasing across cycles — restricted coarsening preserves the
+    // seed partition exactly, so a cycle can only improve or stand still.
+    use fixed_vertices_repro::vlsi_hypergraph::validate_partitioning;
+    use fixed_vertices_repro::vlsi_hypergraph::Partitioning;
+    use fixed_vertices_repro::vlsi_partition::trace::{Event, NullSink, VecSink};
+    use fixed_vertices_repro::vlsi_partition::{CancelToken, EngineConfig};
+
+    let (hg, fixed, balance) = vcycle_fixture();
+    let engine = EngineConfig::by_name("fm").expect("fm is registered");
+    let sink = VecSink::new();
+    let never = CancelToken::never();
+    let quality = Multistart::new(4)
+        .vcycles(3)
+        .run_parallel(
+            &hg, &fixed, &balance, 2, 55, &engine, &sink, &NullSink, &never,
+        )
+        .expect("quality run succeeds");
+    let plain = Multistart::new(4)
+        .run_parallel(
+            &hg, &fixed, &balance, 2, 55, &engine, &NullSink, &NullSink, &never,
+        )
+        .expect("plain run succeeds");
+
+    // (3) Never worse than the plain multistart best, and each recorded
+    // cycle bracket is itself non-increasing, cycle over cycle.
+    assert!(quality.best.cut <= plain.best.cut);
+    let events = sink.take();
+    let mut last_end: Option<u64> = None;
+    let mut cycles = 0;
+    for e in &events {
+        match e {
+            Event::VCycleStart { value, .. } => {
+                if let Some(prev) = last_end {
+                    assert!(*value <= prev, "cycle started above the previous best");
+                }
+            }
+            Event::VCycleEnd { value, .. } => {
+                cycles += 1;
+                last_end = Some(*value);
+            }
+            _ => {}
+        }
+    }
+    assert!(cycles >= 1, "at least one V-cycle ran");
+    assert_eq!(last_end, Some(quality.best.cut), "trace matches the result");
+
+    // (1) Fixities survived the restricted re-coarsening.
+    for v in hg.vertices() {
+        if let Fixity::Fixed(p) = fixed.fixity(v) {
+            assert_eq!(quality.best.parts[v.index()], p, "fixity violated");
+        }
+    }
+    // (2) Independent legality referee.
+    let p = Partitioning::from_parts(&hg, 2, quality.best.parts.clone())
+        .expect("well-formed partition");
+    let report = validate_partitioning(&hg, &p, &balance, &fixed);
+    assert!(report.is_valid(), "V-cycled partition must stay legal");
+}
+
+#[test]
+fn vcycles_and_ensemble_are_thread_count_invariant() {
+    // The whole quality phase draws from an RNG derived from base_seed and
+    // runs only worker-count-invariant machinery, so the full run —
+    // starts, recombination, V-cycles — must be byte-identical on 1, 2, 4
+    // and 8 OS threads.
+    use fixed_vertices_repro::vlsi_partition::trace::NullSink;
+    use fixed_vertices_repro::vlsi_partition::{CancelToken, EngineConfig};
+
+    let (hg, fixed, balance) = vcycle_fixture();
+    let engine = EngineConfig::by_name("fm").expect("fm is registered");
+    let run = |threads: usize| {
+        let never = CancelToken::never();
+        Multistart::new(8)
+            .vcycles(2)
+            .ensemble(true)
+            .run_parallel(
+                &hg, &fixed, &balance, threads, 7, &engine, &NullSink, &NullSink, &never,
+            )
+            .expect("quality run succeeds")
+    };
+    let base = run(1);
+    for threads in [2, 4, 8] {
+        let r = run(threads);
+        assert_eq!(
+            r.best.parts, base.best.parts,
+            "{threads} threads changed the quality-phase assignment"
+        );
+        assert_eq!(r.best.cut, base.best.cut);
+        assert_eq!(r.top, base.top, "{threads} threads changed the top list");
     }
 }

@@ -1,0 +1,216 @@
+//! The `Multistart` builder migration contract: each of the nine deprecated
+//! `multistart*` free functions is a thin wrapper over the builder, so the
+//! legacy spelling and the explicit builder call must replay
+//! **byte-identical** outcomes (parts, cut, per-start records, retained top
+//! list) for the same seed — on every registered engine, across a fixed-seed
+//! corpus. A divergence here means a wrapper quietly changed behaviour
+//! during the API redesign.
+#![allow(deprecated)]
+
+use vlsi_rng::{ChaCha8Rng, SeedableRng};
+
+use fixed_vertices_repro::vlsi_hypergraph::{
+    BalanceConstraint, FixedVertices, PartId, Tolerance, VertexId,
+};
+use fixed_vertices_repro::vlsi_netgen::instances::ibm01_like_scaled;
+use fixed_vertices_repro::vlsi_partition::trace::{NullSink, VecSink};
+use fixed_vertices_repro::vlsi_partition::{
+    multistart, multistart_engine, multistart_engine_cancellable, multistart_engine_with_sink,
+    multistart_parallel, multistart_parallel_engine, multistart_parallel_engine_cancellable,
+    multistart_parallel_engine_instrumented, multistart_with_sink, CancelToken, EngineConfig,
+    Multistart, MultistartOutcome, Partitioner, RunCtx, ENGINES,
+};
+
+/// A smallish instance with a sprinkle of fixed vertices, deterministic in
+/// `seed`.
+fn corpus_instance(
+    seed: u64,
+) -> (
+    fixed_vertices_repro::vlsi_hypergraph::Hypergraph,
+    FixedVertices,
+) {
+    let circuit = ibm01_like_scaled(0.015, seed);
+    let hg = circuit.hypergraph;
+    let mut fixed = FixedVertices::all_free(hg.num_vertices());
+    for i in 0..hg.num_vertices() / 12 {
+        fixed.fix(VertexId((i * 9) as u32), PartId((i % 2) as u32));
+    }
+    (hg, fixed)
+}
+
+fn assert_same(
+    label: &str,
+    engine_name: &str,
+    legacy: &MultistartOutcome,
+    new: &MultistartOutcome,
+) {
+    assert_eq!(
+        legacy.best.parts, new.best.parts,
+        "{label} diverged from the builder on engine {engine_name}"
+    );
+    assert_eq!(legacy.best.cut, new.best.cut, "{label} / {engine_name}");
+    assert_eq!(
+        legacy.starts.len(),
+        new.starts.len(),
+        "{label} / {engine_name}"
+    );
+    for (a, b) in legacy.starts.iter().zip(&new.starts) {
+        assert_eq!(a.cut, b.cut, "{label} / {engine_name}");
+    }
+    assert_eq!(legacy.top, new.top, "{label} / {engine_name}");
+}
+
+const STARTS: usize = 3;
+
+#[test]
+fn sequential_engine_wrappers_match_builder() {
+    let (hg, fixed) = corpus_instance(5);
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.25));
+    for info in ENGINES {
+        let engine = EngineConfig::by_name(info.name).expect("registry name resolves");
+        let via_builder = {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            Multistart::new(STARTS)
+                .run(&hg, &fixed, &balance, &engine, RunCtx::new(&mut rng))
+                .expect("engine runs")
+        };
+        let via_engine = {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            multistart_engine(&hg, &fixed, &balance, STARTS, &mut rng, &engine)
+                .expect("engine runs")
+        };
+        let via_engine_sink = {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            multistart_engine_with_sink(&hg, &fixed, &balance, STARTS, &mut rng, &NullSink, &engine)
+                .expect("engine runs")
+        };
+        let via_engine_cancellable = {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            let never = CancelToken::never();
+            multistart_engine_cancellable(
+                &hg, &fixed, &balance, STARTS, &mut rng, &NullSink, &engine, &never,
+            )
+            .expect("engine runs")
+        };
+        assert_same("multistart_engine", info.name, &via_engine, &via_builder);
+        assert_same(
+            "multistart_engine_with_sink",
+            info.name,
+            &via_engine_sink,
+            &via_builder,
+        );
+        assert_same(
+            "multistart_engine_cancellable",
+            info.name,
+            &via_engine_cancellable,
+            &via_builder,
+        );
+    }
+}
+
+#[test]
+fn sequential_closure_wrappers_match_builder() {
+    let (hg, fixed) = corpus_instance(11);
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.25));
+    let engine = EngineConfig::by_name("fm").expect("fm registered");
+    let closure = |hg: &fixed_vertices_repro::vlsi_hypergraph::Hypergraph,
+                   fixed: &FixedVertices,
+                   balance: &BalanceConstraint,
+                   rng: &mut ChaCha8Rng| {
+        engine.partition_ctx(hg, fixed, balance, RunCtx::new(rng))
+    };
+    let via_builder = {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        Multistart::new(STARTS)
+            .run_with(&hg, &fixed, &balance, RunCtx::new(&mut rng), closure)
+            .expect("engine runs")
+    };
+    let via_multistart = {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        multistart(&hg, &fixed, &balance, STARTS, &mut rng, closure).expect("engine runs")
+    };
+    let via_with_sink = {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        multistart_with_sink(&hg, &fixed, &balance, STARTS, &mut rng, &NullSink, closure)
+            .expect("engine runs")
+    };
+    assert_same("multistart", "fm", &via_multistart, &via_builder);
+    assert_same("multistart_with_sink", "fm", &via_with_sink, &via_builder);
+}
+
+#[test]
+fn parallel_wrappers_match_builder() {
+    let (hg, fixed) = corpus_instance(17);
+    let balance = BalanceConstraint::bisection(hg.total_weight(), Tolerance::Relative(0.25));
+    for info in ENGINES {
+        let engine = EngineConfig::by_name(info.name).expect("registry name resolves");
+        for threads in [1usize, 2, 4] {
+            let never = CancelToken::never();
+            let via_builder = Multistart::new(STARTS)
+                .run_parallel(
+                    &hg, &fixed, &balance, threads, 33, &engine, &NullSink, &NullSink, &never,
+                )
+                .expect("engine runs");
+            let closure = |hg: &fixed_vertices_repro::vlsi_hypergraph::Hypergraph,
+                           fixed: &FixedVertices,
+                           balance: &BalanceConstraint,
+                           rng: &mut ChaCha8Rng| {
+                engine.partition_ctx(hg, fixed, balance, RunCtx::new(rng))
+            };
+            let via_parallel =
+                multistart_parallel(&hg, &fixed, &balance, STARTS, threads, 33, &closure)
+                    .expect("engine runs");
+            let via_parallel_engine =
+                multistart_parallel_engine(&hg, &fixed, &balance, STARTS, threads, 33, &engine)
+                    .expect("engine runs");
+            let summary = VecSink::new();
+            let via_cancellable = multistart_parallel_engine_cancellable(
+                &hg, &fixed, &balance, STARTS, threads, 33, &engine, &summary, &never,
+            )
+            .expect("engine runs");
+            let via_instrumented = multistart_parallel_engine_instrumented(
+                &hg, &fixed, &balance, STARTS, threads, 33, &engine, &NullSink, &NullSink, &never,
+            )
+            .expect("engine runs");
+            let label = format!("threads={threads}");
+            assert_same(
+                &format!("multistart_parallel {label}"),
+                info.name,
+                &via_parallel,
+                &via_builder,
+            );
+            assert_same(
+                &format!("multistart_parallel_engine {label}"),
+                info.name,
+                &via_parallel_engine,
+                &via_builder,
+            );
+            assert_same(
+                &format!("multistart_parallel_engine_cancellable {label}"),
+                info.name,
+                &via_cancellable,
+                &via_builder,
+            );
+            assert_same(
+                &format!("multistart_parallel_engine_instrumented {label}"),
+                info.name,
+                &via_instrumented,
+                &via_builder,
+            );
+            // The cancellable wrapper's summary stream reports exactly the
+            // executed starts, in ascending order.
+            let events = summary.take();
+            let reported: Vec<u32> = events
+                .iter()
+                .filter_map(|e| match e {
+                    fixed_vertices_repro::vlsi_partition::trace::Event::StartFinished {
+                        start,
+                        ..
+                    } => Some(*start),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(reported, vec![0, 1, 2], "{} {label}", info.name);
+        }
+    }
+}

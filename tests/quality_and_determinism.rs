@@ -11,7 +11,8 @@ use fixed_vertices_repro::vlsi_hypergraph::{
 };
 use fixed_vertices_repro::vlsi_netgen::instances::ibm01_like_scaled;
 use fixed_vertices_repro::vlsi_partition::{
-    multistart, BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner, PartitionResult,
+    BipartFm, FmConfig, MultilevelConfig, MultilevelPartitioner, Multistart, PartitionResult,
+    RunCtx,
 };
 use fixed_vertices_repro::vlsi_placer::{PlacerConfig, TopDownPlacer};
 
@@ -88,10 +89,16 @@ prop_test! {
         };
         let fm = BipartFm::new(FmConfig::default());
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let outcome = multistart(&hg, &fixed, &balance, 8, &mut rng, |hg, fx, bc, rng| {
-            let r = fm.run_random(hg, fx, bc, rng)?;
-            Ok(PartitionResult::new(r.parts, r.cut))
-        });
+        let outcome = Multistart::new(8).run_with(
+            &hg,
+            &fixed,
+            &balance,
+            RunCtx::new(&mut rng),
+            |hg, fx, bc, rng| {
+                let r = fm.run_random(hg, fx, bc, rng)?;
+                Ok(PartitionResult::new(r.parts, r.cut))
+            },
+        );
         let Ok(outcome) = outcome else {
             return; // random_initial could not balance this fixity mix
         };
